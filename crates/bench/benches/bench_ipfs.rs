@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the content-addressed storage: adding and fetching
+//! the paper's 317 KB model payload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::dag::{build_dag, CHUNK_SIZE};
+use ofl_ipfs::swarm::{IpfsNode, Swarm};
+
+const MODEL_BYTES: usize = 318_064; // the paper's 317 KB model
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipfs_dag");
+    let model = vec![0x5au8; MODEL_BYTES];
+    group.throughput(Throughput::Bytes(MODEL_BYTES as u64));
+    group.bench_function("build_dag_317KB", |b| {
+        b.iter(|| build_dag(black_box(&model), CHUNK_SIZE))
+    });
+    group.bench_function("cid_v0_317KB", |b| b.iter(|| Cid::v0_of(black_box(&model))));
+    group.finish();
+}
+
+fn bench_add_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipfs_swarm");
+    group.sample_size(20);
+    let model = vec![0x77u8; MODEL_BYTES];
+    group.throughput(Throughput::Bytes(MODEL_BYTES as u64));
+    group.bench_function("add_317KB", |b| {
+        b.iter_with_setup(
+            || IpfsNode::new("bench"),
+            |mut node| black_box(node.add(&model)),
+        )
+    });
+    group.bench_function("fetch_317KB_from_peer", |b| {
+        b.iter_with_setup(
+            || {
+                let mut swarm = Swarm::spawn("peer", 2);
+                let root = swarm.node_mut(0).add(&model).root;
+                (swarm, root)
+            },
+            |(mut swarm, root)| black_box(swarm.fetch(1, &root).unwrap().1),
+        )
+    });
+    group.bench_function("cat_local_317KB", |b| {
+        let mut node = IpfsNode::new("bench");
+        let root = node.add(&model).root;
+        b.iter(|| node.cat_local(black_box(&root)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cid_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipfs_cid");
+    let cid = Cid::v0_of(b"model");
+    group.bench_function("to_string", |b| b.iter(|| black_box(&cid).to_string_form()));
+    let s = cid.to_string_form();
+    group.bench_function("parse", |b| b.iter(|| Cid::parse(black_box(&s)).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dag, bench_add_fetch, bench_cid_text
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the cryptographic/encoding primitives: hashing
+//! throughput, big-integer arithmetic, RLP, and text encodings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ofl_primitives::u256::U256;
+use ofl_primitives::{base58, keccak256, rlp, sha256};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashes");
+    for size in [32usize, 1024, 317 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("keccak256/{size}"), |b| {
+            b.iter(|| keccak256(black_box(&data)))
+        });
+        group.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("u256");
+    let a = U256::from_hex_str("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .unwrap();
+    let b = U256::from_hex_str("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+        .unwrap();
+    group.bench_function("wrapping_mul", |bench| {
+        bench.iter(|| black_box(a).wrapping_mul(black_box(&b)))
+    });
+    group.bench_function("div_rem", |bench| {
+        bench.iter(|| black_box(a).div_rem(black_box(&b)))
+    });
+    group.bench_function("mul_mod", |bench| {
+        bench.iter(|| black_box(b).mul_mod(black_box(&b), black_box(&a)))
+    });
+    group.bench_function("to_dec_string", |bench| {
+        bench.iter(|| black_box(a).to_dec_string())
+    });
+    group.finish();
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings");
+    let digest = sha256(b"model");
+    let mh = [&[0x12u8, 0x20][..], &digest[..]].concat();
+    group.bench_function("base58_encode_cid", |b| {
+        b.iter(|| base58::encode(black_box(&mh)))
+    });
+    let cid_str = base58::encode(&mh);
+    group.bench_function("base58_decode_cid", |b| {
+        b.iter(|| base58::decode(black_box(&cid_str)).unwrap())
+    });
+    let tx_like = rlp::Item::List(vec![
+        rlp::Item::u64(11155111),
+        rlp::Item::u64(7),
+        rlp::Item::uint(&U256::from(1_500_000_000u64)),
+        rlp::Item::uint(&U256::from(30_000_000_000u64)),
+        rlp::Item::u64(100_000),
+        rlp::Item::bytes([0x42u8; 20]),
+        rlp::Item::uint(&U256::from_u128(1_000_000_000_000_000)),
+        rlp::Item::bytes([0xffu8; 100]),
+        rlp::Item::List(vec![]),
+    ]);
+    group.bench_function("rlp_encode_tx", |b| b.iter(|| rlp::encode(black_box(&tx_like))));
+    let encoded = rlp::encode(&tx_like);
+    group.bench_function("rlp_decode_tx", |b| {
+        b.iter(|| rlp::decode(black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashes, bench_u256, bench_encodings
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! **Ablation A3** — Why PFNM: one-shot aggregator comparison under three
+//! partition regimes.
+//!
+//! Compares the one-shot aggregators this repo implements — PFNM, naive
+//! weight averaging, ensemble soft-voting, FedOV-lite confidence voting —
+//! plus FedAvg limited to a single round, across IID, Dirichlet(0.5), and
+//! 2-shard partitions.
+//!
+//! Run: `cargo run -p ofl-bench --release --bin ablation_aggregators`
+
+use ofl_bench::{header, write_record};
+use ofl_data::{mnist, partition};
+use ofl_fl::baselines::{average_weights, fedavg, train_all_silos, Ensemble};
+use ofl_fl::client::TrainConfig;
+use ofl_fl::pfnm::{aggregate, PfnmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    partition: String,
+    algorithm: String,
+    accuracy: f64,
+    best_local: f64,
+    worst_local: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    n_owners: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    header("Ablation A3: one-shot aggregators across partition regimes");
+    let n_owners = 10;
+    let (train, test) = mnist::generate(42, 4_000, 1_000);
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    println!(
+        "\n{:<16} {:<22} {:>10} {:>12} {:>12}",
+        "Partition", "Algorithm", "Accuracy", "Best local", "Worst local"
+    );
+    for (pname, silos) in [
+        ("IID", {
+            let mut rng = StdRng::seed_from_u64(1);
+            partition::iid(&train, n_owners, &mut rng)
+        }),
+        ("Dirichlet(0.5)", {
+            let mut rng = StdRng::seed_from_u64(2);
+            partition::dirichlet(&train, n_owners, 10, 0.5, &mut rng)
+        }),
+        ("2-shards", {
+            let mut rng = StdRng::seed_from_u64(3);
+            partition::shards(&train, n_owners, 2, &mut rng)
+        }),
+    ] {
+        let trained = train_all_silos(&silos, &cfg);
+        let weights: Vec<usize> = trained.iter().map(|t| t.n_examples).collect();
+        let local_accs: Vec<f64> = trained
+            .iter()
+            .map(|t| t.model.accuracy(&test.images, &test.labels))
+            .collect();
+        let best = local_accs.iter().cloned().fold(0.0, f64::max);
+        let worst = local_accs.iter().cloned().fold(1.0, f64::min);
+        let models: Vec<_> = trained.into_iter().map(|t| t.model).collect();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let pfnm_acc = aggregate(&models, &weights, &PfnmConfig::default(), &mut rng)
+            .map(|r| r.model.accuracy(&test.images, &test.labels))
+            .unwrap_or(0.0);
+        let naive_acc = average_weights(&models, &weights)
+            .map(|m| m.accuracy(&test.images, &test.labels))
+            .unwrap_or(0.0);
+        let ensemble = Ensemble::new(models.clone(), &weights).expect("models present");
+        let ens_acc = ensemble.accuracy(&test.images, &test.labels);
+        let vote_acc = ensemble.accuracy_confidence_vote(&test.images, &test.labels);
+        let fedavg1_acc = fedavg(&silos, &cfg, 1)
+            .map(|m| m.accuracy(&test.images, &test.labels))
+            .unwrap_or(0.0);
+
+        for (alg, acc) in [
+            ("PFNM (paper)", pfnm_acc),
+            ("naive averaging", naive_acc),
+            ("ensemble (soft)", ens_acc),
+            ("FedOV-lite vote", vote_acc),
+            ("FedAvg (1 round)", fedavg1_acc),
+        ] {
+            println!(
+                "{:<16} {:<22} {:>9.2} % {:>11.2} % {:>11.2} %",
+                pname,
+                alg,
+                acc * 100.0,
+                best * 100.0,
+                worst * 100.0
+            );
+            rows.push(Row {
+                partition: pname.into(),
+                algorithm: alg.into(),
+                accuracy: acc,
+                best_local: best,
+                worst_local: worst,
+            });
+        }
+        println!();
+    }
+
+    println!(
+        "expected shape: PFNM and the ensemble dominate naive averaging and \
+         single-round FedAvg, with the gap widening as partitions skew — \
+         the reason the paper adopts PFNM for one-shot aggregation."
+    );
+
+    write_record("ablation_aggregators", &Record { n_owners, rows });
+}

@@ -1,0 +1,63 @@
+//! **Figure 6** — Test accuracy under Leave-one-out (LOO).
+//!
+//! For each owner i the buyer re-aggregates the other nine models and
+//! evaluates; high accuracy-without-i means owner i contributed little
+//! (the paper finds model 7 "the most useless").
+//!
+//! Run: `cargo run -p ofl-bench --release --bin fig6_loo`
+
+use ofl_bench::{bar, header, write_record};
+use ofl_core::config::MarketConfig;
+use ofl_core::market::Marketplace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    aggregated_accuracy: f64,
+    loo_drop_accuracies: Vec<f64>,
+    contributions: Vec<f64>,
+    least_useful_owner: usize,
+}
+
+fn main() {
+    header("Figure 6: test accuracy when each model is dropped (LOO)");
+    let config = MarketConfig::default();
+    let (_, report) = Marketplace::run(config).expect("session");
+
+    println!(
+        "\nfull aggregate: {:.2} %\n",
+        report.aggregated_accuracy * 100.0
+    );
+    println!(
+        "{:<8} {:>18} {:>15}",
+        "Model", "Acc. w/o model", "Contribution"
+    );
+    for (i, (drop, contrib)) in report
+        .loo_drop_accuracies
+        .iter()
+        .zip(&report.contributions)
+        .enumerate()
+    {
+        println!(
+            "{:<8} {:>16.2} %  {:>+13.4}  {}",
+            i,
+            drop * 100.0,
+            contrib,
+            bar(*drop, 40)
+        );
+    }
+    let least = report.least_useful_owner();
+    println!(
+        "\nleast useful owner: model {least} (highest accuracy when dropped) — the paper finds model 7"
+    );
+
+    write_record(
+        "fig6_loo",
+        &Record {
+            aggregated_accuracy: report.aggregated_accuracy,
+            loo_drop_accuracies: report.loo_drop_accuracies.clone(),
+            contributions: report.contributions.clone(),
+            least_useful_owner: least,
+        },
+    );
+}

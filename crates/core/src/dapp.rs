@@ -1,0 +1,218 @@
+//! The DApp facade: button-level actions mirroring the React interfaces of
+//! the paper's Fig 3, so that "anyone, regardless of their knowledge of
+//! blockchain or Web 3.0", can drive the system.
+//!
+//! [`OwnerApp`] exposes the model-owner screen (Fig 3a) and [`BuyerApp`] the
+//! model-buyer screen (Fig 3b). Every click produces a human-readable event
+//! in the app's log, and MetaMask-style confirmation summaries are surfaced
+//! before anything is signed.
+
+use crate::market::{Marketplace, MarketError, SessionReport};
+use ofl_primitives::format_eth;
+
+/// A UI event (what the user sees after a click).
+#[derive(Debug, Clone)]
+pub struct UiEvent {
+    /// Which screen produced it.
+    pub screen: &'static str,
+    /// Display text.
+    pub message: String,
+}
+
+/// The model-owner screen (paper Fig 3a).
+pub struct OwnerApp {
+    /// Which owner this screen belongs to.
+    pub owner_index: usize,
+    events: Vec<UiEvent>,
+}
+
+impl OwnerApp {
+    /// Opens the screen for owner `i`.
+    pub fn new(owner_index: usize) -> OwnerApp {
+        OwnerApp {
+            owner_index,
+            events: Vec::new(),
+        }
+    }
+
+    fn log(&mut self, message: String) {
+        self.events.push(UiEvent {
+            screen: "owner",
+            message,
+        });
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[UiEvent] {
+        &self.events
+    }
+
+    /// "Connect Wallet" button.
+    pub fn connect_wallet(&mut self, market: &Marketplace) -> String {
+        let addr = market.owners[self.owner_index].address.to_checksum();
+        let msg = format!("Connected wallet {addr}");
+        self.log(msg.clone());
+        msg
+    }
+
+    /// "Train Model" button: runs local training on the private silo.
+    pub fn train_model(&mut self, market: &mut Marketplace) -> String {
+        market.owner_train(self.owner_index);
+        let trained = market.owners[self.owner_index]
+            .trained
+            .as_ref()
+            .expect("just trained");
+        let msg = format!(
+            "Training complete: {} examples, final loss {:.4}",
+            trained.n_examples, trained.final_loss
+        );
+        self.log(msg.clone());
+        msg
+    }
+
+    /// "Upload Model" button: pushes the model to IPFS (Steps 2–3).
+    pub fn upload_model(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        let cid = market.owner_upload_model(self.owner_index)?;
+        let msg = format!("Model uploaded to IPFS. CID: {cid}");
+        self.log(msg.clone());
+        Ok(msg)
+    }
+
+    /// "Send CID" button: submits the CID to the contract via the wallet
+    /// (Step 4), returning the MetaMask-style fee line.
+    pub fn send_cid(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        let receipt = market.owner_send_cid(self.owner_index)?;
+        let msg = format!(
+            "CID sent on-chain in block {} — gas {}, fee {} ETH",
+            receipt.block_number,
+            receipt.gas_used,
+            format_eth(&receipt.fee, 8)
+        );
+        self.log(msg.clone());
+        Ok(msg)
+    }
+}
+
+/// The model-buyer screen (paper Fig 3b).
+pub struct BuyerApp {
+    events: Vec<UiEvent>,
+    cids: Vec<String>,
+}
+
+impl BuyerApp {
+    /// Opens the buyer screen.
+    pub fn new() -> BuyerApp {
+        BuyerApp {
+            events: Vec::new(),
+            cids: Vec::new(),
+        }
+    }
+
+    fn log(&mut self, message: String) {
+        self.events.push(UiEvent {
+            screen: "buyer",
+            message,
+        });
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[UiEvent] {
+        &self.events
+    }
+
+    /// "Deploy Contract" button (Step 1).
+    pub fn deploy_contract(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        let receipt = market.deploy_contract()?;
+        let msg = format!(
+            "CidStorage deployed at {} — gas {}, fee {} ETH",
+            receipt
+                .contract_address
+                .expect("deployment yields an address")
+                .to_checksum(),
+            receipt.gas_used,
+            format_eth(&receipt.fee, 8)
+        );
+        self.log(msg.clone());
+        Ok(msg)
+    }
+
+    /// "Download CIDs" button (Step 5) — free of gas fees.
+    pub fn download_cids(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        self.cids = market.buyer_download_cids()?;
+        let msg = format!("Downloaded {} CIDs (no gas fee)", self.cids.len());
+        self.log(msg.clone());
+        Ok(msg)
+    }
+
+    /// "Retrieve Models" button (Step 6).
+    pub fn retrieve_models(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        let n = market.buyer_retrieve_models(&self.cids)?;
+        let msg = format!("Retrieved and verified {n} models from IPFS");
+        self.log(msg.clone());
+        Ok(msg)
+    }
+
+    /// "Aggregate & Pay" button (Step 7): backend aggregation, LOO
+    /// contribution assessment, and the payment transactions.
+    pub fn aggregate_and_pay(
+        &mut self,
+        market: &mut Marketplace,
+    ) -> Result<SessionReport, MarketError> {
+        let report = market.buyer_aggregate_and_pay()?;
+        self.log(format!(
+            "Aggregated model accuracy {:.2} % over {} global neurons; paid {} ETH to {} owners",
+            report.aggregated_accuracy * 100.0,
+            report.global_neurons,
+            format_eth(&report.total_paid(), 8),
+            report.payments.len()
+        ));
+        Ok(report)
+    }
+}
+
+impl Default for BuyerApp {
+    fn default() -> Self {
+        BuyerApp::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarketConfig;
+
+    #[test]
+    fn button_driven_session_matches_programmatic() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let mut buyer_app = BuyerApp::new();
+        buyer_app.deploy_contract(&mut market).unwrap();
+        for i in 0..market.owners.len() {
+            let mut app = OwnerApp::new(i);
+            app.connect_wallet(&market);
+            app.train_model(&mut market);
+            let upload_msg = app.upload_model(&mut market).unwrap();
+            assert!(upload_msg.contains("CID: Qm"));
+            let send_msg = app.send_cid(&mut market).unwrap();
+            assert!(send_msg.contains("fee"));
+            assert_eq!(app.events().len(), 4);
+        }
+        buyer_app.download_cids(&mut market).unwrap();
+        buyer_app.retrieve_models(&mut market).unwrap();
+        let report = buyer_app.aggregate_and_pay(&mut market).unwrap();
+        assert_eq!(report.payments.len(), market.owners.len());
+        assert!(buyer_app
+            .events()
+            .iter()
+            .any(|e| e.message.contains("no gas fee")));
+    }
+
+    #[test]
+    fn buttons_enforce_workflow_order() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let mut app = OwnerApp::new(0);
+        // Sending a CID before anything else must fail cleanly.
+        assert!(app.send_cid(&mut market).is_err());
+        let mut buyer = BuyerApp::new();
+        assert!(buyer.download_cids(&mut market).is_err());
+    }
+}

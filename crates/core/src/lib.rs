@@ -1,0 +1,33 @@
+//! # ofl-core
+//!
+//! The OFL-W3 system itself: a one-shot federated-learning marketplace on a
+//! (simulated) Web 3.0 stack. Model **buyers** fund a smart contract and
+//! aggregate shared models with PFNM; model **owners** train on private
+//! silos and are paid by Leave-one-out contribution.
+//!
+//! - [`config`]: session parameters (the paper's §4 demo defaults).
+//! - [`world`]: the shared substrate — chain + IPFS swarm + virtual clock.
+//! - [`market`]: the 7-step workflow and the [`market::SessionReport`] that
+//!   feeds every figure/table of the paper.
+//! - [`dapp`]: the button-level React/Flask DApp facade of Fig 3.
+//!
+//! ## Example: the paper's demo in five lines
+//!
+//! ```no_run
+//! use ofl_core::config::MarketConfig;
+//! use ofl_core::market::Marketplace;
+//!
+//! let (market, report) = Marketplace::run(MarketConfig::default()).unwrap();
+//! println!("aggregated accuracy: {:.2} %", report.aggregated_accuracy * 100.0);
+//! println!("{}", ofl_core::market::render_payment_table(&report.payments));
+//! println!("{}", market.buyer_recorder.render("Buyer time distribution"));
+//! ```
+
+pub mod config;
+pub mod dapp;
+pub mod market;
+pub mod world;
+
+pub use config::{MarketConfig, PartitionScheme};
+pub use market::{Marketplace, SessionReport};
+pub use world::World;

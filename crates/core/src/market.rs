@@ -1,0 +1,954 @@
+//! The OFL-W3 marketplace: model buyers, model owners, and the paper's
+//! seven-step workflow (§3.2) executed end-to-end on the simulated Web 3.0
+//! substrate.
+//!
+//! | Step | Action | Who |
+//! |------|--------|-----|
+//! | 1 | Design & deploy the `CidStorage` contract | buyer |
+//! | 2 | Train locally, upload model to IPFS | owners |
+//! | 3 | Receive CIDs from IPFS | owners |
+//! | 4 | Send CIDs to the contract | owners |
+//! | 5 | Download CIDs (free reads) | buyer |
+//! | 6 | Retrieve models from IPFS | buyer |
+//! | 7 | Aggregate (PFNM, backend server), compute LOO, pay | buyer |
+
+use crate::config::{MarketConfig, PartitionScheme};
+use crate::world::{World, WorldError};
+use ofl_data::dataset::Dataset;
+use ofl_data::{mnist, partition};
+use ofl_eth::abi::{self, Type, Value};
+use ofl_eth::block::Receipt;
+use ofl_eth::contracts::{cid_storage_init_code, CidStorage};
+use ofl_eth::tx::{sign_tx, TxRequest};
+use ofl_eth::wallet::Wallet;
+use ofl_fl::client::TrainedModel;
+use ofl_fl::pfnm::{self, PfnmConfig};
+use ofl_incentive::{allocate_payments, loo_scores};
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::IpfsNode;
+use ofl_netsim::clock::SimDuration;
+use ofl_netsim::service::{Response, Service};
+use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
+use ofl_primitives::u256::U256;
+use ofl_primitives::{format_eth, wei_per_eth, H160};
+use ofl_tensor::nn::Mlp;
+use ofl_tensor::serialize::{decode_model, encode_model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Phase labels (owners), matching the paper's Fig 7a.
+pub mod owner_phase {
+    /// Local model training.
+    pub const TRAIN: &str = "local training";
+    /// Model upload to IPFS.
+    pub const UPLOAD: &str = "model upload (IPFS)";
+    /// Sending the CID to the smart contract and awaiting confirmation.
+    pub const SEND_CID: &str = "send CID (blockchain)";
+}
+
+/// Phase labels (buyer), matching the paper's Fig 7b.
+pub mod buyer_phase {
+    /// Contract deployment and confirmation.
+    pub const DEPLOY: &str = "contract deployment";
+    /// Downloading CIDs from the contract (free reads).
+    pub const DOWNLOAD_CIDS: &str = "download CIDs";
+    /// Retrieving models from IPFS.
+    pub const RETRIEVE: &str = "model retrieval (IPFS)";
+    /// One-shot aggregation on the backend workstation.
+    pub const AGGREGATE: &str = "aggregation (backend)";
+    /// LOO payment computation plus the payment transactions.
+    pub const PAYMENT: &str = "payment";
+}
+
+/// One model owner's session state.
+pub struct OwnerState {
+    /// Wallet address (appears in the payment table).
+    pub address: H160,
+    /// Index of this owner's IPFS node in the swarm.
+    pub ipfs_node: usize,
+    /// The owner's private silo.
+    pub data: Dataset,
+    /// Local training output.
+    pub trained: Option<TrainedModel>,
+    /// Serialized model uploaded to IPFS.
+    pub model_bytes: Vec<u8>,
+    /// The model's content identifier.
+    pub cid: Option<Cid>,
+    /// Receipt of the `uploadCid` transaction.
+    pub upload_receipt: Option<Receipt>,
+}
+
+/// The model buyer's session state.
+pub struct BuyerState {
+    /// Wallet address.
+    pub address: H160,
+    /// Buyer's IPFS node.
+    pub ipfs_node: usize,
+    /// Held-out evaluation set (proxy for the buyer's target task).
+    pub test: Dataset,
+}
+
+/// A row of the payment table (the paper's Table 1).
+#[derive(Debug, Clone)]
+pub struct PaymentRow {
+    /// Recipient wallet.
+    pub address: H160,
+    /// Amount paid, wei.
+    pub amount_wei: U256,
+    /// Receipt of the payment transaction.
+    pub receipt: Receipt,
+}
+
+/// A gas measurement (the paper's Fig 5).
+#[derive(Debug, Clone)]
+pub struct GasRow {
+    /// Human-readable label, e.g. `deploy`, `uploadCid[3]`, `payment[7]`.
+    pub label: String,
+    /// Gas units consumed.
+    pub gas_used: u64,
+    /// Fee in wei.
+    pub fee_wei: U256,
+}
+
+/// Everything a full session produces — the inputs to every figure and
+/// table of the paper's §4.
+pub struct SessionReport {
+    /// Test accuracy of each owner's local model (Fig 4 bars).
+    pub local_accuracies: Vec<f64>,
+    /// Test accuracy of the PFNM-aggregated model (Fig 4 line: 93.87 %).
+    pub aggregated_accuracy: f64,
+    /// Hidden width of the aggregated model.
+    pub global_neurons: usize,
+    /// `loo_drop_accuracies[i]` = aggregate accuracy without owner i
+    /// (Fig 6).
+    pub loo_drop_accuracies: Vec<f64>,
+    /// Marginal contributions `v(N) − v(N∖i)`.
+    pub contributions: Vec<f64>,
+    /// The payment table (Table 1).
+    pub payments: Vec<PaymentRow>,
+    /// Gas per transaction (Fig 5).
+    pub gas: Vec<GasRow>,
+    /// Per-owner phase breakdowns (Fig 7a).
+    pub owner_breakdowns: Vec<Vec<(String, SimDuration, f64)>>,
+    /// Buyer phase breakdown (Fig 7b).
+    pub buyer_breakdown: Vec<(String, SimDuration, f64)>,
+    /// CIDs shared on-chain, in upload order.
+    pub cids: Vec<String>,
+    /// Total virtual seconds the session took.
+    pub total_sim_seconds: f64,
+}
+
+impl SessionReport {
+    /// Worst local model accuracy (the paper quotes aggregate − worst =
+    /// 58.87 points).
+    pub fn worst_local_accuracy(&self) -> f64 {
+        self.local_accuracies
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index of the least useful owner (paper: model 7).
+    pub fn least_useful_owner(&self) -> usize {
+        self.loo_drop_accuracies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("accuracies finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all payments (must equal the budget).
+    pub fn total_paid(&self) -> U256 {
+        self.payments
+            .iter()
+            .fold(U256::ZERO, |acc, p| acc.wrapping_add(&p.amount_wei))
+    }
+}
+
+/// Errors from marketplace steps.
+#[derive(Debug)]
+pub enum MarketError {
+    /// Substrate failure.
+    World(WorldError),
+    /// A step was invoked out of order.
+    StepOrder(&'static str),
+    /// Aggregation failure.
+    Pfnm(pfnm::PfnmError),
+    /// A transaction landed but failed on-chain.
+    TxFailed(String),
+    /// Model bytes from IPFS failed to decode.
+    ModelDecode,
+}
+
+impl From<WorldError> for MarketError {
+    fn from(e: WorldError) -> Self {
+        MarketError::World(e)
+    }
+}
+
+impl From<pfnm::PfnmError> for MarketError {
+    fn from(e: pfnm::PfnmError) -> Self {
+        MarketError::Pfnm(e)
+    }
+}
+
+impl core::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MarketError::World(e) => write!(f, "world: {e}"),
+            MarketError::StepOrder(what) => write!(f, "workflow step out of order: {what}"),
+            MarketError::Pfnm(e) => write!(f, "aggregation: {e}"),
+            MarketError::TxFailed(label) => write!(f, "transaction failed on-chain: {label}"),
+            MarketError::ModelDecode => write!(f, "retrieved model bytes failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+/// A model the buyer pulled from IPFS, attributed back to its owner.
+struct RetrievedModel {
+    model: Mlp,
+    /// Data weight (the owner's example count).
+    weight: usize,
+    /// Index into `owners`, when the CID matches a known owner.
+    owner_index: Option<usize>,
+}
+
+/// The marketplace session: all participants plus the shared substrate.
+pub struct Marketplace {
+    /// Session configuration.
+    pub config: MarketConfig,
+    /// Blockchain + IPFS + clock.
+    pub world: World,
+    /// Keystore holding the buyer's and every owner's keys (each user's
+    /// MetaMask, collapsed into one keystore for the simulation).
+    pub wallet: Wallet,
+    /// The model owners.
+    pub owners: Vec<OwnerState>,
+    /// The model buyer.
+    pub buyer: BuyerState,
+    /// Deployed contract handle (after step 1).
+    pub contract: Option<CidStorage>,
+    /// Deployment receipt.
+    pub deploy_receipt: Option<Receipt>,
+    /// Per-owner timing.
+    pub owner_recorders: Vec<PhaseRecorder>,
+    /// Buyer timing.
+    pub buyer_recorder: PhaseRecorder,
+    /// The buyer's Flask-like backend service.
+    pub backend: Service,
+    retrieved: Vec<RetrievedModel>,
+}
+
+impl Marketplace {
+    /// Sets up the world: funds wallets, partitions data, spawns IPFS nodes.
+    pub fn new(config: MarketConfig) -> Marketplace {
+        let mut wallet = Wallet::from_seed(&format!("ofl-w3/{}", config.seed), 0);
+        let buyer_addr = wallet.derive_account("ofl-w3/buyer", config.seed, "model-buyer".into());
+        let owner_addrs: Vec<H160> = (0..config.n_owners)
+            .map(|i| {
+                wallet.derive_account(
+                    "ofl-w3/owner",
+                    config.seed.wrapping_mul(1000).wrapping_add(i as u64),
+                    format!("model-owner-{i}"),
+                )
+            })
+            .collect();
+        // Genesis: buyer gets 1 ETH (covers the 0.01 budget plus fees);
+        // owners get 0.1 ETH for their uploadCid gas.
+        let mut genesis = vec![(buyer_addr, wei_per_eth())];
+        let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
+        for a in &owner_addrs {
+            genesis.push((*a, tenth));
+        }
+        let mut world = World::new(config.chain.clone(), &genesis, config.profile);
+
+        // Data: the buyer holds the test set; owners hold non-IID silos.
+        let (train, test) = mnist::generate(config.seed, config.n_train, config.n_test);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(77));
+        let silos = match config.partition {
+            PartitionScheme::Iid => partition::iid(&train, config.n_owners, &mut rng),
+            PartitionScheme::Dirichlet { alpha } => {
+                partition::dirichlet(&train, config.n_owners, 10, alpha, &mut rng)
+            }
+            PartitionScheme::Shards { per_client } => {
+                partition::shards(&train, config.n_owners, per_client, &mut rng)
+            }
+            PartitionScheme::LabelSkew { classes } => {
+                partition::label_skew(&train, config.n_owners, 10, classes, &mut rng)
+            }
+        };
+
+        let buyer_node = world.swarm.add_node(IpfsNode::new("buyer"));
+        let owners: Vec<OwnerState> = silos
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| OwnerState {
+                address: owner_addrs[i],
+                ipfs_node: world.swarm.add_node(IpfsNode::new(format!("owner-{i}"))),
+                data,
+                trained: None,
+                model_bytes: Vec::new(),
+                cid: None,
+                upload_receipt: None,
+            })
+            .collect();
+
+        // The buyer's backend server (Flask role): /aggregate and /loo.
+        let mut backend = Service::new("buyer-backend");
+        let agg_time = aggregation_time(
+            &config.buyer_compute,
+            config.n_owners,
+            *config.train.dims.get(1).unwrap_or(&100),
+            config.n_test,
+        );
+        backend.route("/aggregate", move |_req| {
+            Response::ok(b"aggregated".to_vec()).with_processing(agg_time)
+        });
+        let loo_time = SimDuration::from_secs_f64(
+            agg_time.as_secs_f64() * config.n_owners as f64,
+        );
+        backend.route("/loo", move |_req| {
+            Response::ok(b"loo-scores".to_vec()).with_processing(loo_time)
+        });
+
+        let n = config.n_owners;
+        Marketplace {
+            config,
+            world,
+            wallet,
+            owners,
+            buyer: BuyerState {
+                address: buyer_addr,
+                ipfs_node: buyer_node,
+                test,
+            },
+            contract: None,
+            deploy_receipt: None,
+            owner_recorders: vec![PhaseRecorder::new(); n],
+            buyer_recorder: PhaseRecorder::new(),
+            backend,
+            retrieved: Vec::new(),
+        }
+    }
+
+    /// **Step 1** — the buyer deploys `CidStorage`.
+    pub fn deploy_contract(&mut self) -> Result<Receipt, MarketError> {
+        let start = self.world.clock.now();
+        let receipt = self.world.send_and_confirm(
+            &self.wallet,
+            &self.buyer.address.clone(),
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )?;
+        if !receipt.is_success() {
+            return Err(MarketError::TxFailed("deploy".into()));
+        }
+        self.buyer_recorder.add(
+            buyer_phase::DEPLOY,
+            self.world.clock.now().since(start),
+        );
+        self.contract = Some(CidStorage::at(
+            receipt.contract_address.expect("create tx has address"),
+        ));
+        self.deploy_receipt = Some(receipt.clone());
+        Ok(receipt)
+    }
+
+    /// **Step 2 (training half)** — owner `i` trains locally. Virtual time
+    /// is charged from the owner's compute model; the real training runs on
+    /// the host CPU.
+    pub fn owner_train(&mut self, i: usize) {
+        let cfg = ofl_fl::client::TrainConfig {
+            seed: self.config.train.seed.wrapping_add(i as u64 * 7919),
+            ..self.config.train.clone()
+        };
+        let trained = ofl_fl::client::train_local(&self.owners[i].data, &cfg);
+        let train_time = self
+            .config
+            .owner_compute
+            .training_time(self.owners[i].data.len().max(1), cfg.epochs);
+        self.world.clock.advance(train_time);
+        self.owner_recorders[i].add(owner_phase::TRAIN, train_time);
+        self.owners[i].model_bytes = encode_model(&trained.model);
+        self.owners[i].trained = Some(trained);
+    }
+
+    /// **Steps 2–3** — owner `i` uploads its model to IPFS and receives the
+    /// CID.
+    pub fn owner_upload_model(&mut self, i: usize) -> Result<Cid, MarketError> {
+        if self.owners[i].trained.is_none() {
+            return Err(MarketError::StepOrder("train before upload"));
+        }
+        let start = self.world.clock.now();
+        let bytes = self.owners[i].model_bytes.clone();
+        let node = self.owners[i].ipfs_node;
+        let added = self.world.swarm.node_mut(node).add(&bytes);
+        // Upload = pushing the blocks onto the campus network.
+        self.world.charge_ipfs_transfer(added.bytes_stored, 1);
+        self.owner_recorders[i].add(
+            owner_phase::UPLOAD,
+            self.world.clock.now().since(start),
+        );
+        self.owners[i].cid = Some(added.root.clone());
+        Ok(added.root)
+    }
+
+    /// **Step 4** — owner `i` sends its CID to the contract.
+    pub fn owner_send_cid(&mut self, i: usize) -> Result<Receipt, MarketError> {
+        let contract = self
+            .contract
+            .ok_or(MarketError::StepOrder("deploy before sending CIDs"))?;
+        let cid = self.owners[i]
+            .cid
+            .clone()
+            .ok_or(MarketError::StepOrder("upload before sending CID"))?;
+        let start = self.world.clock.now();
+        let receipt = self.world.send_and_confirm(
+            &self.wallet,
+            &self.owners[i].address.clone(),
+            Some(contract.address),
+            U256::ZERO,
+            CidStorage::upload_cid_calldata(&cid.to_string_form()),
+        )?;
+        if !receipt.is_success() {
+            return Err(MarketError::TxFailed(format!("uploadCid[{i}]")));
+        }
+        self.owner_recorders[i].add(
+            owner_phase::SEND_CID,
+            self.world.clock.now().since(start),
+        );
+        self.owners[i].upload_receipt = Some(receipt.clone());
+        Ok(receipt)
+    }
+
+    /// **Step 5** — the buyer downloads every CID from the contract. Free:
+    /// only read calls.
+    pub fn buyer_download_cids(&mut self) -> Result<Vec<String>, MarketError> {
+        let contract = self
+            .contract
+            .ok_or(MarketError::StepOrder("deploy before download"))?;
+        let start = self.world.clock.now();
+        let buyer = self.buyer.address;
+        let count_result = self.world.read_call(
+            &buyer,
+            &contract.address,
+            abi::encode_call("cidCount()", &[]),
+        );
+        let count = abi::decode(&[Type::Uint], &count_result.output)
+            .ok()
+            .and_then(|v| v[0].as_uint())
+            .and_then(|u| u.to_u64())
+            .unwrap_or(0);
+        let mut cids = Vec::with_capacity(count as usize);
+        for index in 0..count {
+            let result = self.world.read_call(
+                &buyer,
+                &contract.address,
+                abi::encode_call("getCid(uint256)", &[Value::Uint(U256::from(index))]),
+            );
+            let cid = abi::decode(&[Type::String], &result.output)
+                .ok()
+                .and_then(|v| v[0].as_string().map(str::to_string))
+                .unwrap_or_default();
+            cids.push(cid);
+        }
+        self.buyer_recorder.add(
+            buyer_phase::DOWNLOAD_CIDS,
+            self.world.clock.now().since(start),
+        );
+        Ok(cids)
+    }
+
+    /// Event-driven alternative to Step 5: reads the `CidUploaded` log
+    /// stream (what a production DApp subscribes to) instead of polling
+    /// `cidCount`/`getCid`. Free, like all reads.
+    pub fn buyer_watch_upload_events(&mut self) -> Result<Vec<String>, MarketError> {
+        use ofl_eth::chain::LogFilter;
+        let contract = self
+            .contract
+            .ok_or(MarketError::StepOrder("deploy before watching events"))?;
+        let start = self.world.clock.now();
+        // One RPC round trip for the whole filter query.
+        self.world
+            .clock
+            .advance(self.world.profile.rpc.transfer_time(self.world.tx_wire_bytes));
+        let logs = self.world.chain.get_logs(
+            &LogFilter::all()
+                .at_address(contract.address)
+                .with_topic(CidStorage::uploaded_topic()),
+        );
+        let cids = logs
+            .iter()
+            .filter_map(|entry| {
+                abi::decode(&[Type::String], &entry.log.data)
+                    .ok()
+                    .and_then(|v| v[0].as_string().map(str::to_string))
+            })
+            .collect();
+        self.buyer_recorder.add(
+            buyer_phase::DOWNLOAD_CIDS,
+            self.world.clock.now().since(start),
+        );
+        Ok(cids)
+    }
+
+    /// **Step 6** — the buyer retrieves every model from IPFS and verifies
+    /// integrity (the CID *is* the hash).
+    pub fn buyer_retrieve_models(&mut self, cids: &[String]) -> Result<usize, MarketError> {
+        let start = self.world.clock.now();
+        self.retrieved.clear();
+        for cid_str in cids {
+            let cid = Cid::parse(cid_str).map_err(|_| MarketError::ModelDecode)?;
+            let (bytes, stats) = self
+                .world
+                .swarm
+                .fetch(self.buyer.ipfs_node, &cid)
+                .map_err(WorldError::Ipfs)?;
+            self.world
+                .charge_ipfs_transfer(stats.bytes_fetched, stats.rounds);
+            let model = decode_model(&bytes).map_err(|_| MarketError::ModelDecode)?;
+            // Attribute the model back to its owner by CID (for the data
+            // weight and, later, the payment address).
+            let owner_index = self
+                .owners
+                .iter()
+                .position(|o| o.cid.as_ref().map(|c| c.to_string_form()) == Some(cid_str.clone()));
+            let weight = owner_index
+                .map(|i| self.owners[i].data.len())
+                .unwrap_or(1);
+            self.retrieved.push(RetrievedModel {
+                model,
+                weight,
+                owner_index,
+            });
+        }
+        self.buyer_recorder.add(
+            buyer_phase::RETRIEVE,
+            self.world.clock.now().since(start),
+        );
+        Ok(self.retrieved.len())
+    }
+
+    /// **Step 7** — aggregate with PFNM on the backend, evaluate, compute
+    /// LOO contributions, and pay every owner from the budget. Returns the
+    /// full session report.
+    pub fn buyer_aggregate_and_pay(&mut self) -> Result<SessionReport, MarketError> {
+        if self.retrieved.is_empty() {
+            return Err(MarketError::StepOrder("retrieve models before aggregating"));
+        }
+        let models: Vec<Mlp> = self.retrieved.iter().map(|r| r.model.clone()).collect();
+        let weights: Vec<usize> = self.retrieved.iter().map(|r| r.weight).collect();
+        // Payment recipients, in model order. A CID the buyer cannot map to
+        // a known owner earns nothing (there is no address to pay).
+        let recipients: Vec<Option<H160>> = self
+            .retrieved
+            .iter()
+            .map(|r| r.owner_index.map(|i| self.owners[i].address))
+            .collect();
+        let test = &self.buyer.test;
+
+        // Aggregation on the backend workstation (Flask call).
+        let start = self.world.clock.now();
+        let lan = self.profile_lan();
+        self.backend
+            .call(&self.world.clock, &lan, "/aggregate", b"models".to_vec());
+        let full = aggregate_subset(
+            &models,
+            &weights,
+            &(0..models.len()).collect::<Vec<_>>(),
+            &self.config.pfnm,
+            self.config.seed,
+        )?;
+        let aggregated_accuracy = full.model.accuracy(&test.images, &test.labels);
+        self.world.clock.advance(
+            self.config
+                .buyer_compute
+                .inference_time(test.len()),
+        );
+        self.buyer_recorder.add(
+            buyer_phase::AGGREGATE,
+            self.world.clock.now().since(start),
+        );
+
+        // LOO: re-aggregate n leave-one-out coalitions (backend /loo call).
+        let start = self.world.clock.now();
+        self.backend
+            .call(&self.world.clock, &lan, "/loo", b"loo".to_vec());
+        let pfnm_cfg = self.config.pfnm.clone();
+        let seed = self.config.seed;
+        let report = loo_scores(models.len(), |subset| {
+            if subset.len() == models.len() {
+                return aggregated_accuracy;
+            }
+            match aggregate_subset(&models, &weights, subset, &pfnm_cfg, seed) {
+                Ok(result) => result.model.accuracy(&test.images, &test.labels),
+                Err(_) => 0.0,
+            }
+        });
+        let payments_wei = allocate_payments(&report.contributions, &self.config.budget_wei)
+            .expect("non-empty participant set");
+
+        // Payment transactions: consecutive nonces so they share a block.
+        let buyer = self.buyer.address;
+        let mut nonce = self.world.chain.nonce(&buyer);
+        let key = self
+            .wallet
+            .account(&buyer)
+            .expect("buyer key in keystore")
+            .private_key;
+        let mut hashes = Vec::new();
+        let mut paid: Vec<(H160, U256)> = Vec::new();
+        for (recipient, amount) in recipients.iter().zip(&payments_wei) {
+            let Some(address) = recipient else { continue };
+            let req = TxRequest {
+                chain_id: self.world.chain.config().chain_id,
+                nonce,
+                max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+                max_fee_per_gas: self
+                    .world
+                    .chain
+                    .base_fee()
+                    .wrapping_mul(&U256::from(2u64))
+                    .wrapping_add(&U256::from(1_500_000_000u64)),
+                gas_limit: 21_000,
+                to: Some(*address),
+                value: *amount,
+                data: Vec::new(),
+            };
+            nonce += 1;
+            let tx = sign_tx(req, &key).expect("valid buyer key");
+            let wire = self.world.tx_wire_bytes;
+            self.world
+                .clock
+                .advance(self.world.profile.rpc.transfer_time(wire));
+            let hash = self
+                .world
+                .chain
+                .submit(tx)
+                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
+            hashes.push(hash);
+            paid.push((*address, *amount));
+        }
+        self.world.mine_until(&hashes)?;
+        let mut payments = Vec::with_capacity(hashes.len());
+        for ((address, amount), hash) in paid.iter().zip(&hashes) {
+            let receipt = self
+                .world
+                .chain
+                .receipt(hash)
+                .expect("mined above")
+                .clone();
+            payments.push(PaymentRow {
+                address: *address,
+                amount_wei: *amount,
+                receipt,
+            });
+        }
+        self.buyer_recorder.add(
+            buyer_phase::PAYMENT,
+            self.world.clock.now().since(start),
+        );
+
+        // Assemble the report.
+        let local_accuracies: Vec<f64> = self
+            .owners
+            .iter()
+            .map(|o| {
+                o.trained
+                    .as_ref()
+                    .map(|t| t.model.accuracy(&test.images, &test.labels))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let mut gas = Vec::new();
+        if let Some(d) = &self.deploy_receipt {
+            gas.push(GasRow {
+                label: "deploy".into(),
+                gas_used: d.gas_used,
+                fee_wei: d.fee,
+            });
+        }
+        for (i, o) in self.owners.iter().enumerate() {
+            if let Some(r) = &o.upload_receipt {
+                gas.push(GasRow {
+                    label: format!("uploadCid[{i}]"),
+                    gas_used: r.gas_used,
+                    fee_wei: r.fee,
+                });
+            }
+        }
+        for (i, p) in payments.iter().enumerate() {
+            gas.push(GasRow {
+                label: format!("payment[{i}]"),
+                gas_used: p.receipt.gas_used,
+                fee_wei: p.receipt.fee,
+            });
+        }
+        Ok(SessionReport {
+            local_accuracies,
+            aggregated_accuracy,
+            global_neurons: full.global_neurons,
+            loo_drop_accuracies: report.drop_values,
+            contributions: report.contributions,
+            payments,
+            gas,
+            owner_breakdowns: self
+                .owner_recorders
+                .iter()
+                .map(|r| r.breakdown())
+                .collect(),
+            buyer_breakdown: self.buyer_recorder.breakdown(),
+            cids: self
+                .owners
+                .iter()
+                .filter_map(|o| o.cid.as_ref().map(Cid::to_string_form))
+                .collect(),
+            total_sim_seconds: self.world.clock.elapsed_secs(),
+        })
+    }
+
+    fn profile_lan(&self) -> ofl_netsim::link::Link {
+        self.world.profile.lan
+    }
+
+    /// Runs the complete seven-step workflow.
+    pub fn run(config: MarketConfig) -> Result<(Marketplace, SessionReport), MarketError> {
+        let mut market = Marketplace::new(config);
+        market.deploy_contract()?;
+        for i in 0..market.owners.len() {
+            market.owner_train(i);
+            market.owner_upload_model(i)?;
+            market.owner_send_cid(i)?;
+        }
+        let cids = market.buyer_download_cids()?;
+        market.buyer_retrieve_models(&cids)?;
+        let report = market.buyer_aggregate_and_pay()?;
+        Ok((market, report))
+    }
+}
+
+/// PFNM over a subset of the retrieved models (the LOO value function).
+fn aggregate_subset(
+    models: &[Mlp],
+    weights: &[usize],
+    subset: &[usize],
+    config: &PfnmConfig,
+    seed: u64,
+) -> Result<pfnm::PfnmResult, pfnm::PfnmError> {
+    let sub_models: Vec<Mlp> = subset.iter().map(|&i| models[i].clone()).collect();
+    let sub_weights: Vec<usize> = subset.iter().map(|&i| weights[i]).collect();
+    // Deterministic per-subset seed so LOO results are reproducible.
+    let mut subset_tag: u64 = 0xcbf29ce484222325;
+    for &i in subset {
+        subset_tag = (subset_tag ^ i as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ subset_tag);
+    pfnm::aggregate(&sub_models, &sub_weights, config, &mut rng)
+}
+
+/// Estimated backend time for one PFNM aggregation: Hungarian matching over
+/// `n` clients of `hidden` neurons plus a test-set inference. Calibrated to
+/// an A5000-class workstation (documented in DESIGN.md).
+fn aggregation_time(
+    compute: &ComputeModel,
+    n_models: usize,
+    hidden: usize,
+    test_examples: usize,
+) -> SimDuration {
+    let matching_flops = n_models as f64 * (hidden as f64).powi(2) * 900.0;
+    let matching = SimDuration::from_secs_f64(matching_flops / 1e12 + 0.05);
+    matching.saturating_add(compute.inference_time(test_examples))
+}
+
+/// Renders the payment table in the paper's Table 1 format.
+pub fn render_payment_table(payments: &[PaymentRow]) -> String {
+    let mut out = String::from("Wallet Address                                Payment (ETH)\n");
+    for p in payments {
+        out.push_str(&format!(
+            "{}  {}\n",
+            p.address.to_checksum(),
+            format_eth(&p.amount_wei, 8)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarketConfig;
+
+    fn run_small() -> (Marketplace, SessionReport) {
+        Marketplace::run(MarketConfig::small_test()).expect("session completes")
+    }
+
+    #[test]
+    fn full_session_end_to_end() {
+        let (market, report) = run_small();
+        let n = market.owners.len();
+        assert_eq!(report.local_accuracies.len(), n);
+        assert_eq!(report.loo_drop_accuracies.len(), n);
+        assert_eq!(report.payments.len(), n);
+        assert_eq!(report.cids.len(), n);
+        // Fig 4 shape: aggregate beats the worst local model.
+        assert!(report.aggregated_accuracy > report.worst_local_accuracy());
+        // Table 1 invariant: payments sum exactly to the budget.
+        assert_eq!(report.total_paid(), market.config.budget_wei);
+        // Every payment landed on-chain.
+        for p in &report.payments {
+            assert!(p.receipt.is_success());
+        }
+    }
+
+    #[test]
+    fn owners_received_their_payments() {
+        let (market, report) = run_small();
+        let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
+        for (owner, payment) in market.owners.iter().zip(&report.payments) {
+            let balance = market.world.chain.balance(&owner.address);
+            // genesis 0.1 ETH − uploadCid fee + payment
+            let fee = owner.upload_receipt.as_ref().unwrap().fee;
+            let expect = tenth.wrapping_sub(&fee).wrapping_add(&payment.amount_wei);
+            assert_eq!(balance, expect);
+        }
+    }
+
+    #[test]
+    fn gas_report_shape_matches_fig5() {
+        let (_, report) = run_small();
+        let deploy = report
+            .gas
+            .iter()
+            .find(|g| g.label == "deploy")
+            .expect("deploy row");
+        let upload = report
+            .gas
+            .iter()
+            .find(|g| g.label.starts_with("uploadCid"))
+            .expect("upload row");
+        let payment = report
+            .gas
+            .iter()
+            .find(|g| g.label.starts_with("payment"))
+            .expect("payment row");
+        // Fig 5 ordering: deployment carries the heaviest fee.
+        assert!(deploy.gas_used > upload.gas_used);
+        assert!(upload.gas_used > payment.gas_used);
+        assert_eq!(payment.gas_used, 21_000);
+    }
+
+    #[test]
+    fn blockchain_dominates_owner_time() {
+        // Fig 7 claim: "the bulk of time consumption is attributed to
+        // blockchain interactions".
+        let (market, _) = run_small();
+        for rec in &market.owner_recorders {
+            let chain_t = rec.get(owner_phase::SEND_CID).as_secs_f64();
+            let other = rec.total().as_secs_f64() - chain_t;
+            assert!(
+                chain_t > other,
+                "blockchain {chain_t}s vs other {other}s"
+            );
+        }
+    }
+
+    #[test]
+    fn cids_on_chain_match_ipfs() {
+        let (market, report) = run_small();
+        // What the contract stores is exactly what IPFS assigned.
+        for (owner, cid_str) in market.owners.iter().zip(&report.cids) {
+            assert_eq!(owner.cid.as_ref().unwrap().to_string_form(), *cid_str);
+            // CIDv0, 46 chars.
+            assert_eq!(cid_str.len(), 46);
+            assert!(cid_str.starts_with("Qm"));
+        }
+    }
+
+    #[test]
+    fn step_order_enforced() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        assert!(matches!(
+            market.owner_send_cid(0),
+            Err(MarketError::StepOrder(_))
+        ));
+        assert!(matches!(
+            market.buyer_download_cids(),
+            Err(MarketError::StepOrder(_))
+        ));
+        assert!(matches!(
+            market.owner_upload_model(0),
+            Err(MarketError::StepOrder(_))
+        ));
+        assert!(matches!(
+            market.buyer_aggregate_and_pay(),
+            Err(MarketError::StepOrder(_))
+        ));
+    }
+
+    #[test]
+    fn event_stream_agrees_with_polling() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        market.deploy_contract().unwrap();
+        for i in 0..market.owners.len() {
+            market.owner_train(i);
+            market.owner_upload_model(i).unwrap();
+            market.owner_send_cid(i).unwrap();
+        }
+        let polled = market.buyer_download_cids().unwrap();
+        let watched = market.buyer_watch_upload_events().unwrap();
+        assert_eq!(polled, watched);
+        assert_eq!(watched.len(), market.owners.len());
+    }
+
+    #[test]
+    fn session_tolerates_dropped_owner() {
+        // An owner who trains and uploads to IPFS but never sends the CID
+        // simply doesn't participate: the buyer aggregates and pays the rest.
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        market.deploy_contract().unwrap();
+        let dropout = 1usize;
+        for i in 0..market.owners.len() {
+            market.owner_train(i);
+            market.owner_upload_model(i).unwrap();
+            if i != dropout {
+                market.owner_send_cid(i).unwrap();
+            }
+        }
+        let cids = market.buyer_download_cids().unwrap();
+        assert_eq!(cids.len(), market.owners.len() - 1);
+        market.buyer_retrieve_models(&cids).unwrap();
+        let report = market.buyer_aggregate_and_pay().unwrap();
+        assert!(report.aggregated_accuracy > 0.2);
+        // Payments still exhaust the budget across all rows; the dropout's
+        // own wallet received no uploadCid receipt.
+        assert_eq!(report.total_paid(), market.config.budget_wei);
+        assert!(market.owners[dropout].upload_receipt.is_none());
+    }
+
+    #[test]
+    fn payment_table_renders_checksummed() {
+        let (_, report) = run_small();
+        let table = render_payment_table(&report.payments);
+        assert!(table.contains("Wallet Address"));
+        for p in &report.payments {
+            assert!(table.contains(&p.address.to_checksum()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = run_small();
+        let (_, b) = run_small();
+        assert_eq!(a.aggregated_accuracy, b.aggregated_accuracy);
+        assert_eq!(a.local_accuracies, b.local_accuracies);
+        assert_eq!(a.cids, b.cids);
+        assert_eq!(
+            a.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>(),
+            b.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! The simulated Web 3.0 world: one blockchain, one IPFS swarm, one virtual
+//! clock, and the network profile connecting participants to both.
+//!
+//! Block production is clock-driven: transactions wait in the mempool until
+//! the next 12-second slot boundary, which is where the paper's Fig 7
+//! "blockchain interactions dominate" observation comes from.
+
+use ofl_eth::block::Receipt;
+use ofl_eth::chain::{Chain, ChainConfig};
+use ofl_eth::wallet::{Wallet, WalletError};
+use ofl_ipfs::swarm::Swarm;
+use ofl_netsim::clock::{SimClock, SimDuration};
+use ofl_netsim::link::NetworkProfile;
+use ofl_primitives::u256::U256;
+use ofl_primitives::{H160, H256};
+
+/// Errors surfaced by world operations.
+#[derive(Debug)]
+pub enum WorldError {
+    /// Wallet/chain rejection.
+    Wallet(WalletError),
+    /// A transaction was dropped from the mempool without a receipt.
+    TxDropped(H256),
+    /// IPFS failure.
+    Ipfs(ofl_ipfs::swarm::IpfsError),
+}
+
+impl From<WalletError> for WorldError {
+    fn from(e: WalletError) -> Self {
+        WorldError::Wallet(e)
+    }
+}
+
+impl From<ofl_ipfs::swarm::IpfsError> for WorldError {
+    fn from(e: ofl_ipfs::swarm::IpfsError) -> Self {
+        WorldError::Ipfs(e)
+    }
+}
+
+impl core::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorldError::Wallet(e) => write!(f, "wallet: {e}"),
+            WorldError::TxDropped(h) => write!(f, "transaction {h} dropped without receipt"),
+            WorldError::Ipfs(e) => write!(f, "ipfs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// The shared substrate every participant interacts with.
+pub struct World {
+    /// Virtual time.
+    pub clock: SimClock,
+    /// The Sepolia-like chain.
+    pub chain: Chain,
+    /// The IPFS swarm.
+    pub swarm: Swarm,
+    /// Link models.
+    pub profile: NetworkProfile,
+    /// Approximate wire size of a signed transaction (for RPC timing).
+    pub tx_wire_bytes: u64,
+}
+
+impl World {
+    /// Builds a world with genesis balances.
+    pub fn new(
+        chain_config: ChainConfig,
+        genesis: &[(H160, U256)],
+        profile: NetworkProfile,
+    ) -> World {
+        World {
+            clock: SimClock::new(),
+            chain: Chain::new(chain_config, genesis),
+            swarm: Swarm::new(),
+            profile,
+            tx_wire_bytes: 250,
+        }
+    }
+
+    /// Submits a transaction via a wallet and blocks (in virtual time) until
+    /// it is mined, driving 12-second slot production. Returns the receipt.
+    pub fn send_and_confirm(
+        &mut self,
+        wallet: &Wallet,
+        from: &H160,
+        to: Option<H160>,
+        value: U256,
+        data: Vec<u8>,
+    ) -> Result<Receipt, WorldError> {
+        // RPC submission (calldata rides along).
+        let wire = self.tx_wire_bytes + data.len() as u64;
+        self.clock.advance(self.profile.rpc.transfer_time(wire));
+        let hash = wallet.send(&mut self.chain, from, to, value, data)?;
+        self.mine_until(&[hash])?;
+        // Receipt poll.
+        self.clock
+            .advance(self.profile.rpc.transfer_time(self.tx_wire_bytes));
+        Ok(self
+            .chain
+            .receipt(&hash)
+            .expect("mine_until guarantees receipt")
+            .clone())
+    }
+
+    /// Advances slot by slot until every hash has a receipt.
+    pub fn mine_until(&mut self, hashes: &[H256]) -> Result<(), WorldError> {
+        let block_time = self.chain.config().block_time;
+        for _ in 0..64 {
+            if hashes.iter().all(|h| self.chain.receipt(h).is_some()) {
+                return Ok(());
+            }
+            let now = self.clock.elapsed_secs() as u64;
+            let next_slot = (now / block_time + 1) * block_time;
+            self.clock
+                .advance_to(ofl_netsim::clock::SimInstant(next_slot * 1_000_000));
+            self.chain.mine_block(next_slot);
+        }
+        for h in hashes {
+            if self.chain.receipt(h).is_none() {
+                return Err(WorldError::TxDropped(*h));
+            }
+        }
+        Ok(())
+    }
+
+    /// A free read (`eth_call`-style) with RPC latency charged.
+    pub fn read_call(
+        &mut self,
+        from: &H160,
+        to: &H160,
+        data: Vec<u8>,
+    ) -> ofl_eth::chain::CallResult {
+        self.clock
+            .advance(self.profile.rpc.transfer_time(self.tx_wire_bytes + data.len() as u64));
+        let result = self.chain.call(from, to, data);
+        self.clock
+            .advance(self.profile.rpc.transfer_time(result.output.len() as u64 + 64));
+        result
+    }
+
+    /// Charges IPFS transfer time for `bytes` moved in `rounds` exchanges
+    /// over the LAN.
+    pub fn charge_ipfs_transfer(&mut self, bytes: u64, rounds: usize) {
+        let t: SimDuration = self.profile.lan.exchange_time(bytes, rounds.max(1));
+        self.clock.advance(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_primitives::wei_per_eth;
+
+    #[test]
+    fn send_and_confirm_waits_for_slot() {
+        let wallet = Wallet::from_seed("world-test", 2);
+        let addrs = wallet.addresses();
+        let world_genesis: Vec<(H160, U256)> =
+            addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::new(
+            ChainConfig::default(),
+            &world_genesis,
+            NetworkProfile::campus(),
+        );
+        let receipt = world
+            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::from(5u64), vec![])
+            .unwrap();
+        assert!(receipt.is_success());
+        // Must have waited at least until the first 12 s slot.
+        assert!(world.clock.elapsed_secs() >= 12.0);
+        assert!(world.clock.elapsed_secs() < 25.0);
+        assert_eq!(world.chain.height(), 1);
+    }
+
+    #[test]
+    fn sequential_txs_land_in_sequential_slots() {
+        let wallet = Wallet::from_seed("world-test-2", 2);
+        let addrs = wallet.addresses();
+        let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
+        let r1 = world
+            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .unwrap();
+        let r2 = world
+            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .unwrap();
+        assert!(r2.block_number > r1.block_number);
+        assert!(world.clock.elapsed_secs() >= 24.0);
+    }
+
+    #[test]
+    fn read_call_costs_time_but_no_gas() {
+        let wallet = Wallet::from_seed("world-test-3", 1);
+        let a = wallet.addresses()[0];
+        let mut world = World::new(
+            ChainConfig::default(),
+            &[(a, wei_per_eth())],
+            NetworkProfile::campus(),
+        );
+        let before_balance = world.chain.balance(&a);
+        let before_time = world.clock.elapsed_secs();
+        world.read_call(&a, &H160::from_slice(&[7; 20]), vec![]);
+        assert_eq!(world.chain.balance(&a), before_balance);
+        assert!(world.clock.elapsed_secs() > before_time);
+    }
+}

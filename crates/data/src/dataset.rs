@@ -1,0 +1,188 @@
+//! Labelled datasets and batching.
+
+use ofl_tensor::tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled classification dataset: row-per-example features plus integer
+/// labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Features, shape (n, d).
+    pub images: Tensor,
+    /// Labels in `0..n_classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Dataset {
+        assert_eq!(images.rows(), labels.len(), "image/label count mismatch");
+        Dataset { images, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.images.cols()
+    }
+
+    /// Number of distinct classes present.
+    pub fn distinct_classes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &l in &self.labels {
+            seen.insert(l);
+        }
+        seen.len()
+    }
+
+    /// Per-class example counts over `n_classes`.
+    pub fn class_histogram(&self, n_classes: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; n_classes];
+        for &l in &self.labels {
+            assert!(l < n_classes, "label {l} out of range");
+            hist[l] += 1;
+        }
+        hist
+    }
+
+    /// Extracts the subset at `indices` (copying).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.images.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(indices.len(), d, data),
+            labels,
+        }
+    }
+
+    /// Randomly shuffles examples in place.
+    pub fn shuffle(&mut self, rng: &mut impl Rng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let shuffled = self.subset(&order);
+        *self = shuffled;
+    }
+
+    /// Iterates over `(features, labels)` minibatches of up to `batch_size`.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Tensor, &[usize])> + '_ {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        let d = self.dim();
+        (0..n).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(n);
+            let mut buf = Vec::with_capacity((end - start) * d);
+            for r in start..end {
+                buf.extend_from_slice(self.images.row(r));
+            }
+            (
+                Tensor::from_vec(end - start, d, buf),
+                &self.labels[start..end],
+            )
+        })
+    }
+
+    /// Concatenates datasets (same dimensionality required).
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let d = parts[0].dim();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut data = Vec::with_capacity(total * d);
+        let mut labels = Vec::with_capacity(total);
+        for p in parts {
+            assert_eq!(p.dim(), d, "dimension mismatch in concat");
+            data.extend_from_slice(p.images.data());
+            labels.extend_from_slice(&p.labels);
+        }
+        Dataset {
+            images: Tensor::from_vec(total, d, data),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> Dataset {
+        let images = Tensor::from_vec(4, 2, vec![0., 0., 1., 1., 2., 2., 3., 3.]);
+        Dataset::new(images, vec![0, 1, 0, 1])
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let ds = small();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.images.row(0), &[2., 2.]);
+        assert_eq!(sub.labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let ds = small();
+        let mut seen = 0;
+        for (x, y) in ds.batches(3) {
+            assert_eq!(x.rows(), y.len());
+            seen += y.len();
+        }
+        assert_eq!(seen, 4);
+        // Batch sizes: 3 then 1.
+        let sizes: Vec<usize> = ds.batches(3).map(|(_, y)| y.len()).collect();
+        assert_eq!(sizes, vec![3, 1]);
+    }
+
+    #[test]
+    fn histogram_and_classes() {
+        let ds = small();
+        assert_eq!(ds.class_histogram(3), vec![2, 2, 0]);
+        assert_eq!(ds.distinct_classes(), 2);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut ds = small();
+        let mut rng = StdRng::seed_from_u64(0);
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.len(), 4);
+        let mut hist = ds.class_histogram(2);
+        hist.sort();
+        assert_eq!(hist, vec![2, 2]);
+        // Every original row still present.
+        for needle in [[0., 0.], [1., 1.], [2., 2.], [3., 3.]] {
+            assert!((0..4).any(|r| ds.images.row(r) == needle));
+        }
+    }
+
+    #[test]
+    fn concat_works() {
+        let a = small();
+        let b = small();
+        let joined = Dataset::concat(&[&a, &b]);
+        assert_eq!(joined.len(), 8);
+        assert_eq!(joined.class_histogram(2), vec![4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(Tensor::zeros(3, 2), vec![0, 1]);
+    }
+}

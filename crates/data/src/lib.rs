@@ -1,0 +1,28 @@
+//! # ofl-data
+//!
+//! Dataset substrate for the OFL-W3 reproduction: a deterministic synthetic
+//! MNIST stand-in (documented substitution — real MNIST is unavailable
+//! offline) and the federated partitioners the one-shot FL literature uses
+//! (IID, PFNM-style Dirichlet, McMahan shards, `#C = k` label skew).
+//!
+//! ## Example
+//!
+//! ```
+//! use ofl_data::mnist;
+//! use ofl_data::partition;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let (train, _test) = mnist::generate(42, 1000, 200);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // Ten model owners with PFNM-style heterogeneous data.
+//! let silos = partition::dirichlet(&train, 10, 10, 0.5, &mut rng);
+//! assert_eq!(silos.len(), 10);
+//! ```
+
+pub mod dataset;
+pub mod mnist;
+pub mod partition;
+
+pub use dataset::Dataset;
+pub use mnist::SyntheticMnist;

@@ -1,0 +1,309 @@
+//! Federated data partitioners: how a central dataset is split across
+//! clients. The paper uses "the data partitioning techniques in PFNM" —
+//! heterogeneous Dirichlet label skew — which [`dirichlet`] implements;
+//! [`iid`], [`shards`], and [`label_skew`] cover the standard baselines.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits into `k` IID shares of (nearly) equal size.
+pub fn iid(dataset: &Dataset, k: usize, rng: &mut impl Rng) -> Vec<Dataset> {
+    assert!(k > 0, "need at least one client");
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(rng);
+    let mut parts = Vec::with_capacity(k);
+    let base = dataset.len() / k;
+    let extra = dataset.len() % k;
+    let mut cursor = 0;
+    for i in 0..k {
+        let take = base + usize::from(i < extra);
+        parts.push(dataset.subset(&order[cursor..cursor + take]));
+        cursor += take;
+    }
+    parts
+}
+
+/// PFNM-style heterogeneous split: for each class, the share of its
+/// examples assigned to each client is drawn from `Dirichlet(alpha)`.
+/// Small `alpha` (e.g. 0.5) gives strongly skewed clients.
+pub fn dirichlet(
+    dataset: &Dataset,
+    k: usize,
+    n_classes: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(k > 0 && alpha > 0.0);
+    // Indices per class, shuffled.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in dataset.labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for indices in by_class.iter_mut() {
+        indices.shuffle(rng);
+        let weights = dirichlet_sample(alpha, k, rng);
+        // Cumulative proportional slicing.
+        let n = indices.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (client, &w) in weights.iter().enumerate() {
+            acc += w;
+            let end = if client == k - 1 {
+                n
+            } else {
+                (acc * n as f64).round() as usize
+            }
+            .min(n);
+            assignments[client].extend_from_slice(&indices[start..end.max(start)]);
+            start = end.max(start);
+        }
+    }
+    assignments
+        .into_iter()
+        .map(|idx| dataset.subset(&idx))
+        .collect()
+}
+
+/// McMahan-style shard partition: sort by label, cut into `k ·
+/// shards_per_client` contiguous shards, deal each client
+/// `shards_per_client` shards at random. Produces clients that see ~2
+/// classes when `shards_per_client = 2`.
+pub fn shards(
+    dataset: &Dataset,
+    k: usize,
+    shards_per_client: usize,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(k > 0 && shards_per_client > 0);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.sort_by_key(|&i| dataset.labels[i]);
+    let n_shards = k * shards_per_client;
+    let shard_size = dataset.len() / n_shards;
+    assert!(shard_size > 0, "dataset too small for shard count");
+    let mut shard_ids: Vec<usize> = (0..n_shards).collect();
+    shard_ids.shuffle(rng);
+    let mut parts = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut idx = Vec::with_capacity(shards_per_client * shard_size);
+        for s in 0..shards_per_client {
+            let shard = shard_ids[c * shards_per_client + s];
+            let start = shard * shard_size;
+            // Last shard absorbs the remainder.
+            let end = if shard == n_shards - 1 {
+                dataset.len()
+            } else {
+                start + shard_size
+            };
+            idx.extend_from_slice(&order[start..end]);
+        }
+        parts.push(dataset.subset(&idx));
+    }
+    parts
+}
+
+/// `#C = c` label-skew: each client is assigned `c` classes round-robin and
+/// receives an equal slice of each assigned class's examples.
+pub fn label_skew(
+    dataset: &Dataset,
+    k: usize,
+    n_classes: usize,
+    classes_per_client: usize,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(classes_per_client >= 1 && classes_per_client <= n_classes);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in dataset.labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    for v in by_class.iter_mut() {
+        v.shuffle(rng);
+    }
+    // Assign classes to clients round-robin so every class is covered.
+    let mut client_classes: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next_class = 0usize;
+    for client_list in client_classes.iter_mut() {
+        for _ in 0..classes_per_client {
+            client_list.push(next_class % n_classes);
+            next_class += 1;
+        }
+    }
+    // Count how many clients want each class, then slice evenly.
+    let mut takers = vec![0usize; n_classes];
+    for cs in &client_classes {
+        for &c in cs {
+            takers[c] += 1;
+        }
+    }
+    let mut cursors = vec![0usize; n_classes];
+    let mut parts = Vec::with_capacity(k);
+    for cs in &client_classes {
+        let mut idx = Vec::new();
+        for &c in cs {
+            let pool = &by_class[c];
+            let share = pool.len() / takers[c].max(1);
+            let start = cursors[c];
+            let end = (start + share).min(pool.len());
+            idx.extend_from_slice(&pool[start..end]);
+            cursors[c] = end;
+        }
+        parts.push(dataset.subset(&idx));
+    }
+    parts
+}
+
+/// Samples `Dirichlet(alpha)` over `k` coordinates via normalized Gamma
+/// draws.
+pub fn dirichlet_sample(alpha: f64, k: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        // Degenerate fallback: uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    draws.into_iter().map(|g| g / total).collect()
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler; shapes < 1 are boosted via
+/// `Gamma(shape+1) · U^{1/shape}`.
+pub fn gamma_sample(shape: f64, rng: &mut impl Rng) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal_sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn normal_sample(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn partition_covers_everything(parts: &[Dataset], total: usize) {
+        assert_eq!(parts.iter().map(Dataset::len).sum::<usize>(), total);
+    }
+
+    #[test]
+    fn iid_split_is_balanced() {
+        let (train, _) = generate(1, 1000, 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = iid(&train, 10, &mut rng);
+        partition_covers_everything(&parts, 1000);
+        for p in &parts {
+            assert_eq!(p.len(), 100);
+            // Each IID client should see most classes.
+            assert!(p.distinct_classes() >= 8, "{}", p.distinct_classes());
+        }
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_is_skewed() {
+        let (train, _) = generate(2, 2000, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = dirichlet(&train, 10, 10, 0.3, &mut rng);
+        partition_covers_everything(&parts, 2000);
+        // With alpha = 0.3 at least one client must be heavily concentrated:
+        // its top class holds > 40 % of its data.
+        let mut max_concentration: f64 = 0.0;
+        for p in &parts {
+            if p.is_empty() {
+                continue;
+            }
+            let hist = p.class_histogram(10);
+            let top = *hist.iter().max().unwrap() as f64 / p.len() as f64;
+            max_concentration = max_concentration.max(top);
+        }
+        assert!(max_concentration > 0.4, "max {max_concentration}");
+    }
+
+    #[test]
+    fn dirichlet_high_alpha_approaches_iid() {
+        let (train, _) = generate(3, 2000, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let parts = dirichlet(&train, 5, 10, 100.0, &mut rng);
+        partition_covers_everything(&parts, 2000);
+        for p in &parts {
+            assert!(p.distinct_classes() >= 9);
+        }
+    }
+
+    #[test]
+    fn shards_give_few_classes() {
+        let (train, _) = generate(4, 2000, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = shards(&train, 10, 2, &mut rng);
+        partition_covers_everything(&parts, 2000);
+        for p in &parts {
+            // Two shards → at most ~3 classes (shard boundaries may straddle).
+            assert!(p.distinct_classes() <= 4, "{}", p.distinct_classes());
+        }
+    }
+
+    #[test]
+    fn label_skew_respects_class_budget() {
+        let (train, _) = generate(5, 2000, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let parts = label_skew(&train, 10, 10, 2, &mut rng);
+        for p in &parts {
+            assert!(p.distinct_classes() <= 2);
+            assert!(!p.is_empty());
+        }
+        // Round-robin over 10 clients × 2 classes covers all 10 classes.
+        let mut covered = std::collections::HashSet::new();
+        for p in &parts {
+            covered.extend(p.labels.iter().cloned());
+        }
+        assert_eq!(covered.len(), 10);
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &shape in &[0.5f64, 1.0, 2.0, 5.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
+            // Gamma(shape, 1) has mean = shape.
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sample_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &alpha in &[0.1f64, 0.5, 1.0, 10.0] {
+            let w = dirichlet_sample(alpha, 10, &mut rng);
+            assert_eq!(w.len(), 10);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

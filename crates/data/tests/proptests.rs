@@ -1,0 +1,110 @@
+//! Property-based tests for the dataset substrate: partitions always form an
+//! exact cover, generators are deterministic, and samplers respect their
+//! distributions.
+
+use ofl_data::dataset::Dataset;
+use ofl_data::mnist::{self, SyntheticMnist};
+use ofl_data::partition;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn total_histogram(parts: &[Dataset], classes: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; classes];
+    for p in parts {
+        for (i, c) in p.class_histogram(classes).into_iter().enumerate() {
+            hist[i] += c;
+        }
+    }
+    hist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_partition_is_an_exact_cover(
+        n in 100usize..600,
+        k in 1usize..8,
+        seed in any::<u64>(),
+        scheme in 0usize..3,
+    ) {
+        let (train, _) = mnist::generate(seed, n, 10);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let parts = match scheme {
+            0 => partition::iid(&train, k, &mut rng),
+            1 => partition::dirichlet(&train, k, 10, 0.5, &mut rng),
+            _ => partition::label_skew(&train, k, 10, 2, &mut rng),
+        };
+        prop_assert_eq!(parts.len(), k);
+        // Class-mass conservation for iid/dirichlet (label_skew may leave a
+        // remainder unassigned by design of the equal-slice split).
+        if scheme < 2 {
+            prop_assert_eq!(parts.iter().map(Dataset::len).sum::<usize>(), n);
+            prop_assert_eq!(total_histogram(&parts, 10), train.class_histogram(10));
+        } else {
+            prop_assert!(parts.iter().map(Dataset::len).sum::<usize>() <= n);
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(seed in any::<u64>(), n in 1usize..200) {
+        let (a, at) = mnist::generate(seed, n, 5);
+        let (b, bt) = mnist::generate(seed, n, 5);
+        prop_assert_eq!(a.images.data(), b.images.data());
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(at.images.data(), bt.images.data());
+    }
+
+    #[test]
+    fn samples_stay_in_unit_interval(seed in any::<u64>(), class in 0usize..10) {
+        let gen = SyntheticMnist::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let img = gen.sample_one(class, &mut rng);
+        prop_assert_eq!(img.len(), 784);
+        prop_assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn weighted_sampling_respects_support(
+        seed in any::<u64>(),
+        on in proptest::collection::btree_set(0usize..10, 1..5),
+    ) {
+        let gen = SyntheticMnist::new(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let mut weights = [0.0f64; 10];
+        for &c in &on {
+            weights[c] = 1.0;
+        }
+        let ds = gen.sample_weighted(100, &weights, &mut rng);
+        for &l in &ds.labels {
+            prop_assert!(on.contains(&l), "label {l} outside support {on:?}");
+        }
+    }
+
+    #[test]
+    fn subset_then_concat_roundtrip(
+        n in 10usize..100,
+        seed in any::<u64>(),
+        split_at in 1usize..9,
+    ) {
+        let (ds, _) = mnist::generate(seed, n, 5);
+        let cut = n * split_at / 10;
+        let left: Vec<usize> = (0..cut).collect();
+        let right: Vec<usize> = (cut..n).collect();
+        let a = ds.subset(&left);
+        let b = ds.subset(&right);
+        let joined = Dataset::concat(&[&a, &b]);
+        prop_assert_eq!(joined.images.data(), ds.images.data());
+        prop_assert_eq!(joined.labels, ds.labels);
+    }
+
+    #[test]
+    fn dirichlet_samples_form_simplex(alpha in 0.05f64..50.0, k in 1usize..20, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = partition::dirichlet_sample(alpha, k, &mut rng);
+        prop_assert_eq!(w.len(), k);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

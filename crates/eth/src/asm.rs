@@ -1,0 +1,330 @@
+//! A small EVM assembler with labels, used to author the OFL-W3 contracts
+//! in readable mnemonics instead of raw bytes.
+//!
+//! Label references assemble to fixed-width `PUSH2` immediates so that a
+//! single pass can lay out code and a second pass can patch destinations.
+
+use ofl_primitives::u256::U256;
+
+/// One assembly instruction.
+#[derive(Debug, Clone)]
+pub enum Op {
+    // Terminators & control
+    Stop,
+    Return,
+    Revert,
+    Jump,
+    JumpI,
+    /// `JUMPDEST` carrying a label name.
+    Label(&'static str),
+    /// `PUSH2 <label address>` — patched in pass two.
+    PushLabel(&'static str),
+
+    // Arithmetic / logic
+    Add,
+    Mul,
+    Sub,
+    Div,
+    Mod,
+    Exp,
+    Lt,
+    Gt,
+    Eq,
+    IsZero,
+    And,
+    Or,
+    Xor,
+    Not,
+    Byte,
+    Shl,
+    Shr,
+    Keccak256,
+
+    // Environment
+    Address,
+    Balance,
+    Origin,
+    Caller,
+    CallValue,
+    CallDataLoad,
+    CallDataSize,
+    CallDataCopy,
+    CodeSize,
+    CodeCopy,
+    Timestamp,
+    Number,
+    ChainId,
+    SelfBalance,
+
+    // Stack / memory / storage
+    Pop,
+    MLoad,
+    MStore,
+    MStore8,
+    SLoad,
+    SStore,
+    Pc,
+    MSize,
+    Gas,
+    /// `PUSH1`–`PUSH32` of a constant (width chosen from the value).
+    Push(U256),
+    /// `PUSH` with an explicit byte width (1–32).
+    PushN(u8, U256),
+    /// `DUP1`–`DUP16`.
+    Dup(u8),
+    /// `SWAP1`–`SWAP16`.
+    Swap(u8),
+    /// `LOG0`–`LOG4`.
+    Log(u8),
+    /// Raw byte escape hatch.
+    Raw(u8),
+}
+
+/// Errors from assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A `PushLabel` refers to a label that never appears.
+    UnknownLabel(String),
+    /// The same label appears twice.
+    DuplicateLabel(String),
+    /// Label address exceeds 16 bits (program too large for PUSH2 patching).
+    ProgramTooLarge,
+    /// Dup/Swap/Log depth out of range.
+    BadOperand(&'static str),
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label {l:?}"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            AsmError::ProgramTooLarge => write!(f, "program exceeds PUSH2-addressable size"),
+            AsmError::BadOperand(what) => write!(f, "operand out of range for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn op_size(op: &Op) -> Result<usize, AsmError> {
+    Ok(match op {
+        Op::Label(_) => 1,
+        Op::PushLabel(_) => 3, // PUSH2 + 2 bytes
+        Op::Push(v) => {
+            let bytes = push_width(v);
+            1 + bytes
+        }
+        Op::PushN(n, _) => {
+            if *n == 0 || *n > 32 {
+                return Err(AsmError::BadOperand("PushN"));
+            }
+            1 + *n as usize
+        }
+        _ => 1,
+    })
+}
+
+fn push_width(v: &U256) -> usize {
+    let bits = v.bits().max(1);
+    (bits as usize).div_ceil(8)
+}
+
+/// Assembles a program into bytecode.
+pub fn assemble(ops: &[Op]) -> Result<Vec<u8>, AsmError> {
+    // Pass 1: label layout.
+    let mut labels = std::collections::HashMap::new();
+    let mut offset = 0usize;
+    for op in ops {
+        if let Op::Label(name) = op {
+            if labels.insert(*name, offset).is_some() {
+                return Err(AsmError::DuplicateLabel(name.to_string()));
+            }
+        }
+        offset += op_size(op)?;
+    }
+    if offset > u16::MAX as usize {
+        return Err(AsmError::ProgramTooLarge);
+    }
+
+    // Pass 2: emission.
+    let mut out = Vec::with_capacity(offset);
+    for op in ops {
+        match op {
+            Op::Stop => out.push(0x00),
+            Op::Add => out.push(0x01),
+            Op::Mul => out.push(0x02),
+            Op::Sub => out.push(0x03),
+            Op::Div => out.push(0x04),
+            Op::Mod => out.push(0x06),
+            Op::Exp => out.push(0x0a),
+            Op::Lt => out.push(0x10),
+            Op::Gt => out.push(0x11),
+            Op::Eq => out.push(0x14),
+            Op::IsZero => out.push(0x15),
+            Op::And => out.push(0x16),
+            Op::Or => out.push(0x17),
+            Op::Xor => out.push(0x18),
+            Op::Not => out.push(0x19),
+            Op::Byte => out.push(0x1a),
+            Op::Shl => out.push(0x1b),
+            Op::Shr => out.push(0x1c),
+            Op::Keccak256 => out.push(0x20),
+            Op::Address => out.push(0x30),
+            Op::Balance => out.push(0x31),
+            Op::Origin => out.push(0x32),
+            Op::Caller => out.push(0x33),
+            Op::CallValue => out.push(0x34),
+            Op::CallDataLoad => out.push(0x35),
+            Op::CallDataSize => out.push(0x36),
+            Op::CallDataCopy => out.push(0x37),
+            Op::CodeSize => out.push(0x38),
+            Op::CodeCopy => out.push(0x39),
+            Op::Timestamp => out.push(0x42),
+            Op::Number => out.push(0x43),
+            Op::ChainId => out.push(0x46),
+            Op::SelfBalance => out.push(0x47),
+            Op::Pop => out.push(0x50),
+            Op::MLoad => out.push(0x51),
+            Op::MStore => out.push(0x52),
+            Op::MStore8 => out.push(0x53),
+            Op::SLoad => out.push(0x54),
+            Op::SStore => out.push(0x55),
+            Op::Jump => out.push(0x56),
+            Op::JumpI => out.push(0x57),
+            Op::Pc => out.push(0x58),
+            Op::MSize => out.push(0x59),
+            Op::Gas => out.push(0x5a),
+            Op::Label(_) => out.push(0x5b),
+            Op::PushLabel(name) => {
+                let addr = *labels
+                    .get(name)
+                    .ok_or_else(|| AsmError::UnknownLabel(name.to_string()))?;
+                out.push(0x61); // PUSH2
+                out.extend_from_slice(&(addr as u16).to_be_bytes());
+            }
+            Op::Push(v) => {
+                let width = push_width(v);
+                out.push(0x5f + width as u8);
+                let bytes = v.to_be_bytes();
+                out.extend_from_slice(&bytes[32 - width..]);
+            }
+            Op::PushN(n, v) => {
+                out.push(0x5f + n);
+                let bytes = v.to_be_bytes();
+                out.extend_from_slice(&bytes[32 - *n as usize..]);
+            }
+            Op::Dup(n) => {
+                if *n == 0 || *n > 16 {
+                    return Err(AsmError::BadOperand("Dup"));
+                }
+                out.push(0x80 + n - 1);
+            }
+            Op::Swap(n) => {
+                if *n == 0 || *n > 16 {
+                    return Err(AsmError::BadOperand("Swap"));
+                }
+                out.push(0x90 + n - 1);
+            }
+            Op::Log(n) => {
+                if *n > 4 {
+                    return Err(AsmError::BadOperand("Log"));
+                }
+                out.push(0xa0 + n);
+            }
+            Op::Return => out.push(0xf3),
+            Op::Revert => out.push(0xfd),
+            Op::Raw(b) => out.push(*b),
+        }
+    }
+    Ok(out)
+}
+
+/// Wraps runtime bytecode in a standard init-code stub that copies the
+/// runtime to memory and returns it (what solc's constructor epilogue does).
+pub fn deployment_code(runtime: &[u8]) -> Vec<u8> {
+    // PUSH2 len PUSH2 offset PUSH1 0 CODECOPY PUSH2 len PUSH1 0 RETURN
+    // offset = size of this stub (15 bytes).
+    const STUB: usize = 15;
+    let len = runtime.len() as u16;
+    let off = STUB as u16;
+    let mut out = Vec::with_capacity(STUB + runtime.len());
+    out.push(0x61);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.push(0x61);
+    out.extend_from_slice(&off.to_be_bytes());
+    out.push(0x60);
+    out.push(0x00);
+    out.push(0x39); // CODECOPY
+    out.push(0x61);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.push(0x60);
+    out.push(0x00);
+    out.push(0xf3); // RETURN
+    debug_assert_eq!(out.len(), STUB);
+    out.extend_from_slice(runtime);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_width_minimal() {
+        assert_eq!(assemble(&[Op::Push(U256::ZERO)]).unwrap(), vec![0x60, 0x00]);
+        assert_eq!(assemble(&[Op::Push(U256::from(0xffu64))]).unwrap(), vec![0x60, 0xff]);
+        assert_eq!(
+            assemble(&[Op::Push(U256::from(0x100u64))]).unwrap(),
+            vec![0x61, 0x01, 0x00]
+        );
+        let max = assemble(&[Op::Push(U256::MAX)]).unwrap();
+        assert_eq!(max[0], 0x7f);
+        assert_eq!(max.len(), 33);
+    }
+
+    #[test]
+    fn labels_patch_to_offsets() {
+        let prog = [
+            Op::PushLabel("end"),
+            Op::Jump,
+            Op::Push(U256::from(1u64)), // skipped
+            Op::Label("end"),
+            Op::Stop,
+        ];
+        let code = assemble(&prog).unwrap();
+        // PUSH2 0x0006 JUMP PUSH1 0x01 JUMPDEST STOP
+        assert_eq!(code, vec![0x61, 0x00, 0x06, 0x56, 0x60, 0x01, 0x5b, 0x00]);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_labels_rejected() {
+        assert!(matches!(
+            assemble(&[Op::Label("a"), Op::Label("a")]),
+            Err(AsmError::DuplicateLabel(_))
+        ));
+        assert!(matches!(
+            assemble(&[Op::PushLabel("missing")]),
+            Err(AsmError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn operand_ranges_enforced() {
+        assert!(assemble(&[Op::Dup(0)]).is_err());
+        assert!(assemble(&[Op::Dup(17)]).is_err());
+        assert!(assemble(&[Op::Swap(17)]).is_err());
+        assert!(assemble(&[Op::Log(5)]).is_err());
+        assert!(assemble(&[Op::Log(4)]).is_ok());
+    }
+
+    #[test]
+    fn deployment_stub_layout() {
+        let runtime = vec![0x60, 0x01, 0x00];
+        let init = deployment_code(&runtime);
+        assert_eq!(init.len(), 15 + 3);
+        assert_eq!(&init[15..], &runtime[..]);
+        // Stub starts with PUSH2 <len>
+        assert_eq!(init[0], 0x61);
+        assert_eq!(u16::from_be_bytes([init[1], init[2]]), 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Blocks, receipts, and logs bloom filters.
+
+use crate::evm::LogEntry;
+use ofl_primitives::rlp::{self, Item};
+use ofl_primitives::u256::U256;
+use ofl_primitives::{keccak256, H160, H256};
+
+/// A 2048-bit logs bloom filter, per the Yellow Paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom(pub [u8; 256]);
+
+impl Default for Bloom {
+    fn default() -> Self {
+        Bloom([0; 256])
+    }
+}
+
+impl Bloom {
+    /// Adds a value: three bits selected by the low 11 bits of each of the
+    /// first three 2-byte pairs of its Keccak-256.
+    pub fn accrue(&mut self, value: &[u8]) {
+        let digest = keccak256(value);
+        for i in 0..3 {
+            let bit_index =
+                ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
+            // bit 0 is the most significant bit of the last byte
+            let byte = 255 - bit_index / 8;
+            self.0[byte] |= 1 << (bit_index % 8);
+        }
+    }
+
+    /// Whether a value is possibly present (no false negatives).
+    pub fn contains(&self, value: &[u8]) -> bool {
+        let digest = keccak256(value);
+        for i in 0..3 {
+            let bit_index =
+                ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
+            let byte = 255 - bit_index / 8;
+            if self.0[byte] & (1 << (bit_index % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Folds a log's address and topics in.
+    pub fn accrue_log(&mut self, log: &LogEntry) {
+        self.accrue(log.address.as_bytes());
+        for t in &log.topics {
+            self.accrue(t.as_bytes());
+        }
+    }
+}
+
+/// Why a transaction's execution finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Executed and committed.
+    Success,
+    /// Reverted (state rolled back, fee charged).
+    Reverted,
+    /// Exceptional halt (out of gas / invalid opcode).
+    Failed,
+}
+
+/// A transaction receipt.
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    /// Hash of the transaction this receipt belongs to.
+    pub tx_hash: H256,
+    /// Execution status.
+    pub status: TxStatus,
+    /// Gas consumed by this transaction (after refunds).
+    pub gas_used: u64,
+    /// Effective price paid per gas unit, in wei.
+    pub effective_gas_price: U256,
+    /// Total fee paid: `gas_used × effective_gas_price`.
+    pub fee: U256,
+    /// Address of a contract created by this transaction, if any.
+    pub contract_address: Option<H160>,
+    /// Logs emitted (empty unless `Success`).
+    pub logs: Vec<LogEntry>,
+    /// Block number this receipt landed in.
+    pub block_number: u64,
+    /// Revert/return payload (useful for error reporting).
+    pub output: Vec<u8>,
+}
+
+impl Receipt {
+    /// True iff execution succeeded.
+    pub fn is_success(&self) -> bool {
+        self.status == TxStatus::Success
+    }
+}
+
+/// A block header.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// Parent block hash.
+    pub parent_hash: H256,
+    /// Block height.
+    pub number: u64,
+    /// Unix timestamp (seconds).
+    pub timestamp: u64,
+    /// Fee recipient (PoA signer).
+    pub coinbase: H160,
+    /// Cumulative gas used by all transactions.
+    pub gas_used: u64,
+    /// Block gas limit.
+    pub gas_limit: u64,
+    /// EIP-1559 base fee for this block.
+    pub base_fee: U256,
+    /// Merkle-style commitment over transaction hashes (flat Keccak here).
+    pub tx_root: H256,
+    /// Logs bloom of all receipts.
+    pub bloom: Bloom,
+}
+
+impl Header {
+    /// The block hash: Keccak of the RLP of the header fields.
+    pub fn hash(&self) -> H256 {
+        let item = Item::List(vec![
+            Item::bytes(self.parent_hash.as_bytes()),
+            Item::u64(self.number),
+            Item::u64(self.timestamp),
+            Item::bytes(self.coinbase.as_bytes()),
+            Item::u64(self.gas_used),
+            Item::u64(self.gas_limit),
+            Item::uint(&self.base_fee),
+            Item::bytes(self.tx_root.as_bytes()),
+            Item::bytes(self.bloom.0),
+        ]);
+        H256::from_bytes(keccak256(&rlp::encode(&item)))
+    }
+}
+
+/// A full block: header plus transaction hashes (bodies live in the chain's
+/// transaction index).
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The header.
+    pub header: Header,
+    /// Hashes of the included transactions, in execution order.
+    pub tx_hashes: Vec<H256>,
+}
+
+impl Block {
+    /// The block hash.
+    pub fn hash(&self) -> H256 {
+        self.header.hash()
+    }
+}
+
+/// Computes the flat transaction commitment: Keccak over concatenated hashes.
+pub fn tx_root(hashes: &[H256]) -> H256 {
+    let mut buf = Vec::with_capacity(hashes.len() * 32);
+    for h in hashes {
+        buf.extend_from_slice(h.as_bytes());
+    }
+    H256::from_bytes(keccak256(&buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let mut bloom = Bloom::default();
+        let values: Vec<Vec<u8>> = (0..50u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        for v in &values {
+            bloom.accrue(v);
+        }
+        for v in &values {
+            assert!(bloom.contains(v));
+        }
+    }
+
+    #[test]
+    fn bloom_rejects_most_absent_values() {
+        let mut bloom = Bloom::default();
+        bloom.accrue(b"present");
+        let mut misses = 0;
+        for i in 0..1000u32 {
+            if !bloom.contains(&i.to_be_bytes()) {
+                misses += 1;
+            }
+        }
+        // With 3 bits set out of 2048, almost everything must miss.
+        assert!(misses > 990, "only {misses} misses");
+    }
+
+    #[test]
+    fn bloom_accrues_log_topics() {
+        let log = LogEntry {
+            address: H160::from_slice(&[9; 20]),
+            topics: vec![H256::from_slice(&[1; 32])],
+            data: vec![],
+        };
+        let mut bloom = Bloom::default();
+        bloom.accrue_log(&log);
+        assert!(bloom.contains(log.address.as_bytes()));
+        assert!(bloom.contains(log.topics[0].as_bytes()));
+    }
+
+    #[test]
+    fn header_hash_changes_with_fields() {
+        let base = Header {
+            parent_hash: H256::ZERO,
+            number: 1,
+            timestamp: 1000,
+            coinbase: H160::ZERO,
+            gas_used: 0,
+            gas_limit: 30_000_000,
+            base_fee: U256::from(1_000_000_000u64),
+            tx_root: H256::ZERO,
+            bloom: Bloom::default(),
+        };
+        let h0 = base.hash();
+        let mut h = base.clone();
+        h.number = 2;
+        assert_ne!(h.hash(), h0);
+        let mut h = base.clone();
+        h.timestamp = 1012;
+        assert_ne!(h.hash(), h0);
+    }
+
+    #[test]
+    fn tx_root_order_sensitive() {
+        let a = H256::from_slice(&[1; 32]);
+        let b = H256::from_slice(&[2; 32]);
+        assert_ne!(tx_root(&[a, b]), tx_root(&[b, a]));
+        assert_eq!(tx_root(&[]), H256::from_bytes(keccak256(&[])));
+    }
+}

@@ -1,0 +1,150 @@
+//! The gas schedule (Yellow-Paper / post-Berlin subset used by the EVM
+//! interpreter) and intrinsic-gas computation.
+//!
+//! These constants are what make Fig 5 of the paper reproducible: the fee
+//! ordering *deployment ≫ uploadCid ≈ payment ≫ reads (free)* falls directly
+//! out of `CREATE` code-deposit costs, `SSTORE` write costs, and the zero
+//! cost of `eth_call`-style reads.
+
+/// Base cost charged for every transaction.
+pub const TX_BASE: u64 = 21_000;
+/// Additional base cost for contract-creating transactions.
+pub const TX_CREATE_EXTRA: u64 = 32_000;
+/// Per-byte calldata cost: zero bytes.
+pub const TX_DATA_ZERO: u64 = 4;
+/// Per-byte calldata cost: nonzero bytes.
+pub const TX_DATA_NONZERO: u64 = 16;
+
+/// Cheapest opcode tier (PC, MSIZE, GAS, ...).
+pub const BASE: u64 = 2;
+/// Very-low tier (ADD, SUB, PUSH, DUP, SWAP, ...).
+pub const VERY_LOW: u64 = 3;
+/// Low tier (MUL, DIV, MOD, ...).
+pub const LOW: u64 = 5;
+/// Mid tier (ADDMOD, MULMOD, JUMP).
+pub const MID: u64 = 8;
+/// High tier (JUMPI).
+pub const HIGH: u64 = 10;
+/// JUMPDEST marker.
+pub const JUMPDEST: u64 = 1;
+
+/// SLOAD (post-Berlin warm access).
+pub const SLOAD_WARM: u64 = 100;
+/// SLOAD on a cold slot (EIP-2929).
+pub const SLOAD_COLD: u64 = 2_100;
+/// SSTORE setting a zero slot to nonzero.
+pub const SSTORE_SET: u64 = 20_000;
+/// SSTORE updating a nonzero slot.
+pub const SSTORE_RESET: u64 = 2_900;
+/// SSTORE no-op / dirty update (warm).
+pub const SSTORE_WARM: u64 = 100;
+/// Cold surcharge for the first touch of a slot in a transaction.
+pub const SSTORE_COLD_SURCHARGE: u64 = 2_100;
+/// Refund for clearing a slot to zero (EIP-3529 value).
+pub const SSTORE_CLEAR_REFUND: u64 = 4_800;
+
+/// KECCAK256 static cost.
+pub const KECCAK256: u64 = 30;
+/// KECCAK256 per 32-byte word.
+pub const KECCAK256_WORD: u64 = 6;
+
+/// Memory expansion: linear coefficient per 32-byte word.
+pub const MEMORY_WORD: u64 = 3;
+
+/// LOG static cost.
+pub const LOG: u64 = 375;
+/// LOG per topic.
+pub const LOG_TOPIC: u64 = 375;
+/// LOG per data byte.
+pub const LOG_DATA: u64 = 8;
+
+/// Per-byte cost of depositing contract code at deployment.
+pub const CODE_DEPOSIT_BYTE: u64 = 200;
+
+/// Cost of a nonzero-value transfer inside CALL.
+pub const CALL_VALUE: u64 = 9_000;
+/// Stipend forwarded with a value transfer.
+pub const CALL_STIPEND: u64 = 2_300;
+/// Cold account access (EIP-2929).
+pub const ACCOUNT_COLD: u64 = 2_600;
+/// Warm account access.
+pub const ACCOUNT_WARM: u64 = 100;
+/// Surcharge for creating a new account via value transfer.
+pub const NEW_ACCOUNT: u64 = 25_000;
+
+/// COPY operations per 32-byte word (CALLDATACOPY, CODECOPY, ...).
+pub const COPY_WORD: u64 = 3;
+
+/// BALANCE/EXTCODESIZE-style account queries (warm).
+pub const EXT_WARM: u64 = 100;
+
+/// EXP static cost.
+pub const EXP: u64 = 10;
+/// EXP per byte of exponent.
+pub const EXP_BYTE: u64 = 50;
+
+/// Maximum refund fraction of gas used (EIP-3529: 1/5).
+pub const MAX_REFUND_QUOTIENT: u64 = 5;
+
+/// Number of 32-byte words needed to hold `bytes` bytes.
+#[inline]
+pub fn words(bytes: u64) -> u64 {
+    bytes.div_ceil(32)
+}
+
+/// Quadratic memory cost for a memory of `w` words:
+/// `MEMORY_WORD * w + w² / 512`.
+pub fn memory_cost(w: u64) -> u64 {
+    MEMORY_WORD * w + (w * w) / 512
+}
+
+/// Intrinsic gas for a transaction: the amount charged before a single
+/// opcode executes.
+pub fn intrinsic_gas(data: &[u8], is_create: bool) -> u64 {
+    let mut gas = TX_BASE;
+    if is_create {
+        gas += TX_CREATE_EXTRA;
+    }
+    for &b in data {
+        gas += if b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO };
+    }
+    gas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_plain_transfer() {
+        assert_eq!(intrinsic_gas(&[], false), 21_000);
+    }
+
+    #[test]
+    fn intrinsic_counts_zero_and_nonzero_bytes() {
+        // 2 nonzero + 3 zero bytes
+        let data = [1u8, 2, 0, 0, 0];
+        assert_eq!(intrinsic_gas(&data, false), 21_000 + 2 * 16 + 3 * 4);
+    }
+
+    #[test]
+    fn intrinsic_create_extra() {
+        assert_eq!(intrinsic_gas(&[], true), 53_000);
+    }
+
+    #[test]
+    fn memory_cost_is_quadratic() {
+        assert_eq!(memory_cost(0), 0);
+        assert_eq!(memory_cost(1), 3);
+        assert_eq!(memory_cost(32), 32 * 3 + 2); // 1 KiB
+        assert!(memory_cost(10_000) > 10 * memory_cost(1_000));
+    }
+
+    #[test]
+    fn word_rounding() {
+        assert_eq!(words(0), 0);
+        assert_eq!(words(1), 1);
+        assert_eq!(words(32), 1);
+        assert_eq!(words(33), 2);
+    }
+}

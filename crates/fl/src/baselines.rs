@@ -1,0 +1,382 @@
+//! Baseline aggregators: naive one-shot weight averaging, one-shot
+//! ensembling (with optional knowledge distillation, as in Guha et al.'s
+//! original one-shot FL), FedOV-lite confidence voting, and the multi-round
+//! FedAvg reference that motivates one-shot FL on Web 3.0 in the first
+//! place.
+
+use crate::client::{continue_training, train_local, TrainConfig, TrainedModel};
+use ofl_data::dataset::Dataset;
+use ofl_tensor::nn::Mlp;
+use ofl_tensor::optim::{Adam, Optimizer};
+use ofl_tensor::tensor::{softmax_rows, Tensor};
+
+/// Errors from baseline aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateError {
+    /// No models supplied.
+    NoModels,
+    /// Architectures differ (naive averaging needs identical shapes).
+    ShapeMismatch,
+}
+
+impl core::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AggregateError::NoModels => write!(f, "no models to aggregate"),
+            AggregateError::ShapeMismatch => write!(f, "models have different architectures"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Naive one-shot aggregation: coordinate-wise weighted average of
+/// parameters. Ignores the permutation symmetry PFNM handles — the baseline
+/// PFNM beats.
+pub fn average_weights(models: &[Mlp], weights: &[usize]) -> Result<Mlp, AggregateError> {
+    let first = models.first().ok_or(AggregateError::NoModels)?;
+    for m in models {
+        if m.dims() != first.dims() {
+            return Err(AggregateError::ShapeMismatch);
+        }
+    }
+    let w: Vec<f64> = if weights.len() == models.len() {
+        weights.iter().map(|&x| x.max(1) as f64).collect()
+    } else {
+        vec![1.0; models.len()]
+    };
+    let total: f64 = w.iter().sum();
+    let mut out = first.clone();
+    for layer in &mut out.layers {
+        layer.weight.scale(0.0);
+        for b in layer.bias.iter_mut() {
+            *b = 0.0;
+        }
+    }
+    for (m, &wj) in models.iter().zip(&w) {
+        let alpha = (wj / total) as f32;
+        for (dst, src) in out.layers.iter_mut().zip(&m.layers) {
+            dst.weight.axpy(alpha, &src.weight);
+            for (db, &sb) in dst.bias.iter_mut().zip(&src.bias) {
+                *db += alpha * sb;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A one-shot ensemble: keeps every local model and averages their softmax
+/// outputs at inference time.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    /// Member models.
+    pub members: Vec<Mlp>,
+    /// Member weights (typically example counts).
+    pub weights: Vec<f64>,
+}
+
+impl Ensemble {
+    /// Builds an ensemble from local models.
+    pub fn new(models: Vec<Mlp>, weights: &[usize]) -> Result<Ensemble, AggregateError> {
+        if models.is_empty() {
+            return Err(AggregateError::NoModels);
+        }
+        let weights = if weights.len() == models.len() {
+            weights.iter().map(|&w| w.max(1) as f64).collect()
+        } else {
+            vec![1.0; models.len()]
+        };
+        Ok(Ensemble {
+            members: models,
+            weights,
+        })
+    }
+
+    /// Weighted average of member softmax probabilities.
+    pub fn predict_proba(&self, x: &Tensor) -> Tensor {
+        let total: f64 = self.weights.iter().sum();
+        let mut acc = Tensor::zeros(x.rows(), self.members[0].dims().last().copied().unwrap());
+        for (m, &w) in self.members.iter().zip(&self.weights) {
+            let p = m.predict_proba(x);
+            acc.axpy((w / total) as f32, &p);
+        }
+        acc
+    }
+
+    /// Hard predictions.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.predict_proba(x).argmax_rows()
+    }
+
+    /// Accuracy on a test set.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
+        let preds = self.predict(x);
+        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64
+            / labels.len().max(1) as f64
+    }
+
+    /// FedOV-lite voting: each member votes with its max-softmax confidence;
+    /// members unsure about an input (low max probability) contribute
+    /// little. A lightweight stand-in for FedOV's open-set "unknown" class.
+    pub fn predict_confidence_vote(&self, x: &Tensor) -> Vec<usize> {
+        let classes = self.members[0].dims().last().copied().unwrap();
+        let mut scores = Tensor::zeros(x.rows(), classes);
+        for m in &self.members {
+            let p = m.predict_proba(x);
+            for r in 0..x.rows() {
+                let row = p.row(r);
+                let mut best = 0usize;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = c;
+                    }
+                }
+                let confidence = row[best];
+                // Squared confidence sharpens the gap between sure and
+                // unsure voters (FedOV's unknown class plays this role).
+                let v = scores.get(r, best) + confidence * confidence;
+                scores.set(r, best, v);
+            }
+        }
+        scores.argmax_rows()
+    }
+
+    /// Accuracy under confidence voting.
+    pub fn accuracy_confidence_vote(&self, x: &Tensor, labels: &[usize]) -> f64 {
+        let preds = self.predict_confidence_vote(x);
+        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64
+            / labels.len().max(1) as f64
+    }
+
+    /// Knowledge distillation (Guha et al. 2019): trains a single student
+    /// on `public_data` (unlabeled) to mimic the ensemble's soft labels.
+    pub fn distill(
+        &self,
+        public_data: &Tensor,
+        student_dims: &[usize],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Mlp {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut student = Mlp::new(student_dims, &mut rng);
+        let targets = self.predict_proba(public_data);
+        let mut opt = Adam::new(lr);
+        let batch = 64;
+        for _ in 0..epochs {
+            for start in (0..public_data.rows()).step_by(batch) {
+                let end = (start + batch).min(public_data.rows());
+                let rows = end - start;
+                let d = public_data.cols();
+                let mut xb = Vec::with_capacity(rows * d);
+                for r in start..end {
+                    xb.extend_from_slice(public_data.row(r));
+                }
+                let x = Tensor::from_vec(rows, d, xb);
+                let cache = student.forward_cached(&x);
+                // Soft-target cross-entropy gradient: softmax(student) − target.
+                let probs = softmax_rows(&cache.logits);
+                let mut grad = probs;
+                for r in 0..rows {
+                    for c in 0..grad.cols() {
+                        let t = targets.get(start + r, c);
+                        let v = grad.get(r, c) - t;
+                        grad.set(r, c, v / rows as f32);
+                    }
+                }
+                let grads = student.backward(&cache, &grad);
+                opt.step(&mut student, &grads);
+            }
+        }
+        student
+    }
+}
+
+/// FedAvg (McMahan et al. 2017): the multi-round baseline. Each round the
+/// server broadcasts the global model, every client trains locally, and the
+/// server takes the data-weighted parameter average.
+pub fn fedavg(
+    silos: &[Dataset],
+    config: &TrainConfig,
+    rounds: usize,
+) -> Result<Mlp, AggregateError> {
+    if silos.is_empty() {
+        return Err(AggregateError::NoModels);
+    }
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut global = Mlp::new(&config.dims, &mut rng);
+    for round in 0..rounds {
+        let mut locals = Vec::with_capacity(silos.len());
+        let mut weights = Vec::with_capacity(silos.len());
+        for (j, silo) in silos.iter().enumerate() {
+            if silo.is_empty() {
+                continue;
+            }
+            let cfg = TrainConfig {
+                seed: config
+                    .seed
+                    .wrapping_add(1 + round as u64 * 1000 + j as u64),
+                ..config.clone()
+            };
+            let trained = continue_training(global.clone(), silo, &cfg);
+            weights.push(trained.n_examples);
+            locals.push(trained.model);
+        }
+        global = average_weights(&locals, &weights)?;
+    }
+    Ok(global)
+}
+
+/// Trains every silo locally (the shared first step of all one-shot
+/// methods). Returns the trained models in silo order, skipping empty silos.
+pub fn train_all_silos(silos: &[Dataset], config: &TrainConfig) -> Vec<TrainedModel> {
+    silos
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(j, silo)| {
+            let cfg = TrainConfig {
+                seed: config.seed.wrapping_add(j as u64 * 7919),
+                ..config.clone()
+            };
+            train_local(silo, &cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_data::{mnist, partition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            dims: vec![784, 32, 10],
+            epochs: 3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn average_of_identical_models_is_identity() {
+        let (train, test) = mnist::generate(30, 300, 100);
+        let m = train_local(&train, &quick_config()).model;
+        let avg = average_weights(&[m.clone(), m.clone()], &[1, 1]).unwrap();
+        // Averaging identical models changes nothing.
+        assert_eq!(avg.predict(&test.images), m.predict(&test.images));
+    }
+
+    #[test]
+    fn average_weights_weighted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&[2, 3, 2], &mut rng);
+        let b = Mlp::new(&[2, 3, 2], &mut rng);
+        let avg = average_weights(&[a.clone(), b.clone()], &[3, 1]).unwrap();
+        let expect = 0.75 * a.layers[0].weight.get(0, 0) + 0.25 * b.layers[0].weight.get(0, 0);
+        assert!((avg.layers[0].weight.get(0, 0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_rejects_mismatched() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Mlp::new(&[2, 3, 2], &mut rng);
+        let b = Mlp::new(&[2, 4, 2], &mut rng);
+        assert_eq!(
+            average_weights(&[a, b], &[1, 1]).unwrap_err(),
+            AggregateError::ShapeMismatch
+        );
+        assert_eq!(
+            average_weights(&[], &[]).unwrap_err(),
+            AggregateError::NoModels
+        );
+    }
+
+    #[test]
+    fn ensemble_beats_weak_members_under_skew() {
+        let (train, test) = mnist::generate(31, 1500, 300);
+        let mut rng = StdRng::seed_from_u64(3);
+        let silos = partition::label_skew(&train, 5, 10, 2, &mut rng);
+        let trained = train_all_silos(&silos, &quick_config());
+        let weights: Vec<usize> = trained.iter().map(|t| t.n_examples).collect();
+        let accs: Vec<f64> = trained
+            .iter()
+            .map(|t| t.model.accuracy(&test.images, &test.labels))
+            .collect();
+        let models: Vec<Mlp> = trained.into_iter().map(|t| t.model).collect();
+        let ensemble = Ensemble::new(models, &weights).unwrap();
+        let ens_acc = ensemble.accuracy(&test.images, &test.labels);
+        let worst = accs.iter().cloned().fold(1.0, f64::min);
+        assert!(
+            ens_acc > worst + 0.15,
+            "ensemble {ens_acc} vs worst member {worst}"
+        );
+    }
+
+    #[test]
+    fn confidence_vote_close_to_soft_vote() {
+        let (train, test) = mnist::generate(32, 1000, 200);
+        let mut rng = StdRng::seed_from_u64(4);
+        let silos = partition::iid(&train, 4, &mut rng);
+        let trained = train_all_silos(&silos, &quick_config());
+        let weights: Vec<usize> = trained.iter().map(|t| t.n_examples).collect();
+        let ensemble =
+            Ensemble::new(trained.into_iter().map(|t| t.model).collect(), &weights).unwrap();
+        let soft = ensemble.accuracy(&test.images, &test.labels);
+        let vote = ensemble.accuracy_confidence_vote(&test.images, &test.labels);
+        assert!((soft - vote).abs() < 0.15, "soft {soft} vs vote {vote}");
+        assert!(vote > 0.6);
+    }
+
+    #[test]
+    fn distillation_recovers_most_of_ensemble() {
+        let (train, test) = mnist::generate(33, 1200, 300);
+        let mut rng = StdRng::seed_from_u64(5);
+        let silos = partition::iid(&train, 4, &mut rng);
+        let trained = train_all_silos(&silos, &quick_config());
+        let weights: Vec<usize> = trained.iter().map(|t| t.n_examples).collect();
+        let ensemble =
+            Ensemble::new(trained.into_iter().map(|t| t.model).collect(), &weights).unwrap();
+        let ens_acc = ensemble.accuracy(&test.images, &test.labels);
+        // Public unlabeled pool from the same distribution.
+        let gen = mnist::SyntheticMnist::new(33);
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let public = gen.sample(800, &mut rng2);
+        let student = ensemble.distill(&public.images, &[784, 32, 10], 8, 0.002, 7);
+        let student_acc = student.accuracy(&test.images, &test.labels);
+        assert!(
+            student_acc > ens_acc - 0.15,
+            "student {student_acc} vs ensemble {ens_acc}"
+        );
+    }
+
+    #[test]
+    fn fedavg_improves_with_rounds() {
+        let (train, test) = mnist::generate(34, 1200, 300);
+        let mut rng = StdRng::seed_from_u64(8);
+        let silos = partition::dirichlet(&train, 5, 10, 1.0, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..quick_config()
+        };
+        let one_round = fedavg(&silos, &cfg, 1).unwrap();
+        let five_rounds = fedavg(&silos, &cfg, 5).unwrap();
+        let acc1 = one_round.accuracy(&test.images, &test.labels);
+        let acc5 = five_rounds.accuracy(&test.images, &test.labels);
+        assert!(acc5 > acc1, "round 5 ({acc5}) must beat round 1 ({acc1})");
+    }
+
+    #[test]
+    fn train_all_silos_skips_empty() {
+        let (train, _) = mnist::generate(35, 100, 10);
+        let empty = train.subset(&[]);
+        let silos = vec![train.clone(), empty, train];
+        let trained = train_all_silos(&silos, &quick_config());
+        assert_eq!(trained.len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Local training: what a model owner runs on its private silo before
+//! participating in one-shot FL.
+
+use ofl_data::dataset::Dataset;
+use ofl_tensor::nn::Mlp;
+use ofl_tensor::optim::{Adam, Optimizer, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which optimizer local training uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalOptimizer {
+    /// Adam (the paper's lr = 0.001 setting).
+    Adam { lr: f32 },
+    /// SGD with momentum.
+    Sgd { lr: f32, momentum: f32 },
+}
+
+/// Local training configuration. Defaults match the paper's §4 setup:
+/// batch 64, lr 0.001, 10 local epochs, MLP (784, 100, 10).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Layer dimensions.
+    pub dims: Vec<usize>,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Local epochs.
+    pub epochs: usize,
+    /// Optimizer settings.
+    pub optimizer: LocalOptimizer,
+    /// Weight initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            dims: vec![784, 100, 10],
+            batch_size: 64,
+            epochs: 10,
+            optimizer: LocalOptimizer::Adam { lr: 0.001 },
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a local training run.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The trained network.
+    pub model: Mlp,
+    /// Examples trained on (the FedAvg/PFNM weighting).
+    pub n_examples: usize,
+    /// Final epoch's mean training loss.
+    pub final_loss: f32,
+}
+
+/// Trains a fresh model on a client's silo.
+pub fn train_local(data: &Dataset, config: &TrainConfig) -> TrainedModel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let model = Mlp::new(&config.dims, &mut rng);
+    continue_training(model, data, config)
+}
+
+/// Continues training an existing model (FedAvg's per-round local step).
+pub fn continue_training(mut model: Mlp, data: &Dataset, config: &TrainConfig) -> TrainedModel {
+    let mut opt: Box<dyn Optimizer> = match config.optimizer {
+        LocalOptimizer::Adam { lr } => Box::new(Adam::new(lr)),
+        LocalOptimizer::Sgd { lr, momentum } => Box::new(Sgd::with_momentum(lr, momentum)),
+    };
+    let mut shuffled = data.clone();
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    let mut final_loss = f32::NAN;
+    for _ in 0..config.epochs {
+        shuffled.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for (x, y) in shuffled.batches(config.batch_size) {
+            let (loss, grads) = model.loss_and_grads(&x, y);
+            opt.step(&mut model, &grads);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        if batches > 0 {
+            final_loss = epoch_loss / batches as f32;
+        }
+    }
+    TrainedModel {
+        model,
+        n_examples: data.len(),
+        final_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_data::mnist;
+
+    fn quick_config(seed: u64) -> TrainConfig {
+        TrainConfig {
+            dims: vec![784, 32, 10],
+            batch_size: 64,
+            epochs: 3,
+            optimizer: LocalOptimizer::Adam { lr: 0.002 },
+            seed,
+        }
+    }
+
+    #[test]
+    fn local_training_learns() {
+        let (train, test) = mnist::generate(11, 500, 200);
+        let trained = train_local(&train, &quick_config(1));
+        let acc = trained.model.accuracy(&test.images, &test.labels);
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert_eq!(trained.n_examples, 500);
+        assert!(trained.final_loss.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, _) = mnist::generate(12, 200, 10);
+        let a = train_local(&train, &quick_config(5));
+        let b = train_local(&train, &quick_config(5));
+        assert_eq!(a.model, b.model);
+        let c = train_local(&train, &quick_config(6));
+        assert_ne!(c.model, a.model);
+    }
+
+    #[test]
+    fn continue_training_improves_over_start() {
+        let (train, test) = mnist::generate(13, 400, 200);
+        let cfg = quick_config(2);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let fresh = Mlp::new(&cfg.dims, &mut rng);
+        let before = fresh.accuracy(&test.images, &test.labels);
+        let after = continue_training(fresh, &train, &cfg)
+            .model
+            .accuracy(&test.images, &test.labels);
+        assert!(after > before + 0.2, "{before} → {after}");
+    }
+
+    #[test]
+    fn sgd_path_works() {
+        let (train, test) = mnist::generate(14, 400, 100);
+        let cfg = TrainConfig {
+            optimizer: LocalOptimizer::Sgd {
+                lr: 0.1,
+                momentum: 0.9,
+            },
+            ..quick_config(3)
+        };
+        let trained = train_local(&train, &cfg);
+        assert!(trained.model.accuracy(&test.images, &test.labels) > 0.6);
+    }
+}

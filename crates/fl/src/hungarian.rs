@@ -1,0 +1,232 @@
+//! The Hungarian algorithm (Kuhn–Munkres, shortest-augmenting-path variant,
+//! O(n²·m)): minimum-cost assignment of rows to columns.
+//!
+//! PFNM solves one such assignment per client per matching pass, matching
+//! local neurons (rows) to global neurons or fresh slots (columns).
+
+/// Solves the min-cost assignment for a `rows × cols` cost matrix with
+/// `rows ≤ cols`. Returns `assignment[r] = c`.
+///
+/// Costs may be any finite f64 (negative allowed — PFNM maximizes by
+/// negating its objective).
+pub fn solve_min(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(
+        n <= m,
+        "solve_min requires rows ({n}) ≤ cols ({m}); pad the matrix"
+    );
+    for row in cost {
+        assert_eq!(row.len(), m, "ragged cost matrix");
+        assert!(
+            row.iter().all(|c| c.is_finite()),
+            "costs must be finite"
+        );
+    }
+
+    // 1-indexed potentials/packing, classic e-maxx formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
+    assignment
+}
+
+/// Total cost of an assignment.
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum()
+}
+
+/// Brute-force solver for small instances (test oracle).
+#[cfg(test)]
+pub fn solve_min_bruteforce(cost: &[Vec<f64>]) -> f64 {
+    let n = cost.len();
+    let m = cost[0].len();
+    let mut cols: Vec<usize> = (0..m).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut cols, 0, n, &mut |perm| {
+        let total: f64 = (0..n).map(|r| cost[r][perm[r]]).sum();
+        if total < best {
+            best = total;
+        }
+    });
+    best
+}
+
+#[cfg(test)]
+fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+    if k == n {
+        f(cols);
+        return;
+    }
+    for i in k..cols.len() {
+        cols.swap(k, i);
+        permute(cols, k + 1, n, f);
+        cols.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn known_square_instance() {
+        // Classic 3×3 with optimum 5 (1+3+1? compute: choose (0,1)=1,(1,0)=2,(2,2)=2 → 5).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = solve_min(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+    }
+
+    #[test]
+    fn identity_optimal() {
+        // Diagonal is free, off-diagonal expensive.
+        let n = 6;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 10.0 }).collect())
+            .collect();
+        let a = solve_min(&cost);
+        assert_eq!(a, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rectangular_uses_cheapest_columns() {
+        let cost = vec![vec![5.0, 1.0, 9.0, 2.0], vec![1.0, 5.0, 9.0, 9.0]];
+        let a = solve_min(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 2.0); // (0→1)=1, (1→0)=1
+        // Distinct columns.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let cost = vec![vec![-5.0, 0.0], vec![0.0, -5.0]];
+        let a = solve_min(&cost);
+        assert_eq!(assignment_cost(&cost, &a), -10.0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..=6);
+            let m = rng.gen_range(n..=7);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let a = solve_min(&cost);
+            // Valid: distinct columns.
+            let distinct: std::collections::HashSet<_> = a.iter().collect();
+            assert_eq!(distinct.len(), n, "trial {trial}");
+            let got = assignment_cost(&cost, &a);
+            let best = solve_min_bruteforce(&cost);
+            assert!(
+                (got - best).abs() < 1e-9,
+                "trial {trial}: got {got}, optimum {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(solve_min(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn large_instance_fast_and_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..2 * n).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect();
+        let a = solve_min(&cost);
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), n);
+        // Optimal must not exceed greedy.
+        let mut greedy_used = vec![false; 2 * n];
+        let mut greedy_total = 0.0;
+        for r in 0..n {
+            let mut best = f64::INFINITY;
+            let mut best_j = 0;
+            for (j, &used) in greedy_used.iter().enumerate() {
+                if !used && cost[r][j] < best {
+                    best = cost[r][j];
+                    best_j = j;
+                }
+            }
+            greedy_used[best_j] = true;
+            greedy_total += best;
+        }
+        assert!(assignment_cost(&cost, &a) <= greedy_total + 1e-9);
+    }
+}

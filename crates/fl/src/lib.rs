@@ -1,0 +1,44 @@
+//! # ofl-fl
+//!
+//! Federated-learning algorithms for the OFL-W3 reproduction:
+//!
+//! - [`client`]: local silo training (the paper's batch 64 / lr 0.001 /
+//!   10-epoch setup).
+//! - [`hungarian`]: the O(n³) assignment solver PFNM's matching rides on.
+//! - [`pfnm`]: Probabilistic Federated Neural Matching — the one-shot
+//!   aggregator OFL-W3 demonstrates (Step 7 of the workflow).
+//! - [`baselines`]: naive weight averaging, one-shot ensembling +
+//!   distillation, FedOV-lite confidence voting, and multi-round FedAvg.
+//!
+//! ## Example: one-shot PFNM over non-IID silos
+//!
+//! ```
+//! use ofl_data::{mnist, partition};
+//! use ofl_fl::baselines::train_all_silos;
+//! use ofl_fl::client::TrainConfig;
+//! use ofl_fl::pfnm::{aggregate, PfnmConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let (train, test) = mnist::generate(7, 800, 200);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let silos = partition::dirichlet(&train, 4, 10, 0.5, &mut rng);
+//!
+//! let config = TrainConfig { dims: vec![784, 32, 10], epochs: 2, ..TrainConfig::default() };
+//! let trained = train_all_silos(&silos, &config);
+//! let weights: Vec<usize> = trained.iter().map(|t| t.n_examples).collect();
+//! let models: Vec<_> = trained.into_iter().map(|t| t.model).collect();
+//!
+//! let result = aggregate(&models, &weights, &PfnmConfig::default(), &mut rng).unwrap();
+//! let acc = result.model.accuracy(&test.images, &test.labels);
+//! assert!(acc > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod client;
+pub mod hungarian;
+pub mod pfnm;
+
+pub use baselines::{average_weights, fedavg, train_all_silos, Ensemble};
+pub use client::{train_local, TrainConfig, TrainedModel};
+pub use pfnm::{aggregate as pfnm_aggregate, PfnmConfig, PfnmResult};

@@ -1,0 +1,129 @@
+//! Property-based tests for the FL algorithms: Hungarian optimality against
+//! a brute-force oracle, PFNM assignment validity, and aggregation algebra.
+
+use ofl_fl::baselines::average_weights;
+use ofl_fl::hungarian::{assignment_cost, solve_min};
+use ofl_fl::pfnm::{aggregate, PfnmConfig};
+use ofl_tensor::nn::Mlp;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+    fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        if row == cost.len() {
+            if acc < *best {
+                *best = acc;
+            }
+            return;
+        }
+        // No pruning: with negative costs a partial sum above `best` can
+        // still lead to the optimum.
+        for c in 0..cost[0].len() {
+            if !used[c] {
+                used[c] = true;
+                rec(cost, row + 1, used, acc + cost[row][c], best);
+                used[c] = false;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    rec(cost, 0, &mut vec![false; cost[0].len()], 0.0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hungarian_is_optimal(
+        n in 1usize..6,
+        extra in 0usize..3,
+        values in proptest::collection::vec(-100.0f64..100.0, 48),
+    ) {
+        let m = n + extra;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..m).map(|c| values[(r * m + c) % values.len()]).collect())
+            .collect();
+        let assignment = solve_min(&cost);
+        // Valid: distinct columns in range.
+        let distinct: std::collections::HashSet<_> = assignment.iter().collect();
+        prop_assert_eq!(distinct.len(), n);
+        prop_assert!(assignment.iter().all(|&c| c < m));
+        // Optimal.
+        let got = assignment_cost(&cost, &assignment);
+        let best = brute_force_min(&cost);
+        prop_assert!((got - best).abs() < 1e-6, "got {got}, best {best}");
+    }
+
+    #[test]
+    fn hungarian_invariant_under_row_offsets(
+        n in 2usize..5,
+        values in proptest::collection::vec(0.0f64..50.0, 25),
+        offsets in proptest::collection::vec(-20.0f64..20.0, 5),
+    ) {
+        // Adding a constant to a row changes the total but not the argmin.
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|c| values[(r * n + c) % values.len()]).collect())
+            .collect();
+        let shifted: Vec<Vec<f64>> = cost
+            .iter()
+            .enumerate()
+            .map(|(r, row)| row.iter().map(|v| v + offsets[r % offsets.len()]).collect())
+            .collect();
+        let a1 = solve_min(&cost);
+        let a2 = solve_min(&shifted);
+        let c1 = assignment_cost(&cost, &a1);
+        let c2 = assignment_cost(&cost, &a2);
+        prop_assert!((c1 - c2).abs() < 1e-6, "offsets changed the optimum: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn pfnm_assignments_always_valid(
+        n_models in 2usize..4,
+        hidden in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models: Vec<Mlp> = (0..n_models)
+            .map(|_| Mlp::new(&[8, hidden, 3], &mut rng))
+            .collect();
+        let weights = vec![10usize; n_models];
+        let result = aggregate(&models, &weights, &PfnmConfig::default(), &mut rng).unwrap();
+        prop_assert!(result.global_neurons >= hidden);
+        prop_assert!(result.global_neurons <= n_models * hidden);
+        // Every neuron assigned, injectively per client, to a live atom.
+        for assignment in &result.assignments {
+            prop_assert_eq!(assignment.len(), hidden);
+            let distinct: std::collections::HashSet<_> = assignment.iter().collect();
+            prop_assert_eq!(distinct.len(), hidden);
+            prop_assert!(assignment.iter().all(|&a| a < result.global_neurons));
+        }
+        // The aggregated model has the right shape.
+        prop_assert_eq!(result.model.dims(), vec![8, result.global_neurons, 3]);
+        // And produces finite outputs.
+        let x = ofl_tensor::tensor::Tensor::zeros(2, 8);
+        prop_assert!(result.model.forward(&x).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn naive_average_is_convex_combination(
+        seed in any::<u64>(),
+        w1 in 1usize..100,
+        w2 in 1usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mlp::new(&[4, 5, 2], &mut rng);
+        let b = Mlp::new(&[4, 5, 2], &mut rng);
+        let avg = average_weights(&[a.clone(), b.clone()], &[w1, w2]).unwrap();
+        // Every coordinate lies between the inputs' coordinates.
+        for li in 0..avg.layers.len() {
+            for (i, &v) in avg.layers[li].weight.data().iter().enumerate() {
+                let x = a.layers[li].weight.data()[i];
+                let y = b.layers[li].weight.data()[i];
+                let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+                prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+            }
+        }
+    }
+}

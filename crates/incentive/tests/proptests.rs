@@ -1,0 +1,123 @@
+//! Property-based tests for the incentive mechanisms: allocation exactness,
+//! monotonicity, Shapley axioms on random additive games, and LOO/Shapley
+//! agreement where they provably coincide.
+
+use ofl_incentive::{allocate_payments, loo_scores, shapley_monte_carlo};
+use ofl_primitives::u256::U256;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn payments_always_sum_to_budget(
+        scores in proptest::collection::vec(-1.0f64..1.0, 1..20),
+        budget_raw in 1u64..u64::MAX,
+    ) {
+        let budget = U256::from(budget_raw);
+        let payments = allocate_payments(&scores, &budget).unwrap();
+        prop_assert_eq!(payments.len(), scores.len());
+        let total = payments.iter().fold(U256::ZERO, |acc, p| acc.wrapping_add(p));
+        prop_assert_eq!(total, budget);
+    }
+
+    #[test]
+    fn payments_monotone_in_scores(
+        scores in proptest::collection::vec(0.0f64..1.0, 2..15),
+        budget_raw in 1_000_000u64..u64::MAX,
+    ) {
+        let budget = U256::from(budget_raw);
+        let payments = allocate_payments(&scores, &budget).unwrap();
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] + 1e-9 {
+                    prop_assert!(
+                        payments[i] >= payments[j],
+                        "score {} > {} but payment {:?} < {:?}",
+                        scores[i], scores[j], payments[i], payments[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_score_gets_zero_unless_everyone_is_zero(
+        positive in proptest::collection::vec(0.01f64..1.0, 1..10),
+        budget_raw in 1_000u64..u64::MAX,
+    ) {
+        let mut scores = positive;
+        scores.push(0.0);
+        let payments = allocate_payments(&scores, &U256::from(budget_raw)).unwrap();
+        prop_assert_eq!(*payments.last().unwrap(), U256::ZERO);
+    }
+
+    #[test]
+    fn loo_and_shapley_agree_on_additive_games(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let n = weights.len();
+        let w1 = weights.clone();
+        let report = loo_scores(n, move |s| s.iter().map(|&i| w1[i]).sum());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w2 = weights.clone();
+        let shapley = shapley_monte_carlo(n, 30, &mut rng, move |s| {
+            s.iter().map(|&i| w2[i]).sum()
+        });
+        for i in 0..n {
+            prop_assert!((report.contributions[i] - weights[i]).abs() < 1e-9);
+            prop_assert!((shapley[i] - weights[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shapley_efficiency_holds_for_any_game(
+        table_seed in any::<u64>(),
+        n in 2usize..6,
+        samples in 5usize..20,
+    ) {
+        // Random monotone-ish game from a hash of the subset.
+        let value = move |s: &[usize]| -> f64 {
+            let mut h = table_seed;
+            for &i in s {
+                h = h.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+            }
+            s.len() as f64 + (h % 1000) as f64 / 1000.0
+        };
+        let empty = value(&[]);
+        let full: Vec<usize> = (0..n).collect();
+        let total_value = value(&full);
+        let mut rng = StdRng::seed_from_u64(table_seed ^ 0xabcd);
+        let shapley = shapley_monte_carlo(n, samples, &mut rng, value);
+        let sum: f64 = shapley.iter().sum();
+        // Efficiency is exact per permutation, so exact for the average.
+        prop_assert!((sum - (total_value - empty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loo_null_player_scores_zero(
+        weights in proptest::collection::vec(0.1f64..5.0, 1..6),
+        seed in any::<u64>(),
+    ) {
+        // Player `n` contributes nothing to any coalition.
+        let n = weights.len();
+        let value = move |s: &[usize]| -> f64 {
+            s.iter().filter(|&&i| i < n).map(|&i| weights[i]).sum()
+        };
+        let report = loo_scores(n + 1, value);
+        prop_assert!(report.contributions[n].abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value2 = {
+            let weights = report.contributions.clone();
+            let _ = weights;
+            move |s: &[usize]| -> f64 {
+                s.iter().filter(|&&i| i < n).map(|&i| 1.0 + i as f64).sum()
+            }
+        };
+        let shapley = shapley_monte_carlo(n + 1, 10, &mut rng, value2);
+        prop_assert!(shapley[n].abs() < 1e-12);
+    }
+}

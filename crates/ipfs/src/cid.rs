@@ -1,0 +1,270 @@
+//! Content Identifiers (CIDs), versions 0 and 1.
+//!
+//! - **CIDv0**: a bare sha2-256 multihash, rendered base58btc (`Qm…`,
+//!   46 characters). This is what the paper's Step 3 refers to as the
+//!   "32-byte Content Identifier".
+//! - **CIDv1**: `<version><content-codec><multihash>`, rendered as
+//!   multibase base32 (`b…`).
+
+use crate::multihash::{Multihash, MultihashError};
+use ofl_primitives::{base32, base58, varint};
+
+/// Content codecs we use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Codec {
+    /// Raw binary leaf block.
+    Raw,
+    /// DAG node (stands in for dag-pb).
+    DagPb,
+}
+
+impl Codec {
+    /// Multicodec number.
+    pub fn code(&self) -> u64 {
+        match self {
+            Codec::Raw => 0x55,
+            Codec::DagPb => 0x70,
+        }
+    }
+
+    /// Parses a multicodec number.
+    pub fn from_code(code: u64) -> Option<Codec> {
+        match code {
+            0x55 => Some(Codec::Raw),
+            0x70 => Some(Codec::DagPb),
+            _ => None,
+        }
+    }
+}
+
+/// A CID: version, codec, multihash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cid {
+    version: u8,
+    codec: Codec,
+    hash: Multihash,
+}
+
+/// Errors from CID parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CidError {
+    /// Not valid base58/base32 text.
+    BadEncoding,
+    /// Binary structure malformed.
+    BadStructure,
+    /// Multihash malformed.
+    Multihash(MultihashError),
+    /// Unknown codec.
+    UnknownCodec(u64),
+    /// CIDv0 must be a 32-byte sha2-256 multihash.
+    InvalidV0,
+    /// Unsupported CID version.
+    UnsupportedVersion(u64),
+}
+
+impl From<MultihashError> for CidError {
+    fn from(e: MultihashError) -> Self {
+        CidError::Multihash(e)
+    }
+}
+
+impl core::fmt::Display for CidError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CidError::BadEncoding => write!(f, "invalid multibase text"),
+            CidError::BadStructure => write!(f, "malformed CID structure"),
+            CidError::Multihash(e) => write!(f, "multihash: {e}"),
+            CidError::UnknownCodec(c) => write!(f, "unknown codec {c:#x}"),
+            CidError::InvalidV0 => write!(f, "CIDv0 must be a sha2-256 multihash"),
+            CidError::UnsupportedVersion(v) => write!(f, "unsupported CID version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CidError {}
+
+impl Cid {
+    /// Builds a CIDv0 (requires sha2-256).
+    pub fn new_v0(hash: Multihash) -> Result<Cid, CidError> {
+        if hash.code() != 0x12 || hash.digest().len() != 32 {
+            return Err(CidError::InvalidV0);
+        }
+        Ok(Cid {
+            version: 0,
+            codec: Codec::DagPb,
+            hash,
+        })
+    }
+
+    /// Builds a CIDv1.
+    pub fn new_v1(codec: Codec, hash: Multihash) -> Cid {
+        Cid {
+            version: 1,
+            codec,
+            hash,
+        }
+    }
+
+    /// CIDv0 of `data` (sha2-256). The standard "add a file" identifier.
+    pub fn v0_of(data: &[u8]) -> Cid {
+        Cid::new_v0(Multihash::sha2_256(data)).expect("sha2-256 is valid for v0")
+    }
+
+    /// CIDv1 of `data` with the given codec.
+    pub fn v1_of(codec: Codec, data: &[u8]) -> Cid {
+        Cid::new_v1(codec, Multihash::sha2_256(data))
+    }
+
+    /// CID version (0 or 1).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Content codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// The multihash.
+    pub fn hash(&self) -> &Multihash {
+        &self.hash
+    }
+
+    /// The 32-byte digest (what OFL-W3 sends to the smart contract).
+    pub fn digest(&self) -> &[u8] {
+        self.hash.digest()
+    }
+
+    /// Binary form: v0 = bare multihash; v1 = varint version ‖ codec ‖ mh.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self.version {
+            0 => self.hash.to_bytes(),
+            _ => {
+                let mut out = Vec::new();
+                varint::encode_into(1, &mut out);
+                varint::encode_into(self.codec.code(), &mut out);
+                out.extend_from_slice(&self.hash.to_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses the binary form.
+    pub fn from_bytes(input: &[u8]) -> Result<Cid, CidError> {
+        // CIDv0: exactly a sha2-256 multihash (0x12 0x20 …, 34 bytes).
+        if input.len() == 34 && input[0] == 0x12 && input[1] == 0x20 {
+            return Cid::new_v0(Multihash::from_bytes(input)?);
+        }
+        let (version, n1) = varint::decode(input).map_err(|_| CidError::BadStructure)?;
+        if version != 1 {
+            return Err(CidError::UnsupportedVersion(version));
+        }
+        let (codec_num, n2) =
+            varint::decode(&input[n1..]).map_err(|_| CidError::BadStructure)?;
+        let codec = Codec::from_code(codec_num).ok_or(CidError::UnknownCodec(codec_num))?;
+        let hash = Multihash::from_bytes(&input[n1 + n2..])?;
+        Ok(Cid {
+            version: 1,
+            codec,
+            hash,
+        })
+    }
+
+    /// Textual form: base58btc for v0 (`Qm…`), multibase base32 for v1
+    /// (`b…`).
+    pub fn to_string_form(&self) -> String {
+        match self.version {
+            0 => base58::encode(&self.to_bytes()),
+            _ => format!("b{}", base32::encode(&self.to_bytes())),
+        }
+    }
+
+    /// Parses the textual form.
+    pub fn parse(s: &str) -> Result<Cid, CidError> {
+        if s.len() == 46 && s.starts_with("Qm") {
+            let bytes = base58::decode(s).map_err(|_| CidError::BadEncoding)?;
+            return Cid::from_bytes(&bytes);
+        }
+        if let Some(rest) = s.strip_prefix('b') {
+            let bytes = base32::decode(rest).map_err(|_| CidError::BadEncoding)?;
+            return Cid::from_bytes(&bytes);
+        }
+        Err(CidError::BadEncoding)
+    }
+}
+
+impl core::fmt::Display for Cid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.to_string_form())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v0_shape() {
+        let cid = Cid::v0_of(b"hello ipfs");
+        let s = cid.to_string_form();
+        assert!(s.starts_with("Qm"), "{s}");
+        assert_eq!(s.len(), 46);
+        assert_eq!(cid.digest().len(), 32);
+    }
+
+    #[test]
+    fn v0_text_roundtrip() {
+        let cid = Cid::v0_of(b"model-bytes");
+        let parsed = Cid::parse(&cid.to_string_form()).unwrap();
+        assert_eq!(parsed, cid);
+    }
+
+    #[test]
+    fn v1_text_roundtrip() {
+        for codec in [Codec::Raw, Codec::DagPb] {
+            let cid = Cid::v1_of(codec, b"block data");
+            let s = cid.to_string_form();
+            assert!(s.starts_with('b'), "{s}");
+            let parsed = Cid::parse(&s).unwrap();
+            assert_eq!(parsed, cid);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let v0 = Cid::v0_of(b"a");
+        assert_eq!(Cid::from_bytes(&v0.to_bytes()).unwrap(), v0);
+        let v1 = Cid::v1_of(Codec::Raw, b"a");
+        assert_eq!(Cid::from_bytes(&v1.to_bytes()).unwrap(), v1);
+    }
+
+    #[test]
+    fn distinct_content_distinct_cids() {
+        assert_ne!(Cid::v0_of(b"model-1"), Cid::v0_of(b"model-2"));
+        assert_ne!(
+            Cid::v1_of(Codec::Raw, b"x"),
+            Cid::v1_of(Codec::DagPb, b"x")
+        );
+    }
+
+    #[test]
+    fn v0_requires_sha256() {
+        use crate::multihash::HashCode;
+        let ident = Multihash::digest_of(HashCode::Identity, b"short");
+        assert_eq!(Cid::new_v0(ident), Err(CidError::InvalidV0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cid::parse("not-a-cid").is_err());
+        assert!(Cid::parse("Qm000000000000000000000000000000000000000000000").is_err());
+        assert!(Cid::parse("").is_err());
+        assert!(Cid::parse("bZZZZ").is_err());
+    }
+
+    #[test]
+    fn known_digest_matches_sha256() {
+        let cid = Cid::v0_of(b"hello");
+        assert_eq!(cid.digest(), &ofl_primitives::sha256(b"hello"));
+    }
+}

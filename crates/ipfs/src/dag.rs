@@ -1,0 +1,288 @@
+//! Chunking and the Merkle DAG.
+//!
+//! Files larger than the chunk size (256 KiB, the IPFS default) are split
+//! into raw leaf blocks; a balanced tree of DAG nodes links them together
+//! (fanout 174, matching go-ipfs). The 317 KB models of the paper therefore
+//! become two leaves plus one root node.
+//!
+//! DAG nodes use a compact custom serialization (varint-framed) rather than
+//! dag-pb protobuf; the framing is self-describing and deterministic, which
+//! is all content addressing requires.
+
+use crate::cid::{Cid, Codec};
+use ofl_primitives::varint;
+
+/// IPFS default chunk size: 256 KiB.
+pub const CHUNK_SIZE: usize = 256 * 1024;
+
+/// go-ipfs default DAG fanout.
+pub const FANOUT: usize = 174;
+
+/// Splits data into fixed-size chunks (the trailing chunk may be short).
+/// Empty input yields a single empty chunk so that every file has a CID.
+pub fn chunk(data: &[u8], chunk_size: usize) -> Vec<&[u8]> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if data.is_empty() {
+        return vec![&[]];
+    }
+    data.chunks(chunk_size).collect()
+}
+
+/// A link from a DAG node to a child.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Child CID.
+    pub cid: Cid,
+    /// Total size of the subtree under the child (file bytes).
+    pub size: u64,
+}
+
+/// A DAG node: an interior tree node carrying links (leaves are raw blocks,
+/// not nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DagNode {
+    /// Ordered child links.
+    pub links: Vec<Link>,
+}
+
+/// Errors from DAG node decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Framing malformed.
+    BadFraming,
+    /// Embedded CID malformed.
+    BadCid,
+}
+
+impl core::fmt::Display for DagError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DagError::BadFraming => write!(f, "malformed DAG node framing"),
+            DagError::BadCid => write!(f, "malformed CID in DAG link"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl DagNode {
+    /// Total file size represented by this node.
+    pub fn total_size(&self) -> u64 {
+        self.links.iter().map(|l| l.size).sum()
+    }
+
+    /// Deterministic serialization:
+    /// `varint(n_links) (varint(cid_len) cid varint(size))*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::encode_into(self.links.len() as u64, &mut out);
+        for link in &self.links {
+            let cid_bytes = link.cid.to_bytes();
+            varint::encode_into(cid_bytes.len() as u64, &mut out);
+            out.extend_from_slice(&cid_bytes);
+            varint::encode_into(link.size, &mut out);
+        }
+        out
+    }
+
+    /// Parses a serialized node.
+    pub fn from_bytes(input: &[u8]) -> Result<DagNode, DagError> {
+        let (n, mut pos) = varint::decode(input).map_err(|_| DagError::BadFraming)?;
+        let mut links = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (cid_len, used) =
+                varint::decode(&input[pos..]).map_err(|_| DagError::BadFraming)?;
+            pos += used;
+            let end = pos + cid_len as usize;
+            let cid_bytes = input.get(pos..end).ok_or(DagError::BadFraming)?;
+            let cid = Cid::from_bytes(cid_bytes).map_err(|_| DagError::BadCid)?;
+            pos = end;
+            let (size, used) =
+                varint::decode(&input[pos..]).map_err(|_| DagError::BadFraming)?;
+            pos += used;
+            links.push(Link { cid, size });
+        }
+        if pos != input.len() {
+            return Err(DagError::BadFraming);
+        }
+        Ok(DagNode { links })
+    }
+
+    /// The CID of this node (CIDv1, dag codec).
+    pub fn cid(&self) -> Cid {
+        Cid::v1_of(Codec::DagPb, &self.to_bytes())
+    }
+}
+
+/// One block produced by [`build_dag`]: its CID and raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    /// The block's CID.
+    pub cid: Cid,
+    /// The block payload (chunk bytes or serialized DAG node).
+    pub data: Vec<u8>,
+}
+
+/// Result of building a DAG from a file.
+#[derive(Debug, Clone)]
+pub struct BuiltDag {
+    /// Root CID — CIDv0 for single-chunk files (matching `ipfs add`'s
+    /// classic output), CIDv1 for multi-block files.
+    pub root: Cid,
+    /// Every block, leaves first, root last.
+    pub blocks: Vec<BlockData>,
+    /// Original file length.
+    pub file_size: u64,
+}
+
+/// Builds the balanced DAG for `data`.
+pub fn build_dag(data: &[u8], chunk_size: usize) -> BuiltDag {
+    let chunks = chunk(data, chunk_size);
+    if chunks.len() == 1 {
+        // Single block: CIDv0 of the raw content, exactly one block.
+        let cid = Cid::v0_of(chunks[0]);
+        return BuiltDag {
+            root: cid.clone(),
+            blocks: vec![BlockData {
+                cid,
+                data: chunks[0].to_vec(),
+            }],
+            file_size: data.len() as u64,
+        };
+    }
+    let mut blocks = Vec::new();
+    // Leaf layer.
+    let mut layer: Vec<Link> = chunks
+        .iter()
+        .map(|c| {
+            let cid = Cid::v1_of(Codec::Raw, c);
+            blocks.push(BlockData {
+                cid: cid.clone(),
+                data: c.to_vec(),
+            });
+            Link {
+                cid,
+                size: c.len() as u64,
+            }
+        })
+        .collect();
+    // Interior layers until a single root remains.
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(FANOUT));
+        for group in layer.chunks(FANOUT) {
+            let node = DagNode {
+                links: group.to_vec(),
+            };
+            let bytes = node.to_bytes();
+            let cid = node.cid();
+            let size = node.total_size();
+            blocks.push(BlockData {
+                cid: cid.clone(),
+                data: bytes,
+            });
+            next.push(Link { cid, size });
+        }
+        layer = next;
+    }
+    BuiltDag {
+        root: layer.remove(0).cid,
+        blocks,
+        file_size: data.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_basics() {
+        assert_eq!(chunk(&[], 10), vec![&[] as &[u8]]);
+        let data = vec![1u8; 25];
+        let chunks = chunk(&data, 10);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].len(), 5);
+        let whole = chunk(&data, 100);
+        assert_eq!(whole.len(), 1);
+    }
+
+    #[test]
+    fn single_chunk_file_is_cidv0() {
+        let built = build_dag(b"small file", CHUNK_SIZE);
+        assert_eq!(built.root.version(), 0);
+        assert_eq!(built.blocks.len(), 1);
+        assert_eq!(built.root, Cid::v0_of(b"small file"));
+    }
+
+    #[test]
+    fn paper_sized_model_two_leaves_one_root() {
+        // 317 KB, as reported in §4.4 of the paper.
+        let data = vec![0x5au8; 317 * 1024];
+        let built = build_dag(&data, CHUNK_SIZE);
+        assert_eq!(built.blocks.len(), 3); // 2 leaves + root
+        assert_eq!(built.root.version(), 1);
+        assert_eq!(built.file_size, 317 * 1024);
+        // Root decodes and sizes add up.
+        let root_block = built.blocks.last().unwrap();
+        let node = DagNode::from_bytes(&root_block.data).unwrap();
+        assert_eq!(node.links.len(), 2);
+        assert_eq!(node.total_size(), 317 * 1024);
+        assert_eq!(node.links[0].size as usize, CHUNK_SIZE);
+    }
+
+    #[test]
+    fn dag_node_roundtrip() {
+        let node = DagNode {
+            links: (0..5)
+                .map(|i| Link {
+                    cid: Cid::v1_of(Codec::Raw, &[i as u8]),
+                    size: i * 1000,
+                })
+                .collect(),
+        };
+        let parsed = DagNode::from_bytes(&node.to_bytes()).unwrap();
+        assert_eq!(parsed, node);
+    }
+
+    #[test]
+    fn dag_node_rejects_trailing_garbage() {
+        let node = DagNode { links: vec![] };
+        let mut bytes = node.to_bytes();
+        bytes.push(0xff);
+        assert_eq!(DagNode::from_bytes(&bytes), Err(DagError::BadFraming));
+    }
+
+    #[test]
+    fn deterministic_cids() {
+        let data = vec![7u8; 600 * 1024];
+        let a = build_dag(&data, CHUNK_SIZE);
+        let b = build_dag(&data, CHUNK_SIZE);
+        assert_eq!(a.root, b.root);
+        // One byte flipped → different root.
+        let mut tampered = data.clone();
+        tampered[123_456] ^= 1;
+        let c = build_dag(&tampered, CHUNK_SIZE);
+        assert_ne!(a.root, c.root);
+    }
+
+    #[test]
+    fn deep_tree_when_fanout_exceeded() {
+        // More than FANOUT chunks forces a second interior layer.
+        let chunk_size = 16;
+        let data = vec![1u8; 16 * (FANOUT + 10)];
+        let built = build_dag(&data, chunk_size);
+        // leaves + ceil(184/174)=2 interior + 1 root
+        assert_eq!(built.blocks.len(), (FANOUT + 10) + 2 + 1);
+        let root = DagNode::from_bytes(&built.blocks.last().unwrap().data).unwrap();
+        assert_eq!(root.links.len(), 2);
+        assert_eq!(root.total_size() as usize, data.len());
+    }
+
+    #[test]
+    fn empty_file_has_cid() {
+        let built = build_dag(&[], CHUNK_SIZE);
+        assert_eq!(built.blocks.len(), 1);
+        assert_eq!(built.file_size, 0);
+        assert_eq!(built.root, Cid::v0_of(&[]));
+    }
+}

@@ -1,0 +1,40 @@
+//! # ofl-ipfs
+//!
+//! An InterPlanetary File System simulator for the OFL-W3 reproduction.
+//! Models are shared by content address: adding a file yields a CID whose
+//! digest is what OFL-W3 records on-chain (Steps 2–4 of the paper's
+//! workflow), and any peer can later fetch and integrity-verify the content
+//! (Steps 5–6).
+//!
+//! - [`multihash`]: self-describing digests (sha2-256).
+//! - [`cid`]: CIDv0 (`Qm…`, base58btc) and CIDv1 (`b…`, base32).
+//! - [`dag`]: 256 KiB chunking and the balanced Merkle DAG.
+//! - [`blockstore`]: verified content-addressed storage, pinning, GC.
+//! - [`swarm`]: nodes and bitswap-style exchange with transfer statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use ofl_ipfs::swarm::{IpfsNode, Swarm};
+//!
+//! let mut swarm = Swarm::new();
+//! let owner = swarm.add_node(IpfsNode::new("model-owner"));
+//! let buyer = swarm.add_node(IpfsNode::new("model-buyer"));
+//!
+//! let model_bytes = vec![0u8; 317 * 1024];
+//! let added = swarm.node_mut(owner).add(&model_bytes);
+//! println!("share this CID on-chain: {}", added.root);
+//!
+//! let (fetched, stats) = swarm.fetch(buyer, &added.root).unwrap();
+//! assert_eq!(fetched, model_bytes);
+//! assert!(stats.bytes_fetched > 0);
+//! ```
+
+pub mod blockstore;
+pub mod cid;
+pub mod dag;
+pub mod multihash;
+pub mod swarm;
+
+pub use cid::Cid;
+pub use swarm::{AddResult, FetchStats, IpfsNode, Swarm};

@@ -1,0 +1,207 @@
+//! Multihash: self-describing hash digests (`<code><length><digest>`), per
+//! the multiformats specification. OFL-W3 only needs `sha2-256` (code 0x12),
+//! but `identity` (0x00) is included for inline blocks and tests.
+
+use ofl_primitives::sha256;
+use ofl_primitives::varint;
+
+/// Supported hash functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashCode {
+    /// Identity: digest = payload (for tiny inline data).
+    Identity,
+    /// SHA2-256, the IPFS default.
+    Sha2_256,
+}
+
+impl HashCode {
+    /// The multicodec number.
+    pub fn code(&self) -> u64 {
+        match self {
+            HashCode::Identity => 0x00,
+            HashCode::Sha2_256 => 0x12,
+        }
+    }
+
+    /// Parses a multicodec number.
+    pub fn from_code(code: u64) -> Option<HashCode> {
+        match code {
+            0x00 => Some(HashCode::Identity),
+            0x12 => Some(HashCode::Sha2_256),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed multihash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Multihash {
+    code: u64,
+    digest: Vec<u8>,
+}
+
+/// Errors from decoding multihashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultihashError {
+    /// Varint header malformed.
+    BadVarint,
+    /// Digest shorter than the declared length.
+    Truncated,
+    /// Hash code not in our supported set.
+    UnsupportedCode(u64),
+}
+
+impl core::fmt::Display for MultihashError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MultihashError::BadVarint => write!(f, "malformed varint header"),
+            MultihashError::Truncated => write!(f, "digest truncated"),
+            MultihashError::UnsupportedCode(c) => write!(f, "unsupported hash code {c:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MultihashError {}
+
+impl Multihash {
+    /// Hashes `data` with the given function.
+    pub fn digest_of(code: HashCode, data: &[u8]) -> Multihash {
+        let digest = match code {
+            HashCode::Identity => data.to_vec(),
+            HashCode::Sha2_256 => sha256(data).to_vec(),
+        };
+        Multihash {
+            code: code.code(),
+            digest,
+        }
+    }
+
+    /// SHA2-256 convenience constructor.
+    pub fn sha2_256(data: &[u8]) -> Multihash {
+        Self::digest_of(HashCode::Sha2_256, data)
+    }
+
+    /// The hash-function code.
+    pub fn code(&self) -> u64 {
+        self.code
+    }
+
+    /// The raw digest bytes.
+    pub fn digest(&self) -> &[u8] {
+        &self.digest
+    }
+
+    /// Serializes to `<varint code><varint len><digest>`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.digest.len());
+        varint::encode_into(self.code, &mut out);
+        varint::encode_into(self.digest.len() as u64, &mut out);
+        out.extend_from_slice(&self.digest);
+        out
+    }
+
+    /// Parses from the front of `input`; returns the multihash and bytes
+    /// consumed.
+    pub fn from_bytes_prefix(input: &[u8]) -> Result<(Multihash, usize), MultihashError> {
+        let (code, n1) = varint::decode(input).map_err(|_| MultihashError::BadVarint)?;
+        HashCode::from_code(code).ok_or(MultihashError::UnsupportedCode(code))?;
+        let (len, n2) =
+            varint::decode(&input[n1..]).map_err(|_| MultihashError::BadVarint)?;
+        let start = n1 + n2;
+        let digest = input
+            .get(start..start + len as usize)
+            .ok_or(MultihashError::Truncated)?;
+        Ok((
+            Multihash {
+                code,
+                digest: digest.to_vec(),
+            },
+            start + len as usize,
+        ))
+    }
+
+    /// Parses consuming the entire input.
+    pub fn from_bytes(input: &[u8]) -> Result<Multihash, MultihashError> {
+        let (mh, used) = Self::from_bytes_prefix(input)?;
+        if used != input.len() {
+            return Err(MultihashError::Truncated);
+        }
+        Ok(mh)
+    }
+
+    /// Verifies that `data` hashes to this multihash.
+    pub fn verify(&self, data: &[u8]) -> bool {
+        match HashCode::from_code(self.code) {
+            Some(code) => Multihash::digest_of(code, data) == *self,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_primitives::hex::to_hex;
+
+    #[test]
+    fn sha256_multihash_layout() {
+        let mh = Multihash::sha2_256(b"hello");
+        let bytes = mh.to_bytes();
+        assert_eq!(bytes[0], 0x12);
+        assert_eq!(bytes[1], 0x20); // 32-byte digest
+        assert_eq!(bytes.len(), 34);
+        assert_eq!(
+            to_hex(&bytes[2..]),
+            "2cf24dba5fb0a30e26e83b2ac5b9e29e1b161e5c1fa7425e73043362938b9824"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mh = Multihash::sha2_256(b"roundtrip me");
+        let parsed = Multihash::from_bytes(&mh.to_bytes()).unwrap();
+        assert_eq!(parsed, mh);
+    }
+
+    #[test]
+    fn prefix_parse_reports_consumed() {
+        let mut buf = Multihash::sha2_256(b"x").to_bytes();
+        let full = buf.len();
+        buf.extend_from_slice(&[0xaa, 0xbb]);
+        let (_, used) = Multihash::from_bytes_prefix(&buf).unwrap();
+        assert_eq!(used, full);
+        assert!(Multihash::from_bytes(&buf).is_err()); // trailing bytes
+    }
+
+    #[test]
+    fn verify_detects_tamper() {
+        let mh = Multihash::sha2_256(b"model weights");
+        assert!(mh.verify(b"model weights"));
+        assert!(!mh.verify(b"model weightz"));
+    }
+
+    #[test]
+    fn identity_hash() {
+        let mh = Multihash::digest_of(HashCode::Identity, b"tiny");
+        assert_eq!(mh.digest(), b"tiny");
+        assert!(mh.verify(b"tiny"));
+        let parsed = Multihash::from_bytes(&mh.to_bytes()).unwrap();
+        assert_eq!(parsed, mh);
+    }
+
+    #[test]
+    fn unsupported_code_rejected() {
+        // 0x13 = sha2-512 (unsupported here)
+        let buf = [0x13u8, 0x01, 0xff];
+        assert_eq!(
+            Multihash::from_bytes(&buf),
+            Err(MultihashError::UnsupportedCode(0x13))
+        );
+    }
+
+    #[test]
+    fn truncated_digest_rejected() {
+        let buf = [0x12u8, 0x20, 0x01, 0x02];
+        assert_eq!(Multihash::from_bytes(&buf), Err(MultihashError::Truncated));
+    }
+}

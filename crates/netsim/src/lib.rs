@@ -1,0 +1,23 @@
+//! # ofl-netsim
+//!
+//! Virtual-time infrastructure for the OFL-W3 reproduction:
+//!
+//! - [`clock`]: a shared microsecond-resolution simulation clock.
+//! - [`link`]: latency/bandwidth models with the paper's campus-LAN profile.
+//! - [`service`]: a Flask-like routed service charged through a link — the
+//!   paper's backend-server role.
+//! - [`timing`]: phase recorders (the Fig 7 breakdown) and compute models
+//!   (the 2×RTX A5000 server as a throughput estimate).
+//!
+//! Everything runs on virtual time, so minutes of simulated blockchain
+//! waiting cost microseconds of real time and results are deterministic.
+
+pub mod clock;
+pub mod link;
+pub mod service;
+pub mod timing;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use link::{Link, NetworkProfile};
+pub use service::{Request, Response, Service};
+pub use timing::{ComputeModel, PhaseRecorder};

@@ -1,0 +1,111 @@
+//! Link models: latency + bandwidth cost of moving bytes, with profiles for
+//! the paper's "unified campus area network" and a wide-area alternative.
+
+use crate::clock::SimDuration;
+
+/// A point-to-point link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl Link {
+    /// Builds a link.
+    pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Link {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        Link {
+            latency,
+            bandwidth_bps,
+        }
+    }
+
+    /// Time to move `bytes` in one request: latency + serialization.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let serialize = SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
+        self.latency.saturating_add(serialize)
+    }
+
+    /// Time for an exchange of `rounds` request/response round trips moving
+    /// `bytes` total (the bitswap fetch pattern).
+    pub fn exchange_time(&self, bytes: u64, rounds: usize) -> SimDuration {
+        let rtt = SimDuration(self.latency.0 * 2);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..rounds {
+            total = total.saturating_add(rtt);
+        }
+        total.saturating_add(SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps))
+    }
+}
+
+/// Named network profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// LAN link between owners/buyers and the IPFS swarm / backend.
+    pub lan: Link,
+    /// Link to the (remote) blockchain RPC endpoint.
+    pub rpc: Link,
+}
+
+impl NetworkProfile {
+    /// The paper's setting: everything on one campus network (§4.4),
+    /// ~0.5 ms LAN latency, 1 Gbit/s; RPC slightly farther (public Sepolia
+    /// endpoint), ~50 ms.
+    pub fn campus() -> NetworkProfile {
+        NetworkProfile {
+            lan: Link::new(SimDuration::from_micros(500), 125_000_000.0),
+            rpc: Link::new(SimDuration::from_millis(50), 12_500_000.0),
+        }
+    }
+
+    /// A wide-area profile (owners at home): 30 ms, 50 Mbit/s down.
+    pub fn wan() -> NetworkProfile {
+        NetworkProfile {
+            lan: Link::new(SimDuration::from_millis(30), 6_250_000.0),
+            rpc: Link::new(SimDuration::from_millis(80), 6_250_000.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = Link::new(SimDuration::from_millis(1), 1_000_000.0); // 1 MB/s
+        let t1 = link.transfer_time(1_000_000);
+        assert!((t1.as_secs_f64() - 1.001).abs() < 1e-6);
+        let t2 = link.transfer_time(2_000_000);
+        assert!(t2 > t1);
+        // Latency floor for empty payloads.
+        assert_eq!(link.transfer_time(0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn exchange_counts_round_trips() {
+        let link = Link::new(SimDuration::from_millis(10), 1e9);
+        let one = link.exchange_time(0, 1);
+        let three = link.exchange_time(0, 3);
+        assert_eq!(one, SimDuration::from_millis(20));
+        assert_eq!(three, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn campus_faster_than_wan() {
+        let campus = NetworkProfile::campus();
+        let wan = NetworkProfile::wan();
+        let model_bytes = 318_064; // the paper's 317 KB model
+        assert!(campus.lan.transfer_time(model_bytes) < wan.lan.transfer_time(model_bytes));
+        // Campus upload of a model takes a few ms.
+        assert!(campus.lan.transfer_time(model_bytes).as_secs_f64() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Link::new(SimDuration::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! RFC 4648 base32, lowercase, unpadded — the multibase `b` encoding used by
+//! CIDv1 strings (`bafy...`).
+
+const ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base32Error {
+    /// A character outside the lowercase RFC 4648 alphabet.
+    InvalidChar { position: usize, ch: char },
+    /// Trailing bits that cannot form a whole byte are nonzero, or the
+    /// string length is impossible for any byte sequence.
+    InvalidLength,
+}
+
+impl core::fmt::Display for Base32Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Base32Error::InvalidChar { position, ch } => {
+                write!(f, "invalid base32 character {ch:?} at position {position}")
+            }
+            Base32Error::InvalidLength => write!(f, "invalid base32 length"),
+        }
+    }
+}
+
+impl std::error::Error for Base32Error {}
+
+/// Encodes bytes as unpadded lowercase base32.
+pub fn encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &b in input {
+        acc = (acc << 8) | b as u64;
+        acc_bits += 8;
+        while acc_bits >= 5 {
+            acc_bits -= 5;
+            out.push(ALPHABET[((acc >> acc_bits) & 0x1f) as usize] as char);
+        }
+    }
+    if acc_bits > 0 {
+        out.push(ALPHABET[((acc << (5 - acc_bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes unpadded lowercase base32.
+pub fn decode(input: &str) -> Result<Vec<u8>, Base32Error> {
+    let mut out = Vec::with_capacity(input.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for (i, c) in input.bytes().enumerate() {
+        let v = match c {
+            b'a'..=b'z' => c - b'a',
+            b'2'..=b'7' => c - b'2' + 26,
+            _ => {
+                return Err(Base32Error::InvalidChar {
+                    position: i,
+                    ch: c as char,
+                })
+            }
+        };
+        acc = (acc << 5) | v as u64;
+        acc_bits += 5;
+        if acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push((acc >> acc_bits) as u8);
+        }
+    }
+    // Leftover bits are padding and must be zero; 1..=4 leftover chars that
+    // can't complete a byte indicate a malformed length when > 7 bits remain
+    // unused in a way no encoder produces.
+    if acc_bits > 0 && (acc & ((1 << acc_bits) - 1)) != 0 {
+        return Err(Base32Error::InvalidLength);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors_lowercase_unpadded() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "my");
+        assert_eq!(encode(b"fo"), "mzxq");
+        assert_eq!(encode(b"foo"), "mzxw6");
+        assert_eq!(encode(b"foob"), "mzxw6yq");
+        assert_eq!(encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(encode(b"foobar"), "mzxw6ytboi");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("mzxw6ytboi").unwrap(), b"foobar");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        for len in 0..40 {
+            let d = vec![0xA5u8; len];
+            assert_eq!(decode(&encode(&d)).unwrap(), d, "len={len}");
+        }
+    }
+
+    #[test]
+    fn rejects_uppercase_and_symbols() {
+        assert!(decode("MZXW6").is_err());
+        assert!(decode("mzx=").is_err());
+        assert!(decode("0").is_err()); // '0' and '1' excluded
+    }
+
+    #[test]
+    fn rejects_nonzero_padding_bits() {
+        // "mz" decodes 10 bits → 1 byte + 2 leftover bits; make them nonzero.
+        // 'z' = 25 = 0b11001; leftover low 2 bits = 0b01 ≠ 0 → error.
+        assert!(decode("mz").is_err());
+        // 'y' = 24 = 0b11000 → leftover bits zero → ok.
+        assert!(decode("my").is_ok());
+    }
+}

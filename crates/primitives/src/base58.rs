@@ -1,0 +1,143 @@
+//! Base58btc (Bitcoin/IPFS alphabet) encoding.
+//!
+//! CIDv0 strings (`Qm...`) are base58btc-encoded multihashes; this module is
+//! the `ofl-ipfs` dependency for rendering them.
+
+const ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base58Error {
+    /// A character outside the base58btc alphabet at the given position.
+    InvalidChar { position: usize, ch: char },
+}
+
+impl core::fmt::Display for Base58Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Base58Error::InvalidChar { position, ch } => {
+                write!(f, "invalid base58 character {ch:?} at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Base58Error {}
+
+/// Encodes bytes to a base58btc string.
+pub fn encode(input: &[u8]) -> String {
+    // Leading zero bytes map to '1' characters one-for-one.
+    let zeros = input.iter().take_while(|&&b| b == 0).count();
+    // Repeated division of the big-endian number by 58.
+    let mut digits: Vec<u8> = Vec::with_capacity(input.len() * 138 / 100 + 1);
+    for &byte in &input[zeros..] {
+        let mut carry = byte as u32;
+        for d in digits.iter_mut() {
+            carry += (*d as u32) << 8;
+            *d = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push('1');
+    }
+    for &d in digits.iter().rev() {
+        out.push(ALPHABET[d as usize] as char);
+    }
+    out
+}
+
+fn digit_value(c: u8) -> Option<u8> {
+    ALPHABET.iter().position(|&a| a == c).map(|p| p as u8)
+}
+
+/// Decodes a base58btc string to bytes.
+pub fn decode(input: &str) -> Result<Vec<u8>, Base58Error> {
+    let bytes = input.as_bytes();
+    let ones = bytes.iter().take_while(|&&b| b == b'1').count();
+    let mut out: Vec<u8> = Vec::with_capacity(input.len());
+    for (i, &c) in bytes[ones..].iter().enumerate() {
+        let val = digit_value(c).ok_or(Base58Error::InvalidChar {
+            position: ones + i,
+            ch: c as char,
+        })?;
+        let mut carry = val as u32;
+        for b in out.iter_mut() {
+            carry += (*b as u32) * 58;
+            *b = carry as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            out.push(carry as u8);
+            carry >>= 8;
+        }
+    }
+    let mut result = vec![0u8; ones];
+    result.extend(out.iter().rev());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors from the Bitcoin reference suite.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(&[0x61]), "2g");
+        assert_eq!(encode(&[0x62, 0x62, 0x62]), "a3gV");
+        assert_eq!(encode(&[0x63, 0x63, 0x63]), "aPEr");
+        assert_eq!(
+            encode(&crate::hex::from_hex("73696d706c792061206c6f6e6720737472696e67").unwrap()),
+            "2cFupjhnEsSn59qHXstmK2ffpLv2"
+        );
+        assert_eq!(
+            encode(&crate::hex::from_hex("00eb15231dfceb60925886b67d065299925915aeb172c06647").unwrap()),
+            "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L"
+        );
+        assert_eq!(encode(&[0x00, 0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]), "111233QC4");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("2g").unwrap(), vec![0x61]);
+        assert_eq!(decode("a3gV").unwrap(), vec![0x62, 0x62, 0x62]);
+        assert_eq!(
+            decode("111233QC4").unwrap(),
+            vec![0x00, 0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_chars() {
+        // 0, O, I, l are excluded from the alphabet.
+        for bad in ["0", "O", "I", "l", "Qm0"] {
+            assert!(decode(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        let zeros = vec![0u8; 7];
+        assert_eq!(decode(&encode(&zeros)).unwrap(), zeros);
+    }
+
+    #[test]
+    fn cidv0_shape() {
+        // A CIDv0 is 0x12 0x20 || 32-byte digest → 46 chars starting "Qm".
+        let mut mh = vec![0x12, 0x20];
+        mh.extend(crate::sha256::sha256(b"hello ipfs"));
+        let s = encode(&mh);
+        assert!(s.starts_with("Qm"), "{s}");
+        assert_eq!(s.len(), 46);
+    }
+}

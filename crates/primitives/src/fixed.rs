@@ -1,0 +1,193 @@
+//! Fixed-size hash/address types: [`H256`] (32 bytes) and [`H160`]
+//! (20 bytes, Ethereum addresses).
+
+use crate::hex::{from_hex, to_hex, HexError};
+use crate::u256::U256;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! fixed_hash {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+        pub struct $name(pub [u8; $len]);
+
+        impl $name {
+            /// All-zero value.
+            pub const ZERO: $name = $name([0; $len]);
+
+            /// Byte length of this hash type.
+            pub const LEN: usize = $len;
+
+            /// Constructs from a byte array.
+            pub const fn from_bytes(b: [u8; $len]) -> Self {
+                $name(b)
+            }
+
+            /// Constructs from a slice; panics if the length differs.
+            pub fn from_slice(b: &[u8]) -> Self {
+                let mut out = [0u8; $len];
+                out.copy_from_slice(b);
+                $name(out)
+            }
+
+            /// Borrow as a byte slice.
+            pub fn as_bytes(&self) -> &[u8] {
+                &self.0
+            }
+
+            /// True iff every byte is zero.
+            pub fn is_zero(&self) -> bool {
+                self.0 == [0; $len]
+            }
+
+            /// Parses a hex string (with or without `0x`).
+            pub fn from_hex(s: &str) -> Result<Self, HexError> {
+                let bytes = from_hex(s)?;
+                if bytes.len() != $len {
+                    return Err(HexError::OddLength);
+                }
+                Ok(Self::from_slice(&bytes))
+            }
+
+            /// `0x`-prefixed lowercase hex rendering.
+            pub fn to_hex(&self) -> String {
+                format!("0x{}", to_hex(&self.0))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.to_hex())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.to_hex())
+            }
+        }
+
+        impl AsRef<[u8]> for $name {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+
+        impl From<[u8; $len]> for $name {
+            fn from(b: [u8; $len]) -> Self {
+                $name(b)
+            }
+        }
+    };
+}
+
+fixed_hash!(
+    /// A 32-byte hash (Keccak-256 / SHA-256 digest, storage key, topic).
+    H256,
+    32
+);
+fixed_hash!(
+    /// A 20-byte Ethereum account address.
+    H160,
+    20
+);
+
+impl H256 {
+    /// Converts to a [`U256`] interpreting the bytes as big-endian.
+    pub fn to_u256(&self) -> U256 {
+        U256::from_be_bytes(&self.0)
+    }
+
+    /// Converts a [`U256`] to big-endian bytes.
+    pub fn from_u256(v: &U256) -> H256 {
+        H256(v.to_be_bytes())
+    }
+}
+
+impl H160 {
+    /// Zero-pads to a 32-byte word (ABI/EVM word form of an address).
+    pub fn to_word(&self) -> H256 {
+        let mut out = [0u8; 32];
+        out[12..].copy_from_slice(&self.0);
+        H256(out)
+    }
+
+    /// Truncates a 32-byte word to the low 20 bytes (EVM address coercion).
+    pub fn from_word(w: &H256) -> H160 {
+        H160::from_slice(&w.0[12..])
+    }
+
+    /// EIP-55 checksummed rendering (e.g. `0xbC43368F30...`), matching the
+    /// wallet addresses printed in the paper's Table 1.
+    pub fn to_checksum(&self) -> String {
+        let lower = to_hex(&self.0);
+        let digest = crate::keccak::keccak256(lower.as_bytes());
+        let mut out = String::with_capacity(42);
+        out.push_str("0x");
+        for (i, c) in lower.chars().enumerate() {
+            let nibble = (digest[i / 2] >> (4 * (1 - i % 2))) & 0xf;
+            if c.is_ascii_alphabetic() && nibble >= 8 {
+                out.push(c.to_ascii_uppercase());
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h256_u256_roundtrip() {
+        let v = U256::from_u128(0xdeadbeef_cafebabe_u128);
+        assert_eq!(H256::from_u256(&v).to_u256(), v);
+    }
+
+    #[test]
+    fn h160_word_roundtrip() {
+        let a = H160::from_hex("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed").unwrap();
+        let w = a.to_word();
+        assert_eq!(&w.0[..12], &[0u8; 12]);
+        assert_eq!(H160::from_word(&w), a);
+    }
+
+    #[test]
+    fn eip55_checksum_vectors() {
+        // Official EIP-55 test vectors.
+        for addr in [
+            "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed",
+            "0xfB6916095ca1df60bB79Ce92cE3Ea74c37c5d359",
+            "0xdbF03B407c01E7cD3CBea99509d93f8DDDC8C6FB",
+            "0xD1220A0cf47c7B9Be7A2E6BA89F429762e7b9aDb",
+        ] {
+            let parsed = H160::from_hex(addr).unwrap();
+            assert_eq!(parsed.to_checksum(), addr);
+        }
+    }
+
+    #[test]
+    fn hex_parse_and_display() {
+        let h = H256::from_hex(&format!("0x{}", "ab".repeat(32))).unwrap();
+        assert_eq!(h.to_hex(), format!("0x{}", "ab".repeat(32)));
+        assert!(H256::from_hex("0x1234").is_err());
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(H160::ZERO.is_zero());
+        assert!(!H160::from_slice(&[1u8; 20]).is_zero());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = H256::from_slice(&[0u8; 32]);
+        let mut b_bytes = [0u8; 32];
+        b_bytes[0] = 1;
+        let b = H256::from_slice(&b_bytes);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Lowercase hex encoding/decoding with optional `0x` prefix handling.
+
+use core::fmt;
+
+/// Errors from [`from_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length is odd.
+    OddLength,
+    /// A byte outside `[0-9a-fA-F]` at the given position.
+    InvalidChar { position: usize, byte: u8 },
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidChar { position, byte } => {
+                write!(f, "invalid hex byte 0x{byte:02x} at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Encodes bytes as lowercase hex (no prefix).
+pub fn to_hex(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Encodes bytes as `0x`-prefixed lowercase hex.
+pub fn to_hex_prefixed(bytes: &[u8]) -> String {
+    format!("0x{}", to_hex(bytes))
+}
+
+fn nibble(b: u8, position: usize) -> Result<u8, HexError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(HexError::InvalidChar { position, byte: b }),
+    }
+}
+
+/// Decodes a hex string; a leading `0x`/`0X` is accepted and ignored.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    let s = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        out.push((nibble(bytes[i], i)? << 4) | nibble(bytes[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        let s = to_hex(&data);
+        assert_eq!(s, "0001abff");
+        assert_eq!(from_hex(&s).unwrap(), data);
+        assert_eq!(from_hex(&to_hex_prefixed(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(from_hex("ABCDEF").unwrap(), [0xab, 0xcd, 0xef]);
+        assert_eq!(from_hex("0XAB").unwrap(), [0xab]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(from_hex("abc"), Err(HexError::OddLength));
+        assert_eq!(
+            from_hex("zz"),
+            Err(HexError::InvalidChar {
+                position: 0,
+                byte: b'z'
+            })
+        );
+        assert!(matches!(
+            from_hex("a g0"),
+            Err(HexError::InvalidChar { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(from_hex("0x").unwrap(), Vec::<u8>::new());
+    }
+}

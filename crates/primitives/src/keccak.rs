@@ -1,0 +1,223 @@
+//! Keccak-256 as used by Ethereum (the original Keccak padding `0x01`, not
+//! the NIST SHA-3 `0x06` variant).
+//!
+//! Used for contract addresses, transaction hashes, event topics, function
+//! selectors, and EVM `KECCAK256`.
+
+/// Keccak-f[1600] round constants.
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets for the rho step, indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// One Keccak-f[1600] permutation over the 5×5 lane state.
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for rc in RC {
+        // Theta
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] ^= d[x];
+            }
+        }
+        // Rho + Pi
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        // Chi
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota
+        state[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// ```
+/// use ofl_primitives::keccak::Keccak256;
+/// let mut h = Keccak256::new();
+/// h.update(b"hello");
+/// h.update(b" world");
+/// assert_eq!(h.finalize(), ofl_primitives::keccak::keccak256(b"hello world"));
+/// ```
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buf: [u8; Self::RATE],
+    buf_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Rate in bytes for a 256-bit capacity: (1600 - 2*256) / 8.
+    const RATE: usize = 136;
+
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0; 5]; 5],
+            buf: [0; Self::RATE],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (Self::RATE - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == Self::RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..Self::RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buf[i * 8..(i + 1) * 8]);
+            let v = u64::from_le_bytes(lane);
+            self.state[i % 5][i / 5] ^= v;
+        }
+        keccak_f(&mut self.state);
+        self.buf_len = 0;
+    }
+
+    /// Applies padding and squeezes the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Keccak (pre-NIST) multi-rate padding: 0x01 .. 0x80.
+        self.buf[self.buf_len..].fill(0);
+        self.buf[self.buf_len] ^= 0x01;
+        self.buf[Self::RATE - 1] ^= 0x80;
+        self.buf_len = Self::RATE;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let lane = self.state[i % 5][i / 5];
+            out[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn empty_string_vector() {
+        // Well-known Ethereum constant: keccak256("").
+        assert_eq!(
+            to_hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            to_hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn transfer_selector_vector() {
+        // First 4 bytes of keccak256("transfer(address,uint256)") = a9059cbb —
+        // the most famous function selector on Ethereum.
+        let h = keccak256(b"transfer(address,uint256)");
+        assert_eq!(to_hex(&h[..4]), "a9059cbb");
+    }
+
+    #[test]
+    fn long_input_spanning_blocks() {
+        // 1 MiB of 0xAA absorbed in odd-sized chunks must equal one-shot.
+        let data = vec![0xAAu8; 1 << 20];
+        let oneshot = keccak256(&data);
+        let mut inc = Keccak256::new();
+        for chunk in data.chunks(997) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finalize(), oneshot);
+    }
+
+    #[test]
+    fn rate_boundary_lengths() {
+        // Lengths straddling the 136-byte rate exercise the padding paths.
+        for len in [135usize, 136, 137, 271, 272, 273] {
+            let data = vec![0x5Au8; len];
+            let mut inc = Keccak256::new();
+            inc.update(&data[..len / 2]);
+            inc.update(&data[len / 2..]);
+            assert_eq!(inc.finalize(), keccak256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(keccak256(b"a"), keccak256(b"b"));
+        assert_ne!(keccak256(b""), keccak256(b"\x00"));
+    }
+}

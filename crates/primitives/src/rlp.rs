@@ -1,0 +1,325 @@
+//! Recursive Length Prefix (RLP) encoding and decoding, per the Ethereum
+//! Yellow Paper appendix B.
+//!
+//! RLP serializes transactions and blocks before hashing/signing; decoding is
+//! used by the chain to accept raw signed transactions.
+
+use crate::u256::U256;
+
+/// An RLP item: either a byte string or a list of items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A byte string (possibly empty).
+    Bytes(Vec<u8>),
+    /// A (possibly empty) heterogeneous list.
+    List(Vec<Item>),
+}
+
+impl Item {
+    /// Byte-string constructor from anything byte-like.
+    pub fn bytes(b: impl AsRef<[u8]>) -> Item {
+        Item::Bytes(b.as_ref().to_vec())
+    }
+
+    /// Canonical integer item: big-endian with no leading zeros.
+    pub fn uint(v: &U256) -> Item {
+        Item::Bytes(v.to_be_bytes_trimmed())
+    }
+
+    /// Canonical integer item from a `u64`.
+    pub fn u64(v: u64) -> Item {
+        Item::uint(&U256::from_u64(v))
+    }
+
+    /// Extracts the byte string, if this is one.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Item::Bytes(b) => Some(b),
+            Item::List(_) => None,
+        }
+    }
+
+    /// Extracts the list, if this is one.
+    pub fn as_list(&self) -> Option<&[Item]> {
+        match self {
+            Item::List(l) => Some(l),
+            Item::Bytes(_) => None,
+        }
+    }
+
+    /// Decodes the canonical integer form (empty = 0, no leading zeros).
+    pub fn as_uint(&self) -> Result<U256, RlpError> {
+        let b = self.as_bytes().ok_or(RlpError::ExpectedBytes)?;
+        if b.len() > 32 {
+            return Err(RlpError::IntegerTooLarge);
+        }
+        if !b.is_empty() && b[0] == 0 {
+            return Err(RlpError::LeadingZero);
+        }
+        Ok(U256::from_be_slice(b))
+    }
+
+    /// Decodes the canonical integer form into a `u64`.
+    pub fn as_u64(&self) -> Result<u64, RlpError> {
+        self.as_uint()?.to_u64().ok_or(RlpError::IntegerTooLarge)
+    }
+}
+
+/// Errors from RLP decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RlpError {
+    /// Input ended before the announced payload.
+    Truncated,
+    /// A length prefix itself has leading zero bytes or a single byte that
+    /// should have been encoded directly.
+    NonCanonical,
+    /// Decoded item left trailing bytes where none were expected.
+    TrailingBytes,
+    /// Expected a byte string, found a list (or vice versa).
+    ExpectedBytes,
+    /// Integer field exceeds the target width.
+    IntegerTooLarge,
+    /// Canonical integers must not have leading zeros.
+    LeadingZero,
+}
+
+impl core::fmt::Display for RlpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            RlpError::Truncated => "truncated RLP input",
+            RlpError::NonCanonical => "non-canonical RLP encoding",
+            RlpError::TrailingBytes => "trailing bytes after RLP item",
+            RlpError::ExpectedBytes => "expected byte string, found list",
+            RlpError::IntegerTooLarge => "integer field too large",
+            RlpError::LeadingZero => "integer has leading zero bytes",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RlpError {}
+
+/// Encodes an item to bytes.
+pub fn encode(item: &Item) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(item, &mut out);
+    out
+}
+
+/// Appends the encoding of `item` to `out`.
+pub fn encode_into(item: &Item, out: &mut Vec<u8>) {
+    match item {
+        Item::Bytes(b) => {
+            if b.len() == 1 && b[0] < 0x80 {
+                out.push(b[0]);
+            } else {
+                encode_length(b.len(), 0x80, out);
+                out.extend_from_slice(b);
+            }
+        }
+        Item::List(items) => {
+            let mut payload = Vec::new();
+            for it in items {
+                encode_into(it, &mut payload);
+            }
+            encode_length(payload.len(), 0xc0, out);
+            out.extend_from_slice(&payload);
+        }
+    }
+}
+
+fn encode_length(len: usize, offset: u8, out: &mut Vec<u8>) {
+    if len < 56 {
+        out.push(offset + len as u8);
+    } else {
+        let len_bytes = U256::from(len).to_be_bytes_trimmed();
+        out.push(offset + 55 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+}
+
+/// Decodes a single item consuming the entire input.
+pub fn decode(input: &[u8]) -> Result<Item, RlpError> {
+    let (item, used) = decode_prefix(input)?;
+    if used != input.len() {
+        return Err(RlpError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+/// Decodes one item from the front of `input`, returning it and the bytes
+/// consumed.
+pub fn decode_prefix(input: &[u8]) -> Result<(Item, usize), RlpError> {
+    let &first = input.first().ok_or(RlpError::Truncated)?;
+    match first {
+        0x00..=0x7f => Ok((Item::Bytes(vec![first]), 1)),
+        0x80..=0xb7 => {
+            let len = (first - 0x80) as usize;
+            let payload = input.get(1..1 + len).ok_or(RlpError::Truncated)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(RlpError::NonCanonical);
+            }
+            Ok((Item::Bytes(payload.to_vec()), 1 + len))
+        }
+        0xb8..=0xbf => {
+            let len_of_len = (first - 0xb7) as usize;
+            let len = read_length(input, len_of_len)?;
+            let start = 1 + len_of_len;
+            let payload = input.get(start..start + len).ok_or(RlpError::Truncated)?;
+            Ok((Item::Bytes(payload.to_vec()), start + len))
+        }
+        0xc0..=0xf7 => {
+            let len = (first - 0xc0) as usize;
+            let payload = input.get(1..1 + len).ok_or(RlpError::Truncated)?;
+            Ok((Item::List(decode_list_payload(payload)?), 1 + len))
+        }
+        0xf8..=0xff => {
+            let len_of_len = (first - 0xf7) as usize;
+            let len = read_length(input, len_of_len)?;
+            let start = 1 + len_of_len;
+            let payload = input.get(start..start + len).ok_or(RlpError::Truncated)?;
+            Ok((Item::List(decode_list_payload(payload)?), start + len))
+        }
+    }
+}
+
+fn read_length(input: &[u8], len_of_len: usize) -> Result<usize, RlpError> {
+    let bytes = input.get(1..1 + len_of_len).ok_or(RlpError::Truncated)?;
+    if bytes[0] == 0 {
+        return Err(RlpError::NonCanonical);
+    }
+    if len_of_len > 8 {
+        return Err(RlpError::NonCanonical);
+    }
+    let mut len: usize = 0;
+    for &b in bytes {
+        len = len.checked_mul(256).ok_or(RlpError::NonCanonical)? + b as usize;
+    }
+    if len < 56 {
+        return Err(RlpError::NonCanonical);
+    }
+    Ok(len)
+}
+
+fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, RlpError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, used) = decode_prefix(payload)?;
+        items.push(item);
+        payload = &payload[used..];
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc_bytes(b: &[u8]) -> Vec<u8> {
+        encode(&Item::bytes(b))
+    }
+
+    #[test]
+    fn canonical_vectors() {
+        // From the Ethereum wiki RLP test suite.
+        assert_eq!(enc_bytes(b"dog"), [&[0x83u8][..], b"dog"].concat());
+        assert_eq!(
+            encode(&Item::List(vec![Item::bytes(b"cat"), Item::bytes(b"dog")])),
+            [&[0xc8u8, 0x83][..], b"cat", &[0x83], b"dog"].concat()
+        );
+        assert_eq!(enc_bytes(b""), vec![0x80]);
+        assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
+        assert_eq!(encode(&Item::u64(0)), vec![0x80]);
+        assert_eq!(encode(&Item::u64(15)), vec![0x0f]);
+        assert_eq!(encode(&Item::u64(1024)), vec![0x82, 0x04, 0x00]);
+        // Set-theoretic nesting [ [], [[]], [ [], [[]] ] ]
+        let nested = Item::List(vec![
+            Item::List(vec![]),
+            Item::List(vec![Item::List(vec![])]),
+            Item::List(vec![Item::List(vec![]), Item::List(vec![Item::List(vec![])])]),
+        ]);
+        assert_eq!(
+            encode(&nested),
+            vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]
+        );
+    }
+
+    #[test]
+    fn long_string_vector() {
+        let s = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let enc = enc_bytes(s);
+        assert_eq!(enc[0], 0xb8);
+        assert_eq!(enc[1], 0x38);
+        assert_eq!(&enc[2..], s);
+    }
+
+    #[test]
+    fn single_byte_below_0x80_is_itself() {
+        assert_eq!(enc_bytes(&[0x00]), vec![0x00]);
+        assert_eq!(enc_bytes(&[0x7f]), vec![0x7f]);
+        assert_eq!(enc_bytes(&[0x80]), vec![0x81, 0x80]);
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let item = Item::List(vec![
+            Item::u64(1),
+            Item::bytes(vec![0xffu8; 100]),
+            Item::List(vec![Item::bytes(b"nested"), Item::u64(u64::MAX)]),
+            Item::bytes(b""),
+        ]);
+        assert_eq!(decode(&encode(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn roundtrip_large_list() {
+        let item = Item::List((0..100).map(Item::u64).collect());
+        let enc = encode(&item);
+        assert!(enc.len() > 56);
+        assert_eq!(decode(&enc).unwrap(), item);
+    }
+
+    #[test]
+    fn rejects_noncanonical_single_byte() {
+        // [0x81, 0x05] encodes byte 0x05 with an unnecessary prefix.
+        assert_eq!(decode(&[0x81, 0x05]), Err(RlpError::NonCanonical));
+    }
+
+    #[test]
+    fn rejects_noncanonical_length() {
+        // Long form used for a payload under 56 bytes.
+        let mut bad = vec![0xb8, 0x01];
+        bad.push(0xaa);
+        assert_eq!(decode(&bad), Err(RlpError::NonCanonical));
+        // Length prefix with leading zero.
+        let bad2 = [vec![0xb9, 0x00, 0x38], vec![0u8; 56]].concat();
+        assert_eq!(decode(&bad2), Err(RlpError::NonCanonical));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert_eq!(decode(&[0x83, b'd', b'o']), Err(RlpError::Truncated));
+        assert_eq!(decode(&[]), Err(RlpError::Truncated));
+        assert_eq!(decode(&[0xb8]), Err(RlpError::Truncated));
+    }
+
+    #[test]
+    fn rejects_trailing() {
+        assert_eq!(decode(&[0x80, 0x00]), Err(RlpError::TrailingBytes));
+    }
+
+    #[test]
+    fn uint_decoding_rules() {
+        assert_eq!(Item::Bytes(vec![]).as_uint().unwrap(), U256::ZERO);
+        assert_eq!(Item::Bytes(vec![0x04, 0x00]).as_u64().unwrap(), 1024);
+        assert_eq!(
+            Item::Bytes(vec![0x00, 0x01]).as_uint(),
+            Err(RlpError::LeadingZero)
+        );
+        assert_eq!(
+            Item::Bytes(vec![0xff; 33]).as_uint(),
+            Err(RlpError::IntegerTooLarge)
+        );
+        assert_eq!(Item::List(vec![]).as_uint(), Err(RlpError::ExpectedBytes));
+    }
+}

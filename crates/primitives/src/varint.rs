@@ -1,0 +1,108 @@
+//! Unsigned LEB128 varints as used by multiformats (multihash, multicodec,
+//! CIDv1 headers).
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// Input ended mid-varint.
+    Truncated,
+    /// More than 10 bytes / does not fit in u64.
+    Overflow,
+}
+
+impl core::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "truncated varint"),
+            VarintError::Overflow => write!(f, "varint does not fit in u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends the LEB128 encoding of `value` to `out`.
+pub fn encode_into(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Returns the LEB128 encoding of `value`.
+pub fn encode(value: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    encode_into(value, &mut out);
+    out
+}
+
+/// Decodes a varint from the front of `input`, returning the value and the
+/// number of bytes consumed.
+pub fn decode(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 10 || (i == 9 && byte > 1) {
+            return Err(VarintError::Overflow);
+        }
+        value |= ((byte & 0x7f) as u64) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    Err(VarintError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_single_byte() {
+        for v in 0..128u64 {
+            assert_eq!(encode(v), vec![v as u8]);
+            assert_eq!(decode(&[v as u8]).unwrap(), (v, 1));
+        }
+    }
+
+    #[test]
+    fn multiformat_vectors() {
+        assert_eq!(encode(0x12), vec![0x12]); // sha2-256 code
+        assert_eq!(encode(128), vec![0x80, 0x01]);
+        assert_eq!(encode(300), vec![0xac, 0x02]);
+        assert_eq!(encode(0x70), vec![0x70]); // dag-pb codec
+        assert_eq!(encode(0x0129), vec![0xa9, 0x02]); // dag-json codec
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let enc = encode(v);
+            let (dec, used) = decode(&enc).unwrap();
+            assert_eq!(dec, v);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut buf = encode(300);
+        buf.extend_from_slice(&[0xff, 0xff]);
+        assert_eq!(decode(&buf).unwrap(), (300, 2));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode(&[]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0x80]), Err(VarintError::Truncated));
+        assert_eq!(decode(&[0xff; 11]), Err(VarintError::Overflow));
+        // 10th byte with more than 1 significant bit overflows u64.
+        let mut bad = vec![0xff; 9];
+        bad.push(0x02);
+        assert_eq!(decode(&bad), Err(VarintError::Overflow));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the primitive types: algebraic laws for U256,
+//! roundtrip laws for the encoders, and incremental-equals-oneshot laws for
+//! the hashers.
+
+use ofl_primitives::u256::U256;
+use ofl_primitives::{base32, base58, hex, rlp, varint};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform4(any::<u64>()).prop_map(U256)
+}
+
+/// Nonzero U256 for divisor/modulus positions.
+fn arb_u256_nonzero() -> impl Strategy<Value = U256> {
+    arb_u256().prop_filter("nonzero", |v| !v.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_mul(&b), b.wrapping_mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        let lhs = a.wrapping_mul(&b.wrapping_add(&c));
+        let rhs = a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), d in arb_u256_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.wrapping_mul(&d).wrapping_add(&r), a);
+    }
+
+    #[test]
+    fn mul_mod_matches_widening(a in arb_u256(), b in arb_u256(), m in arb_u256_nonzero()) {
+        let got = a.mul_mod(&b, &m);
+        prop_assert!(got < m);
+        // Cross-check against div_rem on the 512-bit product for small moduli
+        // where the product fits in 256 bits.
+        if a.bits() + b.bits() <= 256 {
+            let full = a.wrapping_mul(&b);
+            prop_assert_eq!(got, full.div_rem(&m).1);
+        }
+    }
+
+    #[test]
+    fn shl_shr_inverse_when_no_loss(a in arb_u256(), s in 0u32..256) {
+        let masked = a.shl(s).shr(s);
+        // shl then shr clears the top s bits.
+        let expect = if s == 0 { a } else { a & (U256::MAX.shr(s)) };
+        prop_assert_eq!(masked, expect);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn dec_string_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_dec_str(&a.to_dec_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn cmp_consistent_with_sub(a in arb_u256(), b in arb_u256()) {
+        let borrow = a.overflowing_sub(&b).1;
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex::from_hex(&hex::to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base58_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(base58::decode(&base58::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base32_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base32::decode(&base32::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let enc = varint::encode(v);
+        let (dec, used) = varint::decode(&enc).unwrap();
+        prop_assert_eq!(dec, v);
+        prop_assert_eq!(used, enc.len());
+        prop_assert!(enc.len() <= 10);
+    }
+
+    #[test]
+    fn keccak_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut h = ofl_primitives::keccak::Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), ofl_primitives::keccak256(&data));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut h = ofl_primitives::sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), ofl_primitives::sha256(&data));
+    }
+}
+
+/// RLP item strategy with bounded depth and size.
+fn arb_rlp_item() -> impl Strategy<Value = rlp::Item> {
+    let leaf = proptest::collection::vec(any::<u8>(), 0..64).prop_map(rlp::Item::Bytes);
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(rlp::Item::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rlp_roundtrip(item in arb_rlp_item()) {
+        let enc = rlp::encode(&item);
+        prop_assert_eq!(rlp::decode(&enc).unwrap(), item);
+    }
+
+    #[test]
+    fn rlp_uint_roundtrip(a in arb_u256()) {
+        let item = rlp::Item::uint(&a);
+        let enc = rlp::encode(&item);
+        prop_assert_eq!(rlp::decode(&enc).unwrap().as_uint().unwrap(), a);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ofl-tensor
+//!
+//! A small, dependency-light neural-network library sufficient for the
+//! paper's experiments: dense f32 tensors, multi-layer perceptrons with
+//! explicit backpropagation, SGD/Adam optimizers, and the byte-level model
+//! codec whose output is what model owners upload to IPFS.
+//!
+//! The paper's network — MLP (784, 100, 10), batch 64, lr 0.001, 10 local
+//! epochs — trains in well under a second per client on CPU at the sample
+//! counts used by the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use ofl_tensor::nn::Mlp;
+//! use ofl_tensor::optim::{Adam, Optimizer};
+//! use ofl_tensor::tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = Mlp::new(&[4, 16, 2], &mut rng);
+//! let x = Tensor::randn(32, 4, 1.0, &mut rng);
+//! let labels: Vec<usize> = (0..32).map(|i| i % 2).collect();
+//!
+//! let mut opt = Adam::new(0.01);
+//! for _ in 0..10 {
+//!     let (_loss, grads) = model.loss_and_grads(&x, &labels);
+//!     opt.step(&mut model, &grads);
+//! }
+//! let bytes = ofl_tensor::serialize::encode_model(&model);
+//! let restored = ofl_tensor::serialize::decode_model(&bytes).unwrap();
+//! assert_eq!(restored, model);
+//! ```
+
+pub mod nn;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use nn::{Linear, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use serialize::{decode_model, encode_model};
+pub use tensor::Tensor;

@@ -1,0 +1,235 @@
+//! Optimizers: SGD with momentum and Adam. The paper trains locally with
+//! Adam-style settings (lr = 0.001), which is this module's default.
+
+use crate::nn::{LinearGrad, Mlp};
+use crate::tensor::Tensor;
+
+/// A first-order optimizer over an [`Mlp`]'s parameters.
+pub trait Optimizer {
+    /// Applies one update step given per-layer gradients.
+    fn step(&mut self, model: &mut Mlp, grads: &[LinearGrad]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Option<Vec<(Tensor, Vec<f32>)>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: None,
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum,
+            velocity: None,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut Mlp, grads: &[LinearGrad]) {
+        if self.momentum == 0.0 {
+            for (layer, g) in model.layers.iter_mut().zip(grads) {
+                layer.weight.axpy(-self.lr, &g.weight);
+                for (b, &gb) in layer.bias.iter_mut().zip(&g.bias) {
+                    *b -= self.lr * gb;
+                }
+            }
+            return;
+        }
+        let velocity = self.velocity.get_or_insert_with(|| {
+            model
+                .layers
+                .iter()
+                .map(|l| {
+                    (
+                        Tensor::zeros(l.weight.rows(), l.weight.cols()),
+                        vec![0.0; l.bias.len()],
+                    )
+                })
+                .collect()
+        });
+        for ((layer, g), (vw, vb)) in model.layers.iter_mut().zip(grads).zip(velocity.iter_mut())
+        {
+            vw.scale(self.momentum);
+            vw.axpy(1.0, &g.weight);
+            layer.weight.axpy(-self.lr, vw);
+            for ((b, &gb), v) in layer.bias.iter_mut().zip(&g.bias).zip(vb.iter_mut()) {
+                *v = self.momentum * *v + gb;
+                *b -= self.lr * *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper setting: 0.001).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+    moments: Option<Vec<AdamState>>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamState {
+    m_w: Tensor,
+    v_w: Tensor,
+    m_b: Vec<f32>,
+    v_b: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: None,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut Mlp, grads: &[LinearGrad]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let corr1 = 1.0 - b1.powf(t);
+        let corr2 = 1.0 - b2.powf(t);
+        let moments = self.moments.get_or_insert_with(|| {
+            model
+                .layers
+                .iter()
+                .map(|l| AdamState {
+                    m_w: Tensor::zeros(l.weight.rows(), l.weight.cols()),
+                    v_w: Tensor::zeros(l.weight.rows(), l.weight.cols()),
+                    m_b: vec![0.0; l.bias.len()],
+                    v_b: vec![0.0; l.bias.len()],
+                })
+                .collect()
+        });
+        for ((layer, g), st) in model.layers.iter_mut().zip(grads).zip(moments.iter_mut()) {
+            for i in 0..layer.weight.len() {
+                let grad = g.weight.data()[i];
+                let m = &mut st.m_w.data_mut()[i];
+                *m = b1 * *m + (1.0 - b1) * grad;
+                let m_val = *m;
+                let v = &mut st.v_w.data_mut()[i];
+                *v = b2 * *v + (1.0 - b2) * grad * grad;
+                let m_hat = m_val / corr1;
+                let v_hat = *v / corr2;
+                layer.weight.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            for i in 0..layer.bias.len() {
+                let grad = g.bias[i];
+                st.m_b[i] = b1 * st.m_b[i] + (1.0 - b1) * grad;
+                st.v_b[i] = b2 * st.v_b[i] + (1.0 - b2) * grad * grad;
+                let m_hat = st.m_b[i] / corr1;
+                let v_hat = st.v_b[i] / corr2;
+                layer.bias[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_problem() -> (Mlp, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&[2, 12, 2], &mut rng);
+        let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let labels = vec![0usize, 1, 1, 0];
+        (mlp, x, labels)
+    }
+
+    fn train_to_convergence(opt: &mut dyn Optimizer, steps: usize) -> (f32, f32) {
+        let (mut mlp, x, labels) = toy_problem();
+        let (initial, _) = mlp.loss_and_grads(&x, &labels);
+        for _ in 0..steps {
+            let (_, grads) = mlp.loss_and_grads(&x, &labels);
+            opt.step(&mut mlp, &grads);
+        }
+        let (final_loss, _) = mlp.loss_and_grads(&x, &labels);
+        (initial, final_loss)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.5);
+        let (initial, final_loss) = train_to_convergence(&mut opt, 500);
+        assert!(final_loss < initial / 5.0, "{initial} → {final_loss}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::new(0.1);
+        let mut momentum = Sgd::with_momentum(0.1, 0.9);
+        let (_, plain_loss) = train_to_convergence(&mut plain, 150);
+        let (_, momentum_loss) = train_to_convergence(&mut momentum, 150);
+        assert!(
+            momentum_loss < plain_loss,
+            "momentum {momentum_loss} !< plain {plain_loss}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_with_paper_lr() {
+        let mut opt = Adam::new(0.01);
+        let (initial, final_loss) = train_to_convergence(&mut opt, 500);
+        assert!(final_loss < initial / 5.0, "{initial} → {final_loss}");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step_bounded() {
+        // After one step with gradient g, Adam's update ≈ lr·sign(g); ensure
+        // no blow-up from uncorrected moments.
+        let (mut mlp, x, labels) = toy_problem();
+        let before = mlp.layers[0].weight.clone();
+        let mut opt = Adam::new(0.001);
+        let (_, grads) = mlp.loss_and_grads(&x, &labels);
+        opt.step(&mut mlp, &grads);
+        let mut max_delta = 0.0f32;
+        for (a, b) in mlp.layers[0].weight.data().iter().zip(before.data()) {
+            max_delta = max_delta.max((a - b).abs());
+        }
+        assert!(max_delta <= 0.0011, "first Adam step moved {max_delta}");
+    }
+
+    #[test]
+    fn optimizers_leave_shapes_intact() {
+        let (mut mlp, x, labels) = toy_problem();
+        let dims = mlp.dims();
+        let mut opt = Adam::new(0.001);
+        let (_, grads) = mlp.loss_and_grads(&x, &labels);
+        opt.step(&mut mlp, &grads);
+        assert_eq!(mlp.dims(), dims);
+    }
+}

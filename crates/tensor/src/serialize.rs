@@ -1,0 +1,192 @@
+//! Model (de)serialization: the byte format model owners upload to IPFS.
+//!
+//! Layout (all little-endian):
+//! `magic "OFLW" ‖ version u16 ‖ n_layers u16 ‖ (in u32, out u32)*n ‖
+//!  per-layer weights row-major f32 ‖ per-layer bias f32`.
+//!
+//! For the paper's 784-100-10 MLP this serializes to 318 064 bytes ≈ 311 KiB,
+//! matching the ~317 KB model size reported in §4.4.
+
+use crate::nn::{Linear, Mlp};
+use crate::tensor::Tensor;
+
+/// Format magic.
+pub const MAGIC: &[u8; 4] = b"OFLW";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors from decoding model bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// Missing/incorrect magic.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Byte count inconsistent with the header.
+    Truncated,
+    /// A layer's input does not match the previous layer's output.
+    InconsistentDims,
+}
+
+impl core::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelCodecError::BadMagic => write!(f, "not an OFLW model file"),
+            ModelCodecError::BadVersion(v) => write!(f, "unsupported model format version {v}"),
+            ModelCodecError::Truncated => write!(f, "model bytes truncated"),
+            ModelCodecError::InconsistentDims => write!(f, "layer dimensions inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+/// Serializes a model.
+pub fn encode_model(model: &Mlp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(model.param_count() * 4 + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(model.layers.len() as u16).to_le_bytes());
+    for layer in &model.layers {
+        out.extend_from_slice(&(layer.in_dim() as u32).to_le_bytes());
+        out.extend_from_slice(&(layer.out_dim() as u32).to_le_bytes());
+    }
+    for layer in &model.layers {
+        for &w in layer.weight.data() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for &b in &layer.bias {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a model.
+pub fn decode_model(bytes: &[u8]) -> Result<Mlp, ModelCodecError> {
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(ModelCodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(ModelCodecError::BadVersion(version));
+    }
+    let n_layers = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+    let mut pos = 8;
+    let mut dims = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let end = pos + 8;
+        let chunk = bytes.get(pos..end).ok_or(ModelCodecError::Truncated)?;
+        let in_dim = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as usize;
+        let out_dim = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]) as usize;
+        dims.push((in_dim, out_dim));
+        pos = end;
+    }
+    for w in dims.windows(2) {
+        if w[0].1 != w[1].0 {
+            return Err(ModelCodecError::InconsistentDims);
+        }
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for &(in_dim, out_dim) in &dims {
+        let w_len = in_dim * out_dim * 4;
+        let w_bytes = bytes
+            .get(pos..pos + w_len)
+            .ok_or(ModelCodecError::Truncated)?;
+        pos += w_len;
+        let weight_data: Vec<f32> = w_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let b_len = out_dim * 4;
+        let b_bytes = bytes
+            .get(pos..pos + b_len)
+            .ok_or(ModelCodecError::Truncated)?;
+        pos += b_len;
+        let bias: Vec<f32> = b_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        layers.push(Linear {
+            weight: Tensor::from_vec(out_dim, in_dim, weight_data),
+            bias,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(ModelCodecError::Truncated);
+    }
+    Ok(Mlp { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_model_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Mlp::new(&[784, 100, 10], &mut rng);
+        let bytes = encode_model(&model);
+        let decoded = decode_model(&bytes).unwrap();
+        assert_eq!(decoded, model);
+    }
+
+    #[test]
+    fn paper_model_size_is_317_kb() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = Mlp::new(&[784, 100, 10], &mut rng);
+        let bytes = encode_model(&model);
+        // §4.4: "the models in our experiments occupying 317Kb".
+        // 79 510 f32 params + 24-byte header = 318 064 bytes ≈ 310.6 KiB.
+        assert_eq!(bytes.len(), 318_064);
+        assert_eq!(bytes.len() / 1024, 310);
+        assert!((bytes.len() as f64 / 1024.0 - 317.0).abs() < 8.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode_model(b"nope"), Err(ModelCodecError::BadMagic));
+        assert_eq!(decode_model(b""), Err(ModelCodecError::BadMagic));
+        let mut ok = encode_model(&Mlp::new(&[2, 2], &mut StdRng::seed_from_u64(0)));
+        ok[4] = 99; // version
+        assert_eq!(decode_model(&ok), Err(ModelCodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let model = Mlp::new(&[3, 4, 2], &mut StdRng::seed_from_u64(1));
+        let bytes = encode_model(&model);
+        assert_eq!(
+            decode_model(&bytes[..bytes.len() - 1]),
+            Err(ModelCodecError::Truncated)
+        );
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(decode_model(&extended), Err(ModelCodecError::Truncated));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dims() {
+        // Hand-craft a header where layer 1 output ≠ layer 2 input.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // in
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // out
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // in ≠ 3
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(decode_model(&bytes), Err(ModelCodecError::InconsistentDims));
+    }
+
+    #[test]
+    fn decoded_model_predicts_identically() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Mlp::new(&[10, 8, 4], &mut rng);
+        let decoded = decode_model(&encode_model(&model)).unwrap();
+        let x = Tensor::randn(6, 10, 1.0, &mut rng);
+        assert_eq!(model.predict(&x), decoded.predict(&x));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the tensor/NN layer: linear-algebra laws, loss
+//! gradient sanity, and the model codec as a bijection.
+
+use ofl_tensor::nn::Mlp;
+use ofl_tensor::serialize::{decode_model, encode_model};
+use ofl_tensor::tensor::{cross_entropy_with_grad, softmax_rows, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_tensor(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
+    -> impl Strategy<Value = Tensor>
+{
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_associates_with_identity(a in arb_tensor(1..6, 1..6)) {
+        // A · I = A
+        let n = a.cols();
+        let mut eye = Tensor::zeros(n, n);
+        for i in 0..n {
+            eye.set(i, i, 1.0);
+        }
+        let product = a.matmul(&eye);
+        for (x, y) in product.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in arb_tensor(1..5, 1..5), seed in any::<u64>()) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Tensor::randn(a.cols(), 3, 1.0, &mut rng);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistency(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(4, 7, 1.0, &mut rng);
+        let w = Tensor::randn(5, 7, 1.0, &mut rng);
+        // x @ wᵀ computed two ways.
+        let a = x.matmul_nt(&w);
+        let b = x.matmul(&w.transpose());
+        for (p, q) in a.data().iter().zip(b.data()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(logits in arb_tensor(1..6, 2..8)) {
+        let p = softmax_rows(&logits);
+        for r in 0..p.rows() {
+            let row_sum: f32 = p.row(r).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariant(logits in arb_tensor(1..4, 2..6), shift in -5.0f32..5.0) {
+        let p1 = softmax_rows(&logits);
+        let mut shifted = logits.clone();
+        shifted.map_inplace(|v| v + shift);
+        let p2 = softmax_rows(&shifted);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_rows_sum_zero(
+        logits in arb_tensor(1..6, 2..8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<usize> = (0..logits.rows())
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..logits.cols()))
+            .collect();
+        let (loss, grad) = cross_entropy_with_grad(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        // Each gradient row sums to ~0 (softmax − one-hot).
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn model_codec_is_bijective(
+        dims in proptest::collection::vec(1usize..32, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = Mlp::new(&dims, &mut rng);
+        let bytes = encode_model(&model);
+        let decoded = decode_model(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &model);
+        // Encoding is canonical: re-encode gives identical bytes.
+        prop_assert_eq!(encode_model(&decoded), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(
+        dims in proptest::collection::vec(1usize..8, 2..4),
+        seed in any::<u64>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = Mlp::new(&dims, &mut rng);
+        let bytes = encode_model(&model);
+        let cut_at = cut.index(bytes.len().max(1));
+        if cut_at < bytes.len() {
+            prop_assert!(decode_model(&bytes[..cut_at]).is_err());
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite(
+        seed in any::<u64>(),
+        batch in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = Mlp::new(&[6, 10, 4], &mut rng);
+        let x = Tensor::randn(batch, 6, 2.0, &mut rng);
+        let y1 = model.forward(&x);
+        let y2 = model.forward(&x);
+        prop_assert_eq!(&y1, &y2);
+        prop_assert!(y1.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,65 @@
+//! DApp walkthrough: the button-level user experience of the paper's Fig 3.
+//!
+//! Drives the same marketplace session as `quickstart`, but through the
+//! [`OwnerApp`]/[`BuyerApp`] facades that mirror the React + MetaMask
+//! interface — each printed line corresponds to one click and the resulting
+//! UI feedback, demonstrating that "anyone, regardless of their knowledge of
+//! blockchain or Web 3.0" can participate.
+//!
+//! Run with: `cargo run --release --example dapp_walkthrough`
+
+use ofl_w3::core::config::MarketConfig;
+use ofl_w3::core::dapp::{BuyerApp, OwnerApp};
+use ofl_w3::core::market::Marketplace;
+
+fn main() {
+    println!("=== OFL-W3 DApp walkthrough (Fig 3) ===\n");
+    let mut market = Marketplace::new(MarketConfig::small_test());
+
+    println!("[buyer screen]");
+    let mut buyer = BuyerApp::new();
+    println!(
+        "  click \"Deploy Contract\"  -> {}",
+        buyer.deploy_contract(&mut market).expect("deploys")
+    );
+
+    for i in 0..market.owners.len() {
+        println!("\n[owner {i} screen]");
+        let mut app = OwnerApp::new(i);
+        println!("  click \"Connect Wallet\"   -> {}", app.connect_wallet(&market));
+        println!("  click \"Train Model\"      -> {}", app.train_model(&mut market));
+        println!(
+            "  click \"Upload Model\"     -> {}",
+            app.upload_model(&mut market).expect("uploads")
+        );
+        println!(
+            "  click \"Send CID\"         -> {}",
+            app.send_cid(&mut market).expect("sends")
+        );
+    }
+
+    println!("\n[buyer screen]");
+    println!(
+        "  click \"Download CIDs\"    -> {}",
+        buyer.download_cids(&mut market).expect("downloads")
+    );
+    println!(
+        "  click \"Retrieve Models\"  -> {}",
+        buyer.retrieve_models(&mut market).expect("retrieves")
+    );
+    let report = buyer
+        .aggregate_and_pay(&mut market)
+        .expect("aggregates and pays");
+    println!(
+        "  click \"Aggregate & Pay\"  -> {}",
+        buyer.events().last().expect("logged").message
+    );
+
+    println!("\n=== session complete ===");
+    println!(
+        "aggregate accuracy {:.1} %, {} owners paid, {} blocks mined",
+        report.aggregated_accuracy * 100.0,
+        report.payments.len(),
+        market.world.chain.height()
+    );
+}

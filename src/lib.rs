@@ -1,0 +1,24 @@
+//! # ofl-w3 — umbrella crate
+//!
+//! Re-exports the full OFL-W3 stack so that examples and downstream users
+//! can depend on a single crate. See the individual crates for details:
+//!
+//! - [`ofl_primitives`] — hashes, big integers, encodings
+//! - [`ofl_eth`] — Ethereum-like blockchain simulator with a gas-metered EVM
+//! - [`ofl_ipfs`] — content-addressed storage (CIDs, Merkle-DAG, swarm)
+//! - [`ofl_tensor`] — dense tensors and MLP training
+//! - [`ofl_data`] — synthetic MNIST and non-IID partitioners
+//! - [`ofl_fl`] — one-shot FL algorithms (PFNM, ensemble, averaging) and FedAvg
+//! - [`ofl_incentive`] — Leave-one-out / Shapley payment mechanisms
+//! - [`ofl_netsim`] — simulated clock, links, and Flask-like services
+//! - [`ofl_core`] — the OFL-W3 marketplace: buyers, owners, the 7-step workflow
+
+pub use ofl_core as core;
+pub use ofl_data as data;
+pub use ofl_eth as eth;
+pub use ofl_fl as fl;
+pub use ofl_incentive as incentive;
+pub use ofl_ipfs as ipfs;
+pub use ofl_netsim as netsim;
+pub use ofl_primitives as primitives;
+pub use ofl_tensor as tensor;

@@ -1,0 +1,193 @@
+//! Adversarial and failure-injection tests: the properties that make the
+//! Web 3.0 substrate trustworthy — signature forgery fails, tampered
+//! content is rejected, reverted transactions leave no trace, and freeloading
+//! owners earn the smallest payments.
+
+use ofl_w3::core::config::{MarketConfig, PartitionScheme};
+use ofl_w3::core::market::Marketplace;
+use ofl_w3::eth::chain::{Chain, ChainConfig, ChainError};
+use ofl_w3::eth::secp256k1;
+use ofl_w3::eth::tx::{sign_tx, SignedTx, TxRequest};
+use ofl_w3::eth::wallet::Wallet;
+use ofl_w3::ipfs::cid::Cid;
+use ofl_w3::ipfs::swarm::{IpfsError, IpfsNode, Swarm};
+use ofl_w3::primitives::u256::U256;
+use ofl_w3::primitives::{wei_per_eth, H160};
+
+/// A signature from Mallory's key cannot move Alice's funds: the recovered
+/// sender is Mallory, whose account cannot pay.
+#[test]
+fn forged_transaction_cannot_spend_other_accounts() {
+    let alice_key = U256::from(111u64);
+    let mallory_key = U256::from(222u64);
+    let alice = secp256k1::public_key(&alice_key)
+        .expect("valid key")
+        .to_eth_address()
+        .expect("finite");
+    let mut chain = Chain::new(ChainConfig::default(), &[(alice, wei_per_eth())]);
+    // Mallory crafts a tx "from Alice" but can only sign with her own key.
+    let req = TxRequest {
+        chain_id: chain.config().chain_id,
+        nonce: 0,
+        max_priority_fee_per_gas: U256::from(1_000_000_000u64),
+        max_fee_per_gas: U256::from(40_000_000_000u64),
+        gas_limit: 21_000,
+        to: Some(H160::from_slice(&[0x66; 20])),
+        value: wei_per_eth().div_rem(&U256::from(2u64)).0,
+        data: vec![],
+    };
+    let forged = sign_tx(req, &mallory_key).expect("signs fine");
+    // The chain derives the sender from the signature: it is Mallory's
+    // (unfunded) address, so the transaction is rejected outright.
+    assert_eq!(chain.submit(forged), Err(ChainError::InsufficientFunds));
+    assert_eq!(chain.balance(&alice), wei_per_eth());
+}
+
+/// Corrupting a raw transaction in flight invalidates it.
+#[test]
+fn tampered_raw_transaction_rejected_or_reassigned() {
+    let key = U256::from(333u64);
+    let sender = secp256k1::public_key(&key)
+        .expect("valid")
+        .to_eth_address()
+        .expect("finite");
+    let mut chain = Chain::new(ChainConfig::default(), &[(sender, wei_per_eth())]);
+    let req = TxRequest {
+        chain_id: chain.config().chain_id,
+        nonce: 0,
+        max_priority_fee_per_gas: U256::from(1_000_000_000u64),
+        max_fee_per_gas: U256::from(40_000_000_000u64),
+        gas_limit: 21_000,
+        to: Some(H160::from_slice(&[0x77; 20])),
+        value: U256::from(1_000u64),
+        data: vec![],
+    };
+    let honest = sign_tx(req, &key).expect("signs");
+    let mut raw = honest.encode();
+    // Flip a bit in the value field region.
+    let idx = raw.len() / 2;
+    raw[idx] ^= 0x01;
+    match SignedTx::decode(&raw) {
+        Err(_) => {} // malformed: rejected at decode
+        Ok(tampered) => {
+            // If it still parses, the recovered sender differs from the
+            // honest signer, so it cannot spend the honest account.
+            match tampered.recover_sender() {
+                Ok(who) => assert_ne!(who, sender),
+                Err(_) => {}
+            }
+            // Either way the honest account is untouched.
+            let _ = chain.submit_raw(&raw);
+            assert_eq!(chain.balance(&sender), wei_per_eth());
+        }
+    }
+}
+
+/// A peer cannot serve corrupted model bytes: every block verifies against
+/// its multihash during the fetch.
+#[test]
+fn swarm_rejects_poisoned_blocks() {
+    let mut swarm = Swarm::new();
+    let honest = swarm.add_node(IpfsNode::new("honest"));
+    let victim = swarm.add_node(IpfsNode::new("victim"));
+    let payload = vec![0x42u8; 1024];
+    let cid = swarm.node_mut(honest).add(&payload).root;
+    // Poisoning the store directly is impossible (put verifies)...
+    let mut mallory = IpfsNode::new("mallory");
+    assert!(mallory
+        .store_mut()
+        .put(cid.clone(), vec![0xffu8; 1024])
+        .is_err());
+    // ...and a fetch of a never-stored CID reports unavailability rather
+    // than fabricating data.
+    let phantom = Cid::v0_of(b"phantom");
+    assert!(matches!(
+        swarm.fetch(victim, &phantom),
+        Err(IpfsError::BlockUnavailable(_))
+    ));
+    // The honest fetch still works afterwards.
+    let (got, _) = swarm.fetch(victim, &cid).expect("honest path intact");
+    assert_eq!(got, payload);
+}
+
+/// An owner whose "model" is untrained noise earns one of the smallest
+/// payments: LOO prices freeloading.
+#[test]
+fn freeloader_earns_least() {
+    let mut config = MarketConfig {
+        partition: PartitionScheme::Iid,
+        seed: 31,
+        ..MarketConfig::small_test()
+    };
+    config.n_owners = 5;
+    let mut market = Marketplace::new(config);
+    market.deploy_contract().expect("deploys");
+    let freeloader = 2usize;
+    for i in 0..market.owners.len() {
+        if i == freeloader {
+            // Skip training by replacing the silo with 3 examples: the
+            // "model" is effectively random.
+            let tiny = market.owners[i].data.subset(&[0, 1, 2]);
+            market.owners[i].data = tiny;
+        }
+        market.owner_train(i);
+        market.owner_upload_model(i).expect("uploads");
+        market.owner_send_cid(i).expect("sends");
+    }
+    let cids = market.buyer_download_cids().expect("downloads");
+    market.buyer_retrieve_models(&cids).expect("retrieves");
+    let report = market.buyer_aggregate_and_pay().expect("pays");
+    // The freeloader's local accuracy is near chance…
+    assert!(
+        report.local_accuracies[freeloader] < 0.5,
+        "freeloader acc {}",
+        report.local_accuracies[freeloader]
+    );
+    // …and its payment is within the bottom two.
+    let mut sorted: Vec<U256> = report.payments.iter().map(|p| p.amount_wei).collect();
+    sorted.sort();
+    assert!(
+        report.payments[freeloader].amount_wei <= sorted[1],
+        "freeloader was overpaid: {:?}",
+        report.payments[freeloader].amount_wei
+    );
+}
+
+/// Replaying a mined transaction is impossible (nonce) and so is replaying
+/// it on another chain (chain id).
+#[test]
+fn replay_protection() {
+    let wallet = Wallet::from_seed("replay", 2);
+    let [a, b]: [_; 2] = wallet.addresses().try_into().expect("two");
+    let mut chain = Chain::new(
+        ChainConfig::default(),
+        &[(a, wei_per_eth()), (b, wei_per_eth())],
+    );
+    let key = wallet.account(&a).expect("known").private_key;
+    let req = TxRequest {
+        chain_id: chain.config().chain_id,
+        nonce: 0,
+        max_priority_fee_per_gas: U256::from(1_000_000_000u64),
+        max_fee_per_gas: U256::from(40_000_000_000u64),
+        gas_limit: 21_000,
+        to: Some(b),
+        value: U256::from(5u64),
+        data: vec![],
+    };
+    let tx = sign_tx(req, &key).expect("signs");
+    chain.submit(tx.clone()).expect("first submit ok");
+    chain.mine_block(12);
+    // Same-chain replay: stale nonce.
+    assert!(matches!(
+        chain.submit(tx.clone()),
+        Err(ChainError::NonceTooLow { .. })
+    ));
+    // Cross-chain replay: different chain id.
+    let mut mainnet_cfg = ChainConfig::default();
+    mainnet_cfg.chain_id = 1;
+    let mut mainnet = Chain::new(mainnet_cfg, &[(a, wei_per_eth())]);
+    assert!(matches!(
+        mainnet.submit(tx),
+        Err(ChainError::WrongChain { .. })
+    ));
+}
