@@ -17,7 +17,9 @@ fn bench_ecdsa(c: &mut Criterion) {
     let pk = public_key(&key).unwrap();
     let hash = keccak256(b"benchmark message");
     let sig = sign(&key, &hash).unwrap();
-    group.bench_function("sign", |b| b.iter(|| sign(black_box(&key), black_box(&hash))));
+    group.bench_function("sign", |b| {
+        b.iter(|| sign(black_box(&key), black_box(&hash)))
+    });
     group.bench_function("verify", |b| {
         b.iter(|| verify(black_box(&pk), black_box(&hash), black_box(&sig)))
     });
@@ -64,7 +66,13 @@ fn bench_evm(c: &mut Criterion) {
     let owner = wallet.addresses()[0];
     let mut chain = Chain::new(ChainConfig::default(), &[(owner, wei_per_eth())]);
     let hash = wallet
-        .send(&mut chain, &owner, None, U256::ZERO, cid_storage_init_code())
+        .send(
+            &mut chain,
+            &owner,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )
         .unwrap();
     chain.mine_block(12);
     let contract = CidStorage::at(chain.receipt(&hash).unwrap().contract_address.unwrap());
@@ -101,10 +109,7 @@ fn bench_block_production(c: &mut Criterion) {
             || {
                 let wallet = Wallet::from_seed("bench-mine", 11);
                 let addrs = wallet.addresses();
-                let mut chain = Chain::new(
-                    ChainConfig::default(),
-                    &[(addrs[0], wei_per_eth())],
-                );
+                let mut chain = Chain::new(ChainConfig::default(), &[(addrs[0], wei_per_eth())]);
                 for n in 0..10u64 {
                     let req = TxRequest {
                         chain_id: chain.config().chain_id,

@@ -49,7 +49,9 @@ fn bench_model_codec(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let model = ofl_tensor::nn::Mlp::new(&[784, 100, 10], &mut rng);
     group.throughput(Throughput::Bytes(318_064));
-    group.bench_function("encode_317KB", |b| b.iter(|| encode_model(black_box(&model))));
+    group.bench_function("encode_317KB", |b| {
+        b.iter(|| encode_model(black_box(&model)))
+    });
     let bytes = encode_model(&model);
     group.bench_function("decode_317KB", |b| {
         b.iter(|| decode_model(black_box(&bytes)).unwrap())

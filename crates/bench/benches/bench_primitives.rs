@@ -63,7 +63,9 @@ fn bench_encodings(c: &mut Criterion) {
         rlp::Item::bytes([0xffu8; 100]),
         rlp::Item::List(vec![]),
     ]);
-    group.bench_function("rlp_encode_tx", |b| b.iter(|| rlp::encode(black_box(&tx_like))));
+    group.bench_function("rlp_encode_tx", |b| {
+        b.iter(|| rlp::encode(black_box(&tx_like)))
+    });
     let encoded = rlp::encode(&tx_like);
     group.bench_function("rlp_decode_tx", |b| {
         b.iter(|| rlp::decode(black_box(&encoded)).unwrap())

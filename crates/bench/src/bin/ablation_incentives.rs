@@ -114,7 +114,10 @@ fn main() {
         "\nvalue-function evaluations: LOO {loo_evals} (n+1), Shapley {shapley_evals} \
          (≤ samples×n, cached)"
     );
-    println!("pairwise rank agreement between mechanisms: {:.0} %", agreement * 100.0);
+    println!(
+        "pairwise rank agreement between mechanisms: {:.0} %",
+        agreement * 100.0
+    );
     println!(
         "takeaway: LOO costs {loo_evals} re-aggregations and approximates the \
          Shapley ranking at a fraction of its cost — a reasonable demo choice."

@@ -106,9 +106,8 @@ fn main() {
         };
         let txs_per_round = n_owners + 1;
         let total_txs = 1 + rounds * txs_per_round + n_owners;
-        let gas = deploy_gas
-            + (rounds * txs_per_round) as u64 * upload_gas
-            + 21_000 * n_owners as u64;
+        let gas =
+            deploy_gas + (rounds * txs_per_round) as u64 * upload_gas + 21_000 * n_owners as u64;
         rows.push(Row {
             scheme: "FedAvg".into(),
             rounds,

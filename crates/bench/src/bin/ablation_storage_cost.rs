@@ -48,7 +48,13 @@ fn main() {
         &[(owner, wei_per_eth().wrapping_mul(&U256::from(100u64)))],
     );
     let hash = wallet
-        .send(&mut chain, &owner, None, U256::ZERO, cid_storage_init_code())
+        .send(
+            &mut chain,
+            &owner,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )
         .expect("deploy");
     chain.mine_block(12);
     let contract = chain

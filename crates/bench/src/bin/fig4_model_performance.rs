@@ -48,7 +48,10 @@ fn main() {
     println!(
         "\naggregate − worst local = {margin:.2} points (paper: 58.87 points, aggregate 93.87 %)"
     );
-    println!("global hidden neurons after matching: {}", report.global_neurons);
+    println!(
+        "global hidden neurons after matching: {}",
+        report.global_neurons
+    );
 
     write_record(
         "fig4_model_performance",

@@ -52,7 +52,10 @@ fn main() {
     config.n_train = 1000;
     let (market, report) = Marketplace::run(config).expect("session");
 
-    println!("\n{:<16} {:>12} {:>16}", "Transaction", "Gas used", "Fee (ETH)");
+    println!(
+        "\n{:<16} {:>12} {:>16}",
+        "Transaction", "Gas used", "Fee (ETH)"
+    );
     let mut rows = Vec::new();
     let mut uploads = Vec::new();
     let mut payments = Vec::new();

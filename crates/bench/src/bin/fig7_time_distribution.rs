@@ -33,7 +33,10 @@ fn main() {
     let (market, report) = Marketplace::run(config).expect("session");
 
     // Owners: average the per-owner breakdowns.
-    println!("\n(a) model owners — mean across {} owners", market.owners.len());
+    println!(
+        "\n(a) model owners — mean across {} owners",
+        market.owners.len()
+    );
     let mut owner_totals: std::collections::BTreeMap<String, f64> = Default::default();
     for breakdown in &report.owner_breakdowns {
         for (phase, d, _) in breakdown {
@@ -42,12 +45,22 @@ fn main() {
     }
     let n = report.owner_breakdowns.len().max(1) as f64;
     let owner_total: f64 = owner_totals.values().sum::<f64>() / n;
-    let phase_order = [owner_phase::TRAIN, owner_phase::UPLOAD, owner_phase::SEND_CID];
+    let phase_order = [
+        owner_phase::TRAIN,
+        owner_phase::UPLOAD,
+        owner_phase::SEND_CID,
+    ];
     let mut owner_phases = Vec::new();
     for name in phase_order {
         let secs = owner_totals.get(name).copied().unwrap_or(0.0) / n;
         let share = secs / owner_total.max(1e-12);
-        println!("  {:<26} {:>8.3} s  {:>5.1} %  {}", name, secs, share * 100.0, bar(share, 30));
+        println!(
+            "  {:<26} {:>8.3} s  {:>5.1} %  {}",
+            name,
+            secs,
+            share * 100.0,
+            bar(share, 30)
+        );
         owner_phases.push(Phase {
             name: name.to_string(),
             seconds: secs,

@@ -50,7 +50,11 @@ fn main() {
     };
     // Paper Table 1: max 0.00162366, min 0.00041129 → spread ≈ 3.95.
     println!("max/min payment spread: {spread:.2} (paper: ≈3.95)");
-    assert_eq!(report.total_paid(), budget, "payments must exhaust the budget");
+    assert_eq!(
+        report.total_paid(),
+        budget,
+        "payments must exhaust the budget"
+    );
 
     write_record(
         "table1_payments",

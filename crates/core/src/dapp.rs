@@ -7,7 +7,7 @@
 //! in the app's log, and MetaMask-style confirmation summaries are surfaced
 //! before anything is signed.
 
-use crate::market::{Marketplace, MarketError, SessionReport};
+use crate::market::{MarketError, Marketplace, SessionReport};
 use ofl_primitives::format_eth;
 
 /// A UI event (what the user sees after a click).

@@ -10,6 +10,9 @@
 //! - [`market`]: the 7-step workflow and the [`market::SessionReport`] that
 //!   feeds every figure/table of the paper.
 //! - [`dapp`]: the button-level React/Flask DApp facade of Fig 3.
+//! - [`scenario`]: parameterized sessions with failure injection — the
+//!   engine behind the regime sweeps in `tests/scenarios.rs` and the
+//!   benches.
 //!
 //! ## Example: the paper's demo in five lines
 //!
@@ -26,8 +29,10 @@
 pub mod config;
 pub mod dapp;
 pub mod market;
+pub mod scenario;
 pub mod world;
 
 pub use config::{MarketConfig, PartitionScheme};
 pub use market::{Marketplace, SessionReport};
+pub use scenario::{FailurePlan, Scenario, ScenarioOutcome, ScenarioSuite};
 pub use world::World;

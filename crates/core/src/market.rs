@@ -307,9 +307,7 @@ impl Marketplace {
         backend.route("/aggregate", move |_req| {
             Response::ok(b"aggregated".to_vec()).with_processing(agg_time)
         });
-        let loo_time = SimDuration::from_secs_f64(
-            agg_time.as_secs_f64() * config.n_owners as f64,
-        );
+        let loo_time = SimDuration::from_secs_f64(agg_time.as_secs_f64() * config.n_owners as f64);
         backend.route("/loo", move |_req| {
             Response::ok(b"loo-scores".to_vec()).with_processing(loo_time)
         });
@@ -347,10 +345,8 @@ impl Marketplace {
         if !receipt.is_success() {
             return Err(MarketError::TxFailed("deploy".into()));
         }
-        self.buyer_recorder.add(
-            buyer_phase::DEPLOY,
-            self.world.clock.now().since(start),
-        );
+        self.buyer_recorder
+            .add(buyer_phase::DEPLOY, self.world.clock.now().since(start));
         self.contract = Some(CidStorage::at(
             receipt.contract_address.expect("create tx has address"),
         ));
@@ -389,10 +385,7 @@ impl Marketplace {
         let added = self.world.swarm.node_mut(node).add(&bytes);
         // Upload = pushing the blocks onto the campus network.
         self.world.charge_ipfs_transfer(added.bytes_stored, 1);
-        self.owner_recorders[i].add(
-            owner_phase::UPLOAD,
-            self.world.clock.now().since(start),
-        );
+        self.owner_recorders[i].add(owner_phase::UPLOAD, self.world.clock.now().since(start));
         self.owners[i].cid = Some(added.root.clone());
         Ok(added.root)
     }
@@ -417,10 +410,7 @@ impl Marketplace {
         if !receipt.is_success() {
             return Err(MarketError::TxFailed(format!("uploadCid[{i}]")));
         }
-        self.owner_recorders[i].add(
-            owner_phase::SEND_CID,
-            self.world.clock.now().since(start),
-        );
+        self.owner_recorders[i].add(owner_phase::SEND_CID, self.world.clock.now().since(start));
         self.owners[i].upload_receipt = Some(receipt.clone());
         Ok(receipt)
     }
@@ -473,9 +463,12 @@ impl Marketplace {
             .ok_or(MarketError::StepOrder("deploy before watching events"))?;
         let start = self.world.clock.now();
         // One RPC round trip for the whole filter query.
-        self.world
-            .clock
-            .advance(self.world.profile.rpc.transfer_time(self.world.tx_wire_bytes));
+        self.world.clock.advance(
+            self.world
+                .profile
+                .rpc
+                .transfer_time(self.world.tx_wire_bytes),
+        );
         let logs = self.world.chain.get_logs(
             &LogFilter::all()
                 .at_address(contract.address)
@@ -517,19 +510,15 @@ impl Marketplace {
                 .owners
                 .iter()
                 .position(|o| o.cid.as_ref().map(|c| c.to_string_form()) == Some(cid_str.clone()));
-            let weight = owner_index
-                .map(|i| self.owners[i].data.len())
-                .unwrap_or(1);
+            let weight = owner_index.map(|i| self.owners[i].data.len()).unwrap_or(1);
             self.retrieved.push(RetrievedModel {
                 model,
                 weight,
                 owner_index,
             });
         }
-        self.buyer_recorder.add(
-            buyer_phase::RETRIEVE,
-            self.world.clock.now().since(start),
-        );
+        self.buyer_recorder
+            .add(buyer_phase::RETRIEVE, self.world.clock.now().since(start));
         Ok(self.retrieved.len())
     }
 
@@ -564,15 +553,11 @@ impl Marketplace {
             self.config.seed,
         )?;
         let aggregated_accuracy = full.model.accuracy(&test.images, &test.labels);
-        self.world.clock.advance(
-            self.config
-                .buyer_compute
-                .inference_time(test.len()),
-        );
-        self.buyer_recorder.add(
-            buyer_phase::AGGREGATE,
-            self.world.clock.now().since(start),
-        );
+        self.world
+            .clock
+            .advance(self.config.buyer_compute.inference_time(test.len()));
+        self.buyer_recorder
+            .add(buyer_phase::AGGREGATE, self.world.clock.now().since(start));
 
         // LOO: re-aggregate n leave-one-out coalitions (backend /loo call).
         let start = self.world.clock.now();
@@ -636,22 +621,15 @@ impl Marketplace {
         self.world.mine_until(&hashes)?;
         let mut payments = Vec::with_capacity(hashes.len());
         for ((address, amount), hash) in paid.iter().zip(&hashes) {
-            let receipt = self
-                .world
-                .chain
-                .receipt(hash)
-                .expect("mined above")
-                .clone();
+            let receipt = self.world.chain.receipt(hash).expect("mined above").clone();
             payments.push(PaymentRow {
                 address: *address,
                 amount_wei: *amount,
                 receipt,
             });
         }
-        self.buyer_recorder.add(
-            buyer_phase::PAYMENT,
-            self.world.clock.now().since(start),
-        );
+        self.buyer_recorder
+            .add(buyer_phase::PAYMENT, self.world.clock.now().since(start));
 
         // Assemble the report.
         let local_accuracies: Vec<f64> = self
@@ -696,11 +674,7 @@ impl Marketplace {
             contributions: report.contributions,
             payments,
             gas,
-            owner_breakdowns: self
-                .owner_recorders
-                .iter()
-                .map(|r| r.breakdown())
-                .collect(),
+            owner_breakdowns: self.owner_recorders.iter().map(|r| r.breakdown()).collect(),
             buyer_breakdown: self.buyer_recorder.breakdown(),
             cids: self
                 .owners
@@ -849,10 +823,7 @@ mod tests {
         for rec in &market.owner_recorders {
             let chain_t = rec.get(owner_phase::SEND_CID).as_secs_f64();
             let other = rec.total().as_secs_f64() - chain_t;
-            assert!(
-                chain_t > other,
-                "blockchain {chain_t}s vs other {other}s"
-            );
+            assert!(chain_t > other, "blockchain {chain_t}s vs other {other}s");
         }
     }
 

@@ -1,0 +1,549 @@
+//! Scenario harness: parameterized, failure-injecting marketplace sessions.
+//!
+//! The integration suites and the paper-figure binaries all need the same
+//! thing — "run the 7-step workflow under regime X and compare outcomes" —
+//! and before this module each caller hand-rolled the session loop. A
+//! [`Scenario`] bundles a [`MarketConfig`] (owner count, partition scheme,
+//! seed) with a [`FailurePlan`] (dropped IPFS blocks, reverted transactions,
+//! freeloading owners, silent dropouts) and executes the workflow step by
+//! step, injecting the failures at the layer where they would really occur:
+//!
+//! - **Freeloaders** train on a 3-example silo, so their "model" is noise —
+//!   the incentive layer should price them near zero.
+//! - **Dropouts** train and upload to IPFS but never send their CID, so the
+//!   chain (and therefore the buyer) never learns about them.
+//! - **Reverted transactions** replace the owner's `uploadCid` call with an
+//!   unknown-selector call the contract rejects; the owner pays gas, the
+//!   CID never lands on-chain.
+//! - **Dropped IPFS blocks** garbage-collect the owner's model *after* its
+//!   CID was registered on-chain — the buyer sees the CID but no peer can
+//!   serve the content, the classic availability failure of
+//!   content-addressed storage.
+//!
+//! Every session produces a [`ScenarioOutcome`] carrying the quantities the
+//! paper's figures compare (accuracy, payments, gas, timing) plus
+//! system-level invariants (ETH conservation, budget exhaustion), and
+//! [`ScenarioSuite`] runs whole regime sweeps. Outcomes are `PartialEq` and
+//! hashable via [`ScenarioOutcome::fingerprint`], which is what the
+//! determinism regression tests compare.
+
+use crate::config::{MarketConfig, PartitionScheme};
+use crate::market::{MarketError, Marketplace};
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::Swarm;
+use ofl_primitives::u256::U256;
+use ofl_primitives::{format_eth, H160};
+
+/// Which owners misbehave (indices into the owner list) and how.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// Owners whose model blocks vanish from the swarm after their CID is
+    /// registered on-chain.
+    pub drop_ipfs_blocks: Vec<usize>,
+    /// Owners whose `uploadCid` transaction reverts on-chain.
+    pub revert_cid_tx: Vec<usize>,
+    /// Owners who train on an (effectively empty) 3-example silo.
+    pub freeload: Vec<usize>,
+    /// Owners who never send their CID to the contract.
+    pub dropout: Vec<usize>,
+}
+
+impl FailurePlan {
+    /// A plan with no injected failures.
+    pub fn clean() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// True when nothing is injected.
+    pub fn is_clean(&self) -> bool {
+        self == &FailurePlan::default()
+    }
+
+    /// Owners that never get a usable CID on-chain (reverted or dropout).
+    fn is_offchain(&self, owner: usize) -> bool {
+        self.revert_cid_tx.contains(&owner) || self.dropout.contains(&owner)
+    }
+}
+
+/// One parameterized marketplace session.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (used in reports and assertions).
+    pub name: String,
+    /// Full marketplace configuration (owners, partition, seed, chain…).
+    pub config: MarketConfig,
+    /// Injected failures.
+    pub failures: FailurePlan,
+}
+
+impl Scenario {
+    /// A scenario from an explicit config, with no failures.
+    pub fn new(name: impl Into<String>, config: MarketConfig) -> Scenario {
+        Scenario {
+            name: name.into(),
+            config,
+            failures: FailurePlan::clean(),
+        }
+    }
+
+    /// A fast test-sized scenario (4 owners, small silos) under the given
+    /// partition scheme and seed.
+    pub fn small(name: impl Into<String>, partition: PartitionScheme, seed: u64) -> Scenario {
+        Scenario::new(
+            name,
+            MarketConfig {
+                partition,
+                seed,
+                ..MarketConfig::small_test()
+            },
+        )
+    }
+
+    /// Attaches a failure plan.
+    pub fn with_failures(mut self, failures: FailurePlan) -> Scenario {
+        self.failures = failures;
+        self
+    }
+
+    /// Executes the 7-step workflow with this scenario's injections and
+    /// distills the session into a comparable outcome.
+    pub fn run(&self) -> Result<ScenarioOutcome, MarketError> {
+        let mut market = Marketplace::new(self.config.clone());
+        let n = market.owners.len();
+        // Nothing is burned yet, so this *is* the genesis allocation —
+        // captured here so the conservation check below tracks whatever
+        // funding policy `Marketplace::new` uses.
+        let genesis_supply = market.world.chain.state().total_supply();
+        market.deploy_contract()?;
+
+        let mut reverted_tx_count = 0usize;
+        for i in 0..n {
+            if self.failures.freeload.contains(&i) {
+                // Shrink the silo to (at most) 3 examples before training;
+                // the owner still goes through the whole honest protocol.
+                let len = market.owners[i].data.len();
+                let keep: Vec<usize> = (0..len.min(3)).collect();
+                market.owners[i].data = market.owners[i].data.subset(&keep);
+            }
+            market.owner_train(i);
+            market.owner_upload_model(i)?;
+            if self.failures.dropout.contains(&i) {
+                continue;
+            }
+            if self.failures.revert_cid_tx.contains(&i) {
+                // An unknown selector: the contract's dispatcher reverts,
+                // the owner pays intrinsic+execution gas, no CID lands.
+                let contract = market.contract.expect("deployed above");
+                let from = market.owners[i].address;
+                let receipt = market.world.send_and_confirm(
+                    &market.wallet,
+                    &from,
+                    Some(contract.address),
+                    U256::ZERO,
+                    vec![0xde, 0xad, 0xbe, 0xef],
+                )?;
+                if receipt.is_success() {
+                    return Err(MarketError::TxFailed(format!(
+                        "injected revert for owner {i} unexpectedly succeeded"
+                    )));
+                }
+                reverted_tx_count += 1;
+                continue;
+            }
+            market.owner_send_cid(i)?;
+        }
+
+        // Availability failure: after the CIDs are public, the blocks vanish.
+        for &i in &self.failures.drop_ipfs_blocks {
+            if let Some(cid) = market.owners[i].cid.clone() {
+                let node = market.world.swarm.node_mut(market.owners[i].ipfs_node);
+                node.store_mut().unpin(&cid);
+                node.store_mut().gc();
+            }
+        }
+
+        let cids_onchain = market.buyer_download_cids()?;
+        let expected_onchain = (0..n).filter(|&i| !self.failures.is_offchain(i)).count();
+        assert_eq!(
+            cids_onchain.len(),
+            expected_onchain,
+            "{}: injected off-chain failures must match the contract state",
+            self.name
+        );
+        // A production client gives up on unfetchable CIDs; model that by
+        // retrieving only content some peer can still serve.
+        let cids_retrieved: Vec<String> = cids_onchain
+            .iter()
+            .filter(|s| {
+                Cid::parse(s)
+                    .map(|c| swarm_has(&market.world.swarm, &c))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        market.buyer_retrieve_models(&cids_retrieved)?;
+        let report = market.buyer_aggregate_and_pay()?;
+
+        // ETH conservation: genesis supply == live balances + EIP-1559 burn.
+        let live = market.world.chain.state().total_supply();
+        let burned = market.world.chain.burned();
+        let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
+
+        Ok(ScenarioOutcome {
+            name: self.name.clone(),
+            seed: self.config.seed,
+            n_owners: n,
+            n_models_aggregated: cids_retrieved.len(),
+            aggregated_accuracy: report.aggregated_accuracy,
+            total_paid_wei: report.total_paid(),
+            local_accuracies: report.local_accuracies,
+            payments: report
+                .payments
+                .iter()
+                .map(|p| (p.address, p.amount_wei))
+                .collect(),
+            budget_wei: self.config.budget_wei,
+            gas_rows: report
+                .gas
+                .iter()
+                .map(|g| (g.label.clone(), g.gas_used))
+                .collect(),
+            total_gas: report.gas.iter().map(|g| g.gas_used).sum(),
+            reverted_tx_count,
+            eth_conserved,
+            cids_onchain,
+            cids_retrieved,
+            total_sim_seconds: report.total_sim_seconds,
+        })
+    }
+}
+
+/// Whether any node in the swarm can serve `cid`.
+fn swarm_has(swarm: &Swarm, cid: &Cid) -> bool {
+    (0..swarm.len()).any(|i| swarm.node(i).has_block(cid))
+}
+
+/// The comparable distillation of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name (copied from [`Scenario::name`]).
+    pub name: String,
+    /// Master seed the session ran under.
+    pub seed: u64,
+    /// Configured owner count.
+    pub n_owners: usize,
+    /// Models the buyer actually retrieved and aggregated.
+    pub n_models_aggregated: usize,
+    /// Test accuracy of the aggregated model.
+    pub aggregated_accuracy: f64,
+    /// Per-owner local accuracies (all owners, including failed ones).
+    pub local_accuracies: Vec<f64>,
+    /// `(recipient, wei)` rows, in retrieval order.
+    pub payments: Vec<(H160, U256)>,
+    /// Sum of all payments.
+    pub total_paid_wei: U256,
+    /// Configured buyer budget.
+    pub budget_wei: U256,
+    /// `(label, gas_used)` per transaction.
+    pub gas_rows: Vec<(String, u64)>,
+    /// Total gas across deploy/upload/payment transactions.
+    pub total_gas: u64,
+    /// Injected transactions that (as intended) reverted on-chain.
+    pub reverted_tx_count: usize,
+    /// Genesis supply == balances + burn held at session end.
+    pub eth_conserved: bool,
+    /// Every CID the contract returned.
+    pub cids_onchain: Vec<String>,
+    /// The subset of CIDs the buyer could still fetch.
+    pub cids_retrieved: Vec<String>,
+    /// Virtual seconds the whole session took.
+    pub total_sim_seconds: f64,
+}
+
+impl ScenarioOutcome {
+    /// Payments exhausted the budget exactly (the Table 1 invariant).
+    pub fn budget_exhausted(&self) -> bool {
+        self.total_paid_wei == self.budget_wei
+    }
+
+    /// An order-sensitive digest of everything comparable in the outcome.
+    /// Two runs of the same scenario must produce identical fingerprints;
+    /// this is what the determinism regression tests assert.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&(self.n_owners as u64).to_le_bytes());
+        eat(&(self.n_models_aggregated as u64).to_le_bytes());
+        eat(&self.aggregated_accuracy.to_le_bytes());
+        for acc in &self.local_accuracies {
+            eat(&acc.to_le_bytes());
+        }
+        for (addr, amount) in &self.payments {
+            eat(addr.as_bytes());
+            eat(&amount.to_be_bytes());
+        }
+        eat(&self.total_paid_wei.to_be_bytes());
+        eat(&self.budget_wei.to_be_bytes());
+        for (label, gas) in &self.gas_rows {
+            eat(label.as_bytes());
+            eat(&gas.to_le_bytes());
+        }
+        eat(&self.total_gas.to_le_bytes());
+        eat(&(self.reverted_tx_count as u64).to_le_bytes());
+        eat(&[self.eth_conserved as u8]);
+        for cid in &self.cids_onchain {
+            eat(cid.as_bytes());
+        }
+        for cid in &self.cids_retrieved {
+            eat(cid.as_bytes());
+        }
+        eat(&self.total_sim_seconds.to_le_bytes());
+        h
+    }
+
+    /// One table row: name, models, accuracy, payments, gas, conservation.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<28} {:>2}/{:<2} {:>7.2}%  paid {:>10} ETH  gas {:>9}  {}",
+            self.name,
+            self.n_models_aggregated,
+            self.n_owners,
+            self.aggregated_accuracy * 100.0,
+            format_eth(&self.total_paid_wei, 6),
+            self.total_gas,
+            if self.eth_conserved {
+                "eth-ok"
+            } else {
+                "ETH-LEAK"
+            },
+        )
+    }
+}
+
+/// A named batch of scenarios run back to back.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSuite {
+    /// The scenarios, in execution order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSuite {
+    /// An empty suite.
+    pub fn new() -> ScenarioSuite {
+        ScenarioSuite::default()
+    }
+
+    /// Adds a scenario (builder style).
+    pub fn push(mut self, scenario: Scenario) -> ScenarioSuite {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// The four partition regimes of the integration suite, failure-free,
+    /// at test scale.
+    pub fn partition_sweep(seed: u64) -> ScenarioSuite {
+        ScenarioSuite::new()
+            .push(Scenario::small("iid", PartitionScheme::Iid, seed))
+            .push(Scenario::small(
+                "dirichlet-0.5",
+                PartitionScheme::Dirichlet { alpha: 0.5 },
+                seed.wrapping_add(1),
+            ))
+            .push(Scenario::small(
+                "shards-2",
+                PartitionScheme::Shards { per_client: 2 },
+                seed.wrapping_add(2),
+            ))
+            .push(Scenario::small(
+                "label-skew-3",
+                PartitionScheme::LabelSkew { classes: 3 },
+                seed.wrapping_add(3),
+            ))
+    }
+
+    /// Failure-injection regimes at test scale: availability loss, on-chain
+    /// revert, freeloading, dropout, and a combined storm.
+    pub fn failure_sweep(seed: u64) -> ScenarioSuite {
+        ScenarioSuite::new()
+            .push(
+                Scenario::small("dropped-ipfs-block", PartitionScheme::Iid, seed).with_failures(
+                    FailurePlan {
+                        drop_ipfs_blocks: vec![1],
+                        ..FailurePlan::clean()
+                    },
+                ),
+            )
+            .push(
+                Scenario::small(
+                    "reverted-cid-tx",
+                    PartitionScheme::Iid,
+                    seed.wrapping_add(1),
+                )
+                .with_failures(FailurePlan {
+                    revert_cid_tx: vec![2],
+                    ..FailurePlan::clean()
+                }),
+            )
+            .push(
+                Scenario::small(
+                    "freeloading-owner",
+                    PartitionScheme::Dirichlet { alpha: 0.5 },
+                    seed.wrapping_add(2),
+                )
+                .with_failures(FailurePlan {
+                    freeload: vec![0],
+                    ..FailurePlan::clean()
+                }),
+            )
+            .push(
+                Scenario::small("silent-dropout", PartitionScheme::Iid, seed.wrapping_add(3))
+                    .with_failures(FailurePlan {
+                        dropout: vec![3],
+                        ..FailurePlan::clean()
+                    }),
+            )
+            .push(
+                Scenario::small(
+                    "failure-storm",
+                    PartitionScheme::Dirichlet { alpha: 0.5 },
+                    seed.wrapping_add(4),
+                )
+                .with_failures(FailurePlan {
+                    drop_ipfs_blocks: vec![0],
+                    revert_cid_tx: vec![1],
+                    freeload: vec![2],
+                    ..FailurePlan::clean()
+                }),
+            )
+    }
+
+    /// Partition sweep plus failure sweep — the full regression surface.
+    pub fn full(seed: u64) -> ScenarioSuite {
+        let mut suite = ScenarioSuite::partition_sweep(seed);
+        suite
+            .scenarios
+            .extend(ScenarioSuite::failure_sweep(seed.wrapping_add(100)).scenarios);
+        suite
+    }
+
+    /// Runs every scenario, failing fast on the first error.
+    pub fn run(&self) -> Result<Vec<ScenarioOutcome>, MarketError> {
+        self.scenarios.iter().map(Scenario::run).collect()
+    }
+
+    /// Renders outcomes as an ASCII table.
+    pub fn render_table(outcomes: &[ScenarioOutcome]) -> String {
+        let mut out = String::from("scenario                     models    acc     payments          gas        invariants\n");
+        for outcome in outcomes {
+            out.push_str(&outcome.render_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(partition: PartitionScheme, seed: u64) -> Scenario {
+        let mut scenario = Scenario::small("quick", partition, seed);
+        // Even smaller than small_test: unit tests here only check the
+        // orchestration, not model quality.
+        scenario.config.n_train = 400;
+        scenario.config.n_test = 100;
+        scenario.config.train.epochs = 1;
+        scenario
+    }
+
+    #[test]
+    fn clean_scenario_aggregates_everyone_and_conserves_eth() {
+        let outcome = quick(PartitionScheme::Iid, 5).run().expect("runs");
+        assert_eq!(outcome.n_models_aggregated, outcome.n_owners);
+        assert_eq!(outcome.cids_onchain, outcome.cids_retrieved);
+        assert!(outcome.eth_conserved);
+        assert!(outcome.budget_exhausted());
+        assert_eq!(outcome.reverted_tx_count, 0);
+        assert_eq!(outcome.payments.len(), outcome.n_owners);
+    }
+
+    #[test]
+    fn dropout_and_revert_shrink_the_onchain_set() {
+        let outcome = quick(PartitionScheme::Iid, 6)
+            .with_failures(FailurePlan {
+                revert_cid_tx: vec![0],
+                dropout: vec![1],
+                ..FailurePlan::clean()
+            })
+            .run()
+            .expect("runs");
+        assert_eq!(outcome.n_owners, 4);
+        assert_eq!(outcome.cids_onchain.len(), 2);
+        assert_eq!(outcome.n_models_aggregated, 2);
+        assert_eq!(outcome.reverted_tx_count, 1);
+        // The reverted transaction still burned gas but landed no CID.
+        assert!(outcome.eth_conserved);
+        assert!(outcome.budget_exhausted());
+    }
+
+    #[test]
+    fn dropped_block_is_on_chain_but_not_retrieved() {
+        let outcome = quick(PartitionScheme::Iid, 7)
+            .with_failures(FailurePlan {
+                drop_ipfs_blocks: vec![2],
+                ..FailurePlan::clean()
+            })
+            .run()
+            .expect("runs");
+        // The CID made it on-chain — the *content* is what vanished.
+        assert_eq!(outcome.cids_onchain.len(), 4);
+        assert_eq!(outcome.cids_retrieved.len(), 3);
+        assert_eq!(outcome.n_models_aggregated, 3);
+        assert!(outcome.budget_exhausted());
+    }
+
+    #[test]
+    fn fingerprint_separates_scenarios_but_not_reruns() {
+        let a = quick(PartitionScheme::Iid, 8).run().expect("runs");
+        let b = quick(PartitionScheme::Iid, 8).run().expect("runs");
+        let c = quick(PartitionScheme::Iid, 9).run().expect("runs");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn suite_builders_cover_the_advertised_regimes() {
+        let partitions = ScenarioSuite::partition_sweep(1);
+        assert_eq!(partitions.scenarios.len(), 4);
+        assert!(partitions.scenarios.iter().all(|s| s.failures.is_clean()));
+        let failures = ScenarioSuite::failure_sweep(1);
+        assert!(failures.scenarios.len() >= 2);
+        assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()));
+        let full = ScenarioSuite::full(1);
+        assert_eq!(
+            full.scenarios.len(),
+            partitions.scenarios.len() + failures.scenarios.len()
+        );
+    }
+
+    #[test]
+    fn offchain_helper_matches_plan() {
+        let plan = FailurePlan {
+            revert_cid_tx: vec![1],
+            dropout: vec![2],
+            ..FailurePlan::clean()
+        };
+        assert!(plan.is_offchain(1));
+        assert!(plan.is_offchain(2));
+        assert!(!plan.is_offchain(0));
+        assert!(!plan.is_clean());
+        assert!(FailurePlan::clean().is_clean());
+    }
+}

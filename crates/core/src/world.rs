@@ -132,11 +132,17 @@ impl World {
         to: &H160,
         data: Vec<u8>,
     ) -> ofl_eth::chain::CallResult {
-        self.clock
-            .advance(self.profile.rpc.transfer_time(self.tx_wire_bytes + data.len() as u64));
+        self.clock.advance(
+            self.profile
+                .rpc
+                .transfer_time(self.tx_wire_bytes + data.len() as u64),
+        );
         let result = self.chain.call(from, to, data);
-        self.clock
-            .advance(self.profile.rpc.transfer_time(result.output.len() as u64 + 64));
+        self.clock.advance(
+            self.profile
+                .rpc
+                .transfer_time(result.output.len() as u64 + 64),
+        );
         result
     }
 
@@ -157,8 +163,7 @@ mod tests {
     fn send_and_confirm_waits_for_slot() {
         let wallet = Wallet::from_seed("world-test", 2);
         let addrs = wallet.addresses();
-        let world_genesis: Vec<(H160, U256)> =
-            addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let world_genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
         let mut world = World::new(
             ChainConfig::default(),
             &world_genesis,

@@ -32,7 +32,9 @@ impl SyntheticMnist {
     pub fn new(seed: u64) -> SyntheticMnist {
         let mut prototypes = Vec::with_capacity(CLASSES);
         for class in 0..CLASSES {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(class as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(class as u64 + 1)),
+            );
             prototypes.push(Self::make_prototype(&mut rng));
         }
         SyntheticMnist { prototypes }
@@ -109,12 +111,7 @@ impl SyntheticMnist {
 
     /// Draws a dataset of `n` examples with the given class mix
     /// (`class_weights` need not be normalized).
-    pub fn sample_weighted(
-        &self,
-        n: usize,
-        class_weights: &[f64],
-        rng: &mut impl Rng,
-    ) -> Dataset {
+    pub fn sample_weighted(&self, n: usize, class_weights: &[f64], rng: &mut impl Rng) -> Dataset {
         assert_eq!(class_weights.len(), CLASSES, "need 10 class weights");
         let total: f64 = class_weights.iter().sum();
         assert!(total > 0.0, "class weights must not all be zero");

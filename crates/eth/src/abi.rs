@@ -180,8 +180,8 @@ pub fn decode(types: &[Type], data: &[u8]) -> Result<Vec<Value>, AbiError> {
                 .ok_or(AbiError::Truncated)?;
             match ty {
                 Type::String => {
-                    let s = String::from_utf8(payload.to_vec())
-                        .map_err(|_| AbiError::InvalidUtf8)?;
+                    let s =
+                        String::from_utf8(payload.to_vec()).map_err(|_| AbiError::InvalidUtf8)?;
                     out.push(Value::String(s));
                 }
                 Type::Bytes => out.push(Value::Bytes(payload.to_vec())),
@@ -268,7 +268,13 @@ mod tests {
         ];
         let enc = encode(&vals);
         let dec = decode(
-            &[Type::Uint, Type::Address, Type::Bool, Type::String, Type::Bytes],
+            &[
+                Type::Uint,
+                Type::Address,
+                Type::Bool,
+                Type::String,
+                Type::Bytes,
+            ],
             &enc,
         )
         .unwrap();

@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn push_width_minimal() {
         assert_eq!(assemble(&[Op::Push(U256::ZERO)]).unwrap(), vec![0x60, 0x00]);
-        assert_eq!(assemble(&[Op::Push(U256::from(0xffu64))]).unwrap(), vec![0x60, 0xff]);
+        assert_eq!(
+            assemble(&[Op::Push(U256::from(0xffu64))]).unwrap(),
+            vec![0x60, 0xff]
+        );
         assert_eq!(
             assemble(&[Op::Push(U256::from(0x100u64))]).unwrap(),
             vec![0x61, 0x01, 0x00]

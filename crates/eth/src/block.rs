@@ -21,8 +21,7 @@ impl Bloom {
     pub fn accrue(&mut self, value: &[u8]) {
         let digest = keccak256(value);
         for i in 0..3 {
-            let bit_index =
-                ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
+            let bit_index = ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
             // bit 0 is the most significant bit of the last byte
             let byte = 255 - bit_index / 8;
             self.0[byte] |= 1 << (bit_index % 8);
@@ -33,8 +32,7 @@ impl Bloom {
     pub fn contains(&self, value: &[u8]) -> bool {
         let digest = keccak256(value);
         for i in 0..3 {
-            let bit_index =
-                ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
+            let bit_index = ((digest[2 * i] as usize & 0x07) << 8) | digest[2 * i + 1] as usize;
             let byte = 255 - bit_index / 8;
             if self.0[byte] & (1 << (bit_index % 8)) == 0 {
                 return false;

@@ -81,7 +81,9 @@ impl core::fmt::Display for ChainError {
             ChainError::NonceTooLow { expected, got } => {
                 write!(f, "nonce too low: expected ≥ {expected}, got {got}")
             }
-            ChainError::InsufficientFunds => write!(f, "insufficient funds for gas × price + value"),
+            ChainError::InsufficientFunds => {
+                write!(f, "insufficient funds for gas × price + value")
+            }
             ChainError::FeeTooLow => write!(f, "max fee per gas below base fee"),
             ChainError::IntrinsicGas => write!(f, "gas limit below intrinsic cost"),
             ChainError::ExceedsBlockGas => write!(f, "gas limit exceeds block gas limit"),
@@ -343,10 +345,7 @@ impl Chain {
     /// order until the block gas limit is reached. Returns the new block.
     pub fn mine_block(&mut self, timestamp: u64) -> Block {
         let number = self.height() + 1;
-        let parent_hash = self
-            .latest_block()
-            .map(|b| b.hash())
-            .unwrap_or(H256::ZERO);
+        let parent_hash = self.latest_block().map(|b| b.hash()).unwrap_or(H256::ZERO);
         let mut included = Vec::new();
         let mut receipts = Vec::new();
         let mut gas_used_total = 0u64;
@@ -435,7 +434,10 @@ impl Chain {
                 .0
                 .div_rem(&U256::from(8u64))
                 .0;
-            self.base_fee = base.checked_sub(&delta).unwrap_or(U256::ZERO).max(U256::from(7u64));
+            self.base_fee = base
+                .checked_sub(&delta)
+                .unwrap_or(U256::ZERO)
+                .max(U256::from(7u64));
         }
     }
 
@@ -485,7 +487,15 @@ impl Chain {
         let snapshot = self.state.snapshot();
 
         let (status, mut gas_used, refund, logs, contract_address, output) = if req.is_create() {
-            self.execute_create(req, sender, nonce_before, price, block_number, timestamp, exec_gas)
+            self.execute_create(
+                req,
+                sender,
+                nonce_before,
+                price,
+                block_number,
+                timestamp,
+                exec_gas,
+            )
         } else {
             self.execute_call(req, sender, price, block_number, timestamp, exec_gas)
         };
@@ -547,7 +557,15 @@ impl Chain {
         {
             return (TxStatus::Failed, exec_gas, 0, Vec::new(), None, Vec::new());
         }
-        let env = self.env_for(req, sender, new_address, price, block_number, timestamp, Vec::new());
+        let env = self.env_for(
+            req,
+            sender,
+            new_address,
+            price,
+            block_number,
+            timestamp,
+            Vec::new(),
+        );
         let result = Interpreter::new(&mut self.state, env, req.data.clone(), exec_gas).run();
         match result.outcome {
             Outcome::Success => {
@@ -596,7 +614,15 @@ impl Chain {
             // Plain value transfer: no execution.
             return (TxStatus::Success, 0, 0, Vec::new(), None, Vec::new());
         }
-        let env = self.env_for(req, sender, to, price, block_number, timestamp, req.data.clone());
+        let env = self.env_for(
+            req,
+            sender,
+            to,
+            price,
+            block_number,
+            timestamp,
+            req.data.clone(),
+        );
         let result = Interpreter::new(&mut self.state, env, code, exec_gas).run();
         match result.outcome {
             Outcome::Success => (
@@ -665,10 +691,7 @@ impl Chain {
             calldata: data,
             gas_price: self.base_fee,
             block_number: self.height() + 1,
-            timestamp: self
-                .latest_block()
-                .map(|b| b.header.timestamp)
-                .unwrap_or(0),
+            timestamp: self.latest_block().map(|b| b.header.timestamp).unwrap_or(0),
             gas_limit: self.config.gas_limit,
             chain_id: self.config.chain_id,
             base_fee: self.base_fee,
@@ -707,8 +730,7 @@ impl Chain {
                 };
                 let mut scratch = self.state.clone();
                 let result =
-                    Interpreter::new(&mut scratch, env, data.to_vec(), self.config.gas_limit)
-                        .run();
+                    Interpreter::new(&mut scratch, env, data.to_vec(), self.config.gas_limit).run();
                 gas::intrinsic_gas(data, true)
                     + result.gas_used
                     + gas::CODE_DEPOSIT_BYTE * result.output.len() as u64
@@ -787,7 +809,10 @@ mod tests {
         // Sender lost value + fee.
         let sender = addr_of(&key(0));
         let expect_spent = value.wrapping_add(&receipt.fee);
-        assert_eq!(chain.balance(&sender), wei_per_eth().wrapping_sub(&expect_spent));
+        assert_eq!(
+            chain.balance(&sender),
+            wei_per_eth().wrapping_sub(&expect_spent)
+        );
     }
 
     #[test]
@@ -854,7 +879,10 @@ mod tests {
         let mut req = transfer_req(&chain, 0, H160::ZERO, U256::ONE);
         req.chain_id = 1;
         let tx = sign_tx(req, &key(0)).unwrap();
-        assert!(matches!(chain.submit(tx), Err(ChainError::WrongChain { .. })));
+        assert!(matches!(
+            chain.submit(tx),
+            Err(ChainError::WrongChain { .. })
+        ));
     }
 
     #[test]
@@ -1002,7 +1030,11 @@ mod tests {
     fn reads_are_free() {
         let chain = funded_chain(1);
         let before = chain.balance(&addr_of(&key(0)));
-        let _ = chain.call(&addr_of(&key(0)), &H160::from_slice(&[1; 20]), vec![1, 2, 3]);
+        let _ = chain.call(
+            &addr_of(&key(0)),
+            &H160::from_slice(&[1; 20]),
+            vec![1, 2, 3],
+        );
         assert_eq!(chain.balance(&addr_of(&key(0))), before);
         assert_eq!(chain.height(), 0);
     }

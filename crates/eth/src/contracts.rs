@@ -401,12 +401,7 @@ impl CidStorage {
     }
 
     /// Reads `getCid(index)` (free).
-    pub fn get_cid(
-        &self,
-        chain: &Chain,
-        from: &H160,
-        index: u64,
-    ) -> Result<String, ContractError> {
+    pub fn get_cid(&self, chain: &Chain, from: &H160, index: u64) -> Result<String, ContractError> {
         let data = abi::encode_call(GET_CID_SIG, &[Value::Uint(U256::from(index))]);
         let result = chain.call(from, &self.address, data);
         let values = decode_ok(&result, &[Type::String])?;
@@ -517,10 +512,7 @@ mod tests {
                 value: U256::ZERO,
                 data: CidStorage::upload_cid_calldata(cid),
             };
-            let hash = self
-                .chain
-                .submit(sign_tx(req, &self.key).unwrap())
-                .unwrap();
+            let hash = self.chain.submit(sign_tx(req, &self.key).unwrap()).unwrap();
             self.time += 12;
             self.chain.mine_block(self.time);
             self.chain.receipt(&hash).unwrap().clone()
@@ -640,7 +632,11 @@ mod tests {
     fn get_logs_finds_upload_events() {
         use crate::chain::LogFilter;
         let mut f = Fixture::new();
-        let cids = ["QmFirstUploadEvent", "QmSecondUploadEvent", "QmThirdUploadEvent"];
+        let cids = [
+            "QmFirstUploadEvent",
+            "QmSecondUploadEvent",
+            "QmThirdUploadEvent",
+        ];
         for c in cids {
             f.upload(c);
         }
@@ -656,7 +652,9 @@ mod tests {
             assert_eq!(decoded[0].as_string().unwrap(), expected);
         }
         // Block numbers are increasing (one upload per block).
-        assert!(logs.windows(2).all(|w| w[0].block_number < w[1].block_number));
+        assert!(logs
+            .windows(2)
+            .all(|w| w[0].block_number < w[1].block_number));
         // A topic that never fired matches nothing (bloom short-circuits).
         let none = f.chain.get_logs(
             &LogFilter::all()
@@ -682,10 +680,7 @@ mod tests {
         let cid = "QmYwAPJzv5CZsnA625s3Xf2nemtYgPpHdWEz79ojWnPbdG"; // 46 bytes
         f.upload(cid);
         // slot 0 = cidCount = 1
-        assert_eq!(
-            f.chain.storage(&f.contract.address, &H256::ZERO),
-            U256::ONE
-        );
+        assert_eq!(f.chain.storage(&f.contract.address, &H256::ZERO), U256::ONE);
         // main slot = keccak(uint256(0) ‖ uint256(1)) holds 2·46+1 = 93
         let mut preimage = [0u8; 64];
         preimage[63] = 1;
@@ -705,7 +700,10 @@ mod tests {
         // At the default ~12 gwei base fee + 1.5 gwei tip the deployment fee
         // must land near the paper's 0.002 ETH (Fig 5b). Allow a factor ~2.
         let key = U256::from(0x55u64);
-        let caller = secp256k1::public_key(&key).unwrap().to_eth_address().unwrap();
+        let caller = secp256k1::public_key(&key)
+            .unwrap()
+            .to_eth_address()
+            .unwrap();
         let chain = Chain::new(ChainConfig::default(), &[(caller, wei_per_eth())]);
         let gas = chain.estimate_gas(&caller, None, &cid_storage_init_code());
         // ≈ 53k intrinsic + calldata + execution + 200/byte deposit.

@@ -201,8 +201,16 @@ impl<'h, H: Host> Interpreter<'h, H> {
     fn finish(self, outcome: Outcome, output: Vec<u8>) -> ExecResult {
         ExecResult {
             gas_used: self.gas_limit_call - self.gas_remaining,
-            refund: if outcome == Outcome::Success { self.refund } else { 0 },
-            logs: if outcome == Outcome::Success { self.logs } else { Vec::new() },
+            refund: if outcome == Outcome::Success {
+                self.refund
+            } else {
+                0
+            },
+            logs: if outcome == Outcome::Success {
+                self.logs
+            } else {
+                Vec::new()
+            },
             outcome,
             output,
         }
@@ -380,14 +388,22 @@ impl<'h, H: Host> Interpreter<'h, H> {
                 // ADDMOD
                 self.charge(gas::MID)?;
                 let (a, b, m) = (self.pop()?, self.pop()?, self.pop()?);
-                let v = if m.is_zero() { U256::ZERO } else { a.add_mod(&b, &m) };
+                let v = if m.is_zero() {
+                    U256::ZERO
+                } else {
+                    a.add_mod(&b, &m)
+                };
                 self.push(v)?;
             }
             0x09 => {
                 // MULMOD
                 self.charge(gas::MID)?;
                 let (a, b, m) = (self.pop()?, self.pop()?, self.pop()?);
-                let v = if m.is_zero() { U256::ZERO } else { a.mul_mod(&b, &m) };
+                let v = if m.is_zero() {
+                    U256::ZERO
+                } else {
+                    a.mul_mod(&b, &m)
+                };
                 self.push(v)?;
             }
             0x0a => {
@@ -424,12 +440,16 @@ impl<'h, H: Host> Interpreter<'h, H> {
             0x12 => {
                 // SLT
                 let (a, b) = (self.pop()?, self.pop()?);
-                self.push(U256::from((scmp(&a, &b) == std::cmp::Ordering::Less) as u64))?;
+                self.push(U256::from(
+                    (scmp(&a, &b) == std::cmp::Ordering::Less) as u64,
+                ))?;
             }
             0x13 => {
                 // SGT
                 let (a, b) = (self.pop()?, self.pop()?);
-                self.push(U256::from((scmp(&a, &b) == std::cmp::Ordering::Greater) as u64))?;
+                self.push(U256::from(
+                    (scmp(&a, &b) == std::cmp::Ordering::Greater) as u64,
+                ))?;
             }
             0x14 => {
                 // EQ
@@ -461,9 +481,7 @@ impl<'h, H: Host> Interpreter<'h, H> {
                 // BYTE: i'th byte of x, big-endian indexing
                 let (i, x) = (self.pop()?, self.pop()?);
                 let v = match i.to_u64() {
-                    Some(idx) if idx < 32 => {
-                        U256::from(x.to_be_bytes()[idx as usize] as u64)
-                    }
+                    Some(idx) if idx < 32 => U256::from(x.to_be_bytes()[idx as usize] as u64),
                     _ => U256::ZERO,
                 };
                 self.push(v)?;
@@ -771,8 +789,7 @@ impl<'h, H: Host> Interpreter<'h, H> {
     fn jump(&mut self, dest: &U256) -> Result<(), StepError> {
         let d = dest
             .to_u64()
-            .ok_or(StepError::Exception(ExecError::BadJumpDestination))?
-            as usize;
+            .ok_or(StepError::Exception(ExecError::BadJumpDestination))? as usize;
         if !self.valid_jumpdests.contains(&d) {
             return Err(StepError::Exception(ExecError::BadJumpDestination));
         }
@@ -844,8 +861,16 @@ fn sdiv(a: &U256, b: &U256) -> U256 {
     if b.is_zero() {
         return U256::ZERO;
     }
-    let (abs_a, sa) = if is_neg(a) { (neg(a), true) } else { (*a, false) };
-    let (abs_b, sb) = if is_neg(b) { (neg(b), true) } else { (*b, false) };
+    let (abs_a, sa) = if is_neg(a) {
+        (neg(a), true)
+    } else {
+        (*a, false)
+    };
+    let (abs_b, sb) = if is_neg(b) {
+        (neg(b), true)
+    } else {
+        (*b, false)
+    };
     let q = abs_a.div_rem(&abs_b).0;
     if sa ^ sb {
         neg(&q)
@@ -858,7 +883,11 @@ fn smod(a: &U256, b: &U256) -> U256 {
     if b.is_zero() {
         return U256::ZERO;
     }
-    let (abs_a, sa) = if is_neg(a) { (neg(a), true) } else { (*a, false) };
+    let (abs_a, sa) = if is_neg(a) {
+        (neg(a), true)
+    } else {
+        (*a, false)
+    };
     let abs_b = if is_neg(b) { neg(b) } else { *b };
     let r = abs_a.div_rem(&abs_b).1;
     if sa && !r.is_zero() {
@@ -1091,7 +1120,10 @@ mod tests {
         // PUSH2 0x5b00 — the 0x5b at offset 1 is push data, not a JUMPDEST.
         let code = vec![0x60, 0x04, 0x56, 0x00, 0x61, 0x5b, 0x00];
         let r = run(&code);
-        assert!(matches!(r.outcome, Outcome::Exception(ExecError::BadJumpDestination)));
+        assert!(matches!(
+            r.outcome,
+            Outcome::Exception(ExecError::BadJumpDestination)
+        ));
     }
 
     #[test]
@@ -1125,9 +1157,8 @@ mod tests {
         // store "abc" via MSTORE8 ×3 then hash 3 bytes
         let code = vec![
             0x60, b'a', 0x60, 0x00, 0x53, // mstore8(0,'a')
-            0x60, b'b', 0x60, 0x01, 0x53,
-            0x60, b'c', 0x60, 0x02, 0x53,
-            0x60, 0x03, 0x60, 0x00, 0x20, // keccak256(0,3)
+            0x60, b'b', 0x60, 0x01, 0x53, 0x60, b'c', 0x60, 0x02, 0x53, 0x60, 0x03, 0x60, 0x00,
+            0x20, // keccak256(0,3)
             0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
         ];
         let r = run(&code);
@@ -1141,10 +1172,7 @@ mod tests {
         let mut code = vec![0x33];
         code.extend(ret_top());
         let r = run_with(&code, env.clone(), 100_000);
-        assert_eq!(
-            H160::from_word(&H256::from_slice(&r.output)),
-            env.caller
-        );
+        assert_eq!(H160::from_word(&H256::from_slice(&r.output)), env.caller);
         // CHAINID
         let mut code = vec![0x46];
         code.extend(ret_top());
@@ -1153,7 +1181,10 @@ mod tests {
         // NUMBER / TIMESTAMP
         let mut code = vec![0x43];
         code.extend(ret_top());
-        assert_eq!(output_u256(&run_with(&code, env.clone(), 100_000)), U256::ONE);
+        assert_eq!(
+            output_u256(&run_with(&code, env.clone(), 100_000)),
+            U256::ONE
+        );
     }
 
     #[test]
@@ -1166,7 +1197,9 @@ mod tests {
         assert_eq!(r.logs[0].topics[0].to_u256(), U256::from(0x99u64));
 
         // Same log followed by REVERT discards it.
-        let log_then_revert = vec![0x60, 0x99, 0x60, 0x00, 0x60, 0x00, 0xa1, 0x60, 0x00, 0x60, 0x00, 0xfd];
+        let log_then_revert = vec![
+            0x60, 0x99, 0x60, 0x00, 0x60, 0x00, 0xa1, 0x60, 0x00, 0x60, 0x00, 0xfd,
+        ];
         let r = run(&log_then_revert);
         assert_eq!(r.outcome, Outcome::Revert);
         assert!(r.logs.is_empty());

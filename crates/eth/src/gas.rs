@@ -106,7 +106,11 @@ pub fn intrinsic_gas(data: &[u8], is_create: bool) -> u64 {
         gas += TX_CREATE_EXTRA;
     }
     for &b in data {
-        gas += if b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO };
+        gas += if b == 0 {
+            TX_DATA_ZERO
+        } else {
+            TX_DATA_NONZERO
+        };
     }
     gas
 }

@@ -380,7 +380,11 @@ impl Jacobian {
         let x3 = f.sub(d.mul_small(2));
         let y3 = e.mul(d.sub(x3)).sub(c.mul_small(8));
         let z3 = self.y.mul(self.z).mul_small(2);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition (add-2007-bl).
@@ -411,7 +415,11 @@ impl Jacobian {
         let x3 = r.square().sub(j).sub(v.mul_small(2));
         let y3 = r.mul(v.sub(x3)).sub(s1.mul(j).mul_small(2));
         let z3 = self.z.add(other.z).square().sub(z1z1).sub(z2z2).mul(h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication by left-to-right double-and-add.
@@ -562,10 +570,7 @@ pub fn sign(private_key: &U256, msg_hash: &[u8; 32]) -> Result<Signature, EcdsaE
 /// Verifies a signature against a public key. High-`s` signatures are
 /// rejected (EIP-2 semantics).
 pub fn verify(public_key: &Affine, msg_hash: &[u8; 32], sig: &Signature) -> bool {
-    let (r, s) = match (
-        Scalar::from_canonical(sig.r),
-        Scalar::from_canonical(sig.s),
-    ) {
+    let (r, s) = match (Scalar::from_canonical(sig.r), Scalar::from_canonical(sig.s)) {
         (Some(r), Some(s)) => (r, s),
         _ => return false,
     };
@@ -635,7 +640,9 @@ mod tests {
 
     #[test]
     fn two_g_known_value() {
-        let g2 = Jacobian::from_affine(&Affine::generator()).double().to_affine();
+        let g2 = Jacobian::from_affine(&Affine::generator())
+            .double()
+            .to_affine();
         match g2 {
             Affine::Point { x, y } => {
                 assert_eq!(

@@ -211,9 +211,11 @@ mod tests {
     #[test]
     fn transfer_preserves_supply() {
         let mut st = State::new();
-        st.credit(&addr(1), &U256::from_u128(10u128.pow(20))).unwrap();
+        st.credit(&addr(1), &U256::from_u128(10u128.pow(20)))
+            .unwrap();
         for i in 2..10u8 {
-            st.transfer(&addr(1), &addr(i), &U256::from(12345u64)).unwrap();
+            st.transfer(&addr(1), &addr(i), &U256::from(12345u64))
+                .unwrap();
         }
         assert_eq!(st.total_supply(), U256::from_u128(10u128.pow(20)));
     }

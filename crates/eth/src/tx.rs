@@ -193,7 +193,9 @@ impl SignedTx {
 
     /// Verifies the signature against a claimed sender.
     pub fn verify_sender(&self, expected: &H160) -> bool {
-        self.recover_sender().map(|a| a == *expected).unwrap_or(false)
+        self.recover_sender()
+            .map(|a| a == *expected)
+            .unwrap_or(false)
     }
 }
 
@@ -338,7 +340,10 @@ mod tests {
     #[test]
     fn tamper_changes_sender_or_fails() {
         let key = U256::from(0x1234u64);
-        let honest = secp256k1::public_key(&key).unwrap().to_eth_address().unwrap();
+        let honest = secp256k1::public_key(&key)
+            .unwrap()
+            .to_eth_address()
+            .unwrap();
         let tx = sign_tx(sample_request(), &key).unwrap();
         let mut tampered = tx.clone();
         tampered.request.value = U256::from(999u64);
@@ -421,7 +426,10 @@ mod tests {
             data: vec![],
         };
         let key = U256::from(0xc0ffeeu64);
-        let sender = secp256k1::public_key(&key).unwrap().to_eth_address().unwrap();
+        let sender = secp256k1::public_key(&key)
+            .unwrap()
+            .to_eth_address()
+            .unwrap();
         let sig = secp256k1::sign(&key, &legacy.signing_hash().0).unwrap();
         let v = legacy.v(sig.recovery_id);
         assert!(v == 35 + 2 * 11155111 || v == 36 + 2 * 11155111);

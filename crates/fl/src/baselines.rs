@@ -111,8 +111,7 @@ impl Ensemble {
     /// Accuracy on a test set.
     pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
         let preds = self.predict(x);
-        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64
-            / labels.len().max(1) as f64
+        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64 / labels.len().max(1) as f64
     }
 
     /// FedOV-lite voting: each member votes with its max-softmax confidence;
@@ -144,8 +143,7 @@ impl Ensemble {
     /// Accuracy under confidence voting.
     pub fn accuracy_confidence_vote(&self, x: &Tensor, labels: &[usize]) -> f64 {
         let preds = self.predict_confidence_vote(x);
-        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64
-            / labels.len().max(1) as f64
+        preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64 / labels.len().max(1) as f64
     }
 
     /// Knowledge distillation (Guha et al. 2019): trains a single student
@@ -217,9 +215,7 @@ pub fn fedavg(
                 continue;
             }
             let cfg = TrainConfig {
-                seed: config
-                    .seed
-                    .wrapping_add(1 + round as u64 * 1000 + j as u64),
+                seed: config.seed.wrapping_add(1 + round as u64 * 1000 + j as u64),
                 ..config.clone()
             };
             let trained = continue_training(global.clone(), silo, &cfg);

@@ -21,10 +21,7 @@ pub fn solve_min(cost: &[Vec<f64>]) -> Vec<usize> {
     );
     for row in cost {
         assert_eq!(row.len(), m, "ragged cost matrix");
-        assert!(
-            row.iter().all(|c| c.is_finite()),
-            "costs must be finite"
-        );
+        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
     }
 
     // 1-indexed potentials/packing, classic e-maxx formulation.
@@ -164,7 +161,7 @@ mod tests {
         let cost = vec![vec![5.0, 1.0, 9.0, 2.0], vec![1.0, 5.0, 9.0, 9.0]];
         let a = solve_min(&cost);
         assert_eq!(assignment_cost(&cost, &a), 2.0); // (0→1)=1, (1→0)=1
-        // Distinct columns.
+                                                     // Distinct columns.
         assert_ne!(a[0], a[1]);
     }
 

@@ -128,28 +128,23 @@ pub fn aggregate(
 
     for &j in &order {
         let assignment = match_client(&problem.client_neurons[j], &atoms, j_total, config);
-        apply_assignment(
-            &problem.client_neurons[j],
-            &assignment,
-            &mut atoms,
-            config,
-        );
+        apply_assignment(&problem.client_neurons[j], &assignment, &mut atoms, config);
         assignments[j] = assignment;
     }
 
     for _ in 0..config.iterations {
         order.shuffle(rng);
         for &j in &order {
-            remove_client(&problem.client_neurons[j], &assignments[j], &mut atoms, config);
-            // Dropping empty atoms requires renumbering everyone.
-            compact_atoms(&mut atoms, &mut assignments);
-            let assignment = match_client(&problem.client_neurons[j], &atoms, j_total, config);
-            apply_assignment(
+            remove_client(
                 &problem.client_neurons[j],
-                &assignment,
+                &assignments[j],
                 &mut atoms,
                 config,
             );
+            // Dropping empty atoms requires renumbering everyone.
+            compact_atoms(&mut atoms, &mut assignments);
+            let assignment = match_client(&problem.client_neurons[j], &atoms, j_total, config);
+            apply_assignment(&problem.client_neurons[j], &assignment, &mut atoms, config);
             assignments[j] = assignment;
         }
     }
@@ -313,12 +308,7 @@ fn apply_assignment(
     }
 }
 
-fn remove_client(
-    neurons: &[Vec<f64>],
-    assignment: &[usize],
-    atoms: &mut [Atom],
-    cfg: &PfnmConfig,
-) {
+fn remove_client(neurons: &[Vec<f64>], assignment: &[usize], atoms: &mut [Atom], cfg: &PfnmConfig) {
     let s2 = cfg.sigma * cfg.sigma;
     for (l, &atom_id) in assignment.iter().enumerate() {
         let atom = &mut atoms[atom_id];
@@ -423,8 +413,7 @@ mod tests {
         let trained = train_local(&train, &small_train_config(1));
         let models = vec![trained.model.clone(); 5];
         let mut rng = StdRng::seed_from_u64(0);
-        let result =
-            aggregate(&models, &[300; 5], &PfnmConfig::default(), &mut rng).unwrap();
+        let result = aggregate(&models, &[300; 5], &PfnmConfig::default(), &mut rng).unwrap();
         assert_eq!(result.global_neurons, 50);
         // All clients share the same assignment pattern.
         for j in 1..5 {
@@ -442,8 +431,7 @@ mod tests {
         let base_acc = trained.model.accuracy(&test.images, &test.labels);
         let models = vec![trained.model.clone(); 4];
         let mut rng = StdRng::seed_from_u64(1);
-        let result =
-            aggregate(&models, &[400; 4], &PfnmConfig::default(), &mut rng).unwrap();
+        let result = aggregate(&models, &[400; 4], &PfnmConfig::default(), &mut rng).unwrap();
         let agg_acc = result.model.accuracy(&test.images, &test.labels);
         assert!(
             (agg_acc - base_acc).abs() < 0.05,

@@ -225,8 +225,13 @@ mod tests {
     fn shapley_interaction_game() {
         // v({0,1}) = 1, all other coalitions containing neither pair = 0:
         // complement game → Shapley = 0.5 each.
-        let value =
-            |s: &[usize]| if s.contains(&0) && s.contains(&1) { 1.0 } else { 0.0 };
+        let value = |s: &[usize]| {
+            if s.contains(&0) && s.contains(&1) {
+                1.0
+            } else {
+                0.0
+            }
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let scores = shapley_monte_carlo(2, 2000, &mut rng, value);
         assert!((scores[0] - 0.5).abs() < 0.05);
@@ -253,10 +258,7 @@ mod tests {
         let budget = U256::from(1_000_000u64);
         let payments = allocate_payments(&[-1.0, 1.0, 3.0], &budget).unwrap();
         assert_eq!(payments[0], U256::ZERO);
-        assert_eq!(
-            payments[1].wrapping_add(&payments[2]),
-            budget
-        );
+        assert_eq!(payments[1].wrapping_add(&payments[2]), budget);
         assert!(payments[2] > payments[1]);
     }
 

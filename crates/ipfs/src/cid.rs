@@ -159,8 +159,7 @@ impl Cid {
         if version != 1 {
             return Err(CidError::UnsupportedVersion(version));
         }
-        let (codec_num, n2) =
-            varint::decode(&input[n1..]).map_err(|_| CidError::BadStructure)?;
+        let (codec_num, n2) = varint::decode(&input[n1..]).map_err(|_| CidError::BadStructure)?;
         let codec = Codec::from_code(codec_num).ok_or(CidError::UnknownCodec(codec_num))?;
         let hash = Multihash::from_bytes(&input[n1 + n2..])?;
         Ok(Cid {
@@ -241,10 +240,7 @@ mod tests {
     #[test]
     fn distinct_content_distinct_cids() {
         assert_ne!(Cid::v0_of(b"model-1"), Cid::v0_of(b"model-2"));
-        assert_ne!(
-            Cid::v1_of(Codec::Raw, b"x"),
-            Cid::v1_of(Codec::DagPb, b"x")
-        );
+        assert_ne!(Cid::v1_of(Codec::Raw, b"x"), Cid::v1_of(Codec::DagPb, b"x"));
     }
 
     #[test]

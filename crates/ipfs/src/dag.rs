@@ -97,8 +97,7 @@ impl DagNode {
             let cid_bytes = input.get(pos..end).ok_or(DagError::BadFraming)?;
             let cid = Cid::from_bytes(cid_bytes).map_err(|_| DagError::BadCid)?;
             pos = end;
-            let (size, used) =
-                varint::decode(&input[pos..]).map_err(|_| DagError::BadFraming)?;
+            let (size, used) = varint::decode(&input[pos..]).map_err(|_| DagError::BadFraming)?;
             pos += used;
             links.push(Link { cid, size });
         }

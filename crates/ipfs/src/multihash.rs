@@ -105,8 +105,7 @@ impl Multihash {
     pub fn from_bytes_prefix(input: &[u8]) -> Result<(Multihash, usize), MultihashError> {
         let (code, n1) = varint::decode(input).map_err(|_| MultihashError::BadVarint)?;
         HashCode::from_code(code).ok_or(MultihashError::UnsupportedCode(code))?;
-        let (len, n2) =
-            varint::decode(&input[n1..]).map_err(|_| MultihashError::BadVarint)?;
+        let (len, n2) = varint::decode(&input[n1..]).map_err(|_| MultihashError::BadVarint)?;
         let start = n1 + n2;
         let digest = input
             .get(start..start + len as usize)

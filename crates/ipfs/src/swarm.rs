@@ -123,8 +123,7 @@ impl IpfsNode {
             .get(cid)
             .ok_or_else(|| IpfsError::BlockUnavailable(cid.clone()))?;
         if cid.version() == 1 && cid.codec() == Codec::DagPb {
-            let node =
-                DagNode::from_bytes(data).map_err(|_| IpfsError::CorruptDag(cid.clone()))?;
+            let node = DagNode::from_bytes(data).map_err(|_| IpfsError::CorruptDag(cid.clone()))?;
             let links = node.links;
             for link in links {
                 self.cat_into(&link.cid, out)?;
@@ -210,7 +209,11 @@ impl Swarm {
     /// Bitswap-style fetch: node `requester` obtains the full DAG under
     /// `root`, copying missing blocks from whichever peer has them. Returns
     /// the reassembled file and transfer statistics.
-    pub fn fetch(&mut self, requester: usize, root: &Cid) -> Result<(Vec<u8>, FetchStats), IpfsError> {
+    pub fn fetch(
+        &mut self,
+        requester: usize,
+        root: &Cid,
+    ) -> Result<(Vec<u8>, FetchStats), IpfsError> {
         let mut stats = FetchStats::default();
         // Breadth-first over the DAG: each level is one want-list round.
         let mut frontier = vec![root.clone()];
@@ -230,10 +233,7 @@ impl Swarm {
                 }
                 // Expand interior nodes.
                 if cid.version() == 1 && cid.codec() == Codec::DagPb {
-                    let data = self.nodes[requester]
-                        .store
-                        .get(&cid)
-                        .expect("just stored");
+                    let data = self.nodes[requester].store.get(&cid).expect("just stored");
                     let node = DagNode::from_bytes(data)
                         .map_err(|_| IpfsError::CorruptDag(cid.clone()))?;
                     next.extend(node.links.into_iter().map(|l| l.cid));
@@ -348,7 +348,10 @@ mod tests {
     fn find_by_peer_id() {
         let swarm = Swarm::spawn("n", 3);
         assert_eq!(swarm.find("n-1").unwrap(), 1);
-        assert!(matches!(swarm.find("ghost"), Err(IpfsError::UnknownPeer(_))));
+        assert!(matches!(
+            swarm.find("ghost"),
+            Err(IpfsError::UnknownPeer(_))
+        ));
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl Link {
         for _ in 0..rounds {
             total = total.saturating_add(rtt);
         }
-        total.saturating_add(SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps))
+        total.saturating_add(SimDuration::from_secs_f64(
+            bytes as f64 / self.bandwidth_bps,
+        ))
     }
 }
 

@@ -92,19 +92,17 @@ impl Service {
     }
 
     /// Registers a route handler (replacing any previous one).
-    pub fn route(&mut self, path: impl Into<String>, handler: impl FnMut(&Request) -> Response + 'static) {
+    pub fn route(
+        &mut self,
+        path: impl Into<String>,
+        handler: impl FnMut(&Request) -> Response + 'static,
+    ) {
         self.routes.insert(path.into(), Box::new(handler));
     }
 
     /// Calls a route through `link`, advancing `clock` by request transfer +
     /// processing + response transfer. Returns the response.
-    pub fn call(
-        &mut self,
-        clock: &SimClock,
-        link: &Link,
-        path: &str,
-        body: Vec<u8>,
-    ) -> Response {
+    pub fn call(&mut self, clock: &SimClock, link: &Link, path: &str, body: Vec<u8>) -> Response {
         let started = clock.now();
         let request = Request {
             path: path.to_string(),

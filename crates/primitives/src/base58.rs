@@ -98,10 +98,16 @@ mod tests {
             "2cFupjhnEsSn59qHXstmK2ffpLv2"
         );
         assert_eq!(
-            encode(&crate::hex::from_hex("00eb15231dfceb60925886b67d065299925915aeb172c06647").unwrap()),
+            encode(
+                &crate::hex::from_hex("00eb15231dfceb60925886b67d065299925915aeb172c06647")
+                    .unwrap()
+            ),
             "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L"
         );
-        assert_eq!(encode(&[0x00, 0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]), "111233QC4");
+        assert_eq!(
+            encode(&[0x00, 0x00, 0x00, 0x28, 0x7f, 0xb4, 0xcd]),
+            "111233QC4"
+        );
     }
 
     #[test]

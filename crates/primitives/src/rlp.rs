@@ -236,7 +236,10 @@ mod tests {
         let nested = Item::List(vec![
             Item::List(vec![]),
             Item::List(vec![Item::List(vec![])]),
-            Item::List(vec![Item::List(vec![]), Item::List(vec![Item::List(vec![])])]),
+            Item::List(vec![
+                Item::List(vec![]),
+                Item::List(vec![Item::List(vec![])]),
+            ]),
         ]);
         assert_eq!(
             encode(&nested),

@@ -244,7 +244,10 @@ mod tests {
     fn rfc4231_hmac_long_key() {
         // Test case 6: 131-byte key forces the key-hash path.
         let key = vec![0xaau8; 131];
-        let got = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let got = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&got),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

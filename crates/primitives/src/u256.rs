@@ -196,9 +196,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -575,7 +573,8 @@ impl Sub for U256 {
 impl Mul for U256 {
     type Output = U256;
     fn mul(self, rhs: U256) -> U256 {
-        self.checked_mul(&rhs).expect("U256 multiplication overflow")
+        self.checked_mul(&rhs)
+            .expect("U256 multiplication overflow")
     }
 }
 
@@ -812,7 +811,12 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let v = U256([0x0123456789abcdef, 0xfedcba9876543210, 7, 0x8000000000000000]);
+        let v = U256([
+            0x0123456789abcdef,
+            0xfedcba9876543210,
+            7,
+            0x8000000000000000,
+        ]);
         assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
         let bytes = v.to_be_bytes();
         assert_eq!(bytes[0], 0x80);
@@ -833,7 +837,14 @@ mod tests {
 
     #[test]
     fn dec_string_roundtrip() {
-        for s in ["0", "1", "10", "255", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "10",
+            "255",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let v = U256::from_dec_str(s).unwrap();
             assert_eq!(v.to_dec_string(), s);
         }
@@ -895,10 +906,9 @@ mod tests {
     #[test]
     fn pow_mod_secp_prime_smoke() {
         // p = 2^256 - 2^32 - 977 (secp256k1 field prime); Fermat: a^(p-1) = 1.
-        let p = U256::from_hex_str(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        )
-        .unwrap();
+        let p =
+            U256::from_hex_str("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
         let a = u(123456789);
         let exp = p.wrapping_sub(&U256::ONE);
         assert_eq!(a.pow_mod(&exp, &p), U256::ONE);

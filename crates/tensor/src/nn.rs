@@ -122,11 +122,7 @@ impl Mlp {
     /// Classification accuracy on `(x, labels)`.
     pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
         let preds = self.predict(x);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, y)| p == y)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
         correct as f64 / labels.len().max(1) as f64
     }
 
@@ -162,7 +158,7 @@ impl Mlp {
         let mut delta = grad_logits.clone(); // (batch, out_n)
         for i in (0..n).rev() {
             let input = &cache.activations[i]; // (batch, in_i)
-            // dW = deltaᵀ @ input; db = column sums of delta.
+                                               // dW = deltaᵀ @ input; db = column sums of delta.
             let dw = delta.matmul_tn(input);
             let mut db = vec![0.0f32; self.layers[i].out_dim()];
             for r in 0..delta.rows() {

@@ -63,8 +63,7 @@ impl Optimizer for Sgd {
                 })
                 .collect()
         });
-        for ((layer, g), (vw, vb)) in model.layers.iter_mut().zip(grads).zip(velocity.iter_mut())
-        {
+        for ((layer, g), (vw, vb)) in model.layers.iter_mut().zip(grads).zip(velocity.iter_mut()) {
             vw.scale(self.momentum);
             vw.axpy(1.0, &g.weight);
             layer.weight.axpy(-self.lr, vw);

@@ -406,8 +406,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let x = Tensor::randn(100, 100, 2.0, &mut rng);
         let mean = x.sum() / x.len() as f32;
-        let var: f32 =
-            x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / x.len() as f32;
+        let var: f32 = x
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / x.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

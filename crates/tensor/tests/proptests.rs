@@ -8,9 +8,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn arb_tensor(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
-    -> impl Strategy<Value = Tensor>
-{
+fn arb_tensor(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Tensor> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-10.0f32..10.0, r * c)
             .prop_map(move |data| Tensor::from_vec(r, c, data))

@@ -26,8 +26,14 @@ fn main() {
     for i in 0..market.owners.len() {
         println!("\n[owner {i} screen]");
         let mut app = OwnerApp::new(i);
-        println!("  click \"Connect Wallet\"   -> {}", app.connect_wallet(&market));
-        println!("  click \"Train Model\"      -> {}", app.train_model(&mut market));
+        println!(
+            "  click \"Connect Wallet\"   -> {}",
+            app.connect_wallet(&market)
+        );
+        println!(
+            "  click \"Train Model\"      -> {}",
+            app.train_model(&mut market)
+        );
         println!(
             "  click \"Upload Model\"     -> {}",
             app.upload_model(&mut market).expect("uploads")

@@ -25,10 +25,22 @@ fn main() {
     let supply0 = chain.state().total_supply();
 
     println!("=== deployment ===");
-    let summary = wallet.summarize(&chain, &deployer, None, &U256::ZERO, &cid_storage_init_code());
+    let summary = wallet.summarize(
+        &chain,
+        &deployer,
+        None,
+        &U256::ZERO,
+        &cid_storage_init_code(),
+    );
     println!("{}", summary.display());
     let hash = wallet
-        .send(&mut chain, &deployer, None, U256::ZERO, cid_storage_init_code())
+        .send(
+            &mut chain,
+            &deployer,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )
         .expect("deploy accepted");
     chain.mine_block(12);
     let receipt = chain.receipt(&hash).expect("mined").clone();
@@ -43,7 +55,11 @@ fn main() {
 
     println!("\n=== uploads from two users ===");
     for (who, name, cid) in [
-        (alice, "alice", "QmAliceModelV1AliceModelV1AliceModelV1Alice"),
+        (
+            alice,
+            "alice",
+            "QmAliceModelV1AliceModelV1AliceModelV1Alice",
+        ),
         (bob, "bob", "QmBobModelV1BobModelV1BobModelV1BobModelV1B"),
     ] {
         let data = CidStorage::upload_cid_calldata(cid);
@@ -67,7 +83,10 @@ fn main() {
     let count = contract.cid_count(&chain, &deployer).expect("reads");
     println!("cidCount() = {count} (no gas charged, no block mined)");
     for i in 0..count {
-        println!("getCid({i}) = {}", contract.get_cid(&chain, &deployer, i).expect("reads"));
+        println!(
+            "getCid({i}) = {}",
+            contract.get_cid(&chain, &deployer, i).expect("reads")
+        );
     }
 
     println!("\n=== conservation audit ===");

@@ -51,7 +51,9 @@ fn main() {
     assert_eq!(added.blocks, 3, "2 leaves + 1 root");
 
     println!("\n=== buyer retrieves by CID ===");
-    let (fetched, stats) = swarm.fetch(buyer, &added.root).expect("all blocks available");
+    let (fetched, stats) = swarm
+        .fetch(buyer, &added.root)
+        .expect("all blocks available");
     println!(
         "fetched {} blocks / {} bytes in {} want-list rounds from {:?}",
         stats.blocks_fetched,

@@ -1,0 +1,37 @@
+//! Scenario sweep: every partition regime and failure-injection regime of
+//! the scenario harness, end to end, in one table.
+//!
+//! Each row is a complete marketplace session — contract deployment, local
+//! training, IPFS sharing, on-chain CID exchange, PFNM aggregation, LOO
+//! payment — under a different data distribution or injected fault
+//! (dropped IPFS blocks, reverted CID transactions, freeloading owners,
+//! silent dropouts).
+//!
+//! Run with: `cargo run --release --example scenario_sweep`
+
+use ofl_w3::core::scenario::ScenarioSuite;
+
+fn main() {
+    println!("OFL-W3 scenario sweep: partition regimes + failure injection\n");
+
+    let suite = ScenarioSuite::full(42);
+    println!(
+        "running {} scenarios (4 owners each, test scale)...\n",
+        suite.scenarios.len()
+    );
+    let outcomes = suite.run().expect("every regime completes");
+    println!("{}", ScenarioSuite::render_table(&outcomes));
+
+    // The sweep is deterministic by seed: rerunning must reproduce every
+    // payment, accuracy, and gas figure bit for bit.
+    let again = ScenarioSuite::full(42).run().expect("rerun completes");
+    let reproduced = outcomes
+        .iter()
+        .zip(&again)
+        .all(|(a, b)| a.fingerprint() == b.fingerprint());
+    println!(
+        "determinism: rerun with the same seed reproduced all {} outcomes: {}",
+        outcomes.len(),
+        reproduced
+    );
+}

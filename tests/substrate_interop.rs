@@ -41,7 +41,13 @@ fn model_roundtrips_through_ipfs_and_chain() {
         &[(owner_addr, wei_per_eth()), (buyer_addr, wei_per_eth())],
     );
     let hash = wallet
-        .send(&mut chain, &owner_addr, None, U256::ZERO, cid_storage_init_code())
+        .send(
+            &mut chain,
+            &owner_addr,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )
         .expect("deploy");
     chain.mine_block(12);
     let contract = CidStorage::at(
@@ -91,7 +97,13 @@ fn contract_handles_many_writers_and_duplicates() {
     let mut chain = Chain::new(ChainConfig::default(), &genesis);
     let deployer = wallet.addresses()[0];
     let hash = wallet
-        .send(&mut chain, &deployer, None, U256::ZERO, cid_storage_init_code())
+        .send(
+            &mut chain,
+            &deployer,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )
         .expect("deploy");
     chain.mine_block(12);
     let contract = CidStorage::at(

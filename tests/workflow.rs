@@ -40,11 +40,8 @@ fn session_completes_under_every_partition_scheme() {
 
 #[test]
 fn eth_is_conserved_across_the_whole_session() {
-    let (market, _) = Marketplace::run(config_with(
-        PartitionScheme::Dirichlet { alpha: 0.5 },
-        7,
-    ))
-    .expect("session completes");
+    let (market, _) = Marketplace::run(config_with(PartitionScheme::Dirichlet { alpha: 0.5 }, 7))
+        .expect("session completes");
     // Genesis supply = current balances + EIP-1559 burn.
     let supply = market.world.chain.state().total_supply();
     let burned = market.world.chain.burned();
@@ -60,8 +57,8 @@ fn eth_is_conserved_across_the_whole_session() {
 
 #[test]
 fn contract_state_survives_and_reads_are_replayable() {
-    let (market, report) = Marketplace::run(config_with(PartitionScheme::Iid, 9))
-        .expect("session completes");
+    let (market, report) =
+        Marketplace::run(config_with(PartitionScheme::Iid, 9)).expect("session completes");
     let contract = market.contract.expect("deployed");
     let reader = market.buyer.address;
     // On-chain CIDs still readable after the session, in order, for free.
@@ -81,8 +78,8 @@ fn contract_state_survives_and_reads_are_replayable() {
 #[test]
 fn buyer_spent_budget_plus_fees_owners_gained() {
     let budget = MarketConfig::small_test().budget_wei;
-    let (market, report) = Marketplace::run(config_with(PartitionScheme::Iid, 11))
-        .expect("session completes");
+    let (market, report) =
+        Marketplace::run(config_with(PartitionScheme::Iid, 11)).expect("session completes");
     let buyer_balance = market.world.chain.balance(&market.buyer.address);
     let spent = ofl_w3::primitives::wei_per_eth().wrapping_sub(&buyer_balance);
     // Buyer spent at least the budget (plus gas), but less than budget+0.01.
@@ -109,20 +106,24 @@ fn buyer_spent_budget_plus_fees_owners_gained() {
 
 #[test]
 fn ipfs_swarm_holds_every_model_after_session() {
-    let (market, report) = Marketplace::run(config_with(PartitionScheme::Iid, 13))
-        .expect("session completes");
+    let (market, report) =
+        Marketplace::run(config_with(PartitionScheme::Iid, 13)).expect("session completes");
     // The buyer pinned every fetched model; owners still hold theirs.
     for (owner, cid_str) in market.owners.iter().zip(&report.cids) {
         let cid = ofl_w3::ipfs::cid::Cid::parse(cid_str).expect("valid CID");
         assert!(market.world.swarm.node(owner.ipfs_node).has_block(&cid));
-        assert!(market.world.swarm.node(market.buyer.ipfs_node).has_block(&cid));
+        assert!(market
+            .world
+            .swarm
+            .node(market.buyer.ipfs_node)
+            .has_block(&cid));
     }
 }
 
 #[test]
 fn timing_has_every_workflow_phase() {
-    let (market, report) = Marketplace::run(config_with(PartitionScheme::Iid, 17))
-        .expect("session completes");
+    let (market, report) =
+        Marketplace::run(config_with(PartitionScheme::Iid, 17)).expect("session completes");
     let buyer_phases: Vec<&str> = report
         .buyer_breakdown
         .iter()

@@ -1,0 +1,280 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple adaptive timing loop instead of criterion's full statistical
+//! machinery. Results print as `name  time/iter  (throughput)` lines.
+//!
+//! Like the real crate, bench targets also build under `cargo test`, where
+//! each registered function runs exactly once for a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function the optimizer cannot see through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop: runs `f` until ~`target_time` is spent, returns
+/// (iterations, total elapsed).
+fn measure<O>(mut f: impl FnMut() -> O, target_time: Duration) -> (u64, Duration) {
+    // Warm-up and per-iteration estimate.
+    let warmup_start = Instant::now();
+    black_box(f());
+    let per_iter = warmup_start.elapsed().max(Duration::from_nanos(1));
+    let iters = (target_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    (iters, start.elapsed())
+}
+
+fn render_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher<'a> {
+    label: String,
+    throughput: Option<Throughput>,
+    target_time: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times the closure and prints one result line.
+    pub fn iter<O>(&mut self, f: impl FnMut() -> O) {
+        let (iters, elapsed) = measure(f, self.target_time);
+        self.report(iters, elapsed);
+    }
+
+    /// Runs `setup` outside the timed region, timing only `routine`.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        // Estimate from one warm-up iteration of the routine alone.
+        let input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut timed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.report(iters, timed);
+    }
+
+    fn report(&self, iters: u64, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as f64 / iters as f64;
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / nanos; // bytes/ns == GB/s
+                format!("  ({gib:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me = n as f64 / nanos * 1e3; // elements/ns -> M elem/s
+                format!("  ({me:.1} M elem/s)")
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench: {:<44} {:>12}/iter{throughput}  [{iters} iters]",
+            self.label,
+            render_time(nanos)
+        );
+    }
+}
+
+/// Top-level bench registry (the stub keeps only configuration).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// In smoke mode (under `cargo test`) everything runs once.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            smoke: cfg!(test) || std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size knob (scales the per-bench time budget).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn target_time(&self) -> Duration {
+        if self.smoke {
+            Duration::ZERO
+        } else {
+            // ~0.3 ms of measurement per sample-size unit: the default 100
+            // gives ~30 ms per bench — coarse but comparable run to run.
+            Duration::from_micros(300) * self.sample_size as u32
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            label: name.into(),
+            throughput: None,
+            target_time: self.target_time(),
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            target_time: self.target_time(),
+            _criterion: self,
+        }
+    }
+
+    /// Final report hook (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    target_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Scales the group's time budget, mirroring `Criterion::sample_size`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if self.target_time > Duration::ZERO {
+            self.target_time = Duration::from_micros(300) * (n.max(1)) as u32;
+        }
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, name.into()),
+            throughput: self.throughput,
+            target_time: self.target_time,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Closes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, in either criterion form:
+/// `criterion_group!(benches, f, g)` or
+/// `criterion_group!(name = benches; config = ...; targets = f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_apply_throughput() {
+        let mut criterion = Criterion::default().sample_size(10);
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn render_time_units() {
+        assert!(render_time(12.0).ends_with("ns"));
+        assert!(render_time(12_000.0).ends_with("µs"));
+        assert!(render_time(12_000_000.0).ends_with("ms"));
+        assert!(render_time(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixed-size array strategies (`uniform4`, `uniform20`, …).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// An `[S::Value; N]` strategy sampling each slot independently.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// Generic constructor behind the `uniformN` helpers.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray { element }
+}
+
+macro_rules! uniform_fns {
+    ($(($name:ident, $n:literal)),*) => {$(
+        /// Array strategy of the arity the name says.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            uniform(element)
+        }
+    )*};
+}
+
+uniform_fns!(
+    (uniform1, 1),
+    (uniform2, 2),
+    (uniform3, 3),
+    (uniform4, 4),
+    (uniform5, 5),
+    (uniform6, 6),
+    (uniform7, 7),
+    (uniform8, 8),
+    (uniform12, 12),
+    (uniform16, 16),
+    (uniform20, 20),
+    (uniform24, 24),
+    (uniform32, 32)
+);

@@ -1,0 +1,218 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container has no crates.io access, so this crate reimplements the
+//! slice of the proptest API the workspace's property tests use:
+//!
+//! - [`proptest!`] with an optional `#![proptest_config(...)]` header,
+//! - [`strategy::Strategy`] with `prop_map` / `prop_filter` /
+//!   `prop_flat_map` / `prop_recursive` / `boxed`,
+//! - [`arbitrary::any`], integer/float range strategies, tuple strategies,
+//! - [`collection::vec`], [`collection::btree_set`], [`array::uniform4`]-style
+//!   fixed arrays, [`option::of`], [`sample::select`], [`sample::Index`],
+//! - string strategies from a small regex subset (`"[a-z]{1,12}"`, groups,
+//!   alternation, `?`/`*`/`+`/`{m,n}` quantifiers),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Cases are generated deterministically from the test's name, so runs are
+//! reproducible without an environment variable protocol. There is **no
+//! shrinking**: a failing case panics with its case index, which is enough
+//! to re-run and debug a deterministic failure.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the property tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// The `proptest!` macro expands inside user crates that may not depend on
+// `rand` themselves; route all rand paths through this re-export.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// FNV-1a over a byte string — stable test-name seeding.
+#[doc(hidden)]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///     #[test]
+///     fn my_property(a in strategy_a(), b in 0usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)).as_bytes());
+                for __case in 0..__config.cases {
+                    let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        __seed ^ (__case as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted union of strategies with identical value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 5usize..10, b in -3i64..3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (0u64..1000).prop_map(|x| x * 2).prop_filter("nonzero", |&x| x != 0),
+        ) {
+            prop_assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in crate::collection::vec(any::<u8>(), 3..6),
+            set in crate::collection::btree_set(0usize..100, 1..4),
+            arr in crate::array::uniform4(any::<u64>()),
+            opt in crate::option::of(1u32..5),
+            pick in crate::sample::select(vec![10usize, 20, 30]),
+            idx in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 6);
+            prop_assert!(!set.is_empty() && set.len() < 4);
+            prop_assert_eq!(arr.len(), 4);
+            if let Some(v) = opt { prop_assert!((1..5).contains(&v)); }
+            prop_assert!([10, 20, 30].contains(&pick));
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn regex_strings_match_shape(
+            s in "[a-z]{2,5}",
+            sig in "[a-z]{1,4}\\((uint256|string)?\\)",
+        ) {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(sig.ends_with(')') && sig.contains('('));
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            t in (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+                crate::collection::vec(0u8..255, r * c).prop_map(move |v| (r, c, v))
+            }),
+        ) {
+            prop_assert_eq!(t.2.len(), t.0 * t.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1_000_000, 5);
+        let sample = |seed: u64| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            strat.sample(&mut rng)
+        };
+        assert_eq!(sample(1), sample(1));
+        assert_ne!(sample(1), sample(2));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::strategy::Strategy;
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 64, 8, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        for _ in 0..200 {
+            assert!(depth(&strat.sample(&mut rng)) <= 4 + 1);
+        }
+    }
+}

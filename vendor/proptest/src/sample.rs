@@ -1,0 +1,44 @@
+//! Sampling helpers: `Index` (a length-agnostic index) and `select`.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// An index drawn independently of any particular collection length;
+/// callers scale it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this draw onto `0..len`. Panics if `len` is zero, matching the
+    /// real proptest behavior.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Uniform choice from a fixed list.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}

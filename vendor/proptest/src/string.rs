@@ -1,0 +1,246 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — enough for the patterns in this workspace's tests:
+//! literal characters, `\x` escapes (always literal), character classes
+//! `[a-zA-Z0-9]` (ranges and singletons, no negation), groups `(...)` with
+//! `|` alternation (including empty branches), and the quantifiers `{m}`,
+//! `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repetitions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// Alternation (uniform choice between branches).
+    Alt(Vec<Node>),
+    /// One literal character.
+    Lit(char),
+    /// Character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// `node{min,max}` with `max` inclusive.
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex tail {:?} in pattern {pattern:?}",
+        &chars[pos..].iter().collect::<String>()
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for part in parts {
+                emit(part, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let pick = rng.gen_range(0..branches.len());
+            emit(&branches[pick], rng, out);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = if min == max {
+                *min
+            } else {
+                rng.gen_range(*min..=*max)
+            };
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+// ---- Parser ---------------------------------------------------------------
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut branches = vec![parse_seq(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        branches.push(parse_seq(chars, pos));
+    }
+    if branches.len() == 1 {
+        branches.pop().expect("one branch")
+    } else {
+        Node::Alt(branches)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+    let mut parts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos);
+        parts.push(parse_quantifier(chars, pos, atom));
+    }
+    Node::Seq(parts)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unclosed group in pattern"
+            );
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let lo = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    chars[*pos]
+                } else {
+                    chars[*pos]
+                };
+                *pos += 1;
+                if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    let hi = chars[*pos + 1];
+                    assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                    ranges.push((lo, hi));
+                    *pos += 2;
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(*pos < chars.len(), "unclosed class in pattern");
+            *pos += 1; // ']'
+            assert!(!ranges.is_empty(), "empty character class");
+            Node::Class(ranges)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = chars[*pos];
+            *pos += 1;
+            Node::Lit(c)
+        }
+        '.' => {
+            *pos += 1;
+            Node::Class(vec![(' ', '~')])
+        }
+        c => {
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        '{' => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars[*pos].is_ascii_digit() {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min.parse().expect("quantifier min");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut max = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse().expect("quantifier max")
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unclosed quantifier");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_counted_repeat() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-zA-Z0-9]{0,80}", &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn grouped_alternation_with_escapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_empty = false;
+        let mut saw_nonempty = false;
+        for _ in 0..300 {
+            let s = sample_pattern("[a-z]{1,12}\\((uint256|string|address)?\\)", &mut rng);
+            let open = s.find('(').expect("open paren");
+            assert!(s.ends_with(')'));
+            assert!(open >= 1 && open <= 12);
+            let arg = &s[open + 1..s.len() - 1];
+            assert!(matches!(arg, "" | "uint256" | "string" | "address"), "{s}");
+            if arg.is_empty() {
+                saw_empty = true;
+            } else {
+                saw_nonempty = true;
+            }
+        }
+        assert!(saw_empty && saw_nonempty);
+    }
+
+    #[test]
+    fn plain_literals_pass_through() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_pattern("hello", &mut rng), "hello");
+    }
+}

@@ -1,0 +1,23 @@
+//! Runner configuration (`ProptestConfig` in the prelude).
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Cases per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // The real default (256) is overkill for deterministic sampling
+        // without shrinking; 64 keeps `cargo test` fast.
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}

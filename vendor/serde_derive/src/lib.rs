@@ -1,0 +1,214 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the simplified [`serde::Serialize`]/[`serde::Deserialize`] traits
+//! defined by the workspace's vendored `serde` crate. No `syn`/`quote`:
+//! the input token stream is parsed by hand, which is sufficient for the
+//! shapes this workspace derives on — plain structs (named, tuple, or unit)
+//! without generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a struct looks like after parsing.
+enum Shape {
+    /// `struct S { a: T, b: U }` with the field names in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` with the field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Parses `[attrs] [pub] struct Name [{...} | (...) ;]`.
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("derive on enums is not supported by the vendored serde_derive".into())
+            }
+            Some(other) => return Err(format!("unexpected token before struct: {other}")),
+            None => return Err("ran out of tokens looking for `struct`".into()),
+        }
+    };
+    // Generic structs would need `<...>` handling; none exist in this repo.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err("generic structs are not supported by the vendored serde_derive".into());
+        }
+    }
+    let shape = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => return Err(format!("expected struct body, got {other:?}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Splits a brace-group token stream into fields at top-level commas,
+/// tracking `<`/`>` depth so commas inside generic types don't split.
+fn split_fields(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    fields.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        fields.push(current);
+    }
+    fields
+}
+
+/// Field names of a named struct: for each comma-separated field, the last
+/// identifier before the first top-level `:`.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_fields(stream) {
+        let mut name: Option<String> = None;
+        let mut i = 0;
+        while i < field.len() {
+            match &field[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // attr marker; group skipped below
+                TokenTree::Group(_) => {}
+                TokenTree::Punct(p) if p.as_char() == ':' => break,
+                TokenTree::Ident(id) if id.to_string() != "pub" => {
+                    name = Some(id.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name.ok_or("field without a name")?);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_fields(stream).len()
+}
+
+/// `#[derive(Serialize)]` — emits an impl of the vendored
+/// `serde::Serialize` (`fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — emits an impl of the vendored
+/// `serde::Deserialize` (`fn from_value(&serde::Value) -> Result<Self, _>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let bindings: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             value.field(\"{f}\").ok_or(::serde::DeError::MissingField(\"{f}\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", bindings.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                             value.element({i}).ok_or(::serde::DeError::MissingField(\"{i}\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!("Ok({name}({}))", bindings.join(", "))
+        }
+        Shape::Unit => format!("Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
