@@ -1,0 +1,106 @@
+//! **Engine bench** — serial workflow vs the discrete-event session engine.
+//!
+//! The serial driver pays one ~12 s blockchain confirmation *per owner*
+//! because every participant acts alone on one clock. The event engine
+//! lets owners train, upload, and broadcast concurrently, so their
+//! `uploadCid` transactions share 12-second blocks and the whole session
+//! collapses toward a handful of slots. This bench sweeps the owner count
+//! and reports both engines' total *virtual* session time, the speedup,
+//! and how many distinct owners the fullest block carried.
+//!
+//! Run: `cargo run -p ofl-bench --release --bin bench_session_engine`
+
+use ofl_bench::{header, write_record};
+use ofl_core::config::{MarketConfig, PartitionScheme};
+use ofl_core::engine::{EngineConfig, MultiMarket};
+use ofl_core::scenario::Scenario;
+use ofl_fl::client::TrainConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    owners: usize,
+    serial_secs: f64,
+    event_secs: f64,
+    speedup: f64,
+    max_owners_in_one_block: usize,
+    blocks_with_cid_txs: usize,
+}
+
+#[derive(Serialize)]
+struct Record {
+    rows: Vec<Row>,
+    multi_market_4x8_secs: f64,
+}
+
+fn sweep_config(owners: usize) -> MarketConfig {
+    MarketConfig {
+        n_owners: owners,
+        n_train: 200 * owners,
+        n_test: 200,
+        partition: PartitionScheme::Iid,
+        seed: 42,
+        train: TrainConfig {
+            dims: vec![784, 16, 10],
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+        ..MarketConfig::small_test()
+    }
+}
+
+fn main() {
+    header("Session engine: serial vs discrete-event virtual time");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>7} {:>13} {:>13} {:>9} {:>22}",
+        "owners", "serial (s)", "event (s)", "speedup", "max owners per block"
+    );
+    for owners in [4usize, 8, 16, 32] {
+        let config = sweep_config(owners);
+        let serial = Scenario::new(format!("serial-{owners}"), config.clone())
+            .run()
+            .expect("serial session");
+        let (_, report) = MultiMarket::new(vec![config])
+            .run(&EngineConfig::default(), &[])
+            .expect("event-driven session");
+        let event_secs = report.sessions[0].total_sim_seconds;
+        let speedup = serial.total_sim_seconds / event_secs;
+        println!(
+            "{:>7} {:>13.1} {:>13.1} {:>8.1}x {:>22}",
+            owners,
+            serial.total_sim_seconds,
+            event_secs,
+            speedup,
+            report.max_owners_sharing_block()
+        );
+        rows.push(Row {
+            owners,
+            serial_secs: serial.total_sim_seconds,
+            event_secs,
+            speedup,
+            max_owners_in_one_block: report.max_owners_sharing_block(),
+            blocks_with_cid_txs: report.cid_txs_per_block.len(),
+        });
+    }
+
+    // One shared chain, four markets of eight owners each — the whole fleet
+    // finishes in roughly the virtual time one serial owner used to need.
+    let (_, multi) = MultiMarket::replicated(&sweep_config(8), 4)
+        .run(&EngineConfig::default(), &[])
+        .expect("multi-market run");
+    println!(
+        "\n4 markets × 8 owners on one chain: {:.1} virtual s total, fullest block carried {} owners",
+        multi.total_sim_seconds,
+        multi.max_owners_sharing_block()
+    );
+
+    write_record(
+        "bench_session_engine",
+        &Record {
+            rows,
+            multi_market_4x8_secs: multi.total_sim_seconds,
+        },
+    );
+}

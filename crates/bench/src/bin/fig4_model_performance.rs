@@ -33,7 +33,7 @@ fn main() {
     );
     let (_, report) = Marketplace::run(config).expect("session");
 
-    println!("\n{:<8} {:>14}  {}", "Model", "Test accuracy", "");
+    println!("\n{:<8} {:>14}", "Model", "Test accuracy");
     for (i, acc) in report.local_accuracies.iter().enumerate() {
         println!("{:<8} {:>13.2} %  {}", i, acc * 100.0, bar(*acc, 40));
     }

@@ -72,24 +72,38 @@ impl OwnerApp {
 
     /// "Upload Model" button: pushes the model to IPFS (Steps 2–3).
     pub fn upload_model(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        let cid = market.owner_upload_model(self.owner_index)?;
-        let msg = format!("Model uploaded to IPFS. CID: {cid}");
-        self.log(msg.clone());
-        Ok(msg)
+        match market.owner_upload_model(self.owner_index) {
+            Ok(cid) => {
+                let msg = format!("Model uploaded to IPFS. CID: {cid}");
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Upload failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// "Send CID" button: submits the CID to the contract via the wallet
     /// (Step 4), returning the MetaMask-style fee line.
     pub fn send_cid(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        let receipt = market.owner_send_cid(self.owner_index)?;
-        let msg = format!(
-            "CID sent on-chain in block {} — gas {}, fee {} ETH",
-            receipt.block_number,
-            receipt.gas_used,
-            format_eth(&receipt.fee, 8)
-        );
-        self.log(msg.clone());
-        Ok(msg)
+        match market.owner_send_cid(self.owner_index) {
+            Ok(receipt) => {
+                let msg = format!(
+                    "CID sent on-chain in block {} — gas {}, fee {} ETH",
+                    receipt.block_number,
+                    receipt.gas_used,
+                    format_eth(&receipt.fee, 8)
+                );
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Send CID failed: {e}"));
+                Err(e)
+            }
+        }
     }
 }
 
@@ -122,34 +136,56 @@ impl BuyerApp {
 
     /// "Deploy Contract" button (Step 1).
     pub fn deploy_contract(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        let receipt = market.deploy_contract()?;
-        let msg = format!(
-            "CidStorage deployed at {} — gas {}, fee {} ETH",
-            receipt
-                .contract_address
-                .expect("deployment yields an address")
-                .to_checksum(),
-            receipt.gas_used,
-            format_eth(&receipt.fee, 8)
-        );
-        self.log(msg.clone());
-        Ok(msg)
+        match market.deploy_contract() {
+            Ok(receipt) => {
+                let msg = format!(
+                    "CidStorage deployed at {} — gas {}, fee {} ETH",
+                    receipt
+                        .contract_address
+                        .expect("deployment yields an address")
+                        .to_checksum(),
+                    receipt.gas_used,
+                    format_eth(&receipt.fee, 8)
+                );
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Deploy failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// "Download CIDs" button (Step 5) — free of gas fees.
     pub fn download_cids(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        self.cids = market.buyer_download_cids()?;
-        let msg = format!("Downloaded {} CIDs (no gas fee)", self.cids.len());
-        self.log(msg.clone());
-        Ok(msg)
+        match market.buyer_download_cids() {
+            Ok(cids) => {
+                self.cids = cids;
+                let msg = format!("Downloaded {} CIDs (no gas fee)", self.cids.len());
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Download CIDs failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// "Retrieve Models" button (Step 6).
     pub fn retrieve_models(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        let n = market.buyer_retrieve_models(&self.cids)?;
-        let msg = format!("Retrieved and verified {n} models from IPFS");
-        self.log(msg.clone());
-        Ok(msg)
+        match market.buyer_retrieve_models(&self.cids) {
+            Ok(n) => {
+                let msg = format!("Retrieved and verified {n} models from IPFS");
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Retrieve Models failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
     /// "Aggregate & Pay" button (Step 7): backend aggregation, LOO
@@ -158,15 +194,22 @@ impl BuyerApp {
         &mut self,
         market: &mut Marketplace,
     ) -> Result<SessionReport, MarketError> {
-        let report = market.buyer_aggregate_and_pay()?;
-        self.log(format!(
-            "Aggregated model accuracy {:.2} % over {} global neurons; paid {} ETH to {} owners",
-            report.aggregated_accuracy * 100.0,
-            report.global_neurons,
-            format_eth(&report.total_paid(), 8),
-            report.payments.len()
-        ));
-        Ok(report)
+        match market.buyer_aggregate_and_pay() {
+            Ok(report) => {
+                self.log(format!(
+                    "Aggregated model accuracy {:.2} % over {} global neurons; paid {} ETH to {} owners",
+                    report.aggregated_accuracy * 100.0,
+                    report.global_neurons,
+                    format_eth(&report.total_paid(), 8),
+                    report.payments.len()
+                ));
+                Ok(report)
+            }
+            Err(e) => {
+                self.log(format!("Aggregate & Pay failed: {e}"));
+                Err(e)
+            }
+        }
     }
 }
 
@@ -210,9 +253,76 @@ mod tests {
     fn buttons_enforce_workflow_order() {
         let mut market = Marketplace::new(MarketConfig::small_test());
         let mut app = OwnerApp::new(0);
-        // Sending a CID before anything else must fail cleanly.
+        // Sending a CID before anything else must fail cleanly — and the
+        // screen shows the failure instead of swallowing it.
         assert!(app.send_cid(&mut market).is_err());
+        assert!(app
+            .events()
+            .iter()
+            .any(|e| e.message.contains("Send CID failed")));
         let mut buyer = BuyerApp::new();
         assert!(buyer.download_cids(&mut market).is_err());
+        assert!(buyer
+            .events()
+            .iter()
+            .any(|e| e.message.contains("Download CIDs failed")));
+        assert!(buyer.aggregate_and_pay(&mut market).is_err());
+        assert!(buyer
+            .events()
+            .iter()
+            .any(|e| e.message.contains("Aggregate & Pay failed")));
+    }
+
+    #[test]
+    fn dropped_owner_flow_is_reflected_in_event_logs() {
+        // The failure scenario from the paper's availability discussion: one
+        // owner trains and uploads but never presses "Send CID". The other
+        // screens' logs must tell that story — fewer CIDs downloaded, fewer
+        // models retrieved, fewer owners paid — and the dropout's own log
+        // must stop at the upload event.
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let n = market.owners.len();
+        let dropout = 1usize;
+        let mut buyer_app = BuyerApp::new();
+        buyer_app.deploy_contract(&mut market).unwrap();
+
+        let mut owner_apps: Vec<OwnerApp> = (0..n).map(OwnerApp::new).collect();
+        for (i, app) in owner_apps.iter_mut().enumerate() {
+            app.connect_wallet(&market);
+            app.train_model(&mut market);
+            app.upload_model(&mut market).unwrap();
+            if i != dropout {
+                app.send_cid(&mut market).unwrap();
+            }
+        }
+
+        // The dropout's screen has no on-chain confirmation event…
+        assert!(owner_apps[dropout]
+            .events()
+            .iter()
+            .all(|e| !e.message.contains("CID sent on-chain")));
+        assert_eq!(owner_apps[dropout].events().len(), 3);
+        // …while honest owners' screens do.
+        for (i, app) in owner_apps.iter().enumerate() {
+            if i != dropout {
+                assert!(app
+                    .events()
+                    .iter()
+                    .any(|e| e.message.contains("CID sent on-chain")));
+            }
+        }
+
+        buyer_app.download_cids(&mut market).unwrap();
+        buyer_app.retrieve_models(&mut market).unwrap();
+        let report = buyer_app.aggregate_and_pay(&mut market).unwrap();
+        assert_eq!(report.payments.len(), n - 1);
+        // The buyer's log reflects the reduced participation.
+        let expect_download = format!("Downloaded {} CIDs", n - 1);
+        let expect_retrieve = format!("Retrieved and verified {} models", n - 1);
+        let expect_paid = format!("{} owners", n - 1);
+        let log = buyer_app.events();
+        assert!(log.iter().any(|e| e.message.contains(&expect_download)));
+        assert!(log.iter().any(|e| e.message.contains(&expect_retrieve)));
+        assert!(log.iter().any(|e| e.message.contains(&expect_paid)));
     }
 }

@@ -1,0 +1,869 @@
+//! The discrete-event session engine: concurrent owners, shared blocks,
+//! multi-market worlds.
+//!
+//! The serial [`Marketplace`](crate::market::Marketplace) advances one
+//! global clock through every participant's actions in turn, so a
+//! 20-owner session pays 20× the blockchain wait it should and every block
+//! carries exactly one transaction. This engine drives the same
+//! [`MarketSession`] primitives from an [`EventQueue`] instead:
+//!
+//! - Each owner is a **state machine** (Train → Upload → SendCid → Done)
+//!   whose steps fire as events on the owner's own timeline; the world
+//!   advances to the earliest pending event, so owners overlap in time.
+//! - Transaction submission is **non-blocking**: `uploadCid` calls from
+//!   many owners (and deploys/payments from many buyers) sit in the one
+//!   shared mempool until a `Mine` event fires at the next 12-second slot
+//!   boundary, which packs them into *shared* blocks. Base-fee movement,
+//!   per-block gas pressure, and confirmation-wait distributions emerge
+//!   from that contention rather than being serialized away.
+//! - [`MultiMarket`] runs N complete marketplace sessions over **one**
+//!   world — one chain, one swarm — the substrate shape the roadmap's
+//!   heavy-traffic north star requires.
+//!
+//! Determinism: the queue delivers simultaneous events in scheduling
+//! order, all state is seeded, and nothing iterates a hash map — a run is
+//! a pure function of `(configs, failures, arrivals)`.
+
+use crate::config::MarketConfig;
+use crate::market::{
+    buyer_phase, owner_phase, Aggregation, LooPayments, MarketError, MarketSession, PaymentRow,
+    SessionBlueprint, SessionReport,
+};
+use crate::scenario::FailurePlan;
+use crate::world::{World, WorldError};
+use ofl_eth::block::Receipt;
+use ofl_eth::contracts::cid_storage_init_code;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::Swarm;
+use ofl_netsim::clock::{SimDuration, SimInstant};
+use ofl_netsim::sched::{EventQueue, Timeline};
+use ofl_primitives::u256::U256;
+use ofl_primitives::{H160, H256};
+use std::collections::BTreeSet;
+
+/// When each owner shows up to start training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Everyone starts at t = 0 (maximum contention).
+    Simultaneous,
+    /// Owner `i` arrives at `i × interval` (a rolling-admission session).
+    Staggered(SimDuration),
+}
+
+impl Arrivals {
+    fn offset(&self, owner_index: usize) -> SimDuration {
+        match self {
+            Arrivals::Simultaneous => SimDuration::ZERO,
+            Arrivals::Staggered(interval) => SimDuration(interval.0 * owner_index as u64),
+        }
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Owner arrival pattern (per market).
+    pub arrivals: Arrivals,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            arrivals: Arrivals::Simultaneous,
+        }
+    }
+}
+
+/// Per-session facts the engine observed that a [`SessionReport`] does not
+/// carry (the scenario layer distills outcomes from these).
+#[derive(Debug, Clone, Default)]
+pub struct SessionDetail {
+    /// Every CID the market's contract returned at finalize time.
+    pub cids_onchain: Vec<String>,
+    /// The subset of CIDs some peer could still serve.
+    pub cids_retrieved: Vec<String>,
+    /// Injected transactions that (as intended) reverted on-chain.
+    pub reverted_tx_count: usize,
+}
+
+/// What a whole engine run produced.
+pub struct EngineReport {
+    /// One report per market, in construction order.
+    pub sessions: Vec<SessionReport>,
+    /// Engine-level facts per market.
+    pub details: Vec<SessionDetail>,
+    /// Virtual time from world start to the last buyer's completion.
+    pub total_sim_seconds: f64,
+    /// `(block_number, distinct owners whose uploadCid landed there)` for
+    /// every block that carried at least one CID transaction.
+    pub cid_txs_per_block: Vec<(u64, usize)>,
+}
+
+impl EngineReport {
+    /// The largest number of distinct owners sharing one block — ≥ 2 is the
+    /// contention the serial engine could never produce.
+    pub fn max_owners_sharing_block(&self) -> usize {
+        self.cid_txs_per_block
+            .iter()
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// N concurrent marketplace sessions sharing one world: one chain, one
+/// swarm, one mempool.
+pub struct MultiMarket {
+    /// The shared substrate.
+    pub world: World,
+    /// The markets, each with its own buyer, owners, contract, and budget.
+    pub sessions: Vec<MarketSession>,
+}
+
+impl MultiMarket {
+    /// Builds a shared world from explicit per-market configurations. The
+    /// first market's chain parameters and network profile govern the
+    /// world; market 0 derives exactly like a solo [`Marketplace`]
+    /// (so serial-vs-event comparisons are apples to apples), later markets
+    /// are namespaced `m1/`, `m2/`, …
+    pub fn new(configs: Vec<MarketConfig>) -> MultiMarket {
+        assert!(!configs.is_empty(), "at least one market required");
+        let blueprints: Vec<SessionBlueprint> = configs
+            .iter()
+            .enumerate()
+            .map(|(m, c)| {
+                let label = if m == 0 {
+                    String::new()
+                } else {
+                    format!("m{m}/")
+                };
+                SessionBlueprint::new(c.clone(), &label)
+            })
+            .collect();
+        let genesis: Vec<(H160, U256)> = blueprints
+            .iter()
+            .flat_map(|b| b.genesis().iter().cloned())
+            .collect();
+        let mut world = World::new(configs[0].chain.clone(), &genesis, configs[0].profile);
+        let sessions = blueprints
+            .into_iter()
+            .map(|b| b.instantiate(&mut world.swarm))
+            .collect();
+        MultiMarket { world, sessions }
+    }
+
+    /// `markets` copies of `base` with decorrelated data/model seeds — the
+    /// "4×8" style regimes.
+    pub fn replicated(base: &MarketConfig, markets: usize) -> MultiMarket {
+        let configs = (0..markets)
+            .map(|m| {
+                let mut c = base.clone();
+                c.seed = base.seed.wrapping_add(m as u64 * 7919);
+                c.train.seed = base.train.seed.wrapping_add(m as u64 * 104_729);
+                c
+            })
+            .collect();
+        MultiMarket::new(configs)
+    }
+
+    /// Runs every session to completion on the event queue. `failures[m]`
+    /// is market m's injection plan (missing entries mean clean).
+    pub fn run(
+        mut self,
+        engine: &EngineConfig,
+        failures: &[FailurePlan],
+    ) -> Result<(MultiMarket, EngineReport), MarketError> {
+        let report = {
+            let mut driver = Driver::new(
+                &mut self.world,
+                &mut self.sessions,
+                engine.arrivals,
+                failures,
+            );
+            driver.run()?
+        };
+        Ok((self, report))
+    }
+}
+
+/// Whether any node in the swarm can still serve `cid`.
+pub(crate) fn swarm_has(swarm: &Swarm, cid: &Cid) -> bool {
+    (0..swarm.len()).any(|i| swarm.node(i).has_block(cid))
+}
+
+// ----------------------------------------------------------------------
+// The event loop.
+// ----------------------------------------------------------------------
+
+/// Events. `m` indexes the market, `i` the owner within it. `Submit*`
+/// events fire at the instant the transaction *reaches the mempool* (the
+/// RPC broadcast time has already elapsed); `phase_start` pins where the
+/// participant's blockchain phase began for Fig 7 accounting.
+enum Ev {
+    SubmitDeploy {
+        m: usize,
+    },
+    OwnerArrive {
+        m: usize,
+        i: usize,
+    },
+    OwnerTrained {
+        m: usize,
+        i: usize,
+    },
+    OwnerUploaded {
+        m: usize,
+        i: usize,
+    },
+    OwnerSubmitCid {
+        m: usize,
+        i: usize,
+        phase_start: SimInstant,
+    },
+    Mine {
+        slot_secs: u64,
+    },
+    BuyerFinalize {
+        m: usize,
+    },
+    BuyerSubmitPayments {
+        m: usize,
+    },
+    BuyerDone {
+        m: usize,
+    },
+}
+
+/// Who is waiting on a mined receipt.
+enum Wake {
+    Deploy {
+        m: usize,
+    },
+    OwnerCid {
+        m: usize,
+        i: usize,
+        phase_start: SimInstant,
+    },
+    OwnerRevert {
+        m: usize,
+        i: usize,
+    },
+    Payment {
+        m: usize,
+    },
+}
+
+struct PendingTx {
+    hash: H256,
+    submitted_height: u64,
+    wake: Wake,
+}
+
+/// Per-market run state.
+struct MarketRun {
+    failures: FailurePlan,
+    /// Each owner's local time: where that owner's Train → Upload → SendCid
+    /// machine has progressed to, independent of the global clock.
+    owner_timelines: Vec<Timeline>,
+    /// The buyer's local time (deploy wait, finalize pipeline, payment).
+    buyer_timeline: Timeline,
+    deploy_phase_start: SimInstant,
+    contract_ready: bool,
+    /// Owners whose CID is ready but whose contract isn't deployed yet.
+    parked: Vec<usize>,
+    owners_unresolved: usize,
+    reverted_tx_count: usize,
+    payment_phase_start: SimInstant,
+    outstanding_payments: usize,
+    paid: Vec<(H160, U256)>,
+    payment_hashes: Vec<H256>,
+    finalize: Option<(Aggregation, LooPayments)>,
+    detail: SessionDetail,
+    report: Option<SessionReport>,
+}
+
+struct Driver<'a> {
+    world: &'a mut World,
+    sessions: &'a mut [MarketSession],
+    arrivals: Arrivals,
+    queue: EventQueue<Ev>,
+    pending: Vec<PendingTx>,
+    scheduled_slots: BTreeSet<u64>,
+    markets: Vec<MarketRun>,
+}
+
+impl<'a> Driver<'a> {
+    fn new(
+        world: &'a mut World,
+        sessions: &'a mut [MarketSession],
+        arrivals: Arrivals,
+        failures: &[FailurePlan],
+    ) -> Driver<'a> {
+        let markets = (0..sessions.len())
+            .map(|m| MarketRun {
+                failures: failures.get(m).cloned().unwrap_or_default(),
+                owner_timelines: vec![Timeline::default(); sessions[m].owners.len()],
+                buyer_timeline: Timeline::default(),
+                deploy_phase_start: SimInstant(0),
+                contract_ready: false,
+                parked: Vec::new(),
+                owners_unresolved: sessions[m].owners.len(),
+                reverted_tx_count: 0,
+                payment_phase_start: SimInstant(0),
+                outstanding_payments: 0,
+                paid: Vec::new(),
+                payment_hashes: Vec::new(),
+                finalize: None,
+                detail: SessionDetail::default(),
+                report: None,
+            })
+            .collect();
+        Driver {
+            world,
+            sessions,
+            arrivals,
+            queue: EventQueue::new(),
+            pending: Vec::new(),
+            scheduled_slots: BTreeSet::new(),
+            markets,
+        }
+    }
+
+    fn run(&mut self) -> Result<EngineReport, MarketError> {
+        // Seed the queue: every buyer broadcasts its deploy immediately;
+        // every owner arrives per the schedule.
+        for m in 0..self.sessions.len() {
+            let deploy_rpc = self.world.tx_submit_time(cid_storage_init_code().len());
+            self.queue
+                .schedule(SimInstant(deploy_rpc.0), Ev::SubmitDeploy { m });
+            for i in 0..self.sessions[m].owners.len() {
+                self.queue.schedule(
+                    SimInstant(self.arrivals.offset(i).0),
+                    Ev::OwnerArrive { m, i },
+                );
+            }
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            self.world.clock.advance_to(t);
+            match ev {
+                Ev::SubmitDeploy { m } => self.on_submit_deploy(m, t)?,
+                Ev::OwnerArrive { m, i } => self.on_owner_arrive(m, i, t),
+                Ev::OwnerTrained { m, i } => self.on_owner_trained(m, i, t)?,
+                Ev::OwnerUploaded { m, i } => self.on_owner_uploaded(m, i, t)?,
+                Ev::OwnerSubmitCid { m, i, phase_start } => {
+                    self.on_owner_submit_cid(m, i, phase_start, t)?
+                }
+                Ev::Mine { slot_secs } => self.on_mine(slot_secs)?,
+                Ev::BuyerFinalize { m } => self.on_buyer_finalize(m, t)?,
+                Ev::BuyerSubmitPayments { m } => self.on_buyer_submit_payments(m, t)?,
+                Ev::BuyerDone { m } => self.on_buyer_done(m, t)?,
+            }
+        }
+
+        let sessions: Vec<SessionReport> = self
+            .markets
+            .iter_mut()
+            .map(|run| run.report.take().expect("every market completed"))
+            .collect();
+        let details: Vec<SessionDetail> =
+            self.markets.iter().map(|run| run.detail.clone()).collect();
+        let cid_txs_per_block = self.cid_block_occupancy();
+        Ok(EngineReport {
+            sessions,
+            details,
+            total_sim_seconds: self.world.clock.elapsed_secs(),
+            cid_txs_per_block,
+        })
+    }
+
+    // -- scheduling helpers ------------------------------------------------
+
+    /// Schedules a `Mine` event for the given slot (once per slot).
+    fn schedule_mine(&mut self, slot_secs: u64) {
+        if self.scheduled_slots.insert(slot_secs) {
+            self.queue
+                .schedule(SimInstant(slot_secs * 1_000_000), Ev::Mine { slot_secs });
+        }
+    }
+
+    /// Schedules owner `i`'s CID broadcast: the owner's timeline advances
+    /// to `now` (it may have been blocked waiting for the contract), the
+    /// RPC transfer runs from there, and the mempool sees the transaction
+    /// when it completes.
+    fn schedule_cid_submit(&mut self, m: usize, i: usize, now: SimInstant) {
+        let data_len = if self.markets[m].failures.revert_cid_tx.contains(&i) {
+            4 // the bogus selector
+        } else {
+            match self.sessions[m].cid_calldata(i) {
+                Ok(data) => data.len(),
+                Err(_) => 4,
+            }
+        };
+        let rpc = self.world.tx_submit_time(data_len);
+        let timeline = &mut self.markets[m].owner_timelines[i];
+        let phase_start = timeline.advance_to(now);
+        let submit_at = timeline.advance(rpc);
+        self.queue
+            .schedule(submit_at, Ev::OwnerSubmitCid { m, i, phase_start });
+    }
+
+    /// Marks owner `i` finished (confirmed, reverted, or dropped out); the
+    /// buyer finalizes once every owner is resolved.
+    fn resolve_owner(&mut self, m: usize, at: SimInstant) {
+        self.markets[m].owners_unresolved -= 1;
+        if self.markets[m].owners_unresolved == 0 {
+            self.queue.schedule(at, Ev::BuyerFinalize { m });
+        }
+    }
+
+    // -- event handlers ----------------------------------------------------
+
+    fn on_submit_deploy(&mut self, m: usize, _t: SimInstant) -> Result<(), MarketError> {
+        let buyer = self.sessions[m].buyer.address;
+        let hash = self.world.submit_tx(
+            &self.sessions[m].wallet,
+            &buyer,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )?;
+        self.pending.push(PendingTx {
+            hash,
+            submitted_height: self.world.chain.height(),
+            wake: Wake::Deploy { m },
+        });
+        let slot = self.world.next_slot_secs(self.world.clock.now());
+        self.schedule_mine(slot);
+        Ok(())
+    }
+
+    fn on_owner_arrive(&mut self, m: usize, i: usize, t: SimInstant) {
+        if self.markets[m].failures.freeload.contains(&i) {
+            // Shrink the silo to (at most) 3 examples before training; the
+            // owner still goes through the whole honest protocol.
+            let len = self.sessions[m].owners[i].data.len();
+            let keep: Vec<usize> = (0..len.min(3)).collect();
+            self.sessions[m].owners[i].data = self.sessions[m].owners[i].data.subset(&keep);
+        }
+        let duration = self.sessions[m].train_owner(i);
+        self.sessions[m].owner_recorders[i].add(owner_phase::TRAIN, duration);
+        let timeline = &mut self.markets[m].owner_timelines[i];
+        timeline.advance_to(t);
+        let done = timeline.advance(duration);
+        self.queue.schedule(done, Ev::OwnerTrained { m, i });
+    }
+
+    fn on_owner_trained(&mut self, m: usize, i: usize, t: SimInstant) -> Result<(), MarketError> {
+        let (_cid, duration) = self.sessions[m].upload_owner(self.world, i)?;
+        self.sessions[m].owner_recorders[i].add(owner_phase::UPLOAD, duration);
+        let timeline = &mut self.markets[m].owner_timelines[i];
+        timeline.advance_to(t);
+        let done = timeline.advance(duration);
+        self.queue.schedule(done, Ev::OwnerUploaded { m, i });
+        Ok(())
+    }
+
+    fn on_owner_uploaded(&mut self, m: usize, i: usize, t: SimInstant) -> Result<(), MarketError> {
+        if self.markets[m].failures.dropout.contains(&i) {
+            // Silent dropout: trained and uploaded, never tells the chain.
+            self.resolve_owner(m, t);
+            return Ok(());
+        }
+        if self.markets[m].contract_ready {
+            self.schedule_cid_submit(m, i, t);
+        } else {
+            // The contract isn't deployed yet; the owner's DApp polls and
+            // submits the moment the deployment confirms.
+            self.markets[m].parked.push(i);
+        }
+        Ok(())
+    }
+
+    fn on_owner_submit_cid(
+        &mut self,
+        m: usize,
+        i: usize,
+        phase_start: SimInstant,
+        t: SimInstant,
+    ) -> Result<(), MarketError> {
+        let hash;
+        let wake;
+        if self.markets[m].failures.revert_cid_tx.contains(&i) {
+            // An unknown selector: the contract's dispatcher reverts, the
+            // owner pays intrinsic+execution gas, no CID lands.
+            let contract = self.sessions[m]
+                .contract
+                .ok_or(MarketError::StepOrder("deploy before sending CIDs"))?;
+            let from = self.sessions[m].owners[i].address;
+            hash = self.world.submit_tx(
+                &self.sessions[m].wallet,
+                &from,
+                Some(contract.address),
+                U256::ZERO,
+                vec![0xde, 0xad, 0xbe, 0xef],
+            )?;
+            wake = Wake::OwnerRevert { m, i };
+        } else {
+            hash = self.sessions[m].submit_cid(self.world, i)?;
+            wake = Wake::OwnerCid { m, i, phase_start };
+        }
+        self.pending.push(PendingTx {
+            hash,
+            submitted_height: self.world.chain.height(),
+            wake,
+        });
+        let slot = self.world.next_slot_secs(t);
+        self.schedule_mine(slot);
+        Ok(())
+    }
+
+    fn on_mine(&mut self, slot_secs: u64) -> Result<(), MarketError> {
+        self.scheduled_slots.remove(&slot_secs);
+        self.world.mine_slot(slot_secs);
+        let now = self.world.clock.now();
+        let poll = self.world.receipt_poll_time();
+        let wake_at = SimInstant(now.0 + poll.0);
+
+        // Deliver receipts to whoever was waiting on this block.
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let Some(receipt) = self.world.chain.receipt(&p.hash).cloned() else {
+                self.pending.push(p);
+                continue;
+            };
+            match p.wake {
+                Wake::Deploy { m } => self.on_deploy_confirmed(m, &receipt, wake_at)?,
+                Wake::OwnerCid { m, i, phase_start } => {
+                    self.sessions[m].finish_cid(i, &receipt)?;
+                    self.sessions[m].owner_recorders[i]
+                        .add(owner_phase::SEND_CID, wake_at.since(phase_start));
+                    self.markets[m].owner_timelines[i].advance_to(wake_at);
+                    self.resolve_owner(m, wake_at);
+                }
+                Wake::OwnerRevert { m, i } => {
+                    if receipt.is_success() {
+                        return Err(MarketError::TxFailed(format!(
+                            "injected revert for owner {i} unexpectedly succeeded"
+                        )));
+                    }
+                    self.markets[m].reverted_tx_count += 1;
+                    self.resolve_owner(m, wake_at);
+                }
+                Wake::Payment { m } => {
+                    self.markets[m].outstanding_payments -= 1;
+                    if self.markets[m].outstanding_payments == 0 {
+                        self.queue.schedule(wake_at, Ev::BuyerDone { m });
+                    }
+                }
+            }
+        }
+
+        // Anything still unmined: detect evictions and enforce the
+        // configurable confirmation cap (same budget as the serial
+        // `World::mine_until`: give up once `max_wait_slots` slots have been
+        // mined since submission, reporting the actual count).
+        let max_wait = self.world.chain.config().max_wait_slots;
+        let height = self.world.chain.height();
+        let mut timed_out = Vec::new();
+        let mut slots_mined = 0u64;
+        for p in &self.pending {
+            if !self.world.chain.is_pending(&p.hash) {
+                return Err(MarketError::World(WorldError::TxDropped(p.hash)));
+            }
+            let waited = height.saturating_sub(p.submitted_height);
+            if waited >= max_wait {
+                timed_out.push(p.hash);
+                slots_mined = slots_mined.max(waited);
+            }
+        }
+        if !timed_out.is_empty() {
+            return Err(MarketError::World(WorldError::ConfirmationTimeout {
+                slots_mined,
+                pending: timed_out,
+            }));
+        }
+
+        // Keep slots coming while work is queued.
+        if self.world.chain.mempool_len() > 0 {
+            self.schedule_mine(slot_secs + self.world.chain.config().block_time);
+        }
+        Ok(())
+    }
+
+    fn on_deploy_confirmed(
+        &mut self,
+        m: usize,
+        receipt: &Receipt,
+        wake_at: SimInstant,
+    ) -> Result<(), MarketError> {
+        self.sessions[m].finish_deploy(receipt)?;
+        let start = self.markets[m].deploy_phase_start;
+        self.sessions[m]
+            .buyer_recorder
+            .add(buyer_phase::DEPLOY, wake_at.since(start));
+        self.markets[m].buyer_timeline.advance_to(wake_at);
+        self.markets[m].contract_ready = true;
+        // Release owners who finished uploading before the contract existed.
+        let parked = std::mem::take(&mut self.markets[m].parked);
+        for i in parked {
+            self.schedule_cid_submit(m, i, wake_at);
+        }
+        Ok(())
+    }
+
+    fn on_buyer_finalize(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        // Availability failure: after the CIDs are public, the blocks vanish.
+        let drop_blocks = self.markets[m].failures.drop_ipfs_blocks.clone();
+        for i in drop_blocks {
+            if let Some(cid) = self.sessions[m].owners[i].cid.clone() {
+                let node_index = self.sessions[m].owners[i].ipfs_node;
+                let node = self.world.swarm.node_mut(node_index);
+                node.store_mut().unpin(&cid);
+                node.store_mut().gc();
+            }
+        }
+
+        let session = &mut self.sessions[m];
+        let (cids_onchain, d_download) = session.download_cids_computed(self.world)?;
+        session
+            .buyer_recorder
+            .add(buyer_phase::DOWNLOAD_CIDS, d_download);
+        // A production client gives up on unfetchable CIDs; retrieve only
+        // content some peer can still serve.
+        let cids_retrieved: Vec<String> = cids_onchain
+            .iter()
+            .filter(|s| {
+                Cid::parse(s)
+                    .map(|c| swarm_has(&self.world.swarm, &c))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        let (_n, d_retrieve) = session.retrieve_models_computed(self.world, &cids_retrieved)?;
+        session
+            .buyer_recorder
+            .add(buyer_phase::RETRIEVE, d_retrieve);
+        let (agg, d_agg) = session.aggregate_computed(self.world)?;
+        session.buyer_recorder.add(buyer_phase::AGGREGATE, d_agg);
+        let (loo, d_loo) = session.loo_payments_computed(self.world, &agg);
+
+        // The buyer pipelines download → retrieve → aggregate → /loo →
+        // payment broadcast on its own timeline; payments reach the mempool
+        // together after one RPC transfer.
+        let pay_rpc = self.world.tx_submit_time(0);
+        let run = &mut self.markets[m];
+        run.detail.cids_onchain = cids_onchain;
+        run.detail.cids_retrieved = cids_retrieved;
+        run.finalize = Some((agg, loo));
+        run.buyer_timeline.advance_to(t);
+        run.buyer_timeline.advance(d_download);
+        run.buyer_timeline.advance(d_retrieve);
+        run.payment_phase_start = run.buyer_timeline.advance(d_agg);
+        run.buyer_timeline.advance(d_loo);
+        let pay_at = run.buyer_timeline.advance(pay_rpc);
+        self.queue.schedule(pay_at, Ev::BuyerSubmitPayments { m });
+        Ok(())
+    }
+
+    fn on_buyer_submit_payments(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        let (agg, loo) = self.markets[m]
+            .finalize
+            .as_ref()
+            .expect("finalize precedes payments");
+        // Fee terms are priced at broadcast time, against the base fee the
+        // shared chain has *now* — not at finalize time.
+        let txs = self.sessions[m].build_payment_txs(&self.world.chain, agg, loo);
+        let mut hashes = Vec::new();
+        let mut paid = Vec::new();
+        for (address, amount, tx) in txs {
+            let hash = self
+                .world
+                .chain
+                .submit(tx)
+                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
+            self.pending.push(PendingTx {
+                hash,
+                submitted_height: self.world.chain.height(),
+                wake: Wake::Payment { m },
+            });
+            hashes.push(hash);
+            paid.push((address, amount));
+        }
+        let run = &mut self.markets[m];
+        run.outstanding_payments = hashes.len();
+        run.payment_hashes = hashes;
+        run.paid = paid;
+        if run.outstanding_payments == 0 {
+            self.queue.schedule(t, Ev::BuyerDone { m });
+        } else {
+            let slot = self.world.next_slot_secs(t);
+            self.schedule_mine(slot);
+        }
+        Ok(())
+    }
+
+    fn on_buyer_done(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        let run = &mut self.markets[m];
+        let mut payments = Vec::with_capacity(run.payment_hashes.len());
+        for ((address, amount), hash) in run.paid.iter().zip(&run.payment_hashes) {
+            let receipt = self
+                .world
+                .chain
+                .receipt(hash)
+                .expect("payment mined")
+                .clone();
+            payments.push(PaymentRow {
+                address: *address,
+                amount_wei: *amount,
+                receipt,
+            });
+        }
+        run.buyer_timeline.advance_to(t);
+        let session = &mut self.sessions[m];
+        session
+            .buyer_recorder
+            .add(buyer_phase::PAYMENT, t.since(run.payment_phase_start));
+        let (agg, loo) = run.finalize.take().expect("finalize state present");
+        run.detail.reverted_tx_count = run.reverted_tx_count;
+        let total_secs = run.buyer_timeline.now().0 as f64 / 1e6;
+        run.report = Some(session.assemble_report(&agg, &loo, payments, total_secs));
+        Ok(())
+    }
+
+    /// For every mined block, how many distinct owners' `uploadCid`
+    /// transactions it carries (across all markets).
+    fn cid_block_occupancy(&self) -> Vec<(u64, usize)> {
+        let mut per_block: std::collections::BTreeMap<u64, usize> =
+            std::collections::BTreeMap::new();
+        for session in self.sessions.iter() {
+            for owner in &session.owners {
+                if let Some(receipt) = &owner.upload_receipt {
+                    *per_block.entry(receipt.block_number).or_insert(0) += 1;
+                }
+            }
+        }
+        per_block.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarketConfig;
+    use crate::market::Marketplace;
+
+    fn tiny(n_owners: usize) -> MarketConfig {
+        MarketConfig {
+            n_owners,
+            n_train: 100 * n_owners,
+            n_test: 80,
+            train: ofl_fl::client::TrainConfig {
+                dims: vec![784, 16, 10],
+                epochs: 1,
+                ..ofl_fl::client::TrainConfig::default()
+            },
+            ..MarketConfig::small_test()
+        }
+    }
+
+    #[test]
+    fn concurrent_owners_share_blocks_and_finish_sooner() {
+        let config = tiny(4);
+        let (_, serial_report) = Marketplace::run(config.clone()).expect("serial run");
+        let mm = MultiMarket::new(vec![config]);
+        let (mm, report) = mm
+            .run(&EngineConfig::default(), &[])
+            .expect("event-driven run");
+        assert_eq!(report.sessions.len(), 1);
+        // All four CID transactions land in one block.
+        assert!(report.max_owners_sharing_block() >= 2);
+        // Concurrency strictly beats the serial schedule.
+        assert!(
+            report.sessions[0].total_sim_seconds < serial_report.total_sim_seconds,
+            "event {} vs serial {}",
+            report.sessions[0].total_sim_seconds,
+            serial_report.total_sim_seconds
+        );
+        // Same participants, same models, same CIDs — only the schedule
+        // changed.
+        assert_eq!(report.sessions[0].cids, serial_report.cids);
+        assert_eq!(
+            report.sessions[0].payments.len(),
+            serial_report.payments.len()
+        );
+        assert!(mm.world.chain.height() >= 1);
+    }
+
+    #[test]
+    fn multi_market_sessions_complete_on_one_chain() {
+        let mm = MultiMarket::replicated(&tiny(3), 2);
+        assert_eq!(mm.sessions.len(), 2);
+        let genesis_supply = mm.world.chain.state().total_supply();
+        let (mm, report) = mm.run(&EngineConfig::default(), &[]).expect("runs");
+        assert_eq!(report.sessions.len(), 2);
+        for session_report in &report.sessions {
+            assert_eq!(session_report.payments.len(), 3);
+        }
+        // Distinct markets, distinct CIDs (decorrelated seeds).
+        assert_ne!(report.sessions[0].cids, report.sessions[1].cids);
+        // One shared chain conserved ETH across both markets.
+        let live = mm.world.chain.state().total_supply();
+        let burned = mm.world.chain.burned();
+        assert_eq!(live.wrapping_add(&burned), genesis_supply);
+    }
+
+    #[test]
+    fn staggered_arrivals_spread_cid_blocks() {
+        let config = tiny(3);
+        let engine = EngineConfig {
+            arrivals: Arrivals::Staggered(SimDuration::from_secs(30)),
+        };
+        let (_, report) = MultiMarket::new(vec![config])
+            .run(&engine, &[])
+            .expect("runs");
+        // 30 s apart with 12 s slots: every owner's CID lands in its own
+        // block.
+        assert!(report.cid_txs_per_block.len() >= 2);
+        assert_eq!(report.max_owners_sharing_block(), 1);
+    }
+
+    #[test]
+    fn engine_reruns_are_deterministic() {
+        let run = || {
+            let (_, report) = MultiMarket::replicated(&tiny(3), 2)
+                .run(&EngineConfig::default(), &[])
+                .expect("runs");
+            report
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_sim_seconds, b.total_sim_seconds);
+        assert_eq!(a.cid_txs_per_block, b.cid_txs_per_block);
+        for (ra, rb) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(ra.cids, rb.cids);
+            assert_eq!(ra.total_sim_seconds, rb.total_sim_seconds);
+            assert_eq!(
+                ra.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>(),
+                rb.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_supports_failure_injection() {
+        let config = tiny(4);
+        let failures = FailurePlan {
+            dropout: vec![1],
+            revert_cid_tx: vec![2],
+            ..FailurePlan::clean()
+        };
+        let (_, report) = MultiMarket::new(vec![config])
+            .run(&EngineConfig::default(), &[failures])
+            .expect("runs");
+        let detail = &report.details[0];
+        assert_eq!(detail.cids_onchain.len(), 2);
+        assert_eq!(detail.reverted_tx_count, 1);
+        assert_eq!(report.sessions[0].payments.len(), 2);
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`world`]: the shared substrate — chain + IPFS swarm + virtual clock.
 //! - [`market`]: the 7-step workflow and the [`market::SessionReport`] that
 //!   feeds every figure/table of the paper.
+//! - [`engine`]: the discrete-event session engine — concurrent owners,
+//!   shared blocks, and [`engine::MultiMarket`] worlds (N sessions, one
+//!   chain).
 //! - [`dapp`]: the button-level React/Flask DApp facade of Fig 3.
 //! - [`scenario`]: parameterized sessions with failure injection — the
 //!   engine behind the regime sweeps in `tests/scenarios.rs` and the
@@ -28,11 +31,13 @@
 
 pub mod config;
 pub mod dapp;
+pub mod engine;
 pub mod market;
 pub mod scenario;
 pub mod world;
 
 pub use config::{MarketConfig, PartitionScheme};
-pub use market::{Marketplace, SessionReport};
-pub use scenario::{FailurePlan, Scenario, ScenarioOutcome, ScenarioSuite};
+pub use engine::{Arrivals, EngineConfig, EngineReport, MultiMarket};
+pub use market::{MarketSession, Marketplace, SessionBlueprint, SessionReport};
+pub use scenario::{ExecutionMode, FailurePlan, Scenario, ScenarioOutcome, ScenarioSuite};
 pub use world::World;

@@ -11,6 +11,17 @@
 //! | 5 | Download CIDs (free reads) | buyer |
 //! | 6 | Retrieve models from IPFS | buyer |
 //! | 7 | Aggregate (PFNM, backend server), compute LOO, pay | buyer |
+//!
+//! The session state lives in [`MarketSession`], which is deliberately
+//! substrate-free: every step is a primitive that either does pure host
+//! compute and *returns* the virtual time it would take, or touches a
+//! [`World`] passed in by the caller. Two drivers compose the primitives:
+//!
+//! - [`Marketplace`] owns a private `World` and runs the steps serially,
+//!   blocking in virtual time on each confirmation (the original workflow).
+//! - `ofl_core::engine` shares one `World` among many sessions and drives
+//!   the same primitives from a discrete-event queue, so owners act
+//!   concurrently and their transactions share blocks.
 
 use crate::config::{MarketConfig, PartitionScheme};
 use crate::world::{World, WorldError};
@@ -19,18 +30,18 @@ use ofl_data::{mnist, partition};
 use ofl_eth::abi::{self, Type, Value};
 use ofl_eth::block::Receipt;
 use ofl_eth::contracts::{cid_storage_init_code, CidStorage};
-use ofl_eth::tx::{sign_tx, TxRequest};
+use ofl_eth::tx::{sign_tx, SignedTx, TxRequest};
 use ofl_eth::wallet::Wallet;
 use ofl_fl::client::TrainedModel;
 use ofl_fl::pfnm::{self, PfnmConfig};
 use ofl_incentive::{allocate_payments, loo_scores};
 use ofl_ipfs::cid::Cid;
-use ofl_ipfs::swarm::IpfsNode;
-use ofl_netsim::clock::SimDuration;
+use ofl_ipfs::swarm::{IpfsNode, Swarm};
+use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
 use ofl_netsim::service::{Response, Service};
 use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
 use ofl_primitives::u256::U256;
-use ofl_primitives::{format_eth, wei_per_eth, H160};
+use ofl_primitives::{format_eth, wei_per_eth, H160, H256};
 use ofl_tensor::nn::Mlp;
 use ofl_tensor::serialize::{decode_model, encode_model};
 use rand::rngs::StdRng;
@@ -216,12 +227,179 @@ struct RetrievedModel {
     owner_index: Option<usize>,
 }
 
-/// The marketplace session: all participants plus the shared substrate.
-pub struct Marketplace {
+/// Everything the buyer knows after PFNM aggregation, before payment.
+pub struct Aggregation {
+    models: Vec<Mlp>,
+    weights: Vec<usize>,
+    /// Payment recipients, in model order (`None` = unattributable CID).
+    pub recipients: Vec<Option<H160>>,
+    /// The aggregated model plus matching metadata.
+    pub result: pfnm::PfnmResult,
+    /// Test accuracy of the aggregated model.
+    pub accuracy: f64,
+}
+
+/// LOO contribution assessment and the resulting payment split.
+pub struct LooPayments {
+    /// Aggregate accuracy without each model.
+    pub drop_values: Vec<f64>,
+    /// Marginal contributions `v(N) − v(N∖i)`.
+    pub contributions: Vec<f64>,
+    /// Wei owed per model, aligned with `Aggregation::recipients`.
+    pub amounts: Vec<U256>,
+}
+
+/// Pure per-market setup — wallet derivation, genesis allocation, and data
+/// partitioning — computed before any [`World`] exists so that several
+/// markets can pool their genesis entries into one shared chain.
+pub struct SessionBlueprint {
+    config: MarketConfig,
+    label: String,
+    wallet: Wallet,
+    buyer_addr: H160,
+    owner_addrs: Vec<H160>,
+    genesis: Vec<(H160, U256)>,
+    silos: Vec<Dataset>,
+    test: Dataset,
+}
+
+impl SessionBlueprint {
+    /// Derives participants and partitions data. `label` namespaces wallet
+    /// seeds and IPFS peer ids so several markets can share one world; use
+    /// `""` for a solo market (identical derivation to the original serial
+    /// construction).
+    pub fn new(config: MarketConfig, label: &str) -> SessionBlueprint {
+        let mut wallet = Wallet::from_seed(&format!("ofl-w3/{label}{}", config.seed), 0);
+        let buyer_addr = wallet.derive_account(
+            &format!("ofl-w3/{label}buyer"),
+            config.seed,
+            "model-buyer".into(),
+        );
+        let owner_addrs: Vec<H160> = (0..config.n_owners)
+            .map(|i| {
+                wallet.derive_account(
+                    &format!("ofl-w3/{label}owner"),
+                    config.seed.wrapping_mul(1000).wrapping_add(i as u64),
+                    format!("model-owner-{i}"),
+                )
+            })
+            .collect();
+        // Genesis: buyer gets 1 ETH (covers the 0.01 budget plus fees);
+        // owners get 0.1 ETH for their uploadCid gas.
+        let mut genesis = vec![(buyer_addr, wei_per_eth())];
+        let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
+        for a in &owner_addrs {
+            genesis.push((*a, tenth));
+        }
+
+        // Data: the buyer holds the test set; owners hold non-IID silos.
+        let (train, test) = mnist::generate(config.seed, config.n_train, config.n_test);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(77));
+        let silos = match config.partition {
+            PartitionScheme::Iid => partition::iid(&train, config.n_owners, &mut rng),
+            PartitionScheme::Dirichlet { alpha } => {
+                partition::dirichlet(&train, config.n_owners, 10, alpha, &mut rng)
+            }
+            PartitionScheme::Shards { per_client } => {
+                partition::shards(&train, config.n_owners, per_client, &mut rng)
+            }
+            PartitionScheme::LabelSkew { classes } => {
+                partition::label_skew(&train, config.n_owners, 10, classes, &mut rng)
+            }
+        };
+
+        SessionBlueprint {
+            config,
+            label: label.to_string(),
+            wallet,
+            buyer_addr,
+            owner_addrs,
+            genesis,
+            silos,
+            test,
+        }
+    }
+
+    /// This market's genesis allocation (pooled by multi-market worlds).
+    pub fn genesis(&self) -> &[(H160, U256)] {
+        &self.genesis
+    }
+
+    /// The configuration this blueprint was derived from.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Spawns the market's IPFS nodes into `swarm` and assembles the
+    /// session state.
+    pub fn instantiate(self, swarm: &mut Swarm) -> MarketSession {
+        let SessionBlueprint {
+            config,
+            label,
+            wallet,
+            buyer_addr,
+            owner_addrs,
+            genesis: _,
+            silos,
+            test,
+        } = self;
+        let buyer_node = swarm.add_node(IpfsNode::new(format!("{label}buyer")));
+        let owners: Vec<OwnerState> = silos
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| OwnerState {
+                address: owner_addrs[i],
+                ipfs_node: swarm.add_node(IpfsNode::new(format!("{label}owner-{i}"))),
+                data,
+                trained: None,
+                model_bytes: Vec::new(),
+                cid: None,
+                upload_receipt: None,
+            })
+            .collect();
+
+        // The buyer's backend server (Flask role): /aggregate and /loo.
+        let mut backend = Service::new(format!("{label}buyer-backend"));
+        let agg_time = aggregation_time(
+            &config.buyer_compute,
+            config.n_owners,
+            *config.train.dims.get(1).unwrap_or(&100),
+            config.n_test,
+        );
+        backend.route("/aggregate", move |_req| {
+            Response::ok(b"aggregated".to_vec()).with_processing(agg_time)
+        });
+        let loo_time = SimDuration::from_secs_f64(agg_time.as_secs_f64() * config.n_owners as f64);
+        backend.route("/loo", move |_req| {
+            Response::ok(b"loo-scores".to_vec()).with_processing(loo_time)
+        });
+
+        let n = config.n_owners;
+        MarketSession {
+            config,
+            wallet,
+            owners,
+            buyer: BuyerState {
+                address: buyer_addr,
+                ipfs_node: buyer_node,
+                test,
+            },
+            contract: None,
+            deploy_receipt: None,
+            owner_recorders: vec![PhaseRecorder::new(); n],
+            buyer_recorder: PhaseRecorder::new(),
+            backend,
+            retrieved: Vec::new(),
+        }
+    }
+}
+
+/// One marketplace session's participants and progress, independent of the
+/// substrate it runs on. See the module docs for how [`Marketplace`]
+/// (serial) and `ofl_core::engine` (event-driven, shared world) drive it.
+pub struct MarketSession {
     /// Session configuration.
     pub config: MarketConfig,
-    /// Blockchain + IPFS + clock.
-    pub world: World,
     /// Keystore holding the buyer's and every owner's keys (each user's
     /// MetaMask, collapsed into one keystore for the simulation).
     pub wallet: Wallet,
@@ -242,122 +420,15 @@ pub struct Marketplace {
     retrieved: Vec<RetrievedModel>,
 }
 
-impl Marketplace {
-    /// Sets up the world: funds wallets, partitions data, spawns IPFS nodes.
-    pub fn new(config: MarketConfig) -> Marketplace {
-        let mut wallet = Wallet::from_seed(&format!("ofl-w3/{}", config.seed), 0);
-        let buyer_addr = wallet.derive_account("ofl-w3/buyer", config.seed, "model-buyer".into());
-        let owner_addrs: Vec<H160> = (0..config.n_owners)
-            .map(|i| {
-                wallet.derive_account(
-                    "ofl-w3/owner",
-                    config.seed.wrapping_mul(1000).wrapping_add(i as u64),
-                    format!("model-owner-{i}"),
-                )
-            })
-            .collect();
-        // Genesis: buyer gets 1 ETH (covers the 0.01 budget plus fees);
-        // owners get 0.1 ETH for their uploadCid gas.
-        let mut genesis = vec![(buyer_addr, wei_per_eth())];
-        let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
-        for a in &owner_addrs {
-            genesis.push((*a, tenth));
-        }
-        let mut world = World::new(config.chain.clone(), &genesis, config.profile);
+impl MarketSession {
+    // ------------------------------------------------------------------
+    // Owner primitives (Train → Upload → SendCid state machine).
+    // ------------------------------------------------------------------
 
-        // Data: the buyer holds the test set; owners hold non-IID silos.
-        let (train, test) = mnist::generate(config.seed, config.n_train, config.n_test);
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(77));
-        let silos = match config.partition {
-            PartitionScheme::Iid => partition::iid(&train, config.n_owners, &mut rng),
-            PartitionScheme::Dirichlet { alpha } => {
-                partition::dirichlet(&train, config.n_owners, 10, alpha, &mut rng)
-            }
-            PartitionScheme::Shards { per_client } => {
-                partition::shards(&train, config.n_owners, per_client, &mut rng)
-            }
-            PartitionScheme::LabelSkew { classes } => {
-                partition::label_skew(&train, config.n_owners, 10, classes, &mut rng)
-            }
-        };
-
-        let buyer_node = world.swarm.add_node(IpfsNode::new("buyer"));
-        let owners: Vec<OwnerState> = silos
-            .into_iter()
-            .enumerate()
-            .map(|(i, data)| OwnerState {
-                address: owner_addrs[i],
-                ipfs_node: world.swarm.add_node(IpfsNode::new(format!("owner-{i}"))),
-                data,
-                trained: None,
-                model_bytes: Vec::new(),
-                cid: None,
-                upload_receipt: None,
-            })
-            .collect();
-
-        // The buyer's backend server (Flask role): /aggregate and /loo.
-        let mut backend = Service::new("buyer-backend");
-        let agg_time = aggregation_time(
-            &config.buyer_compute,
-            config.n_owners,
-            *config.train.dims.get(1).unwrap_or(&100),
-            config.n_test,
-        );
-        backend.route("/aggregate", move |_req| {
-            Response::ok(b"aggregated".to_vec()).with_processing(agg_time)
-        });
-        let loo_time = SimDuration::from_secs_f64(agg_time.as_secs_f64() * config.n_owners as f64);
-        backend.route("/loo", move |_req| {
-            Response::ok(b"loo-scores".to_vec()).with_processing(loo_time)
-        });
-
-        let n = config.n_owners;
-        Marketplace {
-            config,
-            world,
-            wallet,
-            owners,
-            buyer: BuyerState {
-                address: buyer_addr,
-                ipfs_node: buyer_node,
-                test,
-            },
-            contract: None,
-            deploy_receipt: None,
-            owner_recorders: vec![PhaseRecorder::new(); n],
-            buyer_recorder: PhaseRecorder::new(),
-            backend,
-            retrieved: Vec::new(),
-        }
-    }
-
-    /// **Step 1** — the buyer deploys `CidStorage`.
-    pub fn deploy_contract(&mut self) -> Result<Receipt, MarketError> {
-        let start = self.world.clock.now();
-        let receipt = self.world.send_and_confirm(
-            &self.wallet,
-            &self.buyer.address.clone(),
-            None,
-            U256::ZERO,
-            cid_storage_init_code(),
-        )?;
-        if !receipt.is_success() {
-            return Err(MarketError::TxFailed("deploy".into()));
-        }
-        self.buyer_recorder
-            .add(buyer_phase::DEPLOY, self.world.clock.now().since(start));
-        self.contract = Some(CidStorage::at(
-            receipt.contract_address.expect("create tx has address"),
-        ));
-        self.deploy_receipt = Some(receipt.clone());
-        Ok(receipt)
-    }
-
-    /// **Step 2 (training half)** — owner `i` trains locally. Virtual time
-    /// is charged from the owner's compute model; the real training runs on
-    /// the host CPU.
-    pub fn owner_train(&mut self, i: usize) {
+    /// **Step 2 (training half)** — owner `i` trains locally on the host
+    /// CPU and returns the *virtual* time the training would take on the
+    /// owner's hardware. The caller decides which clock/timeline to charge.
+    pub fn train_owner(&mut self, i: usize) -> SimDuration {
         let cfg = ofl_fl::client::TrainConfig {
             seed: self.config.train.seed.wrapping_add(i as u64 * 7919),
             ..self.config.train.clone()
@@ -367,67 +438,104 @@ impl Marketplace {
             .config
             .owner_compute
             .training_time(self.owners[i].data.len().max(1), cfg.epochs);
-        self.world.clock.advance(train_time);
-        self.owner_recorders[i].add(owner_phase::TRAIN, train_time);
         self.owners[i].model_bytes = encode_model(&trained.model);
         self.owners[i].trained = Some(trained);
+        train_time
     }
 
-    /// **Steps 2–3** — owner `i` uploads its model to IPFS and receives the
-    /// CID.
-    pub fn owner_upload_model(&mut self, i: usize) -> Result<Cid, MarketError> {
+    /// **Steps 2–3** — owner `i` pushes its model into the swarm and
+    /// receives the CID. Returns the CID and the LAN transfer time.
+    pub fn upload_owner(
+        &mut self,
+        world: &mut World,
+        i: usize,
+    ) -> Result<(Cid, SimDuration), MarketError> {
         if self.owners[i].trained.is_none() {
             return Err(MarketError::StepOrder("train before upload"));
         }
-        let start = self.world.clock.now();
         let bytes = self.owners[i].model_bytes.clone();
         let node = self.owners[i].ipfs_node;
-        let added = self.world.swarm.node_mut(node).add(&bytes);
-        // Upload = pushing the blocks onto the campus network.
-        self.world.charge_ipfs_transfer(added.bytes_stored, 1);
-        self.owner_recorders[i].add(owner_phase::UPLOAD, self.world.clock.now().since(start));
+        let added = world.swarm.node_mut(node).add(&bytes);
+        let duration = world.ipfs_transfer_time(added.bytes_stored, 1);
         self.owners[i].cid = Some(added.root.clone());
-        Ok(added.root)
+        Ok((added.root, duration))
     }
 
-    /// **Step 4** — owner `i` sends its CID to the contract.
-    pub fn owner_send_cid(&mut self, i: usize) -> Result<Receipt, MarketError> {
+    /// Calldata for owner `i`'s `uploadCid` call — the event engine needs
+    /// its length to schedule the RPC broadcast before submitting.
+    pub fn cid_calldata(&self, i: usize) -> Result<Vec<u8>, MarketError> {
+        if self.contract.is_none() {
+            return Err(MarketError::StepOrder("deploy before sending CIDs"));
+        }
+        let cid = self.owners[i]
+            .cid
+            .as_ref()
+            .ok_or(MarketError::StepOrder("upload before sending CID"))?;
+        Ok(CidStorage::upload_cid_calldata(&cid.to_string_form()))
+    }
+
+    /// **Step 4 (submit half)** — broadcasts owner `i`'s CID transaction
+    /// into the mempool without blocking. Pair with [`MarketSession::finish_cid`].
+    pub fn submit_cid(&mut self, world: &mut World, i: usize) -> Result<H256, MarketError> {
         let contract = self
             .contract
             .ok_or(MarketError::StepOrder("deploy before sending CIDs"))?;
-        let cid = self.owners[i]
-            .cid
-            .clone()
-            .ok_or(MarketError::StepOrder("upload before sending CID"))?;
-        let start = self.world.clock.now();
-        let receipt = self.world.send_and_confirm(
+        let data = self.cid_calldata(i)?;
+        let from = self.owners[i].address;
+        Ok(world.submit_tx(
             &self.wallet,
-            &self.owners[i].address.clone(),
+            &from,
             Some(contract.address),
             U256::ZERO,
-            CidStorage::upload_cid_calldata(&cid.to_string_form()),
-        )?;
+            data,
+        )?)
+    }
+
+    /// **Step 4 (confirm half)** — records owner `i`'s mined `uploadCid`
+    /// receipt, failing if it reverted on-chain.
+    pub fn finish_cid(&mut self, i: usize, receipt: &Receipt) -> Result<(), MarketError> {
         if !receipt.is_success() {
             return Err(MarketError::TxFailed(format!("uploadCid[{i}]")));
         }
-        self.owner_recorders[i].add(owner_phase::SEND_CID, self.world.clock.now().since(start));
         self.owners[i].upload_receipt = Some(receipt.clone());
-        Ok(receipt)
+        Ok(())
     }
 
-    /// **Step 5** — the buyer downloads every CID from the contract. Free:
-    /// only read calls.
-    pub fn buyer_download_cids(&mut self) -> Result<Vec<String>, MarketError> {
+    // ------------------------------------------------------------------
+    // Buyer primitives.
+    // ------------------------------------------------------------------
+
+    /// **Step 1 (confirm half)** — records the mined deployment receipt and
+    /// the contract handle. (The submit half is just broadcasting
+    /// [`cid_storage_init_code`] from the buyer's account.)
+    pub fn finish_deploy(&mut self, receipt: &Receipt) -> Result<(), MarketError> {
+        if !receipt.is_success() {
+            return Err(MarketError::TxFailed("deploy".into()));
+        }
+        self.contract = Some(CidStorage::at(
+            receipt.contract_address.expect("create tx has address"),
+        ));
+        self.deploy_receipt = Some(receipt.clone());
+        Ok(())
+    }
+
+    /// **Step 5** — reads every CID from the contract (free `eth_call`s)
+    /// and returns them with the total RPC time of the polling loop.
+    pub fn download_cids_computed(
+        &self,
+        world: &World,
+    ) -> Result<(Vec<String>, SimDuration), MarketError> {
         let contract = self
             .contract
             .ok_or(MarketError::StepOrder("deploy before download"))?;
-        let start = self.world.clock.now();
         let buyer = self.buyer.address;
-        let count_result = self.world.read_call(
-            &buyer,
-            &contract.address,
-            abi::encode_call("cidCount()", &[]),
-        );
+        let mut duration = SimDuration::ZERO;
+        let count_call = abi::encode_call("cidCount()", &[]);
+        let count_result = world
+            .chain
+            .call(&buyer, &contract.address, count_call.clone());
+        duration = duration
+            .saturating_add(world.read_call_time(count_call.len(), count_result.output.len()));
         let count = abi::decode(&[Type::Uint], &count_result.output)
             .ok()
             .and_then(|v| v[0].as_uint())
@@ -435,74 +543,37 @@ impl Marketplace {
             .unwrap_or(0);
         let mut cids = Vec::with_capacity(count as usize);
         for index in 0..count {
-            let result = self.world.read_call(
-                &buyer,
-                &contract.address,
-                abi::encode_call("getCid(uint256)", &[Value::Uint(U256::from(index))]),
-            );
+            let call = abi::encode_call("getCid(uint256)", &[Value::Uint(U256::from(index))]);
+            let result = world.chain.call(&buyer, &contract.address, call.clone());
+            duration =
+                duration.saturating_add(world.read_call_time(call.len(), result.output.len()));
             let cid = abi::decode(&[Type::String], &result.output)
                 .ok()
                 .and_then(|v| v[0].as_string().map(str::to_string))
                 .unwrap_or_default();
             cids.push(cid);
         }
-        self.buyer_recorder.add(
-            buyer_phase::DOWNLOAD_CIDS,
-            self.world.clock.now().since(start),
-        );
-        Ok(cids)
+        Ok((cids, duration))
     }
 
-    /// Event-driven alternative to Step 5: reads the `CidUploaded` log
-    /// stream (what a production DApp subscribes to) instead of polling
-    /// `cidCount`/`getCid`. Free, like all reads.
-    pub fn buyer_watch_upload_events(&mut self) -> Result<Vec<String>, MarketError> {
-        use ofl_eth::chain::LogFilter;
-        let contract = self
-            .contract
-            .ok_or(MarketError::StepOrder("deploy before watching events"))?;
-        let start = self.world.clock.now();
-        // One RPC round trip for the whole filter query.
-        self.world.clock.advance(
-            self.world
-                .profile
-                .rpc
-                .transfer_time(self.world.tx_wire_bytes),
-        );
-        let logs = self.world.chain.get_logs(
-            &LogFilter::all()
-                .at_address(contract.address)
-                .with_topic(CidStorage::uploaded_topic()),
-        );
-        let cids = logs
-            .iter()
-            .filter_map(|entry| {
-                abi::decode(&[Type::String], &entry.log.data)
-                    .ok()
-                    .and_then(|v| v[0].as_string().map(str::to_string))
-            })
-            .collect();
-        self.buyer_recorder.add(
-            buyer_phase::DOWNLOAD_CIDS,
-            self.world.clock.now().since(start),
-        );
-        Ok(cids)
-    }
-
-    /// **Step 6** — the buyer retrieves every model from IPFS and verifies
-    /// integrity (the CID *is* the hash).
-    pub fn buyer_retrieve_models(&mut self, cids: &[String]) -> Result<usize, MarketError> {
-        let start = self.world.clock.now();
+    /// **Step 6** — fetches every model from the swarm, verifies integrity
+    /// (the CID *is* the hash), and attributes each back to its owner.
+    /// Returns the retrieved count and the total bitswap transfer time.
+    pub fn retrieve_models_computed(
+        &mut self,
+        world: &mut World,
+        cids: &[String],
+    ) -> Result<(usize, SimDuration), MarketError> {
         self.retrieved.clear();
+        let mut duration = SimDuration::ZERO;
         for cid_str in cids {
             let cid = Cid::parse(cid_str).map_err(|_| MarketError::ModelDecode)?;
-            let (bytes, stats) = self
-                .world
+            let (bytes, stats) = world
                 .swarm
                 .fetch(self.buyer.ipfs_node, &cid)
                 .map_err(WorldError::Ipfs)?;
-            self.world
-                .charge_ipfs_transfer(stats.bytes_fetched, stats.rounds);
+            duration = duration
+                .saturating_add(world.ipfs_transfer_time(stats.bytes_fetched, stats.rounds));
             let model = decode_model(&bytes).map_err(|_| MarketError::ModelDecode)?;
             // Attribute the model back to its owner by CID (for the data
             // weight and, later, the payment address).
@@ -517,15 +588,16 @@ impl Marketplace {
                 owner_index,
             });
         }
-        self.buyer_recorder
-            .add(buyer_phase::RETRIEVE, self.world.clock.now().since(start));
-        Ok(self.retrieved.len())
+        Ok((self.retrieved.len(), duration))
     }
 
-    /// **Step 7** — aggregate with PFNM on the backend, evaluate, compute
-    /// LOO contributions, and pay every owner from the budget. Returns the
-    /// full session report.
-    pub fn buyer_aggregate_and_pay(&mut self) -> Result<SessionReport, MarketError> {
+    /// **Step 7 (aggregation half)** — one backend `/aggregate` call plus
+    /// the PFNM matching and a test-set evaluation, all host-side. Returns
+    /// the aggregation and its virtual duration (backend call + inference).
+    pub fn aggregate_computed(
+        &mut self,
+        world: &World,
+    ) -> Result<(Aggregation, SimDuration), MarketError> {
         if self.retrieved.is_empty() {
             return Err(MarketError::StepOrder("retrieve models before aggregating"));
         }
@@ -538,13 +610,15 @@ impl Marketplace {
             .iter()
             .map(|r| r.owner_index.map(|i| self.owners[i].address))
             .collect();
-        let test = &self.buyer.test;
-
-        // Aggregation on the backend workstation (Flask call).
-        let start = self.world.clock.now();
-        let lan = self.profile_lan();
-        self.backend
-            .call(&self.world.clock, &lan, "/aggregate", b"models".to_vec());
+        // The Flask call's network + processing time, measured on a scratch
+        // clock so the caller can charge it to any timeline.
+        let scratch = SimClock::new();
+        self.backend.call(
+            &scratch,
+            &world.profile.lan,
+            "/aggregate",
+            b"models".to_vec(),
+        );
         let full = aggregate_subset(
             &models,
             &weights,
@@ -552,50 +626,86 @@ impl Marketplace {
             &self.config.pfnm,
             self.config.seed,
         )?;
-        let aggregated_accuracy = full.model.accuracy(&test.images, &test.labels);
-        self.world
-            .clock
-            .advance(self.config.buyer_compute.inference_time(test.len()));
-        self.buyer_recorder
-            .add(buyer_phase::AGGREGATE, self.world.clock.now().since(start));
+        let test = &self.buyer.test;
+        let accuracy = full.model.accuracy(&test.images, &test.labels);
+        let duration = scratch
+            .now()
+            .since(SimInstant(0))
+            .saturating_add(self.config.buyer_compute.inference_time(test.len()));
+        Ok((
+            Aggregation {
+                models,
+                weights,
+                recipients,
+                result: full,
+                accuracy,
+            },
+            duration,
+        ))
+    }
 
-        // LOO: re-aggregate n leave-one-out coalitions (backend /loo call).
-        let start = self.world.clock.now();
+    /// **Step 7 (LOO half)** — the backend `/loo` call: re-aggregates the
+    /// leave-one-out coalitions, prices contributions, and splits the
+    /// budget. Returns the payment plan and the backend call's duration.
+    pub fn loo_payments_computed(
+        &mut self,
+        world: &World,
+        agg: &Aggregation,
+    ) -> (LooPayments, SimDuration) {
+        let scratch = SimClock::new();
         self.backend
-            .call(&self.world.clock, &lan, "/loo", b"loo".to_vec());
+            .call(&scratch, &world.profile.lan, "/loo", b"loo".to_vec());
         let pfnm_cfg = self.config.pfnm.clone();
         let seed = self.config.seed;
+        let full_accuracy = agg.accuracy;
+        let test = &self.buyer.test;
+        let models = &agg.models;
+        let weights = &agg.weights;
         let report = loo_scores(models.len(), |subset| {
             if subset.len() == models.len() {
-                return aggregated_accuracy;
+                return full_accuracy;
             }
-            match aggregate_subset(&models, &weights, subset, &pfnm_cfg, seed) {
+            match aggregate_subset(models, weights, subset, &pfnm_cfg, seed) {
                 Ok(result) => result.model.accuracy(&test.images, &test.labels),
                 Err(_) => 0.0,
             }
         });
-        let payments_wei = allocate_payments(&report.contributions, &self.config.budget_wei)
+        let amounts = allocate_payments(&report.contributions, &self.config.budget_wei)
             .expect("non-empty participant set");
+        (
+            LooPayments {
+                drop_values: report.drop_values,
+                contributions: report.contributions,
+                amounts,
+            },
+            scratch.now().since(SimInstant(0)),
+        )
+    }
 
-        // Payment transactions: consecutive nonces so they share a block.
+    /// **Step 7 (payment half)** — signs one transfer per attributable
+    /// recipient with consecutive nonces (so they can share a block).
+    /// Returns `(recipient, amount, signed_tx)` rows ready to broadcast.
+    pub fn build_payment_txs(
+        &self,
+        chain: &ofl_eth::chain::Chain,
+        agg: &Aggregation,
+        loo: &LooPayments,
+    ) -> Vec<(H160, U256, SignedTx)> {
         let buyer = self.buyer.address;
-        let mut nonce = self.world.chain.nonce(&buyer);
+        let mut nonce = chain.nonce(&buyer);
         let key = self
             .wallet
             .account(&buyer)
             .expect("buyer key in keystore")
             .private_key;
-        let mut hashes = Vec::new();
-        let mut paid: Vec<(H160, U256)> = Vec::new();
-        for (recipient, amount) in recipients.iter().zip(&payments_wei) {
+        let mut txs = Vec::new();
+        for (recipient, amount) in agg.recipients.iter().zip(&loo.amounts) {
             let Some(address) = recipient else { continue };
             let req = TxRequest {
-                chain_id: self.world.chain.config().chain_id,
+                chain_id: chain.config().chain_id,
                 nonce,
                 max_priority_fee_per_gas: U256::from(1_500_000_000u64),
-                max_fee_per_gas: self
-                    .world
-                    .chain
+                max_fee_per_gas: chain
                     .base_fee()
                     .wrapping_mul(&U256::from(2u64))
                     .wrapping_add(&U256::from(1_500_000_000u64)),
@@ -606,32 +716,21 @@ impl Marketplace {
             };
             nonce += 1;
             let tx = sign_tx(req, &key).expect("valid buyer key");
-            let wire = self.world.tx_wire_bytes;
-            self.world
-                .clock
-                .advance(self.world.profile.rpc.transfer_time(wire));
-            let hash = self
-                .world
-                .chain
-                .submit(tx)
-                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
-            hashes.push(hash);
-            paid.push((*address, *amount));
+            txs.push((*address, *amount, tx));
         }
-        self.world.mine_until(&hashes)?;
-        let mut payments = Vec::with_capacity(hashes.len());
-        for ((address, amount), hash) in paid.iter().zip(&hashes) {
-            let receipt = self.world.chain.receipt(hash).expect("mined above").clone();
-            payments.push(PaymentRow {
-                address: *address,
-                amount_wei: *amount,
-                receipt,
-            });
-        }
-        self.buyer_recorder
-            .add(buyer_phase::PAYMENT, self.world.clock.now().since(start));
+        txs
+    }
 
-        // Assemble the report.
+    /// Distills the finished session into the [`SessionReport`] feeding
+    /// every figure and table of the paper's §4.
+    pub fn assemble_report(
+        &self,
+        agg: &Aggregation,
+        loo: &LooPayments,
+        payments: Vec<PaymentRow>,
+        total_sim_seconds: f64,
+    ) -> SessionReport {
+        let test = &self.buyer.test;
         let local_accuracies: Vec<f64> = self
             .owners
             .iter()
@@ -666,12 +765,12 @@ impl Marketplace {
                 fee_wei: p.receipt.fee,
             });
         }
-        Ok(SessionReport {
+        SessionReport {
             local_accuracies,
-            aggregated_accuracy,
-            global_neurons: full.global_neurons,
-            loo_drop_accuracies: report.drop_values,
-            contributions: report.contributions,
+            aggregated_accuracy: agg.accuracy,
+            global_neurons: agg.result.global_neurons,
+            loo_drop_accuracies: loo.drop_values.clone(),
+            contributions: loo.contributions.clone(),
             payments,
             gas,
             owner_breakdowns: self.owner_recorders.iter().map(|r| r.breakdown()).collect(),
@@ -681,19 +780,216 @@ impl Marketplace {
                 .iter()
                 .filter_map(|o| o.cid.as_ref().map(Cid::to_string_form))
                 .collect(),
-            total_sim_seconds: self.world.clock.elapsed_secs(),
-        })
+            total_sim_seconds,
+        }
+    }
+}
+
+/// The serial marketplace driver: one private [`World`], participants
+/// acting strictly one at a time, blocking in virtual time on each
+/// confirmation. Field access passes through to the inner
+/// [`MarketSession`].
+pub struct Marketplace {
+    /// Blockchain + IPFS + clock.
+    pub world: World,
+    /// The session state (also reachable through `Deref`).
+    pub session: MarketSession,
+}
+
+impl std::ops::Deref for Marketplace {
+    type Target = MarketSession;
+    fn deref(&self) -> &MarketSession {
+        &self.session
+    }
+}
+
+impl std::ops::DerefMut for Marketplace {
+    fn deref_mut(&mut self) -> &mut MarketSession {
+        &mut self.session
+    }
+}
+
+impl Marketplace {
+    /// Sets up the world: funds wallets, partitions data, spawns IPFS nodes.
+    pub fn new(config: MarketConfig) -> Marketplace {
+        let blueprint = SessionBlueprint::new(config, "");
+        let mut world = World::new(
+            blueprint.config().chain.clone(),
+            blueprint.genesis(),
+            blueprint.config().profile,
+        );
+        let session = blueprint.instantiate(&mut world.swarm);
+        Marketplace { world, session }
     }
 
-    fn profile_lan(&self) -> ofl_netsim::link::Link {
-        self.world.profile.lan
+    /// **Step 1** — the buyer deploys `CidStorage`.
+    pub fn deploy_contract(&mut self) -> Result<Receipt, MarketError> {
+        let start = self.world.clock.now();
+        let buyer = self.session.buyer.address;
+        let receipt = self.world.send_and_confirm(
+            &self.session.wallet,
+            &buyer,
+            None,
+            U256::ZERO,
+            cid_storage_init_code(),
+        )?;
+        self.session.finish_deploy(&receipt)?;
+        self.session
+            .buyer_recorder
+            .add(buyer_phase::DEPLOY, self.world.clock.now().since(start));
+        Ok(receipt)
+    }
+
+    /// **Step 2 (training half)** — owner `i` trains locally. Virtual time
+    /// is charged from the owner's compute model; the real training runs on
+    /// the host CPU.
+    pub fn owner_train(&mut self, i: usize) {
+        let duration = self.session.train_owner(i);
+        self.world.clock.advance(duration);
+        self.session.owner_recorders[i].add(owner_phase::TRAIN, duration);
+    }
+
+    /// **Steps 2–3** — owner `i` uploads its model to IPFS and receives the
+    /// CID.
+    pub fn owner_upload_model(&mut self, i: usize) -> Result<Cid, MarketError> {
+        let (cid, duration) = self.session.upload_owner(&mut self.world, i)?;
+        self.world.clock.advance(duration);
+        self.session.owner_recorders[i].add(owner_phase::UPLOAD, duration);
+        Ok(cid)
+    }
+
+    /// **Step 4** — owner `i` sends its CID to the contract.
+    pub fn owner_send_cid(&mut self, i: usize) -> Result<Receipt, MarketError> {
+        let start = self.world.clock.now();
+        let data = self.session.cid_calldata(i)?;
+        let contract = self.session.contract.expect("checked by cid_calldata");
+        let from = self.session.owners[i].address;
+        let receipt = self.world.send_and_confirm(
+            &self.session.wallet,
+            &from,
+            Some(contract.address),
+            U256::ZERO,
+            data,
+        )?;
+        self.session.finish_cid(i, &receipt)?;
+        self.session.owner_recorders[i]
+            .add(owner_phase::SEND_CID, self.world.clock.now().since(start));
+        Ok(receipt)
+    }
+
+    /// **Step 5** — the buyer downloads every CID from the contract. Free:
+    /// only read calls.
+    pub fn buyer_download_cids(&mut self) -> Result<Vec<String>, MarketError> {
+        let (cids, duration) = self.session.download_cids_computed(&self.world)?;
+        self.world.clock.advance(duration);
+        self.session
+            .buyer_recorder
+            .add(buyer_phase::DOWNLOAD_CIDS, duration);
+        Ok(cids)
+    }
+
+    /// Event-driven alternative to Step 5: reads the `CidUploaded` log
+    /// stream (what a production DApp subscribes to) instead of polling
+    /// `cidCount`/`getCid`. Free, like all reads.
+    pub fn buyer_watch_upload_events(&mut self) -> Result<Vec<String>, MarketError> {
+        use ofl_eth::chain::LogFilter;
+        let contract = self
+            .session
+            .contract
+            .ok_or(MarketError::StepOrder("deploy before watching events"))?;
+        let start = self.world.clock.now();
+        // One RPC round trip for the whole filter query.
+        self.world.clock.advance(self.world.tx_submit_time(0));
+        let logs = self.world.chain.get_logs(
+            &LogFilter::all()
+                .at_address(contract.address)
+                .with_topic(CidStorage::uploaded_topic()),
+        );
+        let cids = logs
+            .iter()
+            .filter_map(|entry| {
+                abi::decode(&[Type::String], &entry.log.data)
+                    .ok()
+                    .and_then(|v| v[0].as_string().map(str::to_string))
+            })
+            .collect();
+        self.session.buyer_recorder.add(
+            buyer_phase::DOWNLOAD_CIDS,
+            self.world.clock.now().since(start),
+        );
+        Ok(cids)
+    }
+
+    /// **Step 6** — the buyer retrieves every model from IPFS and verifies
+    /// integrity (the CID *is* the hash).
+    pub fn buyer_retrieve_models(&mut self, cids: &[String]) -> Result<usize, MarketError> {
+        let (n, duration) = self
+            .session
+            .retrieve_models_computed(&mut self.world, cids)?;
+        self.world.clock.advance(duration);
+        self.session
+            .buyer_recorder
+            .add(buyer_phase::RETRIEVE, duration);
+        Ok(n)
+    }
+
+    /// **Step 7** — aggregate with PFNM on the backend, evaluate, compute
+    /// LOO contributions, and pay every owner from the budget. Returns the
+    /// full session report.
+    pub fn buyer_aggregate_and_pay(&mut self) -> Result<SessionReport, MarketError> {
+        // Aggregation on the backend workstation (Flask call).
+        let (agg, agg_duration) = self.session.aggregate_computed(&self.world)?;
+        self.world.clock.advance(agg_duration);
+        self.session
+            .buyer_recorder
+            .add(buyer_phase::AGGREGATE, agg_duration);
+
+        // LOO: re-aggregate n leave-one-out coalitions (backend /loo call).
+        let pay_start = self.world.clock.now();
+        let (loo, loo_duration) = self.session.loo_payments_computed(&self.world, &agg);
+        self.world.clock.advance(loo_duration);
+
+        // Payment transactions: consecutive nonces so they share a block.
+        let txs = self
+            .session
+            .build_payment_txs(&self.world.chain, &agg, &loo);
+        let mut hashes = Vec::new();
+        let mut paid: Vec<(H160, U256)> = Vec::new();
+        for (address, amount, tx) in txs {
+            self.world.clock.advance(self.world.tx_submit_time(0));
+            let hash = self
+                .world
+                .chain
+                .submit(tx)
+                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
+            hashes.push(hash);
+            paid.push((address, amount));
+        }
+        self.world.mine_until(&hashes)?;
+        let mut payments = Vec::with_capacity(hashes.len());
+        for ((address, amount), hash) in paid.iter().zip(&hashes) {
+            let receipt = self.world.chain.receipt(hash).expect("mined above").clone();
+            payments.push(PaymentRow {
+                address: *address,
+                amount_wei: *amount,
+                receipt,
+            });
+        }
+        self.session.buyer_recorder.add(
+            buyer_phase::PAYMENT,
+            self.world.clock.now().since(pay_start),
+        );
+
+        Ok(self
+            .session
+            .assemble_report(&agg, &loo, payments, self.world.clock.elapsed_secs()))
     }
 
     /// Runs the complete seven-step workflow.
     pub fn run(config: MarketConfig) -> Result<(Marketplace, SessionReport), MarketError> {
         let mut market = Marketplace::new(config);
         market.deploy_contract()?;
-        for i in 0..market.owners.len() {
+        for i in 0..market.session.owners.len() {
             market.owner_train(i);
             market.owner_upload_model(i)?;
             market.owner_send_cid(i)?;
@@ -921,5 +1217,19 @@ mod tests {
             a.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>(),
             b.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn blueprint_labels_namespace_participants() {
+        // Two labelled blueprints of the same config must not collide on
+        // addresses — that is what lets several markets share one chain.
+        let a = SessionBlueprint::new(MarketConfig::small_test(), "");
+        let b = SessionBlueprint::new(MarketConfig::small_test(), "m1/");
+        let a_addrs: std::collections::HashSet<_> =
+            a.genesis().iter().map(|(addr, _)| *addr).collect();
+        assert!(b.genesis().iter().all(|(addr, _)| !a_addrs.contains(addr)));
+        // The unlabelled blueprint reproduces the serial construction.
+        let market = Marketplace::new(MarketConfig::small_test());
+        assert_eq!(a.genesis()[0].0, market.buyer.address);
     }
 }

@@ -5,8 +5,10 @@
 //! and before this module each caller hand-rolled the session loop. A
 //! [`Scenario`] bundles a [`MarketConfig`] (owner count, partition scheme,
 //! seed) with a [`FailurePlan`] (dropped IPFS blocks, reverted transactions,
-//! freeloading owners, silent dropouts) and executes the workflow step by
-//! step, injecting the failures at the layer where they would really occur:
+//! freeloading owners, silent dropouts) and an [`ExecutionMode`] (serial
+//! workflow, event-driven concurrent owners, or several markets sharing one
+//! chain), and executes the workflow step by step, injecting the failures
+//! at the layer where they would really occur:
 //!
 //! - **Freeloaders** train on a 3-example silo, so their "model" is noise —
 //!   the incentive layer should price them near zero.
@@ -25,12 +27,13 @@
 //! system-level invariants (ETH conservation, budget exhaustion), and
 //! [`ScenarioSuite`] runs whole regime sweeps. Outcomes are `PartialEq` and
 //! hashable via [`ScenarioOutcome::fingerprint`], which is what the
-//! determinism regression tests compare.
+//! determinism regression tests compare — in every execution mode.
 
 use crate::config::{MarketConfig, PartitionScheme};
+use crate::engine::{swarm_has, Arrivals, EngineConfig, MultiMarket};
 use crate::market::{MarketError, Marketplace};
 use ofl_ipfs::cid::Cid;
-use ofl_ipfs::swarm::Swarm;
+use ofl_netsim::clock::SimDuration;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
 
@@ -65,6 +68,27 @@ impl FailurePlan {
     }
 }
 
+/// How a scenario's session(s) are driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionMode {
+    /// The original workflow: one participant at a time on one clock.
+    Serial,
+    /// The discrete-event engine: owners act concurrently, transactions
+    /// share blocks.
+    Concurrent {
+        /// Owner arrival pattern.
+        arrivals: Arrivals,
+    },
+    /// `markets` replicated sessions sharing one chain and one swarm, all
+    /// driven by the event engine.
+    MultiMarket {
+        /// How many concurrent marketplace sessions.
+        markets: usize,
+        /// Owner arrival pattern (per market).
+        arrivals: Arrivals,
+    },
+}
+
 /// One parameterized marketplace session.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -74,15 +98,18 @@ pub struct Scenario {
     pub config: MarketConfig,
     /// Injected failures.
     pub failures: FailurePlan,
+    /// Serial workflow or event-driven concurrency.
+    pub mode: ExecutionMode,
 }
 
 impl Scenario {
-    /// A scenario from an explicit config, with no failures.
+    /// A scenario from an explicit config, with no failures, run serially.
     pub fn new(name: impl Into<String>, config: MarketConfig) -> Scenario {
         Scenario {
             name: name.into(),
             config,
             failures: FailurePlan::clean(),
+            mode: ExecutionMode::Serial,
         }
     }
 
@@ -105,9 +132,33 @@ impl Scenario {
         self
     }
 
-    /// Executes the 7-step workflow with this scenario's injections and
+    /// Sets the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Scenario {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand: event-driven, all owners arriving at once.
+    pub fn concurrent(self) -> Scenario {
+        self.with_mode(ExecutionMode::Concurrent {
+            arrivals: Arrivals::Simultaneous,
+        })
+    }
+
+    /// Executes the workflow under this scenario's mode and injections and
     /// distills the session into a comparable outcome.
     pub fn run(&self) -> Result<ScenarioOutcome, MarketError> {
+        match self.mode {
+            ExecutionMode::Serial => self.run_serial(),
+            ExecutionMode::Concurrent { arrivals } => self.run_event_driven(1, arrivals),
+            ExecutionMode::MultiMarket { markets, arrivals } => {
+                self.run_event_driven(markets.max(1), arrivals)
+            }
+        }
+    }
+
+    /// The original serial driver: one owner at a time, one tx per block.
+    fn run_serial(&self) -> Result<ScenarioOutcome, MarketError> {
         let mut market = Marketplace::new(self.config.clone());
         let n = market.owners.len();
         // Nothing is burned yet, so this *is* the genesis allocation —
@@ -135,8 +186,9 @@ impl Scenario {
                 // the owner pays intrinsic+execution gas, no CID lands.
                 let contract = market.contract.expect("deployed above");
                 let from = market.owners[i].address;
-                let receipt = market.world.send_and_confirm(
-                    &market.wallet,
+                let Marketplace { world, session } = &mut market;
+                let receipt = world.send_and_confirm(
+                    &session.wallet,
                     &from,
                     Some(contract.address),
                     U256::ZERO,
@@ -156,7 +208,8 @@ impl Scenario {
         // Availability failure: after the CIDs are public, the blocks vanish.
         for &i in &self.failures.drop_ipfs_blocks {
             if let Some(cid) = market.owners[i].cid.clone() {
-                let node = market.world.swarm.node_mut(market.owners[i].ipfs_node);
+                let node_index = market.owners[i].ipfs_node;
+                let node = market.world.swarm.node_mut(node_index);
                 node.store_mut().unpin(&cid);
                 node.store_mut().gc();
             }
@@ -216,11 +269,97 @@ impl Scenario {
             total_sim_seconds: report.total_sim_seconds,
         })
     }
-}
 
-/// Whether any node in the swarm can serve `cid`.
-fn swarm_has(swarm: &Swarm, cid: &Cid) -> bool {
-    (0..swarm.len()).any(|i| swarm.node(i).has_block(cid))
+    /// The event-driven driver: one world, `markets` sessions, concurrent
+    /// owners. Per-market outcomes are merged into one comparable record
+    /// (accuracies averaged, payments/gas/CIDs concatenated in market
+    /// order).
+    fn run_event_driven(
+        &self,
+        markets: usize,
+        arrivals: Arrivals,
+    ) -> Result<ScenarioOutcome, MarketError> {
+        let mm = if markets <= 1 {
+            MultiMarket::new(vec![self.config.clone()])
+        } else {
+            MultiMarket::replicated(&self.config, markets)
+        };
+        let genesis_supply = mm.world.chain.state().total_supply();
+        let failures: Vec<FailurePlan> = (0..markets).map(|_| self.failures.clone()).collect();
+        let (mm, engine_report) = mm.run(&EngineConfig { arrivals }, &failures)?;
+
+        let per_market_expected = (0..self.config.n_owners)
+            .filter(|&i| !self.failures.is_offchain(i))
+            .count();
+        for detail in &engine_report.details {
+            assert_eq!(
+                detail.cids_onchain.len(),
+                per_market_expected,
+                "{}: injected off-chain failures must match the contract state",
+                self.name
+            );
+        }
+
+        let live = mm.world.chain.state().total_supply();
+        let burned = mm.world.chain.burned();
+        let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
+
+        let mut local_accuracies = Vec::new();
+        let mut payments = Vec::new();
+        let mut gas_rows = Vec::new();
+        let mut cids_onchain = Vec::new();
+        let mut cids_retrieved = Vec::new();
+        let mut total_paid = U256::ZERO;
+        let mut budget = U256::ZERO;
+        let mut accuracy_sum = 0.0;
+        let mut reverted_tx_count = 0;
+        for (m, (report, detail)) in engine_report
+            .sessions
+            .iter()
+            .zip(&engine_report.details)
+            .enumerate()
+        {
+            local_accuracies.extend_from_slice(&report.local_accuracies);
+            payments.extend(report.payments.iter().map(|p| (p.address, p.amount_wei)));
+            // Market 0 stays unprefixed, matching the blueprint labels.
+            let prefix = if m == 0 {
+                String::new()
+            } else {
+                format!("m{m}/")
+            };
+            gas_rows.extend(
+                report
+                    .gas
+                    .iter()
+                    .map(|g| (format!("{prefix}{}", g.label), g.gas_used)),
+            );
+            cids_onchain.extend_from_slice(&detail.cids_onchain);
+            cids_retrieved.extend_from_slice(&detail.cids_retrieved);
+            total_paid = total_paid.wrapping_add(&report.total_paid());
+            budget = budget.wrapping_add(&self.config.budget_wei);
+            accuracy_sum += report.aggregated_accuracy;
+            reverted_tx_count += detail.reverted_tx_count;
+        }
+        let n_sessions = engine_report.sessions.len().max(1);
+        Ok(ScenarioOutcome {
+            name: self.name.clone(),
+            seed: self.config.seed,
+            n_owners: self.config.n_owners * n_sessions,
+            n_models_aggregated: cids_retrieved.len(),
+            aggregated_accuracy: accuracy_sum / n_sessions as f64,
+            total_paid_wei: total_paid,
+            local_accuracies,
+            payments,
+            budget_wei: budget,
+            total_gas: gas_rows.iter().map(|(_, g)| g).sum(),
+            gas_rows,
+            reverted_tx_count,
+            eth_conserved,
+            cids_onchain,
+            cids_retrieved,
+            total_sim_seconds: engine_report.total_sim_seconds,
+        })
+    }
 }
 
 /// The comparable distillation of one scenario run.
@@ -230,11 +369,11 @@ pub struct ScenarioOutcome {
     pub name: String,
     /// Master seed the session ran under.
     pub seed: u64,
-    /// Configured owner count.
+    /// Configured owner count (summed across markets).
     pub n_owners: usize,
-    /// Models the buyer actually retrieved and aggregated.
+    /// Models the buyer(s) actually retrieved and aggregated.
     pub n_models_aggregated: usize,
-    /// Test accuracy of the aggregated model.
+    /// Test accuracy of the aggregated model (mean across markets).
     pub aggregated_accuracy: f64,
     /// Per-owner local accuracies (all owners, including failed ones).
     pub local_accuracies: Vec<f64>,
@@ -242,7 +381,7 @@ pub struct ScenarioOutcome {
     pub payments: Vec<(H160, U256)>,
     /// Sum of all payments.
     pub total_paid_wei: U256,
-    /// Configured buyer budget.
+    /// Configured buyer budget (summed across markets).
     pub budget_wei: U256,
     /// `(label, gas_used)` per transaction.
     pub gas_rows: Vec<(String, u64)>,
@@ -252,9 +391,9 @@ pub struct ScenarioOutcome {
     pub reverted_tx_count: usize,
     /// Genesis supply == balances + burn held at session end.
     pub eth_conserved: bool,
-    /// Every CID the contract returned.
+    /// Every CID the contract(s) returned.
     pub cids_onchain: Vec<String>,
-    /// The subset of CIDs the buyer could still fetch.
+    /// The subset of CIDs the buyer(s) could still fetch.
     pub cids_retrieved: Vec<String>,
     /// Virtual seconds the whole session took.
     pub total_sim_seconds: f64,
@@ -423,12 +562,59 @@ impl ScenarioSuite {
             )
     }
 
-    /// Partition sweep plus failure sweep — the full regression surface.
+    /// Concurrency regimes: the same sessions driven by the discrete-event
+    /// engine — simultaneous owners, staggered arrivals, several markets on
+    /// one chain, and failure injection under contention.
+    pub fn concurrency_sweep(seed: u64) -> ScenarioSuite {
+        let eight_owners = MarketConfig {
+            n_owners: 8,
+            partition: PartitionScheme::Iid,
+            seed,
+            ..MarketConfig::small_test()
+        };
+        ScenarioSuite::new()
+            .push(Scenario::new("concurrent-8", eight_owners).concurrent())
+            .push(
+                Scenario::small("staggered-4", PartitionScheme::Iid, seed.wrapping_add(1))
+                    .with_mode(ExecutionMode::Concurrent {
+                        arrivals: Arrivals::Staggered(SimDuration::from_secs(10)),
+                    }),
+            )
+            .push(
+                Scenario::small(
+                    "multi-2x4",
+                    PartitionScheme::Dirichlet { alpha: 0.5 },
+                    seed.wrapping_add(2),
+                )
+                .with_mode(ExecutionMode::MultiMarket {
+                    markets: 2,
+                    arrivals: Arrivals::Simultaneous,
+                }),
+            )
+            .push(
+                Scenario::small(
+                    "concurrent-dropout",
+                    PartitionScheme::Iid,
+                    seed.wrapping_add(3),
+                )
+                .with_failures(FailurePlan {
+                    dropout: vec![2],
+                    ..FailurePlan::clean()
+                })
+                .concurrent(),
+            )
+    }
+
+    /// Partition sweep plus failure sweep plus concurrency sweep — the full
+    /// regression surface.
     pub fn full(seed: u64) -> ScenarioSuite {
         let mut suite = ScenarioSuite::partition_sweep(seed);
         suite
             .scenarios
             .extend(ScenarioSuite::failure_sweep(seed.wrapping_add(100)).scenarios);
+        suite
+            .scenarios
+            .extend(ScenarioSuite::concurrency_sweep(seed.wrapping_add(200)).scenarios);
         suite
     }
 
@@ -519,6 +705,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_mode_is_deterministic_and_faster() {
+        let serial = quick(PartitionScheme::Iid, 11).run().expect("serial runs");
+        let concurrent = || quick(PartitionScheme::Iid, 11).concurrent().run();
+        let a = concurrent().expect("concurrent runs");
+        let b = concurrent().expect("concurrent reruns");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        // Same participants and models, less virtual time.
+        assert_eq!(a.cids_onchain, serial.cids_onchain);
+        assert!(a.total_sim_seconds < serial.total_sim_seconds);
+        assert!(a.eth_conserved && a.budget_exhausted());
+    }
+
+    #[test]
+    fn multi_market_outcome_merges_sessions() {
+        let mut scenario = quick(PartitionScheme::Iid, 12).with_mode(ExecutionMode::MultiMarket {
+            markets: 2,
+            arrivals: Arrivals::Simultaneous,
+        });
+        scenario.name = "multi".into();
+        let outcome = scenario.run().expect("runs");
+        assert_eq!(outcome.n_owners, 8);
+        assert_eq!(outcome.n_models_aggregated, 8);
+        assert_eq!(outcome.payments.len(), 8);
+        // Two budgets, both exhausted.
+        assert!(outcome.budget_exhausted());
+        assert!(outcome.eth_conserved);
+        // Gas rows are namespaced per market.
+        assert!(outcome.gas_rows.iter().any(|(l, _)| l == "deploy"));
+        assert!(outcome.gas_rows.iter().any(|(l, _)| l == "m1/deploy"));
+    }
+
+    #[test]
     fn suite_builders_cover_the_advertised_regimes() {
         let partitions = ScenarioSuite::partition_sweep(1);
         assert_eq!(partitions.scenarios.len(), 4);
@@ -526,10 +745,16 @@ mod tests {
         let failures = ScenarioSuite::failure_sweep(1);
         assert!(failures.scenarios.len() >= 2);
         assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()));
+        let concurrency = ScenarioSuite::concurrency_sweep(1);
+        assert!(concurrency.scenarios.len() >= 3);
+        assert!(concurrency
+            .scenarios
+            .iter()
+            .all(|s| s.mode != ExecutionMode::Serial));
         let full = ScenarioSuite::full(1);
         assert_eq!(
             full.scenarios.len(),
-            partitions.scenarios.len() + failures.scenarios.len()
+            partitions.scenarios.len() + failures.scenarios.len() + concurrency.scenarios.len()
         );
     }
 

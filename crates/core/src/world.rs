@@ -4,12 +4,22 @@
 //! Block production is clock-driven: transactions wait in the mempool until
 //! the next 12-second slot boundary, which is where the paper's Fig 7
 //! "blockchain interactions dominate" observation comes from.
+//!
+//! Two ways to drive it:
+//!
+//! - **Serial** ([`World::send_and_confirm`]): submit, then block (in
+//!   virtual time) until mined — one participant at a time.
+//! - **Event-driven** ([`World::submit_tx`] / [`World::await_receipt`] plus
+//!   the slot helpers): submission and confirmation are separate steps, so
+//!   the session engine in `ofl_core::engine` can let many owners' (and
+//!   many markets') transactions land in the mempool together and get mined
+//!   into *shared* blocks at slot boundaries.
 
-use ofl_eth::block::Receipt;
+use ofl_eth::block::{Block, Receipt};
 use ofl_eth::chain::{Chain, ChainConfig};
 use ofl_eth::wallet::{Wallet, WalletError};
 use ofl_ipfs::swarm::Swarm;
-use ofl_netsim::clock::{SimClock, SimDuration};
+use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
 use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
@@ -21,6 +31,13 @@ pub enum WorldError {
     Wallet(WalletError),
     /// A transaction was dropped from the mempool without a receipt.
     TxDropped(H256),
+    /// A confirmation wait exhausted [`ChainConfig::max_wait_slots`].
+    ConfirmationTimeout {
+        /// Slots mined while waiting.
+        slots_mined: u64,
+        /// Hashes still without a receipt when the wait gave up.
+        pending: Vec<H256>,
+    },
     /// IPFS failure.
     Ipfs(ofl_ipfs::swarm::IpfsError),
 }
@@ -42,6 +59,19 @@ impl core::fmt::Display for WorldError {
         match self {
             WorldError::Wallet(e) => write!(f, "wallet: {e}"),
             WorldError::TxDropped(h) => write!(f, "transaction {h} dropped without receipt"),
+            WorldError::ConfirmationTimeout {
+                slots_mined,
+                pending,
+            } => {
+                write!(
+                    f,
+                    "confirmation wait gave up after mining {slots_mined} slots; still pending:"
+                )?;
+                for h in pending {
+                    write!(f, " {h}")?;
+                }
+                Ok(())
+            }
             WorldError::Ipfs(e) => write!(f, "ipfs: {e}"),
         }
     }
@@ -79,6 +109,87 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Pure timing queries (no clock movement) — what the event engine
+    // schedules with.
+    // ------------------------------------------------------------------
+
+    /// RPC time to broadcast a signed transaction carrying `data_len` bytes
+    /// of calldata.
+    pub fn tx_submit_time(&self, data_len: usize) -> SimDuration {
+        self.profile
+            .rpc
+            .transfer_time(self.tx_wire_bytes + data_len as u64)
+    }
+
+    /// RPC time for one receipt poll.
+    pub fn receipt_poll_time(&self) -> SimDuration {
+        self.profile.rpc.transfer_time(self.tx_wire_bytes)
+    }
+
+    /// RPC time for an `eth_call` round trip: request with `data_len` bytes
+    /// of calldata, response of `output_len` bytes.
+    pub fn read_call_time(&self, data_len: usize, output_len: usize) -> SimDuration {
+        self.profile
+            .rpc
+            .transfer_time(self.tx_wire_bytes + data_len as u64)
+            .saturating_add(self.profile.rpc.transfer_time(output_len as u64 + 64))
+    }
+
+    /// LAN time for an IPFS exchange of `bytes` over `rounds` round trips.
+    pub fn ipfs_transfer_time(&self, bytes: u64, rounds: usize) -> SimDuration {
+        self.profile.lan.exchange_time(bytes, rounds.max(1))
+    }
+
+    /// The first slot boundary (in whole seconds) strictly after instant
+    /// `at` — when a transaction in the mempool at `at` can first be mined.
+    pub fn next_slot_secs(&self, at: SimInstant) -> u64 {
+        let block_time = self.chain.config().block_time;
+        (at.0 / 1_000_000 / block_time + 1) * block_time
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking substrate steps (event-driven path).
+    // ------------------------------------------------------------------
+
+    /// Signs and broadcasts a transaction into the mempool — the
+    /// non-blocking half of [`World::send_and_confirm`]. No virtual time is
+    /// charged and no block is mined; the caller decides when slots happen.
+    pub fn submit_tx(
+        &mut self,
+        wallet: &Wallet,
+        from: &H160,
+        to: Option<H160>,
+        value: U256,
+        data: Vec<u8>,
+    ) -> Result<H256, WorldError> {
+        Ok(wallet.send(&mut self.chain, from, to, value, data)?)
+    }
+
+    /// Advances the clock to the slot boundary at `slot_secs` and mines the
+    /// block for that slot.
+    pub fn mine_slot(&mut self, slot_secs: u64) -> Block {
+        self.clock.advance_to(SimInstant(slot_secs * 1_000_000));
+        self.chain.mine_block(slot_secs)
+    }
+
+    // ------------------------------------------------------------------
+    // Serial path.
+    // ------------------------------------------------------------------
+
+    /// Blocks (in virtual time) until `hash` is mined, then charges one
+    /// receipt poll and returns the receipt — the blocking half of
+    /// [`World::send_and_confirm`].
+    pub fn await_receipt(&mut self, hash: H256) -> Result<Receipt, WorldError> {
+        self.mine_until(&[hash])?;
+        self.clock.advance(self.receipt_poll_time());
+        Ok(self
+            .chain
+            .receipt(&hash)
+            .expect("mine_until guarantees receipt")
+            .clone())
+    }
+
     /// Submits a transaction via a wallet and blocks (in virtual time) until
     /// it is mined, driving 12-second slot production. Returns the receipt.
     pub fn send_and_confirm(
@@ -90,39 +201,42 @@ impl World {
         data: Vec<u8>,
     ) -> Result<Receipt, WorldError> {
         // RPC submission (calldata rides along).
-        let wire = self.tx_wire_bytes + data.len() as u64;
-        self.clock.advance(self.profile.rpc.transfer_time(wire));
-        let hash = wallet.send(&mut self.chain, from, to, value, data)?;
-        self.mine_until(&[hash])?;
-        // Receipt poll.
-        self.clock
-            .advance(self.profile.rpc.transfer_time(self.tx_wire_bytes));
-        Ok(self
-            .chain
-            .receipt(&hash)
-            .expect("mine_until guarantees receipt")
-            .clone())
+        self.clock.advance(self.tx_submit_time(data.len()));
+        let hash = self.submit_tx(wallet, from, to, value, data)?;
+        self.await_receipt(hash)
     }
 
-    /// Advances slot by slot until every hash has a receipt.
+    /// Advances slot by slot until every hash has a receipt, giving up with
+    /// a typed [`WorldError::ConfirmationTimeout`] after
+    /// [`ChainConfig::max_wait_slots`] slots.
     pub fn mine_until(&mut self, hashes: &[H256]) -> Result<(), WorldError> {
-        let block_time = self.chain.config().block_time;
-        for _ in 0..64 {
+        let max_wait_slots = self.chain.config().max_wait_slots;
+        let mut slots_mined = 0u64;
+        for _ in 0..max_wait_slots {
             if hashes.iter().all(|h| self.chain.receipt(h).is_some()) {
                 return Ok(());
             }
-            let now = self.clock.elapsed_secs() as u64;
-            let next_slot = (now / block_time + 1) * block_time;
-            self.clock
-                .advance_to(ofl_netsim::clock::SimInstant(next_slot * 1_000_000));
-            self.chain.mine_block(next_slot);
+            let slot = self.next_slot_secs(self.clock.now());
+            self.mine_slot(slot);
+            slots_mined += 1;
         }
-        for h in hashes {
-            if self.chain.receipt(h).is_none() {
-                return Err(WorldError::TxDropped(*h));
-            }
+        if hashes.iter().all(|h| self.chain.receipt(h).is_some()) {
+            return Ok(());
         }
-        Ok(())
+        let pending: Vec<H256> = hashes
+            .iter()
+            .filter(|h| self.chain.receipt(h).is_none())
+            .cloned()
+            .collect();
+        // Distinguish "still queued" from "silently evicted": a vanished
+        // transaction will never confirm no matter how long we wait.
+        if let Some(dropped) = pending.iter().find(|h| !self.chain.is_pending(h)) {
+            return Err(WorldError::TxDropped(*dropped));
+        }
+        Err(WorldError::ConfirmationTimeout {
+            slots_mined,
+            pending,
+        })
     }
 
     /// A free read (`eth_call`-style) with RPC latency charged.
@@ -132,24 +246,17 @@ impl World {
         to: &H160,
         data: Vec<u8>,
     ) -> ofl_eth::chain::CallResult {
-        self.clock.advance(
-            self.profile
-                .rpc
-                .transfer_time(self.tx_wire_bytes + data.len() as u64),
-        );
+        let data_len = data.len();
         let result = self.chain.call(from, to, data);
-        self.clock.advance(
-            self.profile
-                .rpc
-                .transfer_time(result.output.len() as u64 + 64),
-        );
+        self.clock
+            .advance(self.read_call_time(data_len, result.output.len()));
         result
     }
 
     /// Charges IPFS transfer time for `bytes` moved in `rounds` exchanges
     /// over the LAN.
     pub fn charge_ipfs_transfer(&mut self, bytes: u64, rounds: usize) {
-        let t: SimDuration = self.profile.lan.exchange_time(bytes, rounds.max(1));
+        let t = self.ipfs_transfer_time(bytes, rounds);
         self.clock.advance(t);
     }
 }
@@ -157,6 +264,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ofl_eth::tx::{sign_tx, TxRequest};
     use ofl_primitives::wei_per_eth;
 
     #[test]
@@ -193,6 +301,78 @@ mod tests {
             .unwrap();
         assert!(r2.block_number > r1.block_number);
         assert!(world.clock.elapsed_secs() >= 24.0);
+    }
+
+    #[test]
+    fn submit_tx_is_non_blocking_and_shares_blocks() {
+        // Two senders submit before any slot boundary: one mined block
+        // carries both — the contention the serial path could never create.
+        let wallet = Wallet::from_seed("world-test-4", 2);
+        let addrs = wallet.addresses();
+        let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
+        let h1 = world
+            .submit_tx(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .unwrap();
+        let h2 = world
+            .submit_tx(&wallet, &addrs[1], Some(addrs[0]), U256::ONE, vec![])
+            .unwrap();
+        assert_eq!(world.clock.elapsed_secs(), 0.0, "submission never blocks");
+        assert_eq!(world.chain.mempool_len(), 2);
+        let slot = world.next_slot_secs(world.clock.now());
+        let block = world.mine_slot(slot);
+        assert_eq!(block.tx_hashes.len(), 2);
+        assert!(world.chain.receipt(&h1).is_some());
+        assert!(world.chain.receipt(&h2).is_some());
+    }
+
+    #[test]
+    fn mine_until_timeout_is_typed_and_configurable() {
+        let wallet = Wallet::from_seed("world-test-5", 1);
+        let a = wallet.addresses()[0];
+        let config = ChainConfig {
+            max_wait_slots: 3,
+            ..ChainConfig::default()
+        };
+        let mut world = World::new(config, &[(a, wei_per_eth())], NetworkProfile::campus());
+        // A future-nonce transaction can never be mined on its own.
+        let key = wallet.account(&a).unwrap().private_key;
+        let req = TxRequest {
+            chain_id: world.chain.config().chain_id,
+            nonce: 5,
+            max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+            max_fee_per_gas: U256::from(40_000_000_000u64),
+            gas_limit: 21_000,
+            to: Some(H160::from_slice(&[9; 20])),
+            value: U256::ONE,
+            data: Vec::new(),
+        };
+        let hash = world.chain.submit(sign_tx(req, &key).unwrap()).unwrap();
+        match world.mine_until(&[hash]) {
+            Err(WorldError::ConfirmationTimeout {
+                slots_mined,
+                pending,
+            }) => {
+                assert_eq!(slots_mined, 3);
+                assert_eq!(pending, vec![hash]);
+            }
+            other => panic!("expected ConfirmationTimeout, got {other:?}"),
+        }
+        assert_eq!(world.chain.height(), 3);
+    }
+
+    #[test]
+    fn next_slot_is_strictly_after() {
+        let wallet = Wallet::from_seed("world-test-6", 1);
+        let a = wallet.addresses()[0];
+        let world = World::new(
+            ChainConfig::default(),
+            &[(a, wei_per_eth())],
+            NetworkProfile::campus(),
+        );
+        assert_eq!(world.next_slot_secs(SimInstant(0)), 12);
+        assert_eq!(world.next_slot_secs(SimInstant(11_999_999)), 12);
+        assert_eq!(world.next_slot_secs(SimInstant(12_000_000)), 24);
     }
 
     #[test]

@@ -144,7 +144,7 @@ fn encode_dynamic_bytes(data: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&U256::from(data.len()).to_be_bytes());
     out.extend_from_slice(data);
     let pad = (32 - data.len() % 32) % 32;
-    out.extend(std::iter::repeat(0u8).take(pad));
+    out.extend(std::iter::repeat_n(0u8, pad));
 }
 
 /// Encodes a function call: selector followed by encoded arguments.

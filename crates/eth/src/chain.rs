@@ -28,6 +28,10 @@ pub struct ChainConfig {
     pub initial_base_fee: U256,
     /// PoA block producer / fee recipient.
     pub coinbase: H160,
+    /// How many slots a confirmation wait may mine before giving up with a
+    /// typed timeout (the old behaviour hardcoded 64 deep inside
+    /// `World::mine_until`).
+    pub max_wait_slots: u64,
 }
 
 impl Default for ChainConfig {
@@ -40,6 +44,7 @@ impl Default for ChainConfig {
             // as reported in the paper's Fig 5 (see EXPERIMENTS.md).
             initial_base_fee: U256::from(12_000_000_000u64),
             coinbase: H160::from_slice(&[0xC0u8; 20]),
+            max_wait_slots: 64,
         }
     }
 }
@@ -254,6 +259,11 @@ impl Chain {
         self.mempool.len()
     }
 
+    /// Whether a submitted transaction is still waiting in the mempool.
+    pub fn is_pending(&self, hash: &H256) -> bool {
+        self.mempool.iter().any(|tx| tx.hash() == *hash)
+    }
+
     /// `eth_getLogs`: collects logs matching `filter` from the inclusive
     /// block range, using each block's bloom filter to skip blocks that
     /// cannot contain a match.
@@ -352,7 +362,12 @@ impl Chain {
         let mut bloom = Bloom::default();
         let mut remaining = Vec::new();
 
-        let pool = std::mem::take(&mut self.mempool);
+        let mut pool = std::mem::take(&mut self.mempool);
+        // Builder policy: highest effective tip first, as priced against this
+        // block's base fee. The sort is stable, so submission order breaks
+        // ties and a sender's equal-tip nonce run keeps its relative order.
+        let base = self.base_fee;
+        pool.sort_by_key(|tx| std::cmp::Reverse(effective_tip(tx, &base)));
         for tx in pool {
             if gas_used_total + tx.request.gas_limit > self.config.gas_limit {
                 remaining.push(tx);
@@ -749,6 +764,21 @@ impl Chain {
     }
 }
 
+/// The tip a transaction actually pays per gas at `base_fee`:
+/// `min(max_priority_fee, max_fee − base_fee)`, zero when underwater.
+fn effective_tip(tx: &SignedTx, base_fee: &U256) -> U256 {
+    let headroom = tx
+        .request
+        .max_fee_per_gas
+        .checked_sub(base_fee)
+        .unwrap_or(U256::ZERO);
+    if tx.request.max_priority_fee_per_gas < headroom {
+        tx.request.max_priority_fee_per_gas
+    } else {
+        headroom
+    }
+}
+
 type ExecOutcome = (
     TxStatus,
     u64,
@@ -965,8 +995,10 @@ mod tests {
 
     #[test]
     fn base_fee_rises_when_blocks_full() {
-        let mut cfg = ChainConfig::default();
-        cfg.gas_limit = 42_000; // target = 21000: one transfer exactly fills it
+        let cfg = ChainConfig {
+            gas_limit: 42_000, // target = 21000: one transfer exactly fills it
+            ..ChainConfig::default()
+        };
         let genesis = vec![(addr_of(&key(0)), wei_per_eth())];
         let mut chain = Chain::new(cfg, &genesis);
         let fee0 = chain.base_fee();
@@ -990,6 +1022,69 @@ mod tests {
         let fee1 = chain.base_fee();
         chain.mine_block(24);
         assert!(chain.base_fee() < fee1);
+    }
+
+    #[test]
+    fn same_slot_txs_from_distinct_senders_share_a_block_ordered_by_tip() {
+        // The invariant the discrete-event session engine relies on: many
+        // owners submitting within one 12 s window land in ONE block, and
+        // the builder orders them by effective tip, not submission order.
+        let mut chain = funded_chain(3);
+        let to = H160::from_slice(&[7; 20]);
+        let mut hashes = Vec::new();
+        // Submission order: lowest tip first — the block must invert it.
+        for (i, tip_gwei) in [1u64, 2, 3].into_iter().enumerate() {
+            let mut req = transfer_req(&chain, i as u64, to, U256::ONE);
+            req.max_priority_fee_per_gas = U256::from(tip_gwei * 1_000_000_000);
+            let tx = sign_tx(req, &key(i as u64)).unwrap();
+            hashes.push(chain.submit(tx).unwrap());
+        }
+        let block = chain.mine_block(12);
+        assert_eq!(block.tx_hashes.len(), 3, "same slot ⇒ same block");
+        assert_eq!(block.header.number, 1);
+        // Effective tip descending: sender 2 (3 gwei), then 1, then 0.
+        assert_eq!(block.tx_hashes[0], hashes[2]);
+        assert_eq!(block.tx_hashes[1], hashes[1]);
+        assert_eq!(block.tx_hashes[2], hashes[0]);
+        for h in &hashes {
+            assert_eq!(chain.receipt(h).unwrap().block_number, 1);
+        }
+        assert_eq!(chain.mempool_len(), 0);
+    }
+
+    #[test]
+    fn tip_ordering_respects_per_sender_nonces() {
+        // A sender's own nonce run is never reordered by the tip sort: the
+        // stable sort keeps equal-tip transactions in submission order, and
+        // a not-yet-ready nonce simply waits for the next block.
+        let mut chain = funded_chain(2);
+        let to = H160::from_slice(&[8; 20]);
+        // Sender 0 submits nonces 0 and 1 with the same tip.
+        for nonce in 0..2u64 {
+            let mut req = transfer_req(&chain, 0, to, U256::ONE);
+            req.nonce = nonce;
+            chain.submit(sign_tx(req, &key(0)).unwrap()).unwrap();
+        }
+        // Sender 1 outbids both.
+        let mut rich = transfer_req(&chain, 1, to, U256::ONE);
+        rich.max_priority_fee_per_gas = U256::from(9_000_000_000u64);
+        let rich_hash = chain.submit(sign_tx(rich, &key(1)).unwrap()).unwrap();
+        let block = chain.mine_block(12);
+        assert_eq!(block.tx_hashes.len(), 3);
+        assert_eq!(block.tx_hashes[0], rich_hash);
+        assert_eq!(chain.nonce(&addr_of(&key(0))), 2);
+    }
+
+    #[test]
+    fn mempool_pending_visibility() {
+        let mut chain = funded_chain(2);
+        let to = addr_of(&key(1));
+        let tx = sign_tx(transfer_req(&chain, 0, to, U256::ONE), &key(0)).unwrap();
+        let hash = chain.submit(tx).unwrap();
+        assert!(chain.is_pending(&hash));
+        chain.mine_block(12);
+        assert!(!chain.is_pending(&hash));
+        assert!(chain.receipt(&hash).is_some());
     }
 
     #[test]

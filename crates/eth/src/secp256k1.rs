@@ -49,9 +49,9 @@ const C: U256 = U256([0x1000003d1, 0, 0, 0]);
 fn u512_add(a: &U512, b: &U512) -> U512 {
     let mut out = [0u64; 8];
     let mut carry = 0u128;
-    for i in 0..8 {
+    for (i, limb) in out.iter_mut().enumerate() {
         let sum = a.0[i] as u128 + b.0[i] as u128 + carry;
-        out[i] = sum as u64;
+        *limb = sum as u64;
         carry = sum >> 64;
     }
     debug_assert_eq!(carry, 0, "u512_add overflow");
@@ -84,6 +84,9 @@ fn reduce_p(w: &U512) -> U256 {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Fe(U256);
 
+// Field arithmetic reads as math (`a.add(b)`, `a.mul(b)`); these are not
+// the operator traits and deliberately take/return by value.
+#[allow(clippy::should_implement_trait)]
 impl Fe {
     pub const ZERO: Fe = Fe(U256::ZERO);
     pub const ONE: Fe = Fe(U256::ONE);
@@ -195,6 +198,7 @@ impl Fe {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Scalar(U256);
 
+#[allow(clippy::should_implement_trait)]
 impl Scalar {
     pub const ZERO: Scalar = Scalar(U256::ZERO);
 

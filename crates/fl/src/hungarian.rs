@@ -212,12 +212,12 @@ mod tests {
         // Optimal must not exceed greedy.
         let mut greedy_used = vec![false; 2 * n];
         let mut greedy_total = 0.0;
-        for r in 0..n {
+        for row in &cost {
             let mut best = f64::INFINITY;
             let mut best_j = 0;
             for (j, &used) in greedy_used.iter().enumerate() {
-                if !used && cost[r][j] < best {
-                    best = cost[r][j];
+                if !used && row[j] < best {
+                    best = row[j];
                     best_j = j;
                 }
             }

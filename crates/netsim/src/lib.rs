@@ -4,6 +4,8 @@
 //!
 //! - [`clock`]: a shared microsecond-resolution simulation clock.
 //! - [`link`]: latency/bandwidth models with the paper's campus-LAN profile.
+//! - [`sched`]: a discrete-event queue and per-participant timelines — the
+//!   substrate of the concurrent session engine.
 //! - [`service`]: a Flask-like routed service charged through a link — the
 //!   paper's backend-server role.
 //! - [`timing`]: phase recorders (the Fig 7 breakdown) and compute models
@@ -14,10 +16,12 @@
 
 pub mod clock;
 pub mod link;
+pub mod sched;
 pub mod service;
 pub mod timing;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use link::{Link, NetworkProfile};
+pub use sched::{EventQueue, Timeline};
 pub use service::{Request, Response, Service};
 pub use timing::{ComputeModel, PhaseRecorder};

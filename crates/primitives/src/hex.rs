@@ -56,7 +56,7 @@ pub fn from_hex(s: &str) -> Result<Vec<u8>, HexError> {
         .or_else(|| s.strip_prefix("0X"))
         .unwrap_or(s);
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(HexError::OddLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

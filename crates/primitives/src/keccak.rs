@@ -54,8 +54,8 @@ fn keccak_f(state: &mut [[u64; 5]; 5]) {
             d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
         }
         for x in 0..5 {
-            for y in 0..5 {
-                state[x][y] ^= d[x];
+            for lane in state[x].iter_mut() {
+                *lane ^= d[x];
             }
         }
         // Rho + Pi

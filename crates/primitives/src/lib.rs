@@ -8,7 +8,7 @@
 //!
 //! Modules:
 //! - [`u256`]: 256/512-bit unsigned integers (EVM words, wei, field elements)
-//! - [`keccak`]: Keccak-256 (Ethereum hashing)
+//! - [`keccak`][]: Keccak-256 (Ethereum hashing)
 //! - [`sha256`](mod@sha256): SHA-256 + HMAC-SHA256 (IPFS multihash, RFC-6979 nonces)
 //! - [`hex`], [`base58`], [`base32`]: text encodings (addresses, CIDs)
 //! - [`varint`]: unsigned LEB128 varints (multiformats headers)

@@ -146,10 +146,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *limb = s2;
             carry = c1 | c2;
         }
         (U256(out), carry)
@@ -175,10 +175,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *limb = d2;
             borrow = b1 | b2;
         }
         (U256(out), borrow)
@@ -286,8 +286,8 @@ impl U256 {
         }
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            out[i] = (self.0[i] << s) | carry;
+        for (i, limb) in out.iter_mut().enumerate() {
+            *limb = (self.0[i] << s) | carry;
             carry = self.0[i] >> (64 - s);
         }
         U256(out)
@@ -302,9 +302,7 @@ impl U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in limb_shift..4 {
-            out[i] = self.0[i - limb_shift];
-        }
+        out[limb_shift..].copy_from_slice(&self.0[..4 - limb_shift]);
         U256(out).shl_small(bit_shift)
     }
 
@@ -317,9 +315,7 @@ impl U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
-            out[i] = self.0[i + limb_shift];
-        }
+        out[..4 - limb_shift].copy_from_slice(&self.0[limb_shift..]);
         if bit_shift > 0 {
             let mut carry = 0u64;
             for i in (0..4).rev() {

@@ -233,7 +233,10 @@ mod tests {
         let labels = vec![0usize, 1, 2, 1, 0];
         let (_, grads) = mlp.loss_and_grads(&x, &labels);
         let eps = 1e-2;
-        // Spot-check a handful of weight coordinates in every layer.
+        // Spot-check a handful of weight coordinates in every layer. The
+        // index drives both `mlp.layers` (mutated) and `grads` (read), so a
+        // range loop is the honest shape here.
+        #[allow(clippy::needless_range_loop)]
         for li in 0..mlp.layers.len() {
             for &(r, c) in &[(0usize, 0usize), (1, 2), (2, 3)] {
                 if r >= mlp.layers[li].weight.rows() || c >= mlp.layers[li].weight.cols() {
@@ -263,6 +266,7 @@ mod tests {
         let labels = vec![0usize, 1, 0, 1, 0, 1];
         let (_, grads) = mlp.loss_and_grads(&x, &labels);
         let eps = 1e-2;
+        #[allow(clippy::needless_range_loop)]
         for li in 0..mlp.layers.len() {
             for bi in 0..mlp.layers[li].bias.len().min(2) {
                 let orig = mlp.layers[li].bias[bi];

@@ -167,8 +167,7 @@ impl Tensor {
         for kk in 0..k {
             let a_row = &self.data[kk * m..(kk + 1) * m];
             let b_row = &other.data[kk * n..(kk + 1) * n];
-            for i in 0..m {
-                let a = a_row[i];
+            for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }

@@ -72,9 +72,8 @@ fn tampered_raw_transaction_rejected_or_reassigned() {
         Ok(tampered) => {
             // If it still parses, the recovered sender differs from the
             // honest signer, so it cannot spend the honest account.
-            match tampered.recover_sender() {
-                Ok(who) => assert_ne!(who, sender),
-                Err(_) => {}
+            if let Ok(who) = tampered.recover_sender() {
+                assert_ne!(who, sender);
             }
             // Either way the honest account is untouched.
             let _ = chain.submit_raw(&raw);
@@ -183,8 +182,10 @@ fn replay_protection() {
         Err(ChainError::NonceTooLow { .. })
     ));
     // Cross-chain replay: different chain id.
-    let mut mainnet_cfg = ChainConfig::default();
-    mainnet_cfg.chain_id = 1;
+    let mainnet_cfg = ChainConfig {
+        chain_id: 1,
+        ..ChainConfig::default()
+    };
     let mut mainnet = Chain::new(mainnet_cfg, &[(a, wei_per_eth())]);
     assert!(matches!(
         mainnet.submit(tx),

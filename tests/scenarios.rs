@@ -1,11 +1,12 @@
-//! Scenario-suite integration tests: the partition regimes and
-//! failure-injection regimes of `ofl_core::scenario` run end-to-end,
-//! deterministically by seed, with the cross-layer invariants holding in
-//! every regime.
+//! Scenario-suite integration tests: the partition regimes,
+//! failure-injection regimes, and event-driven concurrency regimes of
+//! `ofl_core::scenario` run end-to-end, deterministically by seed, with the
+//! cross-layer invariants holding in every regime.
 
 use std::sync::OnceLock;
 
 use ofl_w3::core::config::{MarketConfig, PartitionScheme};
+use ofl_w3::core::engine::{EngineConfig, MultiMarket};
 use ofl_w3::core::market::Marketplace;
 use ofl_w3::core::scenario::{Scenario, ScenarioOutcome, ScenarioSuite};
 
@@ -43,8 +44,9 @@ fn shared_outcomes() -> &'static [ScenarioOutcome] {
 #[test]
 fn suite_sweeps_partitions_and_failures_deterministically() {
     let suite = trimmed(ScenarioSuite::full(SUITE_SEED));
-    // The acceptance bar: at least 4 partition regimes and at least 2
-    // failure-injection regimes in one engine.
+    // The acceptance bar: at least 4 partition regimes, at least 2
+    // failure-injection regimes, and at least 3 concurrency regimes in one
+    // engine.
     let clean = suite
         .scenarios
         .iter()
@@ -55,8 +57,14 @@ fn suite_sweeps_partitions_and_failures_deterministically() {
         .iter()
         .filter(|s| !s.failures.is_clean())
         .count();
+    let concurrent = suite
+        .scenarios
+        .iter()
+        .filter(|s| s.mode != ofl_w3::core::scenario::ExecutionMode::Serial)
+        .count();
     assert!(clean >= 4, "partition regimes: {clean}");
     assert!(faulty >= 2, "failure regimes: {faulty}");
+    assert!(concurrent >= 3, "concurrency regimes: {concurrent}");
 
     let first = shared_outcomes();
     let second = run_full_suite();
@@ -144,6 +152,93 @@ fn failure_regimes_change_what_the_buyer_aggregates() {
     let storm = by_name("failure-storm");
     assert_eq!(storm.n_models_aggregated, storm.n_owners - 2);
     assert!(storm.budget_exhausted());
+}
+
+/// The new concurrency regimes are bit-identically deterministic by seed:
+/// rerunning the event-driven sweep reproduces every fingerprint.
+#[test]
+fn concurrency_regimes_are_deterministic_by_seed() {
+    let run = || {
+        trimmed(ScenarioSuite::concurrency_sweep(
+            SUITE_SEED.wrapping_add(200),
+        ))
+        .run()
+        .expect("every concurrency regime completes")
+    };
+    let first = run();
+    let second = run();
+    assert!(first.len() >= 3);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a, b, "{} diverged between event-driven reruns", a.name);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{}", a.name);
+        assert!(a.eth_conserved, "{}", a.name);
+        assert!(a.budget_exhausted(), "{}", a.name);
+    }
+}
+
+/// The headline acceptance scenario: 32 owners on the discrete-event
+/// engine. Their `uploadCid` transactions pile into the shared mempool and
+/// get mined into *shared* blocks — at least one block carries
+/// transactions from ≥ 2 distinct owners (in fact all of them) — and the
+/// session's total virtual time is strictly less than the serial engine's
+/// for the same configuration.
+#[test]
+fn thirty_two_concurrent_owners_share_blocks_and_beat_serial() {
+    let config = MarketConfig {
+        n_owners: 32,
+        n_train: 640,
+        n_test: 60,
+        partition: PartitionScheme::Iid,
+        seed: 33,
+        train: ofl_w3::fl::client::TrainConfig {
+            dims: vec![784, 8, 10],
+            epochs: 1,
+            ..ofl_w3::fl::client::TrainConfig::default()
+        },
+        ..MarketConfig::small_test()
+    };
+
+    // Serial baseline: every owner in turn, one CID transaction per block.
+    let serial = Scenario::new("serial-32", config.clone())
+        .run()
+        .expect("serial 32-owner session completes");
+    assert_eq!(serial.n_models_aggregated, 32);
+
+    // Event-driven: same config, same world parameters, concurrent owners.
+    let (mm, report) = MultiMarket::new(vec![config])
+        .run(&EngineConfig::default(), &[])
+        .expect("event-driven 32-owner session completes");
+    assert_eq!(report.sessions[0].payments.len(), 32);
+
+    // Shared blocks: some block carries CID transactions from at least two
+    // distinct owners (simultaneous arrival packs all 32 into one slot).
+    assert!(
+        report.max_owners_sharing_block() >= 2,
+        "cid txs per block: {:?}",
+        report.cid_txs_per_block
+    );
+    let packed: usize = report.cid_txs_per_block.iter().map(|(_, n)| n).sum();
+    assert_eq!(packed, 32, "every owner's CID landed");
+
+    // Strictly less virtual time than the serial schedule for the same
+    // config (the serial engine pays ~12 s of blockchain wait per owner).
+    assert!(
+        report.sessions[0].total_sim_seconds < serial.total_sim_seconds,
+        "event-driven {} s vs serial {} s",
+        report.sessions[0].total_sim_seconds,
+        serial.total_sim_seconds
+    );
+
+    // Same marketplace outcome, different schedule: identical CID sets.
+    let mut event_cids = report.sessions[0].cids.clone();
+    let mut serial_cids = serial.cids_onchain.clone();
+    event_cids.sort();
+    serial_cids.sort();
+    assert_eq!(event_cids, serial_cids);
+
+    // The contention actually exercised EIP-1559: the packed block moved
+    // the base fee, which a one-tx-per-block serial run barely does.
+    assert!(mm.world.chain.height() >= 1);
 }
 
 /// The determinism regression the roadmap asks for: two `Marketplace::run`

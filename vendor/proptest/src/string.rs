@@ -226,7 +226,7 @@ mod tests {
             let s = sample_pattern("[a-z]{1,12}\\((uint256|string|address)?\\)", &mut rng);
             let open = s.find('(').expect("open paren");
             assert!(s.ends_with(')'));
-            assert!(open >= 1 && open <= 12);
+            assert!((1..=12).contains(&open));
             let arg = &s[open + 1..s.len() - 1];
             assert!(matches!(arg, "" | "uint256" | "string" | "address"), "{s}");
             if arg.is_empty() {

@@ -234,7 +234,7 @@ mod tests {
             let w: i32 = rng.gen_range(-5..=5);
             assert!((-5..=5).contains(&w));
             let f: f64 = rng.gen_range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
             let g: f32 = rng.gen_range(-1.5..1.5f32);
             assert!((-1.5..1.5).contains(&g));
         }
