@@ -58,8 +58,8 @@ fn main() {
         .find(|g| g.label == "deploy")
         .map(|g| g.gas_used)
         .expect("deploy measured");
-    let gas_price_wei = market.world.chain.base_fee().low_u64() + 1_500_000_000;
-    let block_time = market.world.chain.config().block_time as f64;
+    let gas_price_wei = market.world.chain().base_fee().low_u64() + 1_500_000_000;
+    let block_time = market.world.chain().config().block_time as f64;
 
     // FL setup shared by all schemes.
     let n_owners = 10usize;

@@ -28,9 +28,20 @@ struct Row {
 }
 
 #[derive(Serialize)]
+struct PollingRow {
+    mode: &'static str,
+    provider_round_trips: u64,
+    receipt_poll_requests: u64,
+    receipt_poll_virtual_secs: f64,
+    rpc_virtual_secs_total: f64,
+    session_secs: f64,
+}
+
+#[derive(Serialize)]
 struct Record {
     rows: Vec<Row>,
     multi_market_4x8_secs: f64,
+    receipt_polling_32_owners: Vec<PollingRow>,
 }
 
 fn sweep_config(owners: usize) -> MarketConfig {
@@ -96,11 +107,52 @@ fn main() {
         multi.max_owners_sharing_block()
     );
 
+    // Batched vs per-call receipt polling for the 32-owner session: with
+    // batching, the engine's per-slot poll for every pending transaction is
+    // ONE provider round trip; without it, every pending hash pays its own.
+    println!("\nreceipt polling, 32 owners (EthApi::batch vs one request per hash):");
+    println!(
+        "{:>10} {:>13} {:>15} {:>17} {:>15} {:>13}",
+        "mode", "round trips", "poll requests", "poll virtual (s)", "rpc total (s)", "session (s)"
+    );
+    let polling: Vec<PollingRow> = [("batched", true), ("per-call", false)]
+        .into_iter()
+        .map(|(mode, batch_receipt_polls)| {
+            let engine = EngineConfig {
+                batch_receipt_polls,
+                ..EngineConfig::default()
+            };
+            let (_, report) = MultiMarket::new(vec![sweep_config(32)])
+                .run(&engine, &[])
+                .expect("event-driven session");
+            let polls = report.rpc.method("eth_getTransactionReceipt");
+            let row = PollingRow {
+                mode,
+                provider_round_trips: report.rpc.round_trips,
+                receipt_poll_requests: polls.calls,
+                receipt_poll_virtual_secs: polls.cost.as_secs_f64(),
+                rpc_virtual_secs_total: report.rpc.total_cost().as_secs_f64(),
+                session_secs: report.sessions[0].total_sim_seconds,
+            };
+            println!(
+                "{:>10} {:>13} {:>15} {:>17.3} {:>15.3} {:>13.1}",
+                row.mode,
+                row.provider_round_trips,
+                row.receipt_poll_requests,
+                row.receipt_poll_virtual_secs,
+                row.rpc_virtual_secs_total,
+                row.session_secs
+            );
+            row
+        })
+        .collect();
+
     write_record(
         "bench_session_engine",
         &Record {
             rows,
             multi_market_4x8_secs: multi.total_sim_seconds,
+            receipt_polling_32_owners: polling,
         },
     );
 }

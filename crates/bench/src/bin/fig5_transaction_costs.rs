@@ -114,7 +114,7 @@ fn main() {
     let owner = market.owners[0].address;
     let contract = market.contract.expect("deployed").address;
     let summary = wallet.summarize(
-        &market.world.chain,
+        market.world.chain(),
         &owner,
         Some(&contract),
         &U256::ZERO,

@@ -111,7 +111,7 @@ fn main() {
     println!(
         "total simulated session time: {:.1} s ({} blocks mined)",
         report.total_sim_seconds,
-        market.world.chain.height()
+        market.world.chain().height()
     );
     println!(
         "contrast: traditional FL at ≥100 rounds would multiply every owner's \

@@ -7,6 +7,7 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_netsim::timing::ComputeModel;
 use ofl_primitives::u256::U256;
 use ofl_primitives::wei_per_eth;
+use ofl_rpc::FaultProfile;
 
 /// How the training data is split across model owners.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +59,9 @@ pub struct MarketConfig {
     pub owner_compute: ComputeModel,
     /// Buyer's backend workstation (paper: 2×RTX A5000 server).
     pub buyer_compute: ComputeModel,
+    /// Seeded RPC fault injection for the world's provider stack (`None` =
+    /// reliable endpoint) — the infrastructure-fault scenario knob.
+    pub rpc_faults: Option<FaultProfile>,
 }
 
 impl Default for MarketConfig {
@@ -78,6 +82,7 @@ impl Default for MarketConfig {
             profile: NetworkProfile::campus(),
             owner_compute: ComputeModel::rtx_a5000(),
             buyer_compute: ComputeModel::rtx_a5000(),
+            rpc_faults: None,
         }
     }
 }

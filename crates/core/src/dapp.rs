@@ -6,8 +6,14 @@
 //! model-buyer screen (Fig 3b). Every click produces a human-readable event
 //! in the app's log, and MetaMask-style confirmation summaries are surfaced
 //! before anything is signed.
+//!
+//! Like any real DApp, the screens talk to infrastructure only through the
+//! provider traits: wallet connection reads the balance via
+//! `eth_getBalance`, and the buyer's status line polls `eth_blockNumber` —
+//! both priced, metered, and fault-injectable like all other traffic.
 
 use crate::market::{MarketError, Marketplace, SessionReport};
+use crate::world::WorldError;
 use ofl_primitives::format_eth;
 
 /// A UI event (what the user sees after a click).
@@ -47,10 +53,24 @@ impl OwnerApp {
         &self.events
     }
 
-    /// "Connect Wallet" button.
-    pub fn connect_wallet(&mut self, market: &Marketplace) -> String {
-        let addr = market.owners[self.owner_index].address.to_checksum();
-        let msg = format!("Connected wallet {addr}");
+    /// "Connect Wallet" button: resolves the account and reads its balance
+    /// through the provider (`eth_getBalance`), like MetaMask's header.
+    pub fn connect_wallet(&mut self, market: &mut Marketplace) -> String {
+        let addr = market.owners[self.owner_index].address;
+        let (balance, cost) = market.world.eth_retry(|eth| eth.get_balance(&addr));
+        market.world.clock.advance(cost);
+        // A provider failure must not masquerade as an empty wallet.
+        let msg = match balance {
+            Ok(balance) => format!(
+                "Connected wallet {} (balance {} ETH)",
+                addr.to_checksum(),
+                format_eth(&balance, 4)
+            ),
+            Err(e) => format!(
+                "Connected wallet {} (balance unavailable: {e})",
+                addr.to_checksum()
+            ),
+        };
         self.log(msg.clone());
         msg
     }
@@ -132,6 +152,24 @@ impl BuyerApp {
     /// The event log.
     pub fn events(&self) -> &[UiEvent] {
         &self.events
+    }
+
+    /// The status line at the top of the buyer screen: chain head via
+    /// `eth_blockNumber`, straight through the provider stack.
+    pub fn node_status(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        let (head, cost) = market.world.eth_retry(|eth| eth.block_number());
+        market.world.clock.advance(cost);
+        match head {
+            Ok(head) => {
+                let msg = format!("Connected to node — chain head at block {head}");
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Node unreachable: {e}"));
+                Err(MarketError::World(WorldError::Rpc(e)))
+            }
+        }
     }
 
     /// "Deploy Contract" button (Step 1).
@@ -225,13 +263,33 @@ mod tests {
     use crate::config::MarketConfig;
 
     #[test]
+    fn screens_talk_to_the_node_through_the_provider() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let mut owner_app = OwnerApp::new(0);
+        let mut buyer_app = BuyerApp::new();
+        // Wallet connection surfaces the genesis balance (0.1 ETH).
+        let msg = owner_app.connect_wallet(&mut market);
+        assert!(msg.contains("balance 0.1000 ETH"), "{msg}");
+        // The status line reads the chain head via eth_blockNumber.
+        let status = buyer_app.node_status(&mut market).unwrap();
+        assert!(status.contains("block 0"), "{status}");
+        buyer_app.deploy_contract(&mut market).unwrap();
+        let status = buyer_app.node_status(&mut market).unwrap();
+        assert!(status.contains("block 1"), "{status}");
+        // Both queries were metered as provider traffic.
+        let metrics = market.world.rpc_metrics();
+        assert!(metrics.method("eth_getBalance").calls >= 1);
+        assert!(metrics.method("eth_blockNumber").calls >= 2);
+    }
+
+    #[test]
     fn button_driven_session_matches_programmatic() {
         let mut market = Marketplace::new(MarketConfig::small_test());
         let mut buyer_app = BuyerApp::new();
         buyer_app.deploy_contract(&mut market).unwrap();
         for i in 0..market.owners.len() {
             let mut app = OwnerApp::new(i);
-            app.connect_wallet(&market);
+            app.connect_wallet(&mut market);
             app.train_model(&mut market);
             let upload_msg = app.upload_model(&mut market).unwrap();
             assert!(upload_msg.contains("CID: Qm"));
@@ -288,7 +346,7 @@ mod tests {
 
         let mut owner_apps: Vec<OwnerApp> = (0..n).map(OwnerApp::new).collect();
         for (i, app) in owner_apps.iter_mut().enumerate() {
-            app.connect_wallet(&market);
+            app.connect_wallet(&mut market);
             app.train_model(&mut market);
             app.upload_model(&mut market).unwrap();
             if i != dropout {

@@ -32,13 +32,13 @@ use crate::market::{
 use crate::scenario::FailurePlan;
 use crate::world::{World, WorldError};
 use ofl_eth::block::Receipt;
-use ofl_eth::contracts::cid_storage_init_code;
 use ofl_ipfs::cid::Cid;
 use ofl_ipfs::swarm::Swarm;
 use ofl_netsim::clock::{SimDuration, SimInstant};
 use ofl_netsim::sched::{EventQueue, Timeline};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
+use ofl_rpc::{Billed, ModelMarketContract, ProviderMetrics};
 use std::collections::BTreeSet;
 
 /// When each owner shows up to start training.
@@ -64,12 +64,17 @@ impl Arrivals {
 pub struct EngineConfig {
     /// Owner arrival pattern (per market).
     pub arrivals: Arrivals,
+    /// Whether the per-slot receipt polls for every pending transaction
+    /// ride one batched provider round trip (the default) or one request
+    /// per hash — the knob `bench_session_engine` sweeps.
+    pub batch_receipt_polls: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             arrivals: Arrivals::Simultaneous,
+            batch_receipt_polls: true,
         }
     }
 }
@@ -97,6 +102,9 @@ pub struct EngineReport {
     /// `(block_number, distinct owners whose uploadCid landed there)` for
     /// every block that carried at least one CID transaction.
     pub cid_txs_per_block: Vec<(u64, usize)>,
+    /// Provider metering for the whole run (shared world): per-method call
+    /// counts, round trips, and virtual-time totals.
+    pub rpc: ProviderMetrics,
 }
 
 impl EngineReport {
@@ -123,9 +131,10 @@ pub struct MultiMarket {
 impl MultiMarket {
     /// Builds a shared world from explicit per-market configurations. The
     /// first market's chain parameters and network profile govern the
-    /// world; market 0 derives exactly like a solo [`Marketplace`]
-    /// (so serial-vs-event comparisons are apples to apples), later markets
-    /// are namespaced `m1/`, `m2/`, …
+    /// world; market 0 derives exactly like a solo
+    /// [`Marketplace`](crate::market::Marketplace) (so serial-vs-event
+    /// comparisons are apples to apples), later markets are namespaced
+    /// `m1/`, `m2/`, …
     pub fn new(configs: Vec<MarketConfig>) -> MultiMarket {
         assert!(!configs.is_empty(), "at least one market required");
         let blueprints: Vec<SessionBlueprint> = configs
@@ -144,10 +153,15 @@ impl MultiMarket {
             .iter()
             .flat_map(|b| b.genesis().iter().cloned())
             .collect();
-        let mut world = World::new(configs[0].chain.clone(), &genesis, configs[0].profile);
+        let mut world = World::with_faults(
+            configs[0].chain.clone(),
+            &genesis,
+            configs[0].profile,
+            configs[0].rpc_faults,
+        );
         let sessions = blueprints
             .into_iter()
-            .map(|b| b.instantiate(&mut world.swarm))
+            .map(|b| b.instantiate(world.swarm_mut()))
             .collect();
         MultiMarket { world, sessions }
     }
@@ -173,6 +187,7 @@ impl MultiMarket {
         engine: &EngineConfig,
         failures: &[FailurePlan],
     ) -> Result<(MultiMarket, EngineReport), MarketError> {
+        self.world.batch_receipt_polls = engine.batch_receipt_polls;
         let report = {
             let mut driver = Driver::new(
                 &mut self.world,
@@ -333,7 +348,9 @@ impl<'a> Driver<'a> {
         // Seed the queue: every buyer broadcasts its deploy immediately;
         // every owner arrives per the schedule.
         for m in 0..self.sessions.len() {
-            let deploy_rpc = self.world.tx_submit_time(cid_storage_init_code().len());
+            let deploy_rpc = self
+                .world
+                .tx_submit_time(ModelMarketContract::init_code().len());
             self.queue
                 .schedule(SimInstant(deploy_rpc.0), Ev::SubmitDeploy { m });
             for i in 0..self.sessions[m].owners.len() {
@@ -374,6 +391,7 @@ impl<'a> Driver<'a> {
             details,
             total_sim_seconds: self.world.clock.elapsed_secs(),
             cid_txs_per_block,
+            rpc: self.world.rpc_metrics(),
         })
     }
 
@@ -426,11 +444,11 @@ impl<'a> Driver<'a> {
             &buyer,
             None,
             U256::ZERO,
-            cid_storage_init_code(),
+            ModelMarketContract::init_code(),
         )?;
         self.pending.push(PendingTx {
             hash,
-            submitted_height: self.world.chain.height(),
+            submitted_height: self.world.chain().height(),
             wake: Wake::Deploy { m },
         });
         let slot = self.world.next_slot_secs(self.world.clock.now());
@@ -510,7 +528,7 @@ impl<'a> Driver<'a> {
         }
         self.pending.push(PendingTx {
             hash,
-            submitted_height: self.world.chain.height(),
+            submitted_height: self.world.chain().height(),
             wake,
         });
         let slot = self.world.next_slot_secs(t);
@@ -522,13 +540,21 @@ impl<'a> Driver<'a> {
         self.scheduled_slots.remove(&slot_secs);
         self.world.mine_slot(slot_secs);
         let now = self.world.clock.now();
-        let poll = self.world.receipt_poll_time();
-        let wake_at = SimInstant(now.0 + poll.0);
+
+        // One receipt poll for *everything* pending — a single batched
+        // provider round trip (or N per-call polls when the engine config
+        // says so); everyone waiting wakes when the answer lands.
+        let hashes: Vec<H256> = self.pending.iter().map(|p| p.hash).collect();
+        let Billed {
+            value: receipts,
+            cost,
+        } = self.world.poll_receipts(&hashes);
+        let wake_at = SimInstant(now.0 + cost.0);
 
         // Deliver receipts to whoever was waiting on this block.
         let pending = std::mem::take(&mut self.pending);
-        for p in pending {
-            let Some(receipt) = self.world.chain.receipt(&p.hash).cloned() else {
+        for (p, receipt) in pending.into_iter().zip(receipts) {
+            let Some(receipt) = receipt else {
                 self.pending.push(p);
                 continue;
             };
@@ -563,12 +589,18 @@ impl<'a> Driver<'a> {
         // configurable confirmation cap (same budget as the serial
         // `World::mine_until`: give up once `max_wait_slots` slots have been
         // mined since submission, reporting the actual count).
-        let max_wait = self.world.chain.config().max_wait_slots;
-        let height = self.world.chain.height();
+        let max_wait = self.world.chain().config().max_wait_slots;
+        let height = self.world.chain().height();
         let mut timed_out = Vec::new();
         let mut slots_mined = 0u64;
         for p in &self.pending {
-            if !self.world.chain.is_pending(&p.hash) {
+            // Backstage check (not client traffic): a transaction neither
+            // mined nor pending was silently evicted, while a mined one the
+            // flaky poll merely missed will be re-polled next slot.
+            if self.world.chain().receipt(&p.hash).is_some() {
+                continue; // mined; the flaky poll just missed it this slot
+            }
+            if !self.world.chain().is_pending(&p.hash) {
                 return Err(MarketError::World(WorldError::TxDropped(p.hash)));
             }
             let waited = height.saturating_sub(p.submitted_height);
@@ -584,9 +616,10 @@ impl<'a> Driver<'a> {
             }));
         }
 
-        // Keep slots coming while work is queued.
-        if self.world.chain.mempool_len() > 0 {
-            self.schedule_mine(slot_secs + self.world.chain.config().block_time);
+        // Keep slots coming while work is queued — or while a flaky poll
+        // left receipts undelivered (the next slot's poll retries them).
+        if self.world.chain().mempool_len() > 0 || !self.pending.is_empty() {
+            self.schedule_mine(slot_secs + self.world.chain().config().block_time);
         }
         Ok(())
     }
@@ -618,7 +651,7 @@ impl<'a> Driver<'a> {
         for i in drop_blocks {
             if let Some(cid) = self.sessions[m].owners[i].cid.clone() {
                 let node_index = self.sessions[m].owners[i].ipfs_node;
-                let node = self.world.swarm.node_mut(node_index);
+                let node = self.world.swarm_mut().node_mut(node_index);
                 node.store_mut().unpin(&cid);
                 node.store_mut().gc();
             }
@@ -635,7 +668,7 @@ impl<'a> Driver<'a> {
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(&self.world.swarm, &c))
+                    .map(|c| swarm_has(self.world.swarm(), &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -673,18 +706,19 @@ impl<'a> Driver<'a> {
             .expect("finalize precedes payments");
         // Fee terms are priced at broadcast time, against the base fee the
         // shared chain has *now* — not at finalize time.
-        let txs = self.sessions[m].build_payment_txs(&self.world.chain, agg, loo);
+        let txs = self.sessions[m].build_payment_txs(self.world.chain(), agg, loo);
         let mut hashes = Vec::new();
         let mut paid = Vec::new();
         for (address, amount, tx) in txs {
-            let hash = self
-                .world
-                .chain
-                .submit(tx)
-                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
+            // The one RPC transfer for the payment batch was charged on the
+            // buyer's timeline at finalize; retries (flaky provider) smear
+            // onto the global clock inside `broadcast_raw`'s bill, which the
+            // engine deliberately leaves unapplied.
+            let (result, _cost) = self.world.broadcast_raw(&tx.encode());
+            let hash = result.map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
             self.pending.push(PendingTx {
                 hash,
-                submitted_height: self.world.chain.height(),
+                submitted_height: self.world.chain().height(),
                 wake: Wake::Payment { m },
             });
             hashes.push(hash);
@@ -709,7 +743,7 @@ impl<'a> Driver<'a> {
         for ((address, amount), hash) in run.paid.iter().zip(&run.payment_hashes) {
             let receipt = self
                 .world
-                .chain
+                .chain()
                 .receipt(hash)
                 .expect("payment mined")
                 .clone();
@@ -727,7 +761,13 @@ impl<'a> Driver<'a> {
         let (agg, loo) = run.finalize.take().expect("finalize state present");
         run.detail.reverted_tx_count = run.reverted_tx_count;
         let total_secs = run.buyer_timeline.now().0 as f64 / 1e6;
-        run.report = Some(session.assemble_report(&agg, &loo, payments, total_secs));
+        run.report = Some(session.assemble_report(
+            &agg,
+            &loo,
+            payments,
+            total_secs,
+            self.world.rpc_metrics(),
+        ));
         Ok(())
     }
 
@@ -792,14 +832,14 @@ mod tests {
             report.sessions[0].payments.len(),
             serial_report.payments.len()
         );
-        assert!(mm.world.chain.height() >= 1);
+        assert!(mm.world.chain().height() >= 1);
     }
 
     #[test]
     fn multi_market_sessions_complete_on_one_chain() {
         let mm = MultiMarket::replicated(&tiny(3), 2);
         assert_eq!(mm.sessions.len(), 2);
-        let genesis_supply = mm.world.chain.state().total_supply();
+        let genesis_supply = mm.world.chain().state().total_supply();
         let (mm, report) = mm.run(&EngineConfig::default(), &[]).expect("runs");
         assert_eq!(report.sessions.len(), 2);
         for session_report in &report.sessions {
@@ -808,8 +848,8 @@ mod tests {
         // Distinct markets, distinct CIDs (decorrelated seeds).
         assert_ne!(report.sessions[0].cids, report.sessions[1].cids);
         // One shared chain conserved ETH across both markets.
-        let live = mm.world.chain.state().total_supply();
-        let burned = mm.world.chain.burned();
+        let live = mm.world.chain().state().total_supply();
+        let burned = mm.world.chain().burned();
         assert_eq!(live.wrapping_add(&burned), genesis_supply);
     }
 
@@ -818,6 +858,7 @@ mod tests {
         let config = tiny(3);
         let engine = EngineConfig {
             arrivals: Arrivals::Staggered(SimDuration::from_secs(30)),
+            ..EngineConfig::default()
         };
         let (_, report) = MultiMarket::new(vec![config])
             .run(&engine, &[])

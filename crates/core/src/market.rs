@@ -27,9 +27,7 @@ use crate::config::{MarketConfig, PartitionScheme};
 use crate::world::{World, WorldError};
 use ofl_data::dataset::Dataset;
 use ofl_data::{mnist, partition};
-use ofl_eth::abi::{self, Type, Value};
 use ofl_eth::block::Receipt;
-use ofl_eth::contracts::{cid_storage_init_code, CidStorage};
 use ofl_eth::tx::{sign_tx, SignedTx, TxRequest};
 use ofl_eth::wallet::Wallet;
 use ofl_fl::client::TrainedModel;
@@ -42,6 +40,7 @@ use ofl_netsim::service::{Response, Service};
 use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, wei_per_eth, H160, H256};
+use ofl_rpc::{BindingError, ModelMarketContract, ProviderMetrics};
 use ofl_tensor::nn::Mlp;
 use ofl_tensor::serialize::{decode_model, encode_model};
 use rand::rngs::StdRng;
@@ -147,6 +146,14 @@ pub struct SessionReport {
     pub cids: Vec<String>,
     /// Total virtual seconds the session took.
     pub total_sim_seconds: f64,
+    /// The **world's cumulative** provider metering, snapshotted when this
+    /// session completed: per-method call counts, errors, round trips, and
+    /// virtual-time totals. In a [`MultiMarket`](crate::engine::MultiMarket)
+    /// world the provider is shared, so this includes sibling markets'
+    /// traffic up to that instant — compare snapshots or use
+    /// [`EngineReport::rpc`](crate::engine::EngineReport) for run-level
+    /// totals; do not sum across sessions.
+    pub rpc: ProviderMetrics,
 }
 
 impl SessionReport {
@@ -182,6 +189,9 @@ impl SessionReport {
 pub enum MarketError {
     /// Substrate failure.
     World(WorldError),
+    /// A typed contract-binding failure (revert, corrupt returndata, or
+    /// provider error underneath it).
+    Binding(BindingError),
     /// A step was invoked out of order.
     StepOrder(&'static str),
     /// Aggregation failure.
@@ -198,6 +208,12 @@ impl From<WorldError> for MarketError {
     }
 }
 
+impl From<BindingError> for MarketError {
+    fn from(e: BindingError) -> Self {
+        MarketError::Binding(e)
+    }
+}
+
 impl From<pfnm::PfnmError> for MarketError {
     fn from(e: pfnm::PfnmError) -> Self {
         MarketError::Pfnm(e)
@@ -208,6 +224,7 @@ impl core::fmt::Display for MarketError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             MarketError::World(e) => write!(f, "world: {e}"),
+            MarketError::Binding(e) => write!(f, "contract binding: {e}"),
             MarketError::StepOrder(what) => write!(f, "workflow step out of order: {what}"),
             MarketError::Pfnm(e) => write!(f, "aggregation: {e}"),
             MarketError::TxFailed(label) => write!(f, "transaction failed on-chain: {label}"),
@@ -407,8 +424,8 @@ pub struct MarketSession {
     pub owners: Vec<OwnerState>,
     /// The model buyer.
     pub buyer: BuyerState,
-    /// Deployed contract handle (after step 1).
-    pub contract: Option<CidStorage>,
+    /// Typed binding for the deployed contract (after step 1).
+    pub contract: Option<ModelMarketContract>,
     /// Deployment receipt.
     pub deploy_receipt: Option<Receipt>,
     /// Per-owner timing.
@@ -455,10 +472,9 @@ impl MarketSession {
         }
         let bytes = self.owners[i].model_bytes.clone();
         let node = self.owners[i].ipfs_node;
-        let added = world.swarm.node_mut(node).add(&bytes);
-        let duration = world.ipfs_transfer_time(added.bytes_stored, 1);
-        self.owners[i].cid = Some(added.root.clone());
-        Ok((added.root, duration))
+        let billed = world.ipfs_add(node, &bytes);
+        self.owners[i].cid = Some(billed.value.root.clone());
+        Ok((billed.value.root, billed.cost))
     }
 
     /// Calldata for owner `i`'s `uploadCid` call — the event engine needs
@@ -471,7 +487,9 @@ impl MarketSession {
             .cid
             .as_ref()
             .ok_or(MarketError::StepOrder("upload before sending CID"))?;
-        Ok(CidStorage::upload_cid_calldata(&cid.to_string_form()))
+        Ok(ModelMarketContract::upload_cid_calldata(
+            &cid.to_string_form(),
+        ))
     }
 
     /// **Step 4 (submit half)** — broadcasts owner `i`'s CID transaction
@@ -506,52 +524,37 @@ impl MarketSession {
     // ------------------------------------------------------------------
 
     /// **Step 1 (confirm half)** — records the mined deployment receipt and
-    /// the contract handle. (The submit half is just broadcasting
-    /// [`cid_storage_init_code`] from the buyer's account.)
+    /// the typed contract handle. (The submit half is just broadcasting
+    /// [`ModelMarketContract::init_code`] from the buyer's account.)
     pub fn finish_deploy(&mut self, receipt: &Receipt) -> Result<(), MarketError> {
         if !receipt.is_success() {
             return Err(MarketError::TxFailed("deploy".into()));
         }
-        self.contract = Some(CidStorage::at(
-            receipt.contract_address.expect("create tx has address"),
-        ));
+        self.contract = Some(ModelMarketContract::from_deploy_receipt(receipt)?);
         self.deploy_receipt = Some(receipt.clone());
         Ok(())
     }
 
-    /// **Step 5** — reads every CID from the contract (free `eth_call`s)
-    /// and returns them with the total RPC time of the polling loop.
+    /// **Step 5** — reads every CID from the contract through the typed
+    /// binding (free `eth_call`s, transient provider failures retried) and
+    /// returns them with the total RPC time of the polling loop.
     pub fn download_cids_computed(
         &self,
-        world: &World,
+        world: &mut World,
     ) -> Result<(Vec<String>, SimDuration), MarketError> {
         let contract = self
             .contract
             .ok_or(MarketError::StepOrder("deploy before download"))?;
         let buyer = self.buyer.address;
         let mut duration = SimDuration::ZERO;
-        let count_call = abi::encode_call("cidCount()", &[]);
-        let count_result = world
-            .chain
-            .call(&buyer, &contract.address, count_call.clone());
-        duration = duration
-            .saturating_add(world.read_call_time(count_call.len(), count_result.output.len()));
-        let count = abi::decode(&[Type::Uint], &count_result.output)
-            .ok()
-            .and_then(|v| v[0].as_uint())
-            .and_then(|u| u.to_u64())
-            .unwrap_or(0);
+        let (count, d) = world.eth_retry(|eth| contract.cid_count(eth, &buyer));
+        duration = duration.saturating_add(d);
+        let count = count?;
         let mut cids = Vec::with_capacity(count as usize);
         for index in 0..count {
-            let call = abi::encode_call("getCid(uint256)", &[Value::Uint(U256::from(index))]);
-            let result = world.chain.call(&buyer, &contract.address, call.clone());
-            duration =
-                duration.saturating_add(world.read_call_time(call.len(), result.output.len()));
-            let cid = abi::decode(&[Type::String], &result.output)
-                .ok()
-                .and_then(|v| v[0].as_string().map(str::to_string))
-                .unwrap_or_default();
-            cids.push(cid);
+            let (cid, d) = world.eth_retry(|eth| contract.get_cid(eth, &buyer, index));
+            duration = duration.saturating_add(d);
+            cids.push(cid?);
         }
         Ok((cids, duration))
     }
@@ -568,12 +571,9 @@ impl MarketSession {
         let mut duration = SimDuration::ZERO;
         for cid_str in cids {
             let cid = Cid::parse(cid_str).map_err(|_| MarketError::ModelDecode)?;
-            let (bytes, stats) = world
-                .swarm
-                .fetch(self.buyer.ipfs_node, &cid)
-                .map_err(WorldError::Ipfs)?;
-            duration = duration
-                .saturating_add(world.ipfs_transfer_time(stats.bytes_fetched, stats.rounds));
+            let billed = world.ipfs_cat(self.buyer.ipfs_node, &cid);
+            duration = duration.saturating_add(billed.cost);
+            let (bytes, _stats) = billed.value.map_err(WorldError::Ipfs)?;
             let model = decode_model(&bytes).map_err(|_| MarketError::ModelDecode)?;
             // Attribute the model back to its owner by CID (for the data
             // weight and, later, the payment address).
@@ -729,6 +729,7 @@ impl MarketSession {
         loo: &LooPayments,
         payments: Vec<PaymentRow>,
         total_sim_seconds: f64,
+        rpc: ProviderMetrics,
     ) -> SessionReport {
         let test = &self.buyer.test;
         let local_accuracies: Vec<f64> = self
@@ -781,6 +782,7 @@ impl MarketSession {
                 .filter_map(|o| o.cid.as_ref().map(Cid::to_string_form))
                 .collect(),
             total_sim_seconds,
+            rpc,
         }
     }
 }
@@ -810,15 +812,18 @@ impl std::ops::DerefMut for Marketplace {
 }
 
 impl Marketplace {
-    /// Sets up the world: funds wallets, partitions data, spawns IPFS nodes.
+    /// Sets up the world: funds wallets, partitions data, spawns IPFS
+    /// nodes, and builds the provider stack (with fault injection when the
+    /// config asks for it).
     pub fn new(config: MarketConfig) -> Marketplace {
         let blueprint = SessionBlueprint::new(config, "");
-        let mut world = World::new(
+        let mut world = World::with_faults(
             blueprint.config().chain.clone(),
             blueprint.genesis(),
             blueprint.config().profile,
+            blueprint.config().rpc_faults,
         );
-        let session = blueprint.instantiate(&mut world.swarm);
+        let session = blueprint.instantiate(world.swarm_mut());
         Marketplace { world, session }
     }
 
@@ -831,7 +836,7 @@ impl Marketplace {
             &buyer,
             None,
             U256::ZERO,
-            cid_storage_init_code(),
+            ModelMarketContract::init_code(),
         )?;
         self.session.finish_deploy(&receipt)?;
         self.session
@@ -880,7 +885,7 @@ impl Marketplace {
     /// **Step 5** — the buyer downloads every CID from the contract. Free:
     /// only read calls.
     pub fn buyer_download_cids(&mut self) -> Result<Vec<String>, MarketError> {
-        let (cids, duration) = self.session.download_cids_computed(&self.world)?;
+        let (cids, duration) = self.session.download_cids_computed(&mut self.world)?;
         self.world.clock.advance(duration);
         self.session
             .buyer_recorder
@@ -890,34 +895,23 @@ impl Marketplace {
 
     /// Event-driven alternative to Step 5: reads the `CidUploaded` log
     /// stream (what a production DApp subscribes to) instead of polling
-    /// `cidCount`/`getCid`. Free, like all reads.
+    /// `cidCount`/`getCid`. Free, like all reads; the typed binding's
+    /// range query scans genesis through the current head in one
+    /// `eth_getLogs` round trip.
     pub fn buyer_watch_upload_events(&mut self) -> Result<Vec<String>, MarketError> {
-        use ofl_eth::chain::LogFilter;
         let contract = self
             .session
             .contract
             .ok_or(MarketError::StepOrder("deploy before watching events"))?;
-        let start = self.world.clock.now();
-        // One RPC round trip for the whole filter query.
-        self.world.clock.advance(self.world.tx_submit_time(0));
-        let logs = self.world.chain.get_logs(
-            &LogFilter::all()
-                .at_address(contract.address)
-                .with_topic(CidStorage::uploaded_topic()),
-        );
-        let cids = logs
-            .iter()
-            .filter_map(|entry| {
-                abi::decode(&[Type::String], &entry.log.data)
-                    .ok()
-                    .and_then(|v| v[0].as_string().map(str::to_string))
-            })
-            .collect();
-        self.session.buyer_recorder.add(
-            buyer_phase::DOWNLOAD_CIDS,
-            self.world.clock.now().since(start),
-        );
-        Ok(cids)
+        let head = self.world.chain().height();
+        let (cids, duration) = self
+            .world
+            .eth_retry(|eth| contract.uploaded_cids_in(eth, 1, head));
+        self.world.clock.advance(duration);
+        self.session
+            .buyer_recorder
+            .add(buyer_phase::DOWNLOAD_CIDS, duration);
+        Ok(cids?)
     }
 
     /// **Step 6** — the buyer retrieves every model from IPFS and verifies
@@ -952,23 +946,25 @@ impl Marketplace {
         // Payment transactions: consecutive nonces so they share a block.
         let txs = self
             .session
-            .build_payment_txs(&self.world.chain, &agg, &loo);
+            .build_payment_txs(self.world.chain(), &agg, &loo);
         let mut hashes = Vec::new();
         let mut paid: Vec<(H160, U256)> = Vec::new();
         for (address, amount, tx) in txs {
-            self.world.clock.advance(self.world.tx_submit_time(0));
-            let hash = self
-                .world
-                .chain
-                .submit(tx)
-                .map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
+            let (result, cost) = self.world.broadcast_raw(&tx.encode());
+            self.world.clock.advance(cost);
+            let hash = result.map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
             hashes.push(hash);
             paid.push((address, amount));
         }
         self.world.mine_until(&hashes)?;
         let mut payments = Vec::with_capacity(hashes.len());
         for ((address, amount), hash) in paid.iter().zip(&hashes) {
-            let receipt = self.world.chain.receipt(hash).expect("mined above").clone();
+            let receipt = self
+                .world
+                .chain()
+                .receipt(hash)
+                .expect("mined above")
+                .clone();
             payments.push(PaymentRow {
                 address: *address,
                 amount_wei: *amount,
@@ -980,9 +976,13 @@ impl Marketplace {
             self.world.clock.now().since(pay_start),
         );
 
-        Ok(self
-            .session
-            .assemble_report(&agg, &loo, payments, self.world.clock.elapsed_secs()))
+        Ok(self.session.assemble_report(
+            &agg,
+            &loo,
+            payments,
+            self.world.clock.elapsed_secs(),
+            self.world.rpc_metrics(),
+        ))
     }
 
     /// Runs the complete seven-step workflow.
@@ -1079,7 +1079,7 @@ mod tests {
         let (market, report) = run_small();
         let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
         for (owner, payment) in market.owners.iter().zip(&report.payments) {
-            let balance = market.world.chain.balance(&owner.address);
+            let balance = market.world.chain().balance(&owner.address);
             // genesis 0.1 ETH − uploadCid fee + payment
             let fee = owner.upload_receipt.as_ref().unwrap().fee;
             let expect = tenth.wrapping_sub(&fee).wrapping_add(&payment.amount_wei);

@@ -36,6 +36,7 @@ use ofl_ipfs::cid::Cid;
 use ofl_netsim::clock::SimDuration;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
+use ofl_rpc::FaultProfile;
 
 /// Which owners misbehave (indices into the owner list) and how.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -132,6 +133,14 @@ impl Scenario {
         self
     }
 
+    /// Runs the session against a seeded flaky RPC provider — the
+    /// infrastructure-fault regime (timeouts and retries instead of
+    /// misbehaving participants).
+    pub fn with_rpc_faults(mut self, faults: FaultProfile) -> Scenario {
+        self.config.rpc_faults = Some(faults);
+        self
+    }
+
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Scenario {
         self.mode = mode;
@@ -164,7 +173,7 @@ impl Scenario {
         // Nothing is burned yet, so this *is* the genesis allocation —
         // captured here so the conservation check below tracks whatever
         // funding policy `Marketplace::new` uses.
-        let genesis_supply = market.world.chain.state().total_supply();
+        let genesis_supply = market.world.chain().state().total_supply();
         market.deploy_contract()?;
 
         let mut reverted_tx_count = 0usize;
@@ -209,7 +218,7 @@ impl Scenario {
         for &i in &self.failures.drop_ipfs_blocks {
             if let Some(cid) = market.owners[i].cid.clone() {
                 let node_index = market.owners[i].ipfs_node;
-                let node = market.world.swarm.node_mut(node_index);
+                let node = market.world.swarm_mut().node_mut(node_index);
                 node.store_mut().unpin(&cid);
                 node.store_mut().gc();
             }
@@ -229,7 +238,7 @@ impl Scenario {
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(&market.world.swarm, &c))
+                    .map(|c| swarm_has(market.world.swarm(), &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -238,10 +247,11 @@ impl Scenario {
         let report = market.buyer_aggregate_and_pay()?;
 
         // ETH conservation: genesis supply == live balances + EIP-1559 burn.
-        let live = market.world.chain.state().total_supply();
-        let burned = market.world.chain.burned();
+        let live = market.world.chain().state().total_supply();
+        let burned = market.world.chain().burned();
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
+        let rpc = market.world.rpc_metrics();
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             seed: self.config.seed,
@@ -267,6 +277,9 @@ impl Scenario {
             cids_onchain,
             cids_retrieved,
             total_sim_seconds: report.total_sim_seconds,
+            rpc_round_trips: rpc.round_trips,
+            rpc_timeouts: rpc.total_errors(),
+            rpc_cost_micros: rpc.total_cost().as_micros(),
         })
     }
 
@@ -284,9 +297,15 @@ impl Scenario {
         } else {
             MultiMarket::replicated(&self.config, markets)
         };
-        let genesis_supply = mm.world.chain.state().total_supply();
+        let genesis_supply = mm.world.chain().state().total_supply();
         let failures: Vec<FailurePlan> = (0..markets).map(|_| self.failures.clone()).collect();
-        let (mm, engine_report) = mm.run(&EngineConfig { arrivals }, &failures)?;
+        let (mm, engine_report) = mm.run(
+            &EngineConfig {
+                arrivals,
+                ..EngineConfig::default()
+            },
+            &failures,
+        )?;
 
         let per_market_expected = (0..self.config.n_owners)
             .filter(|&i| !self.failures.is_offchain(i))
@@ -300,8 +319,8 @@ impl Scenario {
             );
         }
 
-        let live = mm.world.chain.state().total_supply();
-        let burned = mm.world.chain.burned();
+        let live = mm.world.chain().state().total_supply();
+        let burned = mm.world.chain().burned();
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
         let mut local_accuracies = Vec::new();
@@ -341,6 +360,7 @@ impl Scenario {
             reverted_tx_count += detail.reverted_tx_count;
         }
         let n_sessions = engine_report.sessions.len().max(1);
+        let rpc = &engine_report.rpc;
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             seed: self.config.seed,
@@ -358,6 +378,9 @@ impl Scenario {
             cids_onchain,
             cids_retrieved,
             total_sim_seconds: engine_report.total_sim_seconds,
+            rpc_round_trips: rpc.round_trips,
+            rpc_timeouts: rpc.total_errors(),
+            rpc_cost_micros: rpc.total_cost().as_micros(),
         })
     }
 }
@@ -397,6 +420,12 @@ pub struct ScenarioOutcome {
     pub cids_retrieved: Vec<String>,
     /// Virtual seconds the whole session took.
     pub total_sim_seconds: f64,
+    /// Provider round trips the session's traffic cost (metered).
+    pub rpc_round_trips: u64,
+    /// Provider requests that timed out (non-zero under a flaky provider).
+    pub rpc_timeouts: u64,
+    /// Total virtual microseconds priced onto provider traffic.
+    pub rpc_cost_micros: u64,
 }
 
 impl ScenarioOutcome {
@@ -443,6 +472,9 @@ impl ScenarioOutcome {
             eat(cid.as_bytes());
         }
         eat(&self.total_sim_seconds.to_le_bytes());
+        eat(&self.rpc_round_trips.to_le_bytes());
+        eat(&self.rpc_timeouts.to_le_bytes());
+        eat(&self.rpc_cost_micros.to_le_bytes());
         h
     }
 
@@ -559,6 +591,13 @@ impl ScenarioSuite {
                     freeload: vec![2],
                     ..FailurePlan::clean()
                 }),
+            )
+            .push(
+                // The infrastructure is what misbehaves here: a seeded
+                // flaky RPC endpoint drops ~15% of requests, the world
+                // retries, and the session completes late but intact.
+                Scenario::small("flaky-provider", PartitionScheme::Iid, seed.wrapping_add(5))
+                    .with_rpc_faults(FaultProfile::new(seed ^ 0xF1A5, 0.15)),
             )
     }
 
@@ -744,7 +783,16 @@ mod tests {
         assert!(partitions.scenarios.iter().all(|s| s.failures.is_clean()));
         let failures = ScenarioSuite::failure_sweep(1);
         assert!(failures.scenarios.len() >= 2);
-        assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()));
+        // Every regime injects *something*: misbehaving participants or a
+        // faulty provider.
+        assert!(failures
+            .scenarios
+            .iter()
+            .all(|s| !s.failures.is_clean() || s.config.rpc_faults.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_faults.is_some()));
         let concurrency = ScenarioSuite::concurrency_sweep(1);
         assert!(concurrency.scenarios.len() >= 3);
         assert!(concurrency
@@ -756,6 +804,31 @@ mod tests {
             full.scenarios.len(),
             partitions.scenarios.len() + failures.scenarios.len() + concurrency.scenarios.len()
         );
+    }
+
+    #[test]
+    fn flaky_provider_is_deterministic_and_costs_time() {
+        let clean = quick(PartitionScheme::Iid, 14).run().expect("clean runs");
+        let flaky = || {
+            quick(PartitionScheme::Iid, 14)
+                .with_rpc_faults(FaultProfile::new(0xF1A5, 0.2))
+                .run()
+                .expect("flaky session completes via retries")
+        };
+        let a = flaky();
+        let b = flaky();
+        // Bit-identical under equal fault seeds, including the rpc counters.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Faults were actually injected, retried, and survived.
+        assert!(a.rpc_timeouts > 0, "20% drops must surface");
+        assert_eq!(a.n_models_aggregated, a.n_owners);
+        assert!(a.eth_conserved && a.budget_exhausted());
+        // Timeouts and retries cost extra round trips and virtual time.
+        assert!(a.rpc_round_trips > clean.rpc_round_trips);
+        assert!(a.total_sim_seconds > clean.total_sim_seconds);
+        // Same marketplace outcome, worse infrastructure: identical CIDs.
+        assert_eq!(a.cids_onchain, clean.cids_onchain);
     }
 
     #[test]

@@ -1,5 +1,19 @@
-//! The simulated Web 3.0 world: one blockchain, one IPFS swarm, one virtual
-//! clock, and the network profile connecting participants to both.
+//! The simulated Web 3.0 world: one virtual clock, one network profile,
+//! and a **provider stack** fronting the blockchain and the IPFS swarm.
+//!
+//! Since the node-API redesign, core never touches `Chain`/`Swarm` structs
+//! for client traffic: every contract call, transaction broadcast, receipt
+//! poll, log query, and IPFS transfer goes through the
+//! [`EthApi`](ofl_rpc::EthApi)/[`IpfsApi`](ofl_rpc::IpfsApi) traits of an
+//! [`ofl_rpc::NodeProvider`] — by default `Metered(Latency(Sim))`, with a
+//! seeded [`FlakyProvider`](ofl_rpc::FlakyProvider) spliced in when
+//! [`FaultProfile`] faults are configured. Decorators *price* virtual time
+//! into each response; the world (or the event engine, onto per-owner
+//! timelines) charges the bill.
+//!
+//! Backstage simulation work — mining slots, conservation checks, failure
+//! injection — reaches the backend through [`World::chain`] /
+//! [`World::swarm_mut`]: those are the simulator's hands, not the client's.
 //!
 //! Block production is clock-driven: transactions wait in the mempool until
 //! the next 12-second slot boundary, which is where the paper's Fig 7
@@ -16,19 +30,27 @@
 //!   into *shared* blocks at slot boundaries.
 
 use ofl_eth::block::{Block, Receipt};
-use ofl_eth::chain::{Chain, ChainConfig};
+use ofl_eth::chain::{CallResult, Chain, ChainConfig};
 use ofl_eth::wallet::{Wallet, WalletError};
-use ofl_ipfs::swarm::Swarm;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::{AddResult, FetchStats, Swarm};
 use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
 use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
+use ofl_rpc::{
+    build_provider, Billed, FaultProfile, NodeProvider, ProviderMetrics, Retryable, RpcError,
+    RpcMethod, RpcRequest, RpcResult,
+};
 
 /// Errors surfaced by world operations.
 #[derive(Debug)]
 pub enum WorldError {
-    /// Wallet/chain rejection.
+    /// Wallet/signing rejection.
     Wallet(WalletError),
+    /// The provider gave up on a request (rejection, or retries exhausted
+    /// against a flaky endpoint).
+    Rpc(RpcError),
     /// A transaction was dropped from the mempool without a receipt.
     TxDropped(H256),
     /// A confirmation wait exhausted [`ChainConfig::max_wait_slots`].
@@ -58,6 +80,7 @@ impl core::fmt::Display for WorldError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             WorldError::Wallet(e) => write!(f, "wallet: {e}"),
+            WorldError::Rpc(e) => write!(f, "rpc: {e}"),
             WorldError::TxDropped(h) => write!(f, "transaction {h} dropped without receipt"),
             WorldError::ConfirmationTimeout {
                 slots_mined,
@@ -83,29 +106,109 @@ impl std::error::Error for WorldError {}
 pub struct World {
     /// Virtual time.
     pub clock: SimClock,
-    /// The Sepolia-like chain.
-    pub chain: Chain,
-    /// The IPFS swarm.
-    pub swarm: Swarm,
+    /// The provider stack fronting chain + swarm.
+    provider: Box<dyn NodeProvider>,
     /// Link models.
     pub profile: NetworkProfile,
-    /// Approximate wire size of a signed transaction (for RPC timing).
+    /// Approximate wire size of a request envelope (for RPC timing).
     pub tx_wire_bytes: u64,
+    /// How many times a transient (timed-out) request is retried before the
+    /// world gives up with [`WorldError::Rpc`].
+    pub max_rpc_retries: u32,
+    /// Whether receipt polls for many hashes ride one batched round trip
+    /// (the default) or one request each — the knob the engine bench sweeps.
+    pub batch_receipt_polls: bool,
 }
 
 impl World {
-    /// Builds a world with genesis balances.
+    /// Builds a world with genesis balances and a clean provider.
     pub fn new(
         chain_config: ChainConfig,
         genesis: &[(H160, U256)],
         profile: NetworkProfile,
     ) -> World {
+        World::with_faults(chain_config, genesis, profile, None)
+    }
+
+    /// Builds a world whose provider stack injects the given RPC faults
+    /// (`None` = reliable endpoint).
+    pub fn with_faults(
+        chain_config: ChainConfig,
+        genesis: &[(H160, U256)],
+        profile: NetworkProfile,
+        faults: Option<FaultProfile>,
+    ) -> World {
+        let tx_wire_bytes = 250;
+        let provider = build_provider(
+            Chain::new(chain_config, genesis),
+            Swarm::new(),
+            profile,
+            tx_wire_bytes,
+            faults,
+        );
         World {
             clock: SimClock::new(),
-            chain: Chain::new(chain_config, genesis),
-            swarm: Swarm::new(),
+            provider,
             profile,
-            tx_wire_bytes: 250,
+            tx_wire_bytes,
+            max_rpc_retries: 6,
+            batch_receipt_polls: true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Provider access.
+    // ------------------------------------------------------------------
+
+    /// The provider stack — what typed contract bindings dispatch through.
+    pub fn eth(&mut self) -> &mut dyn NodeProvider {
+        &mut *self.provider
+    }
+
+    /// Backstage chain access (mining, invariants) — not client traffic.
+    pub fn chain(&self) -> &Chain {
+        self.provider.chain()
+    }
+
+    /// Mutable backstage chain access (slot production, faucets).
+    pub fn chain_mut(&mut self) -> &mut Chain {
+        self.provider.chain_mut()
+    }
+
+    /// Backstage swarm access (availability checks).
+    pub fn swarm(&self) -> &Swarm {
+        self.provider.swarm()
+    }
+
+    /// Mutable backstage swarm access (node spawning, failure injection).
+    pub fn swarm_mut(&mut self) -> &mut Swarm {
+        self.provider.swarm_mut()
+    }
+
+    /// Per-method call counts and virtual-time totals the metering
+    /// decorator has observed so far.
+    pub fn rpc_metrics(&self) -> ProviderMetrics {
+        self.provider.metrics().unwrap_or_default()
+    }
+
+    /// Runs one provider operation with transient-failure retries, summing
+    /// every attempt's cost. The caller charges the returned duration to
+    /// its clock or timeline.
+    pub fn eth_retry<T, E: Retryable>(
+        &mut self,
+        mut op: impl FnMut(&mut dyn NodeProvider) -> Billed<Result<T, E>>,
+    ) -> (Result<T, E>, SimDuration) {
+        let mut total = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            let Billed { value, cost } = op(&mut *self.provider);
+            total = total.saturating_add(cost);
+            match value {
+                Err(e) if e.is_transient() && attempt < self.max_rpc_retries => {
+                    attempt += 1;
+                }
+                other => return (other, total),
+            }
         }
     }
 
@@ -122,29 +225,10 @@ impl World {
             .transfer_time(self.tx_wire_bytes + data_len as u64)
     }
 
-    /// RPC time for one receipt poll.
-    pub fn receipt_poll_time(&self) -> SimDuration {
-        self.profile.rpc.transfer_time(self.tx_wire_bytes)
-    }
-
-    /// RPC time for an `eth_call` round trip: request with `data_len` bytes
-    /// of calldata, response of `output_len` bytes.
-    pub fn read_call_time(&self, data_len: usize, output_len: usize) -> SimDuration {
-        self.profile
-            .rpc
-            .transfer_time(self.tx_wire_bytes + data_len as u64)
-            .saturating_add(self.profile.rpc.transfer_time(output_len as u64 + 64))
-    }
-
-    /// LAN time for an IPFS exchange of `bytes` over `rounds` round trips.
-    pub fn ipfs_transfer_time(&self, bytes: u64, rounds: usize) -> SimDuration {
-        self.profile.lan.exchange_time(bytes, rounds.max(1))
-    }
-
     /// The first slot boundary (in whole seconds) strictly after instant
     /// `at` — when a transaction in the mempool at `at` can first be mined.
     pub fn next_slot_secs(&self, at: SimInstant) -> u64 {
-        let block_time = self.chain.config().block_time;
+        let block_time = self.chain().config().block_time;
         (at.0 / 1_000_000 / block_time + 1) * block_time
     }
 
@@ -152,9 +236,12 @@ impl World {
     // Non-blocking substrate steps (event-driven path).
     // ------------------------------------------------------------------
 
-    /// Signs and broadcasts a transaction into the mempool — the
-    /// non-blocking half of [`World::send_and_confirm`]. No virtual time is
-    /// charged and no block is mined; the caller decides when slots happen.
+    /// Signs a transaction and broadcasts it through the provider
+    /// (`eth_sendRawTransaction`) — the non-blocking half of
+    /// [`World::send_and_confirm`]. A first-attempt success charges no
+    /// virtual time (the caller schedules the broadcast cost); transient
+    /// provider timeouts are retried, and *those* wasted round trips are
+    /// charged to the global clock before the resend.
     pub fn submit_tx(
         &mut self,
         wallet: &Wallet,
@@ -163,14 +250,78 @@ impl World {
         value: U256,
         data: Vec<u8>,
     ) -> Result<H256, WorldError> {
-        Ok(wallet.send(&mut self.chain, from, to, value, data)?)
+        let raw = wallet.sign_raw(self.provider.chain(), from, to, value, data)?;
+        let mut attempt = 0u32;
+        loop {
+            let Billed { value, cost } = self.provider.send_raw_transaction(&raw);
+            match value {
+                // The successful broadcast itself is never charged here —
+                // the caller prices it (serial: `tx_submit_time`; engine:
+                // the owner's timeline); only wasted attempts cost extra.
+                Ok(hash) => return Ok(hash),
+                Err(e) if e.is_transient() && attempt < self.max_rpc_retries => {
+                    self.clock.advance(cost);
+                    attempt += 1;
+                }
+                Err(e) => return Err(WorldError::Rpc(e)),
+            }
+        }
+    }
+
+    /// Broadcasts an already-signed raw transaction through the provider
+    /// (`eth_sendRawTransaction`), retrying transient failures. Returns the
+    /// outcome and the summed cost of every attempt — the caller charges it.
+    pub fn broadcast_raw(&mut self, raw: &[u8]) -> (Result<H256, RpcError>, SimDuration) {
+        let owned = raw.to_vec();
+        self.eth_retry(|eth| eth.send_raw_transaction(&owned))
+    }
+
+    /// Polls receipts for `hashes` — one batched round trip when
+    /// [`World::batch_receipt_polls`] is set (N polls, one wire exchange),
+    /// else one request per hash. Timed-out entries come back `None`, to be
+    /// re-polled after the next slot. The caller charges the cost.
+    pub fn poll_receipts(&mut self, hashes: &[H256]) -> Billed<Vec<Option<Receipt>>> {
+        if hashes.is_empty() {
+            return Billed::free(Vec::new());
+        }
+        if self.batch_receipt_polls {
+            let requests: Vec<RpcRequest> = hashes
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    RpcRequest::new(i as u64, RpcMethod::GetTransactionReceipt { hash: *h })
+                })
+                .collect();
+            let responses = self.provider.batch(&requests);
+            let cost = responses
+                .iter()
+                .fold(SimDuration::ZERO, |acc, r| acc.saturating_add(r.cost));
+            let value = responses
+                .into_iter()
+                .map(|r| match r.result {
+                    Ok(RpcResult::Receipt(receipt)) => receipt,
+                    _ => None,
+                })
+                .collect();
+            Billed { value, cost }
+        } else {
+            let mut cost = SimDuration::ZERO;
+            let mut value = Vec::with_capacity(hashes.len());
+            for hash in hashes {
+                let billed = self.provider.get_transaction_receipt(*hash);
+                cost = cost.saturating_add(billed.cost);
+                value.push(billed.value.ok().flatten());
+            }
+            Billed { value, cost }
+        }
     }
 
     /// Advances the clock to the slot boundary at `slot_secs` and mines the
-    /// block for that slot.
+    /// block for that slot (backstage: the network produces blocks whether
+    /// or not any client is watching).
     pub fn mine_slot(&mut self, slot_secs: u64) -> Block {
         self.clock.advance_to(SimInstant(slot_secs * 1_000_000));
-        self.chain.mine_block(slot_secs)
+        self.provider.chain_mut().mine_block(slot_secs)
     }
 
     // ------------------------------------------------------------------
@@ -182,12 +333,13 @@ impl World {
     /// [`World::send_and_confirm`].
     pub fn await_receipt(&mut self, hash: H256) -> Result<Receipt, WorldError> {
         self.mine_until(&[hash])?;
-        self.clock.advance(self.receipt_poll_time());
-        Ok(self
-            .chain
-            .receipt(&hash)
-            .expect("mine_until guarantees receipt")
-            .clone())
+        let (result, cost) = self.eth_retry(|eth| eth.get_transaction_receipt(hash));
+        self.clock.advance(cost);
+        match result {
+            Ok(Some(receipt)) => Ok(receipt),
+            Ok(None) => Err(WorldError::TxDropped(hash)),
+            Err(e) => Err(WorldError::Rpc(e)),
+        }
     }
 
     /// Submits a transaction via a wallet and blocks (in virtual time) until
@@ -208,29 +360,40 @@ impl World {
 
     /// Advances slot by slot until every hash has a receipt, giving up with
     /// a typed [`WorldError::ConfirmationTimeout`] after
-    /// [`ChainConfig::max_wait_slots`] slots.
+    /// [`ChainConfig::max_wait_slots`] slots. Each wait polls the provider
+    /// once per slot (batched when several hashes are pending).
     pub fn mine_until(&mut self, hashes: &[H256]) -> Result<(), WorldError> {
-        let max_wait_slots = self.chain.config().max_wait_slots;
+        let max_wait_slots = self.chain().config().max_wait_slots;
         let mut slots_mined = 0u64;
-        for _ in 0..max_wait_slots {
-            if hashes.iter().all(|h| self.chain.receipt(h).is_some()) {
+        loop {
+            let Billed {
+                value: receipts,
+                cost,
+            } = self.poll_receipts(hashes);
+            self.clock.advance(cost);
+            if receipts.iter().all(Option::is_some) {
                 return Ok(());
+            }
+            if slots_mined >= max_wait_slots {
+                break;
             }
             let slot = self.next_slot_secs(self.clock.now());
             self.mine_slot(slot);
             slots_mined += 1;
         }
-        if hashes.iter().all(|h| self.chain.receipt(h).is_some()) {
-            return Ok(());
-        }
+        // A final backstage check: flaky polls can miss receipts that are
+        // actually there.
         let pending: Vec<H256> = hashes
             .iter()
-            .filter(|h| self.chain.receipt(h).is_none())
+            .filter(|h| self.chain().receipt(h).is_none())
             .cloned()
             .collect();
+        if pending.is_empty() {
+            return Ok(());
+        }
         // Distinguish "still queued" from "silently evicted": a vanished
         // transaction will never confirm no matter how long we wait.
-        if let Some(dropped) = pending.iter().find(|h| !self.chain.is_pending(h)) {
+        if let Some(dropped) = pending.iter().find(|h| !self.chain().is_pending(h)) {
             return Err(WorldError::TxDropped(*dropped));
         }
         Err(WorldError::ConfirmationTimeout {
@@ -239,25 +402,37 @@ impl World {
         })
     }
 
-    /// A free read (`eth_call`-style) with RPC latency charged.
+    /// A free read (`eth_call`-style) through the provider, with the priced
+    /// RPC cost charged to the global clock and transient failures retried.
     pub fn read_call(
         &mut self,
         from: &H160,
         to: &H160,
         data: Vec<u8>,
-    ) -> ofl_eth::chain::CallResult {
-        let data_len = data.len();
-        let result = self.chain.call(from, to, data);
-        self.clock
-            .advance(self.read_call_time(data_len, result.output.len()));
-        result
+    ) -> Result<CallResult, WorldError> {
+        let (result, cost) = self.eth_retry(|eth| eth.call(from, to, data.clone()));
+        self.clock.advance(cost);
+        result.map_err(WorldError::Rpc)
     }
 
-    /// Charges IPFS transfer time for `bytes` moved in `rounds` exchanges
-    /// over the LAN.
-    pub fn charge_ipfs_transfer(&mut self, bytes: u64, rounds: usize) {
-        let t = self.ipfs_transfer_time(bytes, rounds);
-        self.clock.advance(t);
+    // ------------------------------------------------------------------
+    // IPFS traffic (also provider-priced; the caller charges the bill).
+    // ------------------------------------------------------------------
+
+    /// `ipfs add` on `node`: stores + pins, returns the root CID and the
+    /// priced LAN transfer time.
+    pub fn ipfs_add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.provider.add(node, data)
+    }
+
+    /// `ipfs cat` on `node`: bitswaps the DAG under `cid` and returns the
+    /// bytes, transfer stats, and priced LAN time.
+    pub fn ipfs_cat(
+        &mut self,
+        node: usize,
+        cid: &Cid,
+    ) -> Billed<Result<(Vec<u8>, FetchStats), ofl_ipfs::swarm::IpfsError>> {
+        self.provider.cat(node, cid)
     }
 }
 
@@ -284,7 +459,7 @@ mod tests {
         // Must have waited at least until the first 12 s slot.
         assert!(world.clock.elapsed_secs() >= 12.0);
         assert!(world.clock.elapsed_secs() < 25.0);
-        assert_eq!(world.chain.height(), 1);
+        assert_eq!(world.chain().height(), 1);
     }
 
     #[test]
@@ -318,12 +493,12 @@ mod tests {
             .submit_tx(&wallet, &addrs[1], Some(addrs[0]), U256::ONE, vec![])
             .unwrap();
         assert_eq!(world.clock.elapsed_secs(), 0.0, "submission never blocks");
-        assert_eq!(world.chain.mempool_len(), 2);
+        assert_eq!(world.chain().mempool_len(), 2);
         let slot = world.next_slot_secs(world.clock.now());
         let block = world.mine_slot(slot);
         assert_eq!(block.tx_hashes.len(), 2);
-        assert!(world.chain.receipt(&h1).is_some());
-        assert!(world.chain.receipt(&h2).is_some());
+        assert!(world.chain().receipt(&h1).is_some());
+        assert!(world.chain().receipt(&h2).is_some());
     }
 
     #[test]
@@ -338,7 +513,7 @@ mod tests {
         // A future-nonce transaction can never be mined on its own.
         let key = wallet.account(&a).unwrap().private_key;
         let req = TxRequest {
-            chain_id: world.chain.config().chain_id,
+            chain_id: world.chain().config().chain_id,
             nonce: 5,
             max_priority_fee_per_gas: U256::from(1_500_000_000u64),
             max_fee_per_gas: U256::from(40_000_000_000u64),
@@ -347,7 +522,10 @@ mod tests {
             value: U256::ONE,
             data: Vec::new(),
         };
-        let hash = world.chain.submit(sign_tx(req, &key).unwrap()).unwrap();
+        let hash = world
+            .chain_mut()
+            .submit(sign_tx(req, &key).unwrap())
+            .unwrap();
         match world.mine_until(&[hash]) {
             Err(WorldError::ConfirmationTimeout {
                 slots_mined,
@@ -358,7 +536,7 @@ mod tests {
             }
             other => panic!("expected ConfirmationTimeout, got {other:?}"),
         }
-        assert_eq!(world.chain.height(), 3);
+        assert_eq!(world.chain().height(), 3);
     }
 
     #[test]
@@ -384,10 +562,79 @@ mod tests {
             &[(a, wei_per_eth())],
             NetworkProfile::campus(),
         );
-        let before_balance = world.chain.balance(&a);
+        let before_balance = world.chain().balance(&a);
         let before_time = world.clock.elapsed_secs();
-        world.read_call(&a, &H160::from_slice(&[7; 20]), vec![]);
-        assert_eq!(world.chain.balance(&a), before_balance);
+        world
+            .read_call(&a, &H160::from_slice(&[7; 20]), vec![])
+            .unwrap();
+        assert_eq!(world.chain().balance(&a), before_balance);
         assert!(world.clock.elapsed_secs() > before_time);
+    }
+
+    #[test]
+    fn flaky_world_retries_and_charges_the_wasted_round_trips() {
+        // A 60% drop rate forces visible retries; the session must still
+        // complete, just later in virtual time than the clean run.
+        let run = |faults: Option<FaultProfile>| {
+            let wallet = Wallet::from_seed("world-flaky", 2);
+            let addrs = wallet.addresses();
+            let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+            let mut world = World::with_faults(
+                ChainConfig::default(),
+                &genesis,
+                NetworkProfile::campus(),
+                faults,
+            );
+            world
+                .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+                .unwrap();
+            (world.clock.elapsed_secs(), world.rpc_metrics())
+        };
+        let (clean_secs, clean_metrics) = run(None);
+        let (flaky_secs, flaky_metrics) = run(Some(FaultProfile::new(9, 0.6)));
+        assert_eq!(clean_metrics.total_errors(), 0);
+        assert!(flaky_metrics.total_errors() > 0, "60% drops must be seen");
+        // Timeouts waste retried round trips and priced virtual time. (The
+        // *elapsed* clock may tie with the clean run when the retries fit
+        // inside the slot wait the sender was paying anyway.)
+        assert!(flaky_metrics.round_trips > clean_metrics.round_trips);
+        assert!(flaky_metrics.total_cost() > clean_metrics.total_cost());
+        assert!(flaky_secs >= clean_secs);
+        // Determinism: the same fault seed reproduces the exact timing.
+        let (again_secs, again_metrics) = run(Some(FaultProfile::new(9, 0.6)));
+        assert_eq!(flaky_secs, again_secs);
+        assert_eq!(flaky_metrics, again_metrics);
+    }
+
+    #[test]
+    fn receipt_polls_batch_into_one_round_trip() {
+        let wallet = Wallet::from_seed("world-batch", 4);
+        let addrs = wallet.addresses();
+        let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
+        let hashes: Vec<H256> = (0..4)
+            .map(|i| {
+                world
+                    .submit_tx(
+                        &wallet,
+                        &addrs[i],
+                        Some(addrs[(i + 1) % 4]),
+                        U256::ONE,
+                        vec![],
+                    )
+                    .unwrap()
+            })
+            .collect();
+        world.mine_slot(12);
+        let before = world.rpc_metrics().round_trips;
+        let batched = world.poll_receipts(&hashes);
+        assert!(batched.value.iter().all(Option::is_some));
+        assert_eq!(world.rpc_metrics().round_trips, before + 1);
+
+        world.batch_receipt_polls = false;
+        let per_call = world.poll_receipts(&hashes);
+        assert_eq!(world.rpc_metrics().round_trips, before + 1 + 4);
+        // The batched bill is far cheaper than four separate round trips.
+        assert!(batched.cost.as_secs_f64() * 2.0 < per_call.cost.as_secs_f64());
     }
 }

@@ -81,6 +81,9 @@ pub enum AbiError {
     InvalidUtf8,
     /// Bool word is neither 0 nor 1.
     InvalidBool,
+    /// Data extends past what the encoding consumes — corrupt returndata
+    /// that a silent decoder would truncate instead of surfacing.
+    TrailingData,
 }
 
 impl core::fmt::Display for AbiError {
@@ -90,6 +93,7 @@ impl core::fmt::Display for AbiError {
             AbiError::BadOffset => "ABI offset/length out of range",
             AbiError::InvalidUtf8 => "ABI string is not UTF-8",
             AbiError::InvalidBool => "ABI bool is not 0 or 1",
+            AbiError::TrailingData => "ABI data has trailing bytes past the encoding",
         };
         f.write_str(msg)
     }
@@ -162,8 +166,14 @@ fn read_word(data: &[u8], at: usize) -> Result<[u8; 32], AbiError> {
     Ok(w)
 }
 
-/// Decodes a tuple of `types` from `data` (no selector).
+/// Decodes a tuple of `types` from `data` (no selector). The encoding must
+/// consume `data` exactly: unconsumed trailing bytes are corrupt returndata
+/// and yield [`AbiError::TrailingData`] rather than being silently dropped.
 pub fn decode(types: &[Type], data: &[u8]) -> Result<Vec<Value>, AbiError> {
+    let head_len = types.len() * 32;
+    // Everything the head consumes, plus the furthest tail byte any dynamic
+    // value reaches (tails are 32-byte aligned, matching `encode`).
+    let mut consumed_end = head_len;
     let mut out = Vec::with_capacity(types.len());
     for (i, ty) in types.iter().enumerate() {
         let word = read_word(data, i * 32)?;
@@ -178,6 +188,8 @@ pub fn decode(types: &[Type], data: &[u8]) -> Result<Vec<Value>, AbiError> {
             let payload = data
                 .get(offset + 32..offset + 32 + len)
                 .ok_or(AbiError::Truncated)?;
+            let padded = len.div_ceil(32) * 32;
+            consumed_end = consumed_end.max(offset + 32 + padded);
             match ty {
                 Type::String => {
                     let s =
@@ -204,6 +216,9 @@ pub fn decode(types: &[Type], data: &[u8]) -> Result<Vec<Value>, AbiError> {
                 _ => unreachable!(),
             }
         }
+    }
+    if data.len() > consumed_end {
+        return Err(AbiError::TrailingData);
     }
     Ok(out)
 }
@@ -295,6 +310,28 @@ mod tests {
         let mut bad = U256::from(64u64).to_be_bytes().to_vec();
         bad.extend_from_slice(&[0u8; 16]);
         assert!(decode(&[Type::String], &bad).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        // Static tuple with appended garbage: the old decoder silently
+        // truncated; typed bindings need the corruption surfaced.
+        let mut enc = encode(&[Value::Uint(U256::from(7u64))]);
+        enc.push(0xff);
+        assert_eq!(decode(&[Type::Uint], &enc), Err(AbiError::TrailingData));
+
+        // Dynamic tuple with a whole extra word after the tail.
+        let mut enc = encode(&[Value::String("QmHash".into())]);
+        enc.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode(&[Type::String], &enc), Err(AbiError::TrailingData));
+
+        // Empty type list consumes nothing, so any byte is trailing.
+        assert_eq!(decode(&[], &[0u8]), Err(AbiError::TrailingData));
+        assert_eq!(decode(&[], &[]), Ok(vec![]));
+
+        // Exact encodings still decode (including tail padding).
+        let exact = encode(&[Value::Uint(U256::ONE), Value::String("abc".into())]);
+        assert!(decode(&[Type::Uint, Type::String], &exact).is_ok());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub enum TxStatus {
 }
 
 /// A transaction receipt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Receipt {
     /// Hash of the transaction this receipt belongs to.
     pub tx_hash: H256,

@@ -99,7 +99,7 @@ impl core::fmt::Display for ChainError {
 impl std::error::Error for ChainError {}
 
 /// An `eth_getLogs`-style filter. `None` fields match everything.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LogFilter {
     /// First block to scan (inclusive; clamped to 1).
     pub from_block: u64,
@@ -133,10 +133,18 @@ impl LogFilter {
         self.topic = Some(topic);
         self
     }
+
+    /// Restricts to the inclusive block range `[from, to]` — what an
+    /// incremental event watcher passes so re-polls only scan new blocks.
+    pub fn in_blocks(mut self, from: u64, to: u64) -> LogFilter {
+        self.from_block = from;
+        self.to_block = to;
+        self
+    }
 }
 
 /// One log matched by [`Chain::get_logs`], with its position metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilteredLog {
     /// Block that contains the log.
     pub block_number: u64,
@@ -149,7 +157,7 @@ pub struct FilteredLog {
 }
 
 /// The result of a read-only (`eth_call`) execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallResult {
     /// Whether the call succeeded.
     pub success: bool,

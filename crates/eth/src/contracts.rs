@@ -662,15 +662,22 @@ mod tests {
                 .with_topic(H256::from_bytes(abi::event_topic("Nope()"))),
         );
         assert!(none.is_empty());
-        // Range restriction works.
+        // Range restriction works, via the builder an incremental watcher
+        // would use.
         let first_block = logs[0].block_number;
-        let only_first = f.chain.get_logs(&LogFilter {
-            from_block: first_block,
-            to_block: first_block,
-            address: Some(f.contract.address),
-            topic: None,
-        });
+        let only_first = f.chain.get_logs(
+            &LogFilter::all()
+                .in_blocks(first_block, first_block)
+                .at_address(f.contract.address),
+        );
         assert_eq!(only_first.len(), 1);
+        // A later window excludes the first upload.
+        let rest = f.chain.get_logs(
+            &LogFilter::all()
+                .in_blocks(first_block + 1, f.chain.height())
+                .at_address(f.contract.address),
+        );
+        assert_eq!(rest.len(), 2);
     }
 
     #[test]

@@ -193,18 +193,19 @@ impl Wallet {
         }
     }
 
-    /// Signs and submits a transaction, the "Confirm" button: estimates gas
-    /// (with a 1.5× safety margin, as MetaMask applies), signs with the
-    /// account's key, and broadcasts to the chain's mempool. Returns the
-    /// transaction hash.
-    pub fn send(
+    /// Builds and signs a transaction — the "Confirm" button up to, but not
+    /// including, the broadcast: estimates gas (with a 1.5× safety margin,
+    /// as MetaMask applies) against the wallet's view of the chain, signs
+    /// with the account's key, and returns the raw encoded transaction ready
+    /// for `eth_sendRawTransaction`.
+    pub fn sign_raw(
         &self,
-        chain: &mut Chain,
+        chain: &Chain,
         from: &H160,
         to: Option<H160>,
         value: U256,
         data: Vec<u8>,
-    ) -> Result<H256, WalletError> {
+    ) -> Result<Vec<u8>, WalletError> {
         let account = self
             .account(from)
             .ok_or(WalletError::UnknownAccount(*from))?;
@@ -226,7 +227,21 @@ impl Wallet {
             data,
         };
         let tx = sign_tx(request, &account.private_key).map_err(WalletError::Signing)?;
-        Ok(chain.submit(tx)?)
+        Ok(tx.encode())
+    }
+
+    /// Signs and submits a transaction — `sign_raw` plus the broadcast into
+    /// the chain's mempool. Returns the transaction hash.
+    pub fn send(
+        &self,
+        chain: &mut Chain,
+        from: &H160,
+        to: Option<H160>,
+        value: U256,
+        data: Vec<u8>,
+    ) -> Result<H256, WalletError> {
+        let raw = self.sign_raw(chain, from, to, value, data)?;
+        Ok(chain.submit_raw(&raw)?)
     }
 
     /// Counts this sender's transactions already waiting in the mempool so

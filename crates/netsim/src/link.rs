@@ -28,6 +28,14 @@ impl Link {
         self.latency.saturating_add(serialize)
     }
 
+    /// Time for one request/response round trip moving `request_bytes` out
+    /// and `response_bytes` back — the JSON-RPC call pattern a provider
+    /// decorator prices with.
+    pub fn rpc_round_trip(&self, request_bytes: u64, response_bytes: u64) -> SimDuration {
+        self.transfer_time(request_bytes)
+            .saturating_add(self.transfer_time(response_bytes))
+    }
+
     /// Time for an exchange of `rounds` request/response round trips moving
     /// `bytes` total (the bitswap fetch pattern).
     pub fn exchange_time(&self, bytes: u64, rounds: usize) -> SimDuration {
@@ -84,6 +92,16 @@ mod tests {
         assert!(t2 > t1);
         // Latency floor for empty payloads.
         assert_eq!(link.transfer_time(0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn rpc_round_trip_sums_both_legs() {
+        let link = Link::new(SimDuration::from_millis(10), 1_000_000.0); // 1 MB/s
+        let t = link.rpc_round_trip(1_000_000, 500_000);
+        // 2 × 10 ms latency + 1.5 s serialization.
+        assert!((t.as_secs_f64() - 1.52).abs() < 1e-6);
+        // A bigger response never makes the round trip faster.
+        assert!(link.rpc_round_trip(1_000_000, 600_000) > t);
     }
 
     #[test]

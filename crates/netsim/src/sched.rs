@@ -1,7 +1,8 @@
 //! Discrete-event scheduling: the substrate of the concurrent session
 //! engine.
 //!
-//! The serial workflow advanced one global [`SimClock`] through every
+//! The serial workflow advanced one global
+//! [`SimClock`](crate::clock::SimClock) through every
 //! participant's actions in turn, so a 20-owner session took 20× the
 //! blockchain time it should. The event queue here lets each actor accrue
 //! its own local time on a [`Timeline`] and the world advance to the

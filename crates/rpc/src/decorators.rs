@@ -1,0 +1,560 @@
+//! Composable provider decorators: latency pricing, deterministic fault
+//! injection, and per-method metering.
+//!
+//! Each decorator implements the same [`EthApi`]/[`IpfsApi`] traits it
+//! wraps, so stacks compose freely:
+//!
+//! ```text
+//! MeteredProvider           ← counts calls/errors, sums costs, snapshots
+//!   └─ LatencyProvider      ← prices each request from the netsim links
+//!        └─ FlakyProvider   ← seeded request drops with a timeout cost
+//!             └─ SimProvider  (in-process chain + swarm)
+//! ```
+//!
+//! Decorators never touch a clock: they *price* requests into the response
+//! envelope's `cost` field, and the caller decides which clock or timeline
+//! pays. That is what lets the serial workflow charge its one global clock
+//! while the discrete-event engine charges per-owner timelines, both
+//! through the same stack.
+
+use crate::envelope::{RpcError, RpcRequest, RpcResponse};
+use crate::eth::EthApi;
+use crate::ipfs::IpfsApi;
+use crate::provider::NodeProvider;
+use crate::Billed;
+use ofl_eth::chain::Chain;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError, Swarm};
+use ofl_netsim::clock::SimDuration;
+use ofl_netsim::link::NetworkProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+// ----------------------------------------------------------------------
+// LatencyProvider
+// ----------------------------------------------------------------------
+
+/// Prices every request with the netsim link model: RPC round trips for the
+/// Ethereum surface, LAN exchanges for IPFS. Batches are priced as **one**
+/// round trip carrying all payloads.
+pub struct LatencyProvider<P> {
+    inner: P,
+    profile: NetworkProfile,
+    /// Fixed wire overhead per request (HTTP/JSON framing).
+    pub envelope_bytes: u64,
+}
+
+impl<P> LatencyProvider<P> {
+    /// Wraps `inner`, pricing against `profile`.
+    pub fn new(inner: P, profile: NetworkProfile, envelope_bytes: u64) -> LatencyProvider<P> {
+        LatencyProvider {
+            inner,
+            profile,
+            envelope_bytes,
+        }
+    }
+
+    fn price(&self, request_payload: u64, response_payload: u64) -> SimDuration {
+        self.profile.rpc.rpc_round_trip(
+            self.envelope_bytes + request_payload,
+            self.envelope_bytes + response_payload,
+        )
+    }
+}
+
+fn response_payload(response: &RpcResponse) -> u64 {
+    response
+        .result
+        .as_ref()
+        .map(|r| r.payload_bytes())
+        .unwrap_or(0)
+}
+
+impl<P: EthApi> EthApi for LatencyProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        let mut response = self.inner.execute(request);
+        let cost = self.price(request.method.payload_bytes(), response_payload(&response));
+        response.cost = response.cost.saturating_add(cost);
+        response
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        let mut responses = self.inner.batch(requests);
+        // One wire round trip for the whole batch: payloads sum, framing is
+        // paid once. The full batch cost rides on the first response.
+        let out: u64 = requests.iter().map(|r| r.method.payload_bytes()).sum();
+        let back: u64 = responses.iter().map(response_payload).sum();
+        let cost = self.price(out, back);
+        if let Some(first) = responses.first_mut() {
+            first.cost = first.cost.saturating_add(cost);
+        }
+        responses
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for LatencyProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        let mut billed = self.inner.add(node, data);
+        billed.cost = billed
+            .cost
+            .saturating_add(self.profile.lan.exchange_time(billed.value.bytes_stored, 1));
+        billed
+    }
+
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        let mut billed = self.inner.cat(node, cid);
+        let transfer = match &billed.value {
+            Ok((_, stats)) => self
+                .profile
+                .lan
+                .exchange_time(stats.bytes_fetched, stats.rounds.max(1)),
+            // A failed fetch still walked the want-list once.
+            Err(_) => self.profile.lan.exchange_time(0, 1),
+        };
+        billed.cost = billed.cost.saturating_add(transfer);
+        billed
+    }
+
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        let mut billed = self.inner.pin(node, cid);
+        billed.cost = billed
+            .cost
+            .saturating_add(self.profile.lan.exchange_time(0, 1));
+        billed
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for LatencyProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+}
+
+// ----------------------------------------------------------------------
+// FlakyProvider
+// ----------------------------------------------------------------------
+
+/// How an unreliable RPC endpoint misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Seed of the drop sequence — equal seeds reproduce the exact same
+    /// faults, request for request.
+    pub seed: u64,
+    /// Probability that any one Ethereum request (or whole batch) is
+    /// dropped.
+    pub drop_rate: f64,
+    /// Virtual time a dropped request wastes before the caller gives up on
+    /// it (the client-side timeout).
+    pub timeout: SimDuration,
+}
+
+impl FaultProfile {
+    /// A profile with the default 3-second client timeout.
+    pub fn new(seed: u64, drop_rate: f64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            drop_rate,
+            timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Drops Ethereum requests with a seeded, deterministic coin — the
+/// infrastructure-fault scenario generator. A dropped request costs the
+/// profile's timeout; IPFS traffic (LAN-local in the paper's deployment)
+/// passes through untouched.
+pub struct FlakyProvider<P> {
+    inner: P,
+    profile: FaultProfile,
+    rng: StdRng,
+    /// How many requests (or whole batches) have been dropped so far.
+    pub dropped: u64,
+}
+
+impl<P> FlakyProvider<P> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: P, profile: FaultProfile) -> FlakyProvider<P> {
+        FlakyProvider {
+            inner,
+            rng: StdRng::seed_from_u64(profile.seed),
+            profile,
+            dropped: 0,
+        }
+    }
+
+    fn drops_now(&mut self) -> bool {
+        let dropped = self.rng.gen_bool(self.profile.drop_rate);
+        if dropped {
+            self.dropped += 1;
+        }
+        dropped
+    }
+}
+
+impl<P: EthApi> EthApi for FlakyProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        if self.drops_now() {
+            return RpcResponse {
+                id: request.id,
+                result: Err(RpcError::Timeout),
+                cost: self.profile.timeout,
+            };
+        }
+        self.inner.execute(request)
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        // A batch is one HTTP request: it drops (or survives) as a unit.
+        if self.drops_now() {
+            return requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RpcResponse {
+                    id: r.id,
+                    result: Err(RpcError::Timeout),
+                    // The timeout elapses once for the whole batch.
+                    cost: if i == 0 {
+                        self.profile.timeout
+                    } else {
+                        SimDuration::ZERO
+                    },
+                })
+                .collect();
+        }
+        self.inner.batch(requests)
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for FlakyProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for FlakyProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+}
+
+// ----------------------------------------------------------------------
+// MeteredProvider
+// ----------------------------------------------------------------------
+
+/// Counters for one method.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MethodStats {
+    /// Requests issued.
+    pub calls: u64,
+    /// Requests that came back as transport/node errors.
+    pub errors: u64,
+    /// Total virtual time priced onto this method's requests.
+    pub cost: SimDuration,
+}
+
+/// A snapshot of everything the metering decorator observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProviderMetrics {
+    methods: BTreeMap<&'static str, MethodStats>,
+    /// Wire round trips: one per single request, one per whole batch, one
+    /// per IPFS exchange.
+    pub round_trips: u64,
+    /// Requests that travelled inside a batch.
+    pub batched_requests: u64,
+}
+
+impl ProviderMetrics {
+    /// Stats for one method (zeroed when the method was never called).
+    pub fn method(&self, name: &str) -> MethodStats {
+        self.methods.get(name).copied().unwrap_or_default()
+    }
+
+    /// `(method, stats)` rows in deterministic (sorted) order.
+    pub fn methods(&self) -> impl Iterator<Item = (&'static str, MethodStats)> + '_ {
+        self.methods.iter().map(|(n, s)| (*n, *s))
+    }
+
+    /// Total requests across all methods.
+    pub fn total_calls(&self) -> u64 {
+        self.methods.values().map(|s| s.calls).sum()
+    }
+
+    /// Total transport/node errors across all methods.
+    pub fn total_errors(&self) -> u64 {
+        self.methods.values().map(|s| s.errors).sum()
+    }
+
+    /// Total virtual time priced across all methods.
+    pub fn total_cost(&self) -> SimDuration {
+        self.methods
+            .values()
+            .fold(SimDuration::ZERO, |acc, s| acc.saturating_add(s.cost))
+    }
+
+    fn record(&mut self, method: &'static str, cost: SimDuration, is_error: bool) {
+        let stats = self.methods.entry(method).or_default();
+        stats.calls += 1;
+        stats.errors += is_error as u64;
+        stats.cost = stats.cost.saturating_add(cost);
+    }
+}
+
+/// Counts calls, errors, round trips, and virtual-time totals per method —
+/// what `SessionReport` surfaces so a session can say "this run made 41
+/// provider round trips costing 4.2 virtual seconds".
+pub struct MeteredProvider<P> {
+    inner: P,
+    metrics: ProviderMetrics,
+}
+
+impl<P> MeteredProvider<P> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: P) -> MeteredProvider<P> {
+        MeteredProvider {
+            inner,
+            metrics: ProviderMetrics::default(),
+        }
+    }
+
+    /// The counters observed so far.
+    pub fn snapshot(&self) -> ProviderMetrics {
+        self.metrics.clone()
+    }
+}
+
+impl<P: EthApi> EthApi for MeteredProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        let response = self.inner.execute(request);
+        self.metrics.round_trips += 1;
+        self.metrics.record(
+            request.method.name(),
+            response.cost,
+            response.result.is_err(),
+        );
+        response
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        let responses = self.inner.batch(requests);
+        self.metrics.round_trips += 1;
+        self.metrics.batched_requests += requests.len() as u64;
+        for (request, response) in requests.iter().zip(&responses) {
+            self.metrics.record(
+                request.method.name(),
+                response.cost,
+                response.result.is_err(),
+            );
+        }
+        responses
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for MeteredProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        let billed = self.inner.add(node, data);
+        self.metrics.round_trips += 1;
+        self.metrics.record("ipfs_add", billed.cost, false);
+        billed
+    }
+
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        let billed = self.inner.cat(node, cid);
+        self.metrics.round_trips += 1;
+        self.metrics
+            .record("ipfs_cat", billed.cost, billed.value.is_err());
+        billed
+    }
+
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        let billed = self.inner.pin(node, cid);
+        self.metrics.round_trips += 1;
+        self.metrics
+            .record("ipfs_pin", billed.cost, billed.value.is_err());
+        billed
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for MeteredProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        Some(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{RpcMethod, RpcResult};
+    use crate::sim::SimProvider;
+    use ofl_eth::chain::{Chain, ChainConfig};
+    use ofl_primitives::H160;
+
+    fn stack(
+        faults: Option<FaultProfile>,
+    ) -> MeteredProvider<LatencyProvider<FlakyProvider<SimProvider>>> {
+        let addr = H160::from_slice(&[1; 20]);
+        let chain = Chain::new(
+            ChainConfig::default(),
+            &[(addr, ofl_primitives::wei_per_eth())],
+        );
+        let sim = SimProvider::new(chain, Swarm::spawn("d", 2));
+        let flaky = FlakyProvider::new(sim, faults.unwrap_or(FaultProfile::new(0, 0.0)));
+        MeteredProvider::new(LatencyProvider::new(flaky, NetworkProfile::campus(), 250))
+    }
+
+    fn receipt_poll_batch(n: u64) -> Vec<RpcRequest> {
+        (0..n)
+            .map(|i| {
+                RpcRequest::new(
+                    i,
+                    RpcMethod::GetTransactionReceipt {
+                        hash: ofl_primitives::H256::from_bytes([i as u8; 32]),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn latency_prices_requests_and_caller_keeps_the_bill() {
+        let mut provider = stack(None);
+        let billed = provider.block_number();
+        assert_eq!(billed.value.unwrap(), 0);
+        // Campus RPC: two 50 ms legs plus serialization.
+        assert!(billed.cost >= SimDuration::from_millis(100));
+        assert!(billed.cost < SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn batched_polls_cost_one_round_trip() {
+        let mut per_call = stack(None);
+        let mut batched = stack(None);
+        let requests = receipt_poll_batch(16);
+
+        let per_call_cost: SimDuration = requests
+            .iter()
+            .map(|r| per_call.execute(r).cost)
+            .fold(SimDuration::ZERO, SimDuration::saturating_add);
+        let batch_cost: SimDuration = batched
+            .batch(&requests)
+            .iter()
+            .map(|r| r.cost)
+            .fold(SimDuration::ZERO, SimDuration::saturating_add);
+
+        // 16 polls: ~16 round trips of latency vs 1.
+        assert!(batch_cost.as_secs_f64() * 8.0 < per_call_cost.as_secs_f64());
+        let per_metrics = per_call.snapshot();
+        let batch_metrics = batched.snapshot();
+        assert_eq!(per_metrics.round_trips, 16);
+        assert_eq!(batch_metrics.round_trips, 1);
+        assert_eq!(batch_metrics.batched_requests, 16);
+        assert_eq!(batch_metrics.method("eth_getTransactionReceipt").calls, 16);
+    }
+
+    #[test]
+    fn flaky_drops_are_deterministic_by_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let mut provider = stack(Some(FaultProfile::new(seed, 0.4)));
+            (0..50)
+                .map(|_| provider.block_number().value.is_err())
+                .collect()
+        };
+        let a = outcomes(7);
+        assert_eq!(a, outcomes(7), "equal seeds must fault identically");
+        assert_ne!(a, outcomes(8), "different seeds should differ");
+        assert!(a.iter().any(|e| *e), "40% drop rate must drop something");
+        assert!(!a.iter().all(|e| *e), "and must not drop everything");
+    }
+
+    #[test]
+    fn dropped_requests_cost_the_timeout_and_are_metered_as_errors() {
+        // drop_rate 1.0: everything times out.
+        let profile = FaultProfile {
+            timeout: SimDuration::from_secs(3),
+            ..FaultProfile::new(1, 1.0)
+        };
+        let mut provider = stack(Some(profile));
+        let billed = provider.block_number();
+        assert_eq!(billed.value, Err(RpcError::Timeout));
+        // Timeout plus the latency pricing of the attempt.
+        assert!(billed.cost >= SimDuration::from_secs(3));
+        // A dropped batch times out as a unit.
+        let responses = provider.batch(&receipt_poll_batch(4));
+        assert!(responses.iter().all(|r| r.result.is_err()));
+        let metrics = provider.snapshot();
+        assert_eq!(metrics.total_errors(), 5);
+        assert_eq!(metrics.method("eth_blockNumber").errors, 1);
+    }
+
+    #[test]
+    fn ipfs_traffic_is_priced_but_never_dropped() {
+        let mut provider = stack(Some(FaultProfile::new(3, 1.0)));
+        let added = provider.add(0, &vec![7u8; 100_000]);
+        assert!(added.cost > SimDuration::ZERO);
+        let fetched = provider.cat(1, &added.value.root);
+        assert!(fetched.value.is_ok(), "flakiness must not affect the LAN");
+        let metrics = provider.snapshot();
+        assert_eq!(metrics.method("ipfs_add").calls, 1);
+        assert_eq!(metrics.method("ipfs_cat").calls, 1);
+        assert!(metrics.total_cost() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_preserves_result_shapes() {
+        let mut provider = stack(None);
+        let requests = vec![
+            RpcRequest::new(0, RpcMethod::BlockNumber),
+            RpcRequest::new(
+                1,
+                RpcMethod::GetBalance {
+                    address: H160::from_slice(&[1; 20]),
+                },
+            ),
+        ];
+        let responses = provider.batch(&requests);
+        assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(_))));
+        assert!(matches!(responses[1].result, Ok(RpcResult::Balance(_))));
+    }
+}

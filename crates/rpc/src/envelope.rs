@@ -1,0 +1,659 @@
+//! Typed request/response envelopes for the Ethereum JSON-RPC surface.
+//!
+//! Every provider call travels as an [`RpcRequest`] and comes back as an
+//! [`RpcResponse`]. The envelope is what makes the provider boundary thin
+//! and swappable: decorators can price, drop, or count requests without
+//! knowing what they mean, and a batch of N requests is just a slice — one
+//! wire round trip regardless of N.
+//!
+//! The envelopes also have a canonical wire encoding ([`RpcRequest::encode`]
+//! / [`RpcResponse::encode`]) standing in for the JSON framing of a real
+//! endpoint; the round-trip property tests in `tests/proptests.rs` pin it.
+
+use ofl_eth::block::{Receipt, TxStatus};
+use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
+use ofl_eth::evm::LogEntry;
+use ofl_netsim::clock::SimDuration;
+use ofl_primitives::u256::U256;
+use ofl_primitives::{H160, H256};
+
+/// One provider call: a correlation id plus the typed method payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Correlation id echoed back in the matching [`RpcResponse`].
+    pub id: u64,
+    /// The method and its parameters.
+    pub method: RpcMethod,
+}
+
+impl RpcRequest {
+    /// Builds a request.
+    pub fn new(id: u64, method: RpcMethod) -> RpcRequest {
+        RpcRequest { id, method }
+    }
+}
+
+/// The JSON-RPC methods the OFL-W3 core needs from a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMethod {
+    /// `eth_sendRawTransaction`: broadcast a signed raw transaction.
+    SendRawTransaction {
+        /// The `0x02`-typed raw transaction bytes.
+        raw: Vec<u8>,
+    },
+    /// `eth_getTransactionReceipt`: poll for a mined receipt.
+    GetTransactionReceipt {
+        /// Transaction hash.
+        hash: H256,
+    },
+    /// `eth_call`: free read-only execution.
+    Call {
+        /// Caller address.
+        from: H160,
+        /// Contract address.
+        to: H160,
+        /// ABI calldata.
+        data: Vec<u8>,
+    },
+    /// `eth_getLogs`: filtered event query.
+    GetLogs {
+        /// Address/topic/block-range filter.
+        filter: LogFilter,
+    },
+    /// `eth_blockNumber`: current chain head.
+    BlockNumber,
+    /// `eth_getBalance`: account balance.
+    GetBalance {
+        /// Account queried.
+        address: H160,
+    },
+    /// `eth_getTransactionCount`: account nonce.
+    GetTransactionCount {
+        /// Account queried.
+        address: H160,
+    },
+}
+
+impl RpcMethod {
+    /// The canonical JSON-RPC method name (used as the metering key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RpcMethod::SendRawTransaction { .. } => "eth_sendRawTransaction",
+            RpcMethod::GetTransactionReceipt { .. } => "eth_getTransactionReceipt",
+            RpcMethod::Call { .. } => "eth_call",
+            RpcMethod::GetLogs { .. } => "eth_getLogs",
+            RpcMethod::BlockNumber => "eth_blockNumber",
+            RpcMethod::GetBalance { .. } => "eth_getBalance",
+            RpcMethod::GetTransactionCount { .. } => "eth_getTransactionCount",
+        }
+    }
+
+    /// Approximate request payload size in bytes (what rides on the wire
+    /// beyond the fixed envelope framing) — the latency decorator's input.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            RpcMethod::SendRawTransaction { raw } => raw.len() as u64,
+            RpcMethod::GetTransactionReceipt { .. } => 32,
+            RpcMethod::Call { data, .. } => 40 + data.len() as u64,
+            RpcMethod::GetLogs { .. } => 72,
+            RpcMethod::BlockNumber => 0,
+            RpcMethod::GetBalance { .. } => 20,
+            RpcMethod::GetTransactionCount { .. } => 20,
+        }
+    }
+}
+
+/// A provider's answer: the echoed id, the typed result (or error), and the
+/// virtual time the decorators priced onto this request. Costs are *carried*,
+/// never applied — the caller decides which clock or timeline pays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcResponse {
+    /// Correlation id from the request.
+    pub id: u64,
+    /// Typed result or transport/node error.
+    pub result: Result<RpcResult, RpcError>,
+    /// Virtual time this request cost (priced by decorators; zero at the
+    /// in-process backend).
+    pub cost: SimDuration,
+}
+
+/// Typed results, one variant per [`RpcMethod`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcResult {
+    /// Hash of an accepted transaction.
+    TxHash(H256),
+    /// Receipt, or `None` while the transaction is unmined.
+    Receipt(Option<Receipt>),
+    /// Read-only execution result.
+    Call(CallResult),
+    /// Matching logs.
+    Logs(Vec<FilteredLog>),
+    /// Chain height.
+    BlockNumber(u64),
+    /// Account balance in wei.
+    Balance(U256),
+    /// Account nonce.
+    TransactionCount(u64),
+}
+
+impl RpcResult {
+    /// Approximate response payload size in bytes — the latency decorator's
+    /// input for the return leg.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            RpcResult::TxHash(_) => 32,
+            RpcResult::Receipt(None) => 8,
+            RpcResult::Receipt(Some(r)) => {
+                160 + r.output.len() as u64
+                    + r.logs
+                        .iter()
+                        .map(|l| 20 + 32 * l.topics.len() as u64 + l.data.len() as u64)
+                        .sum::<u64>()
+            }
+            RpcResult::Call(c) => 16 + c.output.len() as u64,
+            RpcResult::Logs(logs) => logs
+                .iter()
+                .map(|f| 60 + 32 * f.log.topics.len() as u64 + f.log.data.len() as u64)
+                .sum(),
+            RpcResult::BlockNumber(_) => 8,
+            RpcResult::Balance(_) => 32,
+            RpcResult::TransactionCount(_) => 8,
+        }
+    }
+}
+
+/// Transport- and node-level failures. Execution-level failures (reverts)
+/// are *not* errors here — they come back as data, exactly as JSON-RPC
+/// reports them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The request was dropped or the provider never answered in time.
+    Timeout,
+    /// The node rejected the request (bad nonce, underpriced, …).
+    Rejected(String),
+    /// The response variant did not match the request method.
+    UnexpectedResponse,
+}
+
+impl core::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc request timed out"),
+            RpcError::Rejected(why) => write!(f, "rpc request rejected: {why}"),
+            RpcError::UnexpectedResponse => write!(f, "rpc response shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+// ----------------------------------------------------------------------
+// Wire codec. A compact binary framing standing in for JSON-RPC's text
+// framing: tag bytes, little-endian u64 lengths, raw hash/address bytes.
+// ----------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.0.extend_from_slice(v);
+    }
+    fn h160(&mut self, v: &H160) {
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    fn h256(&mut self, v: &H256) {
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    fn u256(&mut self, v: &U256) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.data.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u64()?;
+        // Length sanity: never allocate past the remaining input.
+        if len as usize > self.data.len() - self.at {
+            return None;
+        }
+        Some(self.take(len as usize)?.to_vec())
+    }
+    fn h160(&mut self) -> Option<H160> {
+        Some(H160::from_slice(self.take(20)?))
+    }
+    fn h256(&mut self) -> Option<H256> {
+        let mut w = [0u8; 32];
+        w.copy_from_slice(self.take(32)?);
+        Some(H256::from_bytes(w))
+    }
+    fn u256(&mut self) -> Option<U256> {
+        Some(U256::from_be_slice(self.take(32)?))
+    }
+    fn done(&self) -> bool {
+        self.at == self.data.len()
+    }
+}
+
+impl RpcRequest {
+    /// Canonical wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        w.u64(self.id);
+        match &self.method {
+            RpcMethod::SendRawTransaction { raw } => {
+                w.u8(0);
+                w.bytes(raw);
+            }
+            RpcMethod::GetTransactionReceipt { hash } => {
+                w.u8(1);
+                w.h256(hash);
+            }
+            RpcMethod::Call { from, to, data } => {
+                w.u8(2);
+                w.h160(from);
+                w.h160(to);
+                w.bytes(data);
+            }
+            RpcMethod::GetLogs { filter } => {
+                w.u8(3);
+                w.u64(filter.from_block);
+                w.u64(filter.to_block);
+                match &filter.address {
+                    Some(a) => {
+                        w.u8(1);
+                        w.h160(a);
+                    }
+                    None => w.u8(0),
+                }
+                match &filter.topic {
+                    Some(t) => {
+                        w.u8(1);
+                        w.h256(t);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            RpcMethod::BlockNumber => w.u8(4),
+            RpcMethod::GetBalance { address } => {
+                w.u8(5);
+                w.h160(address);
+            }
+            RpcMethod::GetTransactionCount { address } => {
+                w.u8(6);
+                w.h160(address);
+            }
+        }
+        w.0
+    }
+
+    /// Decodes a wire-encoded request; `None` on malformed or trailing data.
+    pub fn decode(raw: &[u8]) -> Option<RpcRequest> {
+        let mut r = Reader { data: raw, at: 0 };
+        let id = r.u64()?;
+        let method = match r.u8()? {
+            0 => RpcMethod::SendRawTransaction { raw: r.bytes()? },
+            1 => RpcMethod::GetTransactionReceipt { hash: r.h256()? },
+            2 => RpcMethod::Call {
+                from: r.h160()?,
+                to: r.h160()?,
+                data: r.bytes()?,
+            },
+            3 => {
+                let from_block = r.u64()?;
+                let to_block = r.u64()?;
+                let address = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.h160()?),
+                    _ => return None,
+                };
+                let topic = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.h256()?),
+                    _ => return None,
+                };
+                RpcMethod::GetLogs {
+                    filter: LogFilter {
+                        from_block,
+                        to_block,
+                        address,
+                        topic,
+                    },
+                }
+            }
+            4 => RpcMethod::BlockNumber,
+            5 => RpcMethod::GetBalance { address: r.h160()? },
+            6 => RpcMethod::GetTransactionCount { address: r.h160()? },
+            _ => return None,
+        };
+        r.done().then_some(RpcRequest { id, method })
+    }
+}
+
+fn write_log_entry(w: &mut Writer, log: &LogEntry) {
+    w.h160(&log.address);
+    w.u64(log.topics.len() as u64);
+    for t in &log.topics {
+        w.h256(t);
+    }
+    w.bytes(&log.data);
+}
+
+fn read_log_entry(r: &mut Reader) -> Option<LogEntry> {
+    let address = r.h160()?;
+    let n = r.u64()?;
+    if n > 4 {
+        return None; // LOG0–LOG4
+    }
+    let mut topics = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        topics.push(r.h256()?);
+    }
+    Some(LogEntry {
+        address,
+        topics,
+        data: r.bytes()?,
+    })
+}
+
+fn write_receipt(w: &mut Writer, receipt: &Receipt) {
+    w.h256(&receipt.tx_hash);
+    w.u8(match receipt.status {
+        TxStatus::Success => 0,
+        TxStatus::Reverted => 1,
+        TxStatus::Failed => 2,
+    });
+    w.u64(receipt.gas_used);
+    w.u256(&receipt.effective_gas_price);
+    w.u256(&receipt.fee);
+    match &receipt.contract_address {
+        Some(a) => {
+            w.u8(1);
+            w.h160(a);
+        }
+        None => w.u8(0),
+    }
+    w.u64(receipt.logs.len() as u64);
+    for log in &receipt.logs {
+        write_log_entry(w, log);
+    }
+    w.u64(receipt.block_number);
+    w.bytes(&receipt.output);
+}
+
+fn read_receipt(r: &mut Reader) -> Option<Receipt> {
+    let tx_hash = r.h256()?;
+    let status = match r.u8()? {
+        0 => TxStatus::Success,
+        1 => TxStatus::Reverted,
+        2 => TxStatus::Failed,
+        _ => return None,
+    };
+    let gas_used = r.u64()?;
+    let effective_gas_price = r.u256()?;
+    let fee = r.u256()?;
+    let contract_address = match r.u8()? {
+        0 => None,
+        1 => Some(r.h160()?),
+        _ => return None,
+    };
+    let n_logs = r.u64()?;
+    if n_logs as usize > r.data.len() {
+        return None;
+    }
+    let mut logs = Vec::with_capacity(n_logs as usize);
+    for _ in 0..n_logs {
+        logs.push(read_log_entry(r)?);
+    }
+    Some(Receipt {
+        tx_hash,
+        status,
+        gas_used,
+        effective_gas_price,
+        fee,
+        contract_address,
+        logs,
+        block_number: r.u64()?,
+        output: r.bytes()?,
+    })
+}
+
+impl RpcResponse {
+    /// Canonical wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        w.u64(self.id);
+        w.u64(self.cost.as_micros());
+        match &self.result {
+            Ok(RpcResult::TxHash(h)) => {
+                w.u8(0);
+                w.h256(h);
+            }
+            Ok(RpcResult::Receipt(opt)) => {
+                w.u8(1);
+                match opt {
+                    Some(receipt) => {
+                        w.u8(1);
+                        write_receipt(&mut w, receipt);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Ok(RpcResult::Call(c)) => {
+                w.u8(2);
+                w.u8(c.success as u8);
+                w.bytes(&c.output);
+                w.u64(c.gas_used);
+            }
+            Ok(RpcResult::Logs(logs)) => {
+                w.u8(3);
+                w.u64(logs.len() as u64);
+                for f in logs {
+                    w.u64(f.block_number);
+                    w.h256(&f.tx_hash);
+                    w.u64(f.log_index as u64);
+                    write_log_entry(&mut w, &f.log);
+                }
+            }
+            Ok(RpcResult::BlockNumber(n)) => {
+                w.u8(4);
+                w.u64(*n);
+            }
+            Ok(RpcResult::Balance(b)) => {
+                w.u8(5);
+                w.u256(b);
+            }
+            Ok(RpcResult::TransactionCount(n)) => {
+                w.u8(6);
+                w.u64(*n);
+            }
+            Err(RpcError::Timeout) => w.u8(0x80),
+            Err(RpcError::Rejected(why)) => {
+                w.u8(0x81);
+                w.bytes(why.as_bytes());
+            }
+            Err(RpcError::UnexpectedResponse) => w.u8(0x82),
+        }
+        w.0
+    }
+
+    /// Decodes a wire-encoded response; `None` on malformed or trailing
+    /// data.
+    pub fn decode(raw: &[u8]) -> Option<RpcResponse> {
+        let mut r = Reader { data: raw, at: 0 };
+        let id = r.u64()?;
+        let cost = SimDuration::from_micros(r.u64()?);
+        let result = match r.u8()? {
+            0 => Ok(RpcResult::TxHash(r.h256()?)),
+            1 => Ok(RpcResult::Receipt(match r.u8()? {
+                0 => None,
+                1 => Some(read_receipt(&mut r)?),
+                _ => return None,
+            })),
+            2 => {
+                let success = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                Ok(RpcResult::Call(CallResult {
+                    success,
+                    output: r.bytes()?,
+                    gas_used: r.u64()?,
+                }))
+            }
+            3 => {
+                let n = r.u64()?;
+                if n as usize > r.data.len() {
+                    return None;
+                }
+                let mut logs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    logs.push(FilteredLog {
+                        block_number: r.u64()?,
+                        tx_hash: r.h256()?,
+                        log_index: r.u64()? as usize,
+                        log: read_log_entry(&mut r)?,
+                    });
+                }
+                Ok(RpcResult::Logs(logs))
+            }
+            4 => Ok(RpcResult::BlockNumber(r.u64()?)),
+            5 => Ok(RpcResult::Balance(r.u256()?)),
+            6 => Ok(RpcResult::TransactionCount(r.u64()?)),
+            0x80 => Err(RpcError::Timeout),
+            0x81 => Err(RpcError::Rejected(String::from_utf8(r.bytes()?).ok()?)),
+            0x82 => Err(RpcError::UnexpectedResponse),
+            _ => return None,
+        };
+        r.done().then_some(RpcResponse { id, result, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_every_variant() {
+        let requests = vec![
+            RpcRequest::new(
+                1,
+                RpcMethod::SendRawTransaction {
+                    raw: vec![2, 0xf8, 0x01],
+                },
+            ),
+            RpcRequest::new(
+                2,
+                RpcMethod::GetTransactionReceipt {
+                    hash: H256::from_bytes([7; 32]),
+                },
+            ),
+            RpcRequest::new(
+                3,
+                RpcMethod::Call {
+                    from: H160::from_slice(&[1; 20]),
+                    to: H160::from_slice(&[2; 20]),
+                    data: vec![0xde, 0xad],
+                },
+            ),
+            RpcRequest::new(
+                4,
+                RpcMethod::GetLogs {
+                    filter: LogFilter::all()
+                        .in_blocks(3, 9)
+                        .at_address(H160::from_slice(&[3; 20])),
+                },
+            ),
+            RpcRequest::new(5, RpcMethod::BlockNumber),
+            RpcRequest::new(
+                6,
+                RpcMethod::GetBalance {
+                    address: H160::from_slice(&[4; 20]),
+                },
+            ),
+            RpcRequest::new(
+                7,
+                RpcMethod::GetTransactionCount {
+                    address: H160::from_slice(&[5; 20]),
+                },
+            ),
+        ];
+        for req in requests {
+            assert_eq!(RpcRequest::decode(&req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_with_receipt_and_errors() {
+        let receipt = Receipt {
+            tx_hash: H256::from_bytes([9; 32]),
+            status: TxStatus::Reverted,
+            gas_used: 23_456,
+            effective_gas_price: U256::from(13_500_000_000u64),
+            fee: U256::from_u128(316_656_000_000_000),
+            contract_address: Some(H160::from_slice(&[8; 20])),
+            logs: vec![LogEntry {
+                address: H160::from_slice(&[8; 20]),
+                topics: vec![H256::from_bytes([1; 32])],
+                data: vec![0, 1, 2],
+            }],
+            block_number: 42,
+            output: vec![0x08, 0xc3],
+        };
+        let responses = vec![
+            RpcResponse {
+                id: 1,
+                result: Ok(RpcResult::Receipt(Some(receipt))),
+                cost: SimDuration::from_millis(104),
+            },
+            RpcResponse {
+                id: 2,
+                result: Ok(RpcResult::Receipt(None)),
+                cost: SimDuration::ZERO,
+            },
+            RpcResponse {
+                id: 3,
+                result: Err(RpcError::Timeout),
+                cost: SimDuration::from_secs(3),
+            },
+            RpcResponse {
+                id: 4,
+                result: Err(RpcError::Rejected("nonce too low".into())),
+                cost: SimDuration::from_millis(100),
+            },
+        ];
+        for resp in responses {
+            assert_eq!(RpcResponse::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = RpcRequest::new(1, RpcMethod::BlockNumber).encode();
+        raw.push(0);
+        assert_eq!(RpcRequest::decode(&raw), None);
+    }
+}

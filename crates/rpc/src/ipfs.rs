@@ -1,0 +1,25 @@
+//! [`IpfsApi`]: the IPFS node API (`add` / `cat` / `pin`).
+//!
+//! Shaped like the IPFS HTTP API a DApp backend talks to: each call names
+//! the node (daemon) it is addressed to, and returns a [`Billed`] value so
+//! decorators can price LAN transfer time without touching any clock.
+//! Errors stay the typed [`IpfsError`] the swarm produces — content
+//! availability is a first-class outcome here, not a transport failure.
+
+use crate::Billed;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError};
+
+/// The IPFS node API surface the OFL-W3 core needs.
+pub trait IpfsApi {
+    /// `ipfs add`: chunks `data`, stores and pins the DAG on `node`, and
+    /// returns the root CID plus storage stats.
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult>;
+
+    /// `ipfs cat`: fetches the full DAG under `cid` to `node` (bitswapping
+    /// missing blocks from peers) and reassembles the file.
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>>;
+
+    /// `ipfs pin add`: pins `cid` on `node` so garbage collection keeps it.
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>>;
+}

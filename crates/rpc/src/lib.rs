@@ -1,0 +1,78 @@
+//! # ofl-rpc
+//!
+//! The node-API boundary of the OFL-W3 stack: everything the marketplace
+//! core knows about infrastructure goes through the provider traits defined
+//! here, never through concrete chain/swarm structs.
+//!
+//! - [`envelope`]: typed [`RpcRequest`]/[`RpcResponse`] envelopes with a
+//!   canonical wire codec — the thin, decorator-friendly JSON-RPC shape.
+//! - [`eth`]: the [`EthApi`] trait (`send_raw_transaction`,
+//!   `get_transaction_receipt`, `call`, `get_logs`, `block_number`,
+//!   `get_balance`, …) plus [`EthApi::batch`], which answers N requests in
+//!   one provider round trip.
+//! - [`ipfs`]: the [`IpfsApi`] trait (`add`, `cat`, `pin`).
+//! - [`sim`]: the in-process [`SimProvider`] backend over a chain + swarm.
+//! - [`decorators`]: composable providers wrapping any backend —
+//!   [`LatencyProvider`] prices netsim timing into each response,
+//!   [`FlakyProvider`] injects seeded deterministic drops/timeouts, and
+//!   [`MeteredProvider`] counts per-method calls and virtual-time totals.
+//! - [`bindings`]: the [`contract_bindings!`] macro and the generated
+//!   [`ModelMarketContract`] handle — typed contract calls with typed
+//!   decode errors, no raw selector strings.
+//!
+//! ## Costs travel with values
+//!
+//! Providers never advance a clock. Decorators *price* work into a
+//! [`Billed`] envelope (or `RpcResponse::cost`), and the caller charges the
+//! bill to whatever clock or per-participant timeline it owns. This is what
+//! lets one provider stack serve both the serial workflow (one global
+//! clock) and the discrete-event session engine (many overlapping
+//! timelines).
+
+pub mod bindings;
+pub mod decorators;
+pub mod envelope;
+pub mod eth;
+pub mod ipfs;
+pub mod provider;
+pub mod sim;
+
+pub use bindings::{AbiArg, AbiRet, BindingError, ModelMarketContract};
+pub use decorators::{
+    FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, MethodStats, ProviderMetrics,
+};
+pub use envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+pub use eth::EthApi;
+pub use ipfs::IpfsApi;
+pub use provider::{build_provider, NodeProvider, Retryable};
+pub use sim::SimProvider;
+
+use ofl_netsim::clock::SimDuration;
+
+/// A value together with the virtual time it cost to obtain — the unit the
+/// provider stack hands back so *callers* decide which clock pays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Billed<T> {
+    /// The result itself.
+    pub value: T,
+    /// Virtual time priced onto the operation by the decorator stack.
+    pub cost: SimDuration,
+}
+
+impl<T> Billed<T> {
+    /// A cost-free value (what the raw in-process backend returns).
+    pub fn free(value: T) -> Billed<T> {
+        Billed {
+            value,
+            cost: SimDuration::ZERO,
+        }
+    }
+
+    /// Maps the value, keeping the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Billed<U> {
+        Billed {
+            value: f(self.value),
+            cost: self.cost,
+        }
+    }
+}

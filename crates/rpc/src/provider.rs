@@ -1,0 +1,82 @@
+//! [`NodeProvider`]: the full node boundary a [`World`] owns — both API
+//! traits plus backend access for the simulation driver itself.
+//!
+//! The API traits model what a *client* can do over the wire. The
+//! simulation additionally owns the infrastructure: it mines slots, checks
+//! conservation invariants, and injects failures (garbage-collecting a
+//! peer's blocks, say). Those backstage operations go through the
+//! `chain`/`swarm` accessors, which every decorator forwards down to the
+//! innermost [`SimProvider`].
+//!
+//! [`World`]: ../../ofl_core/world/struct.World.html
+
+use crate::decorators::{
+    FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, ProviderMetrics,
+};
+use crate::envelope::RpcError;
+use crate::eth::EthApi;
+use crate::ipfs::IpfsApi;
+use crate::sim::SimProvider;
+use ofl_eth::chain::Chain;
+use ofl_ipfs::swarm::Swarm;
+use ofl_netsim::link::NetworkProfile;
+
+/// Everything a world needs from its node: the client-visible API surface
+/// plus backstage access to the simulated infrastructure.
+pub trait NodeProvider: EthApi + IpfsApi {
+    /// The backing chain (backstage: mining, invariant checks).
+    fn chain(&self) -> &Chain;
+    /// Mutable backing chain (backstage: slot production).
+    fn chain_mut(&mut self) -> &mut Chain;
+    /// The backing swarm (backstage: availability checks).
+    fn swarm(&self) -> &Swarm;
+    /// Mutable backing swarm (backstage: failure injection).
+    fn swarm_mut(&mut self) -> &mut Swarm;
+    /// Metering snapshot, when a [`MeteredProvider`] is in the stack.
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        None
+    }
+}
+
+/// Builds the standard decorator stack around an in-process backend:
+/// metering over latency pricing over (optionally) fault injection.
+pub fn build_provider(
+    chain: Chain,
+    swarm: Swarm,
+    profile: NetworkProfile,
+    envelope_bytes: u64,
+    faults: Option<FaultProfile>,
+) -> Box<dyn NodeProvider> {
+    let sim = SimProvider::new(chain, swarm);
+    match faults {
+        Some(faults) => Box::new(MeteredProvider::new(LatencyProvider::new(
+            FlakyProvider::new(sim, faults),
+            profile,
+            envelope_bytes,
+        ))),
+        None => Box::new(MeteredProvider::new(LatencyProvider::new(
+            sim,
+            profile,
+            envelope_bytes,
+        ))),
+    }
+}
+
+/// Errors whose failures are worth retrying at the client layer.
+pub trait Retryable {
+    /// True when the failure is transient (a timeout) rather than a hard
+    /// rejection.
+    fn is_transient(&self) -> bool;
+}
+
+impl Retryable for RpcError {
+    fn is_transient(&self) -> bool {
+        matches!(self, RpcError::Timeout)
+    }
+}
+
+impl Retryable for crate::bindings::BindingError {
+    fn is_transient(&self) -> bool {
+        matches!(self, crate::bindings::BindingError::Rpc(RpcError::Timeout))
+    }
+}

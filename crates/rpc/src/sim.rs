@@ -1,0 +1,189 @@
+//! [`SimProvider`]: the in-process backend — a [`Chain`] and a [`Swarm`]
+//! answering the provider traits directly, with zero wire cost.
+//!
+//! This is the innermost layer of every provider stack. Decorators add
+//! latency pricing, fault injection, and metering around it; the backend
+//! itself only executes.
+
+use crate::envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+use crate::eth::EthApi;
+use crate::ipfs::IpfsApi;
+use crate::provider::NodeProvider;
+use crate::Billed;
+use ofl_eth::chain::Chain;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError, Swarm};
+use ofl_netsim::clock::SimDuration;
+
+/// The in-process node: one chain, one swarm.
+pub struct SimProvider {
+    /// The blockchain this provider fronts.
+    pub chain: Chain,
+    /// The IPFS swarm this provider fronts.
+    pub swarm: Swarm,
+}
+
+impl SimProvider {
+    /// Wraps a chain and swarm.
+    pub fn new(chain: Chain, swarm: Swarm) -> SimProvider {
+        SimProvider { chain, swarm }
+    }
+}
+
+impl EthApi for SimProvider {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        let result = match &request.method {
+            RpcMethod::SendRawTransaction { raw } => self
+                .chain
+                .submit_raw(raw)
+                .map(RpcResult::TxHash)
+                .map_err(|e| RpcError::Rejected(e.to_string())),
+            RpcMethod::GetTransactionReceipt { hash } => {
+                Ok(RpcResult::Receipt(self.chain.receipt(hash).cloned()))
+            }
+            RpcMethod::Call { from, to, data } => {
+                Ok(RpcResult::Call(self.chain.call(from, to, data.clone())))
+            }
+            RpcMethod::GetLogs { filter } => Ok(RpcResult::Logs(self.chain.get_logs(filter))),
+            RpcMethod::BlockNumber => Ok(RpcResult::BlockNumber(self.chain.height())),
+            RpcMethod::GetBalance { address } => {
+                Ok(RpcResult::Balance(self.chain.balance(address)))
+            }
+            RpcMethod::GetTransactionCount { address } => {
+                Ok(RpcResult::TransactionCount(self.chain.nonce(address)))
+            }
+        };
+        RpcResponse {
+            id: request.id,
+            result,
+            cost: SimDuration::ZERO,
+        }
+    }
+}
+
+impl IpfsApi for SimProvider {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        Billed {
+            value: self.swarm.node_mut(node).add(data),
+            cost: SimDuration::ZERO,
+        }
+    }
+
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        Billed {
+            value: self.swarm.fetch(node, cid),
+            cost: SimDuration::ZERO,
+        }
+    }
+
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        let n = self.swarm.node_mut(node);
+        let value = if n.has_block(cid) {
+            n.store_mut().pin(cid.clone());
+            Ok(())
+        } else {
+            Err(IpfsError::BlockUnavailable(cid.clone()))
+        };
+        Billed {
+            value,
+            cost: SimDuration::ZERO,
+        }
+    }
+}
+
+impl NodeProvider for SimProvider {
+    fn chain(&self) -> &Chain {
+        &self.chain
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        &mut self.chain
+    }
+    fn swarm(&self) -> &Swarm {
+        &self.swarm
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        &mut self.swarm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_eth::chain::ChainConfig;
+    use ofl_eth::wallet::Wallet;
+    use ofl_primitives::u256::U256;
+    use ofl_primitives::wei_per_eth;
+
+    fn provider_with_funded_wallet() -> (SimProvider, Wallet) {
+        let wallet = Wallet::from_seed("sim-provider", 2);
+        let genesis: Vec<_> = wallet
+            .addresses()
+            .iter()
+            .map(|a| (*a, wei_per_eth()))
+            .collect();
+        let chain = Chain::new(ChainConfig::default(), &genesis);
+        (SimProvider::new(chain, Swarm::spawn("p", 2)), wallet)
+    }
+
+    #[test]
+    fn send_poll_and_read_through_the_trait() {
+        let (mut provider, wallet) = provider_with_funded_wallet();
+        let [a, b]: [ofl_primitives::H160; 2] = wallet.addresses().try_into().unwrap();
+        let raw = wallet
+            .sign_raw(&provider.chain, &a, Some(b), U256::from(5u64), vec![])
+            .unwrap();
+        let hash = provider.send_raw_transaction(&raw).value.unwrap();
+        // Unmined: receipt is None, not an error.
+        assert_eq!(provider.get_transaction_receipt(hash).value.unwrap(), None);
+        provider.chain.mine_block(12);
+        let receipt = provider
+            .get_transaction_receipt(hash)
+            .value
+            .unwrap()
+            .expect("mined");
+        assert!(receipt.is_success());
+        assert_eq!(provider.block_number().value.unwrap(), 1);
+        assert!(provider.get_balance(&b).value.unwrap() > wei_per_eth());
+        assert_eq!(provider.get_transaction_count(&a).value.unwrap(), 1);
+        // The backend itself is free; cost comes from decorators.
+        assert_eq!(provider.block_number().cost, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rejection_is_a_typed_error_not_a_panic() {
+        let (mut provider, _) = provider_with_funded_wallet();
+        let result = provider.send_raw_transaction(&[0xff, 0x00]).value;
+        assert!(matches!(result, Err(RpcError::Rejected(_))));
+    }
+
+    #[test]
+    fn ipfs_add_cat_pin() {
+        let (mut provider, _) = provider_with_funded_wallet();
+        let added = provider.add(0, b"model bytes").value;
+        let (bytes, stats) = provider.cat(1, &added.root).value.unwrap();
+        assert_eq!(bytes, b"model bytes");
+        assert_eq!(stats.blocks_fetched, 1);
+        assert!(provider.pin(1, &added.root).value.is_ok());
+        // Pinning content the node has never seen is an availability error.
+        let phantom = Cid::v0_of(b"never added");
+        assert!(matches!(
+            provider.pin(0, &phantom).value,
+            Err(IpfsError::BlockUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn batch_answers_every_request_in_order() {
+        let (mut provider, wallet) = provider_with_funded_wallet();
+        let a = wallet.addresses()[0];
+        let requests = vec![
+            RpcRequest::new(10, RpcMethod::BlockNumber),
+            RpcRequest::new(11, RpcMethod::GetBalance { address: a }),
+        ];
+        let responses = provider.batch(&requests);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].id, 10);
+        assert_eq!(responses[1].id, 11);
+        assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(0))));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the RPC envelope wire codec: every request/response
+//! the provider boundary can carry must round-trip bit-exactly, and
+//! mutations of the framing must never decode into a different envelope.
+
+use ofl_eth::block::{Receipt, TxStatus};
+use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
+use ofl_eth::evm::LogEntry;
+use ofl_netsim::clock::SimDuration;
+use ofl_rpc::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+use ofl_w3_test_support::{h160_of, h256_of};
+use proptest::prelude::*;
+
+/// Tiny local helpers (no extra crate): deterministic hashes from bytes.
+mod ofl_w3_test_support {
+    use ofl_primitives::{H160, H256};
+
+    pub fn h160_of(seed: u8) -> H160 {
+        H160::from_slice(&[seed; 20])
+    }
+
+    pub fn h256_of(seed: u8) -> H256 {
+        H256::from_bytes([seed; 32])
+    }
+}
+
+fn arb_method() -> impl Strategy<Value = RpcMethod> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..512)
+            .prop_map(|raw| RpcMethod::SendRawTransaction { raw }),
+        any::<u8>().prop_map(|s| RpcMethod::GetTransactionReceipt { hash: h256_of(s) }),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(f, t, data)| RpcMethod::Call {
+                from: h160_of(f),
+                to: h160_of(t),
+                data,
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u8>())
+        )
+            .prop_map(|(from_block, to_block, addr, topic)| RpcMethod::GetLogs {
+                filter: LogFilter {
+                    from_block,
+                    to_block,
+                    address: addr.map(h160_of),
+                    topic: topic.map(h256_of),
+                },
+            }),
+        Just(RpcMethod::BlockNumber),
+        any::<u8>().prop_map(|s| RpcMethod::GetBalance {
+            address: h160_of(s)
+        }),
+        any::<u8>().prop_map(|s| RpcMethod::GetTransactionCount {
+            address: h160_of(s)
+        }),
+    ]
+}
+
+fn arb_log_entry() -> impl Strategy<Value = LogEntry> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(addr, topics, data)| LogEntry {
+            address: h160_of(addr),
+            topics: topics.into_iter().map(h256_of).collect(),
+            data,
+        })
+}
+
+fn arb_receipt() -> impl Strategy<Value = Receipt> {
+    (
+        any::<u8>(),
+        0u8..3,
+        any::<u64>(),
+        any::<u64>(),
+        proptest::option::of(any::<u8>()),
+        proptest::collection::vec(arb_log_entry(), 0..3),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(
+            |(hash, status, gas_used, price, contract, logs, block_number, output)| Receipt {
+                tx_hash: h256_of(hash),
+                status: match status {
+                    0 => TxStatus::Success,
+                    1 => TxStatus::Reverted,
+                    _ => TxStatus::Failed,
+                },
+                gas_used,
+                effective_gas_price: ofl_primitives::u256::U256::from(price),
+                fee: ofl_primitives::u256::U256::from(price)
+                    .wrapping_mul(&ofl_primitives::u256::U256::from(gas_used)),
+                contract_address: contract.map(h160_of),
+                logs,
+                block_number,
+                output,
+            },
+        )
+}
+
+fn arb_result() -> impl Strategy<Value = RpcResult> {
+    prop_oneof![
+        any::<u8>().prop_map(|s| RpcResult::TxHash(h256_of(s))),
+        proptest::option::of(arb_receipt()).prop_map(RpcResult::Receipt),
+        (
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            any::<u64>()
+        )
+            .prop_map(|(success, output, gas_used)| RpcResult::Call(CallResult {
+                success,
+                output,
+                gas_used,
+            })),
+        proptest::collection::vec(
+            ((any::<u64>(), any::<u8>(), 0usize..8), arb_log_entry()),
+            0..3
+        )
+        .prop_map(|logs| RpcResult::Logs(
+            logs.into_iter()
+                .map(|((block_number, tx, log_index), log)| FilteredLog {
+                    block_number,
+                    tx_hash: h256_of(tx),
+                    log_index,
+                    log,
+                })
+                .collect()
+        )),
+        any::<u64>().prop_map(RpcResult::BlockNumber),
+        any::<u64>().prop_map(|b| RpcResult::Balance(ofl_primitives::u256::U256::from(b))),
+        any::<u64>().prop_map(RpcResult::TransactionCount),
+    ]
+}
+
+fn arb_rpc_error() -> impl Strategy<Value = RpcError> {
+    prop_oneof![
+        Just(RpcError::Timeout),
+        "[a-z ]{0,40}".prop_map(RpcError::Rejected),
+        Just(RpcError::UnexpectedResponse),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_wire_roundtrip(id in any::<u64>(), method in arb_method()) {
+        let request = RpcRequest { id, method };
+        let decoded = RpcRequest::decode(&request.encode());
+        prop_assert_eq!(decoded, Some(request));
+    }
+
+    #[test]
+    fn response_wire_roundtrip(
+        id in any::<u64>(),
+        cost_us in any::<u64>(),
+        result in prop_oneof![
+            arb_result().prop_map(Ok),
+            arb_rpc_error().prop_map(Err),
+        ],
+    ) {
+        let response = RpcResponse {
+            id,
+            result,
+            cost: SimDuration::from_micros(cost_us),
+        };
+        let decoded = RpcResponse::decode(&response.encode());
+        prop_assert_eq!(decoded, Some(response));
+    }
+
+    #[test]
+    fn request_decode_rejects_truncation_and_trailing(
+        id in any::<u64>(),
+        method in arb_method(),
+        extra in 1usize..16,
+    ) {
+        let raw = RpcRequest { id, method }.encode();
+        // Truncated framing never decodes.
+        prop_assert_eq!(RpcRequest::decode(&raw[..raw.len() - 1]), None);
+        // Trailing garbage never decodes (the envelope is exact).
+        let mut padded = raw.clone();
+        padded.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert_eq!(RpcRequest::decode(&padded), None);
+    }
+
+    #[test]
+    fn response_decode_rejects_truncation(
+        id in any::<u64>(),
+        result in arb_result(),
+    ) {
+        let raw = RpcResponse { id, result: Ok(result), cost: SimDuration::ZERO }.encode();
+        prop_assert_eq!(RpcResponse::decode(&raw[..raw.len() - 1]), None);
+    }
+
+    #[test]
+    fn payload_sizes_are_stable(method in arb_method()) {
+        // The latency decorator prices from payload_bytes; it must be a
+        // pure function of the envelope.
+        let a = method.payload_bytes();
+        let b = method.clone().payload_bytes();
+        prop_assert_eq!(a, b);
+    }
+}

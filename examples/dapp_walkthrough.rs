@@ -28,7 +28,7 @@ fn main() {
         let mut app = OwnerApp::new(i);
         println!(
             "  click \"Connect Wallet\"   -> {}",
-            app.connect_wallet(&market)
+            app.connect_wallet(&mut market)
         );
         println!(
             "  click \"Train Model\"      -> {}",
@@ -66,6 +66,6 @@ fn main() {
         "aggregate accuracy {:.1} %, {} owners paid, {} blocks mined",
         report.aggregated_accuracy * 100.0,
         report.payments.len(),
-        market.world.chain.height()
+        market.world.chain().height()
     );
 }

@@ -54,7 +54,7 @@ fn main() {
     println!(
         "\nwhole world finished in {:.1} virtual seconds on {} blocks",
         report.total_sim_seconds,
-        mm.world.chain.height()
+        mm.world.chain().height()
     );
 
     // Shared blocks: the contention the serial workflow can never create.
@@ -88,6 +88,7 @@ fn main() {
     // Staggered arrivals: owners trickle in 30 s apart instead.
     let staggered = EngineConfig {
         arrivals: Arrivals::Staggered(SimDuration::from_secs(30)),
+        ..EngineConfig::default()
     };
     let (_, rolling) = MultiMarket::new(vec![base_config()])
         .run(&staggered, &[])

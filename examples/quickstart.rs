@@ -62,6 +62,6 @@ fn main() {
     println!(
         "total simulated time: {:.0} s across {} blocks",
         report.total_sim_seconds,
-        market.world.chain.height()
+        market.world.chain().height()
     );
 }

@@ -11,6 +11,8 @@
 //! - [`ofl_fl`] — one-shot FL algorithms (PFNM, ensemble, averaging) and FedAvg
 //! - [`ofl_incentive`] — Leave-one-out / Shapley payment mechanisms
 //! - [`ofl_netsim`] — simulated clock, links, and Flask-like services
+//! - [`ofl_rpc`] — the node-API boundary: provider traits, typed RPC
+//!   envelopes with batching, contract bindings, and provider decorators
 //! - [`ofl_core`] — the OFL-W3 marketplace: buyers, owners, the 7-step workflow
 
 pub use ofl_core as core;
@@ -21,4 +23,5 @@ pub use ofl_incentive as incentive;
 pub use ofl_ipfs as ipfs;
 pub use ofl_netsim as netsim;
 pub use ofl_primitives as primitives;
+pub use ofl_rpc as rpc;
 pub use ofl_tensor as tensor;

@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! Derives the simplified [`serde::Serialize`]/[`serde::Deserialize`] traits
+//! Derives the simplified `serde::Serialize`/`serde::Deserialize` traits
 //! defined by the workspace's vendored `serde` crate. No `syn`/`quote`:
 //! the input token stream is parsed by hand, which is sufficient for the
 //! shapes this workspace derives on — plain structs (named, tuple, or unit)
