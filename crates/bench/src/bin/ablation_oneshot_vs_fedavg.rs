@@ -12,6 +12,7 @@
 use ofl_bench::{header, write_record};
 use ofl_core::config::MarketConfig;
 use ofl_core::market::Marketplace;
+use ofl_core::EndpointId;
 use ofl_data::{mnist, partition};
 use ofl_fl::baselines::{fedavg, train_all_silos};
 use ofl_fl::client::TrainConfig;
@@ -58,8 +59,8 @@ fn main() {
         .find(|g| g.label == "deploy")
         .map(|g| g.gas_used)
         .expect("deploy measured");
-    let gas_price_wei = market.world.chain().base_fee().low_u64() + 1_500_000_000;
-    let block_time = market.world.chain().config().block_time as f64;
+    let gas_price_wei = market.world.chain(EndpointId(0)).base_fee().low_u64() + 1_500_000_000;
+    let block_time = market.world.chain(EndpointId(0)).config().block_time as f64;
 
     // FL setup shared by all schemes.
     let n_owners = 10usize;

@@ -38,10 +38,29 @@ struct PollingRow {
 }
 
 #[derive(Serialize)]
+struct CidReadRow {
+    mode: &'static str,
+    provider_round_trips: u64,
+    eth_call_requests: u64,
+    eth_call_virtual_secs: f64,
+    download_phase_secs: f64,
+}
+
+#[derive(Serialize)]
+struct ShardRow {
+    shards: usize,
+    total_secs: f64,
+    max_owners_in_one_block: usize,
+    blocks_with_cid_txs: usize,
+}
+
+#[derive(Serialize)]
 struct Record {
     rows: Vec<Row>,
     multi_market_4x8_secs: f64,
     receipt_polling_32_owners: Vec<PollingRow>,
+    cid_reads_32_owners: Vec<CidReadRow>,
+    sharding_4x8: Vec<ShardRow>,
 }
 
 fn sweep_config(owners: usize) -> MarketConfig {
@@ -147,12 +166,86 @@ fn main() {
         })
         .collect();
 
+    // Batched vs per-index CID downloads for the 32-owner session: the
+    // buyer's step-5 read (Fig 7b "download CIDs") is `cidCount` + ONE
+    // batched `getCid` round trip, against one `eth_call` per index.
+    println!("\nCID downloads, 32 owners (cidCount + one batch vs one eth_call per index):");
+    println!(
+        "{:>10} {:>13} {:>15} {:>17} {:>15}",
+        "mode", "round trips", "eth_call reqs", "call virtual (s)", "download (s)"
+    );
+    let cid_reads: Vec<CidReadRow> = [("batched", true), ("per-call", false)]
+        .into_iter()
+        .map(|(mode, batch_cid_reads)| {
+            let engine = EngineConfig {
+                batch_cid_reads,
+                ..EngineConfig::default()
+            };
+            let (_, report) = MultiMarket::new(vec![sweep_config(32)])
+                .run(&engine, &[])
+                .expect("event-driven session");
+            let calls = report.rpc.method("eth_call");
+            let download_phase_secs = report.sessions[0]
+                .buyer_breakdown
+                .iter()
+                .find(|(label, _, _)| label == "download CIDs")
+                .map(|(_, d, _)| d.as_secs_f64())
+                .unwrap_or(0.0);
+            let row = CidReadRow {
+                mode,
+                provider_round_trips: report.rpc.round_trips,
+                eth_call_requests: calls.calls,
+                eth_call_virtual_secs: calls.cost.as_secs_f64(),
+                download_phase_secs,
+            };
+            println!(
+                "{:>10} {:>13} {:>15} {:>17.3} {:>15.3}",
+                row.mode,
+                row.provider_round_trips,
+                row.eth_call_requests,
+                row.eth_call_virtual_secs,
+                row.download_phase_secs
+            );
+            row
+        })
+        .collect();
+
+    // Same-shard vs cross-shard placement for the 4×8 fleet: one chain
+    // carrying all 32 CID transactions, versus two or four chains carrying
+    // only their own markets'.
+    println!("\nplacement, 4 markets x 8 owners (same-shard vs cross-shard):");
+    println!(
+        "{:>7} {:>12} {:>22} {:>20}",
+        "shards", "total (s)", "max owners per block", "blocks w/ CID txs"
+    );
+    let sharding: Vec<ShardRow> = [1usize, 2, 4]
+        .into_iter()
+        .map(|shards| {
+            let (_, report) = MultiMarket::replicated_sharded(&sweep_config(8), 4, shards)
+                .run(&EngineConfig::default(), &[])
+                .expect("sharded run");
+            let row = ShardRow {
+                shards,
+                total_secs: report.total_sim_seconds,
+                max_owners_in_one_block: report.max_owners_sharing_block(),
+                blocks_with_cid_txs: report.cid_txs_per_block.len(),
+            };
+            println!(
+                "{:>7} {:>12.1} {:>22} {:>20}",
+                row.shards, row.total_secs, row.max_owners_in_one_block, row.blocks_with_cid_txs
+            );
+            row
+        })
+        .collect();
+
     write_record(
         "bench_session_engine",
         &Record {
             rows,
             multi_market_4x8_secs: multi.total_sim_seconds,
             receipt_polling_32_owners: polling,
+            cid_reads_32_owners: cid_reads,
+            sharding_4x8: sharding,
         },
     );
 }

@@ -12,6 +12,7 @@
 use ofl_bench::{header, write_record};
 use ofl_core::config::MarketConfig;
 use ofl_core::market::Marketplace;
+use ofl_core::EndpointId;
 use ofl_primitives::format_eth;
 use ofl_primitives::u256::U256;
 use serde::Serialize;
@@ -50,7 +51,7 @@ fn main() {
     let mut config = MarketConfig::small_test();
     config.n_owners = 10;
     config.n_train = 1000;
-    let (market, report) = Marketplace::run(config).expect("session");
+    let (mut market, report) = Marketplace::run(config).expect("session");
 
     println!(
         "\n{:<16} {:>12} {:>16}",
@@ -109,19 +110,23 @@ fn main() {
         deploy.0 > uploads[0].0 && uploads[0].0 > 21_000
     );
 
-    // MetaMask-style confirmation (Fig 5a) for an uploadCid.
-    let wallet = &market.wallet;
+    // MetaMask-style confirmation (Fig 5a) for an uploadCid. The dialog's
+    // numbers come from the same RPC signing-environment batch the wallet
+    // signs from — not a local chain read.
     let owner = market.owners[0].address;
     let contract = market.contract.expect("deployed").address;
-    let summary = wallet.summarize(
-        market.world.chain(),
-        &owner,
-        Some(&contract),
-        &U256::ZERO,
-        &ofl_eth::contracts::CidStorage::upload_cid_calldata(
-            "QmYwAPJzv5CZsnA625s3Xf2nemtYgPpHdWEz79ojWnPbdG",
-        ),
+    let data = ofl_eth::contracts::CidStorage::upload_cid_calldata(
+        "QmYwAPJzv5CZsnA625s3Xf2nemtYgPpHdWEz79ojWnPbdG",
     );
+    let (env, _rpc_cost) = market
+        .world
+        .tx_env(EndpointId(0), &owner, Some(&contract), &data)
+        .expect("signing environment over RPC");
+    let summary =
+        market
+            .session
+            .wallet
+            .summarize_with_env(&env, Some(&contract), &U256::ZERO, &data);
     println!("\nMetaMask confirmation dialog (Fig 5a analogue):");
     for line in summary.display().lines() {
         println!("  | {line}");

@@ -9,6 +9,7 @@
 use ofl_bench::{bar, header, write_record};
 use ofl_core::config::MarketConfig;
 use ofl_core::market::{buyer_phase, owner_phase, Marketplace};
+use ofl_core::EndpointId;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -111,7 +112,7 @@ fn main() {
     println!(
         "total simulated session time: {:.1} s ({} blocks mined)",
         report.total_sim_seconds,
-        market.world.chain().height()
+        market.world.chain(EndpointId(0)).height()
     );
     println!(
         "contrast: traditional FL at ≥100 rounds would multiply every owner's \

@@ -7,7 +7,7 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_netsim::timing::ComputeModel;
 use ofl_primitives::u256::U256;
 use ofl_primitives::wei_per_eth;
-use ofl_rpc::FaultProfile;
+use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile};
 
 /// How the training data is split across model owners.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,9 +59,19 @@ pub struct MarketConfig {
     pub owner_compute: ComputeModel,
     /// Buyer's backend workstation (paper: 2×RTX A5000 server).
     pub buyer_compute: ComputeModel,
-    /// Seeded RPC fault injection for the world's provider stack (`None` =
+    /// Seeded RPC fault injection for the market's endpoint (`None` =
     /// reliable endpoint) — the infrastructure-fault scenario knob.
     pub rpc_faults: Option<FaultProfile>,
+    /// Seeded per-slot request quota for the market's endpoint (`None` =
+    /// no 429s) — the rate-limit scenario knob.
+    pub rpc_rate_limit: Option<RateLimitProfile>,
+    /// Which shard of the world this market's sessions are pinned to. A
+    /// solo serial [`Marketplace`](crate::market::Marketplace) always runs
+    /// on shard 0; `MultiMarket` worlds size their provider pool to cover
+    /// the largest placement and route each market's traffic — contract
+    /// calls, transactions, wallet signing reads, IPFS transfers — through
+    /// its own endpoint.
+    pub placement: EndpointId,
 }
 
 impl Default for MarketConfig {
@@ -83,6 +93,8 @@ impl Default for MarketConfig {
             owner_compute: ComputeModel::rtx_a5000(),
             buyer_compute: ComputeModel::rtx_a5000(),
             rpc_faults: None,
+            rpc_rate_limit: None,
+            placement: EndpointId(0),
         }
     }
 }

@@ -13,8 +13,10 @@
 //! both priced, metered, and fault-injectable like all other traffic.
 
 use crate::market::{MarketError, Marketplace, SessionReport};
-use crate::world::WorldError;
+use crate::world::{World, WorldError};
+use ofl_netsim::clock::SimDuration;
 use ofl_primitives::format_eth;
+use ofl_rpc::{EndpointId, ModelMarketContract};
 
 /// A UI event (what the user sees after a click).
 #[derive(Debug, Clone)]
@@ -57,7 +59,8 @@ impl OwnerApp {
     /// through the provider (`eth_getBalance`), like MetaMask's header.
     pub fn connect_wallet(&mut self, market: &mut Marketplace) -> String {
         let addr = market.owners[self.owner_index].address;
-        let (balance, cost) = market.world.eth_retry(|eth| eth.get_balance(&addr));
+        let ep = market.session.placement;
+        let (balance, cost) = market.world.eth_retry(ep, |eth| eth.get_balance(&addr));
         market.world.clock.advance(cost);
         // A provider failure must not masquerade as an empty wallet.
         let msg = match balance {
@@ -127,10 +130,61 @@ impl OwnerApp {
     }
 }
 
+/// A resumable cursor over the contract's `CidUploaded` event stream —
+/// what a production DApp's subscription loop keeps between polls.
+///
+/// Each [`CidWatcher::poll`] reads the chain head (`eth_blockNumber`) and
+/// queries only `(last_seen, head]` via the typed binding's
+/// `LogFilter::in_blocks` range, so repeated polls never rescan — and
+/// never re-yield — blocks already seen. Compare the whole-chain scan of
+/// [`Marketplace::buyer_watch_upload_events`], which rereads everything
+/// on every call.
+pub struct CidWatcher {
+    contract: ModelMarketContract,
+    endpoint: EndpointId,
+    /// The highest block this watcher has already consumed.
+    pub last_seen_block: u64,
+}
+
+impl CidWatcher {
+    /// A watcher starting from genesis (nothing consumed yet).
+    pub fn new(contract: ModelMarketContract, endpoint: EndpointId) -> CidWatcher {
+        CidWatcher {
+            contract,
+            endpoint,
+            last_seen_block: 0,
+        }
+    }
+
+    /// One iteration of the subscription loop: yields only CIDs uploaded in
+    /// blocks this watcher has not consumed yet, plus the RPC time of the
+    /// head read and (when anything is new) the one `eth_getLogs` range
+    /// query. The caller charges the duration.
+    pub fn poll(&mut self, world: &mut World) -> Result<(Vec<String>, SimDuration), MarketError> {
+        let ep = self.endpoint;
+        let (head, mut duration) = world.eth_retry(ep, |eth| eth.block_number());
+        let head = head.map_err(WorldError::Rpc)?;
+        if head <= self.last_seen_block {
+            return Ok((Vec::new(), duration));
+        }
+        let from = self.last_seen_block + 1;
+        let contract = self.contract;
+        let (cids, d_logs) = world.eth_retry(ep, |eth| contract.uploaded_cids_in(eth, from, head));
+        duration = duration.saturating_add(d_logs);
+        let cids = cids?;
+        // Advance the cursor only once the range was actually read — a
+        // failed query must leave those blocks unconsumed for the next
+        // poll, or their CIDs would be skipped forever.
+        self.last_seen_block = head;
+        Ok((cids, duration))
+    }
+}
+
 /// The model-buyer screen (paper Fig 3b).
 pub struct BuyerApp {
     events: Vec<UiEvent>,
     cids: Vec<String>,
+    watcher: Option<CidWatcher>,
 }
 
 impl BuyerApp {
@@ -139,6 +193,7 @@ impl BuyerApp {
         BuyerApp {
             events: Vec::new(),
             cids: Vec::new(),
+            watcher: None,
         }
     }
 
@@ -157,7 +212,8 @@ impl BuyerApp {
     /// The status line at the top of the buyer screen: chain head via
     /// `eth_blockNumber`, straight through the provider stack.
     pub fn node_status(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
-        let (head, cost) = market.world.eth_retry(|eth| eth.block_number());
+        let ep = market.session.placement;
+        let (head, cost) = market.world.eth_retry(ep, |eth| eth.block_number());
         market.world.clock.advance(cost);
         match head {
             Ok(head) => {
@@ -206,6 +262,40 @@ impl BuyerApp {
             }
             Err(e) => {
                 self.log(format!("Download CIDs failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// "Watch CIDs" — the incremental alternative to "Download CIDs": an
+    /// event-subscription poll that appends only CIDs uploaded since the
+    /// last poll (resuming from the last-seen block), never re-yielding
+    /// one. Production DApps run this in a loop instead of whole-chain
+    /// scans.
+    pub fn watch_cids(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
+        if self.watcher.is_none() {
+            let contract = market
+                .session
+                .contract
+                .ok_or(MarketError::StepOrder("deploy before watching events"))?;
+            self.watcher = Some(CidWatcher::new(contract, market.session.placement));
+        }
+        let watcher = self.watcher.as_mut().expect("created above");
+        match watcher.poll(&mut market.world) {
+            Ok((fresh, duration)) => {
+                market.world.clock.advance(duration);
+                let msg = format!(
+                    "Watched {} new CIDs through block {} ({} total, no gas fee)",
+                    fresh.len(),
+                    watcher.last_seen_block,
+                    self.cids.len() + fresh.len()
+                );
+                self.cids.extend(fresh);
+                self.log(msg.clone());
+                Ok(msg)
+            }
+            Err(e) => {
+                self.log(format!("Watch CIDs failed: {e}"));
                 Err(e)
             }
         }
@@ -277,7 +367,7 @@ mod tests {
         let status = buyer_app.node_status(&mut market).unwrap();
         assert!(status.contains("block 1"), "{status}");
         // Both queries were metered as provider traffic.
-        let metrics = market.world.rpc_metrics();
+        let metrics = market.world.rpc_metrics(EndpointId(0));
         assert!(metrics.method("eth_getBalance").calls >= 1);
         assert!(metrics.method("eth_blockNumber").calls >= 2);
     }
@@ -329,6 +419,51 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.message.contains("Aggregate & Pay failed")));
+    }
+
+    #[test]
+    fn cid_watcher_cursor_never_reyields() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let mut buyer_app = BuyerApp::new();
+        buyer_app.deploy_contract(&mut market).unwrap();
+
+        // First two owners publish, then the buyer polls.
+        for i in 0..2 {
+            let mut app = OwnerApp::new(i);
+            app.train_model(&mut market);
+            app.upload_model(&mut market).unwrap();
+            app.send_cid(&mut market).unwrap();
+        }
+        buyer_app.watch_cids(&mut market).unwrap();
+        let after_first: Vec<String> = buyer_app.cids.clone();
+        assert_eq!(after_first.len(), 2);
+
+        // An idle poll (no new blocks) yields nothing.
+        buyer_app.watch_cids(&mut market).unwrap();
+        assert_eq!(buyer_app.cids, after_first);
+
+        // Two more owners publish; the next poll yields only the fresh
+        // CIDs — the cursor resumed past the already-consumed blocks.
+        for i in 2..market.owners.len() {
+            let mut app = OwnerApp::new(i);
+            app.train_model(&mut market);
+            app.upload_model(&mut market).unwrap();
+            app.send_cid(&mut market).unwrap();
+        }
+        buyer_app.watch_cids(&mut market).unwrap();
+        assert_eq!(buyer_app.cids.len(), market.owners.len());
+        let unique: std::collections::HashSet<_> = buyer_app.cids.iter().collect();
+        assert_eq!(
+            unique.len(),
+            buyer_app.cids.len(),
+            "a cursor poll must never re-yield a CID"
+        );
+        // The incremental stream saw exactly what the polling read sees.
+        assert_eq!(buyer_app.cids, market.buyer_download_cids().unwrap());
+        // And the rest of the workflow continues off the watched set.
+        buyer_app.retrieve_models(&mut market).unwrap();
+        let report = buyer_app.aggregate_and_pay(&mut market).unwrap();
+        assert_eq!(report.payments.len(), market.owners.len());
     }
 
     #[test]

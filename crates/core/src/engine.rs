@@ -11,18 +11,21 @@
 //!   whose steps fire as events on the owner's own timeline; the world
 //!   advances to the earliest pending event, so owners overlap in time.
 //! - Transaction submission is **non-blocking**: `uploadCid` calls from
-//!   many owners (and deploys/payments from many buyers) sit in the one
-//!   shared mempool until a `Mine` event fires at the next 12-second slot
+//!   many owners (and deploys/payments from many buyers) sit in their
+//!   shard's mempool until a `Mine` event fires at the next 12-second slot
 //!   boundary, which packs them into *shared* blocks. Base-fee movement,
 //!   per-block gas pressure, and confirmation-wait distributions emerge
 //!   from that contention rather than being serialized away.
 //! - [`MultiMarket`] runs N complete marketplace sessions over **one**
-//!   world — one chain, one swarm — the substrate shape the roadmap's
-//!   heavy-traffic north star requires.
+//!   world whose provider pool fronts one or more shards. Markets placed
+//!   on the same [`EndpointId`] contend for the same blocks exactly as a
+//!   single-chain world; markets placed on different shards land their CID
+//!   transactions in different chains' blocks, which is how the engine
+//!   compares same-shard against cross-shard contention.
 //!
 //! Determinism: the queue delivers simultaneous events in scheduling
 //! order, all state is seeded, and nothing iterates a hash map — a run is
-//! a pure function of `(configs, failures, arrivals)`.
+//! a pure function of `(configs, placements, failures, arrivals)`.
 
 use crate::config::MarketConfig;
 use crate::market::{
@@ -30,7 +33,7 @@ use crate::market::{
     SessionBlueprint, SessionReport,
 };
 use crate::scenario::FailurePlan;
-use crate::world::{World, WorldError};
+use crate::world::{ShardSpec, World, WorldError};
 use ofl_eth::block::Receipt;
 use ofl_ipfs::cid::Cid;
 use ofl_ipfs::swarm::Swarm;
@@ -38,7 +41,7 @@ use ofl_netsim::clock::{SimDuration, SimInstant};
 use ofl_netsim::sched::{EventQueue, Timeline};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
-use ofl_rpc::{Billed, ModelMarketContract, ProviderMetrics};
+use ofl_rpc::{EndpointId, ModelMarketContract, ProviderMetrics};
 use std::collections::BTreeSet;
 
 /// When each owner shows up to start training.
@@ -65,9 +68,13 @@ pub struct EngineConfig {
     /// Owner arrival pattern (per market).
     pub arrivals: Arrivals,
     /// Whether the per-slot receipt polls for every pending transaction
-    /// ride one batched provider round trip (the default) or one request
-    /// per hash — the knob `bench_session_engine` sweeps.
+    /// ride one batched provider round trip per shard (the default) or one
+    /// request per hash — the knob `bench_session_engine` sweeps.
     pub batch_receipt_polls: bool,
+    /// Whether the buyer's step-5 CID download rides `cidCount` + one
+    /// batched `getCid` round trip (the default) or one `eth_call` per
+    /// index — the Fig 7b knob `bench_session_engine` sweeps.
+    pub batch_cid_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +82,7 @@ impl Default for EngineConfig {
         EngineConfig {
             arrivals: Arrivals::Simultaneous,
             batch_receipt_polls: true,
+            batch_cid_reads: true,
         }
     }
 }
@@ -99,28 +107,44 @@ pub struct EngineReport {
     pub details: Vec<SessionDetail>,
     /// Virtual time from world start to the last buyer's completion.
     pub total_sim_seconds: f64,
-    /// `(block_number, distinct owners whose uploadCid landed there)` for
-    /// every block that carried at least one CID transaction.
-    pub cid_txs_per_block: Vec<(u64, usize)>,
-    /// Provider metering for the whole run (shared world): per-method call
-    /// counts, round trips, and virtual-time totals.
+    /// `(endpoint, block_number, distinct owners whose uploadCid landed
+    /// there)` for every block that carried at least one CID transaction —
+    /// cross-shard placements show up as rows with different endpoints.
+    pub cid_txs_per_block: Vec<(EndpointId, u64, usize)>,
+    /// Provider metering for the whole run: every endpoint's counters
+    /// rolled up into one snapshot.
     pub rpc: ProviderMetrics,
+    /// Per-endpoint provider metering, indexed by `EndpointId.0` — what a
+    /// sharded run uses to see which shard carried which traffic.
+    pub rpc_per_endpoint: Vec<ProviderMetrics>,
 }
 
 impl EngineReport {
-    /// The largest number of distinct owners sharing one block — ≥ 2 is the
-    /// contention the serial engine could never produce.
+    /// The largest number of distinct owners sharing one block (on any
+    /// shard) — ≥ 2 is the contention the serial engine could never
+    /// produce.
     pub fn max_owners_sharing_block(&self) -> usize {
         self.cid_txs_per_block
             .iter()
-            .map(|(_, n)| *n)
+            .map(|(_, _, n)| *n)
             .max()
             .unwrap_or(0)
     }
+
+    /// The shards that carried at least one CID transaction, deduplicated
+    /// in endpoint order.
+    pub fn shards_with_cid_txs(&self) -> Vec<EndpointId> {
+        let mut shards: Vec<EndpointId> =
+            self.cid_txs_per_block.iter().map(|(e, _, _)| *e).collect();
+        shards.sort();
+        shards.dedup();
+        shards
+    }
 }
 
-/// N concurrent marketplace sessions sharing one world: one chain, one
-/// swarm, one mempool.
+/// N concurrent marketplace sessions sharing one world: one provider pool
+/// of one or more shards, each market pinned to its
+/// [`MarketConfig::placement`] endpoint.
 pub struct MultiMarket {
     /// The shared substrate.
     pub world: World,
@@ -129,14 +153,32 @@ pub struct MultiMarket {
 }
 
 impl MultiMarket {
-    /// Builds a shared world from explicit per-market configurations. The
-    /// first market's chain parameters and network profile govern the
-    /// world; market 0 derives exactly like a solo
+    /// Builds a shared world from explicit per-market configurations, with
+    /// exactly as many shards as the largest placement requires. The first
+    /// market's chain parameters, network profile, and fault/quota knobs
+    /// govern every shard; market 0 derives exactly like a solo
     /// [`Marketplace`](crate::market::Marketplace) (so serial-vs-event
     /// comparisons are apples to apples), later markets are namespaced
     /// `m1/`, `m2/`, …
     pub fn new(configs: Vec<MarketConfig>) -> MultiMarket {
+        let shards = configs
+            .iter()
+            .map(|c| c.placement.0 + 1)
+            .max()
+            .expect("at least one market required");
+        MultiMarket::with_shards(configs, shards)
+    }
+
+    /// Like [`MultiMarket::new`], but with an explicit shard count (≥ the
+    /// largest placement + 1) — how a world keeps idle endpoints around,
+    /// e.g. to show that two markets pinned to shard 0 of a 2-shard pool
+    /// behave bit-identically to a 1-shard world.
+    pub fn with_shards(configs: Vec<MarketConfig>, shards: usize) -> MultiMarket {
         assert!(!configs.is_empty(), "at least one market required");
+        assert!(
+            configs.iter().all(|c| c.placement.0 < shards),
+            "every placement must name an existing shard"
+        );
         let blueprints: Vec<SessionBlueprint> = configs
             .iter()
             .enumerate()
@@ -149,35 +191,56 @@ impl MultiMarket {
                 SessionBlueprint::new(c.clone(), &label)
             })
             .collect();
-        let genesis: Vec<(H160, U256)> = blueprints
-            .iter()
-            .flat_map(|b| b.genesis().iter().cloned())
+        // Each shard funds exactly the markets placed on it.
+        let specs: Vec<ShardSpec> = (0..shards)
+            .map(|s| {
+                let genesis: Vec<(H160, U256)> = blueprints
+                    .iter()
+                    .zip(&configs)
+                    .filter(|(_, c)| c.placement.0 == s)
+                    .flat_map(|(b, _)| b.genesis().iter().cloned())
+                    .collect();
+                ShardSpec {
+                    chain: configs[0].chain.clone(),
+                    genesis,
+                    faults: configs[0].rpc_faults,
+                    rate_limit: configs[0].rpc_rate_limit,
+                }
+            })
             .collect();
-        let mut world = World::with_faults(
-            configs[0].chain.clone(),
-            &genesis,
-            configs[0].profile,
-            configs[0].rpc_faults,
-        );
+        let mut world = World::from_shards(specs, configs[0].profile);
         let sessions = blueprints
             .into_iter()
-            .map(|b| b.instantiate(world.swarm_mut()))
+            .zip(&configs)
+            .map(|(b, c)| b.instantiate(world.swarm_mut(c.placement)))
             .collect();
         MultiMarket { world, sessions }
     }
 
     /// `markets` copies of `base` with decorrelated data/model seeds — the
-    /// "4×8" style regimes.
+    /// "4×8" style regimes — all placed on one shard.
     pub fn replicated(base: &MarketConfig, markets: usize) -> MultiMarket {
-        let configs = (0..markets)
+        MultiMarket::new(Self::replica_configs(base, markets, 1))
+    }
+
+    /// `markets` decorrelated copies of `base` spread round-robin across
+    /// `shards` chains — the cross-shard contention regime. A shard count
+    /// of 0 is treated as 1 (a pool cannot be empty).
+    pub fn replicated_sharded(base: &MarketConfig, markets: usize, shards: usize) -> MultiMarket {
+        let shards = shards.max(1);
+        MultiMarket::with_shards(Self::replica_configs(base, markets, shards), shards)
+    }
+
+    fn replica_configs(base: &MarketConfig, markets: usize, shards: usize) -> Vec<MarketConfig> {
+        (0..markets)
             .map(|m| {
                 let mut c = base.clone();
                 c.seed = base.seed.wrapping_add(m as u64 * 7919);
                 c.train.seed = base.train.seed.wrapping_add(m as u64 * 104_729);
+                c.placement = EndpointId(m % shards.max(1));
                 c
             })
-            .collect();
-        MultiMarket::new(configs)
+            .collect()
     }
 
     /// Runs every session to completion on the event queue. `failures[m]`
@@ -188,6 +251,7 @@ impl MultiMarket {
         failures: &[FailurePlan],
     ) -> Result<(MultiMarket, EngineReport), MarketError> {
         self.world.batch_receipt_polls = engine.batch_receipt_polls;
+        self.world.batch_cid_reads = engine.batch_cid_reads;
         let report = {
             let mut driver = Driver::new(
                 &mut self.world,
@@ -269,6 +333,8 @@ enum Wake {
 }
 
 struct PendingTx {
+    /// Which shard the transaction was broadcast to.
+    endpoint: EndpointId,
     hash: H256,
     submitted_height: u64,
     wake: Wake,
@@ -391,7 +457,8 @@ impl<'a> Driver<'a> {
             details,
             total_sim_seconds: self.world.clock.elapsed_secs(),
             cid_txs_per_block,
-            rpc: self.world.rpc_metrics(),
+            rpc: self.world.rpc_metrics_merged(),
+            rpc_per_endpoint: self.world.rpc_metrics_per_endpoint(),
         })
     }
 
@@ -439,16 +506,22 @@ impl<'a> Driver<'a> {
 
     fn on_submit_deploy(&mut self, m: usize, _t: SimInstant) -> Result<(), MarketError> {
         let buyer = self.sessions[m].buyer.address;
-        let hash = self.world.submit_tx(
+        let ep = self.sessions[m].placement;
+        let (hash, preflight) = self.world.submit_tx(
+            ep,
             &self.sessions[m].wallet,
             &buyer,
             None,
             U256::ZERO,
             ModelMarketContract::init_code(),
         )?;
+        // The wallet's signing reads ride the buyer's own timeline; the
+        // deploy-confirm wake will advance past them anyway.
+        self.markets[m].buyer_timeline.advance(preflight);
         self.pending.push(PendingTx {
+            endpoint: ep,
             hash,
-            submitted_height: self.world.chain().height(),
+            submitted_height: self.world.chain(ep).height(),
             wake: Wake::Deploy { m },
         });
         let slot = self.world.next_slot_secs(self.world.clock.now());
@@ -507,6 +580,8 @@ impl<'a> Driver<'a> {
     ) -> Result<(), MarketError> {
         let hash;
         let wake;
+        let ep = self.sessions[m].placement;
+        let preflight;
         if self.markets[m].failures.revert_cid_tx.contains(&i) {
             // An unknown selector: the contract's dispatcher reverts, the
             // owner pays intrinsic+execution gas, no CID lands.
@@ -514,21 +589,30 @@ impl<'a> Driver<'a> {
                 .contract
                 .ok_or(MarketError::StepOrder("deploy before sending CIDs"))?;
             let from = self.sessions[m].owners[i].address;
-            hash = self.world.submit_tx(
+            let (h, cost) = self.world.submit_tx(
+                ep,
                 &self.sessions[m].wallet,
                 &from,
                 Some(contract.address),
                 U256::ZERO,
                 vec![0xde, 0xad, 0xbe, 0xef],
             )?;
+            hash = h;
+            preflight = cost;
             wake = Wake::OwnerRevert { m, i };
         } else {
-            hash = self.sessions[m].submit_cid(self.world, i)?;
+            let (h, cost) = self.sessions[m].submit_cid(self.world, i)?;
+            hash = h;
+            preflight = cost;
             wake = Wake::OwnerCid { m, i, phase_start };
         }
+        // The signing reads ride the owner's own timeline; the receipt wake
+        // advances past them.
+        self.markets[m].owner_timelines[i].advance(preflight);
         self.pending.push(PendingTx {
+            endpoint: ep,
             hash,
-            submitted_height: self.world.chain().height(),
+            submitted_height: self.world.chain(ep).height(),
             wake,
         });
         let slot = self.world.next_slot_secs(t);
@@ -541,15 +625,13 @@ impl<'a> Driver<'a> {
         self.world.mine_slot(slot_secs);
         let now = self.world.clock.now();
 
-        // One receipt poll for *everything* pending — a single batched
-        // provider round trip (or N per-call polls when the engine config
-        // says so); everyone waiting wakes when the answer lands.
-        let hashes: Vec<H256> = self.pending.iter().map(|p| p.hash).collect();
-        let Billed {
-            value: receipts,
-            cost,
-        } = self.world.poll_receipts(&hashes);
-        let wake_at = SimInstant(now.0 + cost.0);
+        // One receipt poll for *everything* pending — the pool fans the
+        // tagged batch out, one wire round trip per shard involved (or
+        // per-call polls when the engine config says so); every waiter
+        // wakes when its own shard's answer lands.
+        let items: Vec<(EndpointId, H256)> =
+            self.pending.iter().map(|p| (p.endpoint, p.hash)).collect();
+        let (receipts, poll_costs) = self.world.poll_receipts_sharded(&items);
 
         // Deliver receipts to whoever was waiting on this block.
         let pending = std::mem::take(&mut self.pending);
@@ -558,6 +640,7 @@ impl<'a> Driver<'a> {
                 self.pending.push(p);
                 continue;
             };
+            let wake_at = SimInstant(now.0 + poll_costs[p.endpoint.0].0);
             match p.wake {
                 Wake::Deploy { m } => self.on_deploy_confirmed(m, &receipt, wake_at)?,
                 Wake::OwnerCid { m, i, phase_start } => {
@@ -586,25 +669,24 @@ impl<'a> Driver<'a> {
         }
 
         // Anything still unmined: detect evictions and enforce the
-        // configurable confirmation cap (same budget as the serial
-        // `World::mine_until`: give up once `max_wait_slots` slots have been
-        // mined since submission, reporting the actual count).
-        let max_wait = self.world.chain().config().max_wait_slots;
-        let height = self.world.chain().height();
+        // configurable confirmation cap per shard (same budget as the
+        // serial `World::mine_until`: give up once `max_wait_slots` slots
+        // have been mined since submission, reporting the actual count).
         let mut timed_out = Vec::new();
         let mut slots_mined = 0u64;
         for p in &self.pending {
+            let chain = self.world.chain(p.endpoint);
             // Backstage check (not client traffic): a transaction neither
             // mined nor pending was silently evicted, while a mined one the
             // flaky poll merely missed will be re-polled next slot.
-            if self.world.chain().receipt(&p.hash).is_some() {
+            if chain.receipt(&p.hash).is_some() {
                 continue; // mined; the flaky poll just missed it this slot
             }
-            if !self.world.chain().is_pending(&p.hash) {
+            if !chain.is_pending(&p.hash) {
                 return Err(MarketError::World(WorldError::TxDropped(p.hash)));
             }
-            let waited = height.saturating_sub(p.submitted_height);
-            if waited >= max_wait {
+            let waited = chain.height().saturating_sub(p.submitted_height);
+            if waited >= chain.config().max_wait_slots {
                 timed_out.push(p.hash);
                 slots_mined = slots_mined.max(waited);
             }
@@ -616,10 +698,14 @@ impl<'a> Driver<'a> {
             }));
         }
 
-        // Keep slots coming while work is queued — or while a flaky poll
-        // left receipts undelivered (the next slot's poll retries them).
-        if self.world.chain().mempool_len() > 0 || !self.pending.is_empty() {
-            self.schedule_mine(slot_secs + self.world.chain().config().block_time);
+        // Keep slots coming while work is queued on any shard — or while a
+        // flaky poll left receipts undelivered (the next slot's poll
+        // retries them).
+        let any_mempool =
+            (0..self.world.endpoints()).any(|i| self.world.chain(EndpointId(i)).mempool_len() > 0);
+        if any_mempool || !self.pending.is_empty() {
+            let block_time = self.world.chain(EndpointId(0)).config().block_time;
+            self.schedule_mine(slot_secs + block_time);
         }
         Ok(())
     }
@@ -646,12 +732,13 @@ impl<'a> Driver<'a> {
     }
 
     fn on_buyer_finalize(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        let ep = self.sessions[m].placement;
         // Availability failure: after the CIDs are public, the blocks vanish.
         let drop_blocks = self.markets[m].failures.drop_ipfs_blocks.clone();
         for i in drop_blocks {
             if let Some(cid) = self.sessions[m].owners[i].cid.clone() {
                 let node_index = self.sessions[m].owners[i].ipfs_node;
-                let node = self.world.swarm_mut().node_mut(node_index);
+                let node = self.world.swarm_mut(ep).node_mut(node_index);
                 node.store_mut().unpin(&cid);
                 node.store_mut().gc();
             }
@@ -663,12 +750,12 @@ impl<'a> Driver<'a> {
             .buyer_recorder
             .add(buyer_phase::DOWNLOAD_CIDS, d_download);
         // A production client gives up on unfetchable CIDs; retrieve only
-        // content some peer can still serve.
+        // content some peer on the market's shard can still serve.
         let cids_retrieved: Vec<String> = cids_onchain
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(self.world.swarm(), &c))
+                    .map(|c| swarm_has(self.world.swarm(ep), &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -700,13 +787,22 @@ impl<'a> Driver<'a> {
     }
 
     fn on_buyer_submit_payments(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        let ep = self.sessions[m].placement;
         let (agg, loo) = self.markets[m]
             .finalize
-            .as_ref()
+            .take()
             .expect("finalize precedes payments");
         // Fee terms are priced at broadcast time, against the base fee the
-        // shared chain has *now* — not at finalize time.
-        let txs = self.sessions[m].build_payment_txs(self.world.chain(), agg, loo);
+        // market's shard has *now* — not at finalize time. The signing
+        // environment is RPC traffic like everything else; its preflight
+        // rides the buyer's timeline.
+        let (env, env_cost) = self.sessions[m].payment_env(self.world, &agg)?;
+        self.markets[m].buyer_timeline.advance(env_cost);
+        let txs = match env {
+            Some(env) => self.sessions[m].build_payment_txs(&env, &agg, &loo),
+            None => Vec::new(),
+        };
+        self.markets[m].finalize = Some((agg, loo));
         let mut hashes = Vec::new();
         let mut paid = Vec::new();
         for (address, amount, tx) in txs {
@@ -714,11 +810,12 @@ impl<'a> Driver<'a> {
             // buyer's timeline at finalize; retries (flaky provider) smear
             // onto the global clock inside `broadcast_raw`'s bill, which the
             // engine deliberately leaves unapplied.
-            let (result, _cost) = self.world.broadcast_raw(&tx.encode());
+            let (result, _cost) = self.world.broadcast_raw(ep, &tx.encode());
             let hash = result.map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
             self.pending.push(PendingTx {
+                endpoint: ep,
                 hash,
-                submitted_height: self.world.chain().height(),
+                submitted_height: self.world.chain(ep).height(),
                 wake: Wake::Payment { m },
             });
             hashes.push(hash);
@@ -738,12 +835,13 @@ impl<'a> Driver<'a> {
     }
 
     fn on_buyer_done(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
+        let ep = self.sessions[m].placement;
         let run = &mut self.markets[m];
         let mut payments = Vec::with_capacity(run.payment_hashes.len());
         for ((address, amount), hash) in run.paid.iter().zip(&run.payment_hashes) {
             let receipt = self
                 .world
-                .chain()
+                .chain(ep)
                 .receipt(hash)
                 .expect("payment mined")
                 .clone();
@@ -766,24 +864,30 @@ impl<'a> Driver<'a> {
             &loo,
             payments,
             total_secs,
-            self.world.rpc_metrics(),
+            self.world.rpc_metrics(ep),
         ));
         Ok(())
     }
 
-    /// For every mined block, how many distinct owners' `uploadCid`
-    /// transactions it carries (across all markets).
-    fn cid_block_occupancy(&self) -> Vec<(u64, usize)> {
-        let mut per_block: std::collections::BTreeMap<u64, usize> =
+    /// For every mined block on every shard, how many distinct owners'
+    /// `uploadCid` transactions it carries (across all markets placed
+    /// there).
+    fn cid_block_occupancy(&self) -> Vec<(EndpointId, u64, usize)> {
+        let mut per_block: std::collections::BTreeMap<(EndpointId, u64), usize> =
             std::collections::BTreeMap::new();
         for session in self.sessions.iter() {
             for owner in &session.owners {
                 if let Some(receipt) = &owner.upload_receipt {
-                    *per_block.entry(receipt.block_number).or_insert(0) += 1;
+                    *per_block
+                        .entry((session.placement, receipt.block_number))
+                        .or_insert(0) += 1;
                 }
             }
         }
-        per_block.into_iter().collect()
+        per_block
+            .into_iter()
+            .map(|((ep, block), n)| (ep, block, n))
+            .collect()
     }
 }
 
@@ -832,14 +936,14 @@ mod tests {
             report.sessions[0].payments.len(),
             serial_report.payments.len()
         );
-        assert!(mm.world.chain().height() >= 1);
+        assert!(mm.world.chain(EndpointId(0)).height() >= 1);
     }
 
     #[test]
     fn multi_market_sessions_complete_on_one_chain() {
         let mm = MultiMarket::replicated(&tiny(3), 2);
         assert_eq!(mm.sessions.len(), 2);
-        let genesis_supply = mm.world.chain().state().total_supply();
+        let genesis_supply = mm.world.chain(EndpointId(0)).state().total_supply();
         let (mm, report) = mm.run(&EngineConfig::default(), &[]).expect("runs");
         assert_eq!(report.sessions.len(), 2);
         for session_report in &report.sessions {
@@ -848,8 +952,8 @@ mod tests {
         // Distinct markets, distinct CIDs (decorrelated seeds).
         assert_ne!(report.sessions[0].cids, report.sessions[1].cids);
         // One shared chain conserved ETH across both markets.
-        let live = mm.world.chain().state().total_supply();
-        let burned = mm.world.chain().burned();
+        let live = mm.world.chain(EndpointId(0)).state().total_supply();
+        let burned = mm.world.chain(EndpointId(0)).burned();
         assert_eq!(live.wrapping_add(&burned), genesis_supply);
     }
 
@@ -889,6 +993,40 @@ mod tests {
                 rb.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn cross_shard_markets_land_in_different_chains_blocks() {
+        let mm = MultiMarket::replicated_sharded(&tiny(3), 2, 2);
+        assert_eq!(mm.world.endpoints(), 2);
+        let (mm, report) = mm.run(&EngineConfig::default(), &[]).expect("runs");
+        assert_eq!(report.sessions.len(), 2);
+        for session_report in &report.sessions {
+            assert_eq!(session_report.payments.len(), 3);
+        }
+        // CID transactions landed on both chains — and only each market's
+        // own shard carries its transactions.
+        assert_eq!(
+            report.shards_with_cid_txs(),
+            vec![EndpointId(0), EndpointId(1)]
+        );
+        assert!(mm.world.chain(EndpointId(0)).height() >= 1);
+        assert!(mm.world.chain(EndpointId(1)).height() >= 1);
+        // Both endpoints metered their own market's traffic, and the
+        // rollup equals the per-endpoint sum.
+        let per = &report.rpc_per_endpoint;
+        assert!(per[0].total_calls() > 0 && per[1].total_calls() > 0);
+        assert_eq!(
+            report.rpc.total_calls(),
+            per[0].total_calls() + per[1].total_calls()
+        );
+        assert_eq!(
+            report.rpc.round_trips,
+            per[0].round_trips + per[1].round_trips
+        );
+        // Each session report carries its own endpoint's snapshot.
+        assert_eq!(report.sessions[0].rpc.total_calls(), per[0].total_calls());
+        assert_eq!(report.sessions[1].rpc.total_calls(), per[1].total_calls());
     }
 
     #[test]

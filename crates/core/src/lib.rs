@@ -5,13 +5,15 @@
 //! aggregate shared models with PFNM; model **owners** train on private
 //! silos and are paid by Leave-one-out contribution.
 //!
-//! - [`config`]: session parameters (the paper's §4 demo defaults).
-//! - [`world`]: the shared substrate — chain + IPFS swarm + virtual clock.
+//! - [`config`]: session parameters (the paper's §4 demo defaults),
+//!   including each market's shard [`config::MarketConfig::placement`].
+//! - [`world`]: the shared substrate — a provider *pool* of N chain shards
+//!   plus their IPFS swarms, one virtual clock.
 //! - [`market`]: the 7-step workflow and the [`market::SessionReport`] that
 //!   feeds every figure/table of the paper.
 //! - [`engine`]: the discrete-event session engine — concurrent owners,
-//!   shared blocks, and [`engine::MultiMarket`] worlds (N sessions, one
-//!   chain).
+//!   shared blocks, and [`engine::MultiMarket`] worlds (N sessions placed
+//!   on one or many shards).
 //! - [`dapp`]: the button-level React/Flask DApp facade of Fig 3.
 //! - [`scenario`]: parameterized sessions with failure injection — the
 //!   engine behind the regime sweeps in `tests/scenarios.rs` and the
@@ -39,5 +41,6 @@ pub mod world;
 pub use config::{MarketConfig, PartitionScheme};
 pub use engine::{Arrivals, EngineConfig, EngineReport, MultiMarket};
 pub use market::{MarketSession, Marketplace, SessionBlueprint, SessionReport};
+pub use ofl_rpc::EndpointId;
 pub use scenario::{ExecutionMode, FailurePlan, Scenario, ScenarioOutcome, ScenarioSuite};
-pub use world::World;
+pub use world::{ShardSpec, World};

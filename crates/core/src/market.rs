@@ -24,12 +24,12 @@
 //!   concurrently and their transactions share blocks.
 
 use crate::config::{MarketConfig, PartitionScheme};
-use crate::world::{World, WorldError};
+use crate::world::{ShardSpec, World, WorldError};
 use ofl_data::dataset::Dataset;
 use ofl_data::{mnist, partition};
 use ofl_eth::block::Receipt;
 use ofl_eth::tx::{sign_tx, SignedTx, TxRequest};
-use ofl_eth::wallet::Wallet;
+use ofl_eth::wallet::{TxEnv, Wallet};
 use ofl_fl::client::TrainedModel;
 use ofl_fl::pfnm::{self, PfnmConfig};
 use ofl_incentive::{allocate_payments, loo_scores};
@@ -40,7 +40,7 @@ use ofl_netsim::service::{Response, Service};
 use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, wei_per_eth, H160, H256};
-use ofl_rpc::{BindingError, ModelMarketContract, ProviderMetrics};
+use ofl_rpc::{BindingError, EndpointId, ModelMarketContract, ProviderMetrics};
 use ofl_tensor::nn::Mlp;
 use ofl_tensor::serialize::{decode_model, encode_model};
 use rand::rngs::StdRng;
@@ -146,13 +146,14 @@ pub struct SessionReport {
     pub cids: Vec<String>,
     /// Total virtual seconds the session took.
     pub total_sim_seconds: f64,
-    /// The **world's cumulative** provider metering, snapshotted when this
-    /// session completed: per-method call counts, errors, round trips, and
-    /// virtual-time totals. In a [`MultiMarket`](crate::engine::MultiMarket)
-    /// world the provider is shared, so this includes sibling markets'
-    /// traffic up to that instant — compare snapshots or use
-    /// [`EngineReport::rpc`](crate::engine::EngineReport) for run-level
-    /// totals; do not sum across sessions.
+    /// The metering snapshot of **this market's endpoint** (its
+    /// [`MarketConfig::placement`] shard), taken when the session
+    /// completed: per-method call counts, errors, round trips, and
+    /// virtual-time totals. Markets placed on *different* shards meter
+    /// independently; markets sharing a shard share its counters (the
+    /// snapshot then includes same-shard siblings' traffic up to that
+    /// instant — use [`EngineReport::rpc`](crate::engine::EngineReport)
+    /// for run-level totals rather than summing across sessions).
     pub rpc: ProviderMetrics,
 }
 
@@ -392,7 +393,9 @@ impl SessionBlueprint {
         });
 
         let n = config.n_owners;
+        let placement = config.placement;
         MarketSession {
+            placement,
             config,
             wallet,
             owners,
@@ -415,6 +418,9 @@ impl SessionBlueprint {
 /// substrate it runs on. See the module docs for how [`Marketplace`]
 /// (serial) and `ofl_core::engine` (event-driven, shared world) drive it.
 pub struct MarketSession {
+    /// The world endpoint (shard) every piece of this market's client
+    /// traffic is pinned to (copied from [`MarketConfig::placement`]).
+    pub placement: EndpointId,
     /// Session configuration.
     pub config: MarketConfig,
     /// Keystore holding the buyer's and every owner's keys (each user's
@@ -472,7 +478,7 @@ impl MarketSession {
         }
         let bytes = self.owners[i].model_bytes.clone();
         let node = self.owners[i].ipfs_node;
-        let billed = world.ipfs_add(node, &bytes);
+        let billed = world.ipfs_add(self.placement, node, &bytes);
         self.owners[i].cid = Some(billed.value.root.clone());
         Ok((billed.value.root, billed.cost))
     }
@@ -493,14 +499,21 @@ impl MarketSession {
     }
 
     /// **Step 4 (submit half)** — broadcasts owner `i`'s CID transaction
-    /// into the mempool without blocking. Pair with [`MarketSession::finish_cid`].
-    pub fn submit_cid(&mut self, world: &mut World, i: usize) -> Result<H256, MarketError> {
+    /// into the placement shard's mempool without blocking, returning the
+    /// hash plus the wallet's signing-preflight cost (the caller charges
+    /// it). Pair with [`MarketSession::finish_cid`].
+    pub fn submit_cid(
+        &mut self,
+        world: &mut World,
+        i: usize,
+    ) -> Result<(H256, SimDuration), MarketError> {
         let contract = self
             .contract
             .ok_or(MarketError::StepOrder("deploy before sending CIDs"))?;
         let data = self.cid_calldata(i)?;
         let from = self.owners[i].address;
         Ok(world.submit_tx(
+            self.placement,
             &self.wallet,
             &from,
             Some(contract.address),
@@ -537,7 +550,11 @@ impl MarketSession {
 
     /// **Step 5** — reads every CID from the contract through the typed
     /// binding (free `eth_call`s, transient provider failures retried) and
-    /// returns them with the total RPC time of the polling loop.
+    /// returns them with the total RPC time of the polling loop. With
+    /// [`World::batch_cid_reads`] set (the default) the whole download is
+    /// `cidCount` plus **one** batched `getCid` round trip; without it,
+    /// every index pays its own wire exchange — the Fig 7b knob
+    /// `bench_session_engine` sweeps.
     pub fn download_cids_computed(
         &self,
         world: &mut World,
@@ -546,13 +563,19 @@ impl MarketSession {
             .contract
             .ok_or(MarketError::StepOrder("deploy before download"))?;
         let buyer = self.buyer.address;
+        if world.batch_cid_reads {
+            let (cids, duration) =
+                world.eth_retry(self.placement, |eth| contract.all_cids_batched(eth, &buyer));
+            return Ok((cids?, duration));
+        }
         let mut duration = SimDuration::ZERO;
-        let (count, d) = world.eth_retry(|eth| contract.cid_count(eth, &buyer));
+        let (count, d) = world.eth_retry(self.placement, |eth| contract.cid_count(eth, &buyer));
         duration = duration.saturating_add(d);
         let count = count?;
         let mut cids = Vec::with_capacity(count as usize);
         for index in 0..count {
-            let (cid, d) = world.eth_retry(|eth| contract.get_cid(eth, &buyer, index));
+            let (cid, d) =
+                world.eth_retry(self.placement, |eth| contract.get_cid(eth, &buyer, index));
             duration = duration.saturating_add(d);
             cids.push(cid?);
         }
@@ -571,7 +594,7 @@ impl MarketSession {
         let mut duration = SimDuration::ZERO;
         for cid_str in cids {
             let cid = Cid::parse(cid_str).map_err(|_| MarketError::ModelDecode)?;
-            let billed = world.ipfs_cat(self.buyer.ipfs_node, &cid);
+            let billed = world.ipfs_cat(self.placement, self.buyer.ipfs_node, &cid);
             duration = duration.saturating_add(billed.cost);
             let (bytes, _stats) = billed.value.map_err(WorldError::Ipfs)?;
             let model = decode_model(&bytes).map_err(|_| MarketError::ModelDecode)?;
@@ -683,16 +706,19 @@ impl MarketSession {
     }
 
     /// **Step 7 (payment half)** — signs one transfer per attributable
-    /// recipient with consecutive nonces (so they can share a block).
-    /// Returns `(recipient, amount, signed_tx)` rows ready to broadcast.
+    /// recipient with consecutive nonces (so they can share a block). The
+    /// signing environment — chain id, starting nonce, transfer gas
+    /// estimate, base fee — comes from [`World::tx_env`] envelopes against
+    /// the market's endpoint, never a local chain read. Returns
+    /// `(recipient, amount, signed_tx)` rows ready to broadcast.
     pub fn build_payment_txs(
         &self,
-        chain: &ofl_eth::chain::Chain,
+        env: &TxEnv,
         agg: &Aggregation,
         loo: &LooPayments,
     ) -> Vec<(H160, U256, SignedTx)> {
         let buyer = self.buyer.address;
-        let mut nonce = chain.nonce(&buyer);
+        let mut nonce = env.nonce;
         let key = self
             .wallet
             .account(&buyer)
@@ -702,14 +728,14 @@ impl MarketSession {
         for (recipient, amount) in agg.recipients.iter().zip(&loo.amounts) {
             let Some(address) = recipient else { continue };
             let req = TxRequest {
-                chain_id: chain.config().chain_id,
+                chain_id: env.chain_id,
                 nonce,
                 max_priority_fee_per_gas: U256::from(1_500_000_000u64),
-                max_fee_per_gas: chain
-                    .base_fee()
+                max_fee_per_gas: env
+                    .base_fee
                     .wrapping_mul(&U256::from(2u64))
                     .wrapping_add(&U256::from(1_500_000_000u64)),
-                gas_limit: 21_000,
+                gas_limit: env.gas_estimate,
                 to: Some(*address),
                 value: *amount,
                 data: Vec::new(),
@@ -719,6 +745,22 @@ impl MarketSession {
             txs.push((*address, *amount, tx));
         }
         txs
+    }
+
+    /// Fetches the buyer's payment-signing environment (one transfer's
+    /// worth of gas estimate) against the market's endpoint. Returns the
+    /// environment — `None` when there is no attributable recipient to pay
+    /// — plus the preflight's RPC cost for the caller to charge.
+    pub fn payment_env(
+        &self,
+        world: &mut World,
+        agg: &Aggregation,
+    ) -> Result<(Option<TxEnv>, SimDuration), MarketError> {
+        let Some(first) = agg.recipients.iter().flatten().next().copied() else {
+            return Ok((None, SimDuration::ZERO));
+        };
+        let (env, cost) = world.tx_env(self.placement, &self.buyer.address, Some(&first), &[])?;
+        Ok((Some(env), cost))
     }
 
     /// Distills the finished session into the [`SessionReport`] feeding
@@ -813,17 +855,25 @@ impl std::ops::DerefMut for Marketplace {
 
 impl Marketplace {
     /// Sets up the world: funds wallets, partitions data, spawns IPFS
-    /// nodes, and builds the provider stack (with fault injection when the
-    /// config asks for it).
+    /// nodes, and builds the single-shard provider pool (with fault/quota
+    /// injection when the config asks for it). A solo serial market always
+    /// runs on shard 0, whatever placement the config names.
     pub fn new(config: MarketConfig) -> Marketplace {
+        let config = MarketConfig {
+            placement: EndpointId(0),
+            ..config
+        };
         let blueprint = SessionBlueprint::new(config, "");
-        let mut world = World::with_faults(
-            blueprint.config().chain.clone(),
-            blueprint.genesis(),
+        let mut world = World::from_shards(
+            vec![ShardSpec {
+                chain: blueprint.config().chain.clone(),
+                genesis: blueprint.genesis().to_vec(),
+                faults: blueprint.config().rpc_faults,
+                rate_limit: blueprint.config().rpc_rate_limit,
+            }],
             blueprint.config().profile,
-            blueprint.config().rpc_faults,
         );
-        let session = blueprint.instantiate(world.swarm_mut());
+        let session = blueprint.instantiate(world.swarm_mut(EndpointId(0)));
         Marketplace { world, session }
     }
 
@@ -832,6 +882,7 @@ impl Marketplace {
         let start = self.world.clock.now();
         let buyer = self.session.buyer.address;
         let receipt = self.world.send_and_confirm(
+            self.session.placement,
             &self.session.wallet,
             &buyer,
             None,
@@ -870,6 +921,7 @@ impl Marketplace {
         let contract = self.session.contract.expect("checked by cid_calldata");
         let from = self.session.owners[i].address;
         let receipt = self.world.send_and_confirm(
+            self.session.placement,
             &self.session.wallet,
             &from,
             Some(contract.address),
@@ -897,16 +949,20 @@ impl Marketplace {
     /// stream (what a production DApp subscribes to) instead of polling
     /// `cidCount`/`getCid`. Free, like all reads; the typed binding's
     /// range query scans genesis through the current head in one
-    /// `eth_getLogs` round trip.
+    /// `eth_getLogs` round trip. (`ofl_core::dapp::CidWatcher` wraps the
+    /// same query in a resumable cursor for incremental watching.)
     pub fn buyer_watch_upload_events(&mut self) -> Result<Vec<String>, MarketError> {
+        let ep = self.session.placement;
         let contract = self
             .session
             .contract
             .ok_or(MarketError::StepOrder("deploy before watching events"))?;
-        let head = self.world.chain().height();
+        let (head, d_head) = self.world.eth_retry(ep, |eth| eth.block_number());
+        self.world.clock.advance(d_head);
+        let head = head.map_err(WorldError::Rpc)?;
         let (cids, duration) = self
             .world
-            .eth_retry(|eth| contract.uploaded_cids_in(eth, 1, head));
+            .eth_retry(ep, |eth| contract.uploaded_cids_in(eth, 1, head));
         self.world.clock.advance(duration);
         self.session
             .buyer_recorder
@@ -943,25 +999,31 @@ impl Marketplace {
         let (loo, loo_duration) = self.session.loo_payments_computed(&self.world, &agg);
         self.world.clock.advance(loo_duration);
 
-        // Payment transactions: consecutive nonces so they share a block.
-        let txs = self
-            .session
-            .build_payment_txs(self.world.chain(), &agg, &loo);
+        // Payment transactions: one signing-environment preflight against
+        // the market's endpoint, then consecutive nonces so they share a
+        // block.
+        let ep = self.session.placement;
+        let (env, env_cost) = self.session.payment_env(&mut self.world, &agg)?;
+        self.world.clock.advance(env_cost);
+        let txs = match env {
+            Some(env) => self.session.build_payment_txs(&env, &agg, &loo),
+            None => Vec::new(),
+        };
         let mut hashes = Vec::new();
         let mut paid: Vec<(H160, U256)> = Vec::new();
         for (address, amount, tx) in txs {
-            let (result, cost) = self.world.broadcast_raw(&tx.encode());
+            let (result, cost) = self.world.broadcast_raw(ep, &tx.encode());
             self.world.clock.advance(cost);
             let hash = result.map_err(|e| MarketError::TxFailed(format!("payment: {e}")))?;
             hashes.push(hash);
             paid.push((address, amount));
         }
-        self.world.mine_until(&hashes)?;
+        self.world.mine_until(ep, &hashes)?;
         let mut payments = Vec::with_capacity(hashes.len());
         for ((address, amount), hash) in paid.iter().zip(&hashes) {
             let receipt = self
                 .world
-                .chain()
+                .chain(ep)
                 .receipt(hash)
                 .expect("mined above")
                 .clone();
@@ -981,7 +1043,7 @@ impl Marketplace {
             &loo,
             payments,
             self.world.clock.elapsed_secs(),
-            self.world.rpc_metrics(),
+            self.world.rpc_metrics(ep),
         ))
     }
 
@@ -1079,7 +1141,7 @@ mod tests {
         let (market, report) = run_small();
         let tenth = wei_per_eth().div_rem(&U256::from(10u64)).0;
         for (owner, payment) in market.owners.iter().zip(&report.payments) {
-            let balance = market.world.chain().balance(&owner.address);
+            let balance = market.world.chain(EndpointId(0)).balance(&owner.address);
             // genesis 0.1 ETH − uploadCid fee + payment
             let fee = owner.upload_receipt.as_ref().unwrap().fee;
             let expect = tenth.wrapping_sub(&fee).wrapping_add(&payment.amount_wei);

@@ -36,7 +36,7 @@ use ofl_ipfs::cid::Cid;
 use ofl_netsim::clock::SimDuration;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
-use ofl_rpc::FaultProfile;
+use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile};
 
 /// Which owners misbehave (indices into the owner list) and how.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -80,13 +80,17 @@ pub enum ExecutionMode {
         /// Owner arrival pattern.
         arrivals: Arrivals,
     },
-    /// `markets` replicated sessions sharing one chain and one swarm, all
-    /// driven by the event engine.
+    /// `markets` replicated sessions sharing one world, all driven by the
+    /// event engine. With `shards == 1` every market contends for one
+    /// chain's blocks; with more, markets are spread round-robin across
+    /// the pool's endpoints and contend only with same-shard siblings.
     MultiMarket {
         /// How many concurrent marketplace sessions.
         markets: usize,
         /// Owner arrival pattern (per market).
         arrivals: Arrivals,
+        /// How many chains the world's provider pool fronts.
+        shards: usize,
     },
 }
 
@@ -141,6 +145,14 @@ impl Scenario {
         self
     }
 
+    /// Runs the session against a seeded request-quota endpoint — the
+    /// rate-limit regime (429s and back-off retries instead of misbehaving
+    /// participants).
+    pub fn with_rate_limit(mut self, quota: RateLimitProfile) -> Scenario {
+        self.config.rpc_rate_limit = Some(quota);
+        self
+    }
+
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Scenario {
         self.mode = mode;
@@ -159,21 +171,24 @@ impl Scenario {
     pub fn run(&self) -> Result<ScenarioOutcome, MarketError> {
         match self.mode {
             ExecutionMode::Serial => self.run_serial(),
-            ExecutionMode::Concurrent { arrivals } => self.run_event_driven(1, arrivals),
-            ExecutionMode::MultiMarket { markets, arrivals } => {
-                self.run_event_driven(markets.max(1), arrivals)
-            }
+            ExecutionMode::Concurrent { arrivals } => self.run_event_driven(1, arrivals, 1),
+            ExecutionMode::MultiMarket {
+                markets,
+                arrivals,
+                shards,
+            } => self.run_event_driven(markets.max(1), arrivals, shards.max(1)),
         }
     }
 
     /// The original serial driver: one owner at a time, one tx per block.
     fn run_serial(&self) -> Result<ScenarioOutcome, MarketError> {
+        let ep = EndpointId(0);
         let mut market = Marketplace::new(self.config.clone());
         let n = market.owners.len();
         // Nothing is burned yet, so this *is* the genesis allocation —
         // captured here so the conservation check below tracks whatever
         // funding policy `Marketplace::new` uses.
-        let genesis_supply = market.world.chain().state().total_supply();
+        let genesis_supply = market.world.chain(ep).state().total_supply();
         market.deploy_contract()?;
 
         let mut reverted_tx_count = 0usize;
@@ -197,6 +212,7 @@ impl Scenario {
                 let from = market.owners[i].address;
                 let Marketplace { world, session } = &mut market;
                 let receipt = world.send_and_confirm(
+                    session.placement,
                     &session.wallet,
                     &from,
                     Some(contract.address),
@@ -218,7 +234,7 @@ impl Scenario {
         for &i in &self.failures.drop_ipfs_blocks {
             if let Some(cid) = market.owners[i].cid.clone() {
                 let node_index = market.owners[i].ipfs_node;
-                let node = market.world.swarm_mut().node_mut(node_index);
+                let node = market.world.swarm_mut(ep).node_mut(node_index);
                 node.store_mut().unpin(&cid);
                 node.store_mut().gc();
             }
@@ -238,7 +254,7 @@ impl Scenario {
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(market.world.swarm(), &c))
+                    .map(|c| swarm_has(market.world.swarm(ep), &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -247,11 +263,11 @@ impl Scenario {
         let report = market.buyer_aggregate_and_pay()?;
 
         // ETH conservation: genesis supply == live balances + EIP-1559 burn.
-        let live = market.world.chain().state().total_supply();
-        let burned = market.world.chain().burned();
+        let live = market.world.chain(ep).state().total_supply();
+        let burned = market.world.chain(ep).burned();
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
-        let rpc = market.world.rpc_metrics();
+        let rpc = market.world.rpc_metrics(ep);
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             seed: self.config.seed,
@@ -283,21 +299,31 @@ impl Scenario {
         })
     }
 
-    /// The event-driven driver: one world, `markets` sessions, concurrent
-    /// owners. Per-market outcomes are merged into one comparable record
-    /// (accuracies averaged, payments/gas/CIDs concatenated in market
-    /// order).
+    /// The event-driven driver: one world (of `shards` chains), `markets`
+    /// sessions, concurrent owners. Per-market outcomes are merged into
+    /// one comparable record (accuracies averaged, payments/gas/CIDs
+    /// concatenated in market order).
     fn run_event_driven(
         &self,
         markets: usize,
         arrivals: Arrivals,
+        shards: usize,
     ) -> Result<ScenarioOutcome, MarketError> {
         let mm = if markets <= 1 {
             MultiMarket::new(vec![self.config.clone()])
         } else {
-            MultiMarket::replicated(&self.config, markets)
+            MultiMarket::replicated_sharded(&self.config, markets, shards)
         };
-        let genesis_supply = mm.world.chain().state().total_supply();
+        let supply_and_burn = |mm: &MultiMarket| {
+            (0..mm.world.endpoints()).fold((U256::ZERO, U256::ZERO), |(s, b), i| {
+                let chain = mm.world.chain(EndpointId(i));
+                (
+                    s.wrapping_add(&chain.state().total_supply()),
+                    b.wrapping_add(&chain.burned()),
+                )
+            })
+        };
+        let (genesis_supply, _) = supply_and_burn(&mm);
         let failures: Vec<FailurePlan> = (0..markets).map(|_| self.failures.clone()).collect();
         let (mm, engine_report) = mm.run(
             &EngineConfig {
@@ -319,8 +345,8 @@ impl Scenario {
             );
         }
 
-        let live = mm.world.chain().state().total_supply();
-        let burned = mm.world.chain().burned();
+        // ETH conservation holds shard by shard, so it holds for the sums.
+        let (live, burned) = supply_and_burn(&mm);
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
         let mut local_accuracies = Vec::new();
@@ -599,6 +625,13 @@ impl ScenarioSuite {
                 Scenario::small("flaky-provider", PartitionScheme::Iid, seed.wrapping_add(5))
                     .with_rpc_faults(FaultProfile::new(seed ^ 0xF1A5, 0.15)),
             )
+            .push(
+                // A quota-enforcing endpoint: bursts past ~6 requests per
+                // slot draw 429s, clients back off and retry, and the
+                // session completes late but intact.
+                Scenario::small("rate-limited", PartitionScheme::Iid, seed.wrapping_add(6))
+                    .with_rate_limit(RateLimitProfile::new(seed ^ 0x0429, 6)),
+            )
     }
 
     /// Concurrency regimes: the same sessions driven by the discrete-event
@@ -628,6 +661,22 @@ impl ScenarioSuite {
                 .with_mode(ExecutionMode::MultiMarket {
                     markets: 2,
                     arrivals: Arrivals::Simultaneous,
+                    shards: 1,
+                }),
+            )
+            .push(
+                // The same two markets, but placed on different chains of a
+                // 2-shard pool: their CID transactions land in different
+                // chains' blocks instead of contending for one mempool.
+                Scenario::small(
+                    "sharded-2x4",
+                    PartitionScheme::Dirichlet { alpha: 0.5 },
+                    seed.wrapping_add(4),
+                )
+                .with_mode(ExecutionMode::MultiMarket {
+                    markets: 2,
+                    arrivals: Arrivals::Simultaneous,
+                    shards: 2,
                 }),
             )
             .push(
@@ -762,6 +811,7 @@ mod tests {
         let mut scenario = quick(PartitionScheme::Iid, 12).with_mode(ExecutionMode::MultiMarket {
             markets: 2,
             arrivals: Arrivals::Simultaneous,
+            shards: 1,
         });
         scenario.name = "multi".into();
         let outcome = scenario.run().expect("runs");
@@ -784,17 +834,25 @@ mod tests {
         let failures = ScenarioSuite::failure_sweep(1);
         assert!(failures.scenarios.len() >= 2);
         // Every regime injects *something*: misbehaving participants or a
-        // faulty provider.
-        assert!(failures
-            .scenarios
-            .iter()
-            .all(|s| !s.failures.is_clean() || s.config.rpc_faults.is_some()));
+        // faulty (flaky or throttling) provider.
+        assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()
+            || s.config.rpc_faults.is_some()
+            || s.config.rpc_rate_limit.is_some()));
         assert!(failures
             .scenarios
             .iter()
             .any(|s| s.config.rpc_faults.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_rate_limit.is_some()));
         let concurrency = ScenarioSuite::concurrency_sweep(1);
         assert!(concurrency.scenarios.len() >= 3);
+        // The sweep exercises both same-shard and cross-shard placement.
+        assert!(concurrency
+            .scenarios
+            .iter()
+            .any(|s| matches!(s.mode, ExecutionMode::MultiMarket { shards, .. } if shards > 1)));
         assert!(concurrency
             .scenarios
             .iter()

@@ -1,23 +1,30 @@
 //! The simulated Web 3.0 world: one virtual clock, one network profile,
-//! and a **provider stack** fronting the blockchain and the IPFS swarm.
+//! and a **provider pool** fronting N blockchain shards and their IPFS
+//! swarms.
 //!
-//! Since the node-API redesign, core never touches `Chain`/`Swarm` structs
-//! for client traffic: every contract call, transaction broadcast, receipt
-//! poll, log query, and IPFS transfer goes through the
-//! [`EthApi`](ofl_rpc::EthApi)/[`IpfsApi`](ofl_rpc::IpfsApi) traits of an
-//! [`ofl_rpc::NodeProvider`] — by default `Metered(Latency(Sim))`, with a
-//! seeded [`FlakyProvider`](ofl_rpc::FlakyProvider) spliced in when
-//! [`FaultProfile`] faults are configured. Decorators *price* virtual time
+//! Since the pool redesign, a world no longer owns "the" chain: it owns an
+//! [`ofl_rpc::ProviderPool`] of [`EndpointId`]-addressed endpoints, each a
+//! full decorator stack (`Metered(Latency(…(Sim)))`, with seeded
+//! [`FlakyProvider`](ofl_rpc::FlakyProvider) /
+//! [`RateLimitProvider`](ofl_rpc::RateLimitProvider) layers spliced in when
+//! a [`ShardSpec`] configures them). Markets are *placed* on an endpoint,
+//! and every piece of client traffic — contract calls, transaction
+//! broadcasts, receipt polls, log queries, IPFS transfers, and since this
+//! redesign the **wallet's signing reads** (`eth_chainId`,
+//! `eth_getTransactionCount`, `eth_estimateGas`, `eth_gasPrice`, fetched as
+//! one batch) — flows through the market's endpoint, priced and
+//! fault-injectable like everything else. Decorators *price* virtual time
 //! into each response; the world (or the event engine, onto per-owner
 //! timelines) charges the bill.
 //!
 //! Backstage simulation work — mining slots, conservation checks, failure
-//! injection — reaches the backend through [`World::chain`] /
+//! injection — reaches a shard's backend through [`World::chain`] /
 //! [`World::swarm_mut`]: those are the simulator's hands, not the client's.
 //!
-//! Block production is clock-driven: transactions wait in the mempool until
-//! the next 12-second slot boundary, which is where the paper's Fig 7
-//! "blockchain interactions dominate" observation comes from.
+//! Block production is clock-driven and happens on **every** shard:
+//! transactions wait in their shard's mempool until the next 12-second
+//! slot boundary, which is where the paper's Fig 7 "blockchain
+//! interactions dominate" observation comes from.
 //!
 //! Two ways to drive it:
 //!
@@ -26,12 +33,13 @@
 //! - **Event-driven** ([`World::submit_tx`] / [`World::await_receipt`] plus
 //!   the slot helpers): submission and confirmation are separate steps, so
 //!   the session engine in `ofl_core::engine` can let many owners' (and
-//!   many markets') transactions land in the mempool together and get mined
-//!   into *shared* blocks at slot boundaries.
+//!   many markets') transactions land in their shard's mempool together
+//!   and get mined into *shared* blocks at slot boundaries — or, with
+//!   markets placed on different shards, into different chains' blocks.
 
 use ofl_eth::block::{Block, Receipt};
 use ofl_eth::chain::{CallResult, Chain, ChainConfig};
-use ofl_eth::wallet::{Wallet, WalletError};
+use ofl_eth::wallet::{TxEnv, Wallet, WalletError};
 use ofl_ipfs::cid::Cid;
 use ofl_ipfs::swarm::{AddResult, FetchStats, Swarm};
 use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
@@ -39,8 +47,8 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
 use ofl_rpc::{
-    build_provider, Billed, FaultProfile, NodeProvider, ProviderMetrics, Retryable, RpcError,
-    RpcMethod, RpcRequest, RpcResult,
+    build_provider, Billed, EndpointId, FaultProfile, NodeProvider, ProviderMetrics, ProviderPool,
+    RateLimitProfile, Retryable, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult,
 };
 
 /// Errors surfaced by world operations.
@@ -49,7 +57,7 @@ pub enum WorldError {
     /// Wallet/signing rejection.
     Wallet(WalletError),
     /// The provider gave up on a request (rejection, or retries exhausted
-    /// against a flaky endpoint).
+    /// against a flaky or throttling endpoint).
     Rpc(RpcError),
     /// A transaction was dropped from the mempool without a receipt.
     TxDropped(H256),
@@ -102,26 +110,58 @@ impl core::fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
+/// Everything one shard needs to come up: chain parameters, genesis
+/// balances, and the endpoint's fault/quota decorators.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Chain parameters (all shards of one world must share `block_time`,
+    /// so slot boundaries line up).
+    pub chain: ChainConfig,
+    /// Genesis balances funded on this shard.
+    pub genesis: Vec<(H160, U256)>,
+    /// Seeded RPC fault injection for this endpoint (`None` = reliable).
+    pub faults: Option<FaultProfile>,
+    /// Seeded per-slot request quota for this endpoint (`None` = no 429s).
+    pub rate_limit: Option<RateLimitProfile>,
+}
+
+impl ShardSpec {
+    /// A reliable shard with the given parameters and funding.
+    pub fn new(chain: ChainConfig, genesis: Vec<(H160, U256)>) -> ShardSpec {
+        ShardSpec {
+            chain,
+            genesis,
+            faults: None,
+            rate_limit: None,
+        }
+    }
+}
+
 /// The shared substrate every participant interacts with.
 pub struct World {
     /// Virtual time.
     pub clock: SimClock,
-    /// The provider stack fronting chain + swarm.
-    provider: Box<dyn NodeProvider>,
+    /// The endpoint pool fronting every shard's chain + swarm.
+    pool: ProviderPool,
     /// Link models.
     pub profile: NetworkProfile,
     /// Approximate wire size of a request envelope (for RPC timing).
     pub tx_wire_bytes: u64,
-    /// How many times a transient (timed-out) request is retried before the
-    /// world gives up with [`WorldError::Rpc`].
+    /// How many times a transient (timed-out or rate-limited) request is
+    /// retried before the world gives up with [`WorldError::Rpc`].
     pub max_rpc_retries: u32,
     /// Whether receipt polls for many hashes ride one batched round trip
     /// (the default) or one request each — the knob the engine bench sweeps.
     pub batch_receipt_polls: bool,
+    /// Whether the buyer's step-5 CID download rides `cidCount` + one
+    /// batched `getCid` round trip (the default) or one `eth_call` per
+    /// index — the other knob the engine bench sweeps (Fig 7b path).
+    pub batch_cid_reads: bool,
 }
 
 impl World {
-    /// Builds a world with genesis balances and a clean provider.
+    /// Builds a single-shard world with genesis balances and a clean
+    /// provider.
     pub fn new(
         chain_config: ChainConfig,
         genesis: &[(H160, U256)],
@@ -130,29 +170,56 @@ impl World {
         World::with_faults(chain_config, genesis, profile, None)
     }
 
-    /// Builds a world whose provider stack injects the given RPC faults
-    /// (`None` = reliable endpoint).
+    /// Builds a single-shard world whose endpoint injects the given RPC
+    /// faults (`None` = reliable endpoint).
     pub fn with_faults(
         chain_config: ChainConfig,
         genesis: &[(H160, U256)],
         profile: NetworkProfile,
         faults: Option<FaultProfile>,
     ) -> World {
-        let tx_wire_bytes = 250;
-        let provider = build_provider(
-            Chain::new(chain_config, genesis),
-            Swarm::new(),
+        World::from_shards(
+            vec![ShardSpec {
+                chain: chain_config,
+                genesis: genesis.to_vec(),
+                faults,
+                rate_limit: None,
+            }],
             profile,
-            tx_wire_bytes,
-            faults,
+        )
+    }
+
+    /// Builds a world from explicit shard specifications: one endpoint
+    /// stack per spec, addressed by `EndpointId(i)` in spec order.
+    pub fn from_shards(shards: Vec<ShardSpec>, profile: NetworkProfile) -> World {
+        assert!(!shards.is_empty(), "a world needs at least one shard");
+        let block_time = shards[0].chain.block_time;
+        assert!(
+            shards.iter().all(|s| s.chain.block_time == block_time),
+            "all shards must share the slot cadence"
         );
+        let tx_wire_bytes = 250;
+        let endpoints = shards
+            .into_iter()
+            .map(|spec| {
+                build_provider(
+                    Chain::new(spec.chain, &spec.genesis),
+                    Swarm::new(),
+                    profile,
+                    tx_wire_bytes,
+                    spec.faults,
+                    spec.rate_limit,
+                )
+            })
+            .collect();
         World {
             clock: SimClock::new(),
-            provider,
+            pool: ProviderPool::new(endpoints),
             profile,
             tx_wire_bytes,
             max_rpc_retries: 6,
             batch_receipt_polls: true,
+            batch_cid_reads: true,
         }
     }
 
@@ -160,48 +227,66 @@ impl World {
     // Provider access.
     // ------------------------------------------------------------------
 
-    /// The provider stack — what typed contract bindings dispatch through.
-    pub fn eth(&mut self) -> &mut dyn NodeProvider {
-        &mut *self.provider
+    /// How many endpoints (shards) the world fronts.
+    pub fn endpoints(&self) -> usize {
+        self.pool.len()
     }
 
-    /// Backstage chain access (mining, invariants) — not client traffic.
-    pub fn chain(&self) -> &Chain {
-        self.provider.chain()
+    /// One endpoint's provider stack — what typed contract bindings
+    /// dispatch through.
+    pub fn eth(&mut self, endpoint: EndpointId) -> &mut dyn NodeProvider {
+        self.pool.endpoint(endpoint)
+    }
+
+    /// Backstage chain access for one shard (mining, invariants) — not
+    /// client traffic.
+    pub fn chain(&self, endpoint: EndpointId) -> &Chain {
+        self.pool.get(endpoint).chain()
     }
 
     /// Mutable backstage chain access (slot production, faucets).
-    pub fn chain_mut(&mut self) -> &mut Chain {
-        self.provider.chain_mut()
+    pub fn chain_mut(&mut self, endpoint: EndpointId) -> &mut Chain {
+        self.pool.endpoint(endpoint).chain_mut()
     }
 
-    /// Backstage swarm access (availability checks).
-    pub fn swarm(&self) -> &Swarm {
-        self.provider.swarm()
+    /// Backstage swarm access for one shard (availability checks).
+    pub fn swarm(&self, endpoint: EndpointId) -> &Swarm {
+        self.pool.get(endpoint).swarm()
     }
 
     /// Mutable backstage swarm access (node spawning, failure injection).
-    pub fn swarm_mut(&mut self) -> &mut Swarm {
-        self.provider.swarm_mut()
+    pub fn swarm_mut(&mut self, endpoint: EndpointId) -> &mut Swarm {
+        self.pool.endpoint(endpoint).swarm_mut()
     }
 
-    /// Per-method call counts and virtual-time totals the metering
-    /// decorator has observed so far.
-    pub fn rpc_metrics(&self) -> ProviderMetrics {
-        self.provider.metrics().unwrap_or_default()
+    /// One endpoint's metering snapshot: per-method call counts and
+    /// virtual-time totals that endpoint's decorator stack observed.
+    pub fn rpc_metrics(&self, endpoint: EndpointId) -> ProviderMetrics {
+        self.pool.metrics(endpoint).unwrap_or_default()
     }
 
-    /// Runs one provider operation with transient-failure retries, summing
-    /// every attempt's cost. The caller charges the returned duration to
-    /// its clock or timeline.
+    /// Every endpoint's metering snapshot, in endpoint order.
+    pub fn rpc_metrics_per_endpoint(&self) -> Vec<ProviderMetrics> {
+        self.pool.metrics_per_endpoint()
+    }
+
+    /// All endpoints' metering rolled up into one run-level snapshot.
+    pub fn rpc_metrics_merged(&self) -> ProviderMetrics {
+        self.pool.metrics_merged()
+    }
+
+    /// Runs one provider operation against `endpoint` with
+    /// transient-failure retries, summing every attempt's cost. The caller
+    /// charges the returned duration to its clock or timeline.
     pub fn eth_retry<T, E: Retryable>(
         &mut self,
+        endpoint: EndpointId,
         mut op: impl FnMut(&mut dyn NodeProvider) -> Billed<Result<T, E>>,
     ) -> (Result<T, E>, SimDuration) {
         let mut total = SimDuration::ZERO;
         let mut attempt = 0u32;
         loop {
-            let Billed { value, cost } = op(&mut *self.provider);
+            let Billed { value, cost } = op(self.pool.endpoint(endpoint));
             total = total.saturating_add(cost);
             match value {
                 Err(e) if e.is_transient() && attempt < self.max_rpc_retries => {
@@ -226,41 +311,53 @@ impl World {
     }
 
     /// The first slot boundary (in whole seconds) strictly after instant
-    /// `at` — when a transaction in the mempool at `at` can first be mined.
+    /// `at` — when a transaction in a mempool at `at` can first be mined.
+    /// All shards share the cadence (asserted at construction).
     pub fn next_slot_secs(&self, at: SimInstant) -> u64 {
-        let block_time = self.chain().config().block_time;
+        let block_time = self.chain(EndpointId(0)).config().block_time;
         (at.0 / 1_000_000 / block_time + 1) * block_time
     }
 
     // ------------------------------------------------------------------
-    // Non-blocking substrate steps (event-driven path).
+    // The wallet's signing environment (client traffic, like any other).
     // ------------------------------------------------------------------
 
-    /// Signs a transaction and broadcasts it through the provider
-    /// (`eth_sendRawTransaction`) — the non-blocking half of
-    /// [`World::send_and_confirm`]. A first-attempt success charges no
-    /// virtual time (the caller schedules the broadcast cost); transient
-    /// provider timeouts are retried, and *those* wasted round trips are
-    /// charged to the global clock before the resend.
-    pub fn submit_tx(
+    /// Fetches everything a wallet needs before signing — chain id, nonce,
+    /// gas estimate, gas price — as **one** batched round trip against the
+    /// market's endpoint, retrying transient failures. Returns the
+    /// environment and the total cost of every attempt (the caller charges
+    /// it). Because these are ordinary envelopes, a flaky or throttling
+    /// endpoint now faults the signing path too.
+    pub fn tx_env(
         &mut self,
-        wallet: &Wallet,
+        endpoint: EndpointId,
         from: &H160,
-        to: Option<H160>,
-        value: U256,
-        data: Vec<u8>,
-    ) -> Result<H256, WorldError> {
-        let raw = wallet.sign_raw(self.provider.chain(), from, to, value, data)?;
+        to: Option<&H160>,
+        data: &[u8],
+    ) -> Result<(TxEnv, SimDuration), WorldError> {
+        let requests = vec![
+            RpcRequest::new(0, RpcMethod::ChainId),
+            RpcRequest::new(1, RpcMethod::GetTransactionCount { address: *from }),
+            RpcRequest::new(
+                2,
+                RpcMethod::EstimateGas {
+                    from: *from,
+                    to: to.copied(),
+                    data: data.to_vec(),
+                },
+            ),
+            RpcRequest::new(3, RpcMethod::GasPrice),
+        ];
+        let mut total = SimDuration::ZERO;
         let mut attempt = 0u32;
         loop {
-            let Billed { value, cost } = self.provider.send_raw_transaction(&raw);
-            match value {
-                // The successful broadcast itself is never charged here —
-                // the caller prices it (serial: `tx_submit_time`; engine:
-                // the owner's timeline); only wasted attempts cost extra.
-                Ok(hash) => return Ok(hash),
+            let responses = self.pool.endpoint(endpoint).batch(&requests);
+            total = responses
+                .iter()
+                .fold(total, |acc, r| acc.saturating_add(r.cost));
+            match decode_tx_env(&responses) {
+                Ok(env) => return Ok((env, total)),
                 Err(e) if e.is_transient() && attempt < self.max_rpc_retries => {
-                    self.clock.advance(cost);
                     attempt += 1;
                 }
                 Err(e) => return Err(WorldError::Rpc(e)),
@@ -268,19 +365,65 @@ impl World {
         }
     }
 
-    /// Broadcasts an already-signed raw transaction through the provider
-    /// (`eth_sendRawTransaction`), retrying transient failures. Returns the
-    /// outcome and the summed cost of every attempt — the caller charges it.
-    pub fn broadcast_raw(&mut self, raw: &[u8]) -> (Result<H256, RpcError>, SimDuration) {
-        let owned = raw.to_vec();
-        self.eth_retry(|eth| eth.send_raw_transaction(&owned))
+    // ------------------------------------------------------------------
+    // Non-blocking substrate steps (event-driven path).
+    // ------------------------------------------------------------------
+
+    /// Signs a transaction (environment fetched over the provider traits —
+    /// see [`World::tx_env`]) and broadcasts it through the endpoint
+    /// (`eth_sendRawTransaction`) — the non-blocking half of
+    /// [`World::send_and_confirm`]. The successful broadcast itself is
+    /// never charged here (the caller prices it; serial:
+    /// [`World::tx_submit_time`], engine: the owner's timeline); the
+    /// returned duration is the signing preflight plus any wasted retried
+    /// round trips, for the caller to charge.
+    pub fn submit_tx(
+        &mut self,
+        endpoint: EndpointId,
+        wallet: &Wallet,
+        from: &H160,
+        to: Option<H160>,
+        value: U256,
+        data: Vec<u8>,
+    ) -> Result<(H256, SimDuration), WorldError> {
+        let (env, mut cost) = self.tx_env(endpoint, from, to.as_ref(), &data)?;
+        let raw = wallet.sign_with_env(&env, from, to, value, data)?;
+        let mut attempt = 0u32;
+        loop {
+            let Billed { value, cost: c } = self.pool.endpoint(endpoint).send_raw_transaction(&raw);
+            match value {
+                Ok(hash) => return Ok((hash, cost)),
+                Err(e) if e.is_transient() && attempt < self.max_rpc_retries => {
+                    cost = cost.saturating_add(c);
+                    attempt += 1;
+                }
+                Err(e) => return Err(WorldError::Rpc(e)),
+            }
+        }
     }
 
-    /// Polls receipts for `hashes` — one batched round trip when
-    /// [`World::batch_receipt_polls`] is set (N polls, one wire exchange),
-    /// else one request per hash. Timed-out entries come back `None`, to be
-    /// re-polled after the next slot. The caller charges the cost.
-    pub fn poll_receipts(&mut self, hashes: &[H256]) -> Billed<Vec<Option<Receipt>>> {
+    /// Broadcasts an already-signed raw transaction through the endpoint
+    /// (`eth_sendRawTransaction`), retrying transient failures. Returns the
+    /// outcome and the summed cost of every attempt — the caller charges it.
+    pub fn broadcast_raw(
+        &mut self,
+        endpoint: EndpointId,
+        raw: &[u8],
+    ) -> (Result<H256, RpcError>, SimDuration) {
+        let owned = raw.to_vec();
+        self.eth_retry(endpoint, |eth| eth.send_raw_transaction(&owned))
+    }
+
+    /// Polls receipts for `hashes` on one endpoint — one batched round trip
+    /// when [`World::batch_receipt_polls`] is set (N polls, one wire
+    /// exchange), else one request per hash. Timed-out entries come back
+    /// `None`, to be re-polled after the next slot. The caller charges the
+    /// cost.
+    pub fn poll_receipts(
+        &mut self,
+        endpoint: EndpointId,
+        hashes: &[H256],
+    ) -> Billed<Vec<Option<Receipt>>> {
         if hashes.is_empty() {
             return Billed::free(Vec::new());
         }
@@ -292,23 +435,17 @@ impl World {
                     RpcRequest::new(i as u64, RpcMethod::GetTransactionReceipt { hash: *h })
                 })
                 .collect();
-            let responses = self.provider.batch(&requests);
+            let responses = self.pool.endpoint(endpoint).batch(&requests);
             let cost = responses
                 .iter()
                 .fold(SimDuration::ZERO, |acc, r| acc.saturating_add(r.cost));
-            let value = responses
-                .into_iter()
-                .map(|r| match r.result {
-                    Ok(RpcResult::Receipt(receipt)) => receipt,
-                    _ => None,
-                })
-                .collect();
+            let value = responses.into_iter().map(receipt_of).collect();
             Billed { value, cost }
         } else {
             let mut cost = SimDuration::ZERO;
             let mut value = Vec::with_capacity(hashes.len());
             for hash in hashes {
-                let billed = self.provider.get_transaction_receipt(*hash);
+                let billed = self.pool.endpoint(endpoint).get_transaction_receipt(*hash);
                 cost = cost.saturating_add(billed.cost);
                 value.push(billed.value.ok().flatten());
             }
@@ -316,24 +453,81 @@ impl World {
         }
     }
 
-    /// Advances the clock to the slot boundary at `slot_secs` and mines the
-    /// block for that slot (backstage: the network produces blocks whether
-    /// or not any client is watching).
-    pub fn mine_slot(&mut self, slot_secs: u64) -> Block {
+    /// Polls receipts for hashes spread across **several** shards in one
+    /// pass: the pool fans the tagged batch out, one wire round trip per
+    /// endpoint involved (per-request when [`World::batch_receipt_polls`]
+    /// is off). Returns per-item receipts in input order plus each
+    /// endpoint's summed poll cost, indexed by `EndpointId.0` — the engine
+    /// charges each shard's waiters their own bill.
+    pub fn poll_receipts_sharded(
+        &mut self,
+        items: &[(EndpointId, H256)],
+    ) -> (Vec<Option<Receipt>>, Vec<SimDuration>) {
+        let mut costs = vec![SimDuration::ZERO; self.pool.len()];
+        if items.is_empty() {
+            return (Vec::new(), costs);
+        }
+        if self.batch_receipt_polls {
+            let requests: Vec<(EndpointId, RpcRequest)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, (ep, h))| {
+                    (
+                        *ep,
+                        RpcRequest::new(i as u64, RpcMethod::GetTransactionReceipt { hash: *h }),
+                    )
+                })
+                .collect();
+            let responses = self.pool.batch(&requests);
+            for ((ep, _), response) in items.iter().zip(&responses) {
+                costs[ep.0] = costs[ep.0].saturating_add(response.cost);
+            }
+            (responses.into_iter().map(receipt_of).collect(), costs)
+        } else {
+            let mut receipts = Vec::with_capacity(items.len());
+            for (ep, hash) in items {
+                let billed = self.pool.endpoint(*ep).get_transaction_receipt(*hash);
+                costs[ep.0] = costs[ep.0].saturating_add(billed.cost);
+                receipts.push(billed.value.ok().flatten());
+            }
+            (receipts, costs)
+        }
+    }
+
+    /// Advances the clock to the slot boundary at `slot_secs` and mines
+    /// that slot's block on **every** shard (backstage: the networks
+    /// produce blocks whether or not any client is watching), notifying
+    /// window-based decorators of the boundary. Returns the blocks in
+    /// endpoint order.
+    pub fn mine_slot(&mut self, slot_secs: u64) -> Vec<Block> {
         self.clock.advance_to(SimInstant(slot_secs * 1_000_000));
-        self.provider.chain_mut().mine_block(slot_secs)
+        let mut blocks = Vec::with_capacity(self.pool.len());
+        for i in 0..self.pool.len() {
+            blocks.push(
+                self.pool
+                    .endpoint(EndpointId(i))
+                    .chain_mut()
+                    .mine_block(slot_secs),
+            );
+        }
+        self.pool.on_slot();
+        blocks
     }
 
     // ------------------------------------------------------------------
     // Serial path.
     // ------------------------------------------------------------------
 
-    /// Blocks (in virtual time) until `hash` is mined, then charges one
-    /// receipt poll and returns the receipt — the blocking half of
-    /// [`World::send_and_confirm`].
-    pub fn await_receipt(&mut self, hash: H256) -> Result<Receipt, WorldError> {
-        self.mine_until(&[hash])?;
-        let (result, cost) = self.eth_retry(|eth| eth.get_transaction_receipt(hash));
+    /// Blocks (in virtual time) until `hash` is mined on `endpoint`, then
+    /// charges one receipt poll and returns the receipt — the blocking half
+    /// of [`World::send_and_confirm`].
+    pub fn await_receipt(
+        &mut self,
+        endpoint: EndpointId,
+        hash: H256,
+    ) -> Result<Receipt, WorldError> {
+        self.mine_until(endpoint, &[hash])?;
+        let (result, cost) = self.eth_retry(endpoint, |eth| eth.get_transaction_receipt(hash));
         self.clock.advance(cost);
         match result {
             Ok(Some(receipt)) => Ok(receipt),
@@ -346,6 +540,7 @@ impl World {
     /// it is mined, driving 12-second slot production. Returns the receipt.
     pub fn send_and_confirm(
         &mut self,
+        endpoint: EndpointId,
         wallet: &Wallet,
         from: &H160,
         to: Option<H160>,
@@ -354,22 +549,23 @@ impl World {
     ) -> Result<Receipt, WorldError> {
         // RPC submission (calldata rides along).
         self.clock.advance(self.tx_submit_time(data.len()));
-        let hash = self.submit_tx(wallet, from, to, value, data)?;
-        self.await_receipt(hash)
+        let (hash, preflight) = self.submit_tx(endpoint, wallet, from, to, value, data)?;
+        self.clock.advance(preflight);
+        self.await_receipt(endpoint, hash)
     }
 
-    /// Advances slot by slot until every hash has a receipt, giving up with
-    /// a typed [`WorldError::ConfirmationTimeout`] after
-    /// [`ChainConfig::max_wait_slots`] slots. Each wait polls the provider
+    /// Advances slot by slot until every hash has a receipt on `endpoint`,
+    /// giving up with a typed [`WorldError::ConfirmationTimeout`] after
+    /// [`ChainConfig::max_wait_slots`] slots. Each wait polls the endpoint
     /// once per slot (batched when several hashes are pending).
-    pub fn mine_until(&mut self, hashes: &[H256]) -> Result<(), WorldError> {
-        let max_wait_slots = self.chain().config().max_wait_slots;
+    pub fn mine_until(&mut self, endpoint: EndpointId, hashes: &[H256]) -> Result<(), WorldError> {
+        let max_wait_slots = self.chain(endpoint).config().max_wait_slots;
         let mut slots_mined = 0u64;
         loop {
             let Billed {
                 value: receipts,
                 cost,
-            } = self.poll_receipts(hashes);
+            } = self.poll_receipts(endpoint, hashes);
             self.clock.advance(cost);
             if receipts.iter().all(Option::is_some) {
                 return Ok(());
@@ -385,7 +581,7 @@ impl World {
         // actually there.
         let pending: Vec<H256> = hashes
             .iter()
-            .filter(|h| self.chain().receipt(h).is_none())
+            .filter(|h| self.chain(endpoint).receipt(h).is_none())
             .cloned()
             .collect();
         if pending.is_empty() {
@@ -393,7 +589,7 @@ impl World {
         }
         // Distinguish "still queued" from "silently evicted": a vanished
         // transaction will never confirm no matter how long we wait.
-        if let Some(dropped) = pending.iter().find(|h| !self.chain().is_pending(h)) {
+        if let Some(dropped) = pending.iter().find(|h| !self.chain(endpoint).is_pending(h)) {
             return Err(WorldError::TxDropped(*dropped));
         }
         Err(WorldError::ConfirmationTimeout {
@@ -402,15 +598,16 @@ impl World {
         })
     }
 
-    /// A free read (`eth_call`-style) through the provider, with the priced
+    /// A free read (`eth_call`-style) through the endpoint, with the priced
     /// RPC cost charged to the global clock and transient failures retried.
     pub fn read_call(
         &mut self,
+        endpoint: EndpointId,
         from: &H160,
         to: &H160,
         data: Vec<u8>,
     ) -> Result<CallResult, WorldError> {
-        let (result, cost) = self.eth_retry(|eth| eth.call(from, to, data.clone()));
+        let (result, cost) = self.eth_retry(endpoint, |eth| eth.call(from, to, data.clone()));
         self.clock.advance(cost);
         result.map_err(WorldError::Rpc)
     }
@@ -419,21 +616,70 @@ impl World {
     // IPFS traffic (also provider-priced; the caller charges the bill).
     // ------------------------------------------------------------------
 
-    /// `ipfs add` on `node`: stores + pins, returns the root CID and the
-    /// priced LAN transfer time.
-    pub fn ipfs_add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
-        self.provider.add(node, data)
+    /// `ipfs add` on `node` of `endpoint`'s swarm: stores + pins, returns
+    /// the root CID and the priced LAN transfer time.
+    pub fn ipfs_add(
+        &mut self,
+        endpoint: EndpointId,
+        node: usize,
+        data: &[u8],
+    ) -> Billed<AddResult> {
+        self.pool.endpoint(endpoint).add(node, data)
     }
 
-    /// `ipfs cat` on `node`: bitswaps the DAG under `cid` and returns the
-    /// bytes, transfer stats, and priced LAN time.
+    /// `ipfs cat` on `node` of `endpoint`'s swarm: bitswaps the DAG under
+    /// `cid` and returns the bytes, transfer stats, and priced LAN time.
     pub fn ipfs_cat(
         &mut self,
+        endpoint: EndpointId,
         node: usize,
         cid: &Cid,
     ) -> Billed<Result<(Vec<u8>, FetchStats), ofl_ipfs::swarm::IpfsError>> {
-        self.provider.cat(node, cid)
+        self.pool.endpoint(endpoint).cat(node, cid)
     }
+}
+
+fn receipt_of(response: RpcResponse) -> Option<Receipt> {
+    match response.result {
+        Ok(RpcResult::Receipt(receipt)) => receipt,
+        _ => None,
+    }
+}
+
+/// Unpacks the signing-environment batch (`eth_chainId`,
+/// `eth_getTransactionCount`, `eth_estimateGas`, `eth_gasPrice`), surfacing
+/// the first transport error so a dropped batch retries as a unit.
+fn decode_tx_env(responses: &[RpcResponse]) -> Result<TxEnv, RpcError> {
+    let result = |i: usize| -> Result<&RpcResult, RpcError> {
+        responses
+            .get(i)
+            .ok_or(RpcError::UnexpectedResponse)?
+            .result
+            .as_ref()
+            .map_err(Clone::clone)
+    };
+    let chain_id = match result(0)? {
+        RpcResult::ChainId(id) => *id,
+        _ => return Err(RpcError::UnexpectedResponse),
+    };
+    let nonce = match result(1)? {
+        RpcResult::TransactionCount(n) => *n,
+        _ => return Err(RpcError::UnexpectedResponse),
+    };
+    let gas_estimate = match result(2)? {
+        RpcResult::GasEstimate(g) => *g,
+        _ => return Err(RpcError::UnexpectedResponse),
+    };
+    let base_fee = match result(3)? {
+        RpcResult::GasPrice(p) => *p,
+        _ => return Err(RpcError::UnexpectedResponse),
+    };
+    Ok(TxEnv {
+        chain_id,
+        nonce,
+        gas_estimate,
+        base_fee,
+    })
 }
 
 #[cfg(test)]
@@ -441,6 +687,8 @@ mod tests {
     use super::*;
     use ofl_eth::tx::{sign_tx, TxRequest};
     use ofl_primitives::wei_per_eth;
+
+    const EP: EndpointId = EndpointId(0);
 
     #[test]
     fn send_and_confirm_waits_for_slot() {
@@ -453,13 +701,20 @@ mod tests {
             NetworkProfile::campus(),
         );
         let receipt = world
-            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::from(5u64), vec![])
+            .send_and_confirm(
+                EP,
+                &wallet,
+                &addrs[0],
+                Some(addrs[1]),
+                U256::from(5u64),
+                vec![],
+            )
             .unwrap();
         assert!(receipt.is_success());
         // Must have waited at least until the first 12 s slot.
         assert!(world.clock.elapsed_secs() >= 12.0);
         assert!(world.clock.elapsed_secs() < 25.0);
-        assert_eq!(world.chain().height(), 1);
+        assert_eq!(world.chain(EP).height(), 1);
     }
 
     #[test]
@@ -469,10 +724,10 @@ mod tests {
         let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
         let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
         let r1 = world
-            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .send_and_confirm(EP, &wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
             .unwrap();
         let r2 = world
-            .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .send_and_confirm(EP, &wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
             .unwrap();
         assert!(r2.block_number > r1.block_number);
         assert!(world.clock.elapsed_secs() >= 24.0);
@@ -486,19 +741,70 @@ mod tests {
         let addrs = wallet.addresses();
         let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
         let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
-        let h1 = world
-            .submit_tx(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+        let (h1, _) = world
+            .submit_tx(EP, &wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
             .unwrap();
-        let h2 = world
-            .submit_tx(&wallet, &addrs[1], Some(addrs[0]), U256::ONE, vec![])
+        let (h2, _) = world
+            .submit_tx(EP, &wallet, &addrs[1], Some(addrs[0]), U256::ONE, vec![])
             .unwrap();
         assert_eq!(world.clock.elapsed_secs(), 0.0, "submission never blocks");
-        assert_eq!(world.chain().mempool_len(), 2);
+        assert_eq!(world.chain(EP).mempool_len(), 2);
         let slot = world.next_slot_secs(world.clock.now());
-        let block = world.mine_slot(slot);
-        assert_eq!(block.tx_hashes.len(), 2);
-        assert!(world.chain().receipt(&h1).is_some());
-        assert!(world.chain().receipt(&h2).is_some());
+        let blocks = world.mine_slot(slot);
+        assert_eq!(blocks[0].tx_hashes.len(), 2);
+        assert!(world.chain(EP).receipt(&h1).is_some());
+        assert!(world.chain(EP).receipt(&h2).is_some());
+    }
+
+    #[test]
+    fn signing_reads_travel_as_one_metered_batch() {
+        let wallet = Wallet::from_seed("world-sign", 2);
+        let addrs = wallet.addresses();
+        let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::new(ChainConfig::default(), &genesis, NetworkProfile::campus());
+        let (env, cost) = world.tx_env(EP, &addrs[0], Some(&addrs[1]), &[]).unwrap();
+        assert_eq!(env.nonce, 0);
+        assert_eq!(env.gas_estimate, 21_000);
+        assert_eq!(env.chain_id, world.chain(EP).config().chain_id);
+        assert_eq!(env.base_fee, world.chain(EP).base_fee());
+        assert!(cost > SimDuration::ZERO, "the preflight is priced traffic");
+        let metrics = world.rpc_metrics(EP);
+        // Four signing reads, one wire round trip.
+        assert_eq!(metrics.round_trips, 1);
+        assert_eq!(metrics.batched_requests, 4);
+        for method in [
+            "eth_chainId",
+            "eth_getTransactionCount",
+            "eth_estimateGas",
+            "eth_gasPrice",
+        ] {
+            assert_eq!(metrics.method(method).calls, 1, "{method}");
+        }
+    }
+
+    #[test]
+    fn faults_cover_the_signing_path() {
+        // A provider that drops everything fails the submit inside the
+        // signing preflight — no local chain read can paper over it.
+        let wallet = Wallet::from_seed("world-sign-flaky", 1);
+        let a = wallet.addresses()[0];
+        let profile = FaultProfile {
+            timeout: SimDuration::from_secs(3),
+            ..FaultProfile::new(1, 1.0)
+        };
+        let mut world = World::with_faults(
+            ChainConfig::default(),
+            &[(a, wei_per_eth())],
+            NetworkProfile::campus(),
+            Some(profile),
+        );
+        match world.submit_tx(EP, &wallet, &a, None, U256::ZERO, vec![]) {
+            Err(WorldError::Rpc(RpcError::Timeout)) => {}
+            other => panic!("expected signing-path timeout, got {other:?}"),
+        }
+        let metrics = world.rpc_metrics(EP);
+        assert!(metrics.method("eth_chainId").errors > 0);
+        assert_eq!(metrics.method("eth_sendRawTransaction").calls, 0);
     }
 
     #[test]
@@ -513,7 +819,7 @@ mod tests {
         // A future-nonce transaction can never be mined on its own.
         let key = wallet.account(&a).unwrap().private_key;
         let req = TxRequest {
-            chain_id: world.chain().config().chain_id,
+            chain_id: world.chain(EP).config().chain_id,
             nonce: 5,
             max_priority_fee_per_gas: U256::from(1_500_000_000u64),
             max_fee_per_gas: U256::from(40_000_000_000u64),
@@ -523,10 +829,10 @@ mod tests {
             data: Vec::new(),
         };
         let hash = world
-            .chain_mut()
+            .chain_mut(EP)
             .submit(sign_tx(req, &key).unwrap())
             .unwrap();
-        match world.mine_until(&[hash]) {
+        match world.mine_until(EP, &[hash]) {
             Err(WorldError::ConfirmationTimeout {
                 slots_mined,
                 pending,
@@ -536,7 +842,7 @@ mod tests {
             }
             other => panic!("expected ConfirmationTimeout, got {other:?}"),
         }
-        assert_eq!(world.chain().height(), 3);
+        assert_eq!(world.chain(EP).height(), 3);
     }
 
     #[test]
@@ -562,12 +868,12 @@ mod tests {
             &[(a, wei_per_eth())],
             NetworkProfile::campus(),
         );
-        let before_balance = world.chain().balance(&a);
+        let before_balance = world.chain(EP).balance(&a);
         let before_time = world.clock.elapsed_secs();
         world
-            .read_call(&a, &H160::from_slice(&[7; 20]), vec![])
+            .read_call(EP, &a, &H160::from_slice(&[7; 20]), vec![])
             .unwrap();
-        assert_eq!(world.chain().balance(&a), before_balance);
+        assert_eq!(world.chain(EP).balance(&a), before_balance);
         assert!(world.clock.elapsed_secs() > before_time);
     }
 
@@ -586,9 +892,9 @@ mod tests {
                 faults,
             );
             world
-                .send_and_confirm(&wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+                .send_and_confirm(EP, &wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
                 .unwrap();
-            (world.clock.elapsed_secs(), world.rpc_metrics())
+            (world.clock.elapsed_secs(), world.rpc_metrics(EP))
         };
         let (clean_secs, clean_metrics) = run(None);
         let (flaky_secs, flaky_metrics) = run(Some(FaultProfile::new(9, 0.6)));
@@ -616,6 +922,7 @@ mod tests {
             .map(|i| {
                 world
                     .submit_tx(
+                        EP,
                         &wallet,
                         &addrs[i],
                         Some(addrs[(i + 1) % 4]),
@@ -623,18 +930,85 @@ mod tests {
                         vec![],
                     )
                     .unwrap()
+                    .0
             })
             .collect();
         world.mine_slot(12);
-        let before = world.rpc_metrics().round_trips;
-        let batched = world.poll_receipts(&hashes);
+        let before = world.rpc_metrics(EP).round_trips;
+        let batched = world.poll_receipts(EP, &hashes);
         assert!(batched.value.iter().all(Option::is_some));
-        assert_eq!(world.rpc_metrics().round_trips, before + 1);
+        assert_eq!(world.rpc_metrics(EP).round_trips, before + 1);
 
         world.batch_receipt_polls = false;
-        let per_call = world.poll_receipts(&hashes);
-        assert_eq!(world.rpc_metrics().round_trips, before + 1 + 4);
+        let per_call = world.poll_receipts(EP, &hashes);
+        assert_eq!(world.rpc_metrics(EP).round_trips, before + 1 + 4);
         // The batched bill is far cheaper than four separate round trips.
         assert!(batched.cost.as_secs_f64() * 2.0 < per_call.cost.as_secs_f64());
+    }
+
+    #[test]
+    fn sharded_worlds_keep_independent_chains_but_one_clock() {
+        let wallet = Wallet::from_seed("world-shards", 2);
+        let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        let mut world = World::from_shards(
+            vec![
+                ShardSpec::new(ChainConfig::default(), vec![(a, wei_per_eth())]),
+                ShardSpec::new(ChainConfig::default(), vec![(b, wei_per_eth())]),
+            ],
+            NetworkProfile::campus(),
+        );
+        assert_eq!(world.endpoints(), 2);
+        // Account `a` exists on shard 0 only.
+        assert_eq!(world.chain(EndpointId(0)).balance(&a), wei_per_eth());
+        assert_eq!(world.chain(EndpointId(1)).balance(&a), U256::ZERO);
+        // Same-instant submissions on different shards mine into different
+        // chains' blocks at the same slot boundary.
+        let (h0, _) = world
+            .submit_tx(EndpointId(0), &wallet, &a, Some(b), U256::ONE, vec![])
+            .unwrap();
+        let (h1, _) = world
+            .submit_tx(EndpointId(1), &wallet, &b, Some(a), U256::ONE, vec![])
+            .unwrap();
+        let blocks = world.mine_slot(12);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].tx_hashes, vec![h0]);
+        assert_eq!(blocks[1].tx_hashes, vec![h1]);
+        // The sharded poll answers both in one pass, one round trip per
+        // endpoint, each shard paying its own bill.
+        let items = vec![(EndpointId(0), h0), (EndpointId(1), h1)];
+        let (receipts, costs) = world.poll_receipts_sharded(&items);
+        assert!(receipts.iter().all(Option::is_some));
+        assert!(costs[0] > SimDuration::ZERO && costs[1] > SimDuration::ZERO);
+        // Per-endpoint metering stays disjoint and rolls up.
+        let per = world.rpc_metrics_per_endpoint();
+        assert_eq!(per[0].method("eth_sendRawTransaction").calls, 1);
+        assert_eq!(per[1].method("eth_sendRawTransaction").calls, 1);
+        let merged = world.rpc_metrics_merged();
+        assert_eq!(merged.method("eth_sendRawTransaction").calls, 2);
+        assert_eq!(merged.round_trips, per[0].round_trips + per[1].round_trips);
+    }
+
+    #[test]
+    fn rate_limited_world_survives_via_backoff_retries() {
+        let wallet = Wallet::from_seed("world-429", 2);
+        let addrs = wallet.addresses();
+        let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
+        let mut world = World::from_shards(
+            vec![ShardSpec {
+                chain: ChainConfig::default(),
+                genesis,
+                faults: None,
+                rate_limit: Some(RateLimitProfile::new(7, 2)),
+            }],
+            NetworkProfile::campus(),
+        );
+        // The signing preflight + broadcast + polls blow a 2-request budget;
+        // back-off retries still land the transfer.
+        let receipt = world
+            .send_and_confirm(EP, &wallet, &addrs[0], Some(addrs[1]), U256::ONE, vec![])
+            .unwrap();
+        assert!(receipt.is_success());
+        let metrics = world.rpc_metrics(EP);
+        assert!(metrics.total_errors() > 0, "429s must have fired");
     }
 }

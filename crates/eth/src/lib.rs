@@ -65,4 +65,4 @@ pub mod wallet;
 
 pub use chain::{Chain, ChainConfig};
 pub use contracts::CidStorage;
-pub use wallet::Wallet;
+pub use wallet::{TxEnv, Wallet};

@@ -53,6 +53,39 @@ impl core::fmt::Display for WalletError {
 
 impl std::error::Error for WalletError {}
 
+/// Everything a wallet must learn from a node before it can sign: chain
+/// id, sender nonce, a gas estimate, and the current base fee. Callers
+/// gather these however they like — the simulation's RPC layer fetches
+/// them as one `eth_chainId`/`eth_getTransactionCount`/`eth_estimateGas`/
+/// `eth_gasPrice` batch against the market's endpoint, so provider faults
+/// cover the signing path; tests may build one straight off a local
+/// [`Chain`] view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxEnv {
+    /// Replay-protection chain id.
+    pub chain_id: u64,
+    /// The sender's next nonce.
+    pub nonce: u64,
+    /// Estimated gas units (before the wallet's safety margin).
+    pub gas_estimate: u64,
+    /// Current base fee per gas.
+    pub base_fee: U256,
+}
+
+impl TxEnv {
+    /// Reads the signing environment off a local chain view — the
+    /// convenience used by backend-level tests; client code goes through
+    /// the RPC envelopes instead.
+    pub fn from_chain(chain: &Chain, from: &H160, to: Option<&H160>, data: &[u8]) -> TxEnv {
+        TxEnv {
+            chain_id: chain.config().chain_id,
+            nonce: chain.nonce(from),
+            gas_estimate: chain.estimate_gas(from, to, data),
+            base_fee: chain.base_fee(),
+        }
+    }
+}
+
 /// The fee summary a user confirms before signing — the information content
 /// of the MetaMask dialogs in the paper's Fig 5.
 #[derive(Debug, Clone)]
@@ -160,21 +193,21 @@ impl Wallet {
     }
 
     /// Builds the confirmation summary for a prospective transaction —
-    /// the dialog of Fig 5a — without signing anything.
-    pub fn summarize(
+    /// the dialog of Fig 5a — from an explicit signing environment,
+    /// without signing anything.
+    pub fn summarize_with_env(
         &self,
-        chain: &Chain,
-        from: &H160,
+        env: &TxEnv,
         to: Option<&H160>,
         value: &U256,
         data: &[u8],
     ) -> TxSummary {
-        let estimated_gas = chain.estimate_gas(from, to, data);
+        let estimated_gas = env.gas_estimate;
         let tip = self.default_priority_fee;
-        let price = chain.base_fee().wrapping_add(&tip);
+        let price = env.base_fee.wrapping_add(&tip);
         // MetaMask's max fee heuristic: 2× base fee + tip.
-        let max_fee = chain
-            .base_fee()
+        let max_fee = env
+            .base_fee
             .wrapping_mul(&U256::from(2u64))
             .wrapping_add(&tip);
         let fee = U256::from(estimated_gas).wrapping_mul(&price);
@@ -193,14 +226,30 @@ impl Wallet {
         }
     }
 
-    /// Builds and signs a transaction — the "Confirm" button up to, but not
-    /// including, the broadcast: estimates gas (with a 1.5× safety margin,
-    /// as MetaMask applies) against the wallet's view of the chain, signs
-    /// with the account's key, and returns the raw encoded transaction ready
-    /// for `eth_sendRawTransaction`.
-    pub fn sign_raw(
+    /// [`Wallet::summarize_with_env`] against a local chain view.
+    pub fn summarize(
         &self,
         chain: &Chain,
+        from: &H160,
+        to: Option<&H160>,
+        value: &U256,
+        data: &[u8],
+    ) -> TxSummary {
+        let env = TxEnv::from_chain(chain, from, to, data);
+        self.summarize_with_env(&env, to, value, data)
+    }
+
+    /// Builds and signs a transaction from an explicit [`TxEnv`] — the
+    /// "Confirm" button up to, but not including, the broadcast. Applies
+    /// MetaMask's heuristics to the environment the caller fetched (1.5×
+    /// gas safety margin, max fee = 2× base fee + tip), signs with the
+    /// account's key, and returns the raw encoded transaction ready for
+    /// `eth_sendRawTransaction`. The wallet itself never reads a chain:
+    /// where the environment came from — a local view or RPC envelopes
+    /// against a market's endpoint — is the caller's business.
+    pub fn sign_with_env(
+        &self,
+        env: &TxEnv,
         from: &H160,
         to: Option<H160>,
         value: U256,
@@ -209,16 +258,15 @@ impl Wallet {
         let account = self
             .account(from)
             .ok_or(WalletError::UnknownAccount(*from))?;
-        let estimated = chain.estimate_gas(from, to.as_ref(), &data);
-        let gas_limit = estimated + estimated / 2;
+        let gas_limit = env.gas_estimate + env.gas_estimate / 2;
         let tip = self.default_priority_fee;
-        let max_fee = chain
-            .base_fee()
+        let max_fee = env
+            .base_fee
             .wrapping_mul(&U256::from(2u64))
             .wrapping_add(&tip);
         let request = TxRequest {
-            chain_id: chain.config().chain_id,
-            nonce: chain.nonce(from) + self.pending_count(chain, from),
+            chain_id: env.chain_id,
+            nonce: env.nonce,
             max_priority_fee_per_gas: tip,
             max_fee_per_gas: max_fee,
             gas_limit,
@@ -228,6 +276,20 @@ impl Wallet {
         };
         let tx = sign_tx(request, &account.private_key).map_err(WalletError::Signing)?;
         Ok(tx.encode())
+    }
+
+    /// [`Wallet::sign_with_env`] against a local chain view — the
+    /// backend-level convenience (the chain *is* the wallet's node here).
+    pub fn sign_raw(
+        &self,
+        chain: &Chain,
+        from: &H160,
+        to: Option<H160>,
+        value: U256,
+        data: Vec<u8>,
+    ) -> Result<Vec<u8>, WalletError> {
+        let env = TxEnv::from_chain(chain, from, to.as_ref(), &data);
+        self.sign_with_env(&env, from, to, value, data)
     }
 
     /// Signs and submits a transaction — `sign_raw` plus the broadcast into
@@ -242,16 +304,6 @@ impl Wallet {
     ) -> Result<H256, WalletError> {
         let raw = self.sign_raw(chain, from, to, value, data)?;
         Ok(chain.submit_raw(&raw)?)
-    }
-
-    /// Counts this sender's transactions already waiting in the mempool so
-    /// that several sends within one block get consecutive nonces.
-    fn pending_count(&self, _chain: &Chain, _from: &H160) -> u64 {
-        // The chain's mempool is not exposed per-sender; the OFL-W3 workflow
-        // waits for each confirmation before the next send, so 0 is correct
-        // for every paper scenario. Multi-tx-per-block senders should manage
-        // nonces explicitly via `ofl_eth::tx`.
-        0
     }
 }
 
@@ -312,6 +364,32 @@ mod tests {
         assert_eq!(interact.kind, "Contract Interaction");
         // Display renders ETH values.
         assert!(transfer.display().contains("ETH"));
+    }
+
+    #[test]
+    fn sign_with_env_matches_local_view_signing() {
+        let wallet = Wallet::from_seed("seed", 2);
+        let chain = chain_with(&wallet);
+        let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        let env = TxEnv::from_chain(&chain, &a, Some(&b), &[]);
+        assert_eq!(env.nonce, 0);
+        assert_eq!(env.gas_estimate, 21_000);
+        let via_env = wallet
+            .sign_with_env(&env, &a, Some(b), U256::ONE, vec![])
+            .unwrap();
+        let via_chain = wallet
+            .sign_raw(&chain, &a, Some(b), U256::ONE, vec![])
+            .unwrap();
+        assert_eq!(via_env, via_chain);
+        // A stale nonce in the environment shows up in the signed bytes —
+        // the wallet signs exactly what it was told.
+        let stale = TxEnv { nonce: 3, ..env };
+        assert_ne!(
+            wallet
+                .sign_with_env(&stale, &a, Some(b), U256::ONE, vec![])
+                .unwrap(),
+            via_env
+        );
     }
 
     #[test]

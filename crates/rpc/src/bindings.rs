@@ -347,6 +347,7 @@ contract_bindings! {
         read cid_count ["cidCount()"] () -> u64;
         read get_cid ["getCid(uint256)"] (index: u64) -> String;
         calldata upload_cid_calldata ["uploadCid(string)"] (cid: &str);
+        calldata get_cid_calldata ["getCid(uint256)"] (index: u64);
         event {
             topic: uploaded_topic,
             decode: decode_uploaded,
@@ -381,6 +382,71 @@ impl ModelMarketContract {
             let billed = self.get_cid(eth, from, index);
             cost = cost.saturating_add(billed.cost);
             match billed.value {
+                Ok(cid) => cids.push(cid),
+                Err(e) => {
+                    return crate::Billed {
+                        value: Err(e),
+                        cost,
+                    }
+                }
+            }
+        }
+        crate::Billed {
+            value: Ok(cids),
+            cost,
+        }
+    }
+
+    /// Reads every stored CID in **two** provider round trips regardless of
+    /// count: one `cidCount` call, then all `getCid` reads as a single
+    /// [`EthApi::batch`](crate::eth::EthApi::batch) — the Fig 7b
+    /// "download CIDs" path without the per-index wire tax.
+    pub fn all_cids_batched<E: crate::eth::EthApi + ?Sized>(
+        &self,
+        eth: &mut E,
+        from: &H160,
+    ) -> crate::Billed<Result<Vec<String>, BindingError>> {
+        use crate::envelope::{RpcMethod, RpcRequest, RpcResult};
+
+        let counted = self.cid_count(eth, from);
+        let mut cost = counted.cost;
+        let count = match counted.value {
+            Ok(n) => n,
+            Err(e) => {
+                return crate::Billed {
+                    value: Err(e),
+                    cost,
+                }
+            }
+        };
+        if count == 0 {
+            return crate::Billed {
+                value: Ok(Vec::new()),
+                cost,
+            };
+        }
+        let requests: Vec<RpcRequest> = (0..count)
+            .map(|index| {
+                RpcRequest::new(
+                    index,
+                    RpcMethod::Call {
+                        from: *from,
+                        to: self.address,
+                        data: Self::get_cid_calldata(index),
+                    },
+                )
+            })
+            .collect();
+        let responses = eth.batch(&requests);
+        let mut cids = Vec::with_capacity(count as usize);
+        for response in responses {
+            cost = cost.saturating_add(response.cost);
+            let decoded = match response.result {
+                Ok(RpcResult::Call(call)) => decode_return::<String>(&call),
+                Ok(_) => Err(BindingError::Rpc(RpcError::UnexpectedResponse)),
+                Err(e) => Err(BindingError::Rpc(e)),
+            };
+            match decoded {
                 Ok(cid) => cids.push(cid),
                 Err(e) => {
                     return crate::Billed {
@@ -497,6 +563,37 @@ mod tests {
                 .unwrap(),
             vec![cid.to_string(), "short-cid".to_string()]
         );
+    }
+
+    #[test]
+    fn batched_cid_reads_agree_with_per_call_reads_in_two_round_trips() {
+        let mut f = Fixture::new();
+        for cid in ["QmAlpha", "QmBeta", "QmGamma", "QmDelta"] {
+            f.upload(cid);
+        }
+        let per_call = f
+            .contract
+            .all_cids(&mut f.provider, &f.caller)
+            .value
+            .unwrap();
+        let batched = f
+            .contract
+            .all_cids_batched(&mut f.provider, &f.caller)
+            .value
+            .unwrap();
+        assert_eq!(per_call, batched);
+        // Round-trip accounting through a metered stack: 1 count + 1 batch.
+        let mut metered = crate::decorators::MeteredProvider::new(f.provider);
+        let again = f
+            .contract
+            .all_cids_batched(&mut metered, &f.caller)
+            .value
+            .unwrap();
+        assert_eq!(again, batched);
+        let metrics = metered.snapshot();
+        assert_eq!(metrics.round_trips, 2);
+        assert_eq!(metrics.method("eth_call").calls, 5);
+        assert_eq!(metrics.batched_requests, 4);
     }
 
     #[test]

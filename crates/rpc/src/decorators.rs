@@ -5,10 +5,11 @@
 //! wraps, so stacks compose freely:
 //!
 //! ```text
-//! MeteredProvider           ← counts calls/errors, sums costs, snapshots
-//!   └─ LatencyProvider      ← prices each request from the netsim links
-//!        └─ FlakyProvider   ← seeded request drops with a timeout cost
-//!             └─ SimProvider  (in-process chain + swarm)
+//! MeteredProvider              ← counts calls/errors, sums costs, snapshots
+//!   └─ LatencyProvider         ← prices each request from the netsim links
+//!        └─ RateLimitProvider  ← seeded 429s after K requests per slot
+//!             └─ FlakyProvider ← seeded request drops with a timeout cost
+//!                  └─ SimProvider  (in-process chain + swarm)
 //! ```
 //!
 //! Decorators never touch a clock: they *price* requests into the response
@@ -141,6 +142,9 @@ impl<P: NodeProvider> NodeProvider for LatencyProvider<P> {
     fn metrics(&self) -> Option<ProviderMetrics> {
         self.inner.metrics()
     }
+    fn on_slot(&mut self) {
+        self.inner.on_slot()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -266,6 +270,161 @@ impl<P: NodeProvider> NodeProvider for FlakyProvider<P> {
     fn metrics(&self) -> Option<ProviderMetrics> {
         self.inner.metrics()
     }
+    fn on_slot(&mut self) {
+        self.inner.on_slot()
+    }
+}
+
+// ----------------------------------------------------------------------
+// RateLimitProvider
+// ----------------------------------------------------------------------
+
+/// How a quota-enforcing endpoint throttles its clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitProfile {
+    /// Seed of the per-slot allowance jitter — equal seeds reproduce the
+    /// exact same 429 sequence, request for request.
+    pub seed: u64,
+    /// Baseline request budget per 12-second slot (single requests and
+    /// whole batches each spend one unit, like one HTTP exchange).
+    pub requests_per_slot: u64,
+    /// Virtual time a throttled client backs off before retrying; the
+    /// window is treated as elapsed once the back-off is paid.
+    pub backoff: SimDuration,
+}
+
+impl RateLimitProfile {
+    /// A profile with the default 1-second client back-off.
+    pub fn new(seed: u64, requests_per_slot: u64) -> RateLimitProfile {
+        RateLimitProfile {
+            seed,
+            requests_per_slot,
+            backoff: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Answers 429-style [`RpcError::RateLimited`] once a client exceeds its
+/// per-slot request budget — the quota-fault scenario generator. Each slot
+/// grants a seeded allowance (baseline plus deterministic jitter); the
+/// request over budget is refused at the cost of the profile's back-off,
+/// after which the window is considered elapsed and the allowance renews.
+/// IPFS traffic (LAN-local in the paper's deployment) passes untouched.
+pub struct RateLimitProvider<P> {
+    inner: P,
+    profile: RateLimitProfile,
+    rng: StdRng,
+    allowance: u64,
+    used: u64,
+    /// How many requests (or whole batches) have been refused so far.
+    pub limited: u64,
+}
+
+impl<P> RateLimitProvider<P> {
+    /// Wraps `inner` with the given quota profile.
+    pub fn new(inner: P, profile: RateLimitProfile) -> RateLimitProvider<P> {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let allowance = draw_allowance(&mut rng, &profile);
+        RateLimitProvider {
+            inner,
+            profile,
+            rng,
+            allowance,
+            used: 0,
+            limited: 0,
+        }
+    }
+
+    /// Spends one unit of the window's budget; `true` means the request is
+    /// refused (and the window renews behind the priced back-off).
+    fn throttles_now(&mut self) -> bool {
+        if self.used < self.allowance {
+            self.used += 1;
+            return false;
+        }
+        self.limited += 1;
+        self.renew_window();
+        true
+    }
+
+    fn renew_window(&mut self) {
+        self.used = 0;
+        self.allowance = draw_allowance(&mut self.rng, &self.profile);
+    }
+}
+
+/// Baseline budget plus up to 25 % seeded jitter.
+fn draw_allowance(rng: &mut StdRng, profile: &RateLimitProfile) -> u64 {
+    let jitter_span = profile.requests_per_slot / 4 + 1;
+    (profile.requests_per_slot + rng.gen_range(0..jitter_span)).max(1)
+}
+
+impl<P: EthApi> EthApi for RateLimitProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        if self.throttles_now() {
+            return RpcResponse {
+                id: request.id,
+                result: Err(RpcError::RateLimited),
+                cost: self.profile.backoff,
+            };
+        }
+        self.inner.execute(request)
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        // A batch is one HTTP request: it spends (or is refused) one unit.
+        if self.throttles_now() {
+            return requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RpcResponse {
+                    id: r.id,
+                    result: Err(RpcError::RateLimited),
+                    // The back-off elapses once for the whole batch.
+                    cost: if i == 0 {
+                        self.profile.backoff
+                    } else {
+                        SimDuration::ZERO
+                    },
+                })
+                .collect();
+        }
+        self.inner.batch(requests)
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for RateLimitProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for RateLimitProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+    fn on_slot(&mut self) {
+        self.renew_window();
+        self.inner.on_slot()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -327,6 +486,20 @@ impl ProviderMetrics {
         stats.calls += 1;
         stats.errors += is_error as u64;
         stats.cost = stats.cost.saturating_add(cost);
+    }
+
+    /// Adds another snapshot's counters into this one — how a
+    /// [`ProviderPool`](crate::pool::ProviderPool) rolls per-endpoint
+    /// metering up into run-level totals.
+    pub fn absorb(&mut self, other: &ProviderMetrics) {
+        for (name, stats) in other.methods.iter() {
+            let mine = self.methods.entry(name).or_default();
+            mine.calls += stats.calls;
+            mine.errors += stats.errors;
+            mine.cost = mine.cost.saturating_add(stats.cost);
+        }
+        self.round_trips += other.round_trips;
+        self.batched_requests += other.batched_requests;
     }
 }
 
@@ -420,6 +593,9 @@ impl<P: NodeProvider> NodeProvider for MeteredProvider<P> {
     }
     fn metrics(&self) -> Option<ProviderMetrics> {
         Some(self.snapshot())
+    }
+    fn on_slot(&mut self) {
+        self.inner.on_slot()
     }
 }
 
@@ -539,6 +715,78 @@ mod tests {
         assert_eq!(metrics.method("ipfs_add").calls, 1);
         assert_eq!(metrics.method("ipfs_cat").calls, 1);
         assert!(metrics.total_cost() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rate_limit_throttles_over_budget_then_renews_behind_backoff() {
+        let addr = H160::from_slice(&[1; 20]);
+        let chain = Chain::new(
+            ChainConfig::default(),
+            &[(addr, ofl_primitives::wei_per_eth())],
+        );
+        let profile = RateLimitProfile {
+            seed: 5,
+            requests_per_slot: 3,
+            backoff: SimDuration::from_secs(1),
+        };
+        // No jitter span randomness matters here: allowance ∈ [3, 4).
+        let mut provider = RateLimitProvider::new(SimProvider::new(chain, Swarm::new()), profile);
+        let mut outcomes = Vec::new();
+        for _ in 0..10 {
+            outcomes.push(provider.block_number().value.is_err());
+        }
+        assert!(outcomes.iter().any(|e| *e), "budget of 3 must throttle");
+        assert!(!outcomes.iter().all(|e| *e), "renewed windows must pass");
+        assert!(provider.limited > 0);
+        // The refusal itself carries the back-off as its priced cost.
+        let mut fresh = RateLimitProvider::new(
+            {
+                let chain = Chain::new(
+                    ChainConfig::default(),
+                    &[(addr, ofl_primitives::wei_per_eth())],
+                );
+                SimProvider::new(chain, Swarm::new())
+            },
+            profile,
+        );
+        let refused = loop {
+            let billed = fresh.block_number();
+            if billed.value.is_err() {
+                break billed;
+            }
+        };
+        assert_eq!(refused.value, Err(RpcError::RateLimited));
+        assert_eq!(refused.cost, SimDuration::from_secs(1));
+        // After the refusal the window renewed: the retry goes through.
+        assert!(fresh.block_number().value.is_ok());
+    }
+
+    #[test]
+    fn rate_limit_is_deterministic_by_seed_and_resets_per_slot() {
+        let run = |seed: u64, slot_every: usize| -> Vec<bool> {
+            let addr = H160::from_slice(&[1; 20]);
+            let chain = Chain::new(
+                ChainConfig::default(),
+                &[(addr, ofl_primitives::wei_per_eth())],
+            );
+            let mut provider = RateLimitProvider::new(
+                SimProvider::new(chain, Swarm::new()),
+                RateLimitProfile::new(seed, 4),
+            );
+            (0..40)
+                .map(|i| {
+                    if slot_every > 0 && i % slot_every == 0 {
+                        provider.on_slot();
+                    }
+                    provider.block_number().value.is_err()
+                })
+                .collect()
+        };
+        let a = run(9, 0);
+        assert_eq!(a, run(9, 0), "equal seeds must throttle identically");
+        assert_ne!(a, run(10, 0), "different seeds should differ");
+        // Frequent slot boundaries renew the budget before it runs out.
+        assert!(run(9, 3).iter().all(|e| !e), "renewed windows never 429");
     }
 
     #[test]

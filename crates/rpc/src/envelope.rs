@@ -72,6 +72,21 @@ pub enum RpcMethod {
         /// Account queried.
         address: H160,
     },
+    /// `eth_estimateGas`: gas units a prospective transaction would use —
+    /// what a wallet calls before signing.
+    EstimateGas {
+        /// Prospective sender.
+        from: H160,
+        /// Recipient (`None` = contract deployment).
+        to: Option<H160>,
+        /// Prospective calldata.
+        data: Vec<u8>,
+    },
+    /// `eth_gasPrice`: the node's gas-price oracle. Our simulated node
+    /// reports the current base fee; tips are the wallet's own policy.
+    GasPrice,
+    /// `eth_chainId`: the chain's replay-protection id.
+    ChainId,
 }
 
 impl RpcMethod {
@@ -85,6 +100,9 @@ impl RpcMethod {
             RpcMethod::BlockNumber => "eth_blockNumber",
             RpcMethod::GetBalance { .. } => "eth_getBalance",
             RpcMethod::GetTransactionCount { .. } => "eth_getTransactionCount",
+            RpcMethod::EstimateGas { .. } => "eth_estimateGas",
+            RpcMethod::GasPrice => "eth_gasPrice",
+            RpcMethod::ChainId => "eth_chainId",
         }
     }
 
@@ -99,6 +117,11 @@ impl RpcMethod {
             RpcMethod::BlockNumber => 0,
             RpcMethod::GetBalance { .. } => 20,
             RpcMethod::GetTransactionCount { .. } => 20,
+            RpcMethod::EstimateGas { to, data, .. } => {
+                20 + if to.is_some() { 20 } else { 0 } + data.len() as u64
+            }
+            RpcMethod::GasPrice => 0,
+            RpcMethod::ChainId => 0,
         }
     }
 }
@@ -134,6 +157,12 @@ pub enum RpcResult {
     Balance(U256),
     /// Account nonce.
     TransactionCount(u64),
+    /// Estimated gas units.
+    GasEstimate(u64),
+    /// Gas-price oracle answer (the simulated node's current base fee).
+    GasPrice(U256),
+    /// Chain id.
+    ChainId(u64),
 }
 
 impl RpcResult {
@@ -158,6 +187,9 @@ impl RpcResult {
             RpcResult::BlockNumber(_) => 8,
             RpcResult::Balance(_) => 32,
             RpcResult::TransactionCount(_) => 8,
+            RpcResult::GasEstimate(_) => 8,
+            RpcResult::GasPrice(_) => 32,
+            RpcResult::ChainId(_) => 8,
         }
     }
 }
@@ -171,6 +203,9 @@ pub enum RpcError {
     Timeout,
     /// The node rejected the request (bad nonce, underpriced, …).
     Rejected(String),
+    /// The endpoint refused the request for quota reasons (HTTP 429); the
+    /// priced cost is the client's back-off before it may try again.
+    RateLimited,
     /// The response variant did not match the request method.
     UnexpectedResponse,
 }
@@ -180,6 +215,7 @@ impl core::fmt::Display for RpcError {
         match self {
             RpcError::Timeout => write!(f, "rpc request timed out"),
             RpcError::Rejected(why) => write!(f, "rpc request rejected: {why}"),
+            RpcError::RateLimited => write!(f, "rpc request rate-limited (429)"),
             RpcError::UnexpectedResponse => write!(f, "rpc response shape mismatch"),
         }
     }
@@ -305,6 +341,20 @@ impl RpcRequest {
                 w.u8(6);
                 w.h160(address);
             }
+            RpcMethod::EstimateGas { from, to, data } => {
+                w.u8(7);
+                w.h160(from);
+                match to {
+                    Some(to) => {
+                        w.u8(1);
+                        w.h160(to);
+                    }
+                    None => w.u8(0),
+                }
+                w.bytes(data);
+            }
+            RpcMethod::GasPrice => w.u8(8),
+            RpcMethod::ChainId => w.u8(9),
         }
         w.0
     }
@@ -346,6 +396,21 @@ impl RpcRequest {
             4 => RpcMethod::BlockNumber,
             5 => RpcMethod::GetBalance { address: r.h160()? },
             6 => RpcMethod::GetTransactionCount { address: r.h160()? },
+            7 => {
+                let from = r.h160()?;
+                let to = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.h160()?),
+                    _ => return None,
+                };
+                RpcMethod::EstimateGas {
+                    from,
+                    to,
+                    data: r.bytes()?,
+                }
+            }
+            8 => RpcMethod::GasPrice,
+            9 => RpcMethod::ChainId,
             _ => return None,
         };
         r.done().then_some(RpcRequest { id, method })
@@ -489,12 +554,25 @@ impl RpcResponse {
                 w.u8(6);
                 w.u64(*n);
             }
+            Ok(RpcResult::GasEstimate(n)) => {
+                w.u8(7);
+                w.u64(*n);
+            }
+            Ok(RpcResult::GasPrice(p)) => {
+                w.u8(8);
+                w.u256(p);
+            }
+            Ok(RpcResult::ChainId(n)) => {
+                w.u8(9);
+                w.u64(*n);
+            }
             Err(RpcError::Timeout) => w.u8(0x80),
             Err(RpcError::Rejected(why)) => {
                 w.u8(0x81);
                 w.bytes(why.as_bytes());
             }
             Err(RpcError::UnexpectedResponse) => w.u8(0x82),
+            Err(RpcError::RateLimited) => w.u8(0x83),
         }
         w.0
     }
@@ -543,9 +621,13 @@ impl RpcResponse {
             4 => Ok(RpcResult::BlockNumber(r.u64()?)),
             5 => Ok(RpcResult::Balance(r.u256()?)),
             6 => Ok(RpcResult::TransactionCount(r.u64()?)),
+            7 => Ok(RpcResult::GasEstimate(r.u64()?)),
+            8 => Ok(RpcResult::GasPrice(r.u256()?)),
+            9 => Ok(RpcResult::ChainId(r.u64()?)),
             0x80 => Err(RpcError::Timeout),
             0x81 => Err(RpcError::Rejected(String::from_utf8(r.bytes()?).ok()?)),
             0x82 => Err(RpcError::UnexpectedResponse),
+            0x83 => Err(RpcError::RateLimited),
             _ => return None,
         };
         r.done().then_some(RpcResponse { id, result, cost })
@@ -600,6 +682,24 @@ mod tests {
                     address: H160::from_slice(&[5; 20]),
                 },
             ),
+            RpcRequest::new(
+                8,
+                RpcMethod::EstimateGas {
+                    from: H160::from_slice(&[6; 20]),
+                    to: None,
+                    data: vec![0x60, 0x80],
+                },
+            ),
+            RpcRequest::new(
+                9,
+                RpcMethod::EstimateGas {
+                    from: H160::from_slice(&[6; 20]),
+                    to: Some(H160::from_slice(&[7; 20])),
+                    data: vec![],
+                },
+            ),
+            RpcRequest::new(10, RpcMethod::GasPrice),
+            RpcRequest::new(11, RpcMethod::ChainId),
         ];
         for req in requests {
             assert_eq!(RpcRequest::decode(&req.encode()), Some(req));
@@ -643,6 +743,26 @@ mod tests {
                 id: 4,
                 result: Err(RpcError::Rejected("nonce too low".into())),
                 cost: SimDuration::from_millis(100),
+            },
+            RpcResponse {
+                id: 5,
+                result: Ok(RpcResult::GasEstimate(21_000)),
+                cost: SimDuration::ZERO,
+            },
+            RpcResponse {
+                id: 6,
+                result: Ok(RpcResult::GasPrice(U256::from(7_000_000_000u64))),
+                cost: SimDuration::ZERO,
+            },
+            RpcResponse {
+                id: 7,
+                result: Ok(RpcResult::ChainId(11_155_111)),
+                cost: SimDuration::ZERO,
+            },
+            RpcResponse {
+                id: 8,
+                result: Err(RpcError::RateLimited),
+                cost: SimDuration::from_millis(500),
             },
         ];
         for resp in responses {

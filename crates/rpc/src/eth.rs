@@ -121,6 +121,47 @@ pub trait EthApi {
             _ => None,
         })
     }
+
+    /// `eth_estimateGas`: gas a prospective transaction would use — what a
+    /// wallet asks before signing.
+    fn estimate_gas(
+        &mut self,
+        from: &H160,
+        to: Option<&H160>,
+        data: &[u8],
+    ) -> Billed<Result<u64, RpcError>> {
+        let response = self.execute(&RpcRequest::new(
+            0,
+            RpcMethod::EstimateGas {
+                from: *from,
+                to: to.copied(),
+                data: data.to_vec(),
+            },
+        ));
+        unwrap_response(response, |result| match result {
+            RpcResult::GasEstimate(n) => Some(n),
+            _ => None,
+        })
+    }
+
+    /// `eth_gasPrice`: the node's gas-price oracle (our simulated node
+    /// reports the current base fee).
+    fn gas_price(&mut self) -> Billed<Result<U256, RpcError>> {
+        let response = self.execute(&RpcRequest::new(0, RpcMethod::GasPrice));
+        unwrap_response(response, |result| match result {
+            RpcResult::GasPrice(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// `eth_chainId`: the chain's replay-protection id.
+    fn chain_id(&mut self) -> Billed<Result<u64, RpcError>> {
+        let response = self.execute(&RpcRequest::new(0, RpcMethod::ChainId));
+        unwrap_response(response, |result| match result {
+            RpcResult::ChainId(n) => Some(n),
+            _ => None,
+        })
+    }
 }
 
 fn unwrap_response<T>(

@@ -12,9 +12,13 @@
 //!   one provider round trip.
 //! - [`ipfs`]: the [`IpfsApi`] trait (`add`, `cat`, `pin`).
 //! - [`sim`]: the in-process [`SimProvider`] backend over a chain + swarm.
+//! - [`pool`]: [`ProviderPool`] — N endpoint stacks (shards) addressed by
+//!   [`EndpointId`], with tagged batch fan-out and per-endpoint metering
+//!   rolled up into run-level totals.
 //! - [`decorators`]: composable providers wrapping any backend —
 //!   [`LatencyProvider`] prices netsim timing into each response,
-//!   [`FlakyProvider`] injects seeded deterministic drops/timeouts, and
+//!   [`FlakyProvider`] injects seeded deterministic drops/timeouts,
+//!   [`RateLimitProvider`] answers seeded 429s past a per-slot quota, and
 //!   [`MeteredProvider`] counts per-method calls and virtual-time totals.
 //! - [`bindings`]: the [`contract_bindings!`] macro and the generated
 //!   [`ModelMarketContract`] handle — typed contract calls with typed
@@ -34,16 +38,19 @@ pub mod decorators;
 pub mod envelope;
 pub mod eth;
 pub mod ipfs;
+pub mod pool;
 pub mod provider;
 pub mod sim;
 
 pub use bindings::{AbiArg, AbiRet, BindingError, ModelMarketContract};
 pub use decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, MethodStats, ProviderMetrics,
+    RateLimitProfile, RateLimitProvider,
 };
 pub use envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 pub use eth::EthApi;
 pub use ipfs::IpfsApi;
+pub use pool::{EndpointId, ProviderPool};
 pub use provider::{build_provider, NodeProvider, Retryable};
 pub use sim::SimProvider;
 

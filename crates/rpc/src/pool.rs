@@ -1,0 +1,232 @@
+//! [`ProviderPool`]: N independent node endpoints behind one handle — the
+//! sharded substrate a multi-market world runs on.
+//!
+//! Each endpoint is a full [`NodeProvider`] stack (its own chain, swarm,
+//! and decorators), addressed by [`EndpointId`]. Markets are *placed* on an
+//! endpoint and all of their client traffic — contract calls, transaction
+//! broadcasts, receipt polls, IPFS transfers — flows through that endpoint
+//! alone, so two markets on different shards contend for different blocks
+//! while two markets on the same shard share a mempool exactly as a
+//! single-endpoint world would.
+//!
+//! The pool adds two things on top of per-endpoint access:
+//!
+//! - [`ProviderPool::batch`]: a tagged fan-out — requests addressed to
+//!   several endpoints are grouped and each group travels as **one** wire
+//!   round trip to its endpoint, with responses scattered back in request
+//!   order. This is how the engine polls every pending receipt across all
+//!   shards in one pass.
+//! - Metrics rollup: [`ProviderPool::metrics_per_endpoint`] exposes each
+//!   endpoint's [`MeteredProvider`](crate::decorators::MeteredProvider)
+//!   snapshot and [`ProviderPool::metrics_merged`] absorbs them into one
+//!   run-level [`ProviderMetrics`].
+
+use crate::decorators::ProviderMetrics;
+use crate::envelope::{RpcRequest, RpcResponse};
+use crate::provider::NodeProvider;
+
+/// Addresses one endpoint (shard) of a [`ProviderPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EndpointId(pub usize);
+
+impl core::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// N node endpoints, one handle. See the module docs.
+pub struct ProviderPool {
+    endpoints: Vec<Box<dyn NodeProvider>>,
+}
+
+impl ProviderPool {
+    /// Builds a pool from at least one endpoint stack; endpoint `i` answers
+    /// to `EndpointId(i)`.
+    pub fn new(endpoints: Vec<Box<dyn NodeProvider>>) -> ProviderPool {
+        assert!(!endpoints.is_empty(), "a pool needs at least one endpoint");
+        ProviderPool { endpoints }
+    }
+
+    /// How many endpoints the pool fronts.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True only for a pool that lost its endpoints (impossible by
+    /// construction; present for the usual `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Every valid id, in order.
+    pub fn endpoint_ids(&self) -> impl Iterator<Item = EndpointId> {
+        (0..self.endpoints.len()).map(EndpointId)
+    }
+
+    /// Mutable access to one endpoint's provider stack.
+    pub fn endpoint(&mut self, id: EndpointId) -> &mut dyn NodeProvider {
+        &mut *self.endpoints[id.0]
+    }
+
+    /// Shared access to one endpoint's provider stack.
+    pub fn get(&self, id: EndpointId) -> &dyn NodeProvider {
+        &*self.endpoints[id.0]
+    }
+
+    /// Tagged batch fan-out: groups `requests` by endpoint (preserving each
+    /// endpoint's request order), sends each group as **one** batched round
+    /// trip, and scatters the responses back into request order. Batch
+    /// costs ride on the first response of each endpoint's group, exactly
+    /// as a single-endpoint [`EthApi::batch`](crate::eth::EthApi::batch).
+    pub fn batch(&mut self, requests: &[(EndpointId, RpcRequest)]) -> Vec<RpcResponse> {
+        let mut responses: Vec<Option<RpcResponse>> = (0..requests.len()).map(|_| None).collect();
+        for id in 0..self.endpoints.len() {
+            let indices: Vec<usize> = requests
+                .iter()
+                .enumerate()
+                .filter(|(_, (ep, _))| ep.0 == id)
+                .map(|(i, _)| i)
+                .collect();
+            if indices.is_empty() {
+                continue;
+            }
+            let group: Vec<RpcRequest> = indices.iter().map(|&i| requests[i].1.clone()).collect();
+            let answers = self.endpoints[id].batch(&group);
+            for (&i, answer) in indices.iter().zip(answers) {
+                responses[i] = Some(answer);
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request answered by its endpoint"))
+            .collect()
+    }
+
+    /// Backstage slot-boundary notification to every endpoint (rate-limit
+    /// windows renew, etc.).
+    pub fn on_slot(&mut self) {
+        for endpoint in &mut self.endpoints {
+            endpoint.on_slot();
+        }
+    }
+
+    /// One endpoint's metering snapshot (when its stack is metered).
+    pub fn metrics(&self, id: EndpointId) -> Option<ProviderMetrics> {
+        self.endpoints[id.0].metrics()
+    }
+
+    /// Every endpoint's metering snapshot, in endpoint order (unmetered
+    /// stacks report zeroed counters).
+    pub fn metrics_per_endpoint(&self) -> Vec<ProviderMetrics> {
+        self.endpoints
+            .iter()
+            .map(|e| e.metrics().unwrap_or_default())
+            .collect()
+    }
+
+    /// All endpoints' metering absorbed into one run-level snapshot.
+    pub fn metrics_merged(&self) -> ProviderMetrics {
+        let mut merged = ProviderMetrics::default();
+        for metrics in self.metrics_per_endpoint() {
+            merged.absorb(&metrics);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{RpcMethod, RpcResult};
+    use crate::provider::build_provider;
+    use ofl_eth::chain::{Chain, ChainConfig};
+    use ofl_eth::wallet::Wallet;
+    use ofl_ipfs::swarm::Swarm;
+    use ofl_netsim::link::NetworkProfile;
+    use ofl_primitives::{wei_per_eth, H160};
+
+    fn pool_of(n: usize) -> (ProviderPool, Wallet) {
+        let wallet = Wallet::from_seed("pool", n);
+        let endpoints = wallet
+            .addresses()
+            .into_iter()
+            .map(|addr| {
+                // Each shard funds a different account, so shard state is
+                // visibly disjoint.
+                build_provider(
+                    Chain::new(ChainConfig::default(), &[(addr, wei_per_eth())]),
+                    Swarm::new(),
+                    NetworkProfile::campus(),
+                    250,
+                    None,
+                    None,
+                )
+            })
+            .collect();
+        (ProviderPool::new(endpoints), wallet)
+    }
+
+    #[test]
+    fn endpoints_are_independent_shards() {
+        let (mut pool, wallet) = pool_of(2);
+        let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        // Account `a` is funded on shard 0 only.
+        assert_eq!(
+            pool.endpoint(EndpointId(0)).get_balance(&a).value.unwrap(),
+            wei_per_eth()
+        );
+        assert_eq!(
+            pool.endpoint(EndpointId(1))
+                .get_balance(&a)
+                .value
+                .unwrap()
+                .to_u64(),
+            Some(0)
+        );
+        // Mining shard 1 does not move shard 0's head.
+        pool.endpoint(EndpointId(1)).chain_mut().mine_block(12);
+        assert_eq!(pool.get(EndpointId(0)).chain().height(), 0);
+        assert_eq!(pool.get(EndpointId(1)).chain().height(), 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn tagged_batch_fans_out_one_round_trip_per_endpoint() {
+        let (mut pool, wallet) = pool_of(2);
+        let addrs = wallet.addresses();
+        let requests = vec![
+            (EndpointId(0), RpcRequest::new(0, RpcMethod::BlockNumber)),
+            (
+                EndpointId(1),
+                RpcRequest::new(1, RpcMethod::GetBalance { address: addrs[1] }),
+            ),
+            (
+                EndpointId(0),
+                RpcRequest::new(2, RpcMethod::GetBalance { address: addrs[0] }),
+            ),
+        ];
+        let responses = pool.batch(&requests);
+        // Responses come back in request order, answered by the right shard.
+        assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(0))));
+        assert!(matches!(&responses[1].result, Ok(RpcResult::Balance(b)) if *b == wei_per_eth()));
+        assert!(matches!(&responses[2].result, Ok(RpcResult::Balance(b)) if *b == wei_per_eth()));
+        // Each endpoint saw exactly one round trip carrying its group.
+        let per_endpoint = pool.metrics_per_endpoint();
+        assert_eq!(per_endpoint[0].round_trips, 1);
+        assert_eq!(per_endpoint[0].batched_requests, 2);
+        assert_eq!(per_endpoint[1].round_trips, 1);
+        assert_eq!(per_endpoint[1].batched_requests, 1);
+        // The rollup absorbs both endpoints' counters.
+        let merged = pool.metrics_merged();
+        assert_eq!(merged.round_trips, 2);
+        assert_eq!(merged.batched_requests, 3);
+        assert_eq!(merged.method("eth_getBalance").calls, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn empty_pool_is_rejected() {
+        ProviderPool::new(Vec::new());
+    }
+}

@@ -1,5 +1,6 @@
-//! [`NodeProvider`]: the full node boundary a [`World`] owns — both API
-//! traits plus backend access for the simulation driver itself.
+//! [`NodeProvider`]: the full node boundary behind one [`EndpointId`] of a
+//! [`ProviderPool`] — both API traits plus backend access for the
+//! simulation driver itself.
 //!
 //! The API traits model what a *client* can do over the wire. The
 //! simulation additionally owns the infrastructure: it mines slots, checks
@@ -8,21 +9,25 @@
 //! `chain`/`swarm` accessors, which every decorator forwards down to the
 //! innermost [`SimProvider`].
 //!
-//! [`World`]: ../../ofl_core/world/struct.World.html
+//! [`EndpointId`]: crate::pool::EndpointId
+//! [`ProviderPool`]: crate::pool::ProviderPool
 
 use crate::decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, ProviderMetrics,
+    RateLimitProfile, RateLimitProvider,
 };
-use crate::envelope::RpcError;
+use crate::envelope::{RpcError, RpcRequest, RpcResponse};
 use crate::eth::EthApi;
 use crate::ipfs::IpfsApi;
 use crate::sim::SimProvider;
+use crate::Billed;
 use ofl_eth::chain::Chain;
-use ofl_ipfs::swarm::Swarm;
+use ofl_ipfs::cid::Cid;
+use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError, Swarm};
 use ofl_netsim::link::NetworkProfile;
 
-/// Everything a world needs from its node: the client-visible API surface
-/// plus backstage access to the simulated infrastructure.
+/// Everything a world needs from one node endpoint: the client-visible API
+/// surface plus backstage access to the simulated infrastructure.
 pub trait NodeProvider: EthApi + IpfsApi {
     /// The backing chain (backstage: mining, invariant checks).
     fn chain(&self) -> &Chain;
@@ -36,47 +41,100 @@ pub trait NodeProvider: EthApi + IpfsApi {
     fn metrics(&self) -> Option<ProviderMetrics> {
         None
     }
+    /// Backstage slot-boundary notification: the world calls this when a
+    /// 12-second slot elapses so window-based decorators (rate limiting)
+    /// can reset. Decorators forward it down the stack.
+    fn on_slot(&mut self) {}
+}
+
+/// Forwarding impls so decorator stacks can be assembled layer by layer
+/// over `Box<dyn NodeProvider>` without knowing the concrete type below.
+impl EthApi for Box<dyn NodeProvider> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        (**self).execute(request)
+    }
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        (**self).batch(requests)
+    }
+}
+
+impl IpfsApi for Box<dyn NodeProvider> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        (**self).add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        (**self).cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        (**self).pin(node, cid)
+    }
+}
+
+impl NodeProvider for Box<dyn NodeProvider> {
+    fn chain(&self) -> &Chain {
+        (**self).chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        (**self).chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        (**self).swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        (**self).swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        (**self).metrics()
+    }
+    fn on_slot(&mut self) {
+        (**self).on_slot()
+    }
 }
 
 /// Builds the standard decorator stack around an in-process backend:
-/// metering over latency pricing over (optionally) fault injection.
+/// metering over latency pricing over (optionally) rate limiting over
+/// (optionally) fault injection.
 pub fn build_provider(
     chain: Chain,
     swarm: Swarm,
     profile: NetworkProfile,
     envelope_bytes: u64,
     faults: Option<FaultProfile>,
+    rate_limit: Option<RateLimitProfile>,
 ) -> Box<dyn NodeProvider> {
-    let sim = SimProvider::new(chain, swarm);
-    match faults {
-        Some(faults) => Box::new(MeteredProvider::new(LatencyProvider::new(
-            FlakyProvider::new(sim, faults),
-            profile,
-            envelope_bytes,
-        ))),
-        None => Box::new(MeteredProvider::new(LatencyProvider::new(
-            sim,
-            profile,
-            envelope_bytes,
-        ))),
+    let mut stack: Box<dyn NodeProvider> = Box::new(SimProvider::new(chain, swarm));
+    if let Some(faults) = faults {
+        stack = Box::new(FlakyProvider::new(stack, faults));
     }
+    if let Some(rate_limit) = rate_limit {
+        stack = Box::new(RateLimitProvider::new(stack, rate_limit));
+    }
+    Box::new(MeteredProvider::new(LatencyProvider::new(
+        stack,
+        profile,
+        envelope_bytes,
+    )))
 }
 
 /// Errors whose failures are worth retrying at the client layer.
 pub trait Retryable {
-    /// True when the failure is transient (a timeout) rather than a hard
-    /// rejection.
+    /// True when the failure is transient (a timeout, or a 429 whose
+    /// priced back-off has elapsed) rather than a hard rejection.
     fn is_transient(&self) -> bool;
 }
 
 impl Retryable for RpcError {
     fn is_transient(&self) -> bool {
-        matches!(self, RpcError::Timeout)
+        matches!(self, RpcError::Timeout | RpcError::RateLimited)
     }
 }
 
 impl Retryable for crate::bindings::BindingError {
     fn is_transient(&self) -> bool {
-        matches!(self, crate::bindings::BindingError::Rpc(RpcError::Timeout))
+        matches!(
+            self,
+            crate::bindings::BindingError::Rpc(RpcError::Timeout)
+                | crate::bindings::BindingError::Rpc(RpcError::RateLimited)
+        )
     }
 }

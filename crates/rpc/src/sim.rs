@@ -52,6 +52,11 @@ impl EthApi for SimProvider {
             RpcMethod::GetTransactionCount { address } => {
                 Ok(RpcResult::TransactionCount(self.chain.nonce(address)))
             }
+            RpcMethod::EstimateGas { from, to, data } => Ok(RpcResult::GasEstimate(
+                self.chain.estimate_gas(from, to.as_ref(), data),
+            )),
+            RpcMethod::GasPrice => Ok(RpcResult::GasPrice(self.chain.base_fee())),
+            RpcMethod::ChainId => Ok(RpcResult::ChainId(self.chain.config().chain_id)),
         };
         RpcResponse {
             id: request.id,

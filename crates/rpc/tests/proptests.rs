@@ -59,6 +59,18 @@ fn arb_method() -> impl Strategy<Value = RpcMethod> {
         any::<u8>().prop_map(|s| RpcMethod::GetTransactionCount {
             address: h160_of(s)
         }),
+        (
+            any::<u8>(),
+            proptest::option::of(any::<u8>()),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(f, t, data)| RpcMethod::EstimateGas {
+                from: h160_of(f),
+                to: t.map(h160_of),
+                data,
+            }),
+        Just(RpcMethod::GasPrice),
+        Just(RpcMethod::ChainId),
     ]
 }
 
@@ -137,6 +149,9 @@ fn arb_result() -> impl Strategy<Value = RpcResult> {
         any::<u64>().prop_map(RpcResult::BlockNumber),
         any::<u64>().prop_map(|b| RpcResult::Balance(ofl_primitives::u256::U256::from(b))),
         any::<u64>().prop_map(RpcResult::TransactionCount),
+        any::<u64>().prop_map(RpcResult::GasEstimate),
+        any::<u64>().prop_map(|p| RpcResult::GasPrice(ofl_primitives::u256::U256::from(p))),
+        any::<u64>().prop_map(RpcResult::ChainId),
     ]
 }
 
@@ -144,6 +159,7 @@ fn arb_rpc_error() -> impl Strategy<Value = RpcError> {
     prop_oneof![
         Just(RpcError::Timeout),
         "[a-z ]{0,40}".prop_map(RpcError::Rejected),
+        Just(RpcError::RateLimited),
         Just(RpcError::UnexpectedResponse),
     ]
 }

@@ -11,6 +11,7 @@
 use ofl_w3::core::config::MarketConfig;
 use ofl_w3::core::dapp::{BuyerApp, OwnerApp};
 use ofl_w3::core::market::Marketplace;
+use ofl_w3::rpc::EndpointId;
 
 fn main() {
     println!("=== OFL-W3 DApp walkthrough (Fig 3) ===\n");
@@ -66,6 +67,6 @@ fn main() {
         "aggregate accuracy {:.1} %, {} owners paid, {} blocks mined",
         report.aggregated_accuracy * 100.0,
         report.payments.len(),
-        market.world.chain().height()
+        market.world.chain(EndpointId(0)).height()
     );
 }

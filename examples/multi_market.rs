@@ -17,6 +17,7 @@ use ofl_w3::core::scenario::Scenario;
 use ofl_w3::fl::client::TrainConfig;
 use ofl_w3::netsim::clock::SimDuration;
 use ofl_w3::primitives::format_eth;
+use ofl_w3::rpc::EndpointId;
 
 fn base_config() -> MarketConfig {
     MarketConfig {
@@ -54,14 +55,14 @@ fn main() {
     println!(
         "\nwhole world finished in {:.1} virtual seconds on {} blocks",
         report.total_sim_seconds,
-        mm.world.chain().height()
+        mm.world.chain(EndpointId(0)).height()
     );
 
     // Shared blocks: the contention the serial workflow can never create.
     println!("\nCID transactions per block (distinct owners, all markets):");
-    for (block, owners) in &report.cid_txs_per_block {
+    for (endpoint, block, owners) in &report.cid_txs_per_block {
         println!(
-            "  block {block:>3}: {owners:>2} owners  {}",
+            "  {endpoint} block {block:>3}: {owners:>2} owners  {}",
             "#".repeat(*owners)
         );
     }
@@ -98,4 +99,24 @@ fn main() {
         rolling.total_sim_seconds,
         rolling.max_owners_sharing_block()
     );
+
+    // Sharded placement: the same 4 markets, but spread across 2 chains of
+    // one provider pool. Each market's traffic — contract calls, wallet
+    // signing reads, CID transactions — stays on its own shard, so blocks
+    // are only contended by same-shard siblings.
+    let (mm, sharded) = MultiMarket::replicated_sharded(&base_config(), 4, 2)
+        .run(&EngineConfig::default(), &[])
+        .expect("sharded session completes");
+    println!(
+        "\n4 markets across 2 shards: {:.1} virtual s, CID txs landed on shards {:?}",
+        sharded.total_sim_seconds,
+        sharded.shards_with_cid_txs()
+    );
+    for (s, metrics) in sharded.rpc_per_endpoint.iter().enumerate() {
+        println!(
+            "  shard {s}: {} rpc round trips, {} uploadCid-bearing chain height",
+            metrics.round_trips,
+            mm.world.chain(EndpointId(s)).height()
+        );
+    }
 }

@@ -11,6 +11,7 @@
 use ofl_w3::core::config::MarketConfig;
 use ofl_w3::core::market::{render_payment_table, Marketplace};
 use ofl_w3::primitives::format_eth;
+use ofl_w3::rpc::EndpointId;
 
 fn main() {
     println!("OFL-W3 quickstart: one-shot federated learning on Web 3.0\n");
@@ -62,6 +63,6 @@ fn main() {
     println!(
         "total simulated time: {:.0} s across {} blocks",
         report.total_sim_seconds,
-        market.world.chain().height()
+        market.world.chain(EndpointId(0)).height()
     );
 }

@@ -9,6 +9,7 @@ use ofl_w3::core::config::{MarketConfig, PartitionScheme};
 use ofl_w3::core::engine::{EngineConfig, MultiMarket};
 use ofl_w3::core::market::Marketplace;
 use ofl_w3::core::scenario::{Scenario, ScenarioOutcome, ScenarioSuite};
+use ofl_w3::rpc::EndpointId;
 
 const SUITE_SEED: u64 = 7;
 
@@ -160,6 +161,12 @@ fn failure_regimes_change_what_the_buyer_aggregates() {
     assert_eq!(flaky.n_models_aggregated, flaky.n_owners);
     assert_eq!(flaky.cids_onchain.len(), flaky.n_owners);
     assert!(flaky.budget_exhausted() && flaky.eth_conserved);
+    // A throttling endpoint 429s bursts — including the wallet's signing
+    // reads — yet back-off retries land every model and payment.
+    let limited = by_name("rate-limited");
+    assert!(limited.rpc_timeouts > 0, "429s must surface as rpc errors");
+    assert_eq!(limited.n_models_aggregated, limited.n_owners);
+    assert!(limited.budget_exhausted() && limited.eth_conserved);
 }
 
 /// The flaky-provider regime (and the session reports underneath it) are
@@ -282,7 +289,7 @@ fn thirty_two_concurrent_owners_share_blocks_and_beat_serial() {
         "cid txs per block: {:?}",
         report.cid_txs_per_block
     );
-    let packed: usize = report.cid_txs_per_block.iter().map(|(_, n)| n).sum();
+    let packed: usize = report.cid_txs_per_block.iter().map(|(_, _, n)| n).sum();
     assert_eq!(packed, 32, "every owner's CID landed");
 
     // Strictly less virtual time than the serial schedule for the same
@@ -303,7 +310,138 @@ fn thirty_two_concurrent_owners_share_blocks_and_beat_serial() {
 
     // The contention actually exercised EIP-1559: the packed block moved
     // the base fee, which a one-tx-per-block serial run barely does.
-    assert!(mm.world.chain().height() >= 1);
+    assert!(mm.world.chain(EndpointId(0)).height() >= 1);
+}
+
+/// Shard determinism, half one: a 2-shard `MultiMarket` run — two markets
+/// placed on different chains of one provider pool — is bit-identical by
+/// seed, down to per-endpoint RPC metering and per-shard block occupancy.
+#[test]
+fn two_shard_multimarket_is_bit_identical_by_seed() {
+    let base = || MarketConfig {
+        n_owners: 3,
+        n_train: 300,
+        n_test: 80,
+        partition: PartitionScheme::Iid,
+        seed: 77,
+        train: ofl_w3::fl::client::TrainConfig {
+            dims: vec![784, 16, 10],
+            epochs: 1,
+            ..ofl_w3::fl::client::TrainConfig::default()
+        },
+        ..MarketConfig::small_test()
+    };
+    let run = || {
+        let (_, report) = ofl_w3::core::engine::MultiMarket::replicated_sharded(&base(), 2, 2)
+            .run(&EngineConfig::default(), &[])
+            .expect("sharded run completes");
+        report
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_sim_seconds, b.total_sim_seconds);
+    assert_eq!(a.cid_txs_per_block, b.cid_txs_per_block);
+    assert_eq!(a.rpc, b.rpc);
+    assert_eq!(a.rpc_per_endpoint, b.rpc_per_endpoint);
+    for (ra, rb) in a.sessions.iter().zip(&b.sessions) {
+        assert_eq!(ra.cids, rb.cids);
+        assert_eq!(ra.total_sim_seconds, rb.total_sim_seconds);
+        assert_eq!(ra.rpc, rb.rpc);
+        assert_eq!(
+            ra.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>(),
+            rb.payments.iter().map(|p| p.amount_wei).collect::<Vec<_>>()
+        );
+    }
+    // The placement did what it says: both shards carried CID traffic, and
+    // each market's report snapshots its own endpoint's counters.
+    assert_eq!(a.shards_with_cid_txs(), vec![EndpointId(0), EndpointId(1)]);
+    assert_eq!(
+        a.rpc.total_calls(),
+        a.rpc_per_endpoint[0].total_calls() + a.rpc_per_endpoint[1].total_calls()
+    );
+    // And the scenario layer reaches the same regime deterministically.
+    let scenario_run = || {
+        let mut scenario = trimmed(ScenarioSuite::concurrency_sweep(
+            SUITE_SEED.wrapping_add(200),
+        ))
+        .scenarios
+        .into_iter()
+        .find(|s| s.name == "sharded-2x4")
+        .expect("sharded regime in the sweep");
+        trim(&mut scenario);
+        scenario.run().expect("sharded scenario completes")
+    };
+    let sa = scenario_run();
+    let sb = scenario_run();
+    assert_eq!(sa, sb);
+    assert_eq!(sa.fingerprint(), sb.fingerprint());
+    assert!(sa.eth_conserved && sa.budget_exhausted());
+}
+
+/// Shard determinism, half two: when both markets share one shard of a
+/// 2-endpoint pool, the idle endpoint meters nothing, the busy endpoint's
+/// counters equal the single-endpoint world's totals, and the run itself
+/// is bit-identical to the pool-of-one world.
+#[test]
+fn same_shard_metrics_sum_to_single_endpoint_totals() {
+    let base = || MarketConfig {
+        n_owners: 3,
+        n_train: 300,
+        n_test: 80,
+        partition: PartitionScheme::Iid,
+        seed: 78,
+        train: ofl_w3::fl::client::TrainConfig {
+            dims: vec![784, 16, 10],
+            epochs: 1,
+            ..ofl_w3::fl::client::TrainConfig::default()
+        },
+        ..MarketConfig::small_test()
+    };
+    let configs = || {
+        (0..2)
+            .map(|m| {
+                let mut c = base();
+                c.seed = c.seed.wrapping_add(m as u64 * 7919);
+                c.train.seed = c.train.seed.wrapping_add(m as u64 * 104_729);
+                c
+            })
+            .collect::<Vec<_>>()
+    };
+    let (_, single) = ofl_w3::core::engine::MultiMarket::new(configs())
+        .run(&EngineConfig::default(), &[])
+        .expect("single-endpoint run");
+    let (_, padded) = ofl_w3::core::engine::MultiMarket::with_shards(configs(), 2)
+        .run(&EngineConfig::default(), &[])
+        .expect("2-endpoint same-placement run");
+    // The idle shard saw nothing; the busy shard saw everything.
+    assert_eq!(padded.rpc_per_endpoint[1].total_calls(), 0);
+    assert_eq!(padded.rpc_per_endpoint[0], single.rpc);
+    // Per-endpoint metering sums to the single-endpoint totals.
+    assert_eq!(
+        padded.rpc_per_endpoint[0].total_calls() + padded.rpc_per_endpoint[1].total_calls(),
+        single.rpc.total_calls()
+    );
+    assert_eq!(padded.rpc, single.rpc);
+    // Same-shard placement reproduces the shared-block behavior
+    // bit-identically: same blocks, same owners per block, same timing.
+    assert_eq!(padded.total_sim_seconds, single.total_sim_seconds);
+    assert_eq!(
+        padded
+            .cid_txs_per_block
+            .iter()
+            .map(|(_, b, n)| (*b, *n))
+            .collect::<Vec<_>>(),
+        single
+            .cid_txs_per_block
+            .iter()
+            .map(|(_, b, n)| (*b, *n))
+            .collect::<Vec<_>>()
+    );
+    assert!(padded.max_owners_sharing_block() >= 2);
+    for (pa, sb) in padded.sessions.iter().zip(&single.sessions) {
+        assert_eq!(pa.cids, sb.cids);
+        assert_eq!(pa.total_sim_seconds, sb.total_sim_seconds);
+    }
 }
 
 /// The determinism regression the roadmap asks for: two `Marketplace::run`

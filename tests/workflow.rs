@@ -5,6 +5,7 @@
 use ofl_w3::core::config::{MarketConfig, PartitionScheme};
 use ofl_w3::core::market::{buyer_phase, Marketplace};
 use ofl_w3::primitives::u256::U256;
+use ofl_w3::rpc::EndpointId;
 
 fn config_with(partition: PartitionScheme, seed: u64) -> MarketConfig {
     MarketConfig {
@@ -43,8 +44,8 @@ fn eth_is_conserved_across_the_whole_session() {
     let (market, _) = Marketplace::run(config_with(PartitionScheme::Dirichlet { alpha: 0.5 }, 7))
         .expect("session completes");
     // Genesis supply = current balances + EIP-1559 burn.
-    let supply = market.world.chain().state().total_supply();
-    let burned = market.world.chain().burned();
+    let supply = market.world.chain(EndpointId(0)).state().total_supply();
+    let burned = market.world.chain(EndpointId(0)).burned();
     // Genesis: buyer 1 ETH + owners 0.1 ETH each.
     let expected = ofl_w3::primitives::wei_per_eth().wrapping_add(
         &ofl_w3::primitives::wei_per_eth()
@@ -65,14 +66,14 @@ fn contract_state_survives_and_reads_are_replayable() {
     // On-chain CIDs still readable after the session, in order, for free —
     // through the typed binding over the provider traits.
     let onchain = contract
-        .all_cids(market.world.eth(), &reader)
+        .all_cids(market.world.eth(EndpointId(0)), &reader)
         .value
         .expect("reads succeed");
     assert_eq!(onchain, report.cids);
     // Contract counter matches.
     assert_eq!(
         contract
-            .cid_count(market.world.eth(), &reader)
+            .cid_count(market.world.eth(EndpointId(0)), &reader)
             .value
             .expect("reads succeed"),
         n_owners
@@ -84,7 +85,10 @@ fn buyer_spent_budget_plus_fees_owners_gained() {
     let budget = MarketConfig::small_test().budget_wei;
     let (market, report) =
         Marketplace::run(config_with(PartitionScheme::Iid, 11)).expect("session completes");
-    let buyer_balance = market.world.chain().balance(&market.buyer.address);
+    let buyer_balance = market
+        .world
+        .chain(EndpointId(0))
+        .balance(&market.buyer.address);
     let spent = ofl_w3::primitives::wei_per_eth().wrapping_sub(&buyer_balance);
     // Buyer spent at least the budget (plus gas), but less than budget+0.01.
     assert!(spent >= budget);
@@ -96,7 +100,7 @@ fn buyer_spent_budget_plus_fees_owners_gained() {
     assert!(spent < cap, "buyer overspent: {spent}");
     // Every owner's payment arrived net of their own upload gas.
     for (owner, row) in market.owners.iter().zip(&report.payments) {
-        let balance = market.world.chain().balance(&owner.address);
+        let balance = market.world.chain(EndpointId(0)).balance(&owner.address);
         let genesis = ofl_w3::primitives::wei_per_eth()
             .div_rem(&U256::from(10u64))
             .0;
@@ -115,10 +119,14 @@ fn ipfs_swarm_holds_every_model_after_session() {
     // The buyer pinned every fetched model; owners still hold theirs.
     for (owner, cid_str) in market.owners.iter().zip(&report.cids) {
         let cid = ofl_w3::ipfs::cid::Cid::parse(cid_str).expect("valid CID");
-        assert!(market.world.swarm().node(owner.ipfs_node).has_block(&cid));
         assert!(market
             .world
-            .swarm()
+            .swarm(EndpointId(0))
+            .node(owner.ipfs_node)
+            .has_block(&cid));
+        assert!(market
+            .world
+            .swarm(EndpointId(0))
             .node(market.buyer.ipfs_node)
             .has_block(&cid));
     }
@@ -144,8 +152,8 @@ fn timing_has_every_workflow_phase() {
     }
     // Block production and virtual time agree: at least one block per
     // confirmation-bearing step.
-    assert!(market.world.chain().height() >= (market.owners.len() + 2) as u64);
-    assert!(report.total_sim_seconds >= market.world.chain().height() as f64);
+    assert!(market.world.chain(EndpointId(0)).height() >= (market.owners.len() + 2) as u64);
+    assert!(report.total_sim_seconds >= market.world.chain(EndpointId(0)).height() as f64);
 }
 
 #[test]
