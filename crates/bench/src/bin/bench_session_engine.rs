@@ -14,7 +14,10 @@ use ofl_bench::{header, write_record};
 use ofl_core::config::{MarketConfig, PartitionScheme};
 use ofl_core::engine::{EngineConfig, MultiMarket};
 use ofl_core::scenario::Scenario;
+use ofl_core::world::{ShardSpec, DEFAULT_TX_WIRE_BYTES};
 use ofl_fl::client::TrainConfig;
+use ofl_rpc::provision_socket_provider;
+use ofl_rpcd::PipeTransport;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -47,6 +50,16 @@ struct CidReadRow {
 }
 
 #[derive(Serialize)]
+struct BoundaryRow {
+    backend: &'static str,
+    provider_round_trips: u64,
+    rpc_requests: u64,
+    rpc_virtual_secs: f64,
+    session_secs: f64,
+    wall_millis: u64,
+}
+
+#[derive(Serialize)]
 struct ShardRow {
     shards: usize,
     total_secs: f64,
@@ -61,6 +74,7 @@ struct Record {
     receipt_polling_32_owners: Vec<PollingRow>,
     cid_reads_32_owners: Vec<CidReadRow>,
     sharding_4x8: Vec<ShardRow>,
+    backend_boundary_8_owners: Vec<BoundaryRow>,
 }
 
 fn sweep_config(owners: usize) -> MarketConfig {
@@ -238,6 +252,77 @@ fn main() {
         })
         .collect();
 
+    // In-process vs socket-backed: the same 8-owner session served by the
+    // local SimProvider and by an rpcd server connection over the
+    // deterministic in-memory pipe (full frame codec both directions). The
+    // boundary must cost zero *virtual* time and zero extra round trips —
+    // only wall-clock serialization — or it is not a transparent backend.
+    println!(
+        "
+backend boundary, 8 owners (in-process vs rpcd over the frame codec):"
+    );
+    println!(
+        "{:>12} {:>13} {:>13} {:>15} {:>13} {:>11}",
+        "backend", "round trips", "rpc requests", "rpc virtual (s)", "session (s)", "wall (ms)"
+    );
+    let boundary: Vec<BoundaryRow> = [("in-process", false), ("socket", true)]
+        .into_iter()
+        .map(|(backend, remote)| {
+            let config = sweep_config(8);
+            let profile = config.profile;
+            let started = std::time::Instant::now();
+            let mm = MultiMarket::with_shards_via(vec![config], 1, |shard| {
+                if remote {
+                    ShardSpec::Mounted(
+                        provision_socket_provider(
+                            Box::new(PipeTransport::new()),
+                            shard.chain.clone(),
+                            shard.genesis.clone(),
+                            profile,
+                            DEFAULT_TX_WIRE_BYTES,
+                            shard.knobs(),
+                        )
+                        .expect("pipe provisions"),
+                    )
+                } else {
+                    ShardSpec::Local(shard)
+                }
+            });
+            let (_, report) = mm.run(&EngineConfig::default(), &[]).expect("boundary run");
+            let row = BoundaryRow {
+                backend,
+                provider_round_trips: report.rpc.round_trips,
+                rpc_requests: report.rpc.total_calls(),
+                rpc_virtual_secs: report.rpc.total_cost().as_secs_f64(),
+                session_secs: report.sessions[0].total_sim_seconds,
+                wall_millis: started.elapsed().as_millis() as u64,
+            };
+            println!(
+                "{:>12} {:>13} {:>13} {:>15.3} {:>13.1} {:>11}",
+                row.backend,
+                row.provider_round_trips,
+                row.rpc_requests,
+                row.rpc_virtual_secs,
+                row.session_secs,
+                row.wall_millis
+            );
+            row
+        })
+        .collect();
+    assert_eq!(
+        (
+            boundary[0].provider_round_trips,
+            boundary[0].rpc_virtual_secs,
+            boundary[0].session_secs
+        ),
+        (
+            boundary[1].provider_round_trips,
+            boundary[1].rpc_virtual_secs,
+            boundary[1].session_secs
+        ),
+        "the process boundary must be invisible in virtual time"
+    );
+
     write_record(
         "bench_session_engine",
         &Record {
@@ -246,6 +331,7 @@ fn main() {
             receipt_polling_32_owners: polling,
             cid_reads_32_owners: cid_reads,
             sharding_4x8: sharding,
+            backend_boundary_8_owners: boundary,
         },
     );
 }

@@ -7,7 +7,7 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_netsim::timing::ComputeModel;
 use ofl_primitives::u256::U256;
 use ofl_primitives::wei_per_eth;
-use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile};
+use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile, StaleProfile};
 
 /// How the training data is split across model owners.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +65,9 @@ pub struct MarketConfig {
     /// Seeded per-slot request quota for the market's endpoint (`None` =
     /// no 429s) — the rate-limit scenario knob.
     pub rpc_rate_limit: Option<RateLimitProfile>,
+    /// Seeded lagging-replica reads for the market's endpoint (`None` =
+    /// always-fresh reads) — the stale-reads scenario knob.
+    pub rpc_stale: Option<StaleProfile>,
     /// Which shard of the world this market's sessions are pinned to. A
     /// solo serial [`Marketplace`](crate::market::Marketplace) always runs
     /// on shard 0; `MultiMarket` worlds size their provider pool to cover
@@ -94,6 +97,7 @@ impl Default for MarketConfig {
             buyer_compute: ComputeModel::rtx_a5000(),
             rpc_faults: None,
             rpc_rate_limit: None,
+            rpc_stale: None,
             placement: EndpointId(0),
         }
     }

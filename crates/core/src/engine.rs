@@ -33,10 +33,9 @@ use crate::market::{
     SessionBlueprint, SessionReport,
 };
 use crate::scenario::FailurePlan;
-use crate::world::{ShardSpec, World, WorldError};
+use crate::world::{ShardConfig, ShardSpec, World, WorldError};
 use ofl_eth::block::Receipt;
 use ofl_ipfs::cid::Cid;
-use ofl_ipfs::swarm::Swarm;
 use ofl_netsim::clock::{SimDuration, SimInstant};
 use ofl_netsim::sched::{EventQueue, Timeline};
 use ofl_primitives::u256::U256;
@@ -174,6 +173,20 @@ impl MultiMarket {
     /// e.g. to show that two markets pinned to shard 0 of a 2-shard pool
     /// behave bit-identically to a 1-shard world.
     pub fn with_shards(configs: Vec<MarketConfig>, shards: usize) -> MultiMarket {
+        MultiMarket::with_shards_via(configs, shards, ShardSpec::Local)
+    }
+
+    /// Like [`MultiMarket::with_shards`], but every shard's specification
+    /// passes through `mount` before the world comes up — how a scenario
+    /// moves one (or every) shard out of process: return
+    /// `spec.into_remote(endpoint)` (or a pre-built
+    /// [`ShardSpec::Mounted`] stack) for the shards a daemon should serve,
+    /// and `ShardSpec::Local(config)` for the rest.
+    pub fn with_shards_via(
+        configs: Vec<MarketConfig>,
+        shards: usize,
+        mut mount: impl FnMut(ShardConfig) -> ShardSpec,
+    ) -> MultiMarket {
         assert!(!configs.is_empty(), "at least one market required");
         assert!(
             configs.iter().all(|c| c.placement.0 < shards),
@@ -200,19 +213,20 @@ impl MultiMarket {
                     .filter(|(_, c)| c.placement.0 == s)
                     .flat_map(|(b, _)| b.genesis().iter().cloned())
                     .collect();
-                ShardSpec {
+                mount(ShardConfig {
                     chain: configs[0].chain.clone(),
                     genesis,
                     faults: configs[0].rpc_faults,
                     rate_limit: configs[0].rpc_rate_limit,
-                }
+                    stale: configs[0].rpc_stale,
+                })
             })
             .collect();
         let mut world = World::from_shards(specs, configs[0].profile);
         let sessions = blueprints
             .into_iter()
             .zip(&configs)
-            .map(|(b, c)| b.instantiate(world.swarm_mut(c.placement)))
+            .map(|(b, c)| b.instantiate_with(|label| world.spawn_ipfs_node(c.placement, label)))
             .collect();
         MultiMarket { world, sessions }
     }
@@ -231,7 +245,14 @@ impl MultiMarket {
         MultiMarket::with_shards(Self::replica_configs(base, markets, shards), shards)
     }
 
-    fn replica_configs(base: &MarketConfig, markets: usize, shards: usize) -> Vec<MarketConfig> {
+    /// The decorrelated per-market configurations `replicated`/
+    /// `replicated_sharded` build — public so callers can reuse the exact
+    /// same fleet with a different shard mounting.
+    pub fn replica_configs(
+        base: &MarketConfig,
+        markets: usize,
+        shards: usize,
+    ) -> Vec<MarketConfig> {
         (0..markets)
             .map(|m| {
                 let mut c = base.clone();
@@ -263,11 +284,6 @@ impl MultiMarket {
         };
         Ok((self, report))
     }
-}
-
-/// Whether any node in the swarm can still serve `cid`.
-pub(crate) fn swarm_has(swarm: &Swarm, cid: &Cid) -> bool {
-    (0..swarm.len()).any(|i| swarm.node(i).has_block(cid))
 }
 
 // ----------------------------------------------------------------------
@@ -521,7 +537,7 @@ impl<'a> Driver<'a> {
         self.pending.push(PendingTx {
             endpoint: ep,
             hash,
-            submitted_height: self.world.chain(ep).height(),
+            submitted_height: self.world.height(ep),
             wake: Wake::Deploy { m },
         });
         let slot = self.world.next_slot_secs(self.world.clock.now());
@@ -612,7 +628,7 @@ impl<'a> Driver<'a> {
         self.pending.push(PendingTx {
             endpoint: ep,
             hash,
-            submitted_height: self.world.chain(ep).height(),
+            submitted_height: self.world.height(ep),
             wake,
         });
         let slot = self.world.next_slot_secs(t);
@@ -674,20 +690,36 @@ impl<'a> Driver<'a> {
         // have been mined since submission, reporting the actual count).
         let mut timed_out = Vec::new();
         let mut slots_mined = 0u64;
-        for p in &self.pending {
-            let chain = self.world.chain(p.endpoint);
+        let unmined: Vec<(EndpointId, H256, u64)> = self
+            .pending
+            .iter()
+            .map(|p| (p.endpoint, p.hash, p.submitted_height))
+            .collect();
+        // One height read per endpoint involved (on a remote shard each
+        // backstage op is a wire round trip), not one per transaction.
+        let mut heights: std::collections::BTreeMap<EndpointId, u64> =
+            std::collections::BTreeMap::new();
+        for (ep, hash, submitted_height) in unmined {
             // Backstage check (not client traffic): a transaction neither
-            // mined nor pending was silently evicted, while a mined one the
-            // flaky poll merely missed will be re-polled next slot.
-            if chain.receipt(&p.hash).is_some() {
-                continue; // mined; the flaky poll just missed it this slot
+            // mined nor pending was silently evicted, while a mined one a
+            // flaky or stale poll merely missed will be re-polled next slot.
+            if self.world.receipt_of(ep, &hash).is_some() {
+                continue; // mined; the client poll just missed it this slot
             }
-            if !chain.is_pending(&p.hash) {
-                return Err(MarketError::World(WorldError::TxDropped(p.hash)));
+            if !self.world.is_pending(ep, &hash) {
+                return Err(MarketError::World(WorldError::TxDropped(hash)));
             }
-            let waited = chain.height().saturating_sub(p.submitted_height);
-            if waited >= chain.config().max_wait_slots {
-                timed_out.push(p.hash);
+            let height = match heights.get(&ep) {
+                Some(height) => *height,
+                None => {
+                    let height = self.world.height(ep);
+                    heights.insert(ep, height);
+                    height
+                }
+            };
+            let waited = height.saturating_sub(submitted_height);
+            if waited >= self.world.chain_config(ep).max_wait_slots {
+                timed_out.push(hash);
                 slots_mined = slots_mined.max(waited);
             }
         }
@@ -702,9 +734,9 @@ impl<'a> Driver<'a> {
         // flaky poll left receipts undelivered (the next slot's poll
         // retries them).
         let any_mempool =
-            (0..self.world.endpoints()).any(|i| self.world.chain(EndpointId(i)).mempool_len() > 0);
+            (0..self.world.endpoints()).any(|i| self.world.mempool_len(EndpointId(i)) > 0);
         if any_mempool || !self.pending.is_empty() {
-            let block_time = self.world.chain(EndpointId(0)).config().block_time;
+            let block_time = self.world.chain_config(EndpointId(0)).block_time;
             self.schedule_mine(slot_secs + block_time);
         }
         Ok(())
@@ -738,9 +770,7 @@ impl<'a> Driver<'a> {
         for i in drop_blocks {
             if let Some(cid) = self.sessions[m].owners[i].cid.clone() {
                 let node_index = self.sessions[m].owners[i].ipfs_node;
-                let node = self.world.swarm_mut(ep).node_mut(node_index);
-                node.store_mut().unpin(&cid);
-                node.store_mut().gc();
+                self.world.drop_ipfs_block(ep, node_index, &cid);
             }
         }
 
@@ -755,7 +785,7 @@ impl<'a> Driver<'a> {
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(self.world.swarm(ep), &c))
+                    .map(|c| self.world.swarm_has(ep, &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -815,7 +845,7 @@ impl<'a> Driver<'a> {
             self.pending.push(PendingTx {
                 endpoint: ep,
                 hash,
-                submitted_height: self.world.chain(ep).height(),
+                submitted_height: self.world.height(ep),
                 wake: Wake::Payment { m },
             });
             hashes.push(hash);
@@ -836,21 +866,22 @@ impl<'a> Driver<'a> {
 
     fn on_buyer_done(&mut self, m: usize, t: SimInstant) -> Result<(), MarketError> {
         let ep = self.sessions[m].placement;
-        let run = &mut self.markets[m];
-        let mut payments = Vec::with_capacity(run.payment_hashes.len());
-        for ((address, amount), hash) in run.paid.iter().zip(&run.payment_hashes) {
-            let receipt = self
-                .world
-                .chain(ep)
-                .receipt(hash)
-                .expect("payment mined")
-                .clone();
+        let rows: Vec<(H160, U256, H256)> = self.markets[m]
+            .paid
+            .iter()
+            .zip(&self.markets[m].payment_hashes)
+            .map(|((address, amount), hash)| (*address, *amount, *hash))
+            .collect();
+        let mut payments = Vec::with_capacity(rows.len());
+        for (address, amount, hash) in rows {
+            let receipt = self.world.receipt_of(ep, &hash).expect("payment mined");
             payments.push(PaymentRow {
-                address: *address,
-                amount_wei: *amount,
+                address,
+                amount_wei: amount,
                 receipt,
             });
         }
+        let run = &mut self.markets[m];
         run.buyer_timeline.advance_to(t);
         let session = &mut self.sessions[m];
         session

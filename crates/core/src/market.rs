@@ -24,7 +24,7 @@
 //!   concurrently and their transactions share blocks.
 
 use crate::config::{MarketConfig, PartitionScheme};
-use crate::world::{ShardSpec, World, WorldError};
+use crate::world::{ShardConfig, ShardSpec, World, WorldError};
 use ofl_data::dataset::Dataset;
 use ofl_data::{mnist, partition};
 use ofl_eth::block::Receipt;
@@ -349,8 +349,16 @@ impl SessionBlueprint {
     }
 
     /// Spawns the market's IPFS nodes into `swarm` and assembles the
-    /// session state.
+    /// session state (in-process worlds; see
+    /// [`SessionBlueprint::instantiate_with`] for the general form).
     pub fn instantiate(self, swarm: &mut Swarm) -> MarketSession {
+        self.instantiate_with(|label| swarm.add_node(IpfsNode::new(label)))
+    }
+
+    /// Spawns the market's IPFS nodes through `spawn` (any backstage node
+    /// spawner — a local swarm or a remote shard's wire channel) and
+    /// assembles the session state.
+    pub fn instantiate_with(self, mut spawn: impl FnMut(&str) -> usize) -> MarketSession {
         let SessionBlueprint {
             config,
             label,
@@ -361,13 +369,13 @@ impl SessionBlueprint {
             silos,
             test,
         } = self;
-        let buyer_node = swarm.add_node(IpfsNode::new(format!("{label}buyer")));
+        let buyer_node = spawn(&format!("{label}buyer"));
         let owners: Vec<OwnerState> = silos
             .into_iter()
             .enumerate()
             .map(|(i, data)| OwnerState {
                 address: owner_addrs[i],
-                ipfs_node: swarm.add_node(IpfsNode::new(format!("{label}owner-{i}"))),
+                ipfs_node: spawn(&format!("{label}owner-{i}")),
                 data,
                 trained: None,
                 model_bytes: Vec::new(),
@@ -865,15 +873,17 @@ impl Marketplace {
         };
         let blueprint = SessionBlueprint::new(config, "");
         let mut world = World::from_shards(
-            vec![ShardSpec {
+            vec![ShardSpec::Local(ShardConfig {
                 chain: blueprint.config().chain.clone(),
                 genesis: blueprint.genesis().to_vec(),
                 faults: blueprint.config().rpc_faults,
                 rate_limit: blueprint.config().rpc_rate_limit,
-            }],
+                stale: blueprint.config().rpc_stale,
+            })],
             blueprint.config().profile,
         );
-        let session = blueprint.instantiate(world.swarm_mut(EndpointId(0)));
+        let session =
+            blueprint.instantiate_with(|label| world.spawn_ipfs_node(EndpointId(0), label));
         Marketplace { world, session }
     }
 
@@ -1021,12 +1031,7 @@ impl Marketplace {
         self.world.mine_until(ep, &hashes)?;
         let mut payments = Vec::with_capacity(hashes.len());
         for ((address, amount), hash) in paid.iter().zip(&hashes) {
-            let receipt = self
-                .world
-                .chain(ep)
-                .receipt(hash)
-                .expect("mined above")
-                .clone();
+            let receipt = self.world.receipt_of(ep, hash).expect("mined above");
             payments.push(PaymentRow {
                 address: *address,
                 amount_wei: *amount,

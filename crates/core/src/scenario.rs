@@ -30,13 +30,13 @@
 //! determinism regression tests compare — in every execution mode.
 
 use crate::config::{MarketConfig, PartitionScheme};
-use crate::engine::{swarm_has, Arrivals, EngineConfig, MultiMarket};
+use crate::engine::{Arrivals, EngineConfig, MultiMarket};
 use crate::market::{MarketError, Marketplace};
 use ofl_ipfs::cid::Cid;
 use ofl_netsim::clock::SimDuration;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
-use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile};
+use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile, StaleProfile};
 
 /// Which owners misbehave (indices into the owner list) and how.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -153,6 +153,14 @@ impl Scenario {
         self
     }
 
+    /// Runs the session against a seeded lagging-replica endpoint — the
+    /// stale-reads regime (head and receipt reads served late; clients
+    /// re-poll through the inconsistency instead of failing).
+    pub fn with_stale_reads(mut self, stale: StaleProfile) -> Scenario {
+        self.config.rpc_stale = Some(stale);
+        self
+    }
+
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Scenario {
         self.mode = mode;
@@ -188,7 +196,7 @@ impl Scenario {
         // Nothing is burned yet, so this *is* the genesis allocation —
         // captured here so the conservation check below tracks whatever
         // funding policy `Marketplace::new` uses.
-        let genesis_supply = market.world.chain(ep).state().total_supply();
+        let genesis_supply = market.world.total_supply(ep);
         market.deploy_contract()?;
 
         let mut reverted_tx_count = 0usize;
@@ -234,9 +242,7 @@ impl Scenario {
         for &i in &self.failures.drop_ipfs_blocks {
             if let Some(cid) = market.owners[i].cid.clone() {
                 let node_index = market.owners[i].ipfs_node;
-                let node = market.world.swarm_mut(ep).node_mut(node_index);
-                node.store_mut().unpin(&cid);
-                node.store_mut().gc();
+                market.world.drop_ipfs_block(ep, node_index, &cid);
             }
         }
 
@@ -254,7 +260,7 @@ impl Scenario {
             .iter()
             .filter(|s| {
                 Cid::parse(s)
-                    .map(|c| swarm_has(market.world.swarm(ep), &c))
+                    .map(|c| market.world.swarm_has(ep, &c))
                     .unwrap_or(false)
             })
             .cloned()
@@ -263,8 +269,8 @@ impl Scenario {
         let report = market.buyer_aggregate_and_pay()?;
 
         // ETH conservation: genesis supply == live balances + EIP-1559 burn.
-        let live = market.world.chain(ep).state().total_supply();
-        let burned = market.world.chain(ep).burned();
+        let live = market.world.total_supply(ep);
+        let burned = market.world.burned(ep);
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
         let rpc = market.world.rpc_metrics(ep);
@@ -309,23 +315,21 @@ impl Scenario {
         arrivals: Arrivals,
         shards: usize,
     ) -> Result<ScenarioOutcome, MarketError> {
-        let mm = if markets <= 1 {
+        let mut mm = if markets <= 1 {
             MultiMarket::new(vec![self.config.clone()])
         } else {
             MultiMarket::replicated_sharded(&self.config, markets, shards)
         };
-        let supply_and_burn = |mm: &MultiMarket| {
+        let supply_and_burn = |mm: &mut MultiMarket| {
             (0..mm.world.endpoints()).fold((U256::ZERO, U256::ZERO), |(s, b), i| {
-                let chain = mm.world.chain(EndpointId(i));
-                (
-                    s.wrapping_add(&chain.state().total_supply()),
-                    b.wrapping_add(&chain.burned()),
-                )
+                let supply = mm.world.total_supply(EndpointId(i));
+                let burned = mm.world.burned(EndpointId(i));
+                (s.wrapping_add(&supply), b.wrapping_add(&burned))
             })
         };
-        let (genesis_supply, _) = supply_and_burn(&mm);
+        let (genesis_supply, _) = supply_and_burn(&mut mm);
         let failures: Vec<FailurePlan> = (0..markets).map(|_| self.failures.clone()).collect();
-        let (mm, engine_report) = mm.run(
+        let (mut mm, engine_report) = mm.run(
             &EngineConfig {
                 arrivals,
                 ..EngineConfig::default()
@@ -346,7 +350,7 @@ impl Scenario {
         }
 
         // ETH conservation holds shard by shard, so it holds for the sums.
-        let (live, burned) = supply_and_burn(&mm);
+        let (live, burned) = supply_and_burn(&mut mm);
         let eth_conserved = live.wrapping_add(&burned) == genesis_supply;
 
         let mut local_accuracies = Vec::new();
@@ -565,7 +569,8 @@ impl ScenarioSuite {
     }
 
     /// Failure-injection regimes at test scale: availability loss, on-chain
-    /// revert, freeloading, dropout, and a combined storm.
+    /// revert, freeloading, dropout, a combined storm, and the three
+    /// infrastructure regimes (flaky provider, rate limiting, stale reads).
     pub fn failure_sweep(seed: u64) -> ScenarioSuite {
         ScenarioSuite::new()
             .push(
@@ -631,6 +636,13 @@ impl ScenarioSuite {
                 // session completes late but intact.
                 Scenario::small("rate-limited", PartitionScheme::Iid, seed.wrapping_add(6))
                     .with_rate_limit(RateLimitProfile::new(seed ^ 0x0429, 6)),
+            )
+            .push(
+                // A lagging replica: head and receipt reads run up to two
+                // slots behind the canonical chain, so confirmations arrive
+                // late and clients re-poll — but every model still lands.
+                Scenario::small("stale-reads", PartitionScheme::Iid, seed.wrapping_add(7))
+                    .with_stale_reads(StaleProfile::new(seed ^ 0x57A1, 2)),
             )
     }
 
@@ -837,7 +849,8 @@ mod tests {
         // faulty (flaky or throttling) provider.
         assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()
             || s.config.rpc_faults.is_some()
-            || s.config.rpc_rate_limit.is_some()));
+            || s.config.rpc_rate_limit.is_some()
+            || s.config.rpc_stale.is_some()));
         assert!(failures
             .scenarios
             .iter()
@@ -846,6 +859,10 @@ mod tests {
             .scenarios
             .iter()
             .any(|s| s.config.rpc_rate_limit.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_stale.is_some()));
         let concurrency = ScenarioSuite::concurrency_sweep(1);
         assert!(concurrency.scenarios.len() >= 3);
         // The sweep exercises both same-shard and cross-shard placement.
@@ -887,6 +904,29 @@ mod tests {
         assert!(a.total_sim_seconds > clean.total_sim_seconds);
         // Same marketplace outcome, worse infrastructure: identical CIDs.
         assert_eq!(a.cids_onchain, clean.cids_onchain);
+    }
+
+    #[test]
+    fn stale_reads_delay_but_never_break_the_session() {
+        let clean = quick(PartitionScheme::Iid, 15).run().expect("clean runs");
+        let stale = |seed: u64| {
+            quick(PartitionScheme::Iid, 15)
+                .with_stale_reads(StaleProfile::new(seed, 2))
+                .run()
+                .expect("stale session completes via re-polls")
+        };
+        let a = stale(0x57A1);
+        let b = stale(0x57A1);
+        // Bit-identical under equal staleness seeds.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same marketplace outcome, slower confirmations: identical CIDs,
+        // at least as much virtual time and polling traffic.
+        assert_eq!(a.cids_onchain, clean.cids_onchain);
+        assert_eq!(a.n_models_aggregated, a.n_owners);
+        assert!(a.eth_conserved && a.budget_exhausted());
+        assert!(a.total_sim_seconds >= clean.total_sim_seconds);
+        assert!(a.rpc_round_trips >= clean.rpc_round_trips);
     }
 
     #[test]

@@ -47,8 +47,9 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
 use ofl_rpc::{
-    build_provider, Billed, EndpointId, FaultProfile, NodeProvider, ProviderMetrics, ProviderPool,
-    RateLimitProfile, Retryable, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult,
+    build_provider, provision_socket_provider, BackstageOp, Billed, EndpointFaults, EndpointId,
+    FaultProfile, NodeProvider, ProviderMetrics, ProviderPool, RateLimitProfile, RemoteEndpoint,
+    Retryable, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult, StaleProfile,
 };
 
 /// Errors surfaced by world operations.
@@ -111,9 +112,9 @@ impl core::fmt::Display for WorldError {
 impl std::error::Error for WorldError {}
 
 /// Everything one shard needs to come up: chain parameters, genesis
-/// balances, and the endpoint's fault/quota decorators.
+/// balances, and the endpoint's fault/quota/staleness decorators.
 #[derive(Debug, Clone)]
-pub struct ShardSpec {
+pub struct ShardConfig {
     /// Chain parameters (all shards of one world must share `block_time`,
     /// so slot boundaries line up).
     pub chain: ChainConfig,
@@ -123,19 +124,121 @@ pub struct ShardSpec {
     pub faults: Option<FaultProfile>,
     /// Seeded per-slot request quota for this endpoint (`None` = no 429s).
     pub rate_limit: Option<RateLimitProfile>,
+    /// Seeded lagging-replica reads for this endpoint (`None` = always
+    /// fresh).
+    pub stale: Option<StaleProfile>,
 }
 
-impl ShardSpec {
+impl ShardConfig {
     /// A reliable shard with the given parameters and funding.
-    pub fn new(chain: ChainConfig, genesis: Vec<(H160, U256)>) -> ShardSpec {
-        ShardSpec {
+    pub fn new(chain: ChainConfig, genesis: Vec<(H160, U256)>) -> ShardConfig {
+        ShardConfig {
             chain,
             genesis,
             faults: None,
             rate_limit: None,
+            stale: None,
+        }
+    }
+
+    /// The decorator knobs, in the shape the stack builders take.
+    pub fn knobs(&self) -> EndpointFaults {
+        EndpointFaults {
+            faults: self.faults,
+            rate_limit: self.rate_limit,
+            stale: self.stale,
         }
     }
 }
+
+/// Where one shard of the pool runs: in this process, behind a socket to
+/// an `rpcd` daemon, or as a pre-built provider stack handed in by the
+/// caller (how tests mount the deterministic in-memory pipe).
+pub enum ShardSpec {
+    /// An in-process backend built from the config.
+    Local(ShardConfig),
+    /// An out-of-process backend: the world connects to the daemon at
+    /// `endpoint`, provisions it with the config's chain + genesis, and
+    /// wraps the socket in the same client-side decorator stack a local
+    /// shard gets — so a remote shard prices, faults, and meters
+    /// identically.
+    Remote {
+        /// Where the `rpcd` daemon listens.
+        endpoint: RemoteEndpoint,
+        /// Chain parameters, genesis, and decorator knobs.
+        config: ShardConfig,
+    },
+    /// An already-built (and, if remote, already-provisioned) provider
+    /// stack, mounted as-is.
+    Mounted(Box<dyn NodeProvider>),
+}
+
+impl core::fmt::Debug for ShardSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShardSpec::Local(config) => f.debug_tuple("Local").field(config).finish(),
+            ShardSpec::Remote { endpoint, config } => f
+                .debug_struct("Remote")
+                .field("endpoint", endpoint)
+                .field("config", config)
+                .finish(),
+            ShardSpec::Mounted(_) => f.write_str("Mounted(<provider stack>)"),
+        }
+    }
+}
+
+impl ShardSpec {
+    /// A reliable in-process shard with the given parameters and funding.
+    pub fn new(chain: ChainConfig, genesis: Vec<(H160, U256)>) -> ShardSpec {
+        ShardSpec::Local(ShardConfig::new(chain, genesis))
+    }
+
+    /// Converts an in-process spec into a remote mount of the same shard
+    /// (same chain, genesis, and decorator knobs, served by the daemon at
+    /// `endpoint`). A `Mounted` spec is returned unchanged.
+    pub fn into_remote(self, endpoint: RemoteEndpoint) -> ShardSpec {
+        match self {
+            ShardSpec::Local(config) | ShardSpec::Remote { config, .. } => {
+                ShardSpec::Remote { endpoint, config }
+            }
+            mounted @ ShardSpec::Mounted(_) => mounted,
+        }
+    }
+
+    /// Builds this shard's endpoint stack.
+    fn into_endpoint(self, profile: NetworkProfile, envelope_bytes: u64) -> Box<dyn NodeProvider> {
+        match self {
+            ShardSpec::Local(config) => build_provider(
+                Chain::new(config.chain.clone(), &config.genesis),
+                Swarm::new(),
+                profile,
+                envelope_bytes,
+                config.knobs(),
+            ),
+            ShardSpec::Remote { endpoint, config } => {
+                let transport = endpoint
+                    .connect()
+                    .unwrap_or_else(|e| panic!("cannot mount remote shard at {endpoint}: {e}"));
+                let knobs = config.knobs();
+                provision_socket_provider(
+                    transport,
+                    config.chain,
+                    config.genesis,
+                    profile,
+                    envelope_bytes,
+                    knobs,
+                )
+                .unwrap_or_else(|e| panic!("cannot provision remote shard at {endpoint}: {e}"))
+            }
+            ShardSpec::Mounted(provider) => provider,
+        }
+    }
+}
+
+/// The request-envelope wire size every world prices RPC traffic with —
+/// exported so out-of-world endpoint builders (tests mounting pipe-backed
+/// shards, benches) decorate their stacks identically.
+pub const DEFAULT_TX_WIRE_BYTES: u64 = 250;
 
 /// The shared substrate every participant interacts with.
 pub struct World {
@@ -143,6 +246,10 @@ pub struct World {
     pub clock: SimClock,
     /// The endpoint pool fronting every shard's chain + swarm.
     pool: ProviderPool,
+    /// Each endpoint's chain parameters, fetched once at mount time via a
+    /// backstage op (so a remote shard's config is its daemon's truth, not
+    /// a local assumption).
+    chain_configs: Vec<ChainConfig>,
     /// Link models.
     pub profile: NetworkProfile,
     /// Approximate wire size of a request envelope (for RPC timing).
@@ -179,44 +286,57 @@ impl World {
         faults: Option<FaultProfile>,
     ) -> World {
         World::from_shards(
-            vec![ShardSpec {
+            vec![ShardSpec::Local(ShardConfig {
                 chain: chain_config,
                 genesis: genesis.to_vec(),
                 faults,
                 rate_limit: None,
-            }],
+                stale: None,
+            })],
             profile,
         )
     }
 
     /// Builds a world from explicit shard specifications: one endpoint
-    /// stack per spec, addressed by `EndpointId(i)` in spec order.
+    /// stack per spec, addressed by `EndpointId(i)` in spec order. Local
+    /// shards come up in-process; [`ShardSpec::Remote`] shards are
+    /// connected, provisioned, and wrapped in the identical client-side
+    /// decorator stack, so the rest of the system cannot tell them apart.
     pub fn from_shards(shards: Vec<ShardSpec>, profile: NetworkProfile) -> World {
         assert!(!shards.is_empty(), "a world needs at least one shard");
-        let block_time = shards[0].chain.block_time;
-        assert!(
-            shards.iter().all(|s| s.chain.block_time == block_time),
-            "all shards must share the slot cadence"
-        );
-        let tx_wire_bytes = 250;
+        let tx_wire_bytes = DEFAULT_TX_WIRE_BYTES;
         let endpoints = shards
             .into_iter()
-            .map(|spec| {
-                build_provider(
-                    Chain::new(spec.chain, &spec.genesis),
-                    Swarm::new(),
-                    profile,
-                    tx_wire_bytes,
-                    spec.faults,
-                    spec.rate_limit,
-                )
+            .map(|spec| spec.into_endpoint(profile, tx_wire_bytes))
+            .collect();
+        World::from_endpoints(endpoints, profile)
+    }
+
+    /// Builds a world directly over pre-built endpoint stacks (however
+    /// they are backed — in-process, socket, or pipe). Each endpoint's
+    /// chain parameters are fetched through the backstage channel, and all
+    /// endpoints must share the slot cadence.
+    pub fn from_endpoints(endpoints: Vec<Box<dyn NodeProvider>>, profile: NetworkProfile) -> World {
+        assert!(!endpoints.is_empty(), "a world needs at least one shard");
+        let mut pool = ProviderPool::new(endpoints);
+        let chain_configs: Vec<ChainConfig> = (0..pool.len())
+            .map(|i| {
+                pool.endpoint(EndpointId(i))
+                    .backstage(&BackstageOp::Config)
+                    .into_config()
             })
             .collect();
+        let block_time = chain_configs[0].block_time;
+        assert!(
+            chain_configs.iter().all(|c| c.block_time == block_time),
+            "all shards must share the slot cadence"
+        );
         World {
             clock: SimClock::new(),
-            pool: ProviderPool::new(endpoints),
+            pool,
+            chain_configs,
             profile,
-            tx_wire_bytes,
+            tx_wire_bytes: DEFAULT_TX_WIRE_BYTES,
             max_rpc_retries: 6,
             batch_receipt_polls: true,
             batch_cid_reads: true,
@@ -238,25 +358,128 @@ impl World {
         self.pool.endpoint(endpoint)
     }
 
-    /// Backstage chain access for one shard (mining, invariants) — not
-    /// client traffic.
+    /// Direct backstage chain access for one shard — **in-process shards
+    /// only** (a remote shard has no chain reference to give; this panics
+    /// there). Simulation drivers use the wire-able backstage helpers
+    /// below; this accessor remains for tests and local-only tooling.
     pub fn chain(&self, endpoint: EndpointId) -> &Chain {
         self.pool.get(endpoint).chain()
     }
 
-    /// Mutable backstage chain access (slot production, faucets).
+    /// Mutable direct backstage chain access (in-process shards only).
     pub fn chain_mut(&mut self, endpoint: EndpointId) -> &mut Chain {
         self.pool.endpoint(endpoint).chain_mut()
     }
 
-    /// Backstage swarm access for one shard (availability checks).
+    /// Direct backstage swarm access (in-process shards only).
     pub fn swarm(&self, endpoint: EndpointId) -> &Swarm {
         self.pool.get(endpoint).swarm()
     }
 
-    /// Mutable backstage swarm access (node spawning, failure injection).
+    /// Mutable direct backstage swarm access (in-process shards only).
     pub fn swarm_mut(&mut self, endpoint: EndpointId) -> &mut Swarm {
         self.pool.endpoint(endpoint).swarm_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Wire-able backstage operations — the simulator's hands on a shard's
+    // infrastructure, which work identically for in-process and remote
+    // endpoints (one frame round trip there, never client traffic).
+    // ------------------------------------------------------------------
+
+    /// One shard's chain parameters (cached from mount time — they are
+    /// static for a chain's lifetime).
+    pub fn chain_config(&self, endpoint: EndpointId) -> &ChainConfig {
+        &self.chain_configs[endpoint.0]
+    }
+
+    /// Backstage chain height (the driver's truth, unaffected by stale or
+    /// flaky client reads).
+    pub fn height(&mut self, endpoint: EndpointId) -> u64 {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::Height)
+            .into_u64()
+    }
+
+    /// Backstage mempool occupancy.
+    pub fn mempool_len(&mut self, endpoint: EndpointId) -> usize {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::MempoolLen)
+            .into_u64() as usize
+    }
+
+    /// Backstage receipt lookup — ground truth for "was it actually
+    /// mined", where a client poll may be faulted or stale.
+    pub fn receipt_of(&mut self, endpoint: EndpointId, hash: &H256) -> Option<Receipt> {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::ReceiptOf { hash: *hash })
+            .into_receipt()
+    }
+
+    /// Backstage mempool membership — distinguishes "still queued" from
+    /// "silently evicted".
+    pub fn is_pending(&mut self, endpoint: EndpointId, hash: &H256) -> bool {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::IsPending { hash: *hash })
+            .into_flag()
+    }
+
+    /// Backstage sum of all live balances (conservation checks).
+    pub fn total_supply(&mut self, endpoint: EndpointId) -> U256 {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::TotalSupply)
+            .into_wei()
+    }
+
+    /// Backstage EIP-1559 burn total (conservation checks).
+    pub fn burned(&mut self, endpoint: EndpointId) -> U256 {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::Burned)
+            .into_wei()
+    }
+
+    /// Backstage balance read (invariant checks, not client traffic).
+    pub fn balance_of(&mut self, endpoint: EndpointId, address: &H160) -> U256 {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::BalanceOf { address: *address })
+            .into_wei()
+    }
+
+    /// Spawns an IPFS node into one shard's swarm, returning its index —
+    /// how sessions come up on a shard wherever it runs.
+    pub fn spawn_ipfs_node(&mut self, endpoint: EndpointId, label: &str) -> usize {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::SpawnIpfsNode {
+                label: label.to_string(),
+            })
+            .into_u64() as usize
+    }
+
+    /// Failure injection: unpin + garbage-collect `cid` on one node of the
+    /// shard's swarm, so the content vanishes from that peer.
+    pub fn drop_ipfs_block(&mut self, endpoint: EndpointId, node: usize, cid: &Cid) {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::DropIpfsBlock {
+                node: node as u64,
+                cid: cid.clone(),
+            });
+    }
+
+    /// Whether *any* node of the shard's swarm can still serve `cid`.
+    pub fn swarm_has(&mut self, endpoint: EndpointId, cid: &Cid) -> bool {
+        self.pool
+            .endpoint(endpoint)
+            .backstage(&BackstageOp::SwarmHas { cid: cid.clone() })
+            .into_flag()
     }
 
     /// One endpoint's metering snapshot: per-method call counts and
@@ -314,7 +537,7 @@ impl World {
     /// `at` — when a transaction in a mempool at `at` can first be mined.
     /// All shards share the cadence (asserted at construction).
     pub fn next_slot_secs(&self, at: SimInstant) -> u64 {
-        let block_time = self.chain(EndpointId(0)).config().block_time;
+        let block_time = self.chain_config(EndpointId(0)).block_time;
         (at.0 / 1_000_000 / block_time + 1) * block_time
     }
 
@@ -506,8 +729,8 @@ impl World {
             blocks.push(
                 self.pool
                     .endpoint(EndpointId(i))
-                    .chain_mut()
-                    .mine_block(slot_secs),
+                    .backstage(&BackstageOp::MineSlot { slot_secs })
+                    .into_block(),
             );
         }
         self.pool.on_slot();
@@ -527,12 +750,35 @@ impl World {
         hash: H256,
     ) -> Result<Receipt, WorldError> {
         self.mine_until(endpoint, &[hash])?;
-        let (result, cost) = self.eth_retry(endpoint, |eth| eth.get_transaction_receipt(hash));
-        self.clock.advance(cost);
-        match result {
-            Ok(Some(receipt)) => Ok(receipt),
-            Ok(None) => Err(WorldError::TxDropped(hash)),
-            Err(e) => Err(WorldError::Rpc(e)),
+        let max_wait_slots = self.chain_config(endpoint).max_wait_slots;
+        let mut extra_slots = 0u64;
+        loop {
+            let (result, cost) = self.eth_retry(endpoint, |eth| eth.get_transaction_receipt(hash));
+            self.clock.advance(cost);
+            match result {
+                Ok(Some(receipt)) => return Ok(receipt),
+                Ok(None) => {
+                    // `None` from the client poll is ambiguous: a lagging
+                    // replica hides freshly-mined receipts exactly like a
+                    // dropped transaction. Backstage tells them apart.
+                    if self.receipt_of(endpoint, &hash).is_none() {
+                        return Err(WorldError::TxDropped(hash));
+                    }
+                    if extra_slots >= max_wait_slots {
+                        return Err(WorldError::ConfirmationTimeout {
+                            slots_mined: extra_slots,
+                            pending: vec![hash],
+                        });
+                    }
+                    // Mined but not yet visible to the replica: wait out a
+                    // slot (the replica's view advances with the head) and
+                    // re-poll, exactly as a production client would.
+                    let slot = self.next_slot_secs(self.clock.now());
+                    self.mine_slot(slot);
+                    extra_slots += 1;
+                }
+                Err(e) => return Err(WorldError::Rpc(e)),
+            }
         }
     }
 
@@ -559,7 +805,7 @@ impl World {
     /// [`ChainConfig::max_wait_slots`] slots. Each wait polls the endpoint
     /// once per slot (batched when several hashes are pending).
     pub fn mine_until(&mut self, endpoint: EndpointId, hashes: &[H256]) -> Result<(), WorldError> {
-        let max_wait_slots = self.chain(endpoint).config().max_wait_slots;
+        let max_wait_slots = self.chain_config(endpoint).max_wait_slots;
         let mut slots_mined = 0u64;
         loop {
             let Billed {
@@ -577,20 +823,23 @@ impl World {
             self.mine_slot(slot);
             slots_mined += 1;
         }
-        // A final backstage check: flaky polls can miss receipts that are
-        // actually there.
-        let pending: Vec<H256> = hashes
-            .iter()
-            .filter(|h| self.chain(endpoint).receipt(h).is_none())
-            .cloned()
-            .collect();
+        // A final backstage check: flaky or stale polls can miss receipts
+        // that are actually there.
+        let mut pending = Vec::new();
+        for hash in hashes {
+            if self.receipt_of(endpoint, hash).is_none() {
+                pending.push(*hash);
+            }
+        }
         if pending.is_empty() {
             return Ok(());
         }
         // Distinguish "still queued" from "silently evicted": a vanished
         // transaction will never confirm no matter how long we wait.
-        if let Some(dropped) = pending.iter().find(|h| !self.chain(endpoint).is_pending(h)) {
-            return Err(WorldError::TxDropped(*dropped));
+        for hash in &pending {
+            if !self.is_pending(endpoint, hash) {
+                return Err(WorldError::TxDropped(*hash));
+            }
         }
         Err(WorldError::ConfirmationTimeout {
             slots_mined,
@@ -994,12 +1243,13 @@ mod tests {
         let addrs = wallet.addresses();
         let genesis: Vec<(H160, U256)> = addrs.iter().map(|a| (*a, wei_per_eth())).collect();
         let mut world = World::from_shards(
-            vec![ShardSpec {
+            vec![ShardSpec::Local(ShardConfig {
                 chain: ChainConfig::default(),
                 genesis,
                 faults: None,
                 rate_limit: Some(RateLimitProfile::new(7, 2)),
-            }],
+                stale: None,
+            })],
             NetworkProfile::campus(),
         );
         // The signing preflight + broadcast + polls blow a 2-request budget;

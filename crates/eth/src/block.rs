@@ -92,7 +92,7 @@ impl Receipt {
 }
 
 /// A block header.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
     /// Parent block hash.
     pub parent_hash: H256,
@@ -134,7 +134,7 @@ impl Header {
 
 /// A full block: header plus transaction hashes (bodies live in the chain's
 /// transaction index).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// The header.
     pub header: Header,

@@ -16,7 +16,7 @@ use ofl_primitives::{H160, H256};
 use std::collections::HashMap;
 
 /// Chain-level configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainConfig {
     /// Chain id; defaults to Sepolia's 11155111.
     pub chain_id: u64,

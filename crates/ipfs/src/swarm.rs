@@ -12,7 +12,7 @@ use crate::dag::{build_dag, DagNode, CHUNK_SIZE};
 use std::collections::HashMap;
 
 /// Result of adding a file to a node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddResult {
     /// Root CID (what gets sent to the smart contract).
     pub root: Cid,

@@ -1,0 +1,238 @@
+//! The low-level byte codec shared by the envelope and frame layers:
+//! little-endian integers, length-prefixed byte strings, and fixed-width
+//! hashes — with **typed** decode errors, so a daemon can answer a
+//! malformed frame with a protocol error instead of dropping the
+//! connection.
+
+use ofl_primitives::u256::U256;
+use ofl_primitives::{H160, H256};
+
+/// Why a wire payload failed to decode. Every failure names what the
+/// decoder was reading, so protocol error frames carry a useful message
+/// instead of a bare "malformed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the named field was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        reading: &'static str,
+    },
+    /// A declared length exceeds the bytes actually present — the classic
+    /// allocation-bomb shape, rejected before any allocation.
+    LengthOverflow {
+        /// What was being read.
+        reading: &'static str,
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: u64,
+    },
+    /// A tag byte named no known variant.
+    BadTag {
+        /// Which tagged union was being read.
+        reading: &'static str,
+        /// The unrecognized tag.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8 {
+        /// Which string field.
+        reading: &'static str,
+    },
+    /// The payload decoded fully but bytes were left over.
+    TrailingBytes {
+        /// How many bytes remained.
+        remaining: u64,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated { reading } => {
+                write!(f, "payload truncated while reading {reading}")
+            }
+            CodecError::LengthOverflow {
+                reading,
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "length of {reading} declares {declared} bytes but only {remaining} remain"
+            ),
+            CodecError::BadTag { reading, tag } => {
+                write!(f, "unknown tag {tag:#04x} while reading {reading}")
+            }
+            CodecError::BadUtf8 { reading } => write!(f, "invalid utf-8 in {reading}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only wire writer.
+pub(crate) struct Writer(pub(crate) Vec<u8>);
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer(Vec::new())
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.0.extend_from_slice(v);
+    }
+    pub(crate) fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    pub(crate) fn h160(&mut self, v: &H160) {
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    pub(crate) fn h256(&mut self, v: &H256) {
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    pub(crate) fn u256(&mut self, v: &U256) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    pub(crate) fn raw(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+}
+
+/// A cursor over a wire payload; every read is bounds-checked and failures
+/// name the field being read.
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, at: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> u64 {
+        (self.data.len() - self.at) as u64
+    }
+
+    pub(crate) fn take(&mut self, n: usize, reading: &'static str) -> Result<&'a [u8], CodecError> {
+        let slice = self
+            .data
+            .get(
+                self.at
+                    ..self
+                        .at
+                        .checked_add(n)
+                        .ok_or(CodecError::Truncated { reading })?,
+            )
+            .ok_or(CodecError::Truncated { reading })?;
+        self.at += n;
+        Ok(slice)
+    }
+    pub(crate) fn u8(&mut self, reading: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, reading)?[0])
+    }
+    pub(crate) fn u64(&mut self, reading: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, reading)?
+                .try_into()
+                .expect("8-byte slice fits u64"),
+        ))
+    }
+    pub(crate) fn bytes(&mut self, reading: &'static str) -> Result<Vec<u8>, CodecError> {
+        let len = self.u64(reading)?;
+        // Length sanity: never allocate past the remaining input.
+        if len > self.remaining() {
+            return Err(CodecError::LengthOverflow {
+                reading,
+                declared: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(self.take(len as usize, reading)?.to_vec())
+    }
+    pub(crate) fn string(&mut self, reading: &'static str) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes(reading)?).map_err(|_| CodecError::BadUtf8 { reading })
+    }
+    pub(crate) fn h160(&mut self, reading: &'static str) -> Result<H160, CodecError> {
+        Ok(H160::from_slice(self.take(20, reading)?))
+    }
+    pub(crate) fn h256(&mut self, reading: &'static str) -> Result<H256, CodecError> {
+        let mut w = [0u8; 32];
+        w.copy_from_slice(self.take(32, reading)?);
+        Ok(H256::from_bytes(w))
+    }
+    pub(crate) fn u256(&mut self, reading: &'static str) -> Result<U256, CodecError> {
+        Ok(U256::from_be_slice(self.take(32, reading)?))
+    }
+
+    /// Declares the payload complete: trailing bytes are an error.
+    pub(crate) fn finish(&self) -> Result<(), CodecError> {
+        if self.at == self.data.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Bounds a declared element count by the bytes that could possibly carry
+/// it (each element needs at least one byte on this wire).
+pub(crate) fn check_count(
+    count: u64,
+    reader: &Reader<'_>,
+    reading: &'static str,
+) -> Result<(), CodecError> {
+    if count > reader.remaining() {
+        return Err(CodecError::LengthOverflow {
+            reading,
+            declared: count,
+            remaining: reader.remaining(),
+        });
+    }
+    Ok(())
+}
+
+/// An empty `Vec` whose *pre-reserved* capacity is bounded, however large
+/// the declared element count. `check_count` bounds a count by remaining
+/// *bytes*, but elements decode to in-memory sizes many times their wire
+/// size — an untrusted peer could otherwise turn a 64 MiB frame into a
+/// multi-gigabyte `with_capacity` reservation before the first element
+/// fails to parse. Past the cap the vec just grows as elements actually
+/// decode.
+pub(crate) fn bounded_vec<T>(count: u64) -> Vec<T> {
+    const MAX_PREALLOC: u64 = 1024;
+    Vec::with_capacity(count.min(MAX_PREALLOC) as usize)
+}
+
+/// Reads a `0`/`1`-encoded boolean.
+pub(crate) fn read_flag(r: &mut Reader<'_>, reading: &'static str) -> Result<bool, CodecError> {
+    match r.u8(reading)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(CodecError::BadTag { reading, tag }),
+    }
+}
+
+/// Reads a `0`/`1`-tagged optional field.
+pub(crate) fn read_option<'a, T>(
+    r: &mut Reader<'a>,
+    reading: &'static str,
+    read: impl FnOnce(&mut Reader<'a>, &'static str) -> Result<T, CodecError>,
+) -> Result<Option<T>, CodecError> {
+    match r.u8(reading)? {
+        0 => Ok(None),
+        1 => Ok(Some(read(r, reading)?)),
+        tag => Err(CodecError::BadTag { reading, tag }),
+    }
+}

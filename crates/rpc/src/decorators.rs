@@ -18,7 +18,8 @@
 //! while the discrete-event engine charges per-owner timelines, both
 //! through the same stack.
 
-use crate::envelope::{RpcError, RpcRequest, RpcResponse};
+use crate::backstage::{BackstageOp, BackstageReply};
+use crate::envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 use crate::eth::EthApi;
 use crate::ipfs::IpfsApi;
 use crate::provider::NodeProvider;
@@ -144,6 +145,9 @@ impl<P: NodeProvider> NodeProvider for LatencyProvider<P> {
     }
     fn on_slot(&mut self) {
         self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
     }
 }
 
@@ -272,6 +276,9 @@ impl<P: NodeProvider> NodeProvider for FlakyProvider<P> {
     }
     fn on_slot(&mut self) {
         self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
     }
 }
 
@@ -424,6 +431,169 @@ impl<P: NodeProvider> NodeProvider for RateLimitProvider<P> {
     fn on_slot(&mut self) {
         self.renew_window();
         self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
+    }
+}
+
+// ----------------------------------------------------------------------
+// StaleReadProvider
+// ----------------------------------------------------------------------
+
+/// How far a lagging replica trails the canonical head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaleProfile {
+    /// Seed of the per-read lag draws — equal seeds reproduce the exact
+    /// same staleness, read for read.
+    pub seed: u64,
+    /// Largest lag, in slots, a read may be served at (each read draws a
+    /// lag in `0..=max_lag_slots`).
+    pub max_lag_slots: u64,
+}
+
+impl StaleProfile {
+    /// A profile lagging up to `max_lag_slots` behind the head.
+    pub fn new(seed: u64, max_lag_slots: u64) -> StaleProfile {
+        StaleProfile {
+            seed,
+            max_lag_slots,
+        }
+    }
+}
+
+/// Serves head and receipt reads as a **lagging replica** would: each
+/// `eth_blockNumber` answers up to N slots behind the canonical head, and
+/// each `eth_getTransactionReceipt` hides receipts the lagged replica has
+/// not indexed yet (they come back `None`, exactly like an unmined
+/// transaction — the classic load-balanced-RPC inconsistency clients must
+/// re-poll through). Writes and all other reads pass through untouched.
+///
+/// Sits **innermost** in the stack (directly over the backend), so its
+/// canonical-head queries reach the backend without disturbing the fault
+/// decorators' seeded draws and without being metered as client traffic.
+pub struct StaleReadProvider<P> {
+    inner: P,
+    profile: StaleProfile,
+    rng: StdRng,
+    /// How many reads were actually degraded (lagged head or hidden
+    /// receipt).
+    pub served_stale: u64,
+}
+
+impl<P> StaleReadProvider<P> {
+    /// Wraps `inner` with the given staleness profile.
+    pub fn new(inner: P, profile: StaleProfile) -> StaleReadProvider<P> {
+        StaleReadProvider {
+            inner,
+            rng: StdRng::seed_from_u64(profile.seed),
+            profile,
+            served_stale: 0,
+        }
+    }
+}
+
+impl<P: EthApi> StaleReadProvider<P> {
+    /// The canonical head, read straight from the backend.
+    fn canonical_head(&mut self) -> Option<u64> {
+        match self
+            .inner
+            .execute(&RpcRequest::new(0, RpcMethod::BlockNumber))
+            .result
+        {
+            Ok(RpcResult::BlockNumber(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Applies a seeded lag to one already-answered read.
+    fn lag_response(&mut self, request: &RpcRequest, response: &mut RpcResponse) {
+        let lagged_reads = matches!(
+            request.method,
+            RpcMethod::BlockNumber | RpcMethod::GetTransactionReceipt { .. }
+        );
+        if !lagged_reads || response.result.is_err() {
+            return;
+        }
+        let lag = self.rng.gen_range(0..=self.profile.max_lag_slots);
+        match &mut response.result {
+            Ok(RpcResult::BlockNumber(n)) => {
+                if lag > 0 && *n > 0 {
+                    self.served_stale += 1;
+                }
+                *n = n.saturating_sub(lag);
+            }
+            Ok(RpcResult::Receipt(opt)) => {
+                let hidden = match opt {
+                    Some(receipt) => match self.canonical_head() {
+                        // The replica's view ends `lag` slots before the
+                        // head; a receipt past that view does not exist yet.
+                        Some(head) => receipt.block_number.saturating_add(lag) > head,
+                        None => false,
+                    },
+                    None => false,
+                };
+                if hidden {
+                    self.served_stale += 1;
+                    *opt = None;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<P: EthApi> EthApi for StaleReadProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        let mut response = self.inner.execute(request);
+        self.lag_response(request, &mut response);
+        response
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        let mut responses = self.inner.batch(requests);
+        // Lag draws happen in request order, so a batch of N receipt polls
+        // consumes N draws — deterministic whatever the transport.
+        for (request, response) in requests.iter().zip(&mut responses) {
+            self.lag_response(request, response);
+        }
+        responses
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for StaleReadProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for StaleReadProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+    fn on_slot(&mut self) {
+        self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
     }
 }
 
@@ -596,6 +766,9 @@ impl<P: NodeProvider> NodeProvider for MeteredProvider<P> {
     }
     fn on_slot(&mut self) {
         self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
     }
 }
 
@@ -804,5 +977,88 @@ mod tests {
         let responses = provider.batch(&requests);
         assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(_))));
         assert!(matches!(responses[1].result, Ok(RpcResult::Balance(_))));
+    }
+
+    fn funded_sim() -> (SimProvider, ofl_eth::wallet::Wallet) {
+        let wallet = ofl_eth::wallet::Wallet::from_seed("stale", 2);
+        let genesis: Vec<_> = wallet
+            .addresses()
+            .iter()
+            .map(|a| (*a, ofl_primitives::wei_per_eth()))
+            .collect();
+        let chain = Chain::new(ChainConfig::default(), &genesis);
+        (SimProvider::new(chain, Swarm::new()), wallet)
+    }
+
+    #[test]
+    fn stale_reads_lag_head_and_hide_fresh_receipts_deterministically() {
+        let run = |seed: u64| {
+            let (sim, wallet) = funded_sim();
+            let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+            let mut provider = StaleReadProvider::new(sim, StaleProfile::new(seed, 3));
+            let raw = wallet
+                .sign_raw(
+                    provider.chain(),
+                    &a,
+                    Some(b),
+                    ofl_primitives::u256::U256::ONE,
+                    vec![],
+                )
+                .unwrap();
+            let hash = provider.send_raw_transaction(&raw).value.unwrap();
+            provider.chain_mut().mine_block(12);
+            // The canonical head is 1, but the replica may be behind: some
+            // of the next reads are lagged / hidden, none ever run ahead.
+            let mut outcomes = Vec::new();
+            for _ in 0..24 {
+                let head = provider.block_number().value.unwrap();
+                assert!(head <= 1);
+                let receipt = provider.get_transaction_receipt(hash).value.unwrap();
+                if let Some(r) = &receipt {
+                    assert_eq!(r.block_number, 1);
+                }
+                outcomes.push((head, receipt.is_some()));
+            }
+            (outcomes, provider.served_stale)
+        };
+        let (a, stale_a) = run(5);
+        assert!(stale_a > 0, "a 3-slot lag must degrade something");
+        assert!(
+            a.iter().any(|(head, seen)| *head == 1 && *seen),
+            "fresh reads must also occur"
+        );
+        // Deterministic by seed; different seeds draw different lags.
+        assert_eq!(a, run(5).0);
+        assert_ne!(a, run(6).0);
+    }
+
+    #[test]
+    fn stale_receipts_become_visible_once_the_head_outruns_the_lag() {
+        let (sim, wallet) = funded_sim();
+        let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        let mut provider = StaleReadProvider::new(sim, StaleProfile::new(7, 2));
+        let raw = wallet
+            .sign_raw(
+                provider.chain(),
+                &a,
+                Some(b),
+                ofl_primitives::u256::U256::ONE,
+                vec![],
+            )
+            .unwrap();
+        let hash = provider.send_raw_transaction(&raw).value.unwrap();
+        provider.chain_mut().mine_block(12);
+        // Mine past the maximum lag: even the most stale replica view now
+        // includes block 1, so the receipt can never be hidden again.
+        for slot in 2..=4 {
+            provider.chain_mut().mine_block(12 * slot);
+        }
+        for _ in 0..8 {
+            assert!(provider
+                .get_transaction_receipt(hash)
+                .value
+                .unwrap()
+                .is_some());
+        }
     }
 }

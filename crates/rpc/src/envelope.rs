@@ -9,7 +9,11 @@
 //! The envelopes also have a canonical wire encoding ([`RpcRequest::encode`]
 //! / [`RpcResponse::encode`]) standing in for the JSON framing of a real
 //! endpoint; the round-trip property tests in `tests/proptests.rs` pin it.
+//! Decoding returns a typed [`CodecError`] on malformed input, so the
+//! transport layer (and the `rpcd` daemon built on it) can answer garbage
+//! with a protocol error frame instead of dropping the connection.
 
+use crate::codec::{bounded_vec, check_count, read_option, CodecError, Reader, Writer};
 use ofl_eth::block::{Receipt, TxStatus};
 use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
 use ofl_eth::evm::LogEntry;
@@ -208,6 +212,10 @@ pub enum RpcError {
     RateLimited,
     /// The response variant did not match the request method.
     UnexpectedResponse,
+    /// The wire to an out-of-process endpoint failed (connection error,
+    /// protocol error frame, or a malformed reply). Not transient: a broken
+    /// socket will not heal inside a retry loop.
+    Transport(String),
 }
 
 impl core::fmt::Display for RpcError {
@@ -217,6 +225,7 @@ impl core::fmt::Display for RpcError {
             RpcError::Rejected(why) => write!(f, "rpc request rejected: {why}"),
             RpcError::RateLimited => write!(f, "rpc request rate-limited (429)"),
             RpcError::UnexpectedResponse => write!(f, "rpc response shape mismatch"),
+            RpcError::Transport(why) => write!(f, "rpc transport failed: {why}"),
         }
     }
 }
@@ -228,75 +237,15 @@ impl std::error::Error for RpcError {}
 // framing: tag bytes, little-endian u64 lengths, raw hash/address bytes.
 // ----------------------------------------------------------------------
 
-struct Writer(Vec<u8>);
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn bytes(&mut self, v: &[u8]) {
-        self.u64(v.len() as u64);
-        self.0.extend_from_slice(v);
-    }
-    fn h160(&mut self, v: &H160) {
-        self.0.extend_from_slice(v.as_bytes());
-    }
-    fn h256(&mut self, v: &H256) {
-        self.0.extend_from_slice(v.as_bytes());
-    }
-    fn u256(&mut self, v: &U256) {
-        self.0.extend_from_slice(&v.to_be_bytes());
-    }
-}
-
-struct Reader<'a> {
-    data: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let slice = self.data.get(self.at..self.at + n)?;
-        self.at += n;
-        Some(slice)
-    }
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-    fn bytes(&mut self) -> Option<Vec<u8>> {
-        let len = self.u64()?;
-        // Length sanity: never allocate past the remaining input.
-        if len as usize > self.data.len() - self.at {
-            return None;
-        }
-        Some(self.take(len as usize)?.to_vec())
-    }
-    fn h160(&mut self) -> Option<H160> {
-        Some(H160::from_slice(self.take(20)?))
-    }
-    fn h256(&mut self) -> Option<H256> {
-        let mut w = [0u8; 32];
-        w.copy_from_slice(self.take(32)?);
-        Some(H256::from_bytes(w))
-    }
-    fn u256(&mut self) -> Option<U256> {
-        Some(U256::from_be_slice(self.take(32)?))
-    }
-    fn done(&self) -> bool {
-        self.at == self.data.len()
-    }
-}
-
 impl RpcRequest {
     /// Canonical wire encoding.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut w = Writer::new();
+        self.write(&mut w);
+        w.0
+    }
+
+    pub(crate) fn write(&self, w: &mut Writer) {
         w.u64(self.id);
         match &self.method {
             RpcMethod::SendRawTransaction { raw } => {
@@ -356,34 +305,36 @@ impl RpcRequest {
             RpcMethod::GasPrice => w.u8(8),
             RpcMethod::ChainId => w.u8(9),
         }
-        w.0
     }
 
-    /// Decodes a wire-encoded request; `None` on malformed or trailing data.
-    pub fn decode(raw: &[u8]) -> Option<RpcRequest> {
-        let mut r = Reader { data: raw, at: 0 };
-        let id = r.u64()?;
-        let method = match r.u8()? {
-            0 => RpcMethod::SendRawTransaction { raw: r.bytes()? },
-            1 => RpcMethod::GetTransactionReceipt { hash: r.h256()? },
+    /// Decodes a wire-encoded request; malformed or trailing data comes
+    /// back as a typed [`CodecError`].
+    pub fn decode(raw: &[u8]) -> Result<RpcRequest, CodecError> {
+        let mut r = Reader::new(raw);
+        let request = RpcRequest::read(&mut r)?;
+        r.finish()?;
+        Ok(request)
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<RpcRequest, CodecError> {
+        let id = r.u64("request id")?;
+        let method = match r.u8("request method tag")? {
+            0 => RpcMethod::SendRawTransaction {
+                raw: r.bytes("raw transaction")?,
+            },
+            1 => RpcMethod::GetTransactionReceipt {
+                hash: r.h256("receipt hash")?,
+            },
             2 => RpcMethod::Call {
-                from: r.h160()?,
-                to: r.h160()?,
-                data: r.bytes()?,
+                from: r.h160("call from")?,
+                to: r.h160("call to")?,
+                data: r.bytes("call data")?,
             },
             3 => {
-                let from_block = r.u64()?;
-                let to_block = r.u64()?;
-                let address = match r.u8()? {
-                    0 => None,
-                    1 => Some(r.h160()?),
-                    _ => return None,
-                };
-                let topic = match r.u8()? {
-                    0 => None,
-                    1 => Some(r.h256()?),
-                    _ => return None,
-                };
+                let from_block = r.u64("filter from_block")?;
+                let to_block = r.u64("filter to_block")?;
+                let address = read_option(r, "filter address", Reader::h160)?;
+                let topic = read_option(r, "filter topic", Reader::h256)?;
                 RpcMethod::GetLogs {
                     filter: LogFilter {
                         from_block,
@@ -394,30 +345,35 @@ impl RpcRequest {
                 }
             }
             4 => RpcMethod::BlockNumber,
-            5 => RpcMethod::GetBalance { address: r.h160()? },
-            6 => RpcMethod::GetTransactionCount { address: r.h160()? },
+            5 => RpcMethod::GetBalance {
+                address: r.h160("balance address")?,
+            },
+            6 => RpcMethod::GetTransactionCount {
+                address: r.h160("nonce address")?,
+            },
             7 => {
-                let from = r.h160()?;
-                let to = match r.u8()? {
-                    0 => None,
-                    1 => Some(r.h160()?),
-                    _ => return None,
-                };
+                let from = r.h160("estimate from")?;
+                let to = read_option(r, "estimate to", Reader::h160)?;
                 RpcMethod::EstimateGas {
                     from,
                     to,
-                    data: r.bytes()?,
+                    data: r.bytes("estimate data")?,
                 }
             }
             8 => RpcMethod::GasPrice,
             9 => RpcMethod::ChainId,
-            _ => return None,
+            tag => {
+                return Err(CodecError::BadTag {
+                    reading: "request method tag",
+                    tag,
+                })
+            }
         };
-        r.done().then_some(RpcRequest { id, method })
+        Ok(RpcRequest { id, method })
     }
 }
 
-fn write_log_entry(w: &mut Writer, log: &LogEntry) {
+pub(crate) fn write_log_entry(w: &mut Writer, log: &LogEntry) {
     w.h160(&log.address);
     w.u64(log.topics.len() as u64);
     for t in &log.topics {
@@ -426,24 +382,29 @@ fn write_log_entry(w: &mut Writer, log: &LogEntry) {
     w.bytes(&log.data);
 }
 
-fn read_log_entry(r: &mut Reader) -> Option<LogEntry> {
-    let address = r.h160()?;
-    let n = r.u64()?;
+pub(crate) fn read_log_entry(r: &mut Reader<'_>) -> Result<LogEntry, CodecError> {
+    let address = r.h160("log address")?;
+    let n = r.u64("log topic count")?;
     if n > 4 {
-        return None; // LOG0–LOG4
+        // LOG0–LOG4: any larger count is a malformed payload, not a size
+        // problem — report the bogus count as the offending tag.
+        return Err(CodecError::BadTag {
+            reading: "log topic count (LOG0-LOG4)",
+            tag: n.min(u8::MAX as u64) as u8,
+        });
     }
-    let mut topics = Vec::with_capacity(n as usize);
+    let mut topics = bounded_vec(n);
     for _ in 0..n {
-        topics.push(r.h256()?);
+        topics.push(r.h256("log topic")?);
     }
-    Some(LogEntry {
+    Ok(LogEntry {
         address,
         topics,
-        data: r.bytes()?,
+        data: r.bytes("log data")?,
     })
 }
 
-fn write_receipt(w: &mut Writer, receipt: &Receipt) {
+pub(crate) fn write_receipt(w: &mut Writer, receipt: &Receipt) {
     w.h256(&receipt.tx_hash);
     w.u8(match receipt.status {
         TxStatus::Success => 0,
@@ -468,31 +429,30 @@ fn write_receipt(w: &mut Writer, receipt: &Receipt) {
     w.bytes(&receipt.output);
 }
 
-fn read_receipt(r: &mut Reader) -> Option<Receipt> {
-    let tx_hash = r.h256()?;
-    let status = match r.u8()? {
+pub(crate) fn read_receipt(r: &mut Reader<'_>) -> Result<Receipt, CodecError> {
+    let tx_hash = r.h256("receipt tx hash")?;
+    let status = match r.u8("receipt status")? {
         0 => TxStatus::Success,
         1 => TxStatus::Reverted,
         2 => TxStatus::Failed,
-        _ => return None,
+        tag => {
+            return Err(CodecError::BadTag {
+                reading: "receipt status",
+                tag,
+            })
+        }
     };
-    let gas_used = r.u64()?;
-    let effective_gas_price = r.u256()?;
-    let fee = r.u256()?;
-    let contract_address = match r.u8()? {
-        0 => None,
-        1 => Some(r.h160()?),
-        _ => return None,
-    };
-    let n_logs = r.u64()?;
-    if n_logs as usize > r.data.len() {
-        return None;
-    }
-    let mut logs = Vec::with_capacity(n_logs as usize);
+    let gas_used = r.u64("receipt gas used")?;
+    let effective_gas_price = r.u256("receipt gas price")?;
+    let fee = r.u256("receipt fee")?;
+    let contract_address = read_option(r, "receipt contract address", Reader::h160)?;
+    let n_logs = r.u64("receipt log count")?;
+    check_count(n_logs, r, "receipt log count")?;
+    let mut logs = bounded_vec(n_logs);
     for _ in 0..n_logs {
         logs.push(read_log_entry(r)?);
     }
-    Some(Receipt {
+    Ok(Receipt {
         tx_hash,
         status,
         gas_used,
@@ -500,15 +460,20 @@ fn read_receipt(r: &mut Reader) -> Option<Receipt> {
         fee,
         contract_address,
         logs,
-        block_number: r.u64()?,
-        output: r.bytes()?,
+        block_number: r.u64("receipt block number")?,
+        output: r.bytes("receipt output")?,
     })
 }
 
 impl RpcResponse {
     /// Canonical wire encoding.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut w = Writer::new();
+        self.write(&mut w);
+        w.0
+    }
+
+    pub(crate) fn write(&self, w: &mut Writer) {
         w.u64(self.id);
         w.u64(self.cost.as_micros());
         match &self.result {
@@ -521,7 +486,7 @@ impl RpcResponse {
                 match opt {
                     Some(receipt) => {
                         w.u8(1);
-                        write_receipt(&mut w, receipt);
+                        write_receipt(w, receipt);
                     }
                     None => w.u8(0),
                 }
@@ -539,7 +504,7 @@ impl RpcResponse {
                     w.u64(f.block_number);
                     w.h256(&f.tx_hash);
                     w.u64(f.log_index as u64);
-                    write_log_entry(&mut w, &f.log);
+                    write_log_entry(w, &f.log);
                 }
             }
             Ok(RpcResult::BlockNumber(n)) => {
@@ -573,64 +538,83 @@ impl RpcResponse {
             }
             Err(RpcError::UnexpectedResponse) => w.u8(0x82),
             Err(RpcError::RateLimited) => w.u8(0x83),
+            Err(RpcError::Transport(why)) => {
+                w.u8(0x84);
+                w.bytes(why.as_bytes());
+            }
         }
-        w.0
     }
 
-    /// Decodes a wire-encoded response; `None` on malformed or trailing
-    /// data.
-    pub fn decode(raw: &[u8]) -> Option<RpcResponse> {
-        let mut r = Reader { data: raw, at: 0 };
-        let id = r.u64()?;
-        let cost = SimDuration::from_micros(r.u64()?);
-        let result = match r.u8()? {
-            0 => Ok(RpcResult::TxHash(r.h256()?)),
-            1 => Ok(RpcResult::Receipt(match r.u8()? {
-                0 => None,
-                1 => Some(read_receipt(&mut r)?),
-                _ => return None,
-            })),
+    /// Decodes a wire-encoded response; malformed or trailing data comes
+    /// back as a typed [`CodecError`] — what lets a daemon answer garbage
+    /// with a protocol error frame instead of hanging up.
+    pub fn decode(raw: &[u8]) -> Result<RpcResponse, CodecError> {
+        let mut r = Reader::new(raw);
+        let response = RpcResponse::read(&mut r)?;
+        r.finish()?;
+        Ok(response)
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<RpcResponse, CodecError> {
+        let id = r.u64("response id")?;
+        let cost = SimDuration::from_micros(r.u64("response cost")?);
+        let result = match r.u8("response result tag")? {
+            0 => Ok(RpcResult::TxHash(r.h256("tx hash")?)),
+            1 => Ok(RpcResult::Receipt(read_option(
+                r,
+                "receipt presence",
+                |r, _| read_receipt(r),
+            )?)),
             2 => {
-                let success = match r.u8()? {
+                let success = match r.u8("call success")? {
                     0 => false,
                     1 => true,
-                    _ => return None,
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            reading: "call success",
+                            tag,
+                        })
+                    }
                 };
                 Ok(RpcResult::Call(CallResult {
                     success,
-                    output: r.bytes()?,
-                    gas_used: r.u64()?,
+                    output: r.bytes("call output")?,
+                    gas_used: r.u64("call gas used")?,
                 }))
             }
             3 => {
-                let n = r.u64()?;
-                if n as usize > r.data.len() {
-                    return None;
-                }
-                let mut logs = Vec::with_capacity(n as usize);
+                let n = r.u64("log list count")?;
+                check_count(n, r, "log list count")?;
+                let mut logs = bounded_vec(n);
                 for _ in 0..n {
                     logs.push(FilteredLog {
-                        block_number: r.u64()?,
-                        tx_hash: r.h256()?,
-                        log_index: r.u64()? as usize,
-                        log: read_log_entry(&mut r)?,
+                        block_number: r.u64("filtered log block")?,
+                        tx_hash: r.h256("filtered log tx hash")?,
+                        log_index: r.u64("filtered log index")? as usize,
+                        log: read_log_entry(r)?,
                     });
                 }
                 Ok(RpcResult::Logs(logs))
             }
-            4 => Ok(RpcResult::BlockNumber(r.u64()?)),
-            5 => Ok(RpcResult::Balance(r.u256()?)),
-            6 => Ok(RpcResult::TransactionCount(r.u64()?)),
-            7 => Ok(RpcResult::GasEstimate(r.u64()?)),
-            8 => Ok(RpcResult::GasPrice(r.u256()?)),
-            9 => Ok(RpcResult::ChainId(r.u64()?)),
+            4 => Ok(RpcResult::BlockNumber(r.u64("block number")?)),
+            5 => Ok(RpcResult::Balance(r.u256("balance")?)),
+            6 => Ok(RpcResult::TransactionCount(r.u64("nonce")?)),
+            7 => Ok(RpcResult::GasEstimate(r.u64("gas estimate")?)),
+            8 => Ok(RpcResult::GasPrice(r.u256("gas price")?)),
+            9 => Ok(RpcResult::ChainId(r.u64("chain id")?)),
             0x80 => Err(RpcError::Timeout),
-            0x81 => Err(RpcError::Rejected(String::from_utf8(r.bytes()?).ok()?)),
+            0x81 => Err(RpcError::Rejected(r.string("rejection reason")?)),
             0x82 => Err(RpcError::UnexpectedResponse),
             0x83 => Err(RpcError::RateLimited),
-            _ => return None,
+            0x84 => Err(RpcError::Transport(r.string("transport reason")?)),
+            tag => {
+                return Err(CodecError::BadTag {
+                    reading: "response result tag",
+                    tag,
+                })
+            }
         };
-        r.done().then_some(RpcResponse { id, result, cost })
+        Ok(RpcResponse { id, result, cost })
     }
 }
 
@@ -702,7 +686,7 @@ mod tests {
             RpcRequest::new(11, RpcMethod::ChainId),
         ];
         for req in requests {
-            assert_eq!(RpcRequest::decode(&req.encode()), Some(req));
+            assert_eq!(RpcRequest::decode(&req.encode()), Ok(req));
         }
     }
 
@@ -764,16 +748,53 @@ mod tests {
                 result: Err(RpcError::RateLimited),
                 cost: SimDuration::from_millis(500),
             },
+            RpcResponse {
+                id: 9,
+                result: Err(RpcError::Transport("connection reset".into())),
+                cost: SimDuration::ZERO,
+            },
         ];
         for resp in responses {
-            assert_eq!(RpcResponse::decode(&resp.encode()), Some(resp));
+            assert_eq!(RpcResponse::decode(&resp.encode()), Ok(resp));
         }
     }
 
     #[test]
-    fn trailing_bytes_rejected() {
+    fn trailing_bytes_rejected_with_typed_error() {
         let mut raw = RpcRequest::new(1, RpcMethod::BlockNumber).encode();
         raw.push(0);
-        assert_eq!(RpcRequest::decode(&raw), None);
+        assert_eq!(
+            RpcRequest::decode(&raw),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_typed() {
+        let raw = RpcRequest::new(1, RpcMethod::BlockNumber).encode();
+        assert!(matches!(
+            RpcRequest::decode(&raw[..raw.len() - 1]),
+            Err(CodecError::Truncated { .. })
+        ));
+        let mut bad = raw.clone();
+        bad[8] = 0xEE; // the method tag byte
+        assert_eq!(
+            RpcRequest::decode(&bad),
+            Err(CodecError::BadTag {
+                reading: "request method tag",
+                tag: 0xEE
+            })
+        );
+        // A declared length far past the payload is an overflow, caught
+        // before any allocation.
+        let mut resp = Writer::new();
+        resp.u64(1); // id
+        resp.u64(0); // cost
+        resp.u8(0x81); // Rejected
+        resp.u64(u64::MAX); // declared string length
+        assert!(matches!(
+            RpcResponse::decode(&resp.0),
+            Err(CodecError::LengthOverflow { .. })
+        ));
     }
 }

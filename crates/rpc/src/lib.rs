@@ -23,6 +23,13 @@
 //! - [`bindings`]: the [`contract_bindings!`] macro and the generated
 //!   [`ModelMarketContract`] handle — typed contract calls with typed
 //!   decode errors, no raw selector strings.
+//! - [`backstage`]: the simulator's side channel (mining, invariant reads,
+//!   failure injection) as wire-able [`BackstageOp`] values instead of
+//!   reference accessors.
+//! - [`frame`] / [`transport`] / [`socket`]: the out-of-process boundary —
+//!   versioned length-prefixed [`Frame`]s over any byte stream, and the
+//!   [`SocketProvider`] client that serves the whole provider surface from
+//!   an `rpcd` daemon while the usual decorators wrap it unchanged.
 //!
 //! ## Costs travel with values
 //!
@@ -33,26 +40,36 @@
 //! clock) and the discrete-event session engine (many overlapping
 //! timelines).
 
+pub mod backstage;
 pub mod bindings;
+pub mod codec;
 pub mod decorators;
 pub mod envelope;
 pub mod eth;
+pub mod frame;
 pub mod ipfs;
 pub mod pool;
 pub mod provider;
 pub mod sim;
+pub mod socket;
+pub mod transport;
 
+pub use backstage::{BackstageOp, BackstageReply};
 pub use bindings::{AbiArg, AbiRet, BindingError, ModelMarketContract};
+pub use codec::CodecError;
 pub use decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, MethodStats, ProviderMetrics,
-    RateLimitProfile, RateLimitProvider,
+    RateLimitProfile, RateLimitProvider, StaleProfile, StaleReadProvider,
 };
 pub use envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 pub use eth::EthApi;
+pub use frame::{Frame, FrameError, ProtocolError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
 pub use ipfs::IpfsApi;
 pub use pool::{EndpointId, ProviderPool};
-pub use provider::{build_provider, NodeProvider, Retryable};
+pub use provider::{build_provider, decorate, EndpointFaults, NodeProvider, Retryable};
 pub use sim::SimProvider;
+pub use socket::{provision_socket_provider, SocketProvider};
+pub use transport::{FrameTransport, RemoteEndpoint, StreamTransport};
 
 use ofl_netsim::clock::SimDuration;
 

@@ -159,8 +159,7 @@ mod tests {
                     Swarm::new(),
                     NetworkProfile::campus(),
                     250,
-                    None,
-                    None,
+                    crate::EndpointFaults::default(),
                 )
             })
             .collect();

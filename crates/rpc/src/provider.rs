@@ -12,9 +12,10 @@
 //! [`EndpointId`]: crate::pool::EndpointId
 //! [`ProviderPool`]: crate::pool::ProviderPool
 
+use crate::backstage::{BackstageOp, BackstageReply};
 use crate::decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, ProviderMetrics,
-    RateLimitProfile, RateLimitProvider,
+    RateLimitProfile, RateLimitProvider, StaleProfile, StaleReadProvider,
 };
 use crate::envelope::{RpcError, RpcRequest, RpcResponse};
 use crate::eth::EthApi;
@@ -45,6 +46,16 @@ pub trait NodeProvider: EthApi + IpfsApi {
     /// 12-second slot elapses so window-based decorators (rate limiting)
     /// can reset. Decorators forward it down the stack.
     fn on_slot(&mut self) {}
+    /// Answers one [`BackstageOp`] — the simulator's side channel (mining,
+    /// invariant reads, failure injection) as a value instead of a
+    /// reference, so it can cross a process boundary. The default answers
+    /// locally via the `chain`/`swarm` accessors; decorators forward it
+    /// untouched (backstage traffic is never priced, faulted, or metered),
+    /// and [`SocketProvider`](crate::SocketProvider) ships it to the
+    /// daemon as one frame.
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        crate::backstage::dispatch_local(self, op)
+    }
 }
 
 /// Forwarding impls so decorator stacks can be assembled layer by layer
@@ -89,24 +100,43 @@ impl NodeProvider for Box<dyn NodeProvider> {
     fn on_slot(&mut self) {
         (**self).on_slot()
     }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        (**self).backstage(op)
+    }
 }
 
-/// Builds the standard decorator stack around an in-process backend:
-/// metering over latency pricing over (optionally) rate limiting over
-/// (optionally) fault injection.
-pub fn build_provider(
-    chain: Chain,
-    swarm: Swarm,
+/// The per-endpoint decorator knobs shared by the in-process and remote
+/// stack builders: seeded fault injection, request quotas, and lagging
+/// replica reads (`None` everywhere = a clean, reliable endpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EndpointFaults {
+    /// Seeded RPC drop injection.
+    pub faults: Option<FaultProfile>,
+    /// Seeded per-slot request quota (429s past it).
+    pub rate_limit: Option<RateLimitProfile>,
+    /// Seeded lagging-replica reads (head and receipts served late).
+    pub stale: Option<StaleProfile>,
+}
+
+/// Wraps any backend with the standard decorator stack: metering over
+/// latency pricing over (optionally) rate limiting over (optionally) fault
+/// injection over (optionally) stale replica reads. Stale reads sit
+/// innermost so their head queries hit the backend directly without
+/// disturbing the fault decorators' seeded draws.
+pub fn decorate(
+    backend: Box<dyn NodeProvider>,
     profile: NetworkProfile,
     envelope_bytes: u64,
-    faults: Option<FaultProfile>,
-    rate_limit: Option<RateLimitProfile>,
+    knobs: EndpointFaults,
 ) -> Box<dyn NodeProvider> {
-    let mut stack: Box<dyn NodeProvider> = Box::new(SimProvider::new(chain, swarm));
-    if let Some(faults) = faults {
+    let mut stack = backend;
+    if let Some(stale) = knobs.stale {
+        stack = Box::new(StaleReadProvider::new(stack, stale));
+    }
+    if let Some(faults) = knobs.faults {
         stack = Box::new(FlakyProvider::new(stack, faults));
     }
-    if let Some(rate_limit) = rate_limit {
+    if let Some(rate_limit) = knobs.rate_limit {
         stack = Box::new(RateLimitProvider::new(stack, rate_limit));
     }
     Box::new(MeteredProvider::new(LatencyProvider::new(
@@ -114,6 +144,22 @@ pub fn build_provider(
         profile,
         envelope_bytes,
     )))
+}
+
+/// Builds the standard decorator stack around an in-process backend.
+pub fn build_provider(
+    chain: Chain,
+    swarm: Swarm,
+    profile: NetworkProfile,
+    envelope_bytes: u64,
+    knobs: EndpointFaults,
+) -> Box<dyn NodeProvider> {
+    decorate(
+        Box::new(SimProvider::new(chain, swarm)),
+        profile,
+        envelope_bytes,
+        knobs,
+    )
 }
 
 /// Errors whose failures are worth retrying at the client layer.

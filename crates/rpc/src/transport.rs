@@ -1,0 +1,98 @@
+//! Byte-stream transports for the frame protocol: one trait, served by a
+//! real TCP/Unix socket in production and by an in-memory duplex pipe in
+//! deterministic tests.
+//!
+//! A [`FrameTransport`] is strictly request/response from the client's
+//! side: `send` one frame, `recv` its answer. That matches the dispatch
+//! loop the `rpcd` daemon runs — one frame in, one frame out — and keeps
+//! the client free of any read-buffer state machine.
+
+use crate::frame::{Frame, FrameError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// One end of a frame conversation.
+pub trait FrameTransport {
+    /// Ships one frame to the peer.
+    fn send(&mut self, frame: &Frame) -> Result<(), FrameError>;
+    /// Receives the peer's next frame.
+    fn recv(&mut self) -> Result<Frame, FrameError>;
+    /// A human-readable peer description for error messages.
+    fn peer(&self) -> String {
+        "peer".into()
+    }
+}
+
+/// Frame framing over any blocking byte stream (TCP socket, Unix socket,
+/// or anything else `Read + Write`).
+pub struct StreamTransport<S> {
+    stream: S,
+    peer: String,
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Wraps a connected stream.
+    pub fn new(stream: S, peer: impl Into<String>) -> StreamTransport<S> {
+        StreamTransport {
+            stream,
+            peer: peer.into(),
+        }
+    }
+}
+
+impl<S: Read + Write> FrameTransport for StreamTransport<S> {
+    fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        frame.write_to(&mut self.stream)
+    }
+    fn recv(&mut self) -> Result<Frame, FrameError> {
+        Frame::read_from(&mut self.stream)
+    }
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Where a remote node daemon listens — the value-typed half of a
+/// connection, so shard specifications stay `Clone`/`Debug`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteEndpoint {
+    /// A TCP address, e.g. `127.0.0.1:8945`.
+    Tcp(String),
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(String),
+}
+
+impl core::fmt::Display for RemoteEndpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RemoteEndpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            RemoteEndpoint::Unix(path) => write!(f, "unix://{path}"),
+        }
+    }
+}
+
+impl RemoteEndpoint {
+    /// Connects, returning a ready frame transport.
+    pub fn connect(&self) -> Result<Box<dyn FrameTransport>, FrameError> {
+        match self {
+            RemoteEndpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| FrameError::Io(format!("connect {self}: {e}")))?;
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| FrameError::Io(format!("nodelay {self}: {e}")))?;
+                Ok(Box::new(StreamTransport::new(stream, self.to_string())))
+            }
+            #[cfg(unix)]
+            RemoteEndpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| FrameError::Io(format!("connect {self}: {e}")))?;
+                Ok(Box::new(StreamTransport::new(stream, self.to_string())))
+            }
+        }
+    }
+}

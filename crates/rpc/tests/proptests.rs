@@ -1,12 +1,14 @@
-//! Property tests for the RPC envelope wire codec: every request/response
-//! the provider boundary can carry must round-trip bit-exactly, and
-//! mutations of the framing must never decode into a different envelope.
+//! Property tests for the RPC envelope wire codec and the daemon frame
+//! protocol built over it: every request/response/frame the provider
+//! boundary can carry must round-trip bit-exactly, and mutations of the
+//! framing must decode to *typed* errors, never into a different value.
 
 use ofl_eth::block::{Receipt, TxStatus};
 use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
 use ofl_eth::evm::LogEntry;
 use ofl_netsim::clock::SimDuration;
-use ofl_rpc::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+use ofl_rpc::frame::{Frame, FrameError, MAX_FRAME_BYTES};
+use ofl_rpc::{CodecError, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 use ofl_w3_test_support::{h160_of, h256_of};
 use proptest::prelude::*;
 
@@ -161,6 +163,7 @@ fn arb_rpc_error() -> impl Strategy<Value = RpcError> {
         "[a-z ]{0,40}".prop_map(RpcError::Rejected),
         Just(RpcError::RateLimited),
         Just(RpcError::UnexpectedResponse),
+        "[a-z ]{0,40}".prop_map(RpcError::Transport),
     ]
 }
 
@@ -171,7 +174,7 @@ proptest! {
     fn request_wire_roundtrip(id in any::<u64>(), method in arb_method()) {
         let request = RpcRequest { id, method };
         let decoded = RpcRequest::decode(&request.encode());
-        prop_assert_eq!(decoded, Some(request));
+        prop_assert_eq!(decoded, Ok(request));
     }
 
     #[test]
@@ -189,7 +192,7 @@ proptest! {
             cost: SimDuration::from_micros(cost_us),
         };
         let decoded = RpcResponse::decode(&response.encode());
-        prop_assert_eq!(decoded, Some(response));
+        prop_assert_eq!(decoded, Ok(response));
     }
 
     #[test]
@@ -199,12 +202,18 @@ proptest! {
         extra in 1usize..16,
     ) {
         let raw = RpcRequest { id, method }.encode();
-        // Truncated framing never decodes.
-        prop_assert_eq!(RpcRequest::decode(&raw[..raw.len() - 1]), None);
+        // Truncated framing never decodes — and the failure is typed.
+        prop_assert!(matches!(
+            RpcRequest::decode(&raw[..raw.len() - 1]),
+            Err(CodecError::Truncated { .. } | CodecError::LengthOverflow { .. })
+        ));
         // Trailing garbage never decodes (the envelope is exact).
         let mut padded = raw.clone();
         padded.extend(std::iter::repeat_n(0u8, extra));
-        prop_assert_eq!(RpcRequest::decode(&padded), None);
+        prop_assert!(matches!(
+            RpcRequest::decode(&padded),
+            Err(CodecError::TrailingBytes { .. })
+        ));
     }
 
     #[test]
@@ -213,7 +222,7 @@ proptest! {
         result in arb_result(),
     ) {
         let raw = RpcResponse { id, result: Ok(result), cost: SimDuration::ZERO }.encode();
-        prop_assert_eq!(RpcResponse::decode(&raw[..raw.len() - 1]), None);
+        prop_assert!(RpcResponse::decode(&raw[..raw.len() - 1]).is_err());
     }
 
     #[test]
@@ -223,5 +232,88 @@ proptest! {
         let a = method.payload_bytes();
         let b = method.clone().payload_bytes();
         prop_assert_eq!(a, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame protocol: the transport framing the rpcd daemon speaks.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn single_request_frames_roundtrip(id in any::<u64>(), method in arb_method()) {
+        let frame = Frame::Execute(RpcRequest { id, method });
+        let wire = frame.encode();
+        let (decoded, consumed) = Frame::decode(&wire).expect("frame decodes");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip(
+        methods in proptest::collection::vec(arb_method(), 0..12),
+    ) {
+        // A whole batch is ONE frame; it must scatter back intact and in
+        // order, however many envelopes ride inside.
+        let requests: Vec<RpcRequest> = methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, method)| RpcRequest::new(i as u64, method))
+            .collect();
+        let frame = Frame::Batch(requests);
+        let (decoded, _) = Frame::decode(&frame.encode()).expect("batch decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn batch_response_frames_roundtrip(
+        results in proptest::collection::vec(
+            prop_oneof![arb_result().prop_map(Ok), arb_rpc_error().prop_map(Err)],
+            0..8,
+        ),
+    ) {
+        let responses: Vec<RpcResponse> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| RpcResponse {
+                id: i as u64,
+                result,
+                cost: SimDuration::from_micros(i as u64 * 17),
+            })
+            .collect();
+        let frame = Frame::BatchResponse(responses);
+        let (decoded, _) = Frame::decode(&frame.encode()).expect("batch response decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(id in any::<u64>(), method in arb_method(), cut in 1usize..9) {
+        let wire = Frame::Execute(RpcRequest { id, method }).encode();
+        let cut = cut.min(wire.len() - 1);
+        // Any strict prefix fails: either the header is incomplete or the
+        // length prefix promises more payload than remains.
+        prop_assert!(Frame::decode(&wire[..wire.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_are_typed_rejections(
+        declared in (MAX_FRAME_BYTES + 1)..u32::MAX,
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // An over-cap length prefix is refused before any allocation.
+        let mut wire = Frame::Shutdown.encode();
+        wire[4..8].copy_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(Frame::decode(&wire), Err(FrameError::TooLarge { declared }));
+
+        // A correctly-framed garbage payload decodes to a typed codec
+        // error (the daemon answers these in-band), never a panic.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&ofl_rpc::frame::FRAME_MAGIC.to_le_bytes());
+        framed.extend_from_slice(&ofl_rpc::PROTOCOL_VERSION.to_le_bytes());
+        framed.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&garbage);
+        if let Err(e) = Frame::decode(&framed) {
+            prop_assert!(matches!(e, FrameError::Codec(_)));
+        }
+        // (An Ok is possible only when the bytes happen to spell a valid
+        // frame — which is exactly what the roundtrip tests cover.)
     }
 }

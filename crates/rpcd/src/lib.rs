@@ -1,0 +1,488 @@
+//! # ofl-rpcd
+//!
+//! The out-of-process node daemon: a dispatch loop that serves any
+//! [`NodeProvider`] stack over the `ofl-rpc` frame protocol, one frame in →
+//! one frame out, until the client says [`Frame::Shutdown`] or hangs up.
+//!
+//! Three transports share the same dispatch code:
+//!
+//! - **TCP** ([`serve_listener`]) and **Unix sockets**
+//!   ([`serve_unix_listener`]) — real sockets, one thread per connection:
+//!   what the `rpcd` binary runs.
+//! - **In-memory pipe** ([`PipeTransport`]) — client and server in one
+//!   process with zero threads: each `send` encodes the frame to wire
+//!   bytes, decodes it server-side, dispatches, and queues the encoded
+//!   reply. Deterministic, and it still exercises the full codec in both
+//!   directions.
+//!
+//! ## Provisioning
+//!
+//! A connection starts **unprovisioned**: the first frame is normally
+//! [`Frame::Provision`], which builds this connection's backend — a fresh
+//! simulated node (chain + swarm) with the requested genesis. Each
+//! connection owns its backend, so one daemon can serve many independent
+//! worlds at once. A daemon can also be started around a pre-built
+//! provider stack ([`Connection::with_backend`]) when the operator wants
+//! decorators to run server-side.
+//!
+//! ## Error handling
+//!
+//! Malformed payloads and version mismatches are answered **in-band** with
+//! a typed [`Frame::Error`] — the connection survives. Only unframeable
+//! input (bad magic, an over-cap length prefix, raw I/O failure) ends the
+//! connection, because the byte stream itself is no longer trustworthy.
+
+use ofl_eth::chain::Chain;
+use ofl_ipfs::swarm::Swarm;
+use ofl_rpc::frame::{Frame, FrameError, ProtocolError};
+use ofl_rpc::transport::FrameTransport;
+use ofl_rpc::{EthApi, IpfsApi, NodeProvider, SimProvider};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+
+/// One client's server-side state: the backend it provisioned (or was
+/// handed) and the dispatch logic.
+#[derive(Default)]
+pub struct Connection {
+    provider: Option<Box<dyn NodeProvider>>,
+    /// Frames dispatched so far (diagnostics).
+    pub frames_served: u64,
+}
+
+impl Connection {
+    /// A connection that waits for [`Frame::Provision`].
+    pub fn new() -> Connection {
+        Connection::default()
+    }
+
+    /// A connection serving a pre-built provider stack (sim + any
+    /// decorators the operator mounted). [`Frame::Provision`] is refused.
+    pub fn with_backend(provider: Box<dyn NodeProvider>) -> Connection {
+        Connection {
+            provider: Some(provider),
+            frames_served: 0,
+        }
+    }
+
+    /// Dispatches one frame, returning the reply and whether the client
+    /// asked to close the connection.
+    pub fn handle(&mut self, frame: Frame) -> (Frame, bool) {
+        self.frames_served += 1;
+        let reply = match frame {
+            Frame::Provision { chain, genesis } => {
+                if self.provider.is_some() {
+                    Frame::Error(ProtocolError::AlreadyProvisioned)
+                } else {
+                    // The provisioned backend is a *bare* simulated node:
+                    // costs come back zero and the client's own decorator
+                    // stack prices, faults, and meters — exactly like an
+                    // in-process SimProvider.
+                    self.provider = Some(Box::new(SimProvider::new(
+                        Chain::new(chain, &genesis),
+                        Swarm::new(),
+                    )));
+                    Frame::Provisioned
+                }
+            }
+            Frame::Execute(request) => match self.provider_mut() {
+                Ok(provider) => Frame::Response(provider.execute(&request)),
+                Err(error) => Frame::Error(error),
+            },
+            Frame::Batch(requests) => match self.provider_mut() {
+                Ok(provider) => Frame::BatchResponse(provider.batch(&requests)),
+                Err(error) => Frame::Error(error),
+            },
+            Frame::IpfsAdd { node, data } => match self.ipfs_node(node) {
+                Ok(provider) => {
+                    let billed = provider.add(node as usize, &data);
+                    Frame::IpfsAdded {
+                        cost: billed.cost,
+                        result: billed.value,
+                    }
+                }
+                Err(error) => Frame::Error(error),
+            },
+            Frame::IpfsCat { node, cid } => match self.ipfs_node(node) {
+                Ok(provider) => {
+                    let billed = provider.cat(node as usize, &cid);
+                    Frame::IpfsCatted {
+                        cost: billed.cost,
+                        result: billed.value,
+                    }
+                }
+                Err(error) => Frame::Error(error),
+            },
+            Frame::IpfsPin { node, cid } => match self.ipfs_node(node) {
+                Ok(provider) => {
+                    let billed = provider.pin(node as usize, &cid);
+                    Frame::IpfsPinned {
+                        cost: billed.cost,
+                        result: billed.value,
+                    }
+                }
+                Err(error) => Frame::Error(error),
+            },
+            Frame::Backstage(op) => match self.provider_mut() {
+                Ok(provider) => Frame::BackstageReply(provider.backstage(&op)),
+                Err(error) => Frame::Error(error),
+            },
+            Frame::Shutdown => return (Frame::Goodbye, true),
+            // A server never receives server→client frames.
+            other => Frame::Error(ProtocolError::Unsupported(format!(
+                "client sent a server-side frame: {other:?}"
+            ))),
+        };
+        (reply, false)
+    }
+
+    fn provider_mut(&mut self) -> Result<&mut Box<dyn NodeProvider>, ProtocolError> {
+        self.provider.as_mut().ok_or(ProtocolError::Unprovisioned)
+    }
+
+    /// Like [`Connection::provider_mut`], additionally bounds-checking the
+    /// IPFS node index so a buggy client cannot crash the daemon thread.
+    fn ipfs_node(&mut self, node: u64) -> Result<&mut Box<dyn NodeProvider>, ProtocolError> {
+        let provider = self.provider_mut()?;
+        let nodes = provider.swarm().len() as u64;
+        if node >= nodes {
+            return Err(ProtocolError::Unsupported(format!(
+                "ipfs node {node} out of range (swarm has {nodes})"
+            )));
+        }
+        Ok(provider)
+    }
+}
+
+/// Serves one connection's dispatch loop over a blocking byte stream until
+/// the client shuts down, hangs up, or the stream desyncs. Returns how many
+/// frames were served.
+pub fn serve_stream<S: Read + Write>(
+    mut stream: S,
+    mut conn: Connection,
+) -> Result<u64, FrameError> {
+    loop {
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(frame) => frame,
+            // A clean hangup between frames is a normal end of session.
+            Err(FrameError::Io(_)) if conn.frames_served > 0 => return Ok(conn.frames_served),
+            // Typed payload failures are answered in-band; the stream is
+            // still frame-synced.
+            Err(FrameError::Codec(e)) => {
+                Frame::Error(ProtocolError::Malformed(e.to_string())).write_to(&mut stream)?;
+                continue;
+            }
+            Err(FrameError::Version { got }) => {
+                Frame::Error(ProtocolError::Unsupported(format!(
+                    "protocol v{got} (this daemon speaks v{})",
+                    ofl_rpc::PROTOCOL_VERSION
+                )))
+                .write_to(&mut stream)?;
+                continue;
+            }
+            // Bad magic / oversized / hard I/O: the stream is lost.
+            Err(e) => return Err(e),
+        };
+        let (reply, done) = conn.handle(frame);
+        reply.write_to(&mut stream)?;
+        if done {
+            return Ok(conn.frames_served);
+        }
+    }
+}
+
+/// The accept loop both listener flavors share: up to `max_connections`
+/// accepted streams (forever when `None`), each served on its own thread
+/// with a fresh provisionable [`Connection`]. Returns once the accept
+/// budget is spent **and** every served connection has ended.
+fn serve_incoming<S>(
+    incoming: impl Iterator<Item = std::io::Result<S>>,
+    max_connections: Option<usize>,
+) where
+    S: Read + Write + Send + 'static,
+{
+    let mut workers = Vec::new();
+    let mut accepted = 0usize;
+    for stream in incoming {
+        let Ok(stream) = stream else { continue };
+        workers.push(std::thread::spawn(move || {
+            let _ = serve_stream(stream, Connection::new());
+        }));
+        accepted += 1;
+        if max_connections.is_some_and(|max| accepted >= max) {
+            break;
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Accepts up to `max_connections` TCP connections (forever when `None`),
+/// serving each on its own thread with a fresh provisionable
+/// [`Connection`].
+pub fn serve_listener(listener: TcpListener, max_connections: Option<usize>) {
+    serve_incoming(
+        listener.incoming().map(|stream| {
+            stream.inspect(|s| {
+                let _ = s.set_nodelay(true);
+            })
+        }),
+        max_connections,
+    )
+}
+
+/// [`serve_listener`] over a Unix domain socket.
+#[cfg(unix)]
+pub fn serve_unix_listener(listener: UnixListener, max_connections: Option<usize>) {
+    serve_incoming(listener.incoming(), max_connections)
+}
+
+/// Client and daemon in one process, zero threads, full codec fidelity:
+/// every `send` encodes the frame to wire bytes, re-decodes it
+/// server-side, dispatches on the embedded [`Connection`], and queues the
+/// **encoded** reply for `recv` to decode — so both directions of the wire
+/// format are exercised on every call, deterministically.
+pub struct PipeTransport {
+    conn: Connection,
+    replies: VecDeque<Vec<u8>>,
+}
+
+impl PipeTransport {
+    /// A pipe to a fresh provisionable server connection.
+    pub fn new() -> PipeTransport {
+        PipeTransport::over(Connection::new())
+    }
+
+    /// A pipe to a server connection with a pre-mounted backend.
+    pub fn over(conn: Connection) -> PipeTransport {
+        PipeTransport {
+            conn,
+            replies: VecDeque::new(),
+        }
+    }
+}
+
+impl Default for PipeTransport {
+    fn default() -> Self {
+        PipeTransport::new()
+    }
+}
+
+impl FrameTransport for PipeTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        let (decoded, _) = Frame::decode(&frame.encode())?;
+        let (reply, _done) = self.conn.handle(decoded);
+        self.replies.push_back(reply.encode());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, FrameError> {
+        let wire = self
+            .replies
+            .pop_front()
+            .ok_or_else(|| FrameError::Io("pipe: recv with no pending reply".into()))?;
+        Frame::decode(&wire).map(|(frame, _)| frame)
+    }
+
+    fn peer(&self) -> String {
+        "pipe://in-memory".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofl_eth::chain::ChainConfig;
+    use ofl_eth::wallet::Wallet;
+    use ofl_primitives::u256::U256;
+    use ofl_primitives::wei_per_eth;
+    use ofl_rpc::{BackstageOp, RpcMethod, RpcRequest, RpcResult, SocketProvider};
+
+    fn provisioned_socket(n_accounts: usize) -> (SocketProvider, Wallet) {
+        let wallet = Wallet::from_seed("rpcd-test", n_accounts);
+        let genesis: Vec<_> = wallet
+            .addresses()
+            .iter()
+            .map(|a| (*a, wei_per_eth()))
+            .collect();
+        let mut socket = SocketProvider::new(Box::new(PipeTransport::new()));
+        socket
+            .provision(ChainConfig::default(), genesis)
+            .expect("pipe provisions");
+        (socket, wallet)
+    }
+
+    #[test]
+    fn provision_execute_and_backstage_over_the_pipe() {
+        let (mut socket, wallet) = provisioned_socket(2);
+        let [a, b] = [wallet.addresses()[0], wallet.addresses()[1]];
+        assert_eq!(socket.get_balance(&a).value.unwrap(), wei_per_eth());
+
+        // Submit a transfer through the wire, mine backstage, poll it back.
+        let env_chain_id = socket.chain_id().value.unwrap();
+        assert_eq!(env_chain_id, ChainConfig::default().chain_id);
+        let nonce = socket.get_transaction_count(&a).value.unwrap();
+        assert_eq!(nonce, 0);
+        let config = socket.backstage(&BackstageOp::Config).into_config();
+        let raw = {
+            // Sign locally against the fetched environment (no local chain).
+            use ofl_eth::tx::{sign_tx, TxRequest};
+            let key = wallet.account(&a).unwrap().private_key;
+            sign_tx(
+                TxRequest {
+                    chain_id: config.chain_id,
+                    nonce,
+                    max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+                    max_fee_per_gas: U256::from(40_000_000_000u64),
+                    gas_limit: 21_000,
+                    to: Some(b),
+                    value: U256::from(5u64),
+                    data: Vec::new(),
+                },
+                &key,
+            )
+            .unwrap()
+            .encode()
+        };
+        let hash = socket.send_raw_transaction(&raw).value.unwrap();
+        assert_eq!(
+            socket.get_transaction_receipt(hash).value.unwrap(),
+            None,
+            "unmined"
+        );
+        let block = socket
+            .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+            .into_block();
+        assert_eq!(block.tx_hashes, vec![hash]);
+        let receipt = socket
+            .get_transaction_receipt(hash)
+            .value
+            .unwrap()
+            .expect("mined");
+        assert!(receipt.is_success());
+        assert_eq!(socket.backstage(&BackstageOp::Height).into_u64(), 1);
+    }
+
+    #[test]
+    fn batches_travel_as_one_frame_and_scatter_in_order() {
+        let (mut socket, wallet) = provisioned_socket(1);
+        let a = wallet.addresses()[0];
+        let responses = socket.batch(&[
+            RpcRequest::new(7, RpcMethod::BlockNumber),
+            RpcRequest::new(8, RpcMethod::GetBalance { address: a }),
+            RpcRequest::new(9, RpcMethod::ChainId),
+        ]);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].id, 7);
+        assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(0))));
+        assert!(matches!(&responses[1].result, Ok(RpcResult::Balance(b)) if *b == wei_per_eth()));
+        assert!(matches!(responses[2].result, Ok(RpcResult::ChainId(_))));
+    }
+
+    #[test]
+    fn ipfs_round_trips_with_spawned_nodes() {
+        let (mut socket, _) = provisioned_socket(1);
+        let n0 = socket
+            .backstage(&BackstageOp::SpawnIpfsNode { label: "a".into() })
+            .into_u64() as usize;
+        let n1 = socket
+            .backstage(&BackstageOp::SpawnIpfsNode { label: "b".into() })
+            .into_u64() as usize;
+        let added = socket.add(n0, b"model bytes").value;
+        let (bytes, stats) = socket.cat(n1, &added.root).value.unwrap();
+        assert_eq!(bytes, b"model bytes");
+        assert!(stats.blocks_fetched >= 1);
+        assert!(socket.pin(n1, &added.root).value.is_ok());
+        assert!(socket
+            .backstage(&BackstageOp::SwarmHas {
+                cid: added.root.clone()
+            })
+            .into_flag());
+        socket.backstage(&BackstageOp::DropIpfsBlock {
+            node: n0 as u64,
+            cid: added.root.clone(),
+        });
+        // Node 1 pinned it, so the swarm still serves the content.
+        assert!(socket
+            .backstage(&BackstageOp::SwarmHas { cid: added.root })
+            .into_flag());
+    }
+
+    #[test]
+    fn protocol_errors_keep_the_connection_alive() {
+        let mut conn = Connection::new();
+        // Request before provisioning → typed error, connection lives.
+        let (reply, done) = conn.handle(Frame::Execute(RpcRequest::new(0, RpcMethod::BlockNumber)));
+        assert_eq!(reply, Frame::Error(ProtocolError::Unprovisioned));
+        assert!(!done);
+        // Provision, then provision again → typed error again.
+        let (reply, _) = conn.handle(Frame::Provision {
+            chain: ChainConfig::default(),
+            genesis: vec![],
+        });
+        assert_eq!(reply, Frame::Provisioned);
+        let (reply, _) = conn.handle(Frame::Provision {
+            chain: ChainConfig::default(),
+            genesis: vec![],
+        });
+        assert_eq!(reply, Frame::Error(ProtocolError::AlreadyProvisioned));
+        // Out-of-range IPFS node → typed error, not a panic.
+        let (reply, _) = conn.handle(Frame::IpfsAdd {
+            node: 3,
+            data: vec![1],
+        });
+        assert!(matches!(reply, Frame::Error(ProtocolError::Unsupported(_))));
+        // Shutdown is graceful.
+        let (reply, done) = conn.handle(Frame::Shutdown);
+        assert_eq!(reply, Frame::Goodbye);
+        assert!(done);
+    }
+
+    #[test]
+    fn real_tcp_socket_serves_a_provisioned_chain() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_listener(listener, Some(1)));
+
+        let endpoint = ofl_rpc::RemoteEndpoint::Tcp(addr.to_string());
+        let wallet = Wallet::from_seed("rpcd-tcp", 1);
+        let a = wallet.addresses()[0];
+        let mut socket = SocketProvider::new(endpoint.connect().expect("connect"));
+        socket
+            .provision(ChainConfig::default(), vec![(a, wei_per_eth())])
+            .expect("provisions over tcp");
+        assert_eq!(socket.get_balance(&a).value.unwrap(), wei_per_eth());
+        socket
+            .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+            .into_block();
+        assert_eq!(socket.block_number().value.unwrap(), 1);
+        socket.shutdown();
+        server.join().expect("server thread exits cleanly");
+    }
+
+    #[test]
+    fn malformed_payloads_get_error_frames_over_a_real_stream() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_listener(listener, Some(1)));
+
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        // A valid header framing a garbage payload.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&ofl_rpc::frame::FRAME_MAGIC.to_le_bytes());
+        wire.extend_from_slice(&ofl_rpc::PROTOCOL_VERSION.to_le_bytes());
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[0xEE, 0xFF]);
+        stream.write_all(&wire).unwrap();
+        let reply = Frame::read_from(&mut stream).expect("server answered in-band");
+        assert!(matches!(reply, Frame::Error(ProtocolError::Malformed(_))));
+        // The connection survived: a well-formed shutdown still works.
+        Frame::Shutdown.write_to(&mut stream).unwrap();
+        assert_eq!(Frame::read_from(&mut stream).unwrap(), Frame::Goodbye);
+        server.join().expect("server thread exits");
+    }
+}

@@ -12,7 +12,10 @@
 //! - [`ofl_incentive`] — Leave-one-out / Shapley payment mechanisms
 //! - [`ofl_netsim`] — simulated clock, links, and Flask-like services
 //! - [`ofl_rpc`] — the node-API boundary: provider traits, typed RPC
-//!   envelopes with batching, contract bindings, and provider decorators
+//!   envelopes with batching, contract bindings, provider decorators, and
+//!   the frame protocol + socket client for out-of-process backends
+//! - [`ofl_rpcd`] — the node daemon serving that protocol over TCP/Unix
+//!   sockets (plus the in-memory pipe transport tests mount)
 //! - [`ofl_core`] — the OFL-W3 marketplace: buyers, owners, the 7-step workflow
 
 pub use ofl_core as core;
@@ -24,4 +27,5 @@ pub use ofl_ipfs as ipfs;
 pub use ofl_netsim as netsim;
 pub use ofl_primitives as primitives;
 pub use ofl_rpc as rpc;
+pub use ofl_rpcd as rpcd;
 pub use ofl_tensor as tensor;

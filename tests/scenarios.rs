@@ -484,3 +484,172 @@ fn same_seed_yields_identical_session_reports() {
     assert_eq!(a.buyer_breakdown, b.buyer_breakdown);
     assert_eq!(a.owner_breakdowns, b.owner_breakdowns);
 }
+
+// ----------------------------------------------------------------------
+// Out-of-process backend: the same scenarios served by an rpcd daemon.
+// ----------------------------------------------------------------------
+
+mod remote_backend {
+    use super::*;
+    use ofl_w3::core::engine::EngineReport;
+    use ofl_w3::core::world::{ShardConfig, ShardSpec, DEFAULT_TX_WIRE_BYTES};
+    use ofl_w3::netsim::link::NetworkProfile;
+    use ofl_w3::rpc::{provision_socket_provider, RemoteEndpoint};
+    use ofl_w3::rpcd::PipeTransport;
+
+    /// Mounts one shard through the deterministic in-memory pipe: a real
+    /// `rpcd` server connection, the full frame codec in both directions,
+    /// zero threads.
+    fn pipe_mounted(config: ShardConfig, profile: NetworkProfile) -> ShardSpec {
+        ShardSpec::Mounted(
+            provision_socket_provider(
+                Box::new(PipeTransport::new()),
+                config.chain.clone(),
+                config.genesis.clone(),
+                profile,
+                DEFAULT_TX_WIRE_BYTES,
+                config.knobs(),
+            )
+            .expect("pipe provisions"),
+        )
+    }
+
+    /// Field-by-field equality of two engine runs — session reports,
+    /// engine-level facts, and the RPC metering, i.e. "bit-identical" at
+    /// the level the scenario layer can observe.
+    fn assert_reports_identical(a: &EngineReport, b: &EngineReport) {
+        assert_eq!(a.total_sim_seconds, b.total_sim_seconds);
+        assert_eq!(a.cid_txs_per_block, b.cid_txs_per_block);
+        assert_eq!(a.rpc, b.rpc);
+        assert_eq!(a.rpc_per_endpoint, b.rpc_per_endpoint);
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (ra, rb) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(ra.cids, rb.cids);
+            assert_eq!(ra.local_accuracies, rb.local_accuracies);
+            assert_eq!(ra.aggregated_accuracy, rb.aggregated_accuracy);
+            assert_eq!(ra.loo_drop_accuracies, rb.loo_drop_accuracies);
+            assert_eq!(ra.total_sim_seconds, rb.total_sim_seconds);
+            assert_eq!(ra.rpc, rb.rpc);
+            assert_eq!(ra.buyer_breakdown, rb.buyer_breakdown);
+            assert_eq!(ra.owner_breakdowns, rb.owner_breakdowns);
+            assert_eq!(ra.payments.len(), rb.payments.len());
+            for (pa, pb) in ra.payments.iter().zip(&rb.payments) {
+                assert_eq!(pa.address, pb.address);
+                assert_eq!(pa.amount_wei, pb.amount_wei);
+                assert_eq!(pa.receipt, pb.receipt);
+            }
+            assert_eq!(ra.gas.len(), rb.gas.len());
+            for (ga, gb) in ra.gas.iter().zip(&rb.gas) {
+                assert_eq!(
+                    (&ga.label, ga.gas_used, ga.fee_wei),
+                    (&gb.label, gb.gas_used, gb.fee_wei)
+                );
+            }
+        }
+        for (da, db) in a.details.iter().zip(&b.details) {
+            assert_eq!(da.cids_onchain, db.cids_onchain);
+            assert_eq!(da.cids_retrieved, db.cids_retrieved);
+            assert_eq!(da.reverted_tx_count, db.reverted_tx_count);
+        }
+    }
+
+    fn fleet_base(owners: usize, seed: u64) -> MarketConfig {
+        MarketConfig {
+            n_owners: owners,
+            n_train: 100 * owners,
+            n_test: 60,
+            partition: PartitionScheme::Iid,
+            seed,
+            train: ofl_w3::fl::client::TrainConfig {
+                dims: vec![784, 8, 10],
+                epochs: 1,
+                ..ofl_w3::fl::client::TrainConfig::default()
+            },
+            ..MarketConfig::small_test()
+        }
+    }
+
+    /// CI smoke: a 2-market, 2-shard scenario with one shard served by an
+    /// in-memory-piped rpcd connection runs the engine *unchanged* and
+    /// reproduces the all-in-process run bit-identically.
+    #[test]
+    fn pipe_backed_shard_reproduces_in_process_run() {
+        let configs = || MultiMarket::replica_configs(&fleet_base(3, 91), 2, 2);
+        let profile = fleet_base(3, 91).profile;
+
+        let (_, local) = MultiMarket::with_shards(configs(), 2)
+            .run(&EngineConfig::default(), &[])
+            .expect("in-process run");
+
+        let mut shard_index = 0usize;
+        let (_, piped) = MultiMarket::with_shards_via(configs(), 2, |config| {
+            let spec = if shard_index == 1 {
+                pipe_mounted(config, profile)
+            } else {
+                ShardSpec::Local(config)
+            };
+            shard_index += 1;
+            spec
+        })
+        .run(&EngineConfig::default(), &[])
+        .expect("pipe-backed run");
+
+        assert_reports_identical(&local, &piped);
+        // Both shards actually carried traffic.
+        assert!(piped.rpc_per_endpoint[1].total_calls() > 0);
+    }
+
+    /// The headline acceptance criterion: a 32-owner multi-market scenario
+    /// (4 markets × 8 owners round-robined over 2 shards) run against a
+    /// `ProviderPool` whose shard 1 is a `ShardSpec::Remote` endpoint — a
+    /// real TCP socket to an rpcd server — produces `SessionReport`s
+    /// bit-identical to the all-in-process run under the same seed.
+    #[test]
+    fn remote_socket_shard_runs_32_owner_fleet_bit_identically() {
+        let base = fleet_base(8, 47);
+        let configs = || MultiMarket::replica_configs(&base, 4, 2);
+
+        // All in-process first: the reference run.
+        let (_, local) = MultiMarket::with_shards(configs(), 2)
+            .run(&EngineConfig::default(), &[])
+            .expect("in-process 32-owner fleet");
+        let owners: usize = local.sessions.iter().map(|s| s.payments.len()).sum();
+        assert_eq!(owners, 32);
+
+        // A real rpcd server on an ephemeral TCP port, one connection.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || ofl_w3::rpcd::serve_listener(listener, Some(1)));
+
+        let mut shard_index = 0usize;
+        let (mm, remote) = MultiMarket::with_shards_via(configs(), 2, |config| {
+            let spec = if shard_index == 1 {
+                ShardSpec::Remote {
+                    endpoint: RemoteEndpoint::Tcp(addr.clone()),
+                    config,
+                }
+            } else {
+                ShardSpec::Local(config)
+            };
+            shard_index += 1;
+            spec
+        })
+        .run(&EngineConfig::default(), &[])
+        .expect("remote-backed 32-owner fleet");
+
+        assert_reports_identical(&local, &remote);
+        // The remote shard really served its two markets' traffic: CID
+        // transactions landed on both shards, and endpoint 1's metering —
+        // client-side, over the socket — matches the in-process run's.
+        assert_eq!(
+            remote.shards_with_cid_txs(),
+            vec![EndpointId(0), EndpointId(1)]
+        );
+        assert!(remote.rpc_per_endpoint[1].total_calls() > 0);
+        assert_eq!(remote.rpc_per_endpoint[1], local.rpc_per_endpoint[1]);
+
+        // Dropping the world closes the socket; the server thread drains.
+        drop(mm);
+        server.join().expect("rpcd server thread exits");
+    }
+}
