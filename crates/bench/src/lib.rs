@@ -28,6 +28,17 @@ pub fn write_record<T: Serialize>(name: &str, record: &T) {
     println!("\n[record written to {}]", path.display());
 }
 
+/// Writes the durable perf-trajectory record `BENCH_<name>.json` at the
+/// repository root, where CI uploads it as an artifact — one file per
+/// bench, overwritten per run, so the repo carries a machine-readable
+/// performance trajectory instead of anecdotes.
+pub fn write_bench<T: Serialize>(name: &str, record: &T) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{name}.json"));
+    let json = serde_json::to_string_pretty(record).expect("serializable bench record");
+    std::fs::write(&path, json).expect("write bench record");
+    println!("[bench record written to {}]", path.display());
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     let bar = "=".repeat(title.len().max(8));

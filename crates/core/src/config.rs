@@ -31,6 +31,21 @@ pub enum PartitionScheme {
     },
 }
 
+/// How the buyer finalizes a session: which aggregator runs and how the
+/// budget is split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinalizePolicy {
+    /// The paper's pipeline: PFNM matched averaging plus leave-one-out
+    /// Shapley-style payments. LOO is O(n²) aggregations, so this is for
+    /// paper-scale federations (tens of owners).
+    #[default]
+    PfnmLoo,
+    /// Fleet-scale pipeline: FedAvg aggregation with payments proportional
+    /// to contributed data. Linear in owners, so thousand-owner fleets
+    /// finalize in bounded time; accuracy bookkeeping is unchanged.
+    FedAvgProportional,
+}
+
 /// Full configuration of one marketplace session.
 #[derive(Debug, Clone)]
 pub struct MarketConfig {
@@ -75,6 +90,8 @@ pub struct MarketConfig {
     /// calls, transactions, wallet signing reads, IPFS transfers — through
     /// its own endpoint.
     pub placement: EndpointId,
+    /// Aggregation + payment pipeline run at finalize time.
+    pub finalize: FinalizePolicy,
 }
 
 impl Default for MarketConfig {
@@ -99,6 +116,7 @@ impl Default for MarketConfig {
             rpc_rate_limit: None,
             rpc_stale: None,
             placement: EndpointId(0),
+            finalize: FinalizePolicy::default(),
         }
     }
 }
@@ -116,6 +134,27 @@ impl MarketConfig {
                 epochs: 3,
                 ..TrainConfig::default()
             },
+            ..MarketConfig::default()
+        }
+    }
+
+    /// One load-harness market cell: `n_owners` owners with tiny silos, a
+    /// 2-neuron hidden layer, one epoch, and the linear-time
+    /// [`FinalizePolicy::FedAvgProportional`] pipeline — sized so a
+    /// `MultiMarket` fleet of thousands of owners pushes its wire and
+    /// engine load, not the trainer.
+    pub fn fleet(n_owners: usize) -> MarketConfig {
+        MarketConfig {
+            n_owners,
+            n_train: (n_owners * 4).max(64),
+            n_test: 32,
+            partition: PartitionScheme::Iid,
+            train: TrainConfig {
+                dims: vec![784, 2, 10],
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+            finalize: FinalizePolicy::FedAvgProportional,
             ..MarketConfig::default()
         }
     }

@@ -38,7 +38,7 @@ pub mod market;
 pub mod scenario;
 pub mod world;
 
-pub use config::{MarketConfig, PartitionScheme};
+pub use config::{FinalizePolicy, MarketConfig, PartitionScheme};
 pub use engine::{Arrivals, EngineConfig, EngineReport, MultiMarket};
 pub use market::{MarketSession, Marketplace, SessionBlueprint, SessionReport};
 pub use ofl_rpc::EndpointId;

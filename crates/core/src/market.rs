@@ -23,13 +23,14 @@
 //!   the same primitives from a discrete-event queue, so owners act
 //!   concurrently and their transactions share blocks.
 
-use crate::config::{MarketConfig, PartitionScheme};
+use crate::config::{FinalizePolicy, MarketConfig, PartitionScheme};
 use crate::world::{ShardConfig, ShardSpec, World, WorldError};
 use ofl_data::dataset::Dataset;
 use ofl_data::{mnist, partition};
 use ofl_eth::block::Receipt;
 use ofl_eth::tx::{sign_tx, SignedTx, TxRequest};
 use ofl_eth::wallet::{TxEnv, Wallet};
+use ofl_fl::baselines::{average_weights, AggregateError};
 use ofl_fl::client::TrainedModel;
 use ofl_fl::pfnm::{self, PfnmConfig};
 use ofl_incentive::{allocate_payments, loo_scores};
@@ -385,17 +386,36 @@ impl SessionBlueprint {
             .collect();
 
         // The buyer's backend server (Flask role): /aggregate and /loo.
+        // Route processing times follow the finalize policy: PFNM+LOO is
+        // quadratic in owners, FedAvg+proportional stays linear so fleet
+        // cells price realistically at thousands of owners.
         let mut backend = Service::new(format!("{label}buyer-backend"));
-        let agg_time = aggregation_time(
-            &config.buyer_compute,
-            config.n_owners,
-            *config.train.dims.get(1).unwrap_or(&100),
-            config.n_test,
-        );
+        let agg_time = match config.finalize {
+            FinalizePolicy::PfnmLoo => aggregation_time(
+                &config.buyer_compute,
+                config.n_owners,
+                *config.train.dims.get(1).unwrap_or(&100),
+                config.n_test,
+            ),
+            FinalizePolicy::FedAvgProportional => fedavg_time(
+                &config.buyer_compute,
+                config.n_owners,
+                &config.train.dims,
+                config.n_test,
+            ),
+        };
         backend.route("/aggregate", move |_req| {
             Response::ok(b"aggregated".to_vec()).with_processing(agg_time)
         });
-        let loo_time = SimDuration::from_secs_f64(agg_time.as_secs_f64() * config.n_owners as f64);
+        let loo_time = match config.finalize {
+            FinalizePolicy::PfnmLoo => {
+                SimDuration::from_secs_f64(agg_time.as_secs_f64() * config.n_owners as f64)
+            }
+            // Splitting the budget by data weight is one linear pass.
+            FinalizePolicy::FedAvgProportional => {
+                SimDuration::from_secs_f64(0.01 + config.n_owners as f64 * 1e-6)
+            }
+        };
         backend.route("/loo", move |_req| {
             Response::ok(b"loo-scores".to_vec()).with_processing(loo_time)
         });
@@ -650,13 +670,28 @@ impl MarketSession {
             "/aggregate",
             b"models".to_vec(),
         );
-        let full = aggregate_subset(
-            &models,
-            &weights,
-            &(0..models.len()).collect::<Vec<_>>(),
-            &self.config.pfnm,
-            self.config.seed,
-        )?;
+        let full = match self.config.finalize {
+            FinalizePolicy::PfnmLoo => aggregate_subset(
+                &models,
+                &weights,
+                &(0..models.len()).collect::<Vec<_>>(),
+                &self.config.pfnm,
+                self.config.seed,
+            )?,
+            FinalizePolicy::FedAvgProportional => {
+                let model = average_weights(&models, &weights).map_err(|e| match e {
+                    AggregateError::NoModels => MarketError::Pfnm(pfnm::PfnmError::NoModels),
+                    AggregateError::ShapeMismatch => {
+                        MarketError::Pfnm(pfnm::PfnmError::DimensionMismatch)
+                    }
+                })?;
+                pfnm::PfnmResult {
+                    global_neurons: *self.config.train.dims.get(1).unwrap_or(&0),
+                    assignments: Vec::new(),
+                    model,
+                }
+            }
+        };
         let test = &self.buyer.test;
         let accuracy = full.model.accuracy(&test.images, &test.labels);
         let duration = scratch
@@ -686,6 +721,21 @@ impl MarketSession {
         let scratch = SimClock::new();
         self.backend
             .call(&scratch, &world.profile.lan, "/loo", b"loo".to_vec());
+        if self.config.finalize == FinalizePolicy::FedAvgProportional {
+            // Linear-time pricing: each owner's contribution is the data
+            // weight it brought; no leave-one-out coalitions are rerun.
+            let contributions: Vec<f64> = agg.weights.iter().map(|&w| w as f64).collect();
+            let amounts = allocate_payments(&contributions, &self.config.budget_wei)
+                .expect("non-empty participant set");
+            return (
+                LooPayments {
+                    drop_values: vec![agg.accuracy; agg.weights.len()],
+                    contributions,
+                    amounts,
+                },
+                scratch.now().since(SimInstant(0)),
+            );
+        }
         let pfnm_cfg = self.config.pfnm.clone();
         let seed = self.config.seed;
         let full_accuracy = agg.accuracy;
@@ -1099,6 +1149,21 @@ fn aggregation_time(
     let matching_flops = n_models as f64 * (hidden as f64).powi(2) * 900.0;
     let matching = SimDuration::from_secs_f64(matching_flops / 1e12 + 0.05);
     matching.saturating_add(compute.inference_time(test_examples))
+}
+
+/// Estimated backend time for one FedAvg aggregation: a weighted sum over
+/// every parameter of every model, plus a test-set inference — linear in
+/// clients where PFNM's matching is quadratic-ish, which is what lets a
+/// thousand-owner fleet cell finalize in bounded virtual time.
+fn fedavg_time(
+    compute: &ComputeModel,
+    n_models: usize,
+    dims: &[usize],
+    test_examples: usize,
+) -> SimDuration {
+    let params: f64 = dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as f64).sum();
+    let averaging = SimDuration::from_secs_f64(n_models as f64 * params / 1e12 + 0.01);
+    averaging.saturating_add(compute.inference_time(test_examples))
 }
 
 /// Renders the payment table in the paper's Table 1 format.

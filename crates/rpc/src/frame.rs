@@ -6,7 +6,7 @@
 //! ```text
 //!  ┌───────────┬───────────┬──────────────┬───────────────────────┐
 //!  │ magic u16 │ version   │ length u32   │ payload (tag + body)  │
-//!  │  0x4F57   │  u16 = 1  │ LE, ≤ 64 MiB │ length bytes          │
+//!  │  0x4F57   │  u16 = 2  │ LE, ≤ 64 MiB │ length bytes          │
 //!  └───────────┴───────────┴──────────────┴───────────────────────┘
 //! ```
 //!
@@ -16,6 +16,20 @@
 //! [`Frame::Error`] carrying a [`ProtocolError`] instead of dropping the
 //! connection, and only gives up on I/O failures or an oversized length
 //! prefix (where the stream position itself is lost).
+//!
+//! ## Pipelining and sessions (v2)
+//!
+//! Protocol v2 adds the [`Frame::Request`]/[`Frame::Reply`] envelope: any
+//! client frame can travel wrapped with a correlation `id` and a `session`
+//! number. Replies echo the `id`, so a client may keep **N requests in
+//! flight** on one connection and match answers out of order instead of
+//! running strict send→recv lockstep. The `session` routes the inner frame
+//! to one of several independent backends a single connection can
+//! provision — several shards served concurrently over one socket. Bare
+//! (unwrapped) v1-style frames keep working and address session 0.
+//! [`Frame::Attach`] re-binds to a session that already exists on a
+//! persistent daemon (provisioned by an earlier connection) instead of
+//! provisioning a fresh one.
 
 use crate::backstage::{BackstageOp, BackstageReply};
 use crate::codec::{bounded_vec, check_count, read_flag, read_option, CodecError, Reader, Writer};
@@ -37,7 +51,10 @@ pub const FRAME_MAGIC: u16 = 0x4F57;
 /// The protocol revision this build speaks. A daemon answers frames from a
 /// different revision with a typed [`ProtocolError::Unsupported`] error
 /// frame (the stream stays frame-synced, so the conversation survives).
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added the [`Frame::Request`]/[`Frame::Reply`] pipelining envelope and
+/// the [`Frame::Attach`]/[`Frame::Attached`] session re-binding pair.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload. Large enough for any model upload the
 /// marketplace ships, small enough to reject allocation-bomb length
@@ -118,6 +135,8 @@ pub enum ProtocolError {
     AlreadyProvisioned,
     /// The frame is valid but this daemon cannot serve it.
     Unsupported(String),
+    /// A [`Frame::Attach`] named a session this daemon does not hold.
+    NoSuchSession(u64),
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -131,6 +150,12 @@ impl core::fmt::Display for ProtocolError {
                 write!(f, "connection already has a backend")
             }
             ProtocolError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ProtocolError::NoSuchSession(session) => {
+                write!(
+                    f,
+                    "no session {session} on this daemon (Provision it first)"
+                )
+            }
         }
     }
 }
@@ -176,6 +201,26 @@ pub enum Frame {
     Backstage(BackstageOp),
     /// Client→server: close this connection gracefully.
     Shutdown,
+    /// Client→server: any other client frame, wrapped with a correlation
+    /// `id` (echoed by the matching [`Frame::Reply`]) and a `session`
+    /// number routing it to one of the connection's backends. The envelope
+    /// is flat — a `Request` cannot carry another `Request`.
+    Request {
+        /// Correlation id, echoed by the reply.
+        id: u64,
+        /// Which of the connection's backends serves the inner frame
+        /// (bare frames address session 0).
+        session: u64,
+        /// The wrapped client frame.
+        frame: Box<Frame>,
+    },
+    /// Client→server: bind this connection to an **existing** session on a
+    /// persistent daemon (one provisioned by an earlier connection),
+    /// instead of provisioning a fresh backend.
+    Attach {
+        /// The session to re-bind.
+        session: u64,
+    },
 
     /// Server→client: the backend is up.
     Provisioned,
@@ -210,6 +255,22 @@ pub enum Frame {
     Error(ProtocolError),
     /// Server→client: goodbye (answer to [`Frame::Shutdown`]).
     Goodbye,
+    /// Server→client: the answer to a [`Frame::Request`], echoing its
+    /// correlation `id`. Replies to pipelined requests may arrive in any
+    /// order; the id is what re-associates them.
+    Reply {
+        /// The request's correlation id.
+        id: u64,
+        /// The wrapped server frame.
+        frame: Box<Frame>,
+    },
+    /// Server→client: answer to [`Frame::Attach`] — the session exists and
+    /// is now bound.
+    Attached {
+        /// The attached session's current chain height (a cheap liveness
+        /// check that the client really re-joined existing state).
+        height: u64,
+    },
 }
 
 // ----------------------------------------------------------------------
@@ -543,6 +604,10 @@ fn write_protocol_error(w: &mut Writer, error: &ProtocolError) {
             w.u8(3);
             w.string(what);
         }
+        ProtocolError::NoSuchSession(session) => {
+            w.u8(4);
+            w.u64(*session);
+        }
     }
 }
 
@@ -552,6 +617,7 @@ fn read_protocol_error(r: &mut Reader<'_>) -> Result<ProtocolError, CodecError> 
         1 => ProtocolError::Unprovisioned,
         2 => ProtocolError::AlreadyProvisioned,
         3 => ProtocolError::Unsupported(r.string("unsupported what")?),
+        4 => ProtocolError::NoSuchSession(r.u64("missing session")?),
         tag => {
             return Err(CodecError::BadTag {
                 reading: "protocol error tag",
@@ -610,6 +676,16 @@ impl Frame {
                 write_backstage_op(&mut w, op);
             }
             Frame::Shutdown => w.u8(7),
+            Frame::Request { id, session, frame } => {
+                w.u8(8);
+                w.u64(*id);
+                w.u64(*session);
+                w.bytes(&frame.encode_payload());
+            }
+            Frame::Attach { session } => {
+                w.u8(9);
+                w.u64(*session);
+            }
             Frame::Provisioned => w.u8(0x80),
             Frame::Response(response) => {
                 w.u8(0x81);
@@ -662,12 +738,30 @@ impl Frame {
                 write_protocol_error(&mut w, error);
             }
             Frame::Goodbye => w.u8(0x88),
+            Frame::Reply { id, frame } => {
+                w.u8(0x89);
+                w.u64(*id);
+                w.bytes(&frame.encode_payload());
+            }
+            Frame::Attached { height } => {
+                w.u8(0x8A);
+                w.u64(*height);
+            }
         }
         w.0
     }
 
     /// Decodes a frame payload (tag + body). Trailing bytes are an error.
     pub fn decode_payload(payload: &[u8]) -> Result<Frame, CodecError> {
+        Frame::decode_payload_at(payload, true)
+    }
+
+    /// The payload decoder proper. `envelope` gates the
+    /// [`Frame::Request`]/[`Frame::Reply`] wrapper tags: the protocol is
+    /// flat (an envelope carries exactly one plain frame), so nested
+    /// payloads decode with `envelope = false` and a wrapper-in-wrapper is
+    /// a typed codec error rather than unbounded recursion.
+    fn decode_payload_at(payload: &[u8], envelope: bool) -> Result<Frame, CodecError> {
         let mut r = Reader::new(payload);
         let frame = match r.u8("frame tag")? {
             0 => {
@@ -704,6 +798,19 @@ impl Frame {
             },
             6 => Frame::Backstage(read_backstage_op(&mut r)?),
             7 => Frame::Shutdown,
+            8 if envelope => {
+                let id = r.u64("request id")?;
+                let session = r.u64("request session")?;
+                let inner = r.bytes("request inner frame")?;
+                Frame::Request {
+                    id,
+                    session,
+                    frame: Box::new(Frame::decode_payload_at(&inner, false)?),
+                }
+            }
+            9 => Frame::Attach {
+                session: r.u64("attach session")?,
+            },
             0x80 => Frame::Provisioned,
             0x81 => Frame::Response(RpcResponse::read(&mut r)?),
             0x82 => {
@@ -753,6 +860,17 @@ impl Frame {
             0x86 => Frame::BackstageReply(read_backstage_reply(&mut r)?),
             0x87 => Frame::Error(read_protocol_error(&mut r)?),
             0x88 => Frame::Goodbye,
+            0x89 if envelope => {
+                let id = r.u64("reply id")?;
+                let inner = r.bytes("reply inner frame")?;
+                Frame::Reply {
+                    id,
+                    frame: Box::new(Frame::decode_payload_at(&inner, false)?),
+                }
+            }
+            0x8A => Frame::Attached {
+                height: r.u64("attached height")?,
+            },
             tag => {
                 return Err(CodecError::BadTag {
                     reading: "frame tag",
@@ -892,7 +1010,19 @@ mod tests {
             },
             Frame::BackstageReply(BackstageReply::Flag(true)),
             Frame::Error(ProtocolError::Unprovisioned),
+            Frame::Error(ProtocolError::NoSuchSession(7)),
             Frame::Goodbye,
+            Frame::Request {
+                id: 42,
+                session: 3,
+                frame: Box::new(Frame::Execute(RpcRequest::new(9, RpcMethod::BlockNumber))),
+            },
+            Frame::Attach { session: 3 },
+            Frame::Reply {
+                id: 42,
+                frame: Box::new(Frame::BackstageReply(BackstageReply::Height(11))),
+            },
+            Frame::Attached { height: 11 },
         ];
         for frame in frames {
             let wire = frame.encode();
@@ -926,6 +1056,37 @@ mod tests {
                 declared: MAX_FRAME_BYTES + 1
             })
         );
+    }
+
+    #[test]
+    fn nested_envelopes_are_rejected_not_recursed() {
+        // The protocol is flat: a Request inside a Request (or a Reply
+        // inside a Reply) must decode to a typed error, never recurse.
+        let inner = Frame::Request {
+            id: 1,
+            session: 0,
+            frame: Box::new(Frame::Shutdown),
+        };
+        let nested = Frame::Request {
+            id: 2,
+            session: 0,
+            frame: Box::new(inner),
+        };
+        assert!(matches!(
+            Frame::decode(&nested.encode()),
+            Err(FrameError::Codec(CodecError::BadTag { tag: 8, .. }))
+        ));
+        let reply_nested = Frame::Reply {
+            id: 2,
+            frame: Box::new(Frame::Reply {
+                id: 1,
+                frame: Box::new(Frame::Goodbye),
+            }),
+        };
+        assert!(matches!(
+            Frame::decode(&reply_nested.encode()),
+            Err(FrameError::Codec(CodecError::BadTag { tag: 0x89, .. }))
+        ));
     }
 
     #[test]

@@ -68,8 +68,12 @@ pub use ipfs::IpfsApi;
 pub use pool::{EndpointId, ProviderPool};
 pub use provider::{build_provider, decorate, EndpointFaults, NodeProvider, Retryable};
 pub use sim::SimProvider;
-pub use socket::{provision_socket_provider, SocketProvider};
-pub use transport::{FrameTransport, RemoteEndpoint, StreamTransport};
+pub use socket::{
+    provision_socket_provider, provision_socket_provider_via, SocketProvider, WireMode,
+};
+pub use transport::{
+    FrameTransport, RemoteEndpoint, SessionMux, SessionTransport, StreamTransport, WireCounter,
+};
 
 use ofl_netsim::clock::SimDuration;
 

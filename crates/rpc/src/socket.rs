@@ -37,15 +37,49 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::H160;
 
+/// How a [`SocketProvider`] ships a batch of requests over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// One [`Frame::Batch`] carrying the whole slice — a single jumbo
+    /// round trip. The default, and the PR-5 behaviour.
+    Jumbo,
+    /// One [`Frame::Request`]-wrapped [`Frame::Execute`] per request, each
+    /// awaited before the next is sent: same frames as `Pipelined`, but
+    /// one blocking wait per request. The slow baseline the benches
+    /// compare against.
+    Lockstep,
+    /// The same per-request frames as `Lockstep`, but up to `window` kept
+    /// in flight at once (v2 request-id pipelining).
+    Pipelined {
+        /// Requests allowed on the wire before the first reply is awaited.
+        window: usize,
+    },
+}
+
+impl WireMode {
+    fn window(self) -> usize {
+        match self {
+            WireMode::Jumbo | WireMode::Lockstep => 1,
+            WireMode::Pipelined { window } => window.max(1),
+        }
+    }
+}
+
 /// A node backend served over a socket (or any frame transport).
 pub struct SocketProvider {
     transport: Box<dyn FrameTransport>,
+    mode: WireMode,
 }
 
 impl SocketProvider {
-    /// Wraps a connected transport.
+    /// Wraps a connected transport (jumbo-batch wire mode).
     pub fn new(transport: Box<dyn FrameTransport>) -> SocketProvider {
-        SocketProvider { transport }
+        SocketProvider::with_mode(transport, WireMode::Jumbo)
+    }
+
+    /// Wraps a connected transport with an explicit [`WireMode`].
+    pub fn with_mode(transport: Box<dyn FrameTransport>, mode: WireMode) -> SocketProvider {
+        SocketProvider { transport, mode }
     }
 
     /// Asks the daemon to build this connection's backend: a fresh
@@ -60,6 +94,20 @@ impl SocketProvider {
             Frame::Error(e) => Err(FrameError::Protocol(e)),
             other => Err(FrameError::Io(format!(
                 "unexpected provision reply from {}: {other:?}",
+                self.transport.peer()
+            ))),
+        }
+    }
+
+    /// Attaches to an already-provisioned session on a persistent daemon
+    /// (provisioned by an earlier connection), returning the backend's
+    /// current chain height as proof of life.
+    pub fn attach(&mut self, session: u64) -> Result<u64, FrameError> {
+        match self.roundtrip(&Frame::Attach { session })? {
+            Frame::Attached { height } => Ok(height),
+            Frame::Error(e) => Err(FrameError::Protocol(e)),
+            other => Err(FrameError::Io(format!(
+                "unexpected attach reply from {}: {other:?}",
                 self.transport.peer()
             ))),
         }
@@ -134,6 +182,35 @@ impl EthApi for SocketProvider {
                 })
                 .collect()
         };
+        if self.mode != WireMode::Jumbo {
+            // Per-request frames, window-in-flight (window 1 = lockstep).
+            let frames: Vec<Frame> = requests.iter().map(|r| Frame::Execute(r.clone())).collect();
+            let replies = match self.transport.roundtrip_many(&frames, self.mode.window()) {
+                Ok(replies) => replies,
+                Err(e) => return fail(self.transport_error("pipelined batch", &e)),
+            };
+            return requests
+                .iter()
+                .zip(replies)
+                .map(|(request, reply)| match reply {
+                    Frame::Response(response) => response,
+                    Frame::Error(e) => RpcResponse {
+                        id: request.id,
+                        result: Err(
+                            self.transport_error("pipelined batch", &FrameError::Protocol(e))
+                        ),
+                        cost: SimDuration::ZERO,
+                    },
+                    other => RpcResponse {
+                        id: request.id,
+                        result: Err(RpcError::Transport(format!(
+                            "unexpected pipelined batch reply: {other:?}"
+                        ))),
+                        cost: SimDuration::ZERO,
+                    },
+                })
+                .collect();
+        }
         match self.roundtrip(&Frame::Batch(requests.to_vec())) {
             Ok(Frame::BatchResponse(responses)) if responses.len() == requests.len() => responses,
             Ok(Frame::BatchResponse(responses)) => fail(RpcError::Transport(format!(
@@ -254,7 +331,31 @@ pub fn provision_socket_provider(
     envelope_bytes: u64,
     knobs: EndpointFaults,
 ) -> Result<Box<dyn NodeProvider>, FrameError> {
-    let mut socket = SocketProvider::new(transport);
+    provision_socket_provider_via(
+        transport,
+        chain,
+        genesis,
+        profile,
+        envelope_bytes,
+        knobs,
+        WireMode::Jumbo,
+    )
+}
+
+/// [`provision_socket_provider`] with an explicit [`WireMode`] — the mount
+/// path for lockstep/pipelined load runs, where the wire discipline (not
+/// just the endpoint) is part of the experiment.
+#[allow(clippy::too_many_arguments)]
+pub fn provision_socket_provider_via(
+    transport: Box<dyn FrameTransport>,
+    chain: ChainConfig,
+    genesis: Vec<(H160, U256)>,
+    profile: NetworkProfile,
+    envelope_bytes: u64,
+    knobs: EndpointFaults,
+    mode: WireMode,
+) -> Result<Box<dyn NodeProvider>, FrameError> {
+    let mut socket = SocketProvider::with_mode(transport, mode);
     socket.provision(chain, genesis)?;
     Ok(decorate(Box::new(socket), profile, envelope_bytes, knobs))
 }

@@ -2,16 +2,30 @@
 //! real TCP/Unix socket in production and by an in-memory duplex pipe in
 //! deterministic tests.
 //!
-//! A [`FrameTransport`] is strictly request/response from the client's
-//! side: `send` one frame, `recv` its answer. That matches the dispatch
-//! loop the `rpcd` daemon runs — one frame in, one frame out — and keeps
-//! the client free of any read-buffer state machine.
+//! A [`FrameTransport`] is request/response from the client's side: `send`
+//! one frame, `recv` its answer. That matches the dispatch loop the `rpcd`
+//! daemon runs — one frame in, one frame out — and keeps the client free
+//! of any read-buffer state machine. On top of that,
+//! [`FrameTransport::roundtrip_many`] ships a whole slice of frames and
+//! collects their answers; transports that speak the v2
+//! [`Frame::Request`]/[`Frame::Reply`] envelope override it to keep a
+//! window of requests **in flight** (pipelining) and to re-associate
+//! out-of-order replies by correlation id.
+//!
+//! [`SessionMux`] multiplexes several independent sessions — several
+//! provisioned shard backends — over **one** underlying connection, each
+//! session exposed as its own [`FrameTransport`].
 
 use crate::frame::{Frame, FrameError};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One end of a frame conversation.
 pub trait FrameTransport {
@@ -23,13 +37,77 @@ pub trait FrameTransport {
     fn peer(&self) -> String {
         "peer".into()
     }
+    /// Ships `frames` and returns their answers, matched 1:1 in request
+    /// order. `window` is the number of requests the transport may keep in
+    /// flight at once; the default implementation is strict lockstep
+    /// (window of one) — pipelining transports override this with the
+    /// request-id envelope.
+    fn roundtrip_many(
+        &mut self,
+        frames: &[Frame],
+        window: usize,
+    ) -> Result<Vec<Frame>, FrameError> {
+        let _ = window;
+        frames
+            .iter()
+            .map(|frame| {
+                self.send(frame)?;
+                self.recv()
+            })
+            .collect()
+    }
+}
+
+/// Wire-level counters a transport reports (shared, clonable handle): how
+/// many frames actually crossed the wire and how long the client sat
+/// blocked waiting for replies. The benches read these to show that
+/// lockstep and pipelined runs exchange the *same* frames while paying
+/// very different turnaround waits.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    recv_wait_nanos: AtomicU64,
+}
+
+/// A clonable handle onto one transport's [`WireStats`].
+#[derive(Debug, Clone, Default)]
+pub struct WireCounter(Arc<WireStats>);
+
+impl WireCounter {
+    /// Frames shipped to the peer.
+    pub fn frames_sent(&self) -> u64 {
+        self.0.frames_sent.load(Ordering::Relaxed)
+    }
+    /// Frames received from the peer.
+    pub fn frames_received(&self) -> u64 {
+        self.0.frames_received.load(Ordering::Relaxed)
+    }
+    /// Wall-clock seconds the client spent blocked inside `recv` — the
+    /// turnaround cost pipelining exists to hide.
+    pub fn recv_wait_secs(&self) -> f64 {
+        self.0.recv_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+    fn count_send(&self) {
+        self.0.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    fn count_recv(&self, waited: std::time::Duration) {
+        self.0.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.0
+            .recv_wait_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 /// Frame framing over any blocking byte stream (TCP socket, Unix socket,
-/// or anything else `Read + Write`).
+/// or anything else `Read + Write`). Its [`FrameTransport::roundtrip_many`]
+/// speaks the v2 request-id envelope: up to `window` requests in flight,
+/// replies matched by correlation id however they come back.
 pub struct StreamTransport<S> {
     stream: S,
     peer: String,
+    next_id: u64,
+    counter: WireCounter,
 }
 
 impl<S: Read + Write> StreamTransport<S> {
@@ -38,19 +116,194 @@ impl<S: Read + Write> StreamTransport<S> {
         StreamTransport {
             stream,
             peer: peer.into(),
+            next_id: 0,
+            counter: WireCounter::default(),
         }
+    }
+
+    /// A handle onto this transport's wire counters.
+    pub fn counter(&self) -> WireCounter {
+        self.counter.clone()
+    }
+
+    /// The underlying stream (e.g. to inspect a test double).
+    pub fn stream(&self) -> &S {
+        &self.stream
     }
 }
 
 impl<S: Read + Write> FrameTransport for StreamTransport<S> {
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        self.counter.count_send();
         frame.write_to(&mut self.stream)
     }
     fn recv(&mut self) -> Result<Frame, FrameError> {
-        Frame::read_from(&mut self.stream)
+        let started = std::time::Instant::now();
+        let frame = Frame::read_from(&mut self.stream)?;
+        self.counter.count_recv(started.elapsed());
+        Ok(frame)
     }
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    /// Pipelined round trips: each frame travels wrapped in a
+    /// [`Frame::Request`] (session 0) carrying a fresh correlation id; up
+    /// to `window` requests are on the wire before the first reply is
+    /// awaited, and replies are re-associated by id — out-of-order replies
+    /// are parked until their turn. `window = 1` degenerates to lockstep
+    /// over the same envelope (same frames, one wait per request).
+    fn roundtrip_many(
+        &mut self,
+        frames: &[Frame],
+        window: usize,
+    ) -> Result<Vec<Frame>, FrameError> {
+        let window = window.max(1);
+        let first_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(frames.len() as u64);
+        let mut replies: Vec<Option<Frame>> = (0..frames.len()).map(|_| None).collect();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        while received < frames.len() {
+            // Fill the window before blocking on the wire.
+            while sent < frames.len() && sent - received < window {
+                let wrapped = Frame::Request {
+                    id: first_id.wrapping_add(sent as u64),
+                    session: 0,
+                    frame: Box::new(frames[sent].clone()),
+                };
+                self.send(&wrapped)?;
+                sent += 1;
+            }
+            let (id, frame) = match self.recv()? {
+                Frame::Reply { id, frame } => (id, *frame),
+                other => {
+                    return Err(FrameError::Io(format!(
+                        "pipelined recv from {}: expected a Reply envelope, got {other:?}",
+                        self.peer
+                    )))
+                }
+            };
+            // Replies may come back in any order; slot each by its id.
+            let index = id.wrapping_sub(first_id) as usize;
+            if index >= sent || replies[index].is_some() {
+                return Err(FrameError::Io(format!(
+                    "pipelined recv from {}: unexpected reply id {id}",
+                    self.peer
+                )));
+            }
+            replies[index] = Some(frame);
+            received += 1;
+        }
+        Ok(replies
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect())
+    }
+}
+
+struct MuxInner {
+    transport: Box<dyn FrameTransport>,
+    next_id: u64,
+    /// Replies read off the wire while looking for some *other* session's
+    /// reply, parked by correlation id until their caller asks.
+    parked: BTreeMap<u64, Frame>,
+}
+
+/// Multiplexes several daemon sessions over one connection.
+///
+/// Each [`SessionMux::session`] handle is an independent
+/// [`FrameTransport`]: its `send` wraps the frame in a v2
+/// [`Frame::Request`] tagged with the session id and a fresh correlation
+/// id, and its `recv` re-associates [`Frame::Reply`] envelopes by id —
+/// parking replies destined for sibling sessions so interleaved traffic
+/// from several shards shares one socket without cross-talk. Handles are
+/// clonable (the connection itself is single-threaded — `dyn
+/// FrameTransport` is not `Send`); a persistent `rpcd` keeps each
+/// session's provisioned backend alive across connections.
+pub struct SessionMux {
+    inner: Rc<RefCell<MuxInner>>,
+}
+
+impl SessionMux {
+    /// Wraps a connected transport.
+    pub fn new(transport: Box<dyn FrameTransport>) -> SessionMux {
+        SessionMux {
+            inner: Rc::new(RefCell::new(MuxInner {
+                transport,
+                next_id: 0,
+                parked: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// A transport handle speaking for `session` on the shared connection.
+    pub fn session(&self, session: u64) -> SessionTransport {
+        SessionTransport {
+            inner: Rc::clone(&self.inner),
+            session,
+            outstanding: VecDeque::new(),
+        }
+    }
+}
+
+/// One session's view of a [`SessionMux`]-shared connection.
+pub struct SessionTransport {
+    inner: Rc<RefCell<MuxInner>>,
+    session: u64,
+    /// Correlation ids this session has sent and not yet received, oldest
+    /// first — `recv` resolves them in send order.
+    outstanding: VecDeque<u64>,
+}
+
+impl FrameTransport for SessionTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_id;
+        inner.next_id = inner.next_id.wrapping_add(1);
+        inner.transport.send(&Frame::Request {
+            id,
+            session: self.session,
+            frame: Box::new(frame.clone()),
+        })?;
+        self.outstanding.push_back(id);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, FrameError> {
+        let wanted = *self.outstanding.front().ok_or_else(|| {
+            FrameError::Io(format!(
+                "session {} recv with no request outstanding",
+                self.session
+            ))
+        })?;
+        let mut inner = self.inner.borrow_mut();
+        loop {
+            if let Some(frame) = inner.parked.remove(&wanted) {
+                self.outstanding.pop_front();
+                return Ok(frame);
+            }
+            match inner.transport.recv()? {
+                Frame::Reply { id, frame } => {
+                    if id == wanted {
+                        self.outstanding.pop_front();
+                        return Ok(*frame);
+                    }
+                    inner.parked.insert(id, *frame);
+                }
+                other => {
+                    return Err(FrameError::Io(format!(
+                        "session {} recv: expected a Reply envelope, got {other:?}",
+                        self.session
+                    )))
+                }
+            }
+        }
+    }
+
+    fn peer(&self) -> String {
+        let inner = self.inner.borrow();
+        format!("{}#session{}", inner.transport.peer(), self.session)
     }
 }
 
@@ -78,6 +331,13 @@ impl core::fmt::Display for RemoteEndpoint {
 impl RemoteEndpoint {
     /// Connects, returning a ready frame transport.
     pub fn connect(&self) -> Result<Box<dyn FrameTransport>, FrameError> {
+        Ok(self.connect_counted()?.0)
+    }
+
+    /// Connects, also handing back the transport's [`WireCounter`] so the
+    /// caller (the bench harness, mostly) can watch wire traffic from the
+    /// outside.
+    pub fn connect_counted(&self) -> Result<(Box<dyn FrameTransport>, WireCounter), FrameError> {
         match self {
             RemoteEndpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr)
@@ -85,13 +345,17 @@ impl RemoteEndpoint {
                 stream
                     .set_nodelay(true)
                     .map_err(|e| FrameError::Io(format!("nodelay {self}: {e}")))?;
-                Ok(Box::new(StreamTransport::new(stream, self.to_string())))
+                let transport = StreamTransport::new(stream, self.to_string());
+                let counter = transport.counter();
+                Ok((Box::new(transport), counter))
             }
             #[cfg(unix)]
             RemoteEndpoint::Unix(path) => {
                 let stream = UnixStream::connect(path)
                     .map_err(|e| FrameError::Io(format!("connect {self}: {e}")))?;
-                Ok(Box::new(StreamTransport::new(stream, self.to_string())))
+                let transport = StreamTransport::new(stream, self.to_string());
+                let counter = transport.counter();
+                Ok((Box::new(transport), counter))
             }
         }
     }

@@ -8,9 +8,13 @@ use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
 use ofl_eth::evm::LogEntry;
 use ofl_netsim::clock::SimDuration;
 use ofl_rpc::frame::{Frame, FrameError, MAX_FRAME_BYTES};
-use ofl_rpc::{CodecError, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+use ofl_rpc::{
+    CodecError, FrameTransport, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult,
+    StreamTransport,
+};
 use ofl_w3_test_support::{h160_of, h256_of};
 use proptest::prelude::*;
+use std::io::{Read, Write};
 
 /// Tiny local helpers (no extra crate): deterministic hashes from bytes.
 mod ofl_w3_test_support {
@@ -167,6 +171,90 @@ fn arb_rpc_error() -> impl Strategy<Value = RpcError> {
     ]
 }
 
+/// An in-memory daemon double for the pipelined request-id protocol: it
+/// accepts [`Frame::Request`] envelopes on `write`, and on `read` answers
+/// *everything currently pending* as [`Frame::Reply`]s echoing each
+/// request's inner frame — but in a permuted order (rotated, optionally
+/// reversed). A correct client must match replies to callers by id, not
+/// by arrival order.
+struct PermutedEcho {
+    inbox: Vec<u8>,
+    pending: Vec<(u64, Frame)>,
+    outbox: Vec<u8>,
+    rotate: usize,
+    reverse: bool,
+    seen_ids: Vec<u64>,
+}
+
+impl PermutedEcho {
+    fn new(rotate: usize, reverse: bool) -> PermutedEcho {
+        PermutedEcho {
+            inbox: Vec::new(),
+            pending: Vec::new(),
+            outbox: Vec::new(),
+            rotate,
+            reverse,
+            seen_ids: Vec::new(),
+        }
+    }
+}
+
+impl Write for PermutedEcho {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inbox.extend_from_slice(buf);
+        loop {
+            match Frame::decode(&self.inbox) {
+                Ok((Frame::Request { id, frame, .. }, consumed)) => {
+                    self.inbox.drain(..consumed);
+                    self.seen_ids.push(id);
+                    self.pending.push((id, *frame));
+                }
+                Ok((other, _)) => {
+                    panic!("pipelined client must wrap everything in Request, got {other:?}")
+                }
+                Err(_) => break, // incomplete frame: wait for more bytes
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for PermutedEcho {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.outbox.is_empty() {
+            if self.pending.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "client read with nothing outstanding",
+                ));
+            }
+            let mut batch = std::mem::take(&mut self.pending);
+            let n = batch.len();
+            batch.rotate_left(self.rotate % n);
+            if self.reverse {
+                batch.reverse();
+            }
+            for (id, frame) in batch {
+                self.outbox.extend_from_slice(
+                    &Frame::Reply {
+                        id,
+                        frame: Box::new(frame),
+                    }
+                    .encode(),
+                );
+            }
+        }
+        let n = buf.len().min(self.outbox.len());
+        buf[..n].copy_from_slice(&self.outbox[..n]);
+        self.outbox.drain(..n);
+        Ok(n)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -315,5 +403,104 @@ proptest! {
         }
         // (An Ok is possible only when the bytes happen to spell a valid
         // frame — which is exactly what the roundtrip tests cover.)
+    }
+
+    // ------------------------------------------------------------------
+    // Request-id envelopes: the pipelined / multi-session protocol.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn request_and_reply_envelopes_roundtrip(
+        id in any::<u64>(),
+        session in any::<u64>(),
+        method in arb_method(),
+        result in arb_result(),
+        cost_us in any::<u64>(),
+    ) {
+        let request = Frame::Request {
+            id,
+            session,
+            frame: Box::new(Frame::Execute(RpcRequest { id, method })),
+        };
+        let wire = request.encode();
+        let (decoded, consumed) = Frame::decode(&wire).expect("request envelope decodes");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(decoded, request);
+
+        let reply = Frame::Reply {
+            id,
+            frame: Box::new(Frame::Response(RpcResponse {
+                id,
+                result: Ok(result),
+                cost: SimDuration::from_micros(cost_us),
+            })),
+        };
+        let wire = reply.encode();
+        let (decoded, consumed) = Frame::decode(&wire).expect("reply envelope decodes");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn interleaved_request_id_frames_roundtrip(
+        tagged in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), arb_method()),
+            1..16,
+        ),
+    ) {
+        // Many sessions' envelopes interleaved back-to-back on one byte
+        // stream — exactly what a `SessionMux` connection carries — must
+        // decode one by one with ids and session tags intact.
+        let frames: Vec<Frame> = tagged
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, session, method))| Frame::Request {
+                id,
+                session,
+                frame: Box::new(Frame::Execute(RpcRequest::new(i as u64, method))),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&frame.encode());
+        }
+        let mut offset = 0;
+        for expected in &frames {
+            let (decoded, consumed) =
+                Frame::decode(&wire[offset..]).expect("next interleaved frame decodes");
+            prop_assert_eq!(&decoded, expected);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, wire.len());
+    }
+
+    #[test]
+    fn pipelined_replies_match_callers_out_of_order(
+        methods in proptest::collection::vec(arb_method(), 1..24),
+        window in 1usize..32,
+        rotate in 0usize..24,
+        reverse in any::<bool>(),
+    ) {
+        // However the daemon orders its replies within the window, the
+        // pipelined transport must hand each caller *its own* answer.
+        let frames: Vec<Frame> = methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, method)| Frame::Execute(RpcRequest::new(i as u64, method)))
+            .collect();
+        let mut transport = StreamTransport::new(PermutedEcho::new(rotate, reverse), "echo");
+        let replies = transport
+            .roundtrip_many(&frames, window)
+            .expect("pipelined roundtrip succeeds");
+        // Every reply slots back to the frame that asked for it, in the
+        // caller's order, regardless of wire arrival order.
+        prop_assert_eq!(replies, frames.clone());
+        // And the server really saw one distinct id per request.
+        let seen = &transport.stream().seen_ids;
+        prop_assert_eq!(seen.len(), frames.len());
+        let mut unique = seen.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), frames.len());
     }
 }

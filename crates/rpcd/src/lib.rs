@@ -6,24 +6,31 @@
 //!
 //! Three transports share the same dispatch code:
 //!
-//! - **TCP** ([`serve_listener`]) and **Unix sockets**
-//!   ([`serve_unix_listener`]) — real sockets, one thread per connection:
-//!   what the `rpcd` binary runs.
+//! - **TCP** ([`serve_listener`] / [`serve_listener_with`]) and **Unix
+//!   sockets** ([`serve_unix_listener`]) — real sockets, one thread per
+//!   connection: what the `rpcd` binary runs.
 //! - **In-memory pipe** ([`PipeTransport`]) — client and server in one
 //!   process with zero threads: each `send` encodes the frame to wire
 //!   bytes, decodes it server-side, dispatches, and queues the encoded
 //!   reply. Deterministic, and it still exercises the full codec in both
 //!   directions.
 //!
-//! ## Provisioning
+//! ## Provisioning and sessions
 //!
 //! A connection starts **unprovisioned**: the first frame is normally
-//! [`Frame::Provision`], which builds this connection's backend — a fresh
-//! simulated node (chain + swarm) with the requested genesis. Each
-//! connection owns its backend, so one daemon can serve many independent
-//! worlds at once. A daemon can also be started around a pre-built
-//! provider stack ([`Connection::with_backend`]) when the operator wants
-//! decorators to run server-side.
+//! [`Frame::Provision`], which builds a backend — a fresh simulated node
+//! (chain + swarm) with the requested genesis. Bare frames address session
+//! 0; a v2 [`Frame::Request`] envelope addresses any session id, so one
+//! connection can provision and serve several independent shard backends
+//! concurrently (each request's reply carries the correlation id back).
+//!
+//! By default sessions are **private** to their connection and die with
+//! it. A daemon started with [`DaemonOptions::sessions`] (the `--persist`
+//! flag) instead keeps sessions in a store shared across connections:
+//! provision once, reconnect later, [`Frame::Attach`] to the same live
+//! backend. A daemon can also be started around a pre-built provider stack
+//! ([`Connection::with_backend`]) when the operator wants decorators to
+//! run server-side.
 //!
 //! ## Error handling
 //!
@@ -31,105 +38,197 @@
 //! a typed [`Frame::Error`] — the connection survives. Only unframeable
 //! input (bad magic, an over-cap length prefix, raw I/O failure) ends the
 //! connection, because the byte stream itself is no longer trustworthy.
+//! The accept loop logs accept errors, backs off exponentially, and gives
+//! up after [`DaemonOptions::max_accept_failures`] consecutive failures
+//! instead of busy-spinning; finished workers are reaped on every accept
+//! so a long-lived daemon holds a bounded set of [`JoinHandle`]s.
+//!
+//! [`JoinHandle`]: std::thread::JoinHandle
 
 use ofl_eth::chain::Chain;
 use ofl_ipfs::swarm::Swarm;
 use ofl_rpc::frame::{Frame, FrameError, ProtocolError};
 use ofl_rpc::transport::FrameTransport;
-use ofl_rpc::{EthApi, IpfsApi, NodeProvider, SimProvider};
-use std::collections::VecDeque;
+use ofl_rpc::{BackstageOp, NodeProvider, SimProvider};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// One client's server-side state: the backend it provisioned (or was
-/// handed) and the dispatch logic.
-#[derive(Default)]
+/// Session backends shared across connections by a persistent daemon:
+/// session id → live provider. Provision once, attach from any later
+/// connection.
+pub type SessionStore = Arc<Mutex<BTreeMap<u64, Box<dyn NodeProvider + Send>>>>;
+
+/// A fresh, empty [`SessionStore`].
+pub fn new_session_store() -> SessionStore {
+    SessionStore::default()
+}
+
+/// Where a connection's session backends live.
+enum Backends {
+    /// Sessions owned by this connection alone; they die with it.
+    Private(BTreeMap<u64, Box<dyn NodeProvider>>),
+    /// Sessions in a daemon-wide store that outlives connections.
+    Shared(SessionStore),
+}
+
+/// One client's server-side state: the session backends it can reach and
+/// the dispatch logic.
 pub struct Connection {
-    provider: Option<Box<dyn NodeProvider>>,
+    backends: Backends,
     /// Frames dispatched so far (diagnostics).
     pub frames_served: u64,
 }
 
+impl Default for Connection {
+    fn default() -> Connection {
+        Connection::new()
+    }
+}
+
 impl Connection {
-    /// A connection that waits for [`Frame::Provision`].
+    /// A connection that waits for [`Frame::Provision`]; its sessions are
+    /// private and die with it.
     pub fn new() -> Connection {
-        Connection::default()
+        Connection {
+            backends: Backends::Private(BTreeMap::new()),
+            frames_served: 0,
+        }
     }
 
     /// A connection serving a pre-built provider stack (sim + any
-    /// decorators the operator mounted). [`Frame::Provision`] is refused.
+    /// decorators the operator mounted) as session 0.
+    /// [`Frame::Provision`] for session 0 is refused.
     pub fn with_backend(provider: Box<dyn NodeProvider>) -> Connection {
+        let mut sessions = BTreeMap::new();
+        sessions.insert(0, provider);
         Connection {
-            provider: Some(provider),
+            backends: Backends::Private(sessions),
+            frames_served: 0,
+        }
+    }
+
+    /// A connection onto a persistent daemon's shared [`SessionStore`]:
+    /// sessions it provisions outlive it, and sessions earlier
+    /// connections provisioned are reachable by [`Frame::Attach`].
+    pub fn sharing(store: SessionStore) -> Connection {
+        Connection {
+            backends: Backends::Shared(store),
             frames_served: 0,
         }
     }
 
     /// Dispatches one frame, returning the reply and whether the client
-    /// asked to close the connection.
+    /// asked to close the connection. A [`Frame::Request`] envelope is
+    /// unwrapped, dispatched against its session, and answered with a
+    /// [`Frame::Reply`] carrying the same correlation id; bare frames
+    /// address session 0.
     pub fn handle(&mut self, frame: Frame) -> (Frame, bool) {
+        match frame {
+            Frame::Request { id, session, frame } => {
+                let (reply, done) = self.dispatch(session, *frame);
+                (
+                    Frame::Reply {
+                        id,
+                        frame: Box::new(reply),
+                    },
+                    done,
+                )
+            }
+            frame => self.dispatch(0, frame),
+        }
+    }
+
+    fn dispatch(&mut self, session: u64, frame: Frame) -> (Frame, bool) {
         self.frames_served += 1;
         let reply = match frame {
             Frame::Provision { chain, genesis } => {
-                if self.provider.is_some() {
-                    Frame::Error(ProtocolError::AlreadyProvisioned)
-                } else {
-                    // The provisioned backend is a *bare* simulated node:
-                    // costs come back zero and the client's own decorator
-                    // stack prices, faults, and meters — exactly like an
-                    // in-process SimProvider.
-                    self.provider = Some(Box::new(SimProvider::new(
-                        Chain::new(chain, &genesis),
+                // The provisioned backend is a *bare* simulated node:
+                // costs come back zero and the client's own decorator
+                // stack prices, faults, and meters — exactly like an
+                // in-process SimProvider.
+                let fresh = || {
+                    Box::new(SimProvider::new(
+                        Chain::new(chain.clone(), &genesis),
                         Swarm::new(),
-                    )));
-                    Frame::Provisioned
+                    ))
+                };
+                use std::collections::btree_map::Entry;
+                match &mut self.backends {
+                    Backends::Private(sessions) => match sessions.entry(session) {
+                        Entry::Occupied(_) => Frame::Error(ProtocolError::AlreadyProvisioned),
+                        Entry::Vacant(slot) => {
+                            slot.insert(fresh());
+                            Frame::Provisioned
+                        }
+                    },
+                    Backends::Shared(store) => {
+                        let mut sessions = store.lock().expect("session store poisoned");
+                        match sessions.entry(session) {
+                            Entry::Occupied(_) => Frame::Error(ProtocolError::AlreadyProvisioned),
+                            Entry::Vacant(slot) => {
+                                slot.insert(fresh());
+                                Frame::Provisioned
+                            }
+                        }
+                    }
                 }
             }
-            Frame::Execute(request) => match self.provider_mut() {
-                Ok(provider) => Frame::Response(provider.execute(&request)),
+            Frame::Attach { session: target } => self
+                .with_provider(target, |p| p.backstage(&BackstageOp::Height).into_u64())
+                .map_or(
+                    Frame::Error(ProtocolError::NoSuchSession(target)),
+                    |height| Frame::Attached { height },
+                ),
+            Frame::Execute(request) => match self.with_provider(session, |p| p.execute(&request)) {
+                Ok(response) => Frame::Response(response),
                 Err(error) => Frame::Error(error),
             },
-            Frame::Batch(requests) => match self.provider_mut() {
-                Ok(provider) => Frame::BatchResponse(provider.batch(&requests)),
+            Frame::Batch(requests) => match self.with_provider(session, |p| p.batch(&requests)) {
+                Ok(responses) => Frame::BatchResponse(responses),
                 Err(error) => Frame::Error(error),
             },
-            Frame::IpfsAdd { node, data } => match self.ipfs_node(node) {
-                Ok(provider) => {
-                    let billed = provider.add(node as usize, &data);
-                    Frame::IpfsAdded {
+            Frame::IpfsAdd { node, data } => {
+                match self.with_ipfs(session, node, |p| p.add(node as usize, &data)) {
+                    Ok(billed) => Frame::IpfsAdded {
                         cost: billed.cost,
                         result: billed.value,
-                    }
+                    },
+                    Err(error) => Frame::Error(error),
                 }
-                Err(error) => Frame::Error(error),
-            },
-            Frame::IpfsCat { node, cid } => match self.ipfs_node(node) {
-                Ok(provider) => {
-                    let billed = provider.cat(node as usize, &cid);
-                    Frame::IpfsCatted {
+            }
+            Frame::IpfsCat { node, cid } => {
+                match self.with_ipfs(session, node, |p| p.cat(node as usize, &cid)) {
+                    Ok(billed) => Frame::IpfsCatted {
                         cost: billed.cost,
                         result: billed.value,
-                    }
+                    },
+                    Err(error) => Frame::Error(error),
                 }
-                Err(error) => Frame::Error(error),
-            },
-            Frame::IpfsPin { node, cid } => match self.ipfs_node(node) {
-                Ok(provider) => {
-                    let billed = provider.pin(node as usize, &cid);
-                    Frame::IpfsPinned {
+            }
+            Frame::IpfsPin { node, cid } => {
+                match self.with_ipfs(session, node, |p| p.pin(node as usize, &cid)) {
+                    Ok(billed) => Frame::IpfsPinned {
                         cost: billed.cost,
                         result: billed.value,
-                    }
+                    },
+                    Err(error) => Frame::Error(error),
                 }
-                Err(error) => Frame::Error(error),
-            },
-            Frame::Backstage(op) => match self.provider_mut() {
-                Ok(provider) => Frame::BackstageReply(provider.backstage(&op)),
+            }
+            Frame::Backstage(op) => match self.with_provider(session, |p| p.backstage(&op)) {
+                Ok(reply) => Frame::BackstageReply(reply),
                 Err(error) => Frame::Error(error),
             },
             Frame::Shutdown => return (Frame::Goodbye, true),
+            // The codec refuses nested envelopes; this arm only fires on a
+            // hand-built frame.
+            Frame::Request { .. } => {
+                Frame::Error(ProtocolError::Unsupported("nested request envelope".into()))
+            }
             // A server never receives server→client frames.
             other => Frame::Error(ProtocolError::Unsupported(format!(
                 "client sent a server-side frame: {other:?}"
@@ -138,21 +237,51 @@ impl Connection {
         (reply, false)
     }
 
-    fn provider_mut(&mut self) -> Result<&mut Box<dyn NodeProvider>, ProtocolError> {
-        self.provider.as_mut().ok_or(ProtocolError::Unprovisioned)
+    /// Runs `f` against `session`'s provider, whichever store it lives in.
+    fn with_provider<R>(
+        &mut self,
+        session: u64,
+        f: impl FnOnce(&mut dyn NodeProvider) -> R,
+    ) -> Result<R, ProtocolError> {
+        let missing = || {
+            if session == 0 {
+                ProtocolError::Unprovisioned
+            } else {
+                ProtocolError::NoSuchSession(session)
+            }
+        };
+        match &mut self.backends {
+            Backends::Private(sessions) => sessions
+                .get_mut(&session)
+                .map(|p| f(p.as_mut()))
+                .ok_or_else(missing),
+            Backends::Shared(store) => store
+                .lock()
+                .expect("session store poisoned")
+                .get_mut(&session)
+                .map(|p| f(p.as_mut()))
+                .ok_or_else(missing),
+        }
     }
 
-    /// Like [`Connection::provider_mut`], additionally bounds-checking the
-    /// IPFS node index so a buggy client cannot crash the daemon thread.
-    fn ipfs_node(&mut self, node: u64) -> Result<&mut Box<dyn NodeProvider>, ProtocolError> {
-        let provider = self.provider_mut()?;
-        let nodes = provider.swarm().len() as u64;
-        if node >= nodes {
-            return Err(ProtocolError::Unsupported(format!(
-                "ipfs node {node} out of range (swarm has {nodes})"
-            )));
-        }
-        Ok(provider)
+    /// Like [`Connection::with_provider`], additionally bounds-checking
+    /// the IPFS node index so a buggy client cannot crash the daemon
+    /// thread.
+    fn with_ipfs<R>(
+        &mut self,
+        session: u64,
+        node: u64,
+        f: impl FnOnce(&mut dyn NodeProvider) -> R,
+    ) -> Result<R, ProtocolError> {
+        self.with_provider(session, |p| {
+            let nodes = p.swarm().len() as u64;
+            if node >= nodes {
+                return Err(ProtocolError::Unsupported(format!(
+                    "ipfs node {node} out of range (swarm has {nodes})"
+                )));
+            }
+            Ok(f(p))
+        })?
     }
 }
 
@@ -166,7 +295,9 @@ pub fn serve_stream<S: Read + Write>(
     loop {
         let frame = match Frame::read_from(&mut stream) {
             Ok(frame) => frame,
-            // A clean hangup between frames is a normal end of session.
+            // A clean hangup between frames is a normal end of session. A
+            // read deadline expiring surfaces here too — either way the
+            // worker thread is freed.
             Err(FrameError::Io(_)) if conn.frames_served > 0 => return Ok(conn.frames_served),
             // Typed payload failures are answered in-band; the stream is
             // still frame-synced.
@@ -193,51 +324,178 @@ pub fn serve_stream<S: Read + Write>(
     }
 }
 
-/// The accept loop both listener flavors share: up to `max_connections`
-/// accepted streams (forever when `None`), each served on its own thread
-/// with a fresh provisionable [`Connection`]. Returns once the accept
-/// budget is spent **and** every served connection has ended.
-fn serve_incoming<S>(
+/// Knobs for the daemon accept loop.
+#[derive(Clone)]
+pub struct DaemonOptions {
+    /// Stop accepting after this many connections (forever when `None`).
+    pub max_connections: Option<usize>,
+    /// Read deadline set on accepted sockets, so a client stalled
+    /// mid-frame frees its worker thread instead of wedging it forever.
+    /// `None` means block indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Initial back-off after a failed accept; doubles per consecutive
+    /// failure, capped at one second.
+    pub accept_retry: Duration,
+    /// Give up (return from the accept loop) after this many
+    /// *consecutive* accept failures — a persistent fault like fd
+    /// exhaustion must not become a hot spin.
+    pub max_accept_failures: u32,
+    /// When set, connections share this session store: sessions outlive
+    /// the connection that provisioned them and later connections can
+    /// [`Frame::Attach`] to them (the `--persist` daemon mode).
+    pub sessions: Option<SessionStore>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> DaemonOptions {
+        DaemonOptions {
+            max_connections: None,
+            idle_timeout: None,
+            accept_retry: Duration::from_millis(10),
+            max_accept_failures: 32,
+            sessions: None,
+        }
+    }
+}
+
+impl DaemonOptions {
+    /// Defaults with an accept budget of `n` connections.
+    pub fn max(n: usize) -> DaemonOptions {
+        DaemonOptions {
+            max_connections: Some(n),
+            ..DaemonOptions::default()
+        }
+    }
+}
+
+/// What an accept loop did, for operators and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Accepts that failed (logged, backed off).
+    pub accept_errors: u64,
+    /// Most worker threads alive at once — bounded by reaping, where the
+    /// pre-hardening loop grew its handle list without bound.
+    pub peak_workers: usize,
+}
+
+/// The accept loop every listener flavor shares: each accepted stream is
+/// served on its own thread with a fresh [`Connection`] (session-sharing
+/// when [`DaemonOptions::sessions`] is set). Finished workers are reaped
+/// on every accept; accept errors are logged and backed off, and the loop
+/// exits after [`DaemonOptions::max_accept_failures`] consecutive
+/// failures. Returns once the accept budget is spent **and** every served
+/// connection has ended.
+pub fn serve_incoming<S>(
     incoming: impl Iterator<Item = std::io::Result<S>>,
-    max_connections: Option<usize>,
-) where
+    options: DaemonOptions,
+) -> DaemonStats
+where
     S: Read + Write + Send + 'static,
 {
-    let mut workers = Vec::new();
-    let mut accepted = 0usize;
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut stats = DaemonStats::default();
+    let mut consecutive_failures = 0u32;
+    let mut backoff = options.accept_retry;
     for stream in incoming {
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(stream) => {
+                consecutive_failures = 0;
+                backoff = options.accept_retry;
+                stream
+            }
+            Err(error) => {
+                stats.accept_errors += 1;
+                consecutive_failures += 1;
+                eprintln!("rpcd: accept failed ({consecutive_failures} in a row): {error}");
+                if consecutive_failures >= options.max_accept_failures {
+                    eprintln!(
+                        "rpcd: giving up after {consecutive_failures} consecutive accept failures"
+                    );
+                    break;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+                continue;
+            }
+        };
+        workers.retain(|worker| !worker.is_finished());
+        let sessions = options.sessions.clone();
         workers.push(std::thread::spawn(move || {
-            let _ = serve_stream(stream, Connection::new());
+            let conn = match sessions {
+                Some(store) => Connection::sharing(store),
+                None => Connection::new(),
+            };
+            let _ = serve_stream(stream, conn);
         }));
-        accepted += 1;
-        if max_connections.is_some_and(|max| accepted >= max) {
+        stats.connections += 1;
+        stats.peak_workers = stats.peak_workers.max(workers.len());
+        if options
+            .max_connections
+            .is_some_and(|max| stats.connections as usize >= max)
+        {
             break;
         }
     }
     for worker in workers {
         let _ = worker.join();
     }
+    stats
+}
+
+/// [`serve_incoming`] over a TCP listener: `TCP_NODELAY` plus the
+/// configured read deadline on every accepted socket.
+pub fn serve_listener_with(listener: TcpListener, options: DaemonOptions) -> DaemonStats {
+    let idle = options.idle_timeout;
+    serve_incoming(
+        listener.incoming().map(move |stream| {
+            stream.inspect(|s| {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(idle);
+            })
+        }),
+        options,
+    )
 }
 
 /// Accepts up to `max_connections` TCP connections (forever when `None`),
 /// serving each on its own thread with a fresh provisionable
 /// [`Connection`].
 pub fn serve_listener(listener: TcpListener, max_connections: Option<usize>) {
+    serve_listener_with(
+        listener,
+        DaemonOptions {
+            max_connections,
+            ..DaemonOptions::default()
+        },
+    );
+}
+
+/// [`serve_listener_with`] over a Unix domain socket.
+#[cfg(unix)]
+pub fn serve_unix_listener_with(listener: UnixListener, options: DaemonOptions) -> DaemonStats {
+    let idle = options.idle_timeout;
     serve_incoming(
-        listener.incoming().map(|stream| {
+        listener.incoming().map(move |stream| {
             stream.inspect(|s| {
-                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(idle);
             })
         }),
-        max_connections,
+        options,
     )
 }
 
 /// [`serve_listener`] over a Unix domain socket.
 #[cfg(unix)]
 pub fn serve_unix_listener(listener: UnixListener, max_connections: Option<usize>) {
-    serve_incoming(listener.incoming(), max_connections)
+    serve_unix_listener_with(
+        listener,
+        DaemonOptions {
+            max_connections,
+            ..DaemonOptions::default()
+        },
+    );
 }
 
 /// Client and daemon in one process, zero threads, full codec fidelity:
@@ -299,7 +557,10 @@ mod tests {
     use ofl_eth::wallet::Wallet;
     use ofl_primitives::u256::U256;
     use ofl_primitives::wei_per_eth;
-    use ofl_rpc::{BackstageOp, RpcMethod, RpcRequest, RpcResult, SocketProvider};
+    use ofl_rpc::{
+        BackstageOp, EthApi, IpfsApi, RpcMethod, RpcRequest, RpcResult, SessionMux, SocketProvider,
+        WireMode,
+    };
 
     fn provisioned_socket(n_accounts: usize) -> (SocketProvider, Wallet) {
         let wallet = Wallet::from_seed("rpcd-test", n_accounts);
@@ -383,6 +644,28 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_wire_mode_batches_through_request_envelopes() {
+        let wallet = Wallet::from_seed("rpcd-pipelined", 1);
+        let a = wallet.addresses()[0];
+        let mut socket = SocketProvider::with_mode(
+            Box::new(PipeTransport::new()),
+            WireMode::Pipelined { window: 8 },
+        );
+        socket
+            .provision(ChainConfig::default(), vec![(a, wei_per_eth())])
+            .expect("pipe provisions");
+        let responses = socket.batch(&[
+            RpcRequest::new(7, RpcMethod::BlockNumber),
+            RpcRequest::new(8, RpcMethod::GetBalance { address: a }),
+            RpcRequest::new(9, RpcMethod::ChainId),
+        ]);
+        assert_eq!(responses.len(), 3);
+        assert!(matches!(responses[0].result, Ok(RpcResult::BlockNumber(0))));
+        assert!(matches!(&responses[1].result, Ok(RpcResult::Balance(b)) if *b == wei_per_eth()));
+        assert!(matches!(responses[2].result, Ok(RpcResult::ChainId(_))));
+    }
+
+    #[test]
     fn ipfs_round_trips_with_spawned_nodes() {
         let (mut socket, _) = provisioned_socket(1);
         let n0 = socket
@@ -435,10 +718,68 @@ mod tests {
             data: vec![1],
         });
         assert!(matches!(reply, Frame::Error(ProtocolError::Unsupported(_))));
+        // A session nobody provisioned → typed error naming the session.
+        let (reply, _) = conn.handle(Frame::Request {
+            id: 1,
+            session: 9,
+            frame: Box::new(Frame::Execute(RpcRequest::new(0, RpcMethod::BlockNumber))),
+        });
+        assert_eq!(
+            reply,
+            Frame::Reply {
+                id: 1,
+                frame: Box::new(Frame::Error(ProtocolError::NoSuchSession(9))),
+            }
+        );
+        // Attaching to a missing session, likewise.
+        let (reply, _) = conn.handle(Frame::Attach { session: 9 });
+        assert_eq!(reply, Frame::Error(ProtocolError::NoSuchSession(9)));
         // Shutdown is graceful.
         let (reply, done) = conn.handle(Frame::Shutdown);
         assert_eq!(reply, Frame::Goodbye);
         assert!(done);
+    }
+
+    #[test]
+    fn session_mux_serves_two_independent_chains_over_one_pipe() {
+        let mux = SessionMux::new(Box::new(PipeTransport::new()));
+        let mut s1 = mux.session(1);
+        let mut s2 = mux.session(2);
+        let genesis = |seed: &str| {
+            let wallet = Wallet::from_seed(seed, 1);
+            vec![(wallet.addresses()[0], wei_per_eth())]
+        };
+        // Interleave: both requests on the wire before either reply is
+        // read, and the replies read in the *opposite* order — the mux
+        // parks session 1's reply while session 2 asks first.
+        s1.send(&Frame::Provision {
+            chain: ChainConfig::default(),
+            genesis: genesis("mux-1"),
+        })
+        .unwrap();
+        s2.send(&Frame::Provision {
+            chain: ChainConfig::default(),
+            genesis: genesis("mux-2"),
+        })
+        .unwrap();
+        assert_eq!(s2.recv().unwrap(), Frame::Provisioned);
+        assert_eq!(s1.recv().unwrap(), Frame::Provisioned);
+        // Mine only on session 1; heights must not bleed across sessions.
+        s1.send(&Frame::Backstage(BackstageOp::MineSlot { slot_secs: 12 }))
+            .unwrap();
+        s1.recv().unwrap();
+        s1.send(&Frame::Backstage(BackstageOp::Height)).unwrap();
+        s2.send(&Frame::Backstage(BackstageOp::Height)).unwrap();
+        let h2 = match s2.recv().unwrap() {
+            Frame::BackstageReply(reply) => reply.into_u64(),
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        let h1 = match s1.recv().unwrap() {
+            Frame::BackstageReply(reply) => reply.into_u64(),
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        assert_eq!((h1, h2), (1, 0));
+        assert_eq!(s1.peer(), "pipe://in-memory#session1");
     }
 
     #[test]
@@ -484,5 +825,178 @@ mod tests {
         Frame::Shutdown.write_to(&mut stream).unwrap();
         assert_eq!(Frame::read_from(&mut stream).unwrap(), Frame::Goodbye);
         server.join().expect("server thread exits");
+    }
+
+    /// A canned client: `Read` yields the scripted request bytes then EOF,
+    /// `Write` discards the daemon's replies.
+    struct ScriptedStream {
+        input: std::io::Cursor<Vec<u8>>,
+    }
+
+    impl ScriptedStream {
+        fn sending(frames: &[Frame]) -> ScriptedStream {
+            let mut wire = Vec::new();
+            for frame in frames {
+                wire.extend_from_slice(&frame.encode());
+            }
+            ScriptedStream {
+                input: std::io::Cursor::new(wire),
+            }
+        }
+    }
+
+    impl Read for ScriptedStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for ScriptedStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn persistent_accept_failures_back_off_and_exit_instead_of_spinning() {
+        let incoming =
+            std::iter::repeat_with(|| Err::<ScriptedStream, _>(std::io::Error::other("emfile")));
+        let stats = serve_incoming(
+            incoming,
+            DaemonOptions {
+                accept_retry: Duration::ZERO,
+                max_accept_failures: 5,
+                ..DaemonOptions::default()
+            },
+        );
+        // Without the failure cap this loop would never return.
+        assert_eq!(stats.accept_errors, 5);
+        assert_eq!(stats.connections, 0);
+    }
+
+    #[test]
+    fn accept_errors_reset_on_success_and_do_not_end_the_loop_early() {
+        let mut step = 0u32;
+        let incoming = std::iter::from_fn(move || {
+            step += 1;
+            Some(match step % 2 {
+                // Alternate error/success: consecutive-failure count must
+                // reset each time, so 8 errors never trip a cap of 3.
+                1 => Err(std::io::Error::other("transient")),
+                _ => Ok(ScriptedStream::sending(&[Frame::Shutdown])),
+            })
+        })
+        .take(16);
+        let stats = serve_incoming(
+            incoming,
+            DaemonOptions {
+                accept_retry: Duration::ZERO,
+                max_accept_failures: 3,
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(stats.accept_errors, 8);
+        assert_eq!(stats.connections, 8);
+    }
+
+    #[test]
+    fn finished_workers_are_reaped_not_accumulated() {
+        // Each scripted client shuts down immediately; with a pause
+        // between accepts every worker is long dead by the next one, so a
+        // reaping loop holds ~1 handle where the old loop would hold 8.
+        let incoming = std::iter::repeat_with(|| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(ScriptedStream::sending(&[Frame::Shutdown]))
+        })
+        .take(8);
+        let stats = serve_incoming(incoming, DaemonOptions::default());
+        assert_eq!(stats.connections, 8);
+        assert!(
+            stats.peak_workers <= 2,
+            "workers not reaped: peak {}",
+            stats.peak_workers
+        );
+    }
+
+    #[test]
+    fn a_stalled_client_cannot_wedge_the_daemon() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let stats = serve_listener_with(
+                listener,
+                DaemonOptions {
+                    max_connections: Some(1),
+                    idle_timeout: Some(Duration::from_millis(100)),
+                    ..DaemonOptions::default()
+                },
+            );
+            let _ = done_tx.send(stats);
+        });
+        // Write half a header, then stall without hanging up.
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&ofl_rpc::frame::FRAME_MAGIC.to_le_bytes())
+            .unwrap();
+        // The read deadline frees the worker; without it the daemon would
+        // block in read_from forever and this recv would time out.
+        let stats = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("daemon freed the stalled worker");
+        assert_eq!(stats.connections, 1);
+        drop(stream);
+    }
+
+    #[test]
+    fn persistent_sessions_survive_reconnects() {
+        let store = new_session_store();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server_store = store.clone();
+        let server = std::thread::spawn(move || {
+            serve_listener_with(
+                listener,
+                DaemonOptions {
+                    max_connections: Some(2),
+                    sessions: Some(server_store),
+                    ..DaemonOptions::default()
+                },
+            )
+        });
+        let endpoint = ofl_rpc::RemoteEndpoint::Tcp(addr.to_string());
+        let wallet = Wallet::from_seed("rpcd-persist", 1);
+        let a = wallet.addresses()[0];
+
+        // Connection 1: provision session 7 through the mux and mine one
+        // block, then hang up without shutting the daemon down.
+        {
+            let mux = SessionMux::new(endpoint.connect().expect("connect"));
+            let mut socket = SocketProvider::new(Box::new(mux.session(7)));
+            socket
+                .provision(ChainConfig::default(), vec![(a, wei_per_eth())])
+                .expect("provisions session 7");
+            socket
+                .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+                .into_block();
+        }
+
+        // Connection 2: the session is still there, mined state intact.
+        let mux = SessionMux::new(endpoint.connect().expect("connect"));
+        let mut socket = SocketProvider::new(Box::new(mux.session(7)));
+        assert_eq!(socket.attach(7).expect("session 7 lives"), 1);
+        assert_eq!(socket.block_number().value.unwrap(), 1);
+        assert!(matches!(
+            socket.attach(8),
+            Err(FrameError::Protocol(ProtocolError::NoSuchSession(8)))
+        ));
+        socket.shutdown();
+        let stats = server.join().expect("server thread exits");
+        assert_eq!(stats.connections, 2);
+        assert_eq!(store.lock().unwrap().len(), 1);
     }
 }

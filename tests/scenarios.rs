@@ -494,8 +494,10 @@ mod remote_backend {
     use ofl_w3::core::engine::EngineReport;
     use ofl_w3::core::world::{ShardConfig, ShardSpec, DEFAULT_TX_WIRE_BYTES};
     use ofl_w3::netsim::link::NetworkProfile;
-    use ofl_w3::rpc::{provision_socket_provider, RemoteEndpoint};
-    use ofl_w3::rpcd::PipeTransport;
+    use ofl_w3::rpc::{
+        provision_socket_provider, provision_socket_provider_via, RemoteEndpoint, WireMode,
+    };
+    use ofl_w3::rpcd::{DaemonOptions, PipeTransport};
 
     /// Mounts one shard through the deterministic in-memory pipe: a real
     /// `rpcd` server connection, the full frame codec in both directions,
@@ -651,5 +653,82 @@ mod remote_backend {
         // Dropping the world closes the socket; the server thread drains.
         drop(mm);
         server.join().expect("rpcd server thread exits");
+    }
+
+    /// Mounts every shard of a fleet over its own TCP connection to one
+    /// rpcd daemon, speaking the given wire mode, and runs the engine.
+    fn tcp_fleet_run(configs: Vec<MarketConfig>, shards: usize, mode: WireMode) -> EngineReport {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            ofl_w3::rpcd::serve_listener_with(listener, DaemonOptions::max(shards))
+        });
+
+        let profile = configs[0].profile;
+        let (mm, report) = MultiMarket::with_shards_via(configs, shards, |config| {
+            let transport = RemoteEndpoint::Tcp(addr.clone())
+                .connect()
+                .expect("connect to rpcd");
+            ShardSpec::Mounted(
+                provision_socket_provider_via(
+                    transport,
+                    config.chain.clone(),
+                    config.genesis.clone(),
+                    profile,
+                    DEFAULT_TX_WIRE_BYTES,
+                    config.knobs(),
+                    mode,
+                )
+                .expect("provision over tcp"),
+            )
+        })
+        .run(&EngineConfig::default(), &[])
+        .expect("socket-backed fleet run");
+
+        drop(mm);
+        let stats = server.join().expect("rpcd server thread exits");
+        assert_eq!(stats.connections as usize, shards);
+        report
+    }
+
+    /// The pipelined request-id wire discipline is invisible to the
+    /// simulation: the 32-owner fleet run over pipelined TCP sockets
+    /// (window 8, both shards remote) reproduces the all-in-process run
+    /// bit-identically — reports, metering, and timing breakdowns.
+    #[test]
+    fn pipelined_socket_shards_run_32_owner_fleet_bit_identically() {
+        let base = fleet_base(8, 47);
+        let configs = || MultiMarket::replica_configs(&base, 4, 2);
+
+        let (_, local) = MultiMarket::with_shards(configs(), 2)
+            .run(&EngineConfig::default(), &[])
+            .expect("in-process 32-owner fleet");
+
+        let piped = tcp_fleet_run(configs(), 2, WireMode::Pipelined { window: 8 });
+        assert_reports_identical(&local, &piped);
+        assert!(piped.rpc_per_endpoint[1].total_calls() > 0);
+    }
+
+    /// Fleet-scale pin: the full 1k-owner fleet (32 markets × 32 owners,
+    /// 4 shards, `FinalizePolicy::FedAvgProportional`) produces the same
+    /// digest in-process and over pipelined TCP sockets. Release-only —
+    /// the engine run is minutes-slow without optimizations.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "1k-owner fleet needs a release build; run with `cargo test --release`"
+    )]
+    fn thousand_owner_fleet_is_bit_identical_over_pipelined_sockets() {
+        let base = MarketConfig::fleet(32);
+        let configs = || MultiMarket::replica_configs(&base, 32, 4);
+
+        let (_, local) = MultiMarket::with_shards(configs(), 4)
+            .run(&EngineConfig::default(), &[])
+            .expect("in-process 1k-owner fleet");
+        let owners: usize = local.sessions.iter().map(|s| s.payments.len()).sum();
+        assert_eq!(owners, 1024);
+
+        let piped = tcp_fleet_run(configs(), 4, WireMode::Pipelined { window: 64 });
+        assert_reports_identical(&local, &piped);
     }
 }
