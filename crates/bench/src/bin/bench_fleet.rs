@@ -17,20 +17,27 @@
 //! All four runs must be bit-identical in virtual time and metering (the
 //! backend boundary and the wire discipline are invisible to the
 //! simulation), and lockstep/pipelined must exchange identical frames. A
-//! final *wire drive* then ships the same fleet-scale frame load through
-//! `roundtrip_many` at window 1 vs window N against a live daemon, where
-//! pipelining must strictly cut wall-clock time at equal round trips.
-//! Results go to the durable perf trajectory `BENCH_fleet.json` at the
-//! repo root.
+//! fifth leg re-runs the in-process fleet with the shard executor flipped
+//! (parallel workers vs strictly serial) and pins the digests equal — the
+//! determinism contract of `ofl_netsim::par`. A final *wire drive* then
+//! ships the same fleet-scale frame load through `roundtrip_many` at
+//! window 1 vs window N against a live daemon, where pipelining must
+//! strictly cut wall-clock time at equal round trips. Results — including
+//! the sign/codec/queue/aggregate/wire hot-path breakdown of the reference
+//! leg — go to the durable perf trajectory `BENCH_fleet.json` at the repo
+//! root.
 //!
 //! Run: `cargo run -p ofl-bench --release --bin bench_fleet -- \
-//!       [--owners 1024] [--markets N] [--shards 4] [--window 64] [--json]`
+//!       [--owners 1024] [--markets N] [--shards 4] [--window 64] \
+//!       [--serial] [--json]`
 
 use ofl_bench::{header, write_bench};
 use ofl_core::config::MarketConfig;
 use ofl_core::engine::{EngineConfig, EngineReport, MultiMarket};
 use ofl_core::world::{ShardConfig, ShardSpec, DEFAULT_TX_WIRE_BYTES};
 use ofl_eth::chain::ChainConfig;
+use ofl_netsim::par::set_parallel;
+use ofl_primitives::{phase_snapshot, reset_phase_times, set_phase_timing, PhaseTimes};
 use ofl_rpc::{
     provision_socket_provider_via, BackstageOp, BackstageReply, Frame, ProviderMetrics,
     RemoteEndpoint, WireCounter, WireMode,
@@ -84,6 +91,16 @@ struct Comparison {
     pipelined_strictly_faster: bool,
 }
 
+/// The serial-vs-parallel determinism leg: the same fleet run twice with
+/// the shard executor flipped, digests pinned equal.
+#[derive(Serialize)]
+struct ParallelCheck {
+    serial_wall_secs: f64,
+    parallel_wall_secs: f64,
+    parallel_speedup: f64,
+    digest_equal: bool,
+}
+
 #[derive(Serialize)]
 struct Record {
     owners: usize,
@@ -91,6 +108,12 @@ struct Record {
     owners_per_market: usize,
     shards: usize,
     window: usize,
+    /// False when `--serial` pinned the reference leg (and the socket
+    /// legs) to the one-thread executor.
+    parallel: bool,
+    /// Hot-path wall-clock breakdown of the reference in-process leg.
+    phase_times: PhaseTimes,
+    parallel_check: ParallelCheck,
     runs: Vec<RunRow>,
     wire_drive: Vec<WireDriveRow>,
     pipelined_vs_lockstep: Comparison,
@@ -101,6 +124,7 @@ struct Args {
     markets: usize,
     shards: usize,
     window: usize,
+    serial: bool,
     json: bool,
 }
 
@@ -109,6 +133,7 @@ fn parse_args() -> Args {
     let mut markets: Option<usize> = None;
     let mut shards = 4usize;
     let mut window = 64usize;
+    let mut serial = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -122,6 +147,7 @@ fn parse_args() -> Args {
             "--markets" => markets = Some(number(&mut args, "--markets")),
             "--shards" => shards = number(&mut args, "--shards"),
             "--window" => window = number(&mut args, "--window"),
+            "--serial" => serial = true,
             "--json" => json = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -136,6 +162,7 @@ fn parse_args() -> Args {
         markets,
         shards: shards.max(1).min(markets),
         window: window.max(1),
+        serial,
         json,
     }
 }
@@ -144,7 +171,10 @@ fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("bench_fleet: {error}");
     }
-    eprintln!("usage: bench_fleet [--owners N] [--markets M] [--shards S] [--window W] [--json]");
+    eprintln!(
+        "usage: bench_fleet [--owners N] [--markets M] [--shards S] [--window W] \
+         [--serial] [--json]"
+    );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
 
@@ -309,11 +339,27 @@ fn main() {
     let owners_per_market = (args.owners / args.markets).max(1);
     let owners = owners_per_market * args.markets;
     header(&format!(
-        "Fleet load: {owners} owners = {} markets x {owners_per_market}, {} shards, window {}",
-        args.markets, args.shards, args.window
+        "Fleet load: {owners} owners = {} markets x {owners_per_market}, {} shards, window {}{}",
+        args.markets,
+        args.shards,
+        args.window,
+        if args.serial { ", serial executor" } else { "" }
     ));
+    set_parallel(!args.serial);
+    set_phase_timing(true);
 
-    let base = MarketConfig::fleet(owners_per_market);
+    let mut base = MarketConfig::fleet(owners_per_market);
+    // Size each shard's block capacity to its market load: a 10k-owner
+    // fleet on 4 shards queues ~80 markets of transactions per chain, and
+    // at the default 30M gas limit the backlog outlives the 2×-base-fee
+    // cap (EIP-1559 climbs 9/8 per full block, so anything waiting longer
+    // than ~6 full blocks gets evicted). Keep the default for fleets up to
+    // 8 markets per shard — the pinned 32/256/1k digests — and grow
+    // linearly past that, the L2-scale-blocks-for-L2-scale-fleets sizing.
+    let markets_per_shard = args.markets.div_ceil(args.shards.max(1));
+    if markets_per_shard > 8 {
+        base.chain.gas_limit = base.chain.gas_limit / 8 * markets_per_shard as u64;
+    }
     let configs = || MultiMarket::replica_configs(&base, args.markets, args.shards);
 
     println!(
@@ -341,12 +387,14 @@ fn main() {
         );
     };
 
-    // Reference: every shard in-process.
+    // Reference: every shard in-process, hot-path phase timers running.
+    reset_phase_times();
     let started = std::time::Instant::now();
     let (_, local) = MultiMarket::with_shards(configs(), args.shards)
         .run(&EngineConfig::default(), &[])
         .expect("in-process fleet run");
     let local_wall = started.elapsed().as_secs_f64();
+    let phase_times = phase_snapshot();
     let reference = digest(&local);
     let mut runs = vec![run_row(
         "in-process",
@@ -357,6 +405,46 @@ fn main() {
         &[],
     )];
     print(&runs[0]);
+    println!(
+        "  hot paths: sign {:.3}s, codec {:.3}s, queue {:.3}s, aggregate {:.3}s, wire {:.3}s",
+        phase_times.sign_ns as f64 / 1e9,
+        phase_times.codec_ns as f64 / 1e9,
+        phase_times.queue_ns as f64 / 1e9,
+        phase_times.aggregate_ns as f64 / 1e9,
+        phase_times.wire_ns as f64 / 1e9,
+    );
+
+    // Determinism leg: the same fleet with the shard executor flipped.
+    // Parallel workers merge results in endpoint order, so the digest —
+    // virtual time, accuracies, every metered counter — must be
+    // bit-identical to the strictly serial run.
+    set_parallel(args.serial);
+    let flip_started = std::time::Instant::now();
+    let (_, flipped) = MultiMarket::with_shards(configs(), args.shards)
+        .run(&EngineConfig::default(), &[])
+        .expect("flipped-executor fleet run");
+    let flip_wall = flip_started.elapsed().as_secs_f64();
+    set_parallel(!args.serial);
+    assert_eq!(
+        digest(&flipped),
+        reference,
+        "parallel and serial shard execution must produce bit-identical fleets"
+    );
+    let (serial_wall, parallel_wall) = if args.serial {
+        (local_wall, flip_wall)
+    } else {
+        (flip_wall, local_wall)
+    };
+    let parallel_check = ParallelCheck {
+        serial_wall_secs: serial_wall,
+        parallel_wall_secs: parallel_wall,
+        parallel_speedup: serial_wall / parallel_wall.max(1e-9),
+        digest_equal: true,
+    };
+    println!(
+        "  executor: serial {serial_wall:.2}s vs parallel {parallel_wall:.2}s -> {:.2}x, digests equal",
+        parallel_check.parallel_speedup
+    );
 
     let socket_modes = [
         ("jumbo".to_string(), WireMode::Jumbo),
@@ -426,6 +514,9 @@ fn main() {
         owners_per_market,
         shards: args.shards,
         window: args.window,
+        parallel: !args.serial,
+        phase_times,
+        parallel_check,
         runs,
         wire_drive: vec![drive_lockstep, drive_pipelined],
         pipelined_vs_lockstep: comparison,

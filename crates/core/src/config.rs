@@ -7,7 +7,9 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_netsim::timing::ComputeModel;
 use ofl_primitives::u256::U256;
 use ofl_primitives::wei_per_eth;
-use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile, StaleProfile};
+use ofl_rpc::{
+    EndpointId, FaultProfile, RateLimitProfile, ReorderProfile, SpikeProfile, StaleProfile,
+};
 
 /// How the training data is split across model owners.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +85,12 @@ pub struct MarketConfig {
     /// Seeded lagging-replica reads for the market's endpoint (`None` =
     /// always-fresh reads) — the stale-reads scenario knob.
     pub rpc_stale: Option<StaleProfile>,
+    /// Seeded slot-long latency spikes for the market's endpoint (`None` =
+    /// steady latency) — the congested-provider scenario knob.
+    pub rpc_spike: Option<SpikeProfile>,
+    /// Seeded shuffling of the endpoint's batch replies (`None` = in-order
+    /// replies) — the out-of-order-server scenario knob.
+    pub rpc_reorder: Option<ReorderProfile>,
     /// Which shard of the world this market's sessions are pinned to. A
     /// solo serial [`Marketplace`](crate::market::Marketplace) always runs
     /// on shard 0; `MultiMarket` worlds size their provider pool to cover
@@ -115,6 +123,8 @@ impl Default for MarketConfig {
             rpc_faults: None,
             rpc_rate_limit: None,
             rpc_stale: None,
+            rpc_spike: None,
+            rpc_reorder: None,
             placement: EndpointId(0),
             finalize: FinalizePolicy::default(),
         }

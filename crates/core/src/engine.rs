@@ -219,6 +219,8 @@ impl MultiMarket {
                     faults: configs[0].rpc_faults,
                     rate_limit: configs[0].rpc_rate_limit,
                     stale: configs[0].rpc_stale,
+                    spike: configs[0].rpc_spike,
+                    reorder: configs[0].rpc_reorder,
                 })
             })
             .collect();
@@ -354,6 +356,11 @@ struct PendingTx {
     hash: H256,
     submitted_height: u64,
     wake: Wake,
+    /// Set once the hash appears in a mined block — only then does the
+    /// per-slot receipt poll spend client RPC traffic on it. A mined
+    /// transaction whose poll misses (flaky drop, stale replica) stays
+    /// flagged and is re-polled next slot.
+    mined: bool,
 }
 
 /// Per-market run state.
@@ -539,6 +546,7 @@ impl<'a> Driver<'a> {
             hash,
             submitted_height: self.world.height(ep),
             wake: Wake::Deploy { m },
+            mined: false,
         });
         let slot = self.world.next_slot_secs(self.world.clock.now());
         self.schedule_mine(slot);
@@ -630,6 +638,7 @@ impl<'a> Driver<'a> {
             hash,
             submitted_height: self.world.height(ep),
             wake,
+            mined: false,
         });
         let slot = self.world.next_slot_secs(t);
         self.schedule_mine(slot);
@@ -638,20 +647,47 @@ impl<'a> Driver<'a> {
 
     fn on_mine(&mut self, slot_secs: u64) -> Result<(), MarketError> {
         self.scheduled_slots.remove(&slot_secs);
-        self.world.mine_slot(slot_secs);
+        let blocks = self.world.mine_slot(slot_secs);
         let now = self.world.clock.now();
 
-        // One receipt poll for *everything* pending — the pool fans the
-        // tagged batch out, one wire round trip per shard involved (or
-        // per-call polls when the engine config says so); every waiter
+        // Index the slot's blocks: a pending transaction becomes poll-worthy
+        // ("mined") only once its hash lands in a block on its shard. The
+        // per-slot client poll then covers mined-but-undelivered txs only —
+        // a tx waiting out mempool congestion on one shard stops costing a
+        // receipt poll on every other slot of the run.
+        let mined_this_slot: Vec<std::collections::BTreeSet<H256>> = blocks
+            .iter()
+            .map(|b| b.tx_hashes.iter().copied().collect())
+            .collect();
+        for p in &mut self.pending {
+            if !p.mined && mined_this_slot[p.endpoint.0].contains(&p.hash) {
+                p.mined = true;
+            }
+        }
+
+        // One receipt poll for every mined-but-undelivered tx — the pool
+        // fans the tagged batch out, one wire round trip per shard involved
+        // (or per-call polls when the engine config says so); every waiter
         // wakes when its own shard's answer lands.
-        let items: Vec<(EndpointId, H256)> =
-            self.pending.iter().map(|p| (p.endpoint, p.hash)).collect();
+        let items: Vec<(EndpointId, H256)> = self
+            .pending
+            .iter()
+            .filter(|p| p.mined)
+            .map(|p| (p.endpoint, p.hash))
+            .collect();
         let (receipts, poll_costs) = self.world.poll_receipts_sharded(&items);
 
-        // Deliver receipts to whoever was waiting on this block.
+        // Deliver receipts to whoever was waiting on this block. Polled and
+        // unpolled entries interleave in `pending`; the receipt list covers
+        // the polled (mined) ones in order.
         let pending = std::mem::take(&mut self.pending);
-        for (p, receipt) in pending.into_iter().zip(receipts) {
+        let mut polled = receipts.into_iter();
+        for p in pending {
+            let receipt = if p.mined {
+                polled.next().expect("one poll answer per mined tx")
+            } else {
+                None
+            };
             let Some(receipt) = receipt else {
                 self.pending.push(p);
                 continue;
@@ -847,6 +883,7 @@ impl<'a> Driver<'a> {
                 hash,
                 submitted_height: self.world.height(ep),
                 wake: Wake::Payment { m },
+                mined: false,
             });
             hashes.push(hash);
             paid.push((address, amount));

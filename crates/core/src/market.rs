@@ -39,6 +39,7 @@ use ofl_ipfs::swarm::{IpfsNode, Swarm};
 use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
 use ofl_netsim::service::{Response, Service};
 use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
+use ofl_primitives::hotpath::{HotPhase, PhaseTimer};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, wei_per_eth, H160, H256};
 use ofl_rpc::{BindingError, EndpointId, ModelMarketContract, ProviderMetrics};
@@ -649,6 +650,7 @@ impl MarketSession {
         &mut self,
         world: &World,
     ) -> Result<(Aggregation, SimDuration), MarketError> {
+        let _t = PhaseTimer::start(HotPhase::Aggregate);
         if self.retrieved.is_empty() {
             return Err(MarketError::StepOrder("retrieve models before aggregating"));
         }
@@ -718,6 +720,7 @@ impl MarketSession {
         world: &World,
         agg: &Aggregation,
     ) -> (LooPayments, SimDuration) {
+        let _t = PhaseTimer::start(HotPhase::Aggregate);
         let scratch = SimClock::new();
         self.backend
             .call(&scratch, &world.profile.lan, "/loo", b"loo".to_vec());
@@ -929,6 +932,8 @@ impl Marketplace {
                 faults: blueprint.config().rpc_faults,
                 rate_limit: blueprint.config().rpc_rate_limit,
                 stale: blueprint.config().rpc_stale,
+                spike: blueprint.config().rpc_spike,
+                reorder: blueprint.config().rpc_reorder,
             })],
             blueprint.config().profile,
         );

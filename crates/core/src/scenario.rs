@@ -36,7 +36,9 @@ use ofl_ipfs::cid::Cid;
 use ofl_netsim::clock::SimDuration;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
-use ofl_rpc::{EndpointId, FaultProfile, RateLimitProfile, StaleProfile};
+use ofl_rpc::{
+    EndpointId, FaultProfile, RateLimitProfile, ReorderProfile, SpikeProfile, StaleProfile,
+};
 
 /// Which owners misbehave (indices into the owner list) and how.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -158,6 +160,22 @@ impl Scenario {
     /// re-poll through the inconsistency instead of failing).
     pub fn with_stale_reads(mut self, stale: StaleProfile) -> Scenario {
         self.config.rpc_stale = Some(stale);
+        self
+    }
+
+    /// Runs the session against a seeded spiking endpoint — the
+    /// latency-spike regime (whole slots where every exchange stalls;
+    /// sessions finish late but intact).
+    pub fn with_latency_spikes(mut self, spike: SpikeProfile) -> Scenario {
+        self.config.rpc_spike = Some(spike);
+        self
+    }
+
+    /// Runs the session against an endpoint that shuffles its batch reply
+    /// arrays — the reordered-batch regime (clients must pair answers by
+    /// correlation tag, never by position).
+    pub fn with_reordered_batches(mut self, reorder: ReorderProfile) -> Scenario {
+        self.config.rpc_reorder = Some(reorder);
         self
     }
 
@@ -569,8 +587,9 @@ impl ScenarioSuite {
     }
 
     /// Failure-injection regimes at test scale: availability loss, on-chain
-    /// revert, freeloading, dropout, a combined storm, and the three
-    /// infrastructure regimes (flaky provider, rate limiting, stale reads).
+    /// revert, freeloading, dropout, a combined storm, and the five
+    /// infrastructure regimes (flaky provider, rate limiting, stale reads,
+    /// latency spikes, reordered batches).
     pub fn failure_sweep(seed: u64) -> ScenarioSuite {
         ScenarioSuite::new()
             .push(
@@ -643,6 +662,24 @@ impl ScenarioSuite {
                 // late and clients re-poll — but every model still lands.
                 Scenario::small("stale-reads", PartitionScheme::Iid, seed.wrapping_add(7))
                     .with_stale_reads(StaleProfile::new(seed ^ 0x57A1, 2)),
+            )
+            .push(
+                // A congested provider: seeded coin flips open 2-slot
+                // windows where every exchange stalls an extra 2 seconds,
+                // then the endpoint recovers — sessions run late but land.
+                Scenario::small("latency-spike", PartitionScheme::Iid, seed.wrapping_add(8))
+                    .with_latency_spikes(SpikeProfile::new(seed ^ 0x591C, 0.3)),
+            )
+            .push(
+                // An out-of-order server: every batch reply array comes
+                // back seeded-shuffled with its tags intact, and clients
+                // pair answers by tag — the outcome matches a clean run.
+                Scenario::small(
+                    "reordered-batch",
+                    PartitionScheme::Iid,
+                    seed.wrapping_add(9),
+                )
+                .with_reordered_batches(ReorderProfile::new(seed ^ 0x0BAD)),
             )
     }
 
@@ -850,7 +887,9 @@ mod tests {
         assert!(failures.scenarios.iter().all(|s| !s.failures.is_clean()
             || s.config.rpc_faults.is_some()
             || s.config.rpc_rate_limit.is_some()
-            || s.config.rpc_stale.is_some()));
+            || s.config.rpc_stale.is_some()
+            || s.config.rpc_spike.is_some()
+            || s.config.rpc_reorder.is_some()));
         assert!(failures
             .scenarios
             .iter()
@@ -863,6 +902,14 @@ mod tests {
             .scenarios
             .iter()
             .any(|s| s.config.rpc_stale.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_spike.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_reorder.is_some()));
         let concurrency = ScenarioSuite::concurrency_sweep(1);
         assert!(concurrency.scenarios.len() >= 3);
         // The sweep exercises both same-shard and cross-shard placement.
@@ -927,6 +974,54 @@ mod tests {
         assert!(a.eth_conserved && a.budget_exhausted());
         assert!(a.total_sim_seconds >= clean.total_sim_seconds);
         assert!(a.rpc_round_trips >= clean.rpc_round_trips);
+    }
+
+    #[test]
+    fn latency_spikes_stall_slots_but_never_break_the_session() {
+        let clean = quick(PartitionScheme::Iid, 16).run().expect("clean runs");
+        let spiked = |seed: u64| {
+            quick(PartitionScheme::Iid, 16)
+                .with_latency_spikes(SpikeProfile::new(seed, 0.5))
+                .run()
+                .expect("spiked session completes, just later")
+        };
+        let a = spiked(0x591C);
+        let b = spiked(0x591C);
+        // Bit-identical under equal spike seeds.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same marketplace outcome, congested infrastructure: identical
+        // CIDs, strictly more virtual time (a 50% spike rate must land at
+        // least one stall window across the whole workflow).
+        assert_eq!(a.cids_onchain, clean.cids_onchain);
+        assert_eq!(a.n_models_aggregated, a.n_owners);
+        assert!(a.eth_conserved && a.budget_exhausted());
+        assert!(a.total_sim_seconds > clean.total_sim_seconds);
+    }
+
+    #[test]
+    fn reordered_batches_change_nothing_for_tag_matching_clients() {
+        let clean = quick(PartitionScheme::Iid, 17).run().expect("clean runs");
+        let shuffled = |seed: u64| {
+            quick(PartitionScheme::Iid, 17)
+                .with_reordered_batches(ReorderProfile::new(seed))
+                .run()
+                .expect("reordered session completes")
+        };
+        let a = shuffled(0x0BAD);
+        let b = shuffled(0x0BAD);
+        // Bit-identical under equal shuffle seeds.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Reordering only permutes reply arrays — it drops nothing and
+        // prices nothing — so a tag-matching client sees the exact same
+        // session a clean run does, shuffled seed or not.
+        assert_eq!(a, shuffled(0x0F00D));
+        assert_eq!(a.cids_onchain, clean.cids_onchain);
+        assert_eq!(a.n_models_aggregated, a.n_owners);
+        assert!(a.eth_conserved && a.budget_exhausted());
+        assert_eq!(a.total_sim_seconds, clean.total_sim_seconds);
+        assert_eq!(a.rpc_round_trips, clean.rpc_round_trips);
     }
 
     #[test]

@@ -47,9 +47,10 @@ use ofl_netsim::link::NetworkProfile;
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
 use ofl_rpc::{
-    build_provider, provision_socket_provider, BackstageOp, Billed, EndpointFaults, EndpointId,
-    FaultProfile, NodeProvider, ProviderMetrics, ProviderPool, RateLimitProfile, RemoteEndpoint,
-    Retryable, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult, StaleProfile,
+    build_provider, match_to_requests, provision_socket_provider, BackstageOp, Billed,
+    EndpointFaults, EndpointId, FaultProfile, NodeProvider, ProviderMetrics, ProviderPool,
+    RateLimitProfile, RemoteEndpoint, ReorderProfile, Retryable, RpcError, RpcMethod, RpcRequest,
+    RpcResponse, RpcResult, SpikeProfile, StaleProfile,
 };
 
 /// Errors surfaced by world operations.
@@ -127,6 +128,11 @@ pub struct ShardConfig {
     /// Seeded lagging-replica reads for this endpoint (`None` = always
     /// fresh).
     pub stale: Option<StaleProfile>,
+    /// Seeded slot-long latency spikes for this endpoint (`None` = steady).
+    pub spike: Option<SpikeProfile>,
+    /// Seeded shuffling of this endpoint's batch replies (`None` = in
+    /// order).
+    pub reorder: Option<ReorderProfile>,
 }
 
 impl ShardConfig {
@@ -138,6 +144,8 @@ impl ShardConfig {
             faults: None,
             rate_limit: None,
             stale: None,
+            spike: None,
+            reorder: None,
         }
     }
 
@@ -147,6 +155,8 @@ impl ShardConfig {
             faults: self.faults,
             rate_limit: self.rate_limit,
             stale: self.stale,
+            spike: self.spike,
+            reorder: self.reorder,
         }
     }
 }
@@ -292,6 +302,8 @@ impl World {
                 faults,
                 rate_limit: None,
                 stale: None,
+                spike: None,
+                reorder: None,
             })],
             profile,
         )
@@ -574,7 +586,10 @@ impl World {
         let mut total = SimDuration::ZERO;
         let mut attempt = 0u32;
         loop {
-            let responses = self.pool.endpoint(endpoint).batch(&requests);
+            // Tag-match the reply array: a reordering endpoint shuffles it,
+            // and the four sub-results here are decoded by position.
+            let responses =
+                match_to_requests(&requests, self.pool.endpoint(endpoint).batch(&requests));
             total = responses
                 .iter()
                 .fold(total, |acc, r| acc.saturating_add(r.cost));
@@ -658,7 +673,10 @@ impl World {
                     RpcRequest::new(i as u64, RpcMethod::GetTransactionReceipt { hash: *h })
                 })
                 .collect();
-            let responses = self.pool.endpoint(endpoint).batch(&requests);
+            // Tag-match the reply array so each hash gets *its* receipt
+            // even from a reordering endpoint.
+            let responses =
+                match_to_requests(&requests, self.pool.endpoint(endpoint).batch(&requests));
             let cost = responses
                 .iter()
                 .fold(SimDuration::ZERO, |acc, r| acc.saturating_add(r.cost));
@@ -724,15 +742,14 @@ impl World {
     /// endpoint order.
     pub fn mine_slot(&mut self, slot_secs: u64) -> Vec<Block> {
         self.clock.advance_to(SimInstant(slot_secs * 1_000_000));
-        let mut blocks = Vec::with_capacity(self.pool.len());
-        for i in 0..self.pool.len() {
-            blocks.push(
-                self.pool
-                    .endpoint(EndpointId(i))
-                    .backstage(&BackstageOp::MineSlot { slot_secs })
-                    .into_block(),
-            );
-        }
+        // Shards mine independently: the pool fans the op out to parallel
+        // workers and hands the blocks back in endpoint order.
+        let blocks = self
+            .pool
+            .backstage_all(&BackstageOp::MineSlot { slot_secs })
+            .into_iter()
+            .map(|reply| reply.into_block())
+            .collect();
         self.pool.on_slot();
         blocks
     }
@@ -1249,6 +1266,8 @@ mod tests {
                 faults: None,
                 rate_limit: Some(RateLimitProfile::new(7, 2)),
                 stale: None,
+                spike: None,
+                reorder: None,
             })],
             NetworkProfile::campus(),
         );

@@ -179,6 +179,10 @@ pub struct Chain {
     base_fee: U256,
     /// Total wei burned via the base fee (EIP-1559).
     burned: U256,
+    /// Senders recovered at submission, so mining a pool transaction does
+    /// not pay `ecrecover` again on every block attempt (recovery is
+    /// deterministic, so the memo can never disagree with a re-run).
+    sender_memo: HashMap<H256, H160>,
 }
 
 impl Chain {
@@ -200,6 +204,7 @@ impl Chain {
             mempool: Vec::new(),
             base_fee,
             burned: U256::ZERO,
+            sender_memo: HashMap::new(),
         }
     }
 
@@ -349,6 +354,7 @@ impl Chain {
             return Err(ChainError::InsufficientFunds);
         }
         let hash = tx.hash();
+        self.sender_memo.insert(hash, sender);
         self.mempool.push(tx);
         Ok(hash)
     }
@@ -382,9 +388,12 @@ impl Chain {
                 continue;
             }
             // Not ready (future nonce): keep for a later block.
-            let sender = match tx.recover_sender() {
-                Ok(s) => s,
-                Err(_) => continue, // drop unverifiable txs
+            let sender = match self.sender_memo.get(&tx.hash()).copied() {
+                Some(s) => s,
+                None => match tx.recover_sender() {
+                    Ok(s) => s,
+                    Err(_) => continue, // drop unverifiable txs
+                },
             };
             if tx.request.nonce != self.state.nonce(&sender) {
                 if tx.request.nonce > self.state.nonce(&sender) {
@@ -409,6 +418,15 @@ impl Chain {
             }
         }
         self.mempool = remaining;
+        // Only pool transactions can be mined again; drop memo entries for
+        // everything that left the pool this block.
+        if self.mempool.is_empty() {
+            self.sender_memo.clear();
+        } else {
+            let live: std::collections::HashSet<H256> =
+                self.mempool.iter().map(|tx| tx.hash()).collect();
+            self.sender_memo.retain(|h, _| live.contains(h));
+        }
 
         let header = Header {
             parent_hash,

@@ -6,8 +6,10 @@
 //! (the `ecrecover` primitive that lets the chain derive a transaction's
 //! sender from its signature alone).
 
+use ofl_primitives::hotpath::{HotPhase, PhaseTimer};
 use ofl_primitives::u256::{U256, U512};
 use ofl_primitives::{hmac_sha256, keccak256, H160};
+use std::sync::OnceLock;
 
 /// The field prime `p = 2^256 - 2^32 - 977`.
 pub const P: U256 = U256([
@@ -44,6 +46,10 @@ pub const GY: U256 = U256([
 /// `2^256 - p = 2^32 + 977`, the folding constant for fast reduction.
 const C: U256 = U256([0x1000003d1, 0, 0, 0]);
 
+/// `2^256 - n` (about 2^129), the folding constant for fast scalar
+/// reduction mod the group order.
+const N_C: U256 = U256([0x402da1732fc9bebf, 0x4551231950b75fc4, 0x1, 0]);
+
 /// 512-bit addition with carry out (carry can only be 0 or 1 here because we
 /// only ever add values far below 2^512).
 fn u512_add(a: &U512, b: &U512) -> U512 {
@@ -77,6 +83,28 @@ fn reduce_p(w: &U512) -> U256 {
             return r;
         }
         cur = u512_add(&hi.widening_mul(&C), &U512::from_u256(&lo));
+    }
+}
+
+/// Reduces a 512-bit product modulo the group order `n` by the same
+/// folding trick as [`reduce_p`]: `2^256 ≡ 2^256 - n (mod n)` and the
+/// difference is only ~2^129, so a handful of folds replace bit-by-bit
+/// long division. Every ECDSA sign and recover runs hundreds of scalar
+/// multiplies through here (the Fermat inversions), so this is squarely
+/// on the fleet's signing hot path.
+fn reduce_n(w: &U512) -> U256 {
+    let mut cur = *w;
+    loop {
+        let hi = U256([cur.0[4], cur.0[5], cur.0[6], cur.0[7]]);
+        let lo = U256([cur.0[0], cur.0[1], cur.0[2], cur.0[3]]);
+        if hi.is_zero() {
+            let mut r = lo;
+            while r >= N {
+                r = r.wrapping_sub(&N);
+            }
+            return r;
+        }
+        cur = u512_add(&hi.widening_mul(&N_C), &U512::from_u256(&lo));
     }
 }
 
@@ -193,8 +221,10 @@ impl Fe {
     }
 }
 
-/// Scalar in `Z_n`, kept reduced. Generic (slow-path) modular arithmetic is
-/// fine here: scalars appear a handful of times per signature.
+/// Scalar in `Z_n`, kept reduced. Arithmetic uses the `reduce_n` folding
+/// reduction — the Fermat inversions inside sign/recover run hundreds of
+/// scalar multiplies each, so generic long-division reduction here would
+/// dominate the whole signing path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Scalar(U256);
 
@@ -202,9 +232,14 @@ pub struct Scalar(U256);
 impl Scalar {
     pub const ZERO: Scalar = Scalar(U256::ZERO);
 
-    /// Constructs reducing mod `n`.
+    /// Constructs reducing mod `n`. One conditional subtraction is a full
+    /// reduction: `2n > 2^256`, so any `U256` is below `2n`.
     pub fn new(v: U256) -> Scalar {
-        Scalar(v.div_rem(&N).1)
+        if v >= N {
+            Scalar(v.wrapping_sub(&N))
+        } else {
+            Scalar(v)
+        }
     }
 
     /// Constructs only if already reduced and nonzero (strict validation for
@@ -239,11 +274,16 @@ impl Scalar {
     }
 
     pub fn add(self, rhs: Scalar) -> Scalar {
-        Scalar(self.0.add_mod(&rhs.0, &N))
+        let (sum, carry) = self.0.overflowing_add(&rhs.0);
+        let mut r = sum;
+        if carry || r >= N {
+            r = r.wrapping_sub(&N);
+        }
+        Scalar(r)
     }
 
     pub fn mul(self, rhs: Scalar) -> Scalar {
-        Scalar(self.0.mul_mod(&rhs.0, &N))
+        Scalar(reduce_n(&self.0.widening_mul(&rhs.0)))
     }
 
     pub fn neg(self) -> Scalar {
@@ -254,9 +294,22 @@ impl Scalar {
         }
     }
 
-    /// Inverse by Fermat; `None` for zero.
+    /// Inverse by Fermat (n is prime), over the folding multiply; `None`
+    /// for zero.
     pub fn inv(self) -> Option<Scalar> {
-        self.0.inv_mod_prime(&N).map(Scalar)
+        if self.is_zero() {
+            return None;
+        }
+        let e = N.wrapping_sub(&U256::from_u64(2));
+        let mut result = Scalar(U256::ONE);
+        let mut base = self;
+        for i in 0..e.bits() {
+            if e.bit(i as usize) {
+                result = result.mul(base);
+            }
+            base = base.mul(base);
+        }
+        Some(result)
     }
 }
 
@@ -426,8 +479,36 @@ impl Jacobian {
         }
     }
 
-    /// Scalar multiplication by left-to-right double-and-add.
+    /// Scalar multiplication via a 4-bit window: 15 precomputed multiples,
+    /// then four doublings plus at most one addition per scalar nibble —
+    /// about half the additions of plain double-and-add for a full-width
+    /// scalar. Same group element as [`Jacobian::scalar_mul_binary`]
+    /// (regression-pinned in the tests); `ecrecover` runs one of these per
+    /// mined transaction.
     pub fn scalar_mul(&self, k: &Scalar) -> Jacobian {
+        let e = k.to_u256();
+        if e.is_zero() || self.is_infinity() {
+            return Jacobian::INFINITY;
+        }
+        let mut multiples = [*self; 15];
+        for i in 1..15 {
+            multiples[i] = multiples[i - 1].add(self);
+        }
+        let top_window = (e.bits() as usize).div_ceil(4);
+        let mut acc = Jacobian::INFINITY;
+        for w in (0..top_window).rev() {
+            acc = acc.double().double().double().double();
+            let digit = ((e.0[w / 16] >> ((w % 16) * 4)) & 0xf) as usize;
+            if digit != 0 {
+                acc = acc.add(&multiples[digit - 1]);
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by plain left-to-right double-and-add — the
+    /// reference path the windowed ladder is verified against.
+    pub fn scalar_mul_binary(&self, k: &Scalar) -> Jacobian {
         let e = k.to_u256();
         let mut acc = Jacobian::INFINITY;
         let nbits = e.bits();
@@ -441,9 +522,54 @@ impl Jacobian {
     }
 }
 
-/// Multiplies the generator by `k`.
+/// Fixed-base precomputation for the generator: `TABLE[w][d - 1]` holds
+/// `(d · 16^w) · G` for windows `w ∈ 0..64` and digits `d ∈ 1..=15`, so a
+/// generator multiply is at most 63 additions with **zero doublings** —
+/// every transaction signature pays two generator multiplies (nonce point
+/// + RFC-6979 retries), and fleets sign tens of thousands of them.
+static G_TABLE: OnceLock<Vec<[Jacobian; 15]>> = OnceLock::new();
+
+fn g_table() -> &'static [[Jacobian; 15]] {
+    G_TABLE.get_or_init(|| {
+        let mut table = Vec::with_capacity(64);
+        let mut base = Jacobian::from_affine(&Affine::generator());
+        for _ in 0..64 {
+            let mut entries = [Jacobian::INFINITY; 15];
+            let mut acc = base;
+            for slot in entries.iter_mut() {
+                *slot = acc;
+                acc = acc.add(&base);
+            }
+            // After 15 additions acc = 16·base: the next window's unit.
+            table.push(entries);
+            base = acc;
+        }
+        table
+    })
+}
+
+/// Multiplies the generator by `k` via the 4-bit fixed-base table. The
+/// result is the same group element as [`g_mul_double_and_add`], so every
+/// affine coordinate — and therefore every signature byte — is identical;
+/// only the wall-clock cost changes (regression-pinned in the tests).
 pub fn g_mul(k: &Scalar) -> Jacobian {
-    Jacobian::from_affine(&Affine::generator()).scalar_mul(k)
+    let table = g_table();
+    let e = k.to_u256();
+    let mut acc = Jacobian::INFINITY;
+    for (w, entries) in table.iter().enumerate() {
+        let digit = ((e.0[w / 16] >> ((w % 16) * 4)) & 0xf) as usize;
+        if digit != 0 {
+            acc = acc.add(&entries[digit - 1]);
+        }
+    }
+    acc
+}
+
+/// Multiplies the generator by `k` with plain left-to-right
+/// double-and-add — the reference path the precomputed table is verified
+/// against.
+pub fn g_mul_double_and_add(k: &Scalar) -> Jacobian {
+    Jacobian::from_affine(&Affine::generator()).scalar_mul_binary(k)
 }
 
 /// An ECDSA signature with recovery information.
@@ -534,6 +660,7 @@ pub fn public_key(private_key: &U256) -> Result<Affine, EcdsaError> {
 /// recovery id. Deterministic: the same key and hash always yield the same
 /// signature (RFC 6979).
 pub fn sign(private_key: &U256, msg_hash: &[u8; 32]) -> Result<Signature, EcdsaError> {
+    let _t = PhaseTimer::start(HotPhase::Sign);
     let d = Scalar::from_canonical(*private_key).ok_or(EcdsaError::InvalidPrivateKey)?;
     let z = Scalar::new(U256::from_be_bytes(msg_hash));
     for attempt in 0..128 {
@@ -611,10 +738,16 @@ pub fn recover(msg_hash: &[u8; 32], sig: &Signature) -> Result<Affine, EcdsaErro
     let r_point = Affine::lift_x(x, sig.recovery_id & 1 == 1).ok_or(EcdsaError::RecoveryFailed)?;
     let z = Scalar::new(U256::from_be_bytes(msg_hash));
     let rinv = r.inv().ok_or(EcdsaError::InvalidSignature)?;
-    // Q = r⁻¹ (s·R − z·G)
-    let sr = Jacobian::from_affine(&r_point).scalar_mul(&s);
-    let zg = g_mul(&z.neg());
-    let q = sr.add(&zg).scalar_mul(&rinv).to_affine();
+    // Q = r⁻¹(s·R − z·G) = (r⁻¹s)·R + (r⁻¹(−z))·G — folding the inverse
+    // into the scalars costs one arbitrary-point multiply plus one
+    // table-accelerated generator multiply, instead of two arbitrary-point
+    // multiplies on top of the generator one.
+    let u1 = rinv.mul(s);
+    let u2 = rinv.mul(z.neg());
+    let q = Jacobian::from_affine(&r_point)
+        .scalar_mul(&u1)
+        .add(&g_mul(&u2))
+        .to_affine();
     if q == Affine::Infinity {
         return Err(EcdsaError::RecoveryFailed);
     }
@@ -671,6 +804,130 @@ mod tests {
             acc = acc.add(&g);
             let direct = g.scalar_mul(&Scalar::new(U256::from_u64(k)));
             assert_eq!(acc.to_affine(), direct.to_affine(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_matches_double_and_add() {
+        // Small scalars, structured scalars (one digit per window
+        // boundary), and group-order edge cases.
+        let mut scalars = vec![
+            U256::ONE,
+            U256::from_u64(2),
+            U256::from_u64(15),
+            U256::from_u64(16),
+            U256::from_u64(0xdeadbeef),
+            U256::from_hex_str("4c0883a69102937d6231471b5dbb6204fe512961708279feb1be6ae5538da033")
+                .unwrap(),
+            N.wrapping_sub(&U256::ONE),
+        ];
+        for w in [1u32, 15, 16, 31, 32, 63] {
+            scalars.push(U256::ONE.shl(w * 4));
+        }
+        for v in scalars {
+            let k = Scalar::new(v);
+            assert_eq!(
+                g_mul(&k).to_affine(),
+                g_mul_double_and_add(&k).to_affine(),
+                "k={v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn precomputed_signatures_are_byte_identical_to_double_and_add() {
+        // The table changes the cost of g·k, never its value: recompute
+        // each signature with the reference scalar-mul path inlined and
+        // compare every byte.
+        for i in 1..16u64 {
+            let key = U256::from_u64(i * 7919 + 13);
+            let h = keccak256(&i.to_be_bytes());
+            let fast = sign(&key, &h).unwrap();
+            // Reference signature via double-and-add, same RFC-6979 nonce.
+            let d = Scalar::from_canonical(key).unwrap();
+            let z = Scalar::new(U256::from_be_bytes(&h));
+            let k = rfc6979_nonce(&key, &h, 0);
+            let (rx, ry) = match g_mul_double_and_add(&k).to_affine() {
+                Affine::Point { x, y } => (x, y),
+                Affine::Infinity => panic!("nonce point is finite"),
+            };
+            let r = Scalar::from_canonical(rx.to_u256()).unwrap();
+            let mut s = k.inv().unwrap().mul(z.add(r.mul(d)));
+            let mut rec_id = ry.is_odd() as u8;
+            if s.is_high() {
+                s = s.neg();
+                rec_id ^= 1;
+            }
+            assert_eq!(fast.r.to_be_bytes(), r.to_u256().to_be_bytes(), "i={i}");
+            assert_eq!(fast.s.to_be_bytes(), s.to_u256().to_be_bytes(), "i={i}");
+            assert_eq!(fast.recovery_id, rec_id, "i={i}");
+        }
+    }
+
+    #[test]
+    fn windowed_scalar_mul_matches_double_and_add() {
+        // An arbitrary point (7·G) against edge scalars: tiny, nibble
+        // boundaries, and order-adjacent values.
+        let p = g_mul(&Scalar::new(U256::from_u64(7)));
+        let mut scalars = vec![
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(15),
+            U256::from_u64(16),
+            U256::from_u64(0xdeadbeef),
+            U256::from_hex_str("4c0883a69102937d6231471b5dbb6204fe512961708279feb1be6ae5538da033")
+                .unwrap(),
+            N.wrapping_sub(&U256::ONE),
+        ];
+        for w in [1u32, 15, 16, 31, 32, 63] {
+            scalars.push(U256::ONE.shl(w * 4));
+        }
+        for v in scalars {
+            let k = Scalar::new(v);
+            assert_eq!(
+                p.scalar_mul(&k).to_affine(),
+                p.scalar_mul_binary(&k).to_affine(),
+                "k={v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_folding_reduction_matches_long_division() {
+        // reduce_n against the generic div_rem reduction over products of
+        // order-adjacent and structured operands.
+        let values = [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(0xffff_ffff),
+            N.wrapping_sub(&U256::ONE),
+            N.wrapping_add(&U256::ONE), // wraps mod 2^256: exercises Scalar::new too
+            U256::MAX,
+            U256::from_hex_str("8000000000000000000000000000000000000000000000000000000000000001")
+                .unwrap(),
+        ];
+        for a in values {
+            assert_eq!(Scalar::new(a).to_u256(), a.div_rem(&N).1, "new a={a:?}");
+            for b in values {
+                let fast = Scalar::new(a).mul(Scalar::new(b)).to_u256();
+                let slow = a.div_rem(&N).1.mul_mod(&b.div_rem(&N).1, &N);
+                assert_eq!(fast, slow, "a={a:?} b={b:?}");
+            }
+        }
+        // Addition overflow fold: (n-1) + (n-1) ≡ n-2.
+        let nm1 = Scalar::new(N.wrapping_sub(&U256::ONE));
+        assert_eq!(nm1.add(nm1).to_u256(), N.wrapping_sub(&U256::from_u64(2)));
+        // Fermat inverse over the folding multiply agrees with the generic
+        // path and satisfies the inverse law.
+        for v in [
+            U256::from_u64(2),
+            U256::from_u64(0xdead),
+            N.wrapping_sub(&U256::ONE),
+        ] {
+            let s = Scalar::new(v);
+            let inv = s.inv().unwrap();
+            assert_eq!(inv.to_u256(), v.inv_mod_prime(&N).unwrap());
+            assert_eq!(s.mul(inv).to_u256(), U256::ONE);
         }
     }
 

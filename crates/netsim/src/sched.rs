@@ -15,6 +15,7 @@
 //! a run is a pure function of its inputs.
 
 use crate::clock::{SimDuration, SimInstant};
+use ofl_primitives::hotpath::{HotPhase, PhaseTimer};
 use std::collections::BinaryHeap;
 
 /// An event queue ordered by firing instant, then by scheduling order.
@@ -74,6 +75,7 @@ impl<E> EventQueue<E> {
     /// the last popped event) is a logic error and panics, because it would
     /// make virtual time non-monotone.
     pub fn schedule(&mut self, at: SimInstant, event: E) {
+        let _t = PhaseTimer::start(HotPhase::Queue);
         assert!(
             at >= self.last_popped,
             "scheduled event at {:?} before current time {:?}",
@@ -95,6 +97,7 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event with its firing instant.
     pub fn pop(&mut self) -> Option<(SimInstant, E)> {
+        let _t = PhaseTimer::start(HotPhase::Queue);
         let entry = self.heap.pop()?;
         self.last_popped = entry.at;
         Some((entry.at, entry.event))
@@ -177,6 +180,24 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "first");
         assert_eq!(q.pop().unwrap().1, "second");
         assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn ten_thousand_same_instant_events_pop_in_schedule_order() {
+        // Fleet-scale slot barriers put thousands of owner events on the
+        // same SimInstant; tie-breaking by sequence number must hold at
+        // that density, not just for three events.
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.schedule(SimInstant(42), i);
+        }
+        assert_eq!(q.len(), 10_000);
+        for expect in 0..10_000u32 {
+            let (at, got) = q.pop().unwrap();
+            assert_eq!(at, SimInstant(42));
+            assert_eq!(got, expect);
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

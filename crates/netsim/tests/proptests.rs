@@ -4,6 +4,7 @@
 
 use ofl_netsim::clock::{SimClock, SimDuration, SimInstant};
 use ofl_netsim::link::{Link, NetworkProfile};
+use ofl_netsim::sched::EventQueue;
 use ofl_netsim::service::{Response, Service};
 use ofl_netsim::timing::{ComputeModel, PhaseRecorder};
 use proptest::prelude::*;
@@ -180,6 +181,31 @@ proptest! {
                 .sum();
             prop_assert_eq!(recorder.get(name), SimDuration::from_micros(expect));
         }
+    }
+
+    #[test]
+    fn event_queue_matches_a_model_stable_sort(
+        delays in proptest::collection::vec(0u64..16, 1..400),
+    ) {
+        // Model: a stable sort by firing instant. The tight delay range
+        // forces dense same-instant collisions so the tie-break (schedule
+        // order) is what's actually under test. Instants are cumulative
+        // maxima so nothing schedules into the popped past.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut at = 0u64;
+        for (i, &d) in delays.iter().enumerate() {
+            at += d;
+            q.schedule(SimInstant(at), i);
+            model.push((at, i));
+        }
+        model.sort_by_key(|&(at, _)| at); // stable: preserves schedule order
+        for &(expect_at, expect_event) in &model {
+            let (got_at, got_event) = q.pop().expect("queue drained early");
+            prop_assert_eq!(got_at, SimInstant(expect_at));
+            prop_assert_eq!(got_event, expect_event);
+        }
+        prop_assert!(q.is_empty());
     }
 
     #[test]

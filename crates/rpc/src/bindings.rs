@@ -437,7 +437,9 @@ impl ModelMarketContract {
                 )
             })
             .collect();
-        let responses = eth.batch(&requests);
+        // Tag-match the reply array: the CIDs are collected positionally,
+        // and a reordering endpoint shuffles what the wire delivers.
+        let responses = crate::envelope::match_to_requests(&requests, eth.batch(&requests));
         let mut cids = Vec::with_capacity(count as usize);
         for response in responses {
             cost = cost.saturating_add(response.cost);

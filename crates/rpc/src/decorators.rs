@@ -5,11 +5,13 @@
 //! wraps, so stacks compose freely:
 //!
 //! ```text
-//! MeteredProvider              ← counts calls/errors, sums costs, snapshots
-//!   └─ LatencyProvider         ← prices each request from the netsim links
-//!        └─ RateLimitProvider  ← seeded 429s after K requests per slot
-//!             └─ FlakyProvider ← seeded request drops with a timeout cost
-//!                  └─ SimProvider  (in-process chain + swarm)
+//! ReorderProvider                   ← seeded shuffle of batch reply arrays
+//!   └─ MeteredProvider              ← counts calls/errors, sums costs
+//!        └─ LatencyProvider         ← prices each request from the netsim links
+//!             └─ SpikeProvider      ← seeded slot-long latency stalls
+//!                  └─ RateLimitProvider  ← seeded 429s after K requests per slot
+//!                       └─ FlakyProvider ← seeded request drops, timeout cost
+//!                            └─ SimProvider  (in-process chain + swarm)
 //! ```
 //!
 //! Decorators never touch a clock: they *price* requests into the response
@@ -430,6 +432,268 @@ impl<P: NodeProvider> NodeProvider for RateLimitProvider<P> {
     }
     fn on_slot(&mut self) {
         self.renew_window();
+        self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
+    }
+}
+
+// ----------------------------------------------------------------------
+// SpikeProvider
+// ----------------------------------------------------------------------
+
+/// How a congested endpoint's latency spikes come and go.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeProfile {
+    /// Seed of the per-slot spike draws — equal seeds reproduce the exact
+    /// same stall windows, slot for slot.
+    pub seed: u64,
+    /// Probability that a stall begins at any idle slot boundary.
+    pub spike_rate: f64,
+    /// How many 12-second slots one stall lasts once it begins.
+    pub spike_slots: u64,
+    /// Extra virtual time every Ethereum exchange pays while stalled.
+    pub stall: SimDuration,
+}
+
+impl SpikeProfile {
+    /// A profile with the default 2-slot, 2-second stalls.
+    pub fn new(seed: u64, spike_rate: f64) -> SpikeProfile {
+        SpikeProfile {
+            seed,
+            spike_rate,
+            spike_slots: 2,
+            stall: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Stalls an endpoint for whole slots at a time — the congested-provider
+/// scenario generator. At each idle slot boundary a seeded coin decides
+/// whether a spike begins; while one is live, every Ethereum request (or
+/// whole batch) pays the profile's stall on top of its normal price, then
+/// the endpoint recovers and the coin waits for the next boundary. Spikes
+/// are a property of virtual *slots*, not of request count, so equal seeds
+/// stall the exact same windows however much traffic flows through them.
+/// IPFS traffic (LAN-local in the paper's deployment) passes untouched.
+pub struct SpikeProvider<P> {
+    inner: P,
+    profile: SpikeProfile,
+    rng: StdRng,
+    /// Slots left before the current spike clears (0 = healthy).
+    remaining_slots: u64,
+    /// How many requests (or whole batches) were served mid-spike.
+    pub stalled: u64,
+}
+
+impl<P> SpikeProvider<P> {
+    /// Wraps `inner` with the given spike profile. The first slot draws its
+    /// coin immediately, so a spike can be live from the very first request.
+    pub fn new(inner: P, profile: SpikeProfile) -> SpikeProvider<P> {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let remaining_slots = if rng.gen_bool(profile.spike_rate) {
+            profile.spike_slots
+        } else {
+            0
+        };
+        SpikeProvider {
+            inner,
+            profile,
+            rng,
+            remaining_slots,
+            stalled: 0,
+        }
+    }
+
+    /// True while a spike window is live.
+    pub fn is_stalled(&self) -> bool {
+        self.remaining_slots > 0
+    }
+
+    /// One slot elapses: a live spike runs down; an idle boundary draws the
+    /// seeded coin for the next one. The coin is only drawn while healthy,
+    /// so the draw stream — and with it every later window — depends on
+    /// nothing but the seed and the slot count.
+    fn advance_slot(&mut self) {
+        if self.remaining_slots > 0 {
+            self.remaining_slots -= 1;
+            return;
+        }
+        if self.rng.gen_bool(self.profile.spike_rate) {
+            self.remaining_slots = self.profile.spike_slots;
+        }
+    }
+
+    /// Adds the stall to one already-priced cost when a spike is live.
+    fn stall_cost(&mut self, cost: SimDuration) -> SimDuration {
+        if self.remaining_slots == 0 {
+            return cost;
+        }
+        self.stalled += 1;
+        cost.saturating_add(self.profile.stall)
+    }
+}
+
+impl<P: EthApi> EthApi for SpikeProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        let mut response = self.inner.execute(request);
+        response.cost = self.stall_cost(response.cost);
+        response
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        let mut responses = self.inner.batch(requests);
+        // A batch is one HTTP exchange: the stall elapses once, riding the
+        // first response like every other batch-level cost.
+        if let Some(first) = responses.first_mut() {
+            first.cost = self.stall_cost(first.cost);
+        }
+        responses
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for SpikeProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for SpikeProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+    fn on_slot(&mut self) {
+        self.advance_slot();
+        self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
+    }
+}
+
+// ----------------------------------------------------------------------
+// ReorderProvider
+// ----------------------------------------------------------------------
+
+/// How a batch-reordering endpoint shuffles its answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderProfile {
+    /// Seed of the per-batch permutation draws — equal seeds shuffle every
+    /// batch identically, draw for draw.
+    pub seed: u64,
+}
+
+impl ReorderProfile {
+    /// A profile shuffling with the given seed.
+    pub fn new(seed: u64) -> ReorderProfile {
+        ReorderProfile { seed }
+    }
+}
+
+/// Delivers each batch's sub-responses in a seeded random order — the
+/// out-of-order-server scenario generator. JSON-RPC promises nothing about
+/// the order of a batch reply's array; clients must pair answers with
+/// requests by their `id` tag. Every response keeps its tag (and its priced
+/// cost) through the shuffle, so tag-matching clients (see
+/// [`match_to_requests`](crate::envelope::match_to_requests)) reassemble
+/// request order exactly, while positional consumers would read the wrong
+/// answers — which is precisely what the regime exists to catch.
+///
+/// Sits **outermost** in the stack: it models the wire delivering the reply
+/// array out of order, after pricing and metering saw the batch in request
+/// order. Single requests and IPFS traffic pass untouched.
+pub struct ReorderProvider<P> {
+    inner: P,
+    rng: StdRng,
+    /// How many batches came back in a non-identity order.
+    pub reordered: u64,
+}
+
+impl<P> ReorderProvider<P> {
+    /// Wraps `inner` with the given shuffle profile.
+    pub fn new(inner: P, profile: ReorderProfile) -> ReorderProvider<P> {
+        ReorderProvider {
+            inner,
+            rng: StdRng::seed_from_u64(profile.seed),
+            reordered: 0,
+        }
+    }
+}
+
+impl<P: EthApi> EthApi for ReorderProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        self.inner.execute(request)
+    }
+
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        let mut responses = self.inner.batch(requests);
+        if responses.len() > 1 {
+            // Fisher–Yates with the seeded stream: len-1 draws per batch,
+            // whatever the transport, so equal seeds permute identically.
+            let mut identity = true;
+            for i in (1..responses.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                if j != i {
+                    identity = false;
+                    responses.swap(i, j);
+                }
+            }
+            if !identity {
+                self.reordered += 1;
+            }
+        }
+        responses
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for ReorderProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for ReorderProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+    fn on_slot(&mut self) {
         self.inner.on_slot()
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
@@ -1059,6 +1323,124 @@ mod tests {
                 .value
                 .unwrap()
                 .is_some());
+        }
+    }
+
+    #[test]
+    fn latency_spikes_stall_whole_slots_deterministically() {
+        let run = |seed: u64| -> Vec<SimDuration> {
+            let addr = H160::from_slice(&[1; 20]);
+            let chain = Chain::new(
+                ChainConfig::default(),
+                &[(addr, ofl_primitives::wei_per_eth())],
+            );
+            let mut provider = SpikeProvider::new(
+                SimProvider::new(chain, Swarm::new()),
+                SpikeProfile::new(seed, 0.4),
+            );
+            // Two requests per slot across 20 slots: both see the same
+            // window, because spikes are per-slot, not per-request.
+            let mut costs = Vec::new();
+            for _ in 0..20 {
+                let first = provider.block_number().cost;
+                assert_eq!(first, provider.block_number().cost);
+                costs.push(first);
+                provider.on_slot();
+            }
+            costs
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "equal seeds must stall identically");
+        assert_ne!(a, run(12), "different seeds should differ");
+        let stall = SpikeProfile::new(0, 0.0).stall;
+        assert!(
+            a.iter().any(|c| *c >= stall),
+            "a 40% spike rate must stall something"
+        );
+        assert!(
+            a.iter().any(|c| *c < stall),
+            "and must leave healthy slots between spikes"
+        );
+    }
+
+    #[test]
+    fn spiked_batches_pay_the_stall_once() {
+        let addr = H160::from_slice(&[1; 20]);
+        let chain = Chain::new(
+            ChainConfig::default(),
+            &[(addr, ofl_primitives::wei_per_eth())],
+        );
+        // spike_rate 1.0: every slot stalls, including the first.
+        let mut provider = SpikeProvider::new(
+            SimProvider::new(chain, Swarm::new()),
+            SpikeProfile::new(3, 1.0),
+        );
+        assert!(provider.is_stalled());
+        let responses = provider.batch(&receipt_poll_batch(4));
+        assert!(responses[0].cost >= provider.profile.stall);
+        assert!(responses[1..].iter().all(|r| r.cost == SimDuration::ZERO));
+        assert_eq!(provider.stalled, 1, "one batch = one stalled exchange");
+    }
+
+    #[test]
+    fn reordered_batches_keep_tags_and_shuffle_deterministically() {
+        let run = |seed: u64| -> Vec<Vec<u64>> {
+            let addr = H160::from_slice(&[1; 20]);
+            let chain = Chain::new(
+                ChainConfig::default(),
+                &[(addr, ofl_primitives::wei_per_eth())],
+            );
+            let mut provider = ReorderProvider::new(
+                SimProvider::new(chain, Swarm::new()),
+                ReorderProfile::new(seed),
+            );
+            (0..6)
+                .map(|_| {
+                    provider
+                        .batch(&receipt_poll_batch(8))
+                        .iter()
+                        .map(|r| r.id)
+                        .collect()
+                })
+                .collect()
+        };
+        let a = run(21);
+        assert_eq!(a, run(21), "equal seeds must shuffle identically");
+        assert_ne!(a, run(22), "different seeds should differ");
+        // Every batch still answers every tag exactly once.
+        for ids in &a {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<u64>>());
+        }
+        // And at least one of the six 8-element batches left identity
+        // order behind (the odds of six identity draws are ~1 in 10^27).
+        assert!(a.iter().any(|ids| *ids != (0..8).collect::<Vec<u64>>()));
+    }
+
+    #[test]
+    fn tag_matching_undoes_a_reordering_endpoint() {
+        let addr = H160::from_slice(&[1; 20]);
+        let chain = Chain::new(
+            ChainConfig::default(),
+            &[(addr, ofl_primitives::wei_per_eth())],
+        );
+        let mut provider = ReorderProvider::new(
+            SimProvider::new(chain, Swarm::new()),
+            ReorderProfile::new(7),
+        );
+        let requests = vec![
+            RpcRequest::new(0, RpcMethod::BlockNumber),
+            RpcRequest::new(1, RpcMethod::GetBalance { address: addr }),
+            RpcRequest::new(2, RpcMethod::ChainId),
+        ];
+        for _ in 0..8 {
+            let matched = crate::envelope::match_to_requests(&requests, provider.batch(&requests));
+            // Whatever order the wire delivered, tags restore request
+            // order and each slot holds its own method's result shape.
+            assert!(matches!(matched[0].result, Ok(RpcResult::BlockNumber(_))));
+            assert!(matches!(matched[1].result, Ok(RpcResult::Balance(_))));
+            assert!(matches!(matched[2].result, Ok(RpcResult::ChainId(_))));
         }
     }
 }

@@ -245,6 +245,16 @@ impl RpcRequest {
         w.0
     }
 
+    /// Canonical wire encoding into an existing buffer — `out` is
+    /// **replaced** but its allocation is reused, so per-message encode
+    /// stops allocating on hot paths.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut w = Writer(std::mem::take(out));
+        self.write(&mut w);
+        *out = w.0;
+    }
+
     pub(crate) fn write(&self, w: &mut Writer) {
         w.u64(self.id);
         match &self.method {
@@ -473,6 +483,16 @@ impl RpcResponse {
         w.0
     }
 
+    /// Canonical wire encoding into an existing buffer — `out` is
+    /// **replaced** but its allocation is reused (see
+    /// [`RpcRequest::encode_into`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut w = Writer(std::mem::take(out));
+        self.write(&mut w);
+        *out = w.0;
+    }
+
     pub(crate) fn write(&self, w: &mut Writer) {
         w.u64(self.id);
         w.u64(self.cost.as_micros());
@@ -616,6 +636,37 @@ impl RpcResponse {
         };
         Ok(RpcResponse { id, result, cost })
     }
+}
+
+/// Pairs a batch's responses back to request order by their correlation
+/// tags — what a JSON-RPC client does with a batch reply, whose array order
+/// the server promises nothing about.
+///
+/// Each response claims the first still-unclaimed request carrying its
+/// `id`, so duplicate tags pair first-come-first-served and a well-behaved
+/// (in-order) server is a no-op. Responses with unknown tags — or any
+/// responses left over when the counts disagree — fill the remaining slots
+/// in wire order, which degrades to positional matching rather than
+/// dropping answers on the floor.
+pub fn match_to_requests(requests: &[RpcRequest], responses: Vec<RpcResponse>) -> Vec<RpcResponse> {
+    if responses.len() != requests.len() {
+        return responses;
+    }
+    let mut slots: Vec<Option<RpcResponse>> = requests.iter().map(|_| None).collect();
+    let mut strays = Vec::new();
+    for response in responses {
+        let claimed =
+            (0..requests.len()).find(|&i| requests[i].id == response.id && slots[i].is_none());
+        match claimed {
+            Some(i) => slots[i] = Some(response),
+            None => strays.push(response),
+        }
+    }
+    let mut strays = strays.into_iter();
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| strays.next().expect("one stray per empty slot")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -796,5 +847,56 @@ mod tests {
             RpcResponse::decode(&resp.0),
             Err(CodecError::LengthOverflow { .. })
         ));
+    }
+
+    fn reply(id: u64, height: u64) -> RpcResponse {
+        RpcResponse {
+            id,
+            result: Ok(RpcResult::BlockNumber(height)),
+            cost: SimDuration::from_millis(height),
+        }
+    }
+
+    #[test]
+    fn tag_matching_restores_request_order() {
+        let requests: Vec<RpcRequest> = [4u64, 9, 7]
+            .into_iter()
+            .map(|id| RpcRequest::new(id, RpcMethod::BlockNumber))
+            .collect();
+        // The wire delivered the array shuffled; tags pair answers back.
+        let shuffled = vec![reply(7, 30), reply(4, 10), reply(9, 20)];
+        let matched = match_to_requests(&requests, shuffled);
+        assert_eq!(
+            matched.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![4, 9, 7]
+        );
+        // Each response kept its own result and priced cost.
+        assert_eq!(matched[0], reply(4, 10));
+        assert_eq!(matched[2], reply(7, 30));
+        // An in-order reply is untouched.
+        let in_order = vec![reply(4, 10), reply(9, 20), reply(7, 30)];
+        assert_eq!(match_to_requests(&requests, in_order.clone()), in_order);
+    }
+
+    #[test]
+    fn tag_matching_degrades_to_positions_for_strays_and_duplicates() {
+        // Duplicate tags claim their requests first-come-first-served.
+        let twins: Vec<RpcRequest> = [5u64, 5]
+            .into_iter()
+            .map(|id| RpcRequest::new(id, RpcMethod::BlockNumber))
+            .collect();
+        let answers = vec![reply(5, 1), reply(5, 2)];
+        assert_eq!(match_to_requests(&twins, answers.clone()), answers);
+        // A response with an unknown tag fills the slot its tagged peers
+        // left over, in wire order.
+        let requests: Vec<RpcRequest> = [1u64, 2]
+            .into_iter()
+            .map(|id| RpcRequest::new(id, RpcMethod::BlockNumber))
+            .collect();
+        let matched = match_to_requests(&requests, vec![reply(99, 3), reply(1, 4)]);
+        assert_eq!(matched, vec![reply(1, 4), reply(99, 3)]);
+        // Mismatched counts pass through untouched.
+        let short = vec![reply(1, 4)];
+        assert_eq!(match_to_requests(&requests, short.clone()), short);
     }
 }

@@ -40,6 +40,7 @@ use ofl_ipfs::blockstore::BlockstoreError;
 use ofl_ipfs::cid::Cid;
 use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError};
 use ofl_netsim::clock::SimDuration;
+use ofl_primitives::hotpath::{HotPhase, PhaseTimer};
 use ofl_primitives::u256::U256;
 use ofl_primitives::H160;
 use std::io::{Read, Write};
@@ -635,10 +636,18 @@ impl Frame {
     /// Encodes the frame payload (tag + body, without the stream header).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.write_payload(&mut w);
+        w.0
+    }
+
+    /// Writes the frame payload (tag + body) into an existing writer — the
+    /// allocation-free core shared by [`Frame::encode_payload`] and the
+    /// buffer-reusing [`Frame::encode_into`].
+    fn write_payload(&self, w: &mut Writer) {
         match self {
             Frame::Provision { chain, genesis } => {
                 w.u8(0);
-                write_chain_config(&mut w, chain);
+                write_chain_config(w, chain);
                 w.u64(genesis.len() as u64);
                 for (address, amount) in genesis {
                     w.h160(address);
@@ -647,13 +656,13 @@ impl Frame {
             }
             Frame::Execute(request) => {
                 w.u8(1);
-                request.write(&mut w);
+                request.write(w);
             }
             Frame::Batch(requests) => {
                 w.u8(2);
                 w.u64(requests.len() as u64);
                 for request in requests {
-                    request.write(&mut w);
+                    request.write(w);
                 }
             }
             Frame::IpfsAdd { node, data } => {
@@ -664,16 +673,16 @@ impl Frame {
             Frame::IpfsCat { node, cid } => {
                 w.u8(4);
                 w.u64(*node);
-                write_cid(&mut w, cid);
+                write_cid(w, cid);
             }
             Frame::IpfsPin { node, cid } => {
                 w.u8(5);
                 w.u64(*node);
-                write_cid(&mut w, cid);
+                write_cid(w, cid);
             }
             Frame::Backstage(op) => {
                 w.u8(6);
-                write_backstage_op(&mut w, op);
+                write_backstage_op(w, op);
             }
             Frame::Shutdown => w.u8(7),
             Frame::Request { id, session, frame } => {
@@ -689,19 +698,19 @@ impl Frame {
             Frame::Provisioned => w.u8(0x80),
             Frame::Response(response) => {
                 w.u8(0x81);
-                response.write(&mut w);
+                response.write(w);
             }
             Frame::BatchResponse(responses) => {
                 w.u8(0x82);
                 w.u64(responses.len() as u64);
                 for response in responses {
-                    response.write(&mut w);
+                    response.write(w);
                 }
             }
             Frame::IpfsAdded { cost, result } => {
                 w.u8(0x83);
                 w.u64(cost.as_micros());
-                write_add_result(&mut w, result);
+                write_add_result(w, result);
             }
             Frame::IpfsCatted { cost, result } => {
                 w.u8(0x84);
@@ -710,11 +719,11 @@ impl Frame {
                     Ok((bytes, stats)) => {
                         w.u8(1);
                         w.bytes(bytes);
-                        write_fetch_stats(&mut w, stats);
+                        write_fetch_stats(w, stats);
                     }
                     Err(error) => {
                         w.u8(0);
-                        write_ipfs_error(&mut w, error);
+                        write_ipfs_error(w, error);
                     }
                 }
             }
@@ -725,17 +734,17 @@ impl Frame {
                     Ok(()) => w.u8(1),
                     Err(error) => {
                         w.u8(0);
-                        write_ipfs_error(&mut w, error);
+                        write_ipfs_error(w, error);
                     }
                 }
             }
             Frame::BackstageReply(reply) => {
                 w.u8(0x86);
-                write_backstage_reply(&mut w, reply);
+                write_backstage_reply(w, reply);
             }
             Frame::Error(error) => {
                 w.u8(0x87);
-                write_protocol_error(&mut w, error);
+                write_protocol_error(w, error);
             }
             Frame::Goodbye => w.u8(0x88),
             Frame::Reply { id, frame } => {
@@ -748,11 +757,11 @@ impl Frame {
                 w.u64(*height);
             }
         }
-        w.0
     }
 
     /// Decodes a frame payload (tag + body). Trailing bytes are an error.
     pub fn decode_payload(payload: &[u8]) -> Result<Frame, CodecError> {
+        let _t = PhaseTimer::start(HotPhase::Codec);
         Frame::decode_payload_at(payload, true)
     }
 
@@ -882,6 +891,33 @@ impl Frame {
         Ok(frame)
     }
 
+    /// Encodes the complete wire form (magic, version, length, payload)
+    /// into `out`, **replacing** its contents but reusing its allocation —
+    /// a transport that keeps one scratch buffer stops allocating per
+    /// frame. Refuses payloads past [`MAX_FRAME_BYTES`] — the peer would
+    /// reject them anyway, and a u32 length prefix cannot even represent a
+    /// multi-GiB payload without desyncing the stream.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), FrameError> {
+        let _t = PhaseTimer::start(HotPhase::Codec);
+        out.clear();
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        // Serialize the payload straight after the header, then backpatch
+        // the length — no intermediate payload vector.
+        let mut w = Writer(std::mem::take(out));
+        self.write_payload(&mut w);
+        *out = w.0;
+        let payload_len = out.len() - 8;
+        if payload_len > MAX_FRAME_BYTES as usize {
+            return Err(FrameError::TooLarge {
+                declared: payload_len.min(u32::MAX as usize) as u32,
+            });
+        }
+        out[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        Ok(())
+    }
+
     /// Encodes the complete wire form: magic, version, length, payload.
     pub fn encode(&self) -> Vec<u8> {
         let payload = self.encode_payload();
@@ -893,22 +929,12 @@ impl Frame {
         out
     }
 
-    /// Writes the complete wire form to a stream, refusing payloads past
-    /// [`MAX_FRAME_BYTES`] **before** any bytes hit the wire — the peer
-    /// would reject them anyway, and a u32 length prefix cannot even
-    /// represent a multi-GiB payload without desyncing the stream.
+    /// Writes the complete wire form to a stream, refusing oversized
+    /// payloads **before** any bytes hit the wire (see
+    /// [`Frame::encode_into`]).
     pub fn write_to(&self, stream: &mut impl Write) -> Result<(), FrameError> {
-        let payload = self.encode_payload();
-        if payload.len() > MAX_FRAME_BYTES as usize {
-            return Err(FrameError::TooLarge {
-                declared: payload.len().min(u32::MAX as usize) as u32,
-            });
-        }
-        let mut wire = Vec::with_capacity(payload.len() + 8);
-        wire.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-        wire.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
-        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        wire.extend_from_slice(&payload);
+        let mut wire = Vec::new();
+        self.encode_into(&mut wire)?;
         stream
             .write_all(&wire)
             .and_then(|_| stream.flush())

@@ -18,8 +18,10 @@
 //! - [`decorators`]: composable providers wrapping any backend —
 //!   [`LatencyProvider`] prices netsim timing into each response,
 //!   [`FlakyProvider`] injects seeded deterministic drops/timeouts,
-//!   [`RateLimitProvider`] answers seeded 429s past a per-slot quota, and
-//!   [`MeteredProvider`] counts per-method calls and virtual-time totals.
+//!   [`RateLimitProvider`] answers seeded 429s past a per-slot quota,
+//!   [`SpikeProvider`] stalls whole slots at a time, [`ReorderProvider`]
+//!   shuffles batch reply arrays (tags intact), and [`MeteredProvider`]
+//!   counts per-method calls and virtual-time totals.
 //! - [`bindings`]: the [`contract_bindings!`] macro and the generated
 //!   [`ModelMarketContract`] handle — typed contract calls with typed
 //!   decode errors, no raw selector strings.
@@ -59,9 +61,10 @@ pub use bindings::{AbiArg, AbiRet, BindingError, ModelMarketContract};
 pub use codec::CodecError;
 pub use decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, MethodStats, ProviderMetrics,
-    RateLimitProfile, RateLimitProvider, StaleProfile, StaleReadProvider,
+    RateLimitProfile, RateLimitProvider, ReorderProfile, ReorderProvider, SpikeProfile,
+    SpikeProvider, StaleProfile, StaleReadProvider,
 };
-pub use envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
+pub use envelope::{match_to_requests, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 pub use eth::EthApi;
 pub use frame::{Frame, FrameError, ProtocolError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
 pub use ipfs::IpfsApi;

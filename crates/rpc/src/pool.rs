@@ -21,9 +21,11 @@
 //!   snapshot and [`ProviderPool::metrics_merged`] absorbs them into one
 //!   run-level [`ProviderMetrics`].
 
+use crate::backstage::{BackstageOp, BackstageReply};
 use crate::decorators::ProviderMetrics;
 use crate::envelope::{RpcRequest, RpcResponse};
 use crate::provider::NodeProvider;
+use ofl_netsim::par::fork_join_mut;
 
 /// Addresses one endpoint (shard) of a [`ProviderPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -79,8 +81,13 @@ impl ProviderPool {
     /// trip, and scatters the responses back into request order. Batch
     /// costs ride on the first response of each endpoint's group, exactly
     /// as a single-endpoint [`EthApi::batch`](crate::eth::EthApi::batch).
+    ///
+    /// Endpoints are independent shards, so their groups run on parallel
+    /// worker threads ([`fork_join_mut`]); the scatter is by recorded
+    /// request index, so response order — and therefore every digest
+    /// downstream — is identical to the serial fan-out.
     pub fn batch(&mut self, requests: &[(EndpointId, RpcRequest)]) -> Vec<RpcResponse> {
-        let mut responses: Vec<Option<RpcResponse>> = (0..requests.len()).map(|_| None).collect();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for id in 0..self.endpoints.len() {
             let indices: Vec<usize> = requests
                 .iter()
@@ -88,12 +95,32 @@ impl ProviderPool {
                 .filter(|(_, (ep, _))| ep.0 == id)
                 .map(|(i, _)| i)
                 .collect();
-            if indices.is_empty() {
-                continue;
+            if !indices.is_empty() {
+                groups.push((id, indices));
             }
+        }
+        // Pair each busy endpoint with its request group; disjoint
+        // endpoints are the unit of parallelism.
+        let mut work: Vec<(&mut Box<dyn NodeProvider>, Vec<RpcRequest>)> = Vec::new();
+        let mut remaining = self.endpoints.as_mut_slice();
+        let mut consumed = 0usize;
+        for (id, indices) in &groups {
+            let (_, rest) = remaining.split_at_mut(id - consumed);
+            let (endpoint, rest) = rest.split_first_mut().expect("endpoint id in range");
+            remaining = rest;
+            consumed = id + 1;
             let group: Vec<RpcRequest> = indices.iter().map(|&i| requests[i].1.clone()).collect();
-            let answers = self.endpoints[id].batch(&group);
-            for (&i, answer) in indices.iter().zip(answers) {
+            work.push((endpoint, group));
+        }
+        // Each worker re-pairs its endpoint's reply array by correlation
+        // tag, so a reordering endpoint still scatters correct answers.
+        let answers = fork_join_mut(&mut work, |_, (endpoint, group)| {
+            let responses = endpoint.batch(group);
+            crate::envelope::match_to_requests(group, responses)
+        });
+        let mut responses: Vec<Option<RpcResponse>> = (0..requests.len()).map(|_| None).collect();
+        for ((_, indices), group_answers) in groups.iter().zip(answers) {
+            for (&i, answer) in indices.iter().zip(group_answers) {
                 responses[i] = Some(answer);
             }
         }
@@ -109,6 +136,14 @@ impl ProviderPool {
         for endpoint in &mut self.endpoints {
             endpoint.on_slot();
         }
+    }
+
+    /// Ships one [`BackstageOp`] to **every** endpoint — on parallel worker
+    /// threads, since shards are independent — and returns the replies in
+    /// endpoint order. This is the slot barrier's fan-out: mining all
+    /// shards' blocks for a slot is one `backstage_all` call.
+    pub fn backstage_all(&mut self, op: &BackstageOp) -> Vec<BackstageReply> {
+        fork_join_mut(&mut self.endpoints, |_, endpoint| endpoint.backstage(op))
     }
 
     /// One endpoint's metering snapshot (when its stack is metered).

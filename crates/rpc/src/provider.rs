@@ -15,7 +15,8 @@
 use crate::backstage::{BackstageOp, BackstageReply};
 use crate::decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, ProviderMetrics,
-    RateLimitProfile, RateLimitProvider, StaleProfile, StaleReadProvider,
+    RateLimitProfile, RateLimitProvider, ReorderProfile, ReorderProvider, SpikeProfile,
+    SpikeProvider, StaleProfile, StaleReadProvider,
 };
 use crate::envelope::{RpcError, RpcRequest, RpcResponse};
 use crate::eth::EthApi;
@@ -29,7 +30,11 @@ use ofl_netsim::link::NetworkProfile;
 
 /// Everything a world needs from one node endpoint: the client-visible API
 /// surface plus backstage access to the simulated infrastructure.
-pub trait NodeProvider: EthApi + IpfsApi {
+///
+/// Providers are `Send` so a sharded world can hand each endpoint's whole
+/// stack to a per-shard worker thread between slot barriers (see
+/// [`ofl_netsim::par`]).
+pub trait NodeProvider: EthApi + IpfsApi + Send {
     /// The backing chain (backstage: mining, invariant checks).
     fn chain(&self) -> &Chain;
     /// Mutable backing chain (backstage: slot production).
@@ -116,13 +121,20 @@ pub struct EndpointFaults {
     pub rate_limit: Option<RateLimitProfile>,
     /// Seeded lagging-replica reads (head and receipts served late).
     pub stale: Option<StaleProfile>,
+    /// Seeded slot-long latency spikes (every exchange stalls while live).
+    pub spike: Option<SpikeProfile>,
+    /// Seeded shuffling of batch reply arrays (tags preserved).
+    pub reorder: Option<ReorderProfile>,
 }
 
-/// Wraps any backend with the standard decorator stack: metering over
-/// latency pricing over (optionally) rate limiting over (optionally) fault
-/// injection over (optionally) stale replica reads. Stale reads sit
-/// innermost so their head queries hit the backend directly without
-/// disturbing the fault decorators' seeded draws.
+/// Wraps any backend with the standard decorator stack: batch reordering
+/// over metering over latency pricing over (optionally) latency spikes over
+/// (optionally) rate limiting over (optionally) fault injection over
+/// (optionally) stale replica reads. Stale reads sit innermost so their
+/// head queries hit the backend directly without disturbing the fault
+/// decorators' seeded draws; reordering sits outermost because it models
+/// the wire delivering a batch reply out of order, after pricing and
+/// metering saw it in request order.
 pub fn decorate(
     backend: Box<dyn NodeProvider>,
     profile: NetworkProfile,
@@ -139,11 +151,18 @@ pub fn decorate(
     if let Some(rate_limit) = knobs.rate_limit {
         stack = Box::new(RateLimitProvider::new(stack, rate_limit));
     }
-    Box::new(MeteredProvider::new(LatencyProvider::new(
+    if let Some(spike) = knobs.spike {
+        stack = Box::new(SpikeProvider::new(stack, spike));
+    }
+    let mut stack: Box<dyn NodeProvider> = Box::new(MeteredProvider::new(LatencyProvider::new(
         stack,
         profile,
         envelope_bytes,
-    )))
+    )));
+    if let Some(reorder) = knobs.reorder {
+        stack = Box::new(ReorderProvider::new(stack, reorder));
+    }
+    stack
 }
 
 /// Builds the standard decorator stack around an in-process backend.

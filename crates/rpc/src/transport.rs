@@ -17,18 +17,18 @@
 //! session exposed as its own [`FrameTransport`].
 
 use crate::frame::{Frame, FrameError};
-use std::cell::RefCell;
+use ofl_primitives::hotpath::{HotPhase, PhaseTimer};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// One end of a frame conversation.
-pub trait FrameTransport {
+/// One end of a frame conversation. Transports are `Send` so a provider
+/// stack built over one can run on a per-shard worker thread.
+pub trait FrameTransport: Send {
     /// Ships one frame to the peer.
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError>;
     /// Receives the peer's next frame.
@@ -108,9 +108,13 @@ pub struct StreamTransport<S> {
     peer: String,
     next_id: u64,
     counter: WireCounter,
+    /// Reused encode buffer: every outgoing frame is serialized into this
+    /// vector and written in one syscall, so steady-state sends allocate
+    /// nothing.
+    wire: Vec<u8>,
 }
 
-impl<S: Read + Write> StreamTransport<S> {
+impl<S: Read + Write + Send> StreamTransport<S> {
     /// Wraps a connected stream.
     pub fn new(stream: S, peer: impl Into<String>) -> StreamTransport<S> {
         StreamTransport {
@@ -118,6 +122,7 @@ impl<S: Read + Write> StreamTransport<S> {
             peer: peer.into(),
             next_id: 0,
             counter: WireCounter::default(),
+            wire: Vec::new(),
         }
     }
 
@@ -132,12 +137,17 @@ impl<S: Read + Write> StreamTransport<S> {
     }
 }
 
-impl<S: Read + Write> FrameTransport for StreamTransport<S> {
+impl<S: Read + Write + Send> FrameTransport for StreamTransport<S> {
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        let _t = PhaseTimer::start(HotPhase::Wire);
         self.counter.count_send();
-        frame.write_to(&mut self.stream)
+        frame.encode_into(&mut self.wire)?;
+        self.stream
+            .write_all(&self.wire)
+            .map_err(|e| FrameError::Io(format!("write to {}: {e}", self.peer)))
     }
     fn recv(&mut self) -> Result<Frame, FrameError> {
+        let _t = PhaseTimer::start(HotPhase::Wire);
         let started = std::time::Instant::now();
         let frame = Frame::read_from(&mut self.stream)?;
         self.counter.count_recv(started.elapsed());
@@ -217,19 +227,19 @@ struct MuxInner {
 /// [`Frame::Request`] tagged with the session id and a fresh correlation
 /// id, and its `recv` re-associates [`Frame::Reply`] envelopes by id —
 /// parking replies destined for sibling sessions so interleaved traffic
-/// from several shards shares one socket without cross-talk. Handles are
-/// clonable (the connection itself is single-threaded — `dyn
-/// FrameTransport` is not `Send`); a persistent `rpcd` keeps each
-/// session's provisioned backend alive across connections.
+/// from several shards shares one socket without cross-talk. Handles
+/// share the connection behind a mutex, so sessions may live on
+/// different shard worker threads; each send or recv holds the lock for
+/// exactly one frame.
 pub struct SessionMux {
-    inner: Rc<RefCell<MuxInner>>,
+    inner: Arc<Mutex<MuxInner>>,
 }
 
 impl SessionMux {
     /// Wraps a connected transport.
     pub fn new(transport: Box<dyn FrameTransport>) -> SessionMux {
         SessionMux {
-            inner: Rc::new(RefCell::new(MuxInner {
+            inner: Arc::new(Mutex::new(MuxInner {
                 transport,
                 next_id: 0,
                 parked: BTreeMap::new(),
@@ -240,7 +250,7 @@ impl SessionMux {
     /// A transport handle speaking for `session` on the shared connection.
     pub fn session(&self, session: u64) -> SessionTransport {
         SessionTransport {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             session,
             outstanding: VecDeque::new(),
         }
@@ -249,7 +259,7 @@ impl SessionMux {
 
 /// One session's view of a [`SessionMux`]-shared connection.
 pub struct SessionTransport {
-    inner: Rc<RefCell<MuxInner>>,
+    inner: Arc<Mutex<MuxInner>>,
     session: u64,
     /// Correlation ids this session has sent and not yet received, oldest
     /// first — `recv` resolves them in send order.
@@ -258,7 +268,7 @@ pub struct SessionTransport {
 
 impl FrameTransport for SessionTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("session mux poisoned");
         let id = inner.next_id;
         inner.next_id = inner.next_id.wrapping_add(1);
         inner.transport.send(&Frame::Request {
@@ -277,7 +287,7 @@ impl FrameTransport for SessionTransport {
                 self.session
             ))
         })?;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("session mux poisoned");
         loop {
             if let Some(frame) = inner.parked.remove(&wanted) {
                 self.outstanding.pop_front();
@@ -302,7 +312,7 @@ impl FrameTransport for SessionTransport {
     }
 
     fn peer(&self) -> String {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().expect("session mux poisoned");
         format!("{}#session{}", inner.transport.peer(), self.session)
     }
 }

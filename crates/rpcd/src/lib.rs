@@ -506,6 +506,9 @@ pub fn serve_unix_listener(listener: UnixListener, max_connections: Option<usize
 pub struct PipeTransport {
     conn: Connection,
     replies: VecDeque<Vec<u8>>,
+    /// Reused request-side encode buffer (replies need owned buffers, so
+    /// only the outbound leg can recycle its allocation).
+    wire: Vec<u8>,
 }
 
 impl PipeTransport {
@@ -519,6 +522,7 @@ impl PipeTransport {
         PipeTransport {
             conn,
             replies: VecDeque::new(),
+            wire: Vec::new(),
         }
     }
 }
@@ -531,7 +535,8 @@ impl Default for PipeTransport {
 
 impl FrameTransport for PipeTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
-        let (decoded, _) = Frame::decode(&frame.encode())?;
+        frame.encode_into(&mut self.wire)?;
+        let (decoded, _) = Frame::decode(&self.wire)?;
         let (reply, _done) = self.conn.handle(decoded);
         self.replies.push_back(reply.encode());
         Ok(())
