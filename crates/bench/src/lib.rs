@@ -10,6 +10,8 @@
 //! Each binary prints a paper-style text table and appends a JSON record to
 //! `target/experiments/<name>.json` for machine consumption.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::path::PathBuf;
 

@@ -31,6 +31,8 @@
 //! println!("{}", market.buyer_recorder.render("Buyer time distribution"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod dapp;
 pub mod engine;

@@ -20,6 +20,8 @@
 //! assert_eq!(silos.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod mnist;
 pub mod partition;

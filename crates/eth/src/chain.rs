@@ -443,6 +443,7 @@ impl Chain {
             header,
             tx_hashes: included,
         };
+        // lint: ordered-ok(receipts here is the per-block Vec in execution order, not the receipts map)
         for r in receipts {
             self.receipts.insert(r.tx_hash, r);
         }

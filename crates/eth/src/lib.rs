@@ -51,6 +51,8 @@
 //! assert_eq!(contract.all_cids(&chain, &owner).unwrap(), vec!["QmExample"]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod abi;
 pub mod asm;
 pub mod block;

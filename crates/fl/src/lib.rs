@@ -34,6 +34,8 @@
 //! assert!(acc > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod client;
 pub mod hungarian;

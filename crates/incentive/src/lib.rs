@@ -15,6 +15,8 @@
 //! and converts scores into on-chain payments with
 //! [`allocate_payments`], reproducing Table 1.
 
+#![forbid(unsafe_code)]
+
 use ofl_primitives::u256::U256;
 use rand::seq::SliceRandom;
 use rand::Rng;

@@ -30,6 +30,8 @@
 //! assert!(stats.bytes_fetched > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod blockstore;
 pub mod cid;
 pub mod dag;

@@ -1,0 +1,127 @@
+//! The checked-in violation baseline.
+//!
+//! `crates/lint/baseline.txt` enumerates pre-existing violations so the
+//! gate can ratchet: `--deny-new` fails only on hits *not* in the
+//! baseline, and fixing a baselined hit is a one-line deletion. Entries
+//! are [`Violation::baseline_key`]s — `rule|path|normalized snippet` —
+//! deliberately line-number-free so edits elsewhere in a file do not
+//! churn the baseline.
+
+use crate::rules::Violation;
+use std::collections::BTreeSet;
+
+/// A parsed baseline: the set of accepted violation keys.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text: one key per line, `#` comments and blank
+    /// lines ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { keys }
+    }
+
+    /// Builds a baseline accepting exactly the given violations.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        Baseline {
+            keys: violations.iter().map(Violation::baseline_key).collect(),
+        }
+    }
+
+    /// Renders the baseline back to its file form (sorted, commented
+    /// header), such that `parse(format(b)) == b`.
+    pub fn format(&self) -> String {
+        let mut out = String::from(
+            "# ofl-lint baseline: accepted pre-existing violations, one\n\
+             # `rule|path|normalized snippet` key per line. Regenerate with\n\
+             # `cargo run -p ofl-lint -- --write-baseline`; shrink it by\n\
+             # fixing the code and deleting the line.\n",
+        );
+        for key in &self.keys {
+            out.push_str(key);
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn contains(&self, v: &Violation) -> bool {
+        self.keys.contains(&v.baseline_key())
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Splits `violations` into (new, baselined).
+    pub fn partition<'a>(
+        &self,
+        violations: &'a [Violation],
+    ) -> (Vec<&'a Violation>, Vec<&'a Violation>) {
+        violations.iter().partition(|v| !self.contains(v))
+    }
+
+    /// Baseline keys that no longer match any current violation — stale
+    /// entries the owner should delete (the hit was fixed).
+    pub fn stale(&self, violations: &[Violation]) -> Vec<String> {
+        let current: BTreeSet<String> = violations.iter().map(Violation::baseline_key).collect();
+        self.keys.difference(&current).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 42,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let vs = vec![
+            violation("D1", "crates/a/src/lib.rs", "let t = Instant::now();"),
+            violation("R1", "crates/b/src/lib.rs", "x.unwrap()"),
+        ];
+        let b = Baseline::from_violations(&vs);
+        let reparsed = Baseline::parse(&b.format());
+        assert_eq!(b, reparsed);
+        assert!(reparsed.contains(&vs[0]));
+        assert!(reparsed.contains(&vs[1]));
+    }
+
+    #[test]
+    fn partition_and_stale() {
+        let old = violation("D1", "a.rs", "old hit");
+        let new = violation("D2", "b.rs", "new hit");
+        let b = Baseline::from_violations(std::slice::from_ref(&old));
+        let current = vec![new.clone()];
+        let (fresh, accepted) = b.partition(&current);
+        assert_eq!(fresh.len(), 1);
+        assert!(accepted.is_empty());
+        assert_eq!(b.stale(&current).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\nD1|a.rs|x\n");
+        assert_eq!(b.len(), 1);
+    }
+}

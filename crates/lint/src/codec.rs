@@ -1,0 +1,367 @@
+//! W1 — codec exhaustiveness, checked structurally.
+//!
+//! The wire protocol's enums (`Frame`, `RpcMethod`, `RpcResult`,
+//! `BackstageOp`, `BackstageReply`) each have a hand-written encoder and
+//! decoder. Rust's `match` exhaustiveness protects the *encode* side, but
+//! a decoder is a `u8 → variant` table where a forgotten arm is just a
+//! runtime `CodecError` — and a variant missing from the round-trip tests
+//! is a codec bug waiting for production traffic.
+//!
+//! This check parses the enum declaration for its variant names, extracts
+//! the body text of the named encode and decode functions, and requires
+//! every `Enum::Variant` token to appear in all three places: encode
+//! region, decode region, and test code (the declaring/codec files' test
+//! regions plus any listed integration-test files).
+
+use crate::rules::Violation;
+use crate::scan::{find_word, ScannedFile};
+
+/// One enum to hold to the encode/decode/test triple.
+pub struct CodecCheck {
+    /// The enum's name, e.g. `Frame`.
+    pub enum_name: &'static str,
+    /// Workspace-relative path of the file declaring the enum.
+    pub decl_path: &'static str,
+    /// Workspace-relative path of the file holding the codec functions.
+    pub codec_path: &'static str,
+    /// Function names whose bodies form the encode region (same-named
+    /// functions are unioned — `write` exists on both request and
+    /// response impls).
+    pub encode_fns: &'static [&'static str],
+    /// Function names whose bodies form the decode region.
+    pub decode_fns: &'static [&'static str],
+    /// Additional integration-test files whose whole text counts as test
+    /// coverage (the decl/codec files' `#[cfg(test)]` regions always do).
+    pub test_paths: &'static [&'static str],
+}
+
+/// Runs one codec check. `lookup` resolves a workspace-relative path to
+/// its scanned file; a missing file is itself a violation (the check is
+/// misconfigured or the file moved).
+pub fn w1_codec_exhaustiveness(
+    check: &CodecCheck,
+    lookup: &dyn Fn(&str) -> Option<ScannedFile>,
+) -> Vec<Violation> {
+    let missing_file = |path: &str| Violation {
+        rule: "W1",
+        path: path.to_string(),
+        line: 1,
+        snippet: format!("<file not found for codec check {}>", check.enum_name),
+        message: format!(
+            "codec check for {} points at {}, which is missing; update the \
+             check in crates/lint/src/config.rs",
+            check.enum_name, path
+        ),
+    };
+    let Some(decl) = lookup(check.decl_path) else {
+        return vec![missing_file(check.decl_path)];
+    };
+    let Some(codec) = lookup(check.codec_path) else {
+        return vec![missing_file(check.codec_path)];
+    };
+
+    let variants = enum_variants(&decl, check.enum_name);
+    if variants.is_empty() {
+        return vec![Violation {
+            rule: "W1",
+            path: check.decl_path.to_string(),
+            line: 1,
+            snippet: format!("<enum {} not found>", check.enum_name),
+            message: format!(
+                "codec check could not locate `enum {}` in {}",
+                check.enum_name, check.decl_path
+            ),
+        }];
+    }
+
+    let encode_text = fn_bodies(&codec, check.encode_fns);
+    let decode_text = fn_bodies(&codec, check.decode_fns);
+    let mut test_text = test_region_text(&decl);
+    if check.codec_path != check.decl_path {
+        test_text.push_str(&test_region_text(&codec));
+    }
+    for path in check.test_paths {
+        if let Some(f) = lookup(path) {
+            for line in &f.lines {
+                test_text.push_str(&line.code);
+                test_text.push('\n');
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (variant, decl_line) in &variants {
+        let mut missing = Vec::new();
+        for (region, text) in [
+            ("encode", &encode_text),
+            ("decode", &decode_text),
+            ("round-trip tests", &test_text),
+        ] {
+            if !mentions_variant(text, check.enum_name, variant) {
+                missing.push(region);
+            }
+        }
+        if !missing.is_empty() {
+            out.push(Violation {
+                rule: "W1",
+                path: check.decl_path.to_string(),
+                line: *decl_line,
+                snippet: format!("{}::{}", check.enum_name, variant),
+                message: format!(
+                    "variant {}::{} is missing from: {}",
+                    check.enum_name,
+                    variant,
+                    missing.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// True when `text` contains `Enum::Variant` (or `Self::Variant`) at an
+/// identifier boundary on both sides of the variant name.
+fn mentions_variant(text: &str, enum_name: &str, variant: &str) -> bool {
+    for qualifier in [enum_name, "Self"] {
+        let token = format!("{qualifier}::{variant}");
+        for at in find_word(text, &token) {
+            let after = text.as_bytes().get(at + token.len());
+            let boundary = match after {
+                Some(b) => !(b.is_ascii_alphanumeric() || *b == b'_'),
+                None => true,
+            };
+            if boundary {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Parses the declaration of `enum_name` in `file` and returns its
+/// variant names with their 1-based declaration lines.
+fn enum_variants(file: &ScannedFile, enum_name: &str) -> Vec<(String, usize)> {
+    let decl_marker = format!("enum {enum_name}");
+    let mut start_line = None;
+    for line in &file.lines {
+        for at in find_word(&line.code, &decl_marker) {
+            let after = line.code.as_bytes().get(at + decl_marker.len());
+            let boundary = !matches!(after, Some(b) if b.is_ascii_alphanumeric() || *b == b'_');
+            if boundary {
+                start_line = Some(line.number);
+            }
+        }
+        if start_line.is_some() {
+            break;
+        }
+    }
+    let Some(start) = start_line else {
+        return Vec::new();
+    };
+
+    // Walk characters from the declaration's opening brace; a variant
+    // name is the identifier that starts a "variant slot": depth exactly
+    // 1, immediately after the opening `{` or a top-level `,`, skipping
+    // `#[…]` attributes.
+    let mut variants = Vec::new();
+    let mut depth: i32 = 0; // combined {}, (), [] depth once inside the enum
+    let mut entered = false;
+    let mut expecting_variant = false;
+    let mut in_attr = 0i32; // bracket depth of a `#[…]` attribute at slot level
+    'outer: for line in file.lines.iter().skip(start - 1) {
+        let mut chars = line.code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if !entered {
+                if c == '{' {
+                    entered = true;
+                    depth = 1;
+                    expecting_variant = true;
+                }
+                continue;
+            }
+            if in_attr > 0 {
+                match c {
+                    '[' => in_attr += 1,
+                    ']' => in_attr -= 1,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break 'outer;
+                    }
+                }
+                ',' if depth == 1 => expecting_variant = true,
+                // `#[derive(…)]`-style attribute before a variant.
+                '#' if depth == 1 && expecting_variant && chars.peek() == Some(&'[') => {
+                    chars.next();
+                    in_attr = 1;
+                }
+                c if depth == 1 && expecting_variant && (c.is_ascii_alphabetic() || c == '_') => {
+                    let mut name = String::new();
+                    name.push(c);
+                    while let Some(&n) = chars.peek() {
+                        if n.is_ascii_alphanumeric() || n == '_' {
+                            name.push(n);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    variants.push((name, line.number));
+                    expecting_variant = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// Concatenated body text of every function named in `names` (brace-matched
+/// from each `fn <name>` signature line).
+fn fn_bodies(file: &ScannedFile, names: &[&str]) -> String {
+    let mut out = String::new();
+    for name in names {
+        let marker = format!("fn {name}");
+        let mut i = 0;
+        while i < file.lines.len() {
+            let code = &file.lines[i].code;
+            let is_sig = find_word(code, &marker).iter().any(|&at| {
+                matches!(
+                    code.as_bytes().get(at + marker.len()),
+                    Some(b'(') | Some(b'<')
+                )
+            });
+            if !is_sig {
+                i += 1;
+                continue;
+            }
+            // Found a signature: consume lines until braces balance.
+            let mut depth = 0i32;
+            let mut opened = false;
+            while i < file.lines.len() {
+                let line = &file.lines[i];
+                out.push_str(&line.code);
+                out.push('\n');
+                for b in line.code.bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if opened && depth <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All code text inside the file's `#[cfg(test)]`/`#[test]` regions.
+fn test_region_text(file: &ScannedFile) -> String {
+    let mut out = String::new();
+    for line in &file.lines {
+        if line.in_test {
+            out.push_str(&line.code);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScannedFile;
+
+    const DECL: &str = "\
+pub enum Wire {
+    Ping,
+    #[allow(dead_code)]
+    Pong { n: u64 },
+    Data(Vec<u8>),
+}
+
+fn encode(w: &Wire) -> u8 {
+    match w {
+        Wire::Ping => 0,
+        Wire::Pong { .. } => 1,
+        Wire::Data(_) => 2,
+    }
+}
+
+fn decode(tag: u8) -> Wire {
+    match tag {
+        0 => Wire::Ping,
+        1 => Wire::Pong { n: 0 },
+        _ => Wire::Data(vec![]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let all = [Wire::Ping, Wire::Pong { n: 7 }, Wire::Data(vec![1])];
+    }
+}
+";
+
+    fn check() -> CodecCheck {
+        CodecCheck {
+            enum_name: "Wire",
+            decl_path: "src/wire.rs",
+            codec_path: "src/wire.rs",
+            encode_fns: &["encode"],
+            decode_fns: &["decode"],
+            test_paths: &[],
+        }
+    }
+
+    #[test]
+    fn extracts_variants_past_attributes_and_payloads() {
+        let f = ScannedFile::scan("src/wire.rs", DECL, false);
+        let names: Vec<String> = enum_variants(&f, "Wire")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["Ping", "Pong", "Data"]);
+    }
+
+    #[test]
+    fn complete_codec_is_clean() {
+        let f = ScannedFile::scan("src/wire.rs", DECL, false);
+        let v = w1_codec_exhaustiveness(&check(), &|p| (p == "src/wire.rs").then(|| f.clone()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dropped_decode_arm_is_reported() {
+        let broken = DECL.replace("1 => Wire::Pong { n: 0 },", "");
+        let f = ScannedFile::scan("src/wire.rs", &broken, false);
+        let v = w1_codec_exhaustiveness(&check(), &|p| (p == "src/wire.rs").then(|| f.clone()));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("decode"));
+        assert!(v[0].snippet.contains("Wire::Pong"));
+    }
+
+    #[test]
+    fn untested_variant_is_reported() {
+        let broken = DECL.replace("Wire::Data(vec![1])", "/* gone */");
+        let f = ScannedFile::scan("src/wire.rs", &broken, false);
+        let v = w1_codec_exhaustiveness(&check(), &|p| (p == "src/wire.rs").then(|| f.clone()));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("round-trip tests"));
+    }
+}

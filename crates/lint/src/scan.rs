@@ -1,0 +1,490 @@
+//! A lightweight Rust lexer/line scanner: the substrate every rule runs on.
+//!
+//! The scanner does three things a naive `grep` cannot:
+//!
+//! 1. **Blanks comments and literals.** String literals (including raw and
+//!    byte strings), char literals, and comments (line, block, nested
+//!    block) are replaced with spaces in the [`Line::code`] view, so a rule
+//!    matching `Instant::now` never trips on a doc comment or an error
+//!    message that merely *mentions* it. Columns are preserved.
+//! 2. **Tracks test regions.** `#[cfg(test)]` and `#[test]` attach to the
+//!    block that follows; every line inside that block is marked
+//!    [`Line::in_test`], and files under a `tests/` directory are test code
+//!    wholesale. Determinism rules only police non-test code — a test
+//!    cannot perturb a digest.
+//! 3. **Collects annotation escapes.** A comment of the form
+//!    `// lint: <escape>(<reason>)` — e.g. `// lint: ordered-ok(commutative
+//!    sum)` — attaches to its own line, or to the next code line when it
+//!    stands alone. Rules honor their escape only when a non-empty reason
+//!    is given, so every suppression is self-documenting.
+//!
+//! The lexer is a hand-rolled state machine over bytes; it understands
+//! escapes in string/char literals, `r#"…"#` raw strings with any hash
+//! count, lifetimes (`'a` is not a char literal), and nested `/* /* */ */`
+//! comments. It does not parse Rust — rules work on the blanked line text
+//! plus a few structural hints (brace depth, test regions), which is
+//! exactly enough for the project invariants and keeps the pass
+//! dependency-free and fast.
+
+use std::path::Path;
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw source text of the line (without the trailing newline).
+    pub raw: String,
+    /// The code view: comments and string/char literal contents blanked
+    /// with spaces (columns preserved, delimiters kept).
+    pub code: String,
+    /// The comment view: everything that is *not* comment text blanked.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]`/`#[test]` block or
+    /// the whole file is test code (a `tests/` integration file).
+    pub in_test: bool,
+}
+
+/// A `// lint: <escape>(<reason>)` annotation, resolved to the code line it
+/// excuses.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// The escape keyword, e.g. `ordered-ok`.
+    pub escape: String,
+    /// The justification inside the parentheses.
+    pub reason: String,
+    /// The code line this annotation applies to (its own line, or the next
+    /// code line for a standalone comment).
+    pub applies_to: usize,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Path relative to the workspace root (normalized to `/` separators).
+    pub path: String,
+    /// The scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// All annotation escapes found in the file.
+    pub annotations: Vec<Annotation>,
+}
+
+impl ScannedFile {
+    /// Scans `text` as the contents of `path`. `whole_file_is_test` marks
+    /// every line as test code (integration-test files).
+    pub fn scan(path: &str, text: &str, whole_file_is_test: bool) -> ScannedFile {
+        let (code_text, comment_text) = blank_non_code(text);
+        let raw_lines: Vec<&str> = split_lines(text);
+        let code_lines: Vec<&str> = split_lines(&code_text);
+        let comment_lines: Vec<&str> = split_lines(&comment_text);
+        let test_marks = mark_test_regions(&code_lines);
+
+        let mut lines = Vec::with_capacity(raw_lines.len());
+        for (i, raw) in raw_lines.iter().enumerate() {
+            lines.push(Line {
+                number: i + 1,
+                raw: raw.to_string(),
+                code: code_lines.get(i).copied().unwrap_or("").to_string(),
+                comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
+                in_test: whole_file_is_test || test_marks.get(i).copied().unwrap_or(false),
+            });
+        }
+        let annotations = collect_annotations(&lines);
+        ScannedFile {
+            path: path.to_string(),
+            lines,
+            annotations,
+        }
+    }
+
+    /// Reads and scans a file on disk. `root` is the workspace root the
+    /// reported path is made relative to.
+    pub fn scan_path(root: &Path, absolute: &Path) -> std::io::Result<ScannedFile> {
+        let text = std::fs::read_to_string(absolute)?;
+        let rel = absolute
+            .strip_prefix(root)
+            .unwrap_or(absolute)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let is_test_file = rel.split('/').any(|part| part == "tests");
+        Ok(ScannedFile::scan(&rel, &text, is_test_file))
+    }
+
+    /// True when `line_number` carries (or is covered by) an annotation
+    /// with the given escape keyword *and* a non-empty reason.
+    pub fn excused(&self, line_number: usize, escape: &str) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.applies_to == line_number && a.escape == escape && !a.reason.is_empty())
+    }
+}
+
+/// Splits on `\n` without allocating per line (keeps `\r` stripped).
+fn split_lines(text: &str) -> Vec<&str> {
+    text.split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .collect()
+}
+
+/// Lexer states for [`blank_non_code`].
+enum LexState {
+    Code,
+    LineComment,
+    /// Nested depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; bool = byte string (irrelevant to blanking).
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+    /// Inside `'…'`.
+    CharLit,
+}
+
+/// Produces two same-length views of `text`: one with all comments and
+/// string/char literal contents blanked (the *code* view — delimiters like
+/// the quotes themselves are kept so token boundaries survive), and one
+/// with everything *except* comment text blanked (the *comment* view, for
+/// annotation parsing).
+fn blank_non_code(text: &str) -> (String, String) {
+    let bytes = text.as_bytes();
+    let mut code: Vec<u8> = bytes.to_vec();
+    let mut comment: Vec<u8> = bytes.to_vec();
+    let blank = |buf: &mut [u8], i: usize| {
+        if buf[i] != b'\n' {
+            buf[i] = b' ';
+        }
+    };
+    let mut state = LexState::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        match state {
+            LexState::Code => {
+                blank(&mut comment, i);
+                match bytes[i] {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = LexState::LineComment;
+                        blank(&mut code, i);
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = LexState::BlockComment(1);
+                        blank(&mut code, i);
+                    }
+                    b'"' => state = LexState::Str,
+                    b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                        // Consume up to and including the opening quote.
+                        let (hashes, quote_at) = raw_string_open(bytes, i);
+                        i = quote_at; // leave the quote itself un-blanked
+                        state = LexState::RawStr(hashes);
+                    }
+                    b'\'' if is_char_literal(bytes, i) => state = LexState::CharLit,
+                    _ => {}
+                }
+            }
+            LexState::LineComment => {
+                if bytes[i] == b'\n' {
+                    state = LexState::Code;
+                    blank(&mut comment, i);
+                } else {
+                    blank(&mut code, i);
+                }
+            }
+            LexState::BlockComment(depth) => {
+                blank(&mut code, i);
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = LexState::BlockComment(depth + 1);
+                    i += 1;
+                    blank(&mut code, i);
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    i += 1;
+                    blank(&mut code, i);
+                    state = if depth > 1 {
+                        LexState::BlockComment(depth - 1)
+                    } else {
+                        LexState::Code
+                    };
+                }
+            }
+            LexState::Str => {
+                blank(&mut comment, i);
+                match bytes[i] {
+                    b'\\' => {
+                        blank(&mut code, i);
+                        if i + 1 < bytes.len() {
+                            i += 1;
+                            blank(&mut code, i);
+                            blank(&mut comment, i);
+                        }
+                    }
+                    b'"' => state = LexState::Code, // keep the closing quote
+                    _ => blank(&mut code, i),
+                }
+            }
+            LexState::RawStr(hashes) => {
+                blank(&mut comment, i);
+                if bytes[i] == b'"' && raw_string_closes(bytes, i, hashes) {
+                    // Keep the quote; skip (and keep) the trailing hashes.
+                    i += hashes as usize;
+                    state = LexState::Code;
+                } else {
+                    blank(&mut code, i);
+                }
+            }
+            LexState::CharLit => {
+                blank(&mut comment, i);
+                match bytes[i] {
+                    b'\\' => {
+                        blank(&mut code, i);
+                        if i + 1 < bytes.len() {
+                            i += 1;
+                            blank(&mut code, i);
+                            blank(&mut comment, i);
+                        }
+                    }
+                    b'\'' => state = LexState::Code,
+                    _ => blank(&mut code, i),
+                }
+            }
+        }
+        i += 1;
+    }
+    // The buffers only ever have ASCII bytes replaced with spaces, so they
+    // remain valid UTF-8.
+    (
+        String::from_utf8_lossy(&code).into_owned(),
+        String::from_utf8_lossy(&comment).into_owned(),
+    )
+}
+
+/// True when position `i` (an `r` or `b`) starts a raw string literal:
+/// `r"`, `r#`, `br"`, `br#` — and is not part of a longer identifier.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// For a confirmed raw-string start at `i`, returns (hash count, index of
+/// the opening quote).
+fn raw_string_open(bytes: &[u8], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j)
+}
+
+/// True when the `"` at `i` is followed by `hashes` hash marks.
+fn raw_string_closes(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Distinguishes a char literal from a lifetime: `'a'` vs `'a`. A quote
+/// starts a char literal when the closing quote arrives within a few
+/// bytes (escapes included), which lifetimes never have.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true, // '\n', '\'', '\u{…}'
+        Some(&c) if c != b'\'' => bytes.get(i + 2) == Some(&b'\''),
+        _ => false,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Marks, per line, whether it falls inside a `#[cfg(test)]`/`#[test]`
+/// block. An attribute arms the *next* opening brace; the region runs
+/// until brace depth returns to where it opened.
+fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut marks = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth levels at which an armed test region opened.
+    let mut region_stack: Vec<i64> = Vec::new();
+    let mut armed = false;
+    for (ln, line) in code_lines.iter().enumerate() {
+        if !region_stack.is_empty() || armed {
+            marks[ln] = true;
+        }
+        let trimmed = line.trim();
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
+            armed = true;
+            marks[ln] = true;
+        }
+        for b in line.bytes() {
+            match b {
+                b'{' => {
+                    if armed {
+                        region_stack.push(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if region_stack.last().is_some_and(|open| depth <= *open) {
+                        region_stack.pop();
+                    }
+                }
+                // `#[cfg(test)] use …;` — the attribute attached to a
+                // braceless item; disarm at the statement end.
+                b';' if armed && region_stack.is_empty() => armed = false,
+                _ => {}
+            }
+        }
+    }
+    marks
+}
+
+/// Extracts `// lint: <escape>(<reason>)` annotations and resolves which
+/// code line each applies to.
+fn collect_annotations(lines: &[Line]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let comment = &line.comment;
+        let Some(at) = comment.find("lint:") else {
+            continue;
+        };
+        let rest = comment[at + "lint:".len()..].trim_start();
+        let Some(open) = rest.find('(') else {
+            continue;
+        };
+        let escape = rest[..open].trim().to_string();
+        if escape.is_empty()
+            || !escape
+                .bytes()
+                .all(|b| b == b'-' || b.is_ascii_alphanumeric())
+        {
+            continue;
+        }
+        let Some(close) = rest[open..].rfind(')') else {
+            continue;
+        };
+        let reason = rest[open + 1..open + close].trim().to_string();
+        // A standalone comment line annotates the next code line; a
+        // trailing comment annotates its own line.
+        let own_line_has_code = !line.code.trim().is_empty();
+        let applies_to = if own_line_has_code {
+            line.number
+        } else {
+            lines[i + 1..]
+                .iter()
+                .find(|l| !l.code.trim().is_empty())
+                .map(|l| l.number)
+                .unwrap_or(line.number)
+        };
+        out.push(Annotation {
+            escape,
+            reason,
+            applies_to,
+        });
+    }
+    out
+}
+
+/// Finds `needle` in `haystack` at identifier boundaries: the character
+/// before the match (if any) must not be an identifier character, so
+/// `Instant::now` does not match inside `SimInstant::now`. Returns byte
+/// offsets of every boundary match.
+pub fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let ok_before = at == 0 || !is_ident_byte(haystack.as_bytes()[at - 1]);
+        if ok_before {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r#"
+let x = "Instant::now inside a string";
+// Instant::now inside a comment
+/* Instant::now inside /* a nested */ block */
+let y = Instant::now(); // trailing comment
+"#;
+        let f = ScannedFile::scan("x.rs", src, false);
+        let hits: Vec<usize> = f
+            .lines
+            .iter()
+            .filter(|l| !find_word(&l.code, "Instant::now").is_empty())
+            .map(|l| l.number)
+            .collect();
+        assert_eq!(hits, vec![5]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"panic!(\"inner\")\"#;\nlet c = '\\'';\nlet lt: &'static str = \"x\";\npanic!(\"real\");\n";
+        let f = ScannedFile::scan("x.rs", src, false);
+        let hits: Vec<usize> = f
+            .lines
+            .iter()
+            .filter(|l| l.code.contains("panic!"))
+            .map(|l| l.number)
+            .collect();
+        assert_eq!(hits, vec![4]);
+        // The lifetime did not eat the rest of the file.
+        assert!(f.lines[2].code.contains("static"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn live() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn live2() { c(); }\n";
+        let f = ScannedFile::scan("x.rs", src, false);
+        let marks: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        // The trailing newline yields a final empty (non-test) line.
+        assert_eq!(marks, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn annotations_attach_to_their_code_line() {
+        let src = "let a = m.values(); // lint: ordered-ok(commutative)\n// lint: wall-clock-ok(bench only)\nlet b = now();\nlet c = 1;\n";
+        let f = ScannedFile::scan("x.rs", src, false);
+        assert!(f.excused(1, "ordered-ok"));
+        assert!(f.excused(3, "wall-clock-ok"));
+        assert!(!f.excused(4, "wall-clock-ok"));
+        // Reason is mandatory.
+        let g = ScannedFile::scan("y.rs", "let a = m.values(); // lint: ordered-ok()\n", false);
+        assert!(!g.excused(1, "ordered-ok"));
+    }
+
+    #[test]
+    fn word_boundaries_reject_longer_identifiers() {
+        assert!(find_word("SimInstant::now()", "Instant::now").is_empty());
+        assert_eq!(
+            find_word("std::time::Instant::now()", "Instant::now").len(),
+            1
+        );
+    }
+}

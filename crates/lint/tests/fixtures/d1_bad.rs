@@ -1,0 +1,14 @@
+// Fixture: trips D1 (no-wall-clock) twice — Instant and SystemTime.
+
+pub fn slot_deadline_ms() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis()
+}
+
+pub fn unix_now() -> u64 {
+    let clock = std::time::SystemTime::now();
+    clock
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,17 @@
+// Fixture: the good twin of d1_bad — clean under D1.
+//
+// Virtual time comes from the caller; the one legitimate wall-clock read
+// carries the annotation escape with a reason.
+
+pub fn slot_deadline_ms(virtual_now_ms: u128, slot_ms: u128) -> u128 {
+    virtual_now_ms + slot_ms
+}
+
+pub fn bench_leg_seconds() -> f64 {
+    // lint: wall-clock-ok(bench-only metering; never enters a digest)
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+// Mentions in comments (Instant::now) and strings do not count:
+pub const HINT: &str = "do not call Instant::now here";

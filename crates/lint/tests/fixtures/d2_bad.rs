@@ -1,0 +1,21 @@
+// Fixture: trips D2 (no-unordered-iteration) twice in a digest crate.
+
+use std::collections::HashMap;
+
+pub struct Ledger {
+    balances: HashMap<u64, u64>,
+}
+
+impl Ledger {
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (owner, wei) in self.balances.iter() {
+            acc = acc.wrapping_mul(31).wrapping_add(owner ^ wei);
+        }
+        acc
+    }
+
+    pub fn owners(&self) -> Vec<u64> {
+        self.balances.keys().copied().collect()
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: the good twin of d2_bad — clean under D2.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Ledger {
+    balances: HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+impl Ledger {
+    pub fn digest(&self) -> u64 {
+        // Sorted within the suppression window: order is pinned.
+        let mut rows: Vec<(u64, u64)> = self.balances.iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort();
+        rows.iter().fold(0u64, |acc, (owner, wei)| {
+            acc.wrapping_mul(31).wrapping_add(owner ^ wei)
+        })
+    }
+
+    pub fn total(&self) -> u64 {
+        // lint: ordered-ok(wrapping_add is commutative; the sum is order-independent)
+        self.balances.values().fold(0u64, |a, b| a.wrapping_add(*b))
+    }
+
+    pub fn first_owner(&self) -> Option<u64> {
+        // BTreeMap iteration is ordered by definition.
+        self.ordered.keys().next().copied()
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: trips D3 (no-ambient-randomness) twice.
+
+pub fn shuffle_owners(owners: &mut [u64]) {
+    let mut rng = rand::thread_rng();
+    shuffle_with(owners, &mut rng);
+}
+
+pub fn fresh_key() -> [u8; 32] {
+    let mut rng = rand::rngs::OsRng;
+    key_from(&mut rng)
+}

@@ -1,0 +1,13 @@
+// Fixture: the good twin of d3_bad — clean under D3.
+//
+// Every seed flows from config, so a run replays bit-for-bit.
+
+pub fn shuffle_owners(owners: &mut [u64], seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    shuffle_with(owners, &mut rng);
+}
+
+pub fn fresh_key(config_seed: u64) -> [u8; 32] {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config_seed);
+    key_from(&mut rng)
+}

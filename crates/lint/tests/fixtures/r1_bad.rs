@@ -1,0 +1,10 @@
+// Fixture: trips R1 (no-panic-in-daemon) three times.
+
+pub fn dispatch(store: &std::sync::Mutex<u64>, frame: Option<u64>) -> u64 {
+    let guard = store.lock().expect("store poisoned");
+    let frame = frame.unwrap();
+    if frame > *guard {
+        panic!("frame from the future");
+    }
+    frame
+}

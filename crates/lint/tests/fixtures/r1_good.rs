@@ -1,0 +1,24 @@
+// Fixture: the good twin of r1_bad — clean under R1.
+//
+// Poison is recovered, absence is propagated, protocol violations come
+// back as typed errors; a worker thread never panics.
+
+pub fn dispatch(store: &std::sync::Mutex<u64>, frame: Option<u64>) -> Result<u64, String> {
+    let guard = store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let frame = frame.ok_or_else(|| "missing frame".to_string())?;
+    if frame > *guard {
+        return Err(format!("frame {frame} from the future"));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -17,6 +17,8 @@
 //! Everything runs on virtual time, so minutes of simulated blockchain
 //! waiting cost microseconds of real time and results are deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod link;
 pub mod par;

@@ -16,6 +16,8 @@
 //! - [`fixed`]: `H160` / `H256` fixed-width types
 //! - [`hotpath`]: wall-clock phase accounting for the bench hot paths
 
+#![forbid(unsafe_code)]
+
 pub mod base32;
 pub mod base58;
 pub mod fixed;

@@ -1034,6 +1034,33 @@ mod tests {
                 cost: SimDuration::ZERO,
                 result: Err(IpfsError::BlockUnavailable(cid_of(b"gone"))),
             },
+            Frame::IpfsAdded {
+                cost: SimDuration::from_millis(2),
+                result: AddResult {
+                    root: cid_of(b"model"),
+                    blocks: 3,
+                    bytes_stored: 700,
+                    file_size: 640,
+                },
+            },
+            Frame::IpfsCatted {
+                cost: SimDuration::from_millis(5),
+                result: Ok((
+                    vec![9, 9, 9],
+                    FetchStats {
+                        blocks_fetched: 3,
+                        bytes_fetched: 700,
+                        rounds: 2,
+                        providers: [("owner-1".to_string(), 2), ("owner-2".to_string(), 1)]
+                            .into_iter()
+                            .collect(),
+                    },
+                )),
+            },
+            Frame::IpfsCatted {
+                cost: SimDuration::ZERO,
+                result: Err(IpfsError::BlockUnavailable(cid_of(b"gone"))),
+            },
             Frame::BackstageReply(BackstageReply::Flag(true)),
             Frame::Error(ProtocolError::Unprovisioned),
             Frame::Error(ProtocolError::NoSuchSession(7)),
@@ -1051,6 +1078,101 @@ mod tests {
             Frame::Attached { height: 11 },
         ];
         for frame in frames {
+            let wire = frame.encode();
+            let (decoded, consumed) = Frame::decode(&wire).expect("decodes");
+            assert_eq!(consumed, wire.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    /// Every [`BackstageOp`] variant survives the wire. Keep this list
+    /// exhaustive — `ofl-lint` rule W1 checks each variant appears in a
+    /// round-trip test.
+    #[test]
+    fn every_backstage_op_roundtrips() {
+        let ops = vec![
+            BackstageOp::MineSlot { slot_secs: 36 },
+            BackstageOp::SlotElapsed,
+            BackstageOp::Height,
+            BackstageOp::Config,
+            BackstageOp::MempoolLen,
+            BackstageOp::TotalSupply,
+            BackstageOp::Burned,
+            BackstageOp::ReceiptOf {
+                hash: H256::from_bytes([7; 32]),
+            },
+            BackstageOp::IsPending {
+                hash: H256::from_bytes([8; 32]),
+            },
+            BackstageOp::BalanceOf {
+                address: H160::from_slice(&[9; 20]),
+            },
+            BackstageOp::BaseFee,
+            BackstageOp::SpawnIpfsNode {
+                label: "owner-7".into(),
+            },
+            BackstageOp::DropIpfsBlock {
+                node: 4,
+                cid: cid_of(b"weights"),
+            },
+            BackstageOp::SwarmHas {
+                cid: cid_of(b"weights"),
+            },
+        ];
+        for op in ops {
+            let frame = Frame::Backstage(op);
+            let wire = frame.encode();
+            let (decoded, consumed) = Frame::decode(&wire).expect("decodes");
+            assert_eq!(consumed, wire.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    /// Every [`BackstageReply`] variant survives the wire (W1-checked,
+    /// like the ops above).
+    #[test]
+    fn every_backstage_reply_roundtrips() {
+        use ofl_eth::block::{Receipt, TxStatus};
+        let block = Block {
+            header: Header {
+                parent_hash: H256::from_bytes([1; 32]),
+                number: 12,
+                timestamp: 144,
+                coinbase: H160::from_slice(&[2; 20]),
+                gas_used: 42_000,
+                gas_limit: 30_000_000,
+                base_fee: U256::from(7u64),
+                tx_root: H256::from_bytes([3; 32]),
+                bloom: Bloom::default(),
+            },
+            tx_hashes: vec![H256::from_bytes([4; 32])],
+        };
+        let receipt = Receipt {
+            tx_hash: H256::from_bytes([4; 32]),
+            status: TxStatus::Success,
+            gas_used: 21_000,
+            effective_gas_price: U256::from(11u64),
+            fee: U256::from(231_000u64),
+            contract_address: Some(H160::from_slice(&[5; 20])),
+            logs: Vec::new(),
+            block_number: 12,
+            output: vec![0xAA],
+        };
+        let replies = vec![
+            BackstageReply::Mined(Box::new(block)),
+            BackstageReply::SlotAcked,
+            BackstageReply::Height(12),
+            BackstageReply::Config(ChainConfig::default()),
+            BackstageReply::MempoolLen(3),
+            BackstageReply::Wei(U256::from(1_000_000u64)),
+            BackstageReply::Receipt(Some(receipt)),
+            BackstageReply::Receipt(None),
+            BackstageReply::Flag(false),
+            BackstageReply::NodeIndex(6),
+            BackstageReply::Dropped,
+        ];
+        for reply in replies {
+            let frame = Frame::BackstageReply(reply);
             let wire = frame.encode();
             let (decoded, consumed) = Frame::decode(&wire).expect("decodes");
             assert_eq!(consumed, wire.len());

@@ -42,6 +42,8 @@
 //! clock) and the discrete-event session engine (many overlapping
 //! timelines).
 
+#![forbid(unsafe_code)]
+
 pub mod backstage;
 pub mod bindings;
 pub mod codec;

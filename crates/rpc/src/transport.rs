@@ -148,6 +148,7 @@ impl<S: Read + Write + Send> FrameTransport for StreamTransport<S> {
     }
     fn recv(&mut self) -> Result<Frame, FrameError> {
         let _t = PhaseTimer::start(HotPhase::Wire);
+        // lint: wall-clock-ok(feeds WireCounter bench metering only; never enters a digest)
         let started = std::time::Instant::now();
         let frame = Frame::read_from(&mut self.stream)?;
         self.counter.count_recv(started.elapsed());
@@ -205,10 +206,22 @@ impl<S: Read + Write + Send> FrameTransport for StreamTransport<S> {
             replies[index] = Some(frame);
             received += 1;
         }
-        Ok(replies
-            .into_iter()
-            .map(|r| r.expect("every request answered"))
-            .collect())
+        // `received == frames.len()` and ids are deduplicated above, so
+        // every slot is filled — but a malformed peer must surface as an
+        // error, never a worker panic.
+        let mut out = Vec::with_capacity(replies.len());
+        for (index, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Some(frame) => out.push(frame),
+                None => {
+                    return Err(FrameError::Io(format!(
+                        "pipelined recv from {}: request {index} never answered",
+                        self.peer
+                    )))
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -257,6 +270,17 @@ impl SessionMux {
     }
 }
 
+/// Locks the shared mux state, recovering from poisoning. The per-frame
+/// critical sections never leave `MuxInner` half-written (a send or recv
+/// either completes or returns before mutating), so if a sibling handle's
+/// thread panicked mid-hold the state is still coherent — and a transport
+/// must degrade with an error, never cascade a panic across sessions.
+fn lock_mux(inner: &Mutex<MuxInner>) -> std::sync::MutexGuard<'_, MuxInner> {
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One session's view of a [`SessionMux`]-shared connection.
 pub struct SessionTransport {
     inner: Arc<Mutex<MuxInner>>,
@@ -268,7 +292,7 @@ pub struct SessionTransport {
 
 impl FrameTransport for SessionTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), FrameError> {
-        let mut inner = self.inner.lock().expect("session mux poisoned");
+        let mut inner = lock_mux(&self.inner);
         let id = inner.next_id;
         inner.next_id = inner.next_id.wrapping_add(1);
         inner.transport.send(&Frame::Request {
@@ -287,7 +311,7 @@ impl FrameTransport for SessionTransport {
                 self.session
             ))
         })?;
-        let mut inner = self.inner.lock().expect("session mux poisoned");
+        let mut inner = lock_mux(&self.inner);
         loop {
             if let Some(frame) = inner.parked.remove(&wanted) {
                 self.outstanding.pop_front();
@@ -312,7 +336,7 @@ impl FrameTransport for SessionTransport {
     }
 
     fn peer(&self) -> String {
-        let inner = self.inner.lock().expect("session mux poisoned");
+        let inner = lock_mux(&self.inner);
         format!("{}#session{}", inner.transport.peer(), self.session)
     }
 }

@@ -45,6 +45,8 @@
 //!
 //! [`JoinHandle`]: std::thread::JoinHandle
 
+#![forbid(unsafe_code)]
+
 use ofl_eth::chain::Chain;
 use ofl_ipfs::swarm::Swarm;
 use ofl_rpc::frame::{Frame, FrameError, ProtocolError};
@@ -66,6 +68,19 @@ pub type SessionStore = Arc<Mutex<BTreeMap<u64, Box<dyn NodeProvider + Send>>>>;
 /// A fresh, empty [`SessionStore`].
 pub fn new_session_store() -> SessionStore {
     SessionStore::default()
+}
+
+/// Locks a shared session store, recovering from poisoning. Every
+/// critical section over the store is a single map operation (entry
+/// insert or `get_mut` + dispatch), so a worker thread that panicked
+/// mid-hold cannot have left the map half-written — and one bad
+/// connection must never take the whole daemon's store down with it.
+fn lock_sessions(
+    store: &Mutex<BTreeMap<u64, Box<dyn NodeProvider + Send>>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<u64, Box<dyn NodeProvider + Send>>> {
+    store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Where a connection's session backends live.
@@ -167,7 +182,7 @@ impl Connection {
                         }
                     },
                     Backends::Shared(store) => {
-                        let mut sessions = store.lock().expect("session store poisoned");
+                        let mut sessions = lock_sessions(store);
                         match sessions.entry(session) {
                             Entry::Occupied(_) => Frame::Error(ProtocolError::AlreadyProvisioned),
                             Entry::Vacant(slot) => {
@@ -255,9 +270,7 @@ impl Connection {
                 .get_mut(&session)
                 .map(|p| f(p.as_mut()))
                 .ok_or_else(missing),
-            Backends::Shared(store) => store
-                .lock()
-                .expect("session store poisoned")
+            Backends::Shared(store) => lock_sessions(store)
                 .get_mut(&session)
                 .map(|p| f(p.as_mut()))
                 .ok_or_else(missing),

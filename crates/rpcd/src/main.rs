@@ -18,6 +18,8 @@
 //! provisioned sessions alive across connections: provision once, hang
 //! up, reconnect and `Attach` to the same live backend.
 
+#![forbid(unsafe_code)]
+
 use ofl_rpcd::DaemonOptions;
 use std::net::TcpListener;
 use std::time::Duration;

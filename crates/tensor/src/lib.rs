@@ -33,6 +33,8 @@
 //! assert_eq!(restored, model);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod nn;
 pub mod optim;
 pub mod serialize;

@@ -18,6 +18,8 @@
 //!   sockets (plus the in-memory pipe transport tests mount)
 //! - [`ofl_core`] — the OFL-W3 marketplace: buyers, owners, the 7-step workflow
 
+#![forbid(unsafe_code)]
+
 pub use ofl_core as core;
 pub use ofl_data as data;
 pub use ofl_eth as eth;
