@@ -27,9 +27,13 @@
 //! leg — go to the durable perf trajectory `BENCH_fleet.json` at the repo
 //! root.
 //!
+//! With `--subscribe`, a further leg re-runs the in-process fleet with the
+//! engine's push watchers open on every shard and records the push-vs-poll
+//! round-trip comparison in a `subscription` block of the record.
+//!
 //! Run: `cargo run -p ofl-bench --release --bin bench_fleet -- \
 //!       [--owners 1024] [--markets N] [--shards 4] [--window 64] \
-//!       [--serial] [--json]`
+//!       [--serial] [--subscribe] [--json]`
 
 use ofl_bench::{header, write_bench};
 use ofl_core::config::MarketConfig;
@@ -101,6 +105,37 @@ struct ParallelCheck {
     digest_equal: bool,
 }
 
+/// The `--subscribe` leg: the same fleet re-run with the engine's push
+/// watchers open on every shard (`newHeads` + all-logs + `pendingTxs`),
+/// compared against the unwatched reference. Push deliveries ride the
+/// existing wire, so the only extra round trips are the subscription
+/// handshakes — versus the per-block head read plus range query a
+/// cursor-polling watcher fleet would pay to observe the same streams.
+#[derive(Serialize)]
+struct SubscriptionLeg {
+    wall_secs: f64,
+    /// Push deliveries the watchers received across the run.
+    events_observed: u64,
+    /// Order-sensitive digest of the delivered stream — pinned equal
+    /// across executors by the CI schema check.
+    event_digest: u64,
+    /// Blocks mined across all shards (the poll watcher's cost driver).
+    blocks_mined: u64,
+    push_round_trips: u64,
+    push_virtual_secs: f64,
+    baseline_round_trips: u64,
+    baseline_virtual_secs: f64,
+    /// Wire cost of watching: `push - baseline` round trips, i.e. the
+    /// subscription setup; deliveries add none.
+    push_extra_round_trips: u64,
+    /// What a cursor-polling watcher fleet needs at minimum for the same
+    /// coverage: one head read + one log range query per mined block.
+    poll_equivalent_round_trips: u64,
+    /// Watching must not perturb the simulation: virtual time and every
+    /// aggregated accuracy identical to the unwatched reference.
+    outcome_unchanged: bool,
+}
+
 #[derive(Serialize)]
 struct Record {
     owners: usize,
@@ -117,6 +152,9 @@ struct Record {
     runs: Vec<RunRow>,
     wire_drive: Vec<WireDriveRow>,
     pipelined_vs_lockstep: Comparison,
+    /// Present when `--subscribe` ran the push-vs-poll leg; `null`
+    /// otherwise.
+    subscription: Option<SubscriptionLeg>,
 }
 
 struct Args {
@@ -125,6 +163,7 @@ struct Args {
     shards: usize,
     window: usize,
     serial: bool,
+    subscribe: bool,
     json: bool,
 }
 
@@ -134,6 +173,7 @@ fn parse_args() -> Args {
     let mut shards = 4usize;
     let mut window = 64usize;
     let mut serial = false;
+    let mut subscribe = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -148,6 +188,7 @@ fn parse_args() -> Args {
             "--shards" => shards = number(&mut args, "--shards"),
             "--window" => window = number(&mut args, "--window"),
             "--serial" => serial = true,
+            "--subscribe" => subscribe = true,
             "--json" => json = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -163,6 +204,7 @@ fn parse_args() -> Args {
         shards: shards.max(1).min(markets),
         window: window.max(1),
         serial,
+        subscribe,
         json,
     }
 }
@@ -173,7 +215,7 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: bench_fleet [--owners N] [--markets M] [--shards S] [--window W] \
-         [--serial] [--json]"
+         [--serial] [--subscribe] [--json]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -508,6 +550,64 @@ fn main() {
         comparison.lockstep_wall_secs, comparison.pipelined_wall_secs
     );
 
+    // The push-vs-poll leg: the same fleet with the engine's shard
+    // watchers open. Deliveries ride replies already crossing the wire, so
+    // the watched run's extra round trips are the subscription handshakes
+    // alone — pitted against the two-RPCs-per-mined-block floor of a
+    // cursor-polling watcher fleet with the same coverage.
+    let subscription = args.subscribe.then(|| {
+        let watched_engine = EngineConfig {
+            watch_events: true,
+            ..EngineConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let (_, watched) = MultiMarket::with_shards(configs(), args.shards)
+            .run(&watched_engine, &[])
+            .expect("watched fleet run");
+        let wall = started.elapsed().as_secs_f64();
+        let outcome_unchanged = watched.total_sim_seconds == local.total_sim_seconds
+            && watched
+                .sessions
+                .iter()
+                .map(|s| s.aggregated_accuracy)
+                .eq(local.sessions.iter().map(|s| s.aggregated_accuracy));
+        let leg = SubscriptionLeg {
+            wall_secs: wall,
+            events_observed: watched.events_observed,
+            event_digest: watched.event_digest,
+            blocks_mined: watched.blocks_mined,
+            push_round_trips: watched.rpc.round_trips,
+            push_virtual_secs: watched.total_sim_seconds,
+            baseline_round_trips: local.rpc.round_trips,
+            baseline_virtual_secs: local.total_sim_seconds,
+            push_extra_round_trips: watched
+                .rpc
+                .round_trips
+                .saturating_sub(local.rpc.round_trips),
+            poll_equivalent_round_trips: 2 * watched.blocks_mined,
+            outcome_unchanged,
+        };
+        assert!(
+            leg.events_observed > 0,
+            "a watched fleet run must deliver push events"
+        );
+        assert!(
+            leg.outcome_unchanged,
+            "opening subscriptions must not change virtual time or accuracies"
+        );
+        println!(
+            "\nsubscription leg: {} events over {} blocks, push +{} round trips vs \
+             poll-equivalent {} ({:.1}x cheaper), virtual time unchanged at {:.1}s",
+            leg.events_observed,
+            leg.blocks_mined,
+            leg.push_extra_round_trips,
+            leg.poll_equivalent_round_trips,
+            leg.poll_equivalent_round_trips as f64 / (leg.push_extra_round_trips.max(1)) as f64,
+            leg.push_virtual_secs,
+        );
+        leg
+    });
+
     let record = Record {
         owners,
         markets: args.markets,
@@ -520,6 +620,7 @@ fn main() {
         runs,
         wire_drive: vec![drive_lockstep, drive_pipelined],
         pipelined_vs_lockstep: comparison,
+        subscription,
     };
     write_bench("fleet", &record);
     if args.json {

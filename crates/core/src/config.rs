@@ -9,6 +9,7 @@ use ofl_primitives::u256::U256;
 use ofl_primitives::wei_per_eth;
 use ofl_rpc::{
     EndpointId, FaultProfile, RateLimitProfile, ReorderProfile, SpikeProfile, StaleProfile,
+    SubLagProfile,
 };
 
 /// How the training data is split across model owners.
@@ -91,6 +92,14 @@ pub struct MarketConfig {
     /// Seeded shuffling of the endpoint's batch replies (`None` = in-order
     /// replies) — the out-of-order-server scenario knob.
     pub rpc_reorder: Option<ReorderProfile>,
+    /// Seeded per-subscription push-delivery lag for the market's endpoint
+    /// (`None` = pushes land at the slot that produced them) — the
+    /// laggy-subscription scenario knob.
+    pub rpc_sub_lag: Option<SubLagProfile>,
+    /// Derive and fund one extra non-participant account (the
+    /// mempool-watching adversary of the front-running scenario). Off by
+    /// default so clean runs keep their exact genesis allocation.
+    pub fund_adversary: bool,
     /// Which shard of the world this market's sessions are pinned to. A
     /// solo serial [`Marketplace`](crate::market::Marketplace) always runs
     /// on shard 0; `MultiMarket` worlds size their provider pool to cover
@@ -125,6 +134,8 @@ impl Default for MarketConfig {
             rpc_stale: None,
             rpc_spike: None,
             rpc_reorder: None,
+            rpc_sub_lag: None,
+            fund_adversary: false,
             placement: EndpointId(0),
             finalize: FinalizePolicy::default(),
         }

@@ -14,9 +14,10 @@
 
 use crate::market::{MarketError, Marketplace, SessionReport};
 use crate::world::{World, WorldError};
+use ofl_eth::chain::LogFilter;
 use ofl_netsim::clock::SimDuration;
 use ofl_primitives::format_eth;
-use ofl_rpc::{EndpointId, ModelMarketContract};
+use ofl_rpc::{EndpointId, ModelMarketContract, SubEvent, SubscriptionKind};
 
 /// A UI event (what the user sees after a click).
 #[derive(Debug, Clone)]
@@ -133,34 +134,147 @@ impl OwnerApp {
 /// A resumable cursor over the contract's `CidUploaded` event stream —
 /// what a production DApp's subscription loop keeps between polls.
 ///
-/// Each [`CidWatcher::poll`] reads the chain head (`eth_blockNumber`) and
-/// queries only `(last_seen, head]` via the typed binding's
-/// `LogFilter::in_blocks` range, so repeated polls never rescan — and
-/// never re-yield — blocks already seen. Compare the whole-chain scan of
+/// Two delivery modes share one cursor:
+///
+/// * **Streaming** ([`CidWatcher::subscribed`]): a `Logs` push subscription
+///   filtered to the contract address and `CidUploaded` topic. The first
+///   [`poll`](CidWatcher::poll) does one catch-up range read for blocks
+///   mined before the subscription existed; after that, polls just drain
+///   parked push notifications — no head read, no `eth_getLogs`, zero RPC
+///   round trips. An undecodable push degrades the watcher back to cursor
+///   polling without skipping or re-yielding a block.
+/// * **Cursor polling** ([`CidWatcher::new`]): each poll reads the chain
+///   head (`eth_blockNumber`) and queries only `(last_seen, head]` via the
+///   typed binding's `LogFilter::in_blocks` range.
+///
+/// In both modes repeated polls never rescan — and never re-yield — blocks
+/// already seen. Compare the whole-chain scan of
 /// [`Marketplace::buyer_watch_upload_events`], which rereads everything
 /// on every call.
 pub struct CidWatcher {
     contract: ModelMarketContract,
     endpoint: EndpointId,
+    /// Live `Logs` subscription id, or `None` in cursor-polling mode.
+    sub: Option<u64>,
+    /// Whether the one-time catch-up range read (blocks mined before the
+    /// subscription existed) has run. Always true in cursor mode, where
+    /// every poll is a range read.
+    synced: bool,
     /// The highest block this watcher has already consumed.
     pub last_seen_block: u64,
 }
 
 impl CidWatcher {
-    /// A watcher starting from genesis (nothing consumed yet).
+    /// A cursor-polling watcher starting from genesis (nothing consumed
+    /// yet).
     pub fn new(contract: ModelMarketContract, endpoint: EndpointId) -> CidWatcher {
         CidWatcher {
             contract,
             endpoint,
+            sub: None,
+            synced: true,
             last_seen_block: 0,
         }
     }
 
+    /// A streaming watcher: opens a `Logs` subscription filtered to the
+    /// contract's `CidUploaded` events. Blocks mined before this call are
+    /// picked up by the first poll's catch-up range read.
+    pub fn subscribed(
+        contract: ModelMarketContract,
+        endpoint: EndpointId,
+        world: &mut World,
+    ) -> CidWatcher {
+        let filter = LogFilter::all()
+            .at_address(contract.address)
+            .with_topic(ModelMarketContract::uploaded_topic());
+        let sub = world.subscribe(endpoint, SubscriptionKind::Logs { filter });
+        CidWatcher {
+            contract,
+            endpoint,
+            sub: Some(sub),
+            synced: false,
+            last_seen_block: 0,
+        }
+    }
+
+    /// Whether the watcher is currently fed by a push subscription.
+    pub fn is_streaming(&self) -> bool {
+        self.sub.is_some()
+    }
+
+    /// Drops the push subscription and returns to cursor polling. The
+    /// cursor sits on the last consumed block, so subsequent range polls
+    /// resume exactly where the stream stopped — parked-but-untaken pushes
+    /// are re-read from the chain, never duplicated.
+    pub fn degrade(&mut self, world: &mut World) {
+        if let Some(sub) = self.sub.take() {
+            world.unsubscribe(self.endpoint, sub);
+        }
+        self.synced = true;
+    }
+
     /// One iteration of the subscription loop: yields only CIDs uploaded in
-    /// blocks this watcher has not consumed yet, plus the RPC time of the
-    /// head read and (when anything is new) the one `eth_getLogs` range
-    /// query. The caller charges the duration.
+    /// blocks this watcher has not consumed yet, plus the RPC time charged
+    /// (head read and range query in cursor mode or during catch-up; zero
+    /// once the stream is live). The caller charges the duration.
     pub fn poll(&mut self, world: &mut World) -> Result<(Vec<String>, SimDuration), MarketError> {
+        let (mut cids, mut duration) = if self.synced {
+            (Vec::new(), SimDuration::ZERO)
+        } else {
+            // One-time catch-up for blocks mined before the subscription
+            // existed. It advances the cursor to the current head, so any
+            // pushes already parked for those same blocks dedupe below.
+            let caught = self.poll_range(world)?;
+            self.synced = true;
+            caught
+        };
+        let Some(sub) = self.sub else {
+            // Cursor mode (`synced` is always true here, so nothing was
+            // caught up above): every poll is a fresh range read.
+            debug_assert!(cids.is_empty());
+            return self.poll_range(world);
+        };
+        world.pump_notifications();
+        let floor = self.last_seen_block;
+        let batch_start = cids.len();
+        for note in world.take_notifications(self.endpoint, sub) {
+            let SubEvent::Log(pushed) = note.event else {
+                continue;
+            };
+            // Blocks at or below the floor were already consumed (by the
+            // catch-up read or an earlier drain); their parked copies are
+            // duplicates. Deliveries arrive in whole-block batches, so a
+            // block-granular floor never splits a block.
+            if pushed.block_number <= floor {
+                continue;
+            }
+            match ModelMarketContract::decode_uploaded(&pushed.log) {
+                Ok(cid) => {
+                    self.last_seen_block = self.last_seen_block.max(pushed.block_number);
+                    cids.push(cid);
+                }
+                Err(_) => {
+                    // Graceful fallback: rewind past this whole push batch
+                    // and re-read it through the range-query path, so the
+                    // undecodable block is neither skipped nor its
+                    // neighbours double-counted.
+                    cids.truncate(batch_start);
+                    self.last_seen_block = floor;
+                    self.degrade(world);
+                    let (rest, d_range) = self.poll_range(world)?;
+                    cids.extend(rest);
+                    duration = duration.saturating_add(d_range);
+                    return Ok((cids, duration));
+                }
+            }
+        }
+        Ok((cids, duration))
+    }
+
+    /// The cursor-polling read: head via `eth_blockNumber`, then one
+    /// `eth_getLogs` over `(last_seen, head]` when anything is new.
+    fn poll_range(&mut self, world: &mut World) -> Result<(Vec<String>, SimDuration), MarketError> {
         let ep = self.endpoint;
         let (head, mut duration) = world.eth_retry(ep, |eth| eth.block_number());
         let head = head.map_err(WorldError::Rpc)?;
@@ -267,18 +381,24 @@ impl BuyerApp {
         }
     }
 
-    /// "Watch CIDs" — the incremental alternative to "Download CIDs": an
-    /// event-subscription poll that appends only CIDs uploaded since the
-    /// last poll (resuming from the last-seen block), never re-yielding
-    /// one. Production DApps run this in a loop instead of whole-chain
-    /// scans.
+    /// "Watch CIDs" — the incremental alternative to "Download CIDs": a
+    /// push `Logs` subscription (with a one-time catch-up read for blocks
+    /// mined before it existed) that appends only CIDs uploaded since the
+    /// last poll, never re-yielding one. If the stream degrades, the
+    /// watcher falls back to cursor polling from the same block, so the
+    /// sequence the buyer sees is identical either way. Production DApps
+    /// run this in a loop instead of whole-chain scans.
     pub fn watch_cids(&mut self, market: &mut Marketplace) -> Result<String, MarketError> {
         if self.watcher.is_none() {
             let contract = market
                 .session
                 .contract
                 .ok_or(MarketError::StepOrder("deploy before watching events"))?;
-            self.watcher = Some(CidWatcher::new(contract, market.session.placement));
+            self.watcher = Some(CidWatcher::subscribed(
+                contract,
+                market.session.placement,
+                &mut market.world,
+            ));
         }
         let watcher = self.watcher.as_mut().expect("created above");
         match watcher.poll(&mut market.world) {
@@ -464,6 +584,84 @@ mod tests {
         buyer_app.retrieve_models(&mut market).unwrap();
         let report = buyer_app.aggregate_and_pay(&mut market).unwrap();
         assert_eq!(report.payments.len(), market.owners.len());
+    }
+
+    #[test]
+    fn streaming_watcher_matches_cursor_polling_and_never_reyields() {
+        let mut market = Marketplace::new(MarketConfig::small_test());
+        let n = market.owners.len();
+        let mut buyer_app = BuyerApp::new();
+        buyer_app.deploy_contract(&mut market).unwrap();
+        let contract = market.session.contract.expect("deployed above");
+        // An independent cursor-polling watcher consumes the same stream
+        // for comparison at every phase.
+        let mut cursor = CidWatcher::new(contract, market.session.placement);
+        let mut polled: Vec<String> = Vec::new();
+        let publish = |market: &mut Marketplace, i: usize| {
+            let mut app = OwnerApp::new(i);
+            app.train_model(market);
+            app.upload_model(market).unwrap();
+            app.send_cid(market).unwrap();
+        };
+
+        // Phase 1 — catch-up: two owners publish before the subscription
+        // exists; the streaming watcher's first poll range-reads them.
+        publish(&mut market, 0);
+        publish(&mut market, 1);
+        buyer_app.watch_cids(&mut market).unwrap();
+        assert!(buyer_app.watcher.as_ref().unwrap().is_streaming());
+        let (fresh, _) = cursor.poll(&mut market.world).unwrap();
+        polled.extend(fresh);
+        assert_eq!(buyer_app.cids, polled);
+        assert_eq!(buyer_app.cids.len(), 2);
+
+        // Phase 2 — live stream: an idle poll yields nothing, then a fresh
+        // publish arrives by push. From here the streaming watcher must not
+        // issue any further range queries — only the cursor watcher does.
+        let logs_before = market
+            .world
+            .rpc_metrics(EndpointId(0))
+            .method("eth_getLogs")
+            .calls;
+        buyer_app.watch_cids(&mut market).unwrap();
+        assert_eq!(buyer_app.cids, polled);
+        publish(&mut market, 2);
+        buyer_app.watch_cids(&mut market).unwrap();
+        let (fresh, _) = cursor.poll(&mut market.world).unwrap();
+        polled.extend(fresh);
+        assert_eq!(buyer_app.cids, polled);
+        assert_eq!(buyer_app.cids.len(), 3);
+        let logs_after = market
+            .world
+            .rpc_metrics(EndpointId(0))
+            .method("eth_getLogs")
+            .calls;
+        assert_eq!(
+            logs_after,
+            logs_before + 1,
+            "only the cursor comparison watcher may range-query while the stream is live"
+        );
+
+        // Phase 3 — graceful fallback: degrade to cursor polling; the next
+        // publish is picked up from the same block, no skips, no re-yields.
+        buyer_app
+            .watcher
+            .as_mut()
+            .unwrap()
+            .degrade(&mut market.world);
+        assert!(!buyer_app.watcher.as_ref().unwrap().is_streaming());
+        publish(&mut market, 3);
+        buyer_app.watch_cids(&mut market).unwrap();
+        let (fresh, _) = cursor.poll(&mut market.world).unwrap();
+        polled.extend(fresh);
+        assert_eq!(buyer_app.cids, polled);
+        assert_eq!(buyer_app.cids.len(), n);
+
+        // The streamed sequence is exactly the chain's upload order, with
+        // nothing yielded twice in any phase.
+        let unique: std::collections::HashSet<_> = buyer_app.cids.iter().collect();
+        assert_eq!(unique.len(), buyer_app.cids.len());
+        assert_eq!(buyer_app.cids, market.buyer_download_cids().unwrap());
     }
 
     #[test]

@@ -35,12 +35,14 @@ use crate::market::{
 use crate::scenario::FailurePlan;
 use crate::world::{ShardConfig, ShardSpec, World, WorldError};
 use ofl_eth::block::Receipt;
+use ofl_eth::chain::LogFilter;
+use ofl_eth::tx::{sign_tx, TxRequest};
 use ofl_ipfs::cid::Cid;
 use ofl_netsim::clock::{SimDuration, SimInstant};
 use ofl_netsim::sched::{EventQueue, Timeline};
 use ofl_primitives::u256::U256;
 use ofl_primitives::{H160, H256};
-use ofl_rpc::{EndpointId, ModelMarketContract, ProviderMetrics};
+use ofl_rpc::{EndpointId, ModelMarketContract, ProviderMetrics, SubEvent, SubscriptionKind};
 use std::collections::BTreeSet;
 
 /// When each owner shows up to start training.
@@ -74,6 +76,12 @@ pub struct EngineConfig {
     /// batched `getCid` round trip (the default) or one `eth_call` per
     /// index — the Fig 7b knob `bench_session_engine` sweeps.
     pub batch_cid_reads: bool,
+    /// Open push subscriptions (`newHeads`, all-logs, `pendingTxs`) on
+    /// every shard and fold each delivery into
+    /// [`EngineReport::event_digest`], keyed `(slot, shard, seq)` — the
+    /// knob the tri-backend pinning tests flip to prove in-process, pipe,
+    /// and TCP worlds emit bit-identical event streams.
+    pub watch_events: bool,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +90,7 @@ impl Default for EngineConfig {
             arrivals: Arrivals::Simultaneous,
             batch_receipt_polls: true,
             batch_cid_reads: true,
+            watch_events: false,
         }
     }
 }
@@ -96,6 +105,10 @@ pub struct SessionDetail {
     pub cids_retrieved: Vec<String>,
     /// Injected transactions that (as intended) reverted on-chain.
     pub reverted_tx_count: usize,
+    /// Victim `uploadCid` broadcasts the mempool-watching adversary outbid
+    /// (zero unless the market's plan set
+    /// [`FailurePlan::mempool_front_run`]).
+    pub front_run_count: usize,
 }
 
 /// What a whole engine run produced.
@@ -116,6 +129,17 @@ pub struct EngineReport {
     /// Per-endpoint provider metering, indexed by `EndpointId.0` — what a
     /// sharded run uses to see which shard carried which traffic.
     pub rpc_per_endpoint: Vec<ProviderMetrics>,
+    /// Push deliveries the engine's own watchers received (zero unless
+    /// [`EngineConfig::watch_events`] was set).
+    pub events_observed: u64,
+    /// Order-sensitive FNV-1a digest of the watched event stream, keyed
+    /// `(slot, shard, sub, seq, event)` — identical across in-process,
+    /// pipe, and TCP shard mountings of the same fleet.
+    pub event_digest: u64,
+    /// Total blocks mined across all shards (one per shard per slot) —
+    /// the denominator of the push-vs-poll comparison: a cursor-polling
+    /// watcher pays per mined block, a subscription watcher does not.
+    pub blocks_mined: u64,
 }
 
 impl EngineReport {
@@ -221,6 +245,7 @@ impl MultiMarket {
                     stale: configs[0].rpc_stale,
                     spike: configs[0].rpc_spike,
                     reorder: configs[0].rpc_reorder,
+                    sub_lag: configs[0].rpc_sub_lag,
                 })
             })
             .collect();
@@ -276,12 +301,7 @@ impl MultiMarket {
         self.world.batch_receipt_polls = engine.batch_receipt_polls;
         self.world.batch_cid_reads = engine.batch_cid_reads;
         let report = {
-            let mut driver = Driver::new(
-                &mut self.world,
-                &mut self.sessions,
-                engine.arrivals,
-                failures,
-            );
+            let mut driver = Driver::new(&mut self.world, &mut self.sessions, engine, failures);
             driver.run()?
         };
         Ok((self, report))
@@ -382,6 +402,13 @@ struct MarketRun {
     paid: Vec<(H160, U256)>,
     payment_hashes: Vec<H256>,
     finalize: Option<(Aggregation, LooPayments)>,
+    /// The adversary's `pendingTxs` subscription on the market's shard
+    /// (only when the plan front-runs).
+    freeload_sub: Option<u64>,
+    /// Locally-tracked adversary nonce: several junk registrations can be
+    /// broadcast within one slot, before any of them confirms.
+    adversary_nonce: u64,
+    front_runs: usize,
     detail: SessionDetail,
     report: Option<SessionReport>,
 }
@@ -394,42 +421,76 @@ struct Driver<'a> {
     pending: Vec<PendingTx>,
     scheduled_slots: BTreeSet<u64>,
     markets: Vec<MarketRun>,
+    /// The engine's own watchers (one `newHeads` + all-logs + `pendingTxs`
+    /// triple per shard) when [`EngineConfig::watch_events`] is set.
+    event_subs: Vec<(EndpointId, u64)>,
+    events_observed: u64,
+    event_digest: u64,
+    blocks_mined: u64,
 }
 
 impl<'a> Driver<'a> {
     fn new(
         world: &'a mut World,
         sessions: &'a mut [MarketSession],
-        arrivals: Arrivals,
+        engine: &EngineConfig,
         failures: &[FailurePlan],
     ) -> Driver<'a> {
+        let mut event_subs = Vec::new();
+        if engine.watch_events {
+            // Subscribe in (shard, kind) order so ids — and therefore the
+            // digest — are identical on every backend kind.
+            for ep in (0..world.endpoints()).map(EndpointId) {
+                for kind in [
+                    SubscriptionKind::NewHeads,
+                    SubscriptionKind::Logs {
+                        filter: LogFilter::all(),
+                    },
+                    SubscriptionKind::PendingTxs,
+                ] {
+                    event_subs.push((ep, world.subscribe(ep, kind)));
+                }
+            }
+        }
         let markets = (0..sessions.len())
-            .map(|m| MarketRun {
-                failures: failures.get(m).cloned().unwrap_or_default(),
-                owner_timelines: vec![Timeline::default(); sessions[m].owners.len()],
-                buyer_timeline: Timeline::default(),
-                deploy_phase_start: SimInstant(0),
-                contract_ready: false,
-                parked: Vec::new(),
-                owners_unresolved: sessions[m].owners.len(),
-                reverted_tx_count: 0,
-                payment_phase_start: SimInstant(0),
-                outstanding_payments: 0,
-                paid: Vec::new(),
-                payment_hashes: Vec::new(),
-                finalize: None,
-                detail: SessionDetail::default(),
-                report: None,
+            .map(|m| {
+                let failures = failures.get(m).cloned().unwrap_or_default();
+                let freeload_sub = (failures.mempool_front_run && sessions[m].adversary.is_some())
+                    .then(|| world.subscribe(sessions[m].placement, SubscriptionKind::PendingTxs));
+                MarketRun {
+                    failures,
+                    owner_timelines: vec![Timeline::default(); sessions[m].owners.len()],
+                    buyer_timeline: Timeline::default(),
+                    deploy_phase_start: SimInstant(0),
+                    contract_ready: false,
+                    parked: Vec::new(),
+                    owners_unresolved: sessions[m].owners.len(),
+                    reverted_tx_count: 0,
+                    payment_phase_start: SimInstant(0),
+                    outstanding_payments: 0,
+                    paid: Vec::new(),
+                    payment_hashes: Vec::new(),
+                    finalize: None,
+                    freeload_sub,
+                    adversary_nonce: 0,
+                    front_runs: 0,
+                    detail: SessionDetail::default(),
+                    report: None,
+                }
             })
             .collect();
         Driver {
             world,
             sessions,
-            arrivals,
+            arrivals: engine.arrivals,
             queue: EventQueue::new(),
             pending: Vec::new(),
             scheduled_slots: BTreeSet::new(),
             markets,
+            event_subs,
+            events_observed: 0,
+            event_digest: 0xcbf29ce484222325,
+            blocks_mined: 0,
         }
     }
 
@@ -472,6 +533,9 @@ impl<'a> Driver<'a> {
             .iter_mut()
             .map(|run| run.report.take().expect("every market completed"))
             .collect();
+        for run in self.markets.iter_mut() {
+            run.detail.front_run_count = run.front_runs;
+        }
         let details: Vec<SessionDetail> =
             self.markets.iter().map(|run| run.detail.clone()).collect();
         let cid_txs_per_block = self.cid_block_occupancy();
@@ -482,6 +546,9 @@ impl<'a> Driver<'a> {
             cid_txs_per_block,
             rpc: self.world.rpc_metrics_merged(),
             rpc_per_endpoint: self.world.rpc_metrics_per_endpoint(),
+            events_observed: self.events_observed,
+            event_digest: self.event_digest,
+            blocks_mined: self.blocks_mined,
         })
     }
 
@@ -647,7 +714,13 @@ impl<'a> Driver<'a> {
 
     fn on_mine(&mut self, slot_secs: u64) -> Result<(), MarketError> {
         self.scheduled_slots.remove(&slot_secs);
+        // The adversary races the slot boundary: everything broadcast since
+        // the last slot is still in the mempool, so a junk registration
+        // outbidding a victim's tip lands *ahead* of it in this very block.
+        self.front_run_mempool()?;
         let blocks = self.world.mine_slot(slot_secs);
+        self.blocks_mined += blocks.len() as u64;
+        self.harvest_watched_events(slot_secs);
         let now = self.world.clock.now();
 
         // Index the slot's blocks: a pending transaction becomes poll-worthy
@@ -776,6 +849,105 @@ impl<'a> Driver<'a> {
             self.schedule_mine(slot_secs + block_time);
         }
         Ok(())
+    }
+
+    /// The mempool freeloader: markets whose plan set
+    /// [`FailurePlan::mempool_front_run`] drain the adversary's
+    /// `pendingTxs` subscription just before the slot seals, and outbid
+    /// every victim `uploadCid` broadcast with a junk registration at the
+    /// victim's tip + 1 wei — the junk lands *ahead* of the victim in the
+    /// same block. The junk CID parses as nothing, so the buyer never
+    /// retrieves (or pays for) it: the front-runner burns gas on a
+    /// worthless contract slot, which is exactly the attack the incentive
+    /// layer must price at zero.
+    fn front_run_mempool(&mut self) -> Result<(), MarketError> {
+        if self.markets.iter().all(|run| run.freeload_sub.is_none()) {
+            return Ok(());
+        }
+        // Pull everything broadcast since the last slot into the inbox; the
+        // post-mine pump inside `mine_slot` continues from here, so watched
+        // streams see the same deliveries whether or not anyone front-runs.
+        self.world.pump_notifications();
+        let selector: [u8; 4] = ModelMarketContract::upload_cid_calldata("")[..4]
+            .try_into()
+            .expect("calldata starts with a 4-byte selector");
+        for m in 0..self.markets.len() {
+            let Some(sub) = self.markets[m].freeload_sub else {
+                continue;
+            };
+            let ep = self.sessions[m].placement;
+            let adversary = self.sessions[m]
+                .adversary
+                .expect("freeload_sub implies a funded adversary");
+            let key = self.sessions[m]
+                .wallet
+                .account(&adversary)
+                .expect("adversary key lives in the session wallet")
+                .private_key;
+            let chain_id = self.world.chain_config(ep).chain_id;
+            for note in self.world.take_notifications(ep, sub) {
+                let SubEvent::PendingTx(p) = note.event else {
+                    continue;
+                };
+                if p.sender == adversary || p.selector != Some(selector) {
+                    continue;
+                }
+                let Some(contract) = p.to else { continue };
+                // Deliberately unparseable as a CID, unique per victim so
+                // each junk registration occupies its own contract slot.
+                let junk = format!("junk-{}", self.markets[m].front_runs);
+                let request = TxRequest {
+                    chain_id,
+                    // Tracked locally: several junk broadcasts can share a
+                    // slot, before any of them confirms.
+                    nonce: self.markets[m].adversary_nonce,
+                    max_priority_fee_per_gas: p.tip.wrapping_add(&U256::ONE),
+                    max_fee_per_gas: U256::from(100_000_000_000u64),
+                    gas_limit: 300_000,
+                    to: Some(contract),
+                    value: U256::ZERO,
+                    data: ModelMarketContract::upload_cid_calldata(&junk),
+                };
+                let tx = sign_tx(request, &key)
+                    .map_err(|e| MarketError::TxFailed(format!("front-run signing: {e:?}")))?;
+                let (result, _cost) = self.world.broadcast_raw(ep, &tx.encode());
+                result.map_err(|e| MarketError::TxFailed(format!("front-run broadcast: {e}")))?;
+                self.markets[m].adversary_nonce += 1;
+                self.markets[m].front_runs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds every delivery on the engine's own watchers into the report's
+    /// event digest. Runs right after `mine_slot`, whose pump has just
+    /// parked this slot's notifications (heads, logs, pendings — plus
+    /// anything a laggy decorator released) in the world's inbox.
+    fn harvest_watched_events(&mut self, slot_secs: u64) {
+        if self.event_subs.is_empty() {
+            return;
+        }
+        let mut digest = self.event_digest;
+        let mut observed = self.events_observed;
+        {
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    digest = (digest ^ b as u64).wrapping_mul(0x100000001b3);
+                }
+            };
+            for (ep, sub) in self.event_subs.clone() {
+                for note in self.world.take_notifications(ep, sub) {
+                    eat(&slot_secs.to_le_bytes());
+                    eat(&(ep.0 as u64).to_le_bytes());
+                    eat(&note.sub_id.to_le_bytes());
+                    eat(&note.seq.to_le_bytes());
+                    eat(format!("{:?}", note.event).as_bytes());
+                    observed += 1;
+                }
+            }
+        }
+        self.event_digest = digest;
+        self.events_observed = observed;
     }
 
     fn on_deploy_confirmed(
@@ -1095,6 +1267,29 @@ mod tests {
         // Each session report carries its own endpoint's snapshot.
         assert_eq!(report.sessions[0].rpc.total_calls(), per[0].total_calls());
         assert_eq!(report.sessions[1].rpc.total_calls(), per[1].total_calls());
+    }
+
+    #[test]
+    fn watched_event_streams_are_deterministic() {
+        let watched = EngineConfig {
+            watch_events: true,
+            ..EngineConfig::default()
+        };
+        let run = || {
+            let (_, report) = MultiMarket::new(vec![tiny(3)])
+                .run(&watched, &[])
+                .expect("watched run");
+            (report.events_observed, report.event_digest)
+        };
+        let a = run();
+        // Heads and pending transactions both crossed the watchers.
+        assert!(a.0 > 0, "watchers must observe the run's events");
+        assert_eq!(a, run(), "the event stream digest is a pure function");
+        // An unwatched run opens no subscriptions and observes nothing.
+        let (_, quiet) = MultiMarket::new(vec![tiny(3)])
+            .run(&EngineConfig::default(), &[])
+            .expect("unwatched run");
+        assert_eq!(quiet.events_observed, 0);
     }
 
     #[test]

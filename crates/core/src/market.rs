@@ -278,6 +278,7 @@ pub struct SessionBlueprint {
     wallet: Wallet,
     buyer_addr: H160,
     owner_addrs: Vec<H160>,
+    adversary: Option<H160>,
     genesis: Vec<(H160, U256)>,
     silos: Vec<Dataset>,
     test: Dataset,
@@ -311,6 +312,17 @@ impl SessionBlueprint {
         for a in &owner_addrs {
             genesis.push((*a, tenth));
         }
+        // Derived after the participants so their addresses (and therefore
+        // every clean-run digest) are untouched by the knob.
+        let adversary = config.fund_adversary.then(|| {
+            let addr = wallet.derive_account(
+                &format!("ofl-w3/{label}adversary"),
+                config.seed,
+                "mempool-freeloader".into(),
+            );
+            genesis.push((addr, wei_per_eth()));
+            addr
+        });
 
         // Data: the buyer holds the test set; owners hold non-IID silos.
         let (train, test) = mnist::generate(config.seed, config.n_train, config.n_test);
@@ -334,6 +346,7 @@ impl SessionBlueprint {
             wallet,
             buyer_addr,
             owner_addrs,
+            adversary,
             genesis,
             silos,
             test,
@@ -367,6 +380,7 @@ impl SessionBlueprint {
             wallet,
             buyer_addr,
             owner_addrs,
+            adversary,
             genesis: _,
             silos,
             test,
@@ -438,6 +452,7 @@ impl SessionBlueprint {
             owner_recorders: vec![PhaseRecorder::new(); n],
             buyer_recorder: PhaseRecorder::new(),
             backend,
+            adversary,
             retrieved: Vec::new(),
         }
     }
@@ -469,6 +484,10 @@ pub struct MarketSession {
     pub buyer_recorder: PhaseRecorder,
     /// The buyer's Flask-like backend service.
     pub backend: Service,
+    /// The funded non-participant adversary account (only when
+    /// [`MarketConfig::fund_adversary`] asked for one) — the engine's
+    /// mempool-watching front-runner signs with this key.
+    pub adversary: Option<H160>,
     retrieved: Vec<RetrievedModel>,
 }
 
@@ -934,6 +953,7 @@ impl Marketplace {
                 stale: blueprint.config().rpc_stale,
                 spike: blueprint.config().rpc_spike,
                 reorder: blueprint.config().rpc_reorder,
+                sub_lag: blueprint.config().rpc_sub_lag,
             })],
             blueprint.config().profile,
         );

@@ -38,6 +38,7 @@ use ofl_primitives::u256::U256;
 use ofl_primitives::{format_eth, H160};
 use ofl_rpc::{
     EndpointId, FaultProfile, RateLimitProfile, ReorderProfile, SpikeProfile, StaleProfile,
+    SubLagProfile,
 };
 
 /// Which owners misbehave (indices into the owner list) and how.
@@ -52,6 +53,12 @@ pub struct FailurePlan {
     pub freeload: Vec<usize>,
     /// Owners who never send their CID to the contract.
     pub dropout: Vec<usize>,
+    /// A funded non-participant watches the mempool over a `pendingTxs`
+    /// subscription and front-runs every `uploadCid` broadcast with a junk
+    /// registration at tip + 1 wei (event-driven modes only; requires
+    /// [`MarketConfig::fund_adversary`], which
+    /// [`Scenario::with_mempool_freeloader`] sets alongside this flag).
+    pub mempool_front_run: bool,
 }
 
 impl FailurePlan {
@@ -107,6 +114,9 @@ pub struct Scenario {
     pub failures: FailurePlan,
     /// Serial workflow or event-driven concurrency.
     pub mode: ExecutionMode,
+    /// Open the engine's event watchers in event-driven modes (ignored by
+    /// the serial driver, which never subscribes).
+    pub watch_events: bool,
 }
 
 impl Scenario {
@@ -117,6 +127,7 @@ impl Scenario {
             config,
             failures: FailurePlan::clean(),
             mode: ExecutionMode::Serial,
+            watch_events: false,
         }
     }
 
@@ -176,6 +187,35 @@ impl Scenario {
     /// correlation tag, never by position).
     pub fn with_reordered_batches(mut self, reorder: ReorderProfile) -> Scenario {
         self.config.rpc_reorder = Some(reorder);
+        self
+    }
+
+    /// Runs the session against an endpoint whose push subscriptions lag —
+    /// the laggy-subscription regime (each subscription's deliveries slip a
+    /// seeded number of slots; pollers are unaffected).
+    pub fn with_sub_lag(mut self, lag: SubLagProfile) -> Scenario {
+        self.config.rpc_sub_lag = Some(lag);
+        self
+    }
+
+    /// Opens the engine's own event watchers during event-driven runs (see
+    /// [`EngineConfig::watch_events`]) — what the laggy-subscription regime
+    /// flips so the lag decorator actually has traffic to delay.
+    pub fn with_event_watch(mut self) -> Scenario {
+        self.watch_events = true;
+        self
+    }
+
+    /// Funds a mempool-watching adversary and lets it front-run every
+    /// `uploadCid` broadcast — the push-streaming attack regime. Only the
+    /// event engine races the slot boundary, so this implies a concurrent
+    /// execution mode.
+    pub fn with_mempool_freeloader(mut self) -> Scenario {
+        self.config.fund_adversary = true;
+        self.failures.mempool_front_run = true;
+        if self.mode == ExecutionMode::Serial {
+            self = self.concurrent();
+        }
         self
     }
 
@@ -350,15 +390,26 @@ impl Scenario {
         let (mut mm, engine_report) = mm.run(
             &EngineConfig {
                 arrivals,
+                watch_events: self.watch_events,
                 ..EngineConfig::default()
             },
             &failures,
         )?;
 
-        let per_market_expected = (0..self.config.n_owners)
+        let honest = (0..self.config.n_owners)
             .filter(|&i| !self.failures.is_offchain(i))
             .count();
         for detail in &engine_report.details {
+            // The front-runner shadows every honest registration with a
+            // junk one, doubling the contract's CID list.
+            let per_market_expected = honest + detail.front_run_count;
+            if self.failures.mempool_front_run {
+                assert_eq!(
+                    detail.front_run_count, honest,
+                    "{}: every honest uploadCid must be front-run exactly once",
+                    self.name
+                );
+            }
             assert_eq!(
                 detail.cids_onchain.len(),
                 per_market_expected,
@@ -681,6 +732,27 @@ impl ScenarioSuite {
                 )
                 .with_reordered_batches(ReorderProfile::new(seed ^ 0x0BAD)),
             )
+            .push(
+                // A mempool-watching adversary: a funded non-participant
+                // subscribes to pendingTxs and shadows every uploadCid
+                // broadcast with an outbidding junk registration — the junk
+                // lands first on-chain but is never retrieved or paid.
+                Scenario::small(
+                    "mempool-freeloader",
+                    PartitionScheme::Iid,
+                    seed.wrapping_add(10),
+                )
+                .with_mempool_freeloader(),
+            )
+            .push(
+                // A laggy push endpoint: every subscription's deliveries
+                // slip a seeded number of slots while polled reads stay
+                // fresh — watchers run late but the outcome is unchanged.
+                Scenario::small("sub-lag", PartitionScheme::Iid, seed.wrapping_add(11))
+                    .with_sub_lag(SubLagProfile::new(seed ^ 0x1A66, 2))
+                    .with_event_watch()
+                    .concurrent(),
+            )
     }
 
     /// Concurrency regimes: the same sessions driven by the discrete-event
@@ -889,7 +961,8 @@ mod tests {
             || s.config.rpc_rate_limit.is_some()
             || s.config.rpc_stale.is_some()
             || s.config.rpc_spike.is_some()
-            || s.config.rpc_reorder.is_some()));
+            || s.config.rpc_reorder.is_some()
+            || s.config.rpc_sub_lag.is_some()));
         assert!(failures
             .scenarios
             .iter()
@@ -910,6 +983,14 @@ mod tests {
             .scenarios
             .iter()
             .any(|s| s.config.rpc_reorder.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.config.rpc_sub_lag.is_some()));
+        assert!(failures
+            .scenarios
+            .iter()
+            .any(|s| s.failures.mempool_front_run));
         let concurrency = ScenarioSuite::concurrency_sweep(1);
         assert!(concurrency.scenarios.len() >= 3);
         // The sweep exercises both same-shard and cross-shard placement.
@@ -1022,6 +1103,67 @@ mod tests {
         assert!(a.eth_conserved && a.budget_exhausted());
         assert_eq!(a.total_sim_seconds, clean.total_sim_seconds);
         assert_eq!(a.rpc_round_trips, clean.rpc_round_trips);
+    }
+
+    #[test]
+    fn mempool_freeloader_front_runs_but_goes_unpaid() {
+        let run = || {
+            quick(PartitionScheme::Iid, 21)
+                .with_mempool_freeloader()
+                .run()
+                .expect("front-run session completes")
+        };
+        let a = run();
+        let b = run();
+        // Deterministic by seed, junk registrations included.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every honest registration was shadowed by one junk registration…
+        assert_eq!(a.n_owners, 4);
+        assert_eq!(a.cids_onchain.len(), 8);
+        let junk: Vec<&String> = a
+            .cids_onchain
+            .iter()
+            .filter(|c| c.starts_with("junk-"))
+            .collect();
+        assert_eq!(junk.len(), 4);
+        // …and the outbidding junk registered *before* any honest CID.
+        assert!(a.cids_onchain[0].starts_with("junk-"));
+        // The junk resolves to no content: never retrieved, never paid.
+        assert_eq!(a.cids_retrieved.len(), 4);
+        assert!(a.cids_retrieved.iter().all(|c| !c.starts_with("junk-")));
+        assert_eq!(a.n_models_aggregated, 4);
+        assert_eq!(a.payments.len(), 4);
+        assert!(a.budget_exhausted());
+        // The adversary's gas still burns inside the ledger.
+        assert!(a.eth_conserved);
+    }
+
+    #[test]
+    fn sub_lag_delays_watchers_but_not_outcomes() {
+        let clean = quick(PartitionScheme::Iid, 22)
+            .with_event_watch()
+            .concurrent()
+            .run()
+            .expect("clean watched run");
+        let lagged = |seed: u64| {
+            quick(PartitionScheme::Iid, 22)
+                .with_sub_lag(SubLagProfile::new(seed, 2))
+                .with_event_watch()
+                .concurrent()
+                .run()
+                .expect("lagged watched run")
+        };
+        let a = lagged(0x1A66);
+        let b = lagged(0x1A66);
+        // Bit-identical under equal lag seeds.
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Lag only reschedules push deliveries; the marketplace outcome —
+        // polled receipts included — is exactly the clean run's.
+        assert_eq!(a.cids_onchain, clean.cids_onchain);
+        assert_eq!(a.total_sim_seconds, clean.total_sim_seconds);
+        assert!(a.eth_conserved && a.budget_exhausted());
     }
 
     #[test]

@@ -50,8 +50,10 @@ use ofl_rpc::{
     build_provider, match_to_requests, provision_socket_provider, BackstageOp, Billed,
     EndpointFaults, EndpointId, FaultProfile, NodeProvider, ProviderMetrics, ProviderPool,
     RateLimitProfile, RemoteEndpoint, ReorderProfile, Retryable, RpcError, RpcMethod, RpcRequest,
-    RpcResponse, RpcResult, SpikeProfile, StaleProfile,
+    RpcResponse, RpcResult, SpikeProfile, StaleProfile, SubLagProfile,
 };
+use ofl_rpc::{Notification, SubscriptionKind};
+use std::collections::BTreeMap;
 
 /// Errors surfaced by world operations.
 #[derive(Debug)]
@@ -133,6 +135,9 @@ pub struct ShardConfig {
     /// Seeded shuffling of this endpoint's batch replies (`None` = in
     /// order).
     pub reorder: Option<ReorderProfile>,
+    /// Seeded per-subscription push-delivery lag (`None` = pushes land at
+    /// the slot boundary that produced them).
+    pub sub_lag: Option<SubLagProfile>,
 }
 
 impl ShardConfig {
@@ -146,6 +151,7 @@ impl ShardConfig {
             stale: None,
             spike: None,
             reorder: None,
+            sub_lag: None,
         }
     }
 
@@ -157,6 +163,7 @@ impl ShardConfig {
             stale: self.stale,
             spike: self.spike,
             reorder: self.reorder,
+            sub_lag: self.sub_lag,
         }
     }
 }
@@ -274,6 +281,9 @@ pub struct World {
     /// batched `getCid` round trip (the default) or one `eth_call` per
     /// index — the other knob the engine bench sweeps (Fig 7b path).
     pub batch_cid_reads: bool,
+    /// Push notifications pumped out of every endpoint at slot boundaries,
+    /// parked per `(endpoint, sub_id)` until a watcher takes them.
+    inbox: BTreeMap<(EndpointId, u64), Vec<Notification>>,
 }
 
 impl World {
@@ -304,6 +314,7 @@ impl World {
                 stale: None,
                 spike: None,
                 reorder: None,
+                sub_lag: None,
             })],
             profile,
         )
@@ -352,6 +363,7 @@ impl World {
             max_rpc_retries: 6,
             batch_receipt_polls: true,
             batch_cid_reads: true,
+            inbox: BTreeMap::new(),
         }
     }
 
@@ -751,7 +763,50 @@ impl World {
             .map(|reply| reply.into_block())
             .collect();
         self.pool.on_slot();
+        // The slot pump: the mine round trips above arrive *after* the
+        // pushes they caused (the daemon's ordering contract), and on_slot
+        // just advanced any sub-lag decorators — so draining here sees
+        // every notification due this slot, on every backend kind.
+        self.pump_notifications();
         blocks
+    }
+
+    // ------------------------------------------------------------------
+    // Push subscriptions (client traffic; delivery pumped at slot
+    // boundaries by `mine_slot`).
+    // ------------------------------------------------------------------
+
+    /// Opens a push subscription on one endpoint's backend, returning the
+    /// backend-assigned id. Notifications accumulate in the world's inbox
+    /// each slot until [`World::take_notifications`] collects them.
+    pub fn subscribe(&mut self, endpoint: EndpointId, kind: SubscriptionKind) -> u64 {
+        self.pool.endpoint(endpoint).subscribe(kind)
+    }
+
+    /// Cancels a subscription; `false` when the id was unknown. Already
+    /// parked notifications stay takeable.
+    pub fn unsubscribe(&mut self, endpoint: EndpointId, sub_id: u64) -> bool {
+        self.pool.endpoint(endpoint).unsubscribe(sub_id)
+    }
+
+    /// Takes everything parked for `(endpoint, sub_id)` since the last
+    /// take, in delivery order. Empty when nothing arrived.
+    pub fn take_notifications(&mut self, endpoint: EndpointId, sub_id: u64) -> Vec<Notification> {
+        self.inbox.remove(&(endpoint, sub_id)).unwrap_or_default()
+    }
+
+    /// Drains every endpoint's pending pushes into the inbox. `mine_slot`
+    /// calls this at each slot boundary; it is public so drivers that mine
+    /// backstage through other paths can pump explicitly.
+    pub fn pump_notifications(&mut self) {
+        for (endpoint, notes) in self.pool.drain_notifications_all() {
+            for note in notes {
+                self.inbox
+                    .entry((endpoint, note.sub_id))
+                    .or_default()
+                    .push(note);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1255,6 +1310,42 @@ mod tests {
     }
 
     #[test]
+    fn push_subscriptions_deliver_per_shard_at_slot_boundaries() {
+        use ofl_rpc::SubEvent;
+        let wallet = Wallet::from_seed("world-subs", 2);
+        let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        let mut world = World::from_shards(
+            vec![
+                ShardSpec::new(ChainConfig::default(), vec![(a, wei_per_eth())]),
+                ShardSpec::new(ChainConfig::default(), vec![(b, wei_per_eth())]),
+            ],
+            NetworkProfile::campus(),
+        );
+        let heads0 = world.subscribe(EndpointId(0), SubscriptionKind::NewHeads);
+        let pend1 = world.subscribe(EndpointId(1), SubscriptionKind::PendingTxs);
+        // Ids are per-backend: both shards hand out 1 first.
+        assert_eq!((heads0, pend1), (1, 1));
+        let (h1, _) = world
+            .submit_tx(EndpointId(1), &wallet, &b, Some(a), U256::ONE, vec![])
+            .unwrap();
+        // Nothing delivered before the slot boundary pump.
+        assert!(world.take_notifications(EndpointId(1), pend1).is_empty());
+        world.mine_slot(12);
+        let heads = world.take_notifications(EndpointId(0), heads0);
+        assert_eq!(heads.len(), 1);
+        assert!(matches!(&heads[0].event, SubEvent::NewHead(block) if block.header.number == 1));
+        let pending = world.take_notifications(EndpointId(1), pend1);
+        assert_eq!(pending.len(), 1);
+        assert!(matches!(&pending[0].event, SubEvent::PendingTx(p) if p.hash == h1));
+        // Taken means taken; shard 1's head went nowhere (no subscriber).
+        assert!(world.take_notifications(EndpointId(0), heads0).is_empty());
+        assert!(world.take_notifications(EndpointId(1), pend1).is_empty());
+        assert!(world.take_notifications(EndpointId(1), 99).is_empty());
+        assert!(world.unsubscribe(EndpointId(0), heads0));
+        assert!(!world.unsubscribe(EndpointId(0), 42));
+    }
+
+    #[test]
     fn rate_limited_world_survives_via_backoff_retries() {
         let wallet = Wallet::from_seed("world-429", 2);
         let addrs = wallet.addresses();
@@ -1268,6 +1359,7 @@ mod tests {
                 stale: None,
                 spike: None,
                 reorder: None,
+                sub_lag: None,
             })],
             NetworkProfile::campus(),
         );

@@ -156,6 +156,41 @@ pub struct FilteredLog {
     pub log: crate::evm::LogEntry,
 }
 
+/// A pending transaction as a mempool watcher sees it: decoded once at
+/// submission time, not re-parsed per subscriber. Carries enough for a
+/// front-runner to act (who, which contract, which function, what bid)
+/// without exposing the raw calldata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingTxEvent {
+    /// Transaction hash.
+    pub hash: H256,
+    /// Recovered sender.
+    pub sender: H160,
+    /// Recipient (`None` for contract creation).
+    pub to: Option<H160>,
+    /// First four calldata bytes (the function selector), when present.
+    pub selector: Option<[u8; 4]>,
+    /// Effective tip per gas as priced against the base fee at submission.
+    pub tip: U256,
+    /// Sender nonce.
+    pub nonce: u64,
+}
+
+/// One raw chain event, recorded in publish order. The chain assigns each
+/// event a chain-monotonic sequence number at publish time; the `(slot,
+/// shard, seq)` delivery key the subscription layer advertises is built
+/// from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainEvent {
+    /// A block was mined.
+    Head(Box<Block>),
+    /// A mined transaction emitted this log (execution order within the
+    /// block).
+    Log(FilteredLog),
+    /// A transaction entered the mempool.
+    Pending(PendingTxEvent),
+}
+
 /// The result of a read-only (`eth_call`) execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallResult {
@@ -183,6 +218,14 @@ pub struct Chain {
     /// not pay `ecrecover` again on every block attempt (recovery is
     /// deterministic, so the memo can never disagree with a re-run).
     sender_memo: HashMap<H256, H160>,
+    /// The raw event log: heads, logs, and pending transactions in publish
+    /// order. Empty (and free) until [`Chain::enable_events`] — fleets
+    /// without subscribers never buffer anything.
+    events: Vec<(u64, ChainEvent)>,
+    /// Next event sequence number (chain-monotonic, never reused).
+    event_seq: u64,
+    /// Whether publish sites record events at all.
+    events_enabled: bool,
 }
 
 impl Chain {
@@ -205,6 +248,36 @@ impl Chain {
             base_fee,
             burned: U256::ZERO,
             sender_memo: HashMap::new(),
+            events: Vec::new(),
+            event_seq: 0,
+            events_enabled: false,
+        }
+    }
+
+    /// Turns on event recording. Off by default so non-subscribing worlds
+    /// pay nothing; the first subscription flips it on — consistently
+    /// across in-process and remote backends, which is what keeps their
+    /// event streams bit-identical.
+    pub fn enable_events(&mut self) {
+        self.events_enabled = true;
+    }
+
+    /// Whether publish sites currently record events.
+    pub fn events_enabled(&self) -> bool {
+        self.events_enabled
+    }
+
+    /// Takes every event published since the last drain, in publish order
+    /// with chain-monotonic sequence numbers.
+    pub fn drain_events(&mut self) -> Vec<(u64, ChainEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Records one event (no-op until [`Chain::enable_events`]).
+    fn publish(&mut self, event: ChainEvent) {
+        if self.events_enabled {
+            self.events.push((self.event_seq, event));
+            self.event_seq += 1;
         }
     }
 
@@ -354,6 +427,22 @@ impl Chain {
             return Err(ChainError::InsufficientFunds);
         }
         let hash = tx.hash();
+        if self.events_enabled {
+            let selector = (req.data.len() >= 4).then(|| {
+                let mut s = [0u8; 4];
+                s.copy_from_slice(&req.data[..4]);
+                s
+            });
+            let event = PendingTxEvent {
+                hash,
+                sender,
+                to: req.to,
+                selector,
+                tip: effective_tip(&tx, &self.base_fee),
+                nonce: req.nonce,
+            };
+            self.publish(ChainEvent::Pending(event));
+        }
         self.sender_memo.insert(hash, sender);
         self.mempool.push(tx);
         Ok(hash)
@@ -443,6 +532,27 @@ impl Chain {
             header,
             tx_hashes: included,
         };
+        if self.events_enabled {
+            // Head first, then this block's logs in execution order — the
+            // delivery-order contract subscribers rely on.
+            self.publish(ChainEvent::Head(Box::new(block.clone())));
+            let log_events: Vec<ChainEvent> = receipts
+                .iter()
+                .flat_map(|r| {
+                    r.logs.iter().enumerate().map(|(log_index, log)| {
+                        ChainEvent::Log(FilteredLog {
+                            block_number: number,
+                            tx_hash: r.tx_hash,
+                            log_index,
+                            log: log.clone(),
+                        })
+                    })
+                })
+                .collect();
+            for event in log_events {
+                self.publish(event);
+            }
+        }
         // lint: ordered-ok(receipts here is the per-block Vec in execution order, not the receipts map)
         for r in receipts {
             self.receipts.insert(r.tx_hash, r);
@@ -1146,6 +1256,106 @@ mod tests {
         let from = addr_of(&key(0));
         let to = addr_of(&key(1));
         assert_eq!(chain.estimate_gas(&from, Some(&to), &[]), 21_000);
+    }
+
+    #[test]
+    fn events_are_free_until_enabled() {
+        let mut chain = funded_chain(2);
+        let to = addr_of(&key(1));
+        let tx = sign_tx(transfer_req(&chain, 0, to, U256::ONE), &key(0)).unwrap();
+        chain.submit(tx).unwrap();
+        chain.mine_block(12);
+        assert!(!chain.events_enabled());
+        assert!(chain.drain_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_chain_publishes_pending_head_and_log_events_in_order() {
+        let mut chain = funded_chain(2);
+        chain.enable_events();
+        let to = addr_of(&key(1));
+        let mut req = transfer_req(&chain, 0, to, U256::ONE);
+        req.data = vec![0xaa, 0xbb, 0xcc, 0xdd, 0x01];
+        req.gas_limit = 30_000;
+        let tip = req.max_priority_fee_per_gas;
+        let nonce = req.nonce;
+        let tx = sign_tx(req, &key(0)).unwrap();
+        let hash = chain.submit(tx).unwrap();
+
+        let pending = chain.drain_events();
+        assert_eq!(pending.len(), 1);
+        let (seq0, ChainEvent::Pending(p)) = &pending[0] else {
+            panic!("expected a pending event, got {pending:?}");
+        };
+        assert_eq!(*seq0, 0);
+        assert_eq!(p.hash, hash);
+        assert_eq!(p.sender, addr_of(&key(0)));
+        assert_eq!(p.to, Some(to));
+        assert_eq!(p.selector, Some([0xaa, 0xbb, 0xcc, 0xdd]));
+        assert_eq!(p.tip, tip);
+        assert_eq!(p.nonce, nonce);
+
+        let block = chain.mine_block(12);
+        let mined = chain.drain_events();
+        // A plain transfer emits no logs: just the head, with the sequence
+        // continuing past the drained pending event.
+        assert_eq!(mined.len(), 1);
+        let (seq1, ChainEvent::Head(head)) = &mined[0] else {
+            panic!("expected a head event, got {mined:?}");
+        };
+        assert_eq!(*seq1, 1);
+        assert_eq!(head.hash(), block.hash());
+        // Drained means drained.
+        assert!(chain.drain_events().is_empty());
+    }
+
+    #[test]
+    fn log_events_follow_their_head_in_execution_order() {
+        // A contract whose runtime emits LOG0 over memory[0..0]:
+        // PUSH1 0 PUSH1 0 LOG0 STOP
+        let runtime = vec![0x60, 0x00, 0x60, 0x00, 0xa0, 0x00];
+        let init = crate::asm::deployment_code(&runtime);
+        let mut chain = funded_chain(1);
+        let deploy = TxRequest {
+            chain_id: chain.config().chain_id,
+            nonce: 0,
+            max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+            max_fee_per_gas: U256::from(40_000_000_000u64),
+            gas_limit: 200_000,
+            to: None,
+            value: U256::ZERO,
+            data: init,
+        };
+        let dhash = chain.submit(sign_tx(deploy, &key(0)).unwrap()).unwrap();
+        chain.mine_block(12);
+        let contract = chain.receipt(&dhash).unwrap().contract_address.unwrap();
+
+        chain.enable_events();
+        let call = TxRequest {
+            chain_id: chain.config().chain_id,
+            nonce: 1,
+            max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+            max_fee_per_gas: U256::from(40_000_000_000u64),
+            gas_limit: 100_000,
+            to: Some(contract),
+            value: U256::ZERO,
+            data: Vec::new(),
+        };
+        let chash = chain.submit(sign_tx(call, &key(0)).unwrap()).unwrap();
+        chain.mine_block(24);
+        let events = chain.drain_events();
+        // Pending, then head, then the emitted log — seq strictly rising.
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0].1, ChainEvent::Pending(_)));
+        assert!(matches!(events[1].1, ChainEvent::Head(_)));
+        let ChainEvent::Log(fl) = &events[2].1 else {
+            panic!("expected a log event, got {:?}", events[2]);
+        };
+        assert_eq!(fl.tx_hash, chash);
+        assert_eq!(fl.block_number, 2);
+        assert_eq!(fl.log.address, contract);
+        let seqs: Vec<u64> = events.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
     }
 
     #[test]

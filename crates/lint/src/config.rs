@@ -71,6 +71,22 @@ pub fn codec_checks() -> Vec<CodecCheck> {
             test_paths: PROPTESTS,
         },
         CodecCheck {
+            enum_name: "SubscriptionKind",
+            decl_path: "crates/rpc/src/sub.rs",
+            codec_path: "crates/rpc/src/frame.rs",
+            encode_fns: &["write_sub_kind"],
+            decode_fns: &["read_sub_kind"],
+            test_paths: PROPTESTS,
+        },
+        CodecCheck {
+            enum_name: "SubEvent",
+            decl_path: "crates/rpc/src/sub.rs",
+            codec_path: "crates/rpc/src/frame.rs",
+            encode_fns: &["write_sub_event"],
+            decode_fns: &["read_sub_event"],
+            test_paths: PROPTESTS,
+        },
+        CodecCheck {
             enum_name: "BackstageReply",
             decl_path: "crates/rpc/src/backstage.rs",
             codec_path: "crates/rpc/src/frame.rs",

@@ -25,6 +25,7 @@ use crate::envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 use crate::eth::EthApi;
 use crate::ipfs::IpfsApi;
 use crate::provider::NodeProvider;
+use crate::sub::{Notification, SubscriptionKind};
 use crate::Billed;
 use ofl_eth::chain::Chain;
 use ofl_ipfs::cid::Cid;
@@ -33,7 +34,7 @@ use ofl_netsim::clock::SimDuration;
 use ofl_netsim::link::NetworkProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 // ----------------------------------------------------------------------
 // LatencyProvider
@@ -150,6 +151,15 @@ impl<P: NodeProvider> NodeProvider for LatencyProvider<P> {
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
     }
 }
 
@@ -281,6 +291,15 @@ impl<P: NodeProvider> NodeProvider for FlakyProvider<P> {
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
     }
 }
 
@@ -437,6 +456,15 @@ impl<P: NodeProvider> NodeProvider for RateLimitProvider<P> {
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
     }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -588,6 +616,15 @@ impl<P: NodeProvider> NodeProvider for SpikeProvider<P> {
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
     }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -698,6 +735,15 @@ impl<P: NodeProvider> NodeProvider for ReorderProvider<P> {
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
     }
 }
 
@@ -858,6 +904,186 @@ impl<P: NodeProvider> NodeProvider for StaleReadProvider<P> {
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
+    }
+}
+
+// ----------------------------------------------------------------------
+// SubLagProvider
+// ----------------------------------------------------------------------
+
+/// How a lagging push path delays subscription deliveries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubLagProfile {
+    /// Seed of the per-subscription delay draws — equal seeds lag every
+    /// subscription identically, draw for draw.
+    pub seed: u64,
+    /// Largest delivery lag, in slots, a subscription may be assigned
+    /// (each subscription draws a fixed lag in `0..=max_delay_slots` when
+    /// its first notification arrives).
+    pub max_delay_slots: u64,
+    /// Also shuffle each released batch with the seeded stream — the
+    /// out-of-order push wire.
+    pub reorder: bool,
+}
+
+impl SubLagProfile {
+    /// A delay-only profile (no reordering).
+    pub fn new(seed: u64, max_delay_slots: u64) -> SubLagProfile {
+        SubLagProfile {
+            seed,
+            max_delay_slots,
+            reorder: false,
+        }
+    }
+
+    /// The same profile with released batches also shuffled.
+    pub fn with_reorder(mut self) -> SubLagProfile {
+        self.reorder = true;
+        self
+    }
+}
+
+/// Delays (and optionally reorders) push notifications — the laggy-wire
+/// scenario generator for the subscription path. Each subscription draws a
+/// fixed seeded lag in slots when its first notification arrives; every
+/// notification for that subscription is then held for that many
+/// [`NodeProvider::on_slot`] boundaries before a drain releases it.
+/// Consumers that assume "drained this slot = published this slot" break
+/// under this decorator; consumers keyed on the notification's own `seq`
+/// do not. Sits **outermost** in the stack: it models the wire delivering
+/// pushes late, after the backend published them in canonical order.
+pub struct SubLagProvider<P> {
+    inner: P,
+    profile: SubLagProfile,
+    rng: StdRng,
+    /// Slots elapsed since construction (the release clock).
+    slot: u64,
+    /// Fixed per-subscription lag, drawn on first sight.
+    lags: BTreeMap<u64, u64>,
+    /// Held notifications with their release slot, in arrival order.
+    held: VecDeque<(u64, Notification)>,
+    /// How many notifications were delivered at least one slot late.
+    pub delayed: u64,
+}
+
+impl<P> SubLagProvider<P> {
+    /// Wraps `inner` with the given lag profile.
+    pub fn new(inner: P, profile: SubLagProfile) -> SubLagProvider<P> {
+        SubLagProvider {
+            inner,
+            rng: StdRng::seed_from_u64(profile.seed),
+            profile,
+            slot: 0,
+            lags: BTreeMap::new(),
+            held: VecDeque::new(),
+            delayed: 0,
+        }
+    }
+
+    /// Notifications currently held back (not yet released).
+    pub fn held_back(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl<P: EthApi> EthApi for SubLagProvider<P> {
+    fn execute(&mut self, request: &RpcRequest) -> RpcResponse {
+        self.inner.execute(request)
+    }
+    fn batch(&mut self, requests: &[RpcRequest]) -> Vec<RpcResponse> {
+        self.inner.batch(requests)
+    }
+}
+
+impl<P: IpfsApi> IpfsApi for SubLagProvider<P> {
+    fn add(&mut self, node: usize, data: &[u8]) -> Billed<AddResult> {
+        self.inner.add(node, data)
+    }
+    fn cat(&mut self, node: usize, cid: &Cid) -> Billed<Result<(Vec<u8>, FetchStats), IpfsError>> {
+        self.inner.cat(node, cid)
+    }
+    fn pin(&mut self, node: usize, cid: &Cid) -> Billed<Result<(), IpfsError>> {
+        self.inner.pin(node, cid)
+    }
+}
+
+impl<P: NodeProvider> NodeProvider for SubLagProvider<P> {
+    fn chain(&self) -> &Chain {
+        self.inner.chain()
+    }
+    fn chain_mut(&mut self) -> &mut Chain {
+        self.inner.chain_mut()
+    }
+    fn swarm(&self) -> &Swarm {
+        self.inner.swarm()
+    }
+    fn swarm_mut(&mut self) -> &mut Swarm {
+        self.inner.swarm_mut()
+    }
+    fn metrics(&self) -> Option<ProviderMetrics> {
+        self.inner.metrics()
+    }
+    fn on_slot(&mut self) {
+        self.slot += 1;
+        self.inner.on_slot()
+    }
+    fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
+        self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        // Anything still held for a cancelled subscription is never
+        // delivered — the lagging wire dropped it past the cancel.
+        self.held.retain(|(_, n)| n.sub_id != sub_id);
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        // Pull fresh publications into the hold queue, assigning each its
+        // subscription's fixed lag (drawn seeded on first sight).
+        for note in self.inner.drain_notifications() {
+            let lag = *self.lags.entry(note.sub_id).or_insert_with(|| {
+                if self.profile.max_delay_slots == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=self.profile.max_delay_slots)
+                }
+            });
+            if lag > 0 {
+                self.delayed += 1;
+            }
+            self.held.push_back((self.slot + lag, note));
+        }
+        // Release everything whose slot has come, preserving arrival order.
+        let mut released = Vec::new();
+        let mut still = VecDeque::with_capacity(self.held.len());
+        for (release_slot, note) in self.held.drain(..) {
+            if release_slot <= self.slot {
+                released.push(note);
+            } else {
+                still.push_back((release_slot, note));
+            }
+        }
+        self.held = still;
+        if self.profile.reorder && released.len() > 1 {
+            // Fisher–Yates with the same seeded stream: len-1 draws per
+            // released batch, deterministic whatever the transport.
+            for i in (1..released.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                released.swap(i, j);
+            }
+        }
+        released
     }
 }
 
@@ -1033,6 +1259,15 @@ impl<P: NodeProvider> NodeProvider for MeteredProvider<P> {
     }
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         self.inner.backstage(op)
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.inner.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.inner.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.inner.drain_notifications()
     }
 }
 
@@ -1416,6 +1651,83 @@ mod tests {
         // And at least one of the six 8-element batches left identity
         // order behind (the odds of six identity draws are ~1 in 10^27).
         assert!(a.iter().any(|ids| *ids != (0..8).collect::<Vec<u64>>()));
+    }
+
+    #[test]
+    fn sub_lag_delays_deliveries_deterministically_and_releases_in_order() {
+        use crate::sub::{SubEvent, SubscriptionKind};
+        let run = |seed: u64| -> Vec<Vec<(u64, u64)>> {
+            let (sim, wallet) = funded_sim();
+            let [a, b]: [H160; 2] = wallet.addresses().try_into().unwrap();
+            let mut provider = SubLagProvider::new(sim, SubLagProfile::new(seed, 3));
+            let heads = provider.subscribe(SubscriptionKind::NewHeads);
+            let pending = provider.subscribe(SubscriptionKind::PendingTxs);
+            assert_eq!((heads, pending), (1, 2));
+            // Two slots of traffic (tx + block each), then idle slots so
+            // every lagged delivery has time to release; drain each slot.
+            let mut per_slot = Vec::new();
+            for slot in 0..8u64 {
+                if slot < 2 {
+                    let raw = wallet
+                        .sign_raw(
+                            provider.chain(),
+                            &a,
+                            Some(b),
+                            ofl_primitives::u256::U256::from(1u64),
+                            vec![],
+                        )
+                        .unwrap();
+                    provider.send_raw_transaction(&raw).value.unwrap();
+                    provider.chain_mut().mine_block(12 * (slot + 1));
+                }
+                provider.on_slot();
+                per_slot.push(
+                    provider
+                        .drain_notifications()
+                        .iter()
+                        .map(|n| (n.sub_id, n.seq))
+                        .collect(),
+                );
+            }
+            per_slot
+        };
+        let a = run(31);
+        assert_eq!(a, run(31), "equal seeds must lag identically");
+        // Everything eventually arrives exactly once, and per subscription
+        // the seq order is preserved (a fixed per-sub lag cannot reorder
+        // within one subscription).
+        let all: Vec<(u64, u64)> = a.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 4, "2 pending + 2 heads must all arrive");
+        for sub in [1u64, 2] {
+            let seqs: Vec<u64> = all
+                .iter()
+                .filter(|(s, _)| *s == sub)
+                .map(|(_, q)| *q)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted);
+        }
+        // With max lag 0 the decorator is a transparent pass-through.
+        let (sim, wallet) = funded_sim();
+        let [a_addr, b_addr]: [H160; 2] = wallet.addresses().try_into().unwrap();
+        let mut clear = SubLagProvider::new(sim, SubLagProfile::new(9, 0));
+        clear.subscribe(SubscriptionKind::PendingTxs);
+        let raw = wallet
+            .sign_raw(
+                clear.chain(),
+                &a_addr,
+                Some(b_addr),
+                ofl_primitives::u256::U256::ONE,
+                vec![],
+            )
+            .unwrap();
+        clear.send_raw_transaction(&raw).value.unwrap();
+        let notes = clear.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        assert!(matches!(notes[0].event, SubEvent::PendingTx(_)));
+        assert_eq!(clear.delayed, 0);
+        assert_eq!(clear.held_back(), 0);
     }
 
     #[test]

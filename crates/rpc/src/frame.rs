@@ -30,12 +30,29 @@
 //! [`Frame::Attach`] re-binds to a session that already exists on a
 //! persistent daemon (provisioned by an earlier connection) instead of
 //! provisioning a fresh one.
+//!
+//! ## Push streaming (v3)
+//!
+//! Protocol v3 adds server-initiated push. [`Frame::Subscribe`] registers a
+//! typed channel ([`SubscriptionKind`]) and is answered by
+//! [`Frame::Subscribed`] carrying the backend-assigned subscription id;
+//! after that the daemon interleaves [`Frame::Notify`] frames — each
+//! carrying the session, subscription id, chain sequence number, and a
+//! [`SubEvent`] — with ordinary replies. The ordering contract: a daemon
+//! writes every push a request caused **before** that request's reply, so
+//! a client that has received reply N has already buffered every push N
+//! triggered. [`Frame::Ping`] is a server keepalive probe (no answer
+//! expected) that lets an idle-timeout daemon distinguish a quiet
+//! subscriber from a dead peer.
 
 use crate::backstage::{BackstageOp, BackstageReply};
 use crate::codec::{bounded_vec, check_count, read_flag, read_option, CodecError, Reader, Writer};
-use crate::envelope::{read_receipt, write_receipt, RpcRequest, RpcResponse};
+use crate::envelope::{
+    read_log_entry, read_receipt, write_log_entry, write_receipt, RpcRequest, RpcResponse,
+};
+use crate::sub::{SubEvent, SubscriptionKind};
 use ofl_eth::block::{Block, Bloom, Header};
-use ofl_eth::chain::ChainConfig;
+use ofl_eth::chain::{ChainConfig, FilteredLog, LogFilter, PendingTxEvent};
 use ofl_ipfs::blockstore::BlockstoreError;
 use ofl_ipfs::cid::Cid;
 use ofl_ipfs::swarm::{AddResult, FetchStats, IpfsError};
@@ -54,8 +71,11 @@ pub const FRAME_MAGIC: u16 = 0x4F57;
 /// frame (the stream stays frame-synced, so the conversation survives).
 ///
 /// v2 added the [`Frame::Request`]/[`Frame::Reply`] pipelining envelope and
-/// the [`Frame::Attach`]/[`Frame::Attached`] session re-binding pair.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// the [`Frame::Attach`]/[`Frame::Attached`] session re-binding pair. v3
+/// added push streaming: [`Frame::Subscribe`]/[`Frame::Subscribed`],
+/// server-initiated [`Frame::Notify`], [`Frame::Unsubscribe`]/
+/// [`Frame::Unsubscribed`], and the [`Frame::Ping`] keepalive probe.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on one frame's payload. Large enough for any model upload the
 /// marketplace ships, small enough to reject allocation-bomb length
@@ -67,6 +87,11 @@ pub const MAX_FRAME_BYTES: u32 = 64 << 20;
 pub enum FrameError {
     /// The underlying stream failed (or reached EOF mid-frame).
     Io(String),
+    /// A read deadline elapsed with **no bytes received** — the peer is
+    /// quiet, not necessarily gone. Distinct from [`FrameError::Io`] so a
+    /// daemon with an idle timeout can probe a quiet subscriber instead of
+    /// reaping it.
+    Timeout,
     /// The stream did not open with the protocol magic.
     BadMagic {
         /// What arrived instead.
@@ -98,6 +123,7 @@ impl core::fmt::Display for FrameError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Timeout => write!(f, "read deadline elapsed with no frame"),
             FrameError::BadMagic { got } => {
                 write!(
                     f,
@@ -222,6 +248,18 @@ pub enum Frame {
         /// The session to re-bind.
         session: u64,
     },
+    /// Client→server: open a push channel on this session's backend.
+    /// Answered by [`Frame::Subscribed`].
+    Subscribe {
+        /// What to watch.
+        kind: SubscriptionKind,
+    },
+    /// Client→server: close a push channel. Answered by
+    /// [`Frame::Unsubscribed`].
+    Unsubscribe {
+        /// The id from [`Frame::Subscribed`].
+        sub_id: u64,
+    },
 
     /// Server→client: the backend is up.
     Provisioned,
@@ -272,6 +310,33 @@ pub enum Frame {
         /// check that the client really re-joined existing state).
         height: u64,
     },
+    /// Server→client: answer to [`Frame::Subscribe`].
+    Subscribed {
+        /// The backend-assigned subscription id (monotonic per session).
+        sub_id: u64,
+    },
+    /// Server→client: one pushed event. Written **before** the reply to
+    /// whichever request caused it, never inside a [`Frame::Reply`]
+    /// envelope — transports route it to a push sink, not a reply slot.
+    Notify {
+        /// The session whose backend published the event (0 for bare
+        /// connections) — what a [`SessionMux`](crate::SessionMux) keys on.
+        session: u64,
+        /// The subscription the event matched.
+        sub_id: u64,
+        /// The backend chain's publish-order sequence number.
+        seq: u64,
+        /// The event itself.
+        event: SubEvent,
+    },
+    /// Server→client: answer to [`Frame::Unsubscribe`].
+    Unsubscribed {
+        /// The cancelled id.
+        sub_id: u64,
+    },
+    /// Server→client: keepalive probe for quiet subscribers under an idle
+    /// timeout. No answer expected; clients skip it when reading.
+    Ping,
 }
 
 // ----------------------------------------------------------------------
@@ -445,6 +510,148 @@ fn read_block(r: &mut Reader<'_>) -> Result<Block, CodecError> {
             bloom,
         },
         tx_hashes,
+    })
+}
+
+fn write_log_filter(w: &mut Writer, filter: &LogFilter) {
+    w.u64(filter.from_block);
+    w.u64(filter.to_block);
+    match &filter.address {
+        Some(a) => {
+            w.u8(1);
+            w.h160(a);
+        }
+        None => w.u8(0),
+    }
+    match &filter.topic {
+        Some(t) => {
+            w.u8(1);
+            w.h256(t);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_log_filter(r: &mut Reader<'_>) -> Result<LogFilter, CodecError> {
+    Ok(LogFilter {
+        from_block: r.u64("filter from_block")?,
+        to_block: r.u64("filter to_block")?,
+        address: read_option(r, "filter address", Reader::h160)?,
+        topic: read_option(r, "filter topic", Reader::h256)?,
+    })
+}
+
+fn write_sub_kind(w: &mut Writer, kind: &SubscriptionKind) {
+    match kind {
+        SubscriptionKind::NewHeads => w.u8(0),
+        SubscriptionKind::Logs { filter } => {
+            w.u8(1);
+            write_log_filter(w, filter);
+        }
+        SubscriptionKind::PendingTxs => w.u8(2),
+    }
+}
+
+fn read_sub_kind(r: &mut Reader<'_>) -> Result<SubscriptionKind, CodecError> {
+    Ok(match r.u8("subscription kind tag")? {
+        0 => SubscriptionKind::NewHeads,
+        1 => SubscriptionKind::Logs {
+            filter: read_log_filter(r)?,
+        },
+        2 => SubscriptionKind::PendingTxs,
+        tag => {
+            return Err(CodecError::BadTag {
+                reading: "subscription kind tag",
+                tag,
+            })
+        }
+    })
+}
+
+fn write_filtered_log(w: &mut Writer, fl: &FilteredLog) {
+    w.u64(fl.block_number);
+    w.h256(&fl.tx_hash);
+    w.u64(fl.log_index as u64);
+    write_log_entry(w, &fl.log);
+}
+
+fn read_filtered_log(r: &mut Reader<'_>) -> Result<FilteredLog, CodecError> {
+    Ok(FilteredLog {
+        block_number: r.u64("notify log block")?,
+        tx_hash: r.h256("notify log tx hash")?,
+        log_index: r.u64("notify log index")? as usize,
+        log: read_log_entry(r)?,
+    })
+}
+
+fn write_pending_tx(w: &mut Writer, p: &PendingTxEvent) {
+    w.h256(&p.hash);
+    w.h160(&p.sender);
+    match &p.to {
+        Some(to) => {
+            w.u8(1);
+            w.h160(to);
+        }
+        None => w.u8(0),
+    }
+    match &p.selector {
+        Some(sel) => {
+            w.u8(1);
+            w.raw(sel);
+        }
+        None => w.u8(0),
+    }
+    w.u256(&p.tip);
+    w.u64(p.nonce);
+}
+
+fn read_pending_tx(r: &mut Reader<'_>) -> Result<PendingTxEvent, CodecError> {
+    let hash = r.h256("pending tx hash")?;
+    let sender = r.h160("pending tx sender")?;
+    let to = read_option(r, "pending tx to", Reader::h160)?;
+    let selector = read_option(r, "pending tx selector", |r, what| {
+        let mut sel = [0u8; 4];
+        sel.copy_from_slice(r.take(4, what)?);
+        Ok(sel)
+    })?;
+    Ok(PendingTxEvent {
+        hash,
+        sender,
+        to,
+        selector,
+        tip: r.u256("pending tx tip")?,
+        nonce: r.u64("pending tx nonce")?,
+    })
+}
+
+fn write_sub_event(w: &mut Writer, event: &SubEvent) {
+    match event {
+        SubEvent::NewHead(block) => {
+            w.u8(0);
+            write_block(w, block);
+        }
+        SubEvent::Log(fl) => {
+            w.u8(1);
+            write_filtered_log(w, fl);
+        }
+        SubEvent::PendingTx(p) => {
+            w.u8(2);
+            write_pending_tx(w, p);
+        }
+    }
+}
+
+fn read_sub_event(r: &mut Reader<'_>) -> Result<SubEvent, CodecError> {
+    Ok(match r.u8("sub event tag")? {
+        0 => SubEvent::NewHead(Box::new(read_block(r)?)),
+        1 => SubEvent::Log(read_filtered_log(r)?),
+        2 => SubEvent::PendingTx(read_pending_tx(r)?),
+        tag => {
+            return Err(CodecError::BadTag {
+                reading: "sub event tag",
+                tag,
+            })
+        }
     })
 }
 
@@ -695,6 +902,14 @@ impl Frame {
                 w.u8(9);
                 w.u64(*session);
             }
+            Frame::Subscribe { kind } => {
+                w.u8(10);
+                write_sub_kind(w, kind);
+            }
+            Frame::Unsubscribe { sub_id } => {
+                w.u8(11);
+                w.u64(*sub_id);
+            }
             Frame::Provisioned => w.u8(0x80),
             Frame::Response(response) => {
                 w.u8(0x81);
@@ -756,6 +971,27 @@ impl Frame {
                 w.u8(0x8A);
                 w.u64(*height);
             }
+            Frame::Subscribed { sub_id } => {
+                w.u8(0x8B);
+                w.u64(*sub_id);
+            }
+            Frame::Notify {
+                session,
+                sub_id,
+                seq,
+                event,
+            } => {
+                w.u8(0x8C);
+                w.u64(*session);
+                w.u64(*sub_id);
+                w.u64(*seq);
+                write_sub_event(w, event);
+            }
+            Frame::Unsubscribed { sub_id } => {
+                w.u8(0x8D);
+                w.u64(*sub_id);
+            }
+            Frame::Ping => w.u8(0x8E),
         }
     }
 
@@ -820,6 +1056,12 @@ impl Frame {
             9 => Frame::Attach {
                 session: r.u64("attach session")?,
             },
+            10 => Frame::Subscribe {
+                kind: read_sub_kind(&mut r)?,
+            },
+            11 => Frame::Unsubscribe {
+                sub_id: r.u64("unsubscribe id")?,
+            },
             0x80 => Frame::Provisioned,
             0x81 => Frame::Response(RpcResponse::read(&mut r)?),
             0x82 => {
@@ -880,6 +1122,19 @@ impl Frame {
             0x8A => Frame::Attached {
                 height: r.u64("attached height")?,
             },
+            0x8B => Frame::Subscribed {
+                sub_id: r.u64("subscribed id")?,
+            },
+            0x8C => Frame::Notify {
+                session: r.u64("notify session")?,
+                sub_id: r.u64("notify sub id")?,
+                seq: r.u64("notify seq")?,
+                event: read_sub_event(&mut r)?,
+            },
+            0x8D => Frame::Unsubscribed {
+                sub_id: r.u64("unsubscribed id")?,
+            },
+            0x8E => Frame::Ping,
             tag => {
                 return Err(CodecError::BadTag {
                     reading: "frame tag",
@@ -945,9 +1200,20 @@ impl Frame {
     /// and the length cap before touching the payload.
     pub fn read_from(stream: &mut impl Read) -> Result<Frame, FrameError> {
         let mut header = [0u8; 8];
-        stream
-            .read_exact(&mut header)
-            .map_err(|e| FrameError::Io(e.to_string()))?;
+        // A read deadline elapsing before the *header* starts means a quiet
+        // peer, not a broken one — surface it as Timeout so an idle-timeout
+        // daemon can probe instead of reap. Mid-frame timeouts (payload
+        // below) stay Io: the stream position is lost either way.
+        stream.read_exact(&mut header).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                FrameError::Timeout
+            } else {
+                FrameError::Io(e.to_string())
+            }
+        })?;
         let magic = u16::from_le_bytes([header[0], header[1]]);
         if magic != FRAME_MAGIC {
             return Err(FrameError::BadMagic { got: magic });
@@ -1076,6 +1342,83 @@ mod tests {
                 frame: Box::new(Frame::BackstageReply(BackstageReply::Height(11))),
             },
             Frame::Attached { height: 11 },
+            Frame::Subscribe {
+                kind: SubscriptionKind::NewHeads,
+            },
+            Frame::Subscribe {
+                kind: SubscriptionKind::Logs {
+                    filter: LogFilter::all()
+                        .at_address(H160::from_slice(&[7; 20]))
+                        .with_topic(H256::from_bytes([8; 32])),
+                },
+            },
+            Frame::Subscribe {
+                kind: SubscriptionKind::PendingTxs,
+            },
+            Frame::Unsubscribe { sub_id: 2 },
+            Frame::Subscribed { sub_id: 2 },
+            Frame::Notify {
+                session: 3,
+                sub_id: 2,
+                seq: 17,
+                event: SubEvent::NewHead(Box::new(Block {
+                    header: Header {
+                        parent_hash: H256::from_bytes([1; 32]),
+                        number: 5,
+                        timestamp: 60,
+                        coinbase: H160::from_slice(&[2; 20]),
+                        gas_used: 21_000,
+                        gas_limit: 30_000_000,
+                        base_fee: U256::from(7u64),
+                        tx_root: H256::from_bytes([3; 32]),
+                        bloom: Bloom::default(),
+                    },
+                    tx_hashes: vec![H256::from_bytes([4; 32])],
+                })),
+            },
+            Frame::Notify {
+                session: 0,
+                sub_id: 1,
+                seq: 18,
+                event: SubEvent::Log(FilteredLog {
+                    block_number: 5,
+                    tx_hash: H256::from_bytes([4; 32]),
+                    log_index: 0,
+                    log: ofl_eth::evm::LogEntry {
+                        address: H160::from_slice(&[7; 20]),
+                        topics: vec![H256::from_bytes([8; 32])],
+                        data: vec![1, 2, 3],
+                    },
+                }),
+            },
+            Frame::Notify {
+                session: 1,
+                sub_id: 4,
+                seq: 19,
+                event: SubEvent::PendingTx(PendingTxEvent {
+                    hash: H256::from_bytes([9; 32]),
+                    sender: H160::from_slice(&[10; 20]),
+                    to: Some(H160::from_slice(&[11; 20])),
+                    selector: Some([0xde, 0xad, 0xbe, 0xef]),
+                    tip: U256::from(12u64),
+                    nonce: 13,
+                }),
+            },
+            Frame::Notify {
+                session: 1,
+                sub_id: 4,
+                seq: 20,
+                event: SubEvent::PendingTx(PendingTxEvent {
+                    hash: H256::from_bytes([9; 32]),
+                    sender: H160::from_slice(&[10; 20]),
+                    to: None,
+                    selector: None,
+                    tip: U256::from(0u64),
+                    nonce: 0,
+                }),
+            },
+            Frame::Unsubscribed { sub_id: 2 },
+            Frame::Ping,
         ];
         for frame in frames {
             let wire = frame.encode();
@@ -1257,6 +1600,58 @@ mod tests {
         assert!(matches!(
             garbage,
             Err(FrameError::Codec(CodecError::BadTag { .. }))
+        ));
+        // A Notify whose event bytes are cut short is a typed codec error.
+        let notify = Frame::Notify {
+            session: 0,
+            sub_id: 1,
+            seq: 2,
+            event: SubEvent::PendingTx(PendingTxEvent {
+                hash: H256::from_bytes([9; 32]),
+                sender: H160::from_slice(&[10; 20]),
+                to: None,
+                selector: Some([1, 2, 3, 4]),
+                tip: U256::from(5u64),
+                nonce: 6,
+            }),
+        };
+        let mut payload = notify.encode_payload();
+        payload.truncate(payload.len() - 1);
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(CodecError::Truncated { .. })
+        ));
+        // A Subscribe with an unknown kind tag is rejected, not guessed.
+        let mut payload = Frame::Subscribe {
+            kind: SubscriptionKind::PendingTxs,
+        }
+        .encode_payload();
+        *payload.last_mut().unwrap() = 0x77;
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(CodecError::BadTag {
+                reading: "subscription kind tag",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn a_read_deadline_maps_to_timeout_not_io() {
+        // A reader that reports WouldBlock before any byte arrives — what a
+        // socket with a read timeout does while the peer is merely quiet.
+        struct Quiet;
+        impl Read for Quiet {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        assert_eq!(Frame::read_from(&mut Quiet), Err(FrameError::Timeout));
+        // EOF (or any other failure) stays an Io error: the peer is gone.
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            Frame::read_from(&mut { empty }),
+            Err(FrameError::Io(_))
         ));
     }
 }

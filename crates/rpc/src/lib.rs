@@ -28,6 +28,11 @@
 //! - [`backstage`]: the simulator's side channel (mining, invariant reads,
 //!   failure injection) as wire-able [`BackstageOp`] values instead of
 //!   reference accessors.
+//! - [`sub`]: the subscription subsystem — typed push channels
+//!   ([`SubscriptionKind::NewHeads`], [`SubscriptionKind::Logs`],
+//!   [`SubscriptionKind::PendingTxs`]) with monotonic ids and a
+//!   deterministic delivery order, routed by a per-backend
+//!   [`SubscriptionHub`].
 //! - [`frame`] / [`transport`] / [`socket`]: the out-of-process boundary —
 //!   versioned length-prefixed [`Frame`]s over any byte stream, and the
 //!   [`SocketProvider`] client that serves the whole provider surface from
@@ -56,6 +61,7 @@ pub mod pool;
 pub mod provider;
 pub mod sim;
 pub mod socket;
+pub mod sub;
 pub mod transport;
 
 pub use backstage::{BackstageOp, BackstageReply};
@@ -64,7 +70,7 @@ pub use codec::CodecError;
 pub use decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, MethodStats, ProviderMetrics,
     RateLimitProfile, RateLimitProvider, ReorderProfile, ReorderProvider, SpikeProfile,
-    SpikeProvider, StaleProfile, StaleReadProvider,
+    SpikeProvider, StaleProfile, StaleReadProvider, SubLagProfile, SubLagProvider,
 };
 pub use envelope::{match_to_requests, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 pub use eth::EthApi;
@@ -76,6 +82,7 @@ pub use sim::SimProvider;
 pub use socket::{
     provision_socket_provider, provision_socket_provider_via, SocketProvider, WireMode,
 };
+pub use sub::{Notification, SubEvent, SubscriptionHub, SubscriptionKind};
 pub use transport::{
     FrameTransport, RemoteEndpoint, SessionMux, SessionTransport, StreamTransport, WireCounter,
 };

@@ -25,6 +25,7 @@ use crate::backstage::{BackstageOp, BackstageReply};
 use crate::decorators::ProviderMetrics;
 use crate::envelope::{RpcRequest, RpcResponse};
 use crate::provider::NodeProvider;
+use crate::sub::Notification;
 use ofl_netsim::par::fork_join_mut;
 
 /// Addresses one endpoint (shard) of a [`ProviderPool`].
@@ -136,6 +137,19 @@ impl ProviderPool {
         for endpoint in &mut self.endpoints {
             endpoint.on_slot();
         }
+    }
+
+    /// Drains every endpoint's pending push notifications, in endpoint
+    /// order. This is the world's slot pump: called once per slot barrier
+    /// (after mining), it yields each shard's events in the hub's
+    /// deterministic delivery order, so the concatenation is a stable
+    /// stream keyed by `(slot, shard, seq)`.
+    pub fn drain_notifications_all(&mut self) -> Vec<(EndpointId, Vec<Notification>)> {
+        self.endpoints
+            .iter_mut()
+            .enumerate()
+            .map(|(i, endpoint)| (EndpointId(i), endpoint.drain_notifications()))
+            .collect()
     }
 
     /// Ships one [`BackstageOp`] to **every** endpoint — on parallel worker

@@ -16,12 +16,13 @@ use crate::backstage::{BackstageOp, BackstageReply};
 use crate::decorators::{
     FaultProfile, FlakyProvider, LatencyProvider, MeteredProvider, ProviderMetrics,
     RateLimitProfile, RateLimitProvider, ReorderProfile, ReorderProvider, SpikeProfile,
-    SpikeProvider, StaleProfile, StaleReadProvider,
+    SpikeProvider, StaleProfile, StaleReadProvider, SubLagProfile, SubLagProvider,
 };
 use crate::envelope::{RpcError, RpcRequest, RpcResponse};
 use crate::eth::EthApi;
 use crate::ipfs::IpfsApi;
 use crate::sim::SimProvider;
+use crate::sub::{Notification, SubscriptionKind};
 use crate::Billed;
 use ofl_eth::chain::Chain;
 use ofl_ipfs::cid::Cid;
@@ -61,6 +62,19 @@ pub trait NodeProvider: EthApi + IpfsApi + Send {
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         crate::backstage::dispatch_local(self, op)
     }
+    /// Opens a push subscription on this endpoint's backend, returning its
+    /// id (monotonic per backend, starting at 1). Decorators forward the
+    /// call down the stack untouched, so the id is assigned by the
+    /// innermost backend — in-process and remote stacks hand out the same
+    /// ids for the same subscribe sequence.
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64;
+    /// Cancels a subscription; `false` when the id was unknown.
+    fn unsubscribe(&mut self, sub_id: u64) -> bool;
+    /// Takes every notification published since the last drain, in the
+    /// hub's deterministic delivery order (publish order, fan-out within
+    /// an event in subscription-id order). The caller — the world's slot
+    /// pump — is responsible for draining at slot boundaries.
+    fn drain_notifications(&mut self) -> Vec<Notification>;
 }
 
 /// Forwarding impls so decorator stacks can be assembled layer by layer
@@ -108,6 +122,15 @@ impl NodeProvider for Box<dyn NodeProvider> {
     fn backstage(&mut self, op: &BackstageOp) -> BackstageReply {
         (**self).backstage(op)
     }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        (**self).subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        (**self).unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        (**self).drain_notifications()
+    }
 }
 
 /// The per-endpoint decorator knobs shared by the in-process and remote
@@ -125,6 +148,8 @@ pub struct EndpointFaults {
     pub spike: Option<SpikeProfile>,
     /// Seeded shuffling of batch reply arrays (tags preserved).
     pub reorder: Option<ReorderProfile>,
+    /// Seeded per-subscription push-delivery lag (and optional reorder).
+    pub sub_lag: Option<SubLagProfile>,
 }
 
 /// Wraps any backend with the standard decorator stack: batch reordering
@@ -161,6 +186,12 @@ pub fn decorate(
     )));
     if let Some(reorder) = knobs.reorder {
         stack = Box::new(ReorderProvider::new(stack, reorder));
+    }
+    // Sub-lag models the wire delivering pushes late, so it wraps the
+    // whole stack — notifications are delayed after every other decorator
+    // has seen them.
+    if let Some(sub_lag) = knobs.sub_lag {
+        stack = Box::new(SubLagProvider::new(stack, sub_lag));
     }
     stack
 }

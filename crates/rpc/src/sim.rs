@@ -9,6 +9,7 @@ use crate::envelope::{RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult};
 use crate::eth::EthApi;
 use crate::ipfs::IpfsApi;
 use crate::provider::NodeProvider;
+use crate::sub::{Notification, SubscriptionHub, SubscriptionKind};
 use crate::Billed;
 use ofl_eth::chain::Chain;
 use ofl_ipfs::cid::Cid;
@@ -21,12 +22,20 @@ pub struct SimProvider {
     pub chain: Chain,
     /// The IPFS swarm this provider fronts.
     pub swarm: Swarm,
+    /// Push subscriptions over the chain's event log. The chain only
+    /// records events once the first subscription arrives, so
+    /// non-subscribing runs pay nothing.
+    hub: SubscriptionHub,
 }
 
 impl SimProvider {
     /// Wraps a chain and swarm.
     pub fn new(chain: Chain, swarm: Swarm) -> SimProvider {
-        SimProvider { chain, swarm }
+        SimProvider {
+            chain,
+            swarm,
+            hub: SubscriptionHub::new(),
+        }
     }
 }
 
@@ -109,6 +118,23 @@ impl NodeProvider for SimProvider {
     fn swarm_mut(&mut self) -> &mut Swarm {
         &mut self.swarm
     }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        self.chain.enable_events();
+        self.hub.subscribe(kind)
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        self.hub.unsubscribe(sub_id)
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        if self.hub.is_empty() {
+            // Still drain the chain so a fully-unsubscribed backend does
+            // not accumulate an unbounded event log.
+            self.chain.drain_events();
+            return Vec::new();
+        }
+        let events = self.chain.drain_events();
+        self.hub.route(&events)
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +201,43 @@ mod tests {
             provider.pin(0, &phantom).value,
             Err(IpfsError::BlockUnavailable(_))
         ));
+    }
+
+    #[test]
+    fn subscriptions_see_pending_head_and_log_events_in_publish_order() {
+        use crate::sub::SubEvent;
+        let (mut provider, wallet) = provider_with_funded_wallet();
+        let [a, b]: [ofl_primitives::H160; 2] = wallet.addresses().try_into().unwrap();
+        // Traffic before the first subscribe publishes nothing.
+        let raw = wallet
+            .sign_raw(&provider.chain, &a, Some(b), U256::from(5u64), vec![])
+            .unwrap();
+        provider.send_raw_transaction(&raw).value.unwrap();
+        provider.chain.mine_block(12);
+        let pending = provider.subscribe(crate::sub::SubscriptionKind::PendingTxs);
+        let heads = provider.subscribe(crate::sub::SubscriptionKind::NewHeads);
+        assert_eq!((pending, heads), (1, 2));
+        assert!(provider.drain_notifications().is_empty());
+        // One submit, one mine: a Pending event then a Head event.
+        let raw = wallet
+            .sign_raw(&provider.chain, &a, Some(b), U256::from(7u64), vec![])
+            .unwrap();
+        provider.send_raw_transaction(&raw).value.unwrap();
+        provider.chain.mine_block(24);
+        let notes = provider.drain_notifications();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].sub_id, pending);
+        assert!(matches!(notes[0].event, SubEvent::PendingTx(_)));
+        assert_eq!(notes[1].sub_id, heads);
+        assert!(matches!(notes[1].event, SubEvent::NewHead(_)));
+        assert!(notes[0].seq < notes[1].seq);
+        // Drained means drained.
+        assert!(provider.drain_notifications().is_empty());
+        // Unsubscribing everything stops delivery without error.
+        assert!(provider.unsubscribe(pending));
+        assert!(provider.unsubscribe(heads));
+        provider.chain.mine_block(36);
+        assert!(provider.drain_notifications().is_empty());
     }
 
     #[test]

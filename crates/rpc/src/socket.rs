@@ -27,6 +27,7 @@ use crate::eth::EthApi;
 use crate::frame::{Frame, FrameError};
 use crate::ipfs::IpfsApi;
 use crate::provider::{decorate, EndpointFaults, NodeProvider};
+use crate::sub::{Notification, SubscriptionKind};
 use crate::transport::FrameTransport;
 use crate::Billed;
 use ofl_eth::chain::{Chain, ChainConfig};
@@ -314,6 +315,33 @@ impl NodeProvider for SocketProvider {
             Frame::BackstageReply(reply) => reply,
             other => panic!("socket provider: unexpected backstage reply: {other:?}"),
         }
+    }
+    fn subscribe(&mut self, kind: SubscriptionKind) -> u64 {
+        match self.must("subscribe", &Frame::Subscribe { kind }) {
+            Frame::Subscribed { sub_id } => sub_id,
+            other => panic!("socket provider: unexpected subscribe reply: {other:?}"),
+        }
+    }
+    fn unsubscribe(&mut self, sub_id: u64) -> bool {
+        match self.must("unsubscribe", &Frame::Unsubscribe { sub_id }) {
+            Frame::Unsubscribed { sub_id: echoed } => echoed == sub_id,
+            other => panic!("socket provider: unexpected unsubscribe reply: {other:?}"),
+        }
+    }
+    fn drain_notifications(&mut self) -> Vec<Notification> {
+        // The daemon writes pushes ahead of the replies that caused them,
+        // so everything published up to the last round trip is already in
+        // the transport's push buffer — no extra wire exchange needed.
+        self.transport
+            .drain_pushes()
+            .into_iter()
+            .filter_map(|frame| match frame {
+                Frame::Notify {
+                    sub_id, seq, event, ..
+                } => Some(Notification { sub_id, seq, event }),
+                _ => None,
+            })
+            .collect()
     }
 }
 

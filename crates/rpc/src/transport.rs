@@ -37,6 +37,14 @@ pub trait FrameTransport: Send {
     fn peer(&self) -> String {
         "peer".into()
     }
+    /// Takes every [`Frame::Notify`] push buffered so far, in arrival
+    /// order. Pushes only accumulate while the transport is reading (the
+    /// daemon writes them ahead of the reply that caused them, so by the
+    /// time a reply lands its pushes are already buffered). Transports
+    /// without a push path — the lockstep default — return nothing.
+    fn drain_pushes(&mut self) -> Vec<Frame> {
+        Vec::new()
+    }
     /// Ships `frames` and returns their answers, matched 1:1 in request
     /// order. `window` is the number of requests the transport may keep in
     /// flight at once; the default implementation is strict lockstep
@@ -112,6 +120,10 @@ pub struct StreamTransport<S> {
     /// vector and written in one syscall, so steady-state sends allocate
     /// nothing.
     wire: Vec<u8>,
+    /// [`Frame::Notify`] pushes read off the wire while waiting for a
+    /// reply, in arrival order, until [`FrameTransport::drain_pushes`]
+    /// collects them.
+    pushes: VecDeque<Frame>,
 }
 
 impl<S: Read + Write + Send> StreamTransport<S> {
@@ -123,6 +135,7 @@ impl<S: Read + Write + Send> StreamTransport<S> {
             next_id: 0,
             counter: WireCounter::default(),
             wire: Vec::new(),
+            pushes: VecDeque::new(),
         }
     }
 
@@ -150,12 +163,25 @@ impl<S: Read + Write + Send> FrameTransport for StreamTransport<S> {
         let _t = PhaseTimer::start(HotPhase::Wire);
         // lint: wall-clock-ok(feeds WireCounter bench metering only; never enters a digest)
         let started = std::time::Instant::now();
-        let frame = Frame::read_from(&mut self.stream)?;
-        self.counter.count_recv(started.elapsed());
-        Ok(frame)
+        loop {
+            match Frame::read_from(&mut self.stream)? {
+                // Pushes ride interleaved with replies: divert them to the
+                // push buffer and keep reading for the actual answer.
+                push @ Frame::Notify { .. } => self.pushes.push_back(push),
+                // Server keepalive probe — not an answer to anything.
+                Frame::Ping => {}
+                frame => {
+                    self.counter.count_recv(started.elapsed());
+                    return Ok(frame);
+                }
+            }
+        }
     }
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+    fn drain_pushes(&mut self) -> Vec<Frame> {
+        self.pushes.drain(..).collect()
     }
 
     /// Pipelined round trips: each frame travels wrapped in a
@@ -231,6 +257,22 @@ struct MuxInner {
     /// Replies read off the wire while looking for some *other* session's
     /// reply, parked by correlation id until their caller asks.
     parked: BTreeMap<u64, Frame>,
+    /// [`Frame::Notify`] pushes parked per session (the `session` field on
+    /// the push, not a correlation id), so one shard's subscriber never
+    /// steals a sibling's events.
+    parked_pushes: BTreeMap<u64, Vec<Frame>>,
+}
+
+impl MuxInner {
+    /// Pulls pushes buffered by the underlying transport and parks each
+    /// under the session named on its `Notify` frame.
+    fn park_pushes(&mut self) {
+        for push in self.transport.drain_pushes() {
+            if let Frame::Notify { session, .. } = &push {
+                self.parked_pushes.entry(*session).or_default().push(push);
+            }
+        }
+    }
 }
 
 /// Multiplexes several daemon sessions over one connection.
@@ -256,6 +298,7 @@ impl SessionMux {
                 transport,
                 next_id: 0,
                 parked: BTreeMap::new(),
+                parked_pushes: BTreeMap::new(),
             })),
         }
     }
@@ -325,6 +368,15 @@ impl FrameTransport for SessionTransport {
                     }
                     inner.parked.insert(id, *frame);
                 }
+                // A transport that does not buffer pushes itself may hand
+                // them up raw — park by the push's own session field.
+                push @ Frame::Notify { .. } => {
+                    if let Frame::Notify { session, .. } = &push {
+                        let session = *session;
+                        inner.parked_pushes.entry(session).or_default().push(push);
+                    }
+                }
+                Frame::Ping => {}
                 other => {
                     return Err(FrameError::Io(format!(
                         "session {} recv: expected a Reply envelope, got {other:?}",
@@ -338,6 +390,15 @@ impl FrameTransport for SessionTransport {
     fn peer(&self) -> String {
         let inner = lock_mux(&self.inner);
         format!("{}#session{}", inner.transport.peer(), self.session)
+    }
+
+    fn drain_pushes(&mut self) -> Vec<Frame> {
+        let mut inner = lock_mux(&self.inner);
+        inner.park_pushes();
+        inner
+            .parked_pushes
+            .remove(&self.session)
+            .unwrap_or_default()
     }
 }
 

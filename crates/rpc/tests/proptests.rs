@@ -3,14 +3,15 @@
 //! boundary can carry must round-trip bit-exactly, and mutations of the
 //! framing must decode to *typed* errors, never into a different value.
 
-use ofl_eth::block::{Receipt, TxStatus};
-use ofl_eth::chain::{CallResult, FilteredLog, LogFilter};
+use ofl_eth::block::{Block, Bloom, Header, Receipt, TxStatus};
+use ofl_eth::chain::{CallResult, FilteredLog, LogFilter, PendingTxEvent};
 use ofl_eth::evm::LogEntry;
 use ofl_netsim::clock::SimDuration;
+use ofl_primitives::u256::U256;
 use ofl_rpc::frame::{Frame, FrameError, MAX_FRAME_BYTES};
 use ofl_rpc::{
     CodecError, FrameTransport, RpcError, RpcMethod, RpcRequest, RpcResponse, RpcResult,
-    StreamTransport,
+    StreamTransport, SubEvent, SubscriptionKind,
 };
 use ofl_w3_test_support::{h160_of, h256_of};
 use proptest::prelude::*;
@@ -161,6 +162,78 @@ fn arb_result() -> impl Strategy<Value = RpcResult> {
     ]
 }
 
+fn arb_sub_kind() -> impl Strategy<Value = SubscriptionKind> {
+    prop_oneof![
+        Just(SubscriptionKind::NewHeads),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u8>()),
+        )
+            .prop_map(
+                |(from_block, to_block, addr, topic)| SubscriptionKind::Logs {
+                    filter: LogFilter {
+                        from_block,
+                        to_block,
+                        address: addr.map(h160_of),
+                        topic: topic.map(h256_of),
+                    },
+                }
+            ),
+        Just(SubscriptionKind::PendingTxs),
+    ]
+}
+
+fn arb_pending_tx_event() -> impl Strategy<Value = PendingTxEvent> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u32>()),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(hash, sender, to, selector, tip, nonce)| PendingTxEvent {
+            hash: h256_of(hash),
+            sender: h160_of(sender),
+            to: to.map(h160_of),
+            selector: selector.map(u32::to_le_bytes),
+            tip: U256::from(tip),
+            nonce,
+        })
+}
+
+fn arb_sub_event() -> impl Strategy<Value = SubEvent> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()).prop_map(
+            |(parent, number, timestamp, tx)| SubEvent::NewHead(Box::new(Block {
+                header: Header {
+                    parent_hash: h256_of(parent),
+                    number,
+                    timestamp,
+                    coinbase: h160_of(7),
+                    gas_used: 21_000,
+                    gas_limit: 30_000_000,
+                    base_fee: U256::from(number),
+                    tx_root: h256_of(tx),
+                    bloom: Bloom::default(),
+                },
+                tx_hashes: vec![h256_of(tx)],
+            }))
+        ),
+        ((any::<u64>(), any::<u8>(), 0usize..8), arb_log_entry()).prop_map(
+            |((block_number, tx, log_index), log)| SubEvent::Log(FilteredLog {
+                block_number,
+                tx_hash: h256_of(tx),
+                log_index,
+                log,
+            })
+        ),
+        arb_pending_tx_event().prop_map(SubEvent::PendingTx),
+    ]
+}
+
 fn arb_rpc_error() -> impl Strategy<Value = RpcError> {
     prop_oneof![
         Just(RpcError::Timeout),
@@ -184,6 +257,12 @@ struct PermutedEcho {
     rotate: usize,
     reverse: bool,
     seen_ids: Vec<u64>,
+    /// How many [`Frame::Notify`] pushes to write *ahead of* each reply —
+    /// the daemon's ordering contract (a reply's pushes are already on the
+    /// wire when the reply lands). Zero keeps the reply-only behaviour.
+    pushes_per_reply: usize,
+    /// Every push written, in wire order, for the test to compare against.
+    pushes_written: Vec<Frame>,
 }
 
 impl PermutedEcho {
@@ -195,6 +274,15 @@ impl PermutedEcho {
             rotate,
             reverse,
             seen_ids: Vec::new(),
+            pushes_per_reply: 0,
+            pushes_written: Vec::new(),
+        }
+    }
+
+    fn with_pushes(rotate: usize, reverse: bool, pushes_per_reply: usize) -> PermutedEcho {
+        PermutedEcho {
+            pushes_per_reply,
+            ..PermutedEcho::new(rotate, reverse)
         }
     }
 }
@@ -239,6 +327,23 @@ impl Read for PermutedEcho {
                 batch.reverse();
             }
             for (id, frame) in batch {
+                for p in 0..self.pushes_per_reply {
+                    let push = Frame::Notify {
+                        session: 0,
+                        sub_id: 1 + p as u64,
+                        seq: self.pushes_written.len() as u64,
+                        event: SubEvent::PendingTx(PendingTxEvent {
+                            hash: h256_of(id as u8),
+                            sender: h160_of(p as u8),
+                            to: None,
+                            selector: None,
+                            tip: U256::from(id),
+                            nonce: id,
+                        }),
+                    };
+                    self.outbox.extend_from_slice(&push.encode());
+                    self.pushes_written.push(push);
+                }
                 self.outbox.extend_from_slice(
                     &Frame::Reply {
                         id,
@@ -502,5 +607,71 @@ proptest! {
         unique.sort_unstable();
         unique.dedup();
         prop_assert_eq!(unique.len(), frames.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription frames: the push half of protocol v3.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn subscription_frames_roundtrip(
+        kind in arb_sub_kind(),
+        event in arb_sub_event(),
+        sub_id in any::<u64>(),
+        session in any::<u64>(),
+        seq in any::<u64>(),
+    ) {
+        // Every subscription-protocol frame — Subscribe, Subscribed,
+        // Unsubscribe, Unsubscribed, Notify, Ping — survives the wire with
+        // any channel kind and any event payload.
+        let frames = vec![
+            Frame::Subscribe { kind },
+            Frame::Subscribed { sub_id },
+            Frame::Unsubscribe { sub_id },
+            Frame::Unsubscribed { sub_id },
+            Frame::Notify { session, sub_id, seq, event },
+            Frame::Ping,
+        ];
+        for frame in frames {
+            let wire = frame.encode();
+            let (decoded, consumed) = Frame::decode(&wire).expect("subscription frame decodes");
+            prop_assert_eq!(consumed, wire.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn notify_pushes_interleave_with_out_of_order_replies(
+        methods in proptest::collection::vec(arb_method(), 1..16),
+        window in 1usize..16,
+        rotate in 0usize..16,
+        reverse in any::<bool>(),
+        pushes_per_reply in 1usize..4,
+    ) {
+        // The daemon writes Notify pushes ahead of the replies that caused
+        // them, permuted replies and all. The pipelined transport must still
+        // hand each caller its own answer AND park every push, in wire
+        // order, for drain_pushes.
+        let frames: Vec<Frame> = methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, method)| Frame::Execute(RpcRequest::new(i as u64, method)))
+            .collect();
+        let mut transport = StreamTransport::new(
+            PermutedEcho::with_pushes(rotate, reverse, pushes_per_reply),
+            "echo",
+        );
+        let replies = transport
+            .roundtrip_many(&frames, window)
+            .expect("pipelined roundtrip succeeds");
+        prop_assert_eq!(replies, frames.clone());
+        // Every push written before a consumed reply is already parked —
+        // none were dropped, reordered, or mistaken for replies.
+        let expected = transport.stream().pushes_written.clone();
+        prop_assert_eq!(expected.len(), frames.len() * pushes_per_reply);
+        let drained = transport.drain_pushes();
+        prop_assert_eq!(drained, expected);
+        // A second drain is empty: pushes are taken, not copied.
+        prop_assert!(transport.drain_pushes().is_empty());
     }
 }

@@ -3,6 +3,11 @@
 //! The out-of-process node daemon: a dispatch loop that serves any
 //! [`NodeProvider`] stack over the `ofl-rpc` frame protocol, one frame in →
 //! one frame out, until the client says [`Frame::Shutdown`] or hangs up.
+//! Sessions with live subscriptions additionally receive push frames:
+//! after every dispatched frame the loop drains pending notifications and
+//! writes them as [`Frame::Notify`] **before** the reply, so by the time a
+//! client has read a reply every push that dispatch caused is already
+//! buffered on its side of the wire.
 //!
 //! Three transports share the same dispatch code:
 //!
@@ -97,6 +102,10 @@ pub struct Connection {
     backends: Backends,
     /// Frames dispatched so far (diagnostics).
     pub frames_served: u64,
+    /// Live subscription count per session *this connection* opened. Push
+    /// routing is per-connection: a client that reconnects and attaches to
+    /// a persistent session re-subscribes to resume delivery.
+    subs: BTreeMap<u64, u64>,
 }
 
 impl Default for Connection {
@@ -112,6 +121,7 @@ impl Connection {
         Connection {
             backends: Backends::Private(BTreeMap::new()),
             frames_served: 0,
+            subs: BTreeMap::new(),
         }
     }
 
@@ -124,6 +134,7 @@ impl Connection {
         Connection {
             backends: Backends::Private(sessions),
             frames_served: 0,
+            subs: BTreeMap::new(),
         }
     }
 
@@ -134,6 +145,7 @@ impl Connection {
         Connection {
             backends: Backends::Shared(store),
             frames_served: 0,
+            subs: BTreeMap::new(),
         }
     }
 
@@ -238,6 +250,31 @@ impl Connection {
                 Ok(reply) => Frame::BackstageReply(reply),
                 Err(error) => Frame::Error(error),
             },
+            Frame::Subscribe { kind } => match self.with_provider(session, |p| p.subscribe(kind)) {
+                Ok(sub_id) => {
+                    *self.subs.entry(session).or_insert(0) += 1;
+                    Frame::Subscribed { sub_id }
+                }
+                Err(error) => Frame::Error(error),
+            },
+            Frame::Unsubscribe { sub_id } => {
+                match self.with_provider(session, |p| p.unsubscribe(sub_id)) {
+                    // Echo the cancelled id; an unknown id echoes 0 (real
+                    // ids start at 1) so the client can tell the cases
+                    // apart without a dedicated boolean frame.
+                    Ok(true) => {
+                        if let Some(count) = self.subs.get_mut(&session) {
+                            *count -= 1;
+                            if *count == 0 {
+                                self.subs.remove(&session);
+                            }
+                        }
+                        Frame::Unsubscribed { sub_id }
+                    }
+                    Ok(false) => Frame::Unsubscribed { sub_id: 0 },
+                    Err(error) => Frame::Error(error),
+                }
+            }
             Frame::Shutdown => return (Frame::Goodbye, true),
             // The codec refuses nested envelopes; this arm only fires on a
             // hand-built frame.
@@ -250,6 +287,34 @@ impl Connection {
             ))),
         };
         (reply, false)
+    }
+
+    /// True when this connection holds at least one live subscription —
+    /// such connections are exempt from the idle-timeout reap (the serve
+    /// loop probes them with [`Frame::Ping`] instead).
+    pub fn has_live_subscriptions(&self) -> bool {
+        !self.subs.is_empty()
+    }
+
+    /// Collects every notification pending on the sessions this connection
+    /// subscribed to, as wire-ready [`Frame::Notify`] frames in session
+    /// order. The serve loops write these **before** the reply that
+    /// triggered them — that ordering is the client's guarantee that a
+    /// received reply implies all of its pushes are already buffered.
+    pub fn drain_pushes(&mut self) -> Vec<Frame> {
+        let sessions: Vec<u64> = self.subs.keys().copied().collect();
+        let mut pushes = Vec::new();
+        for session in sessions {
+            if let Ok(notes) = self.with_provider(session, |p| p.drain_notifications()) {
+                pushes.extend(notes.into_iter().map(|n| Frame::Notify {
+                    session,
+                    sub_id: n.sub_id,
+                    seq: n.seq,
+                    event: n.event,
+                }));
+            }
+        }
+        pushes
     }
 
     /// Runs `f` against `session`'s provider, whichever store it lives in.
@@ -308,10 +373,28 @@ pub fn serve_stream<S: Read + Write>(
     loop {
         let frame = match Frame::read_from(&mut stream) {
             Ok(frame) => frame,
+            // The read deadline elapsed on a connection with live
+            // subscriptions: that is a *subscriber sitting quiet between
+            // frames*, not a stalled client. Probe liveness with a Ping
+            // and ship any pending pushes; a dead peer fails the write
+            // and frees the worker.
+            Err(FrameError::Timeout) if conn.has_live_subscriptions() => {
+                if Frame::Ping.write_to(&mut stream).is_err() {
+                    return Ok(conn.frames_served);
+                }
+                for push in conn.drain_pushes() {
+                    if push.write_to(&mut stream).is_err() {
+                        return Ok(conn.frames_served);
+                    }
+                }
+                continue;
+            }
             // A clean hangup between frames is a normal end of session. A
-            // read deadline expiring surfaces here too — either way the
-            // worker thread is freed.
-            Err(FrameError::Io(_)) if conn.frames_served > 0 => return Ok(conn.frames_served),
+            // read deadline expiring on a subscription-less connection
+            // surfaces here too — either way the worker thread is freed.
+            Err(FrameError::Io(_) | FrameError::Timeout) if conn.frames_served > 0 => {
+                return Ok(conn.frames_served)
+            }
             // Typed payload failures are answered in-band; the stream is
             // still frame-synced.
             Err(FrameError::Codec(e)) => {
@@ -330,6 +413,11 @@ pub fn serve_stream<S: Read + Write>(
             Err(e) => return Err(e),
         };
         let (reply, done) = conn.handle(frame);
+        // Pushes caused by this dispatch go out before its reply — the
+        // ordering contract clients rely on (see the module docs).
+        for push in conn.drain_pushes() {
+            push.write_to(&mut stream)?;
+        }
         reply.write_to(&mut stream)?;
         if done {
             return Ok(conn.frames_served);
@@ -519,6 +607,9 @@ pub fn serve_unix_listener(listener: UnixListener, max_connections: Option<usize
 pub struct PipeTransport {
     conn: Connection,
     replies: VecDeque<Vec<u8>>,
+    /// Push frames diverted out of the reply stream by `recv`, waiting
+    /// for `drain_pushes`.
+    pushes: VecDeque<Frame>,
     /// Reused request-side encode buffer (replies need owned buffers, so
     /// only the outbound leg can recycle its allocation).
     wire: Vec<u8>,
@@ -535,6 +626,7 @@ impl PipeTransport {
         PipeTransport {
             conn,
             replies: VecDeque::new(),
+            pushes: VecDeque::new(),
             wire: Vec::new(),
         }
     }
@@ -551,16 +643,31 @@ impl FrameTransport for PipeTransport {
         frame.encode_into(&mut self.wire)?;
         let (decoded, _) = Frame::decode(&self.wire)?;
         let (reply, _done) = self.conn.handle(decoded);
+        // Same wire ordering as the stream loops: pushes caused by this
+        // dispatch are queued before the reply, and `recv` diverts them.
+        for push in self.conn.drain_pushes() {
+            self.replies.push_back(push.encode());
+        }
         self.replies.push_back(reply.encode());
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Frame, FrameError> {
-        let wire = self
-            .replies
-            .pop_front()
-            .ok_or_else(|| FrameError::Io("pipe: recv with no pending reply".into()))?;
-        Frame::decode(&wire).map(|(frame, _)| frame)
+        loop {
+            let wire = self
+                .replies
+                .pop_front()
+                .ok_or_else(|| FrameError::Io("pipe: recv with no pending reply".into()))?;
+            match Frame::decode(&wire).map(|(frame, _)| frame)? {
+                push @ Frame::Notify { .. } => self.pushes.push_back(push),
+                Frame::Ping => {}
+                frame => return Ok(frame),
+            }
+        }
+    }
+
+    fn drain_pushes(&mut self) -> Vec<Frame> {
+        self.pushes.drain(..).collect()
     }
 
     fn peer(&self) -> String {
@@ -576,8 +683,8 @@ mod tests {
     use ofl_primitives::u256::U256;
     use ofl_primitives::wei_per_eth;
     use ofl_rpc::{
-        BackstageOp, EthApi, IpfsApi, RpcMethod, RpcRequest, RpcResult, SessionMux, SocketProvider,
-        WireMode,
+        BackstageOp, EthApi, IpfsApi, NodeProvider, RpcMethod, RpcRequest, RpcResult, SessionMux,
+        SocketProvider, SubEvent, SubscriptionKind, WireMode,
     };
 
     fn provisioned_socket(n_accounts: usize) -> (SocketProvider, Wallet) {
@@ -968,6 +1075,104 @@ mod tests {
             .expect("daemon freed the stalled worker");
         assert_eq!(stats.connections, 1);
         drop(stream);
+    }
+
+    #[test]
+    fn pushes_arrive_before_the_reply_that_triggered_them_over_the_pipe() {
+        let (mut socket, wallet) = provisioned_socket(2);
+        let [a, b] = [wallet.addresses()[0], wallet.addresses()[1]];
+        assert_eq!(socket.subscribe(SubscriptionKind::PendingTxs), 1);
+        assert_eq!(socket.subscribe(SubscriptionKind::NewHeads), 2);
+        // Submit through the wire: the daemon queues the PendingTx push
+        // before the TxHash reply, so once send_raw_transaction returns
+        // the notification is already client-side.
+        let config = socket.backstage(&BackstageOp::Config).into_config();
+        let raw = {
+            use ofl_eth::tx::{sign_tx, TxRequest};
+            let key = wallet.account(&a).unwrap().private_key;
+            sign_tx(
+                TxRequest {
+                    chain_id: config.chain_id,
+                    nonce: 0,
+                    max_priority_fee_per_gas: U256::from(1_500_000_000u64),
+                    max_fee_per_gas: U256::from(40_000_000_000u64),
+                    gas_limit: 21_000,
+                    to: Some(b),
+                    value: U256::from(5u64),
+                    data: Vec::new(),
+                },
+                &key,
+            )
+            .unwrap()
+            .encode()
+        };
+        let hash = socket.send_raw_transaction(&raw).value.unwrap();
+        let notes = socket.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        assert_eq!((notes[0].sub_id, notes[0].seq), (1, 0));
+        assert!(matches!(&notes[0].event, SubEvent::PendingTx(p) if p.hash == hash));
+        // Mining backstage pushes the new head the same way.
+        socket
+            .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+            .into_block();
+        let notes = socket.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].sub_id, 2);
+        assert!(matches!(&notes[0].event, SubEvent::NewHead(h) if h.tx_hashes == vec![hash]));
+        // Unsubscribing echoes the id; an unknown id echoes 0 → false.
+        assert!(socket.unsubscribe(2));
+        assert!(!socket.unsubscribe(99));
+        socket
+            .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+            .into_block();
+        assert!(socket.drain_notifications().is_empty());
+    }
+
+    #[test]
+    fn a_subscriber_survives_the_read_deadline_while_a_stalled_client_is_reaped() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let stats = serve_listener_with(
+                listener,
+                DaemonOptions {
+                    max_connections: Some(2),
+                    idle_timeout: Some(Duration::from_millis(50)),
+                    ..DaemonOptions::default()
+                },
+            );
+            let _ = done_tx.send(stats);
+        });
+        let endpoint = ofl_rpc::RemoteEndpoint::Tcp(addr.to_string());
+        let wallet = Wallet::from_seed("rpcd-keepalive", 1);
+        let a = wallet.addresses()[0];
+        let mut socket = SocketProvider::new(endpoint.connect().expect("connect"));
+        socket
+            .provision(ChainConfig::default(), vec![(a, wei_per_eth())])
+            .expect("provisions");
+        assert_eq!(socket.subscribe(SubscriptionKind::NewHeads), 1);
+        // A second client that never sends a frame: the read deadline
+        // must still reap it — the keepalive exemption is only for
+        // connections with live subscriptions.
+        let stalled = std::net::TcpStream::connect(addr).expect("connect");
+        // Sit quiet across several deadline periods. Pre-fix, the daemon
+        // reaped this connection too; now it answers each deadline with a
+        // Ping (which the client transport swallows) and keeps serving.
+        std::thread::sleep(Duration::from_millis(300));
+        socket
+            .backstage(&BackstageOp::MineSlot { slot_secs: 12 })
+            .into_block();
+        let notes = socket.drain_notifications();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].sub_id, 1);
+        assert!(matches!(notes[0].event, SubEvent::NewHead(_)));
+        socket.shutdown();
+        drop(stalled);
+        let stats = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("daemon exits once both connections end");
+        assert_eq!(stats.connections, 2);
     }
 
     #[test]

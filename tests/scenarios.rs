@@ -657,7 +657,12 @@ mod remote_backend {
 
     /// Mounts every shard of a fleet over its own TCP connection to one
     /// rpcd daemon, speaking the given wire mode, and runs the engine.
-    fn tcp_fleet_run(configs: Vec<MarketConfig>, shards: usize, mode: WireMode) -> EngineReport {
+    fn tcp_fleet_run(
+        configs: Vec<MarketConfig>,
+        shards: usize,
+        mode: WireMode,
+        engine: &EngineConfig,
+    ) -> EngineReport {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
@@ -682,7 +687,7 @@ mod remote_backend {
                 .expect("provision over tcp"),
             )
         })
-        .run(&EngineConfig::default(), &[])
+        .run(engine, &[])
         .expect("socket-backed fleet run");
 
         drop(mm);
@@ -704,9 +709,60 @@ mod remote_backend {
             .run(&EngineConfig::default(), &[])
             .expect("in-process 32-owner fleet");
 
-        let piped = tcp_fleet_run(configs(), 2, WireMode::Pipelined { window: 8 });
+        let piped = tcp_fleet_run(
+            configs(),
+            2,
+            WireMode::Pipelined { window: 8 },
+            &EngineConfig::default(),
+        );
         assert_reports_identical(&local, &piped);
         assert!(piped.rpc_per_endpoint[1].total_calls() > 0);
+    }
+
+    /// The push-streaming acceptance pin: with event watching on, the
+    /// 32-owner fleet's subscription streams — every NewHeads, Logs, and
+    /// PendingTxs delivery across both shards, folded in delivery order
+    /// into the engine's event digest — are bit-identical whether the
+    /// shards run in-process, over the in-memory rpcd pipe, or over
+    /// pipelined TCP sockets. The same hooks feed all three backends, so
+    /// any divergence in push routing, codec, or ordering shows up here.
+    #[test]
+    fn push_event_streams_are_identical_across_backends() {
+        let base = fleet_base(8, 47);
+        let configs = || MultiMarket::replica_configs(&base, 4, 2);
+        let engine = EngineConfig {
+            watch_events: true,
+            ..EngineConfig::default()
+        };
+        let profile = base.profile;
+
+        let (_, local) = MultiMarket::with_shards(configs(), 2)
+            .run(&engine, &[])
+            .expect("in-process watched fleet");
+        assert!(
+            local.events_observed > 0,
+            "a watched fleet run must deliver push events"
+        );
+
+        let (_, piped) =
+            MultiMarket::with_shards_via(configs(), 2, |config| pipe_mounted(config, profile))
+                .run(&engine, &[])
+                .expect("pipe-backed watched fleet");
+
+        let tcp = tcp_fleet_run(configs(), 2, WireMode::Pipelined { window: 8 }, &engine);
+
+        assert_eq!(
+            (local.events_observed, local.event_digest),
+            (piped.events_observed, piped.event_digest),
+            "pipe-backed push streams must match the in-process streams"
+        );
+        assert_eq!(
+            (local.events_observed, local.event_digest),
+            (tcp.events_observed, tcp.event_digest),
+            "TCP pipelined push streams must match the in-process streams"
+        );
+        assert_reports_identical(&local, &piped);
+        assert_reports_identical(&local, &tcp);
     }
 
     /// Fleet-scale pin: the full 1k-owner fleet (32 markets × 32 owners,
@@ -728,7 +784,12 @@ mod remote_backend {
         let owners: usize = local.sessions.iter().map(|s| s.payments.len()).sum();
         assert_eq!(owners, 1024);
 
-        let piped = tcp_fleet_run(configs(), 4, WireMode::Pipelined { window: 64 });
+        let piped = tcp_fleet_run(
+            configs(),
+            4,
+            WireMode::Pipelined { window: 64 },
+            &EngineConfig::default(),
+        );
         assert_reports_identical(&local, &piped);
     }
 }
