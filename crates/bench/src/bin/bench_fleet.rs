@@ -164,6 +164,7 @@ struct Args {
     window: usize,
     serial: bool,
     subscribe: bool,
+    trace: bool,
     json: bool,
 }
 
@@ -174,6 +175,7 @@ fn parse_args() -> Args {
     let mut window = 64usize;
     let mut serial = false;
     let mut subscribe = false;
+    let mut trace = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -189,6 +191,7 @@ fn parse_args() -> Args {
             "--window" => window = number(&mut args, "--window"),
             "--serial" => serial = true,
             "--subscribe" => subscribe = true,
+            "--trace" => trace = true,
             "--json" => json = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -205,6 +208,7 @@ fn parse_args() -> Args {
         window: window.max(1),
         serial,
         subscribe,
+        trace,
         json,
     }
 }
@@ -215,7 +219,7 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: bench_fleet [--owners N] [--markets M] [--shards S] [--window W] \
-         [--serial] [--subscribe] [--json]"
+         [--serial] [--subscribe] [--trace] [--json]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -607,6 +611,38 @@ fn main() {
         );
         leg
     });
+
+    // The traced leg: the same fleet with the ofl-trace collector running.
+    // Two invariants ride on it — tracing must not perturb the simulation
+    // (digest unchanged), and the JSONL artifact is a pure function of the
+    // seed (the gzip container uses MTIME=0 stored blocks, so the .gz
+    // bytes are deterministic too).
+    if args.trace {
+        let tracer = ofl_trace::start_tracing();
+        let started = std::time::Instant::now();
+        let (_, traced) = MultiMarket::with_shards(configs(), args.shards)
+            .run(&EngineConfig::default(), &[])
+            .expect("traced fleet run");
+        let wall = started.elapsed().as_secs_f64();
+        let trace = ofl_trace::stop_tracing(tracer);
+        assert_eq!(
+            digest(&traced),
+            reference,
+            "tracing must not perturb the simulation"
+        );
+        assert_eq!(trace.dropped, 0, "collector lanes must not overflow");
+        assert!(!trace.events.is_empty(), "a traced fleet run emits events");
+        let jsonl = trace.to_jsonl();
+        let gz = ofl_trace::gzip::gzip_stored(jsonl.as_bytes());
+        let path =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../TRACE_fleet.jsonl.gz");
+        std::fs::write(&path, &gz).expect("write trace artifact");
+        println!(
+            "\ntraced leg: {} events, 0 dropped, {wall:.2}s, digest unchanged -> {}",
+            trace.events.len(),
+            path.display()
+        );
+    }
 
     let record = Record {
         owners,

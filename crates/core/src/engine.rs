@@ -513,6 +513,43 @@ impl<'a> Driver<'a> {
 
         while let Some((t, ev)) = self.queue.pop() {
             self.world.clock.advance_to(t);
+            if ofl_trace::tracing_enabled()
+                && ofl_trace::category_enabled(ofl_trace::Category::Engine)
+            {
+                use ofl_trace::FieldValue;
+                let (label, tail): (&'static str, Vec<(&'static str, FieldValue)>) = match &ev {
+                    Ev::SubmitDeploy { m } => ("submit_deploy", vec![("m", (*m).into())]),
+                    Ev::OwnerArrive { m, i } => {
+                        ("owner_arrive", vec![("m", (*m).into()), ("i", (*i).into())])
+                    }
+                    Ev::OwnerTrained { m, i } => (
+                        "owner_trained",
+                        vec![("m", (*m).into()), ("i", (*i).into())],
+                    ),
+                    Ev::OwnerUploaded { m, i } => (
+                        "owner_uploaded",
+                        vec![("m", (*m).into()), ("i", (*i).into())],
+                    ),
+                    Ev::OwnerSubmitCid { m, i, .. } => (
+                        "owner_submit_cid",
+                        vec![("m", (*m).into()), ("i", (*i).into())],
+                    ),
+                    Ev::Mine { slot_secs } => ("mine", vec![("slot_secs", (*slot_secs).into())]),
+                    Ev::BuyerFinalize { m } => ("buyer_finalize", vec![("m", (*m).into())]),
+                    Ev::BuyerSubmitPayments { m } => {
+                        ("buyer_submit_payments", vec![("m", (*m).into())])
+                    }
+                    Ev::BuyerDone { m } => ("buyer_done", vec![("m", (*m).into())]),
+                };
+                let mut fields = vec![("ev", FieldValue::from(label))];
+                fields.extend(tail);
+                ofl_trace::record_event(
+                    ofl_trace::Category::Engine,
+                    ofl_trace::EventKind::Instant,
+                    "engine.dispatch",
+                    fields,
+                );
+            }
             match ev {
                 Ev::SubmitDeploy { m } => self.on_submit_deploy(m, t)?,
                 Ev::OwnerArrive { m, i } => self.on_owner_arrive(m, i, t),

@@ -754,6 +754,12 @@ impl World {
     /// endpoint order.
     pub fn mine_slot(&mut self, slot_secs: u64) -> Vec<Block> {
         self.clock.advance_to(SimInstant(slot_secs * 1_000_000));
+        let _span = ofl_trace::trace_span!(
+            ofl_trace::Category::World,
+            "world.mine_slot",
+            "slot_secs" => slot_secs,
+            "shards" => self.pool.len(),
+        );
         // Shards mine independently: the pool fans the op out to parallel
         // workers and hands the blocks back in endpoint order.
         let blocks = self
@@ -807,6 +813,10 @@ impl World {
                     .push(note);
             }
         }
+        // Parked-but-untaken notifications across every subscription: the
+        // world-side half of the slow-subscriber picture.
+        let depth: usize = self.inbox.values().map(Vec::len).sum();
+        ofl_trace::metrics::gauge_set("world.inbox_depth", depth.min(i64::MAX as usize) as i64);
     }
 
     // ------------------------------------------------------------------

@@ -275,7 +275,16 @@ impl Wallet {
             data,
         };
         let tx = sign_tx(request, &account.private_key).map_err(WalletError::Signing)?;
-        Ok(tx.encode())
+        let encoded = tx.encode();
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Sign,
+            "wallet.sign",
+            "nonce" => env.nonce,
+            "gas_limit" => gas_limit,
+            "bytes" => encoded.len(),
+            "digest" => ofl_trace::fnv1a64(&encoded),
+        );
+        Ok(encoded)
     }
 
     /// [`Wallet::sign_with_env`] against a local chain view — the

@@ -108,6 +108,7 @@ impl SimClock {
                 .checked_add(d.0)
                 .expect("virtual clock overflow"),
         );
+        ofl_trace::set_vtime(self.now.get());
     }
 
     /// Advances to an absolute instant (no-op if already past it).
@@ -115,6 +116,7 @@ impl SimClock {
         if t.0 > self.now.get() {
             self.now.set(t.0);
         }
+        ofl_trace::set_vtime(self.now.get());
     }
 
     /// Seconds since simulation start.

@@ -110,6 +110,23 @@ pub fn phase_snapshot() -> PhaseTimes {
     }
 }
 
+/// Publishes the current per-phase totals into the `ofl_trace::metrics`
+/// registry as `hotpath.<phase>_ns` gauges, so a daemon's phase breakdown
+/// is readable over the wire (`Frame::Stats`) alongside its session
+/// counters. Call after a run (or periodically); gauges are last-write-wins.
+pub fn publish_phase_metrics() {
+    let snap = phase_snapshot();
+    for (name, ns) in [
+        ("hotpath.sign_ns", snap.sign_ns),
+        ("hotpath.codec_ns", snap.codec_ns),
+        ("hotpath.queue_ns", snap.queue_ns),
+        ("hotpath.aggregate_ns", snap.aggregate_ns),
+        ("hotpath.wire_ns", snap.wire_ns),
+    ] {
+        ofl_trace::metrics::gauge_set(name, ns.min(i64::MAX as u64) as i64);
+    }
+}
+
 /// RAII guard that attributes the wall time between construction and drop
 /// to one [`HotPhase`]. Construction is a no-op (no clock read) while
 /// timing is disabled.

@@ -219,6 +219,11 @@ impl<P> FlakyProvider<P> {
         let dropped = self.rng.gen_bool(self.profile.drop_rate);
         if dropped {
             self.dropped += 1;
+            ofl_trace::trace_event!(
+                ofl_trace::Category::Provider,
+                "flaky.drop",
+                "total" => self.dropped,
+            );
         }
         dropped
     }
@@ -371,6 +376,11 @@ impl<P> RateLimitProvider<P> {
             return false;
         }
         self.limited += 1;
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Provider,
+            "ratelimit.throttle",
+            "total" => self.limited,
+        );
         self.renew_window();
         true
     }
@@ -559,6 +569,12 @@ impl<P> SpikeProvider<P> {
             return cost;
         }
         self.stalled += 1;
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Provider,
+            "spike.stall",
+            "total" => self.stalled,
+            "stall_us" => self.profile.stall.as_micros(),
+        );
         cost.saturating_add(self.profile.stall)
     }
 }
@@ -696,6 +712,12 @@ impl<P: EthApi> EthApi for ReorderProvider<P> {
             }
             if !identity {
                 self.reordered += 1;
+                ofl_trace::trace_event!(
+                    ofl_trace::Category::Provider,
+                    "reorder.shuffle",
+                    "total" => self.reordered,
+                    "batch" => responses.len(),
+                );
             }
         }
         responses
@@ -830,6 +852,12 @@ impl<P: EthApi> StaleReadProvider<P> {
             Ok(RpcResult::BlockNumber(n)) => {
                 if lag > 0 && *n > 0 {
                     self.served_stale += 1;
+                    ofl_trace::trace_event!(
+                        ofl_trace::Category::Provider,
+                        "stale.serve",
+                        "total" => self.served_stale,
+                        "lag" => lag,
+                    );
                 }
                 *n = n.saturating_sub(lag);
             }
@@ -845,6 +873,12 @@ impl<P: EthApi> StaleReadProvider<P> {
                 };
                 if hidden {
                     self.served_stale += 1;
+                    ofl_trace::trace_event!(
+                        ofl_trace::Category::Provider,
+                        "stale.hide_receipt",
+                        "total" => self.served_stale,
+                        "lag" => lag,
+                    );
                     *opt = None;
                 }
             }

@@ -74,8 +74,10 @@ pub const FRAME_MAGIC: u16 = 0x4F57;
 /// the [`Frame::Attach`]/[`Frame::Attached`] session re-binding pair. v3
 /// added push streaming: [`Frame::Subscribe`]/[`Frame::Subscribed`],
 /// server-initiated [`Frame::Notify`], [`Frame::Unsubscribe`]/
-/// [`Frame::Unsubscribed`], and the [`Frame::Ping`] keepalive probe.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// [`Frame::Unsubscribed`], and the [`Frame::Ping`] keepalive probe. v4
+/// added the [`Frame::Stats`]/[`Frame::StatsReply`] admin introspection
+/// pair.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard cap on one frame's payload. Large enough for any model upload the
 /// marketplace ships, small enough to reject allocation-bomb length
@@ -260,6 +262,11 @@ pub enum Frame {
         /// The id from [`Frame::Subscribed`].
         sub_id: u64,
     },
+    /// Client→server: admin introspection probe — report live daemon
+    /// counters and the server's metrics registry. Answered by
+    /// [`Frame::StatsReply`]. Read-only: dispatching it mutates no
+    /// backend state (beyond the served-frame counters it reports).
+    Stats,
 
     /// Server→client: the backend is up.
     Provisioned,
@@ -337,6 +344,22 @@ pub enum Frame {
     /// Server→client: keepalive probe for quiet subscribers under an idle
     /// timeout. No answer expected; clients skip it when reading.
     Ping,
+    /// Server→client: answer to [`Frame::Stats`] — a live snapshot of the
+    /// daemon's counters plus its name-ordered metrics registry.
+    StatsReply {
+        /// Sessions currently live on the answering daemon (persistent
+        /// store entries, or this connection's private backends).
+        sessions: u64,
+        /// Worker threads reaped after their connections closed.
+        workers_reaped: u64,
+        /// Accept-retry backoffs the listener has slept through.
+        accept_backoffs: u64,
+        /// Frames dispatched across all connections since daemon start.
+        frames_served: u64,
+        /// The server's `ofl_trace::metrics` registry, flattened in name
+        /// order (deterministic; see `metrics::snapshot_flat`).
+        metrics: Vec<(String, u64)>,
+    },
 }
 
 // ----------------------------------------------------------------------
@@ -910,6 +933,7 @@ impl Frame {
                 w.u8(11);
                 w.u64(*sub_id);
             }
+            Frame::Stats => w.u8(12),
             Frame::Provisioned => w.u8(0x80),
             Frame::Response(response) => {
                 w.u8(0x81);
@@ -992,12 +1016,35 @@ impl Frame {
                 w.u64(*sub_id);
             }
             Frame::Ping => w.u8(0x8E),
+            Frame::StatsReply {
+                sessions,
+                workers_reaped,
+                accept_backoffs,
+                frames_served,
+                metrics,
+            } => {
+                w.u8(0x8F);
+                w.u64(*sessions);
+                w.u64(*workers_reaped);
+                w.u64(*accept_backoffs);
+                w.u64(*frames_served);
+                w.u64(metrics.len() as u64);
+                for (name, value) in metrics {
+                    w.string(name);
+                    w.u64(*value);
+                }
+            }
         }
     }
 
     /// Decodes a frame payload (tag + body). Trailing bytes are an error.
     pub fn decode_payload(payload: &[u8]) -> Result<Frame, CodecError> {
         let _t = PhaseTimer::start(HotPhase::Codec);
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Codec,
+            "frame.decode",
+            "bytes" => payload.len(),
+        );
         Frame::decode_payload_at(payload, true)
     }
 
@@ -1062,6 +1109,7 @@ impl Frame {
             11 => Frame::Unsubscribe {
                 sub_id: r.u64("unsubscribe id")?,
             },
+            12 => Frame::Stats,
             0x80 => Frame::Provisioned,
             0x81 => Frame::Response(RpcResponse::read(&mut r)?),
             0x82 => {
@@ -1135,6 +1183,27 @@ impl Frame {
                 sub_id: r.u64("unsubscribed id")?,
             },
             0x8E => Frame::Ping,
+            0x8F => {
+                let sessions = r.u64("stats sessions")?;
+                let workers_reaped = r.u64("stats workers reaped")?;
+                let accept_backoffs = r.u64("stats accept backoffs")?;
+                let frames_served = r.u64("stats frames served")?;
+                let n = r.u64("stats metric count")?;
+                check_count(n, &r, "stats metric count")?;
+                let mut metrics = bounded_vec(n);
+                for _ in 0..n {
+                    let name = r.string("stats metric name")?;
+                    let value = r.u64("stats metric value")?;
+                    metrics.push((name, value));
+                }
+                Frame::StatsReply {
+                    sessions,
+                    workers_reaped,
+                    accept_backoffs,
+                    frames_served,
+                    metrics,
+                }
+            }
             tag => {
                 return Err(CodecError::BadTag {
                     reading: "frame tag",
@@ -1170,6 +1239,11 @@ impl Frame {
             });
         }
         out[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Codec,
+            "frame.encode",
+            "bytes" => payload_len,
+        );
         Ok(())
     }
 
@@ -1419,6 +1493,17 @@ mod tests {
             },
             Frame::Unsubscribed { sub_id: 2 },
             Frame::Ping,
+            Frame::Stats,
+            Frame::StatsReply {
+                sessions: 3,
+                workers_reaped: 7,
+                accept_backoffs: 1,
+                frames_served: 900,
+                metrics: vec![
+                    ("rpcd.sessions".to_string(), 3),
+                    ("sub.queue_depth.1".to_string(), 12),
+                ],
+            },
         ];
         for frame in frames {
             let wire = frame.encode();

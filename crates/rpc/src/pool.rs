@@ -102,7 +102,7 @@ impl ProviderPool {
         }
         // Pair each busy endpoint with its request group; disjoint
         // endpoints are the unit of parallelism.
-        let mut work: Vec<(&mut Box<dyn NodeProvider>, Vec<RpcRequest>)> = Vec::new();
+        let mut work: Vec<(usize, &mut Box<dyn NodeProvider>, Vec<RpcRequest>)> = Vec::new();
         let mut remaining = self.endpoints.as_mut_slice();
         let mut consumed = 0usize;
         for (id, indices) in &groups {
@@ -111,11 +111,16 @@ impl ProviderPool {
             remaining = rest;
             consumed = id + 1;
             let group: Vec<RpcRequest> = indices.iter().map(|&i| requests[i].1.clone()).collect();
-            work.push((endpoint, group));
+            work.push((*id, endpoint, group));
         }
         // Each worker re-pairs its endpoint's reply array by correlation
         // tag, so a reordering endpoint still scatters correct answers.
-        let answers = fork_join_mut(&mut work, |_, (endpoint, group)| {
+        // Trace events inside the fan-out attribute to the *endpoint's*
+        // stable source id at the caller's virtual time, so serial and
+        // parallel executors emit identical traces.
+        let vtime = ofl_trace::vtime();
+        let answers = fork_join_mut(&mut work, move |_, (id, endpoint, group)| {
+            let _src = ofl_trace::source_scope(1 + *id as u32, vtime);
             let responses = endpoint.batch(group);
             crate::envelope::match_to_requests(group, responses)
         });
@@ -134,7 +139,9 @@ impl ProviderPool {
     /// Backstage slot-boundary notification to every endpoint (rate-limit
     /// windows renew, etc.).
     pub fn on_slot(&mut self) {
-        for endpoint in &mut self.endpoints {
+        let vtime = ofl_trace::vtime();
+        for (i, endpoint) in self.endpoints.iter_mut().enumerate() {
+            let _src = ofl_trace::source_scope(1 + i as u32, vtime);
             endpoint.on_slot();
         }
     }
@@ -145,10 +152,14 @@ impl ProviderPool {
     /// deterministic delivery order, so the concatenation is a stable
     /// stream keyed by `(slot, shard, seq)`.
     pub fn drain_notifications_all(&mut self) -> Vec<(EndpointId, Vec<Notification>)> {
+        let vtime = ofl_trace::vtime();
         self.endpoints
             .iter_mut()
             .enumerate()
-            .map(|(i, endpoint)| (EndpointId(i), endpoint.drain_notifications()))
+            .map(|(i, endpoint)| {
+                let _src = ofl_trace::source_scope(1 + i as u32, vtime);
+                (EndpointId(i), endpoint.drain_notifications())
+            })
             .collect()
     }
 
@@ -157,7 +168,11 @@ impl ProviderPool {
     /// endpoint order. This is the slot barrier's fan-out: mining all
     /// shards' blocks for a slot is one `backstage_all` call.
     pub fn backstage_all(&mut self, op: &BackstageOp) -> Vec<BackstageReply> {
-        fork_join_mut(&mut self.endpoints, |_, endpoint| endpoint.backstage(op))
+        let vtime = ofl_trace::vtime();
+        fork_join_mut(&mut self.endpoints, move |i, endpoint| {
+            let _src = ofl_trace::source_scope(1 + i as u32, vtime);
+            endpoint.backstage(op)
+        })
     }
 
     /// One endpoint's metering snapshot (when its stack is metered).

@@ -60,15 +60,41 @@ pub struct Notification {
     pub event: SubEvent,
 }
 
+/// Default [`SubscriptionHub`] high-water mark: a subscription that has
+/// been routed more notifications than this in one run earns a one-shot
+/// warning.
+pub const DEFAULT_SUB_HIGH_WATER: u64 = 10_000;
+
 /// The per-backend subscription table and router.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SubscriptionHub {
     /// Next id handed out (ids start at 1 and never recycle, so a stale
     /// unsubscribe can never cancel a newer subscription).
     next_id: u64,
     /// Live subscriptions in id order (ids are monotonic, so insertion
-    /// order is id order).
-    subs: Vec<(u64, SubscriptionKind)>,
+    /// order is id order), each with its routed-notification depth and
+    /// whether its high-water warning has already fired.
+    subs: Vec<SubEntry>,
+    /// Depth past which a subscription earns its one-shot warning.
+    high_water: u64,
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    id: u64,
+    kind: SubscriptionKind,
+    /// Notifications routed to this subscription so far. Nothing
+    /// downstream drops or acknowledges pushes yet, so this is the upper
+    /// bound on the subscriber's queued backlog (inbox, push buffer, or
+    /// wire) — the observable half of backpressure.
+    depth: u64,
+    warned: bool,
+}
+
+impl Default for SubscriptionHub {
+    fn default() -> SubscriptionHub {
+        SubscriptionHub::new()
+    }
 }
 
 impl SubscriptionHub {
@@ -77,7 +103,13 @@ impl SubscriptionHub {
         SubscriptionHub {
             next_id: 1,
             subs: Vec::new(),
+            high_water: DEFAULT_SUB_HIGH_WATER,
         }
+    }
+
+    /// Reconfigures the high-water mark (0 disables the warning).
+    pub fn set_high_water(&mut self, high_water: u64) {
+        self.high_water = high_water;
     }
 
     /// Registers a subscription and returns its id (monotonic from 1).
@@ -87,15 +119,24 @@ impl SubscriptionHub {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.subs.push((id, kind));
+        self.subs.push(SubEntry {
+            id,
+            kind,
+            depth: 0,
+            warned: false,
+        });
         id
     }
 
     /// Cancels a subscription; false when the id was unknown.
     pub fn unsubscribe(&mut self, sub_id: u64) -> bool {
         let before = self.subs.len();
-        self.subs.retain(|(id, _)| *id != sub_id);
-        self.subs.len() < before
+        self.subs.retain(|entry| entry.id != sub_id);
+        let removed = self.subs.len() < before;
+        if removed {
+            ofl_trace::metrics::gauge_set(&format!("sub.queue_depth.{sub_id}"), 0);
+        }
+        removed
     }
 
     /// How many subscriptions are live.
@@ -108,22 +149,64 @@ impl SubscriptionHub {
         self.subs.is_empty()
     }
 
+    /// Notifications routed to `sub_id` so far (None for unknown ids).
+    pub fn depth(&self, sub_id: u64) -> Option<u64> {
+        self.subs
+            .iter()
+            .find(|entry| entry.id == sub_id)
+            .map(|entry| entry.depth)
+    }
+
     /// Routes drained chain events to the live subscriptions: events in
     /// publish order, fan-out within an event in subscription-id order.
-    pub fn route(&self, events: &[(u64, ChainEvent)]) -> Vec<Notification> {
+    ///
+    /// Routing maintains each subscription's `sub.queue_depth.<id>` gauge
+    /// in the `ofl_trace::metrics` registry and logs a one-shot warning
+    /// the first time a subscription's depth passes the high-water mark —
+    /// the observe-only half of backpressure (no event is ever dropped).
+    pub fn route(&mut self, events: &[(u64, ChainEvent)]) -> Vec<Notification> {
         let mut out = Vec::new();
         for (seq, event) in events {
-            for (sub_id, kind) in &self.subs {
-                if let Some(sub_event) = match_event(kind, event) {
+            for entry in &mut self.subs {
+                if let Some(sub_event) = match_event(&entry.kind, event) {
+                    entry.depth += 1;
                     out.push(Notification {
-                        sub_id: *sub_id,
+                        sub_id: entry.id,
                         seq: *seq,
                         event: sub_event,
                     });
                 }
             }
         }
+        if !out.is_empty() {
+            for entry in &mut self.subs {
+                ofl_trace::metrics::gauge_set(
+                    &format!("sub.queue_depth.{}", entry.id),
+                    entry.depth.min(i64::MAX as u64) as i64,
+                );
+                if self.high_water > 0 && entry.depth > self.high_water && !entry.warned {
+                    entry.warned = true;
+                    eprintln!(
+                        "warning: subscription {} ({}) passed the high-water mark: \
+                         {} notifications routed (> {}); no backpressure is applied yet",
+                        entry.id,
+                        kind_label(&entry.kind),
+                        entry.depth,
+                        self.high_water,
+                    );
+                }
+            }
+        }
         out
+    }
+}
+
+/// Short label for warnings: the kind without its filter payload.
+fn kind_label(kind: &SubscriptionKind) -> &'static str {
+    match kind {
+        SubscriptionKind::NewHeads => "newHeads",
+        SubscriptionKind::Logs { .. } => "logs",
+        SubscriptionKind::PendingTxs => "pendingTxs",
     }
 }
 
@@ -262,6 +345,60 @@ mod tests {
         assert_eq!(notes.len(), 1);
         assert_eq!(notes[0].sub_id, by_addr);
         assert_ne!(notes[0].sub_id, by_topic);
+    }
+
+    #[test]
+    fn depth_tracks_routed_notifications_per_subscription() {
+        let mut hub = SubscriptionHub::new();
+        let heads = hub.subscribe(SubscriptionKind::NewHeads);
+        let pending = hub.subscribe(SubscriptionKind::PendingTxs);
+        hub.route(&[
+            (0, head_event()),
+            (1, pending_event(0)),
+            (2, pending_event(1)),
+        ]);
+        assert_eq!(hub.depth(heads), Some(1));
+        assert_eq!(hub.depth(pending), Some(2));
+        hub.route(&[(3, head_event())]);
+        assert_eq!(hub.depth(heads), Some(2));
+        assert_eq!(hub.depth(99), None);
+    }
+
+    #[test]
+    fn high_water_warning_latches_and_routing_continues() {
+        let mut hub = SubscriptionHub::new();
+        hub.set_high_water(3);
+        let pending = hub.subscribe(SubscriptionKind::PendingTxs);
+        let events: Vec<(u64, ChainEvent)> = (0..5).map(|i| (i, pending_event(i))).collect();
+        hub.route(&events);
+        assert_eq!(hub.depth(pending), Some(5));
+        // Observe-only: crossing the mark never drops events. The warning
+        // path is only reachable while the entry's latch is unset.
+        hub.route(&events);
+        assert_eq!(hub.depth(pending), Some(10));
+    }
+
+    #[test]
+    fn depth_gauge_mirrors_routing_and_unsubscribe_zeroes_it() {
+        // The `sub.queue_depth.<id>` gauges live in the process-global
+        // metrics registry, and other tests in this binary route hubs with
+        // low subscription ids concurrently. Burn ids up to a high value no
+        // other test reaches, so this test's gauge is contention-free.
+        let mut hub = SubscriptionHub::new();
+        for _ in 0..240 {
+            hub.subscribe(SubscriptionKind::NewHeads);
+        }
+        let id = hub.subscribe(SubscriptionKind::PendingTxs); // id 241
+        hub.route(&[(0, pending_event(0)), (1, pending_event(1))]);
+        assert_eq!(
+            ofl_trace::metrics::get(&format!("sub.queue_depth.{id}")),
+            Some(ofl_trace::metrics::Metric::Gauge(2))
+        );
+        assert!(hub.unsubscribe(id));
+        assert_eq!(
+            ofl_trace::metrics::get(&format!("sub.queue_depth.{id}")),
+            Some(ofl_trace::metrics::Metric::Gauge(0))
+        );
     }
 
     #[test]

@@ -62,8 +62,48 @@ use std::io::{Read, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Live daemon counters shared between the accept loop and every
+/// connection it spawns, so any client can probe daemon health in-band
+/// with [`Frame::Stats`]. All counters are monotone except the session
+/// census, which is computed from the live store at probe time.
+#[derive(Debug, Default)]
+struct GaugeInner {
+    workers_reaped: AtomicU64,
+    accept_backoffs: AtomicU64,
+    frames_served: AtomicU64,
+}
+
+/// A clonable handle onto one daemon's shared counters.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonGauges(Arc<GaugeInner>);
+
+impl DaemonGauges {
+    /// Finished worker threads reaped by the accept loop so far.
+    pub fn workers_reaped(&self) -> u64 {
+        self.0.workers_reaped.load(Ordering::Relaxed)
+    }
+    /// Accept failures that triggered a back-off sleep.
+    pub fn accept_backoffs(&self) -> u64 {
+        self.0.accept_backoffs.load(Ordering::Relaxed)
+    }
+    /// Frames dispatched across every connection of this daemon.
+    pub fn frames_served(&self) -> u64 {
+        self.0.frames_served.load(Ordering::Relaxed)
+    }
+    fn count_reaped(&self, n: u64) {
+        self.0.workers_reaped.fetch_add(n, Ordering::Relaxed);
+    }
+    fn count_backoff(&self) {
+        self.0.accept_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+    fn count_frame(&self) {
+        self.0.frames_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Session backends shared across connections by a persistent daemon:
 /// session id → live provider. Provision once, attach from any later
@@ -106,6 +146,10 @@ pub struct Connection {
     /// routing is per-connection: a client that reconnects and attaches to
     /// a persistent session re-subscribes to resume delivery.
     subs: BTreeMap<u64, u64>,
+    /// Daemon-wide counters this connection reports through
+    /// [`Frame::Stats`]. A standalone connection (pipe transports, unit
+    /// tests) carries its own private instance.
+    gauges: DaemonGauges,
 }
 
 impl Default for Connection {
@@ -122,6 +166,7 @@ impl Connection {
             backends: Backends::Private(BTreeMap::new()),
             frames_served: 0,
             subs: BTreeMap::new(),
+            gauges: DaemonGauges::default(),
         }
     }
 
@@ -135,6 +180,7 @@ impl Connection {
             backends: Backends::Private(sessions),
             frames_served: 0,
             subs: BTreeMap::new(),
+            gauges: DaemonGauges::default(),
         }
     }
 
@@ -146,7 +192,16 @@ impl Connection {
             backends: Backends::Shared(store),
             frames_served: 0,
             subs: BTreeMap::new(),
+            gauges: DaemonGauges::default(),
         }
+    }
+
+    /// Rebinds this connection's [`Frame::Stats`] reporting onto a shared
+    /// set of daemon counters (the accept loop wires every spawned
+    /// connection to its own gauges this way).
+    pub fn with_gauges(mut self, gauges: DaemonGauges) -> Connection {
+        self.gauges = gauges;
+        self
     }
 
     /// Dispatches one frame, returning the reply and whether the client
@@ -172,6 +227,13 @@ impl Connection {
 
     fn dispatch(&mut self, session: u64, frame: Frame) -> (Frame, bool) {
         self.frames_served += 1;
+        self.gauges.count_frame();
+        ofl_trace::trace_event!(
+            ofl_trace::Category::Rpcd,
+            "rpcd.dispatch",
+            "session" => session,
+            "served" => self.frames_served,
+        );
         let reply = match frame {
             Frame::Provision { chain, genesis } => {
                 // The provisioned backend is a *bare* simulated node:
@@ -275,6 +337,17 @@ impl Connection {
                     Err(error) => Frame::Error(error),
                 }
             }
+            // Read-only admin probe: a census of the daemon's shared
+            // counters plus the process-wide metrics registry, so an
+            // operator can watch queue depths and phase timings without
+            // attaching a debugger to the daemon.
+            Frame::Stats => Frame::StatsReply {
+                sessions: self.session_count(),
+                workers_reaped: self.gauges.workers_reaped(),
+                accept_backoffs: self.gauges.accept_backoffs(),
+                frames_served: self.gauges.frames_served(),
+                metrics: ofl_trace::metrics::snapshot_flat(),
+            },
             Frame::Shutdown => return (Frame::Goodbye, true),
             // The codec refuses nested envelopes; this arm only fires on a
             // hand-built frame.
@@ -287,6 +360,16 @@ impl Connection {
             ))),
         };
         (reply, false)
+    }
+
+    /// How many live session backends this connection can reach — the
+    /// shared store's census for a persistent daemon, this connection's
+    /// own sessions otherwise.
+    fn session_count(&self) -> u64 {
+        match &self.backends {
+            Backends::Private(sessions) => sessions.len() as u64,
+            Backends::Shared(store) => lock_sessions(store).len() as u64,
+        }
     }
 
     /// True when this connection holds at least one live subscription —
@@ -445,6 +528,9 @@ pub struct DaemonOptions {
     /// the connection that provisioned them and later connections can
     /// [`Frame::Attach`] to them (the `--persist` daemon mode).
     pub sessions: Option<SessionStore>,
+    /// Shared counters every connection reports through [`Frame::Stats`].
+    /// Callers that want to watch the daemon from outside keep a clone.
+    pub gauges: DaemonGauges,
 }
 
 impl Default for DaemonOptions {
@@ -455,6 +541,7 @@ impl Default for DaemonOptions {
             accept_retry: Duration::from_millis(10),
             max_accept_failures: 32,
             sessions: None,
+            gauges: DaemonGauges::default(),
         }
     }
 }
@@ -509,6 +596,7 @@ where
             Err(error) => {
                 stats.accept_errors += 1;
                 consecutive_failures += 1;
+                options.gauges.count_backoff();
                 eprintln!("rpcd: accept failed ({consecutive_failures} in a row): {error}");
                 if consecutive_failures >= options.max_accept_failures {
                     eprintln!(
@@ -521,13 +609,17 @@ where
                 continue;
             }
         };
+        let before = workers.len();
         workers.retain(|worker| !worker.is_finished());
+        options.gauges.count_reaped((before - workers.len()) as u64);
         let sessions = options.sessions.clone();
+        let gauges = options.gauges.clone();
         workers.push(std::thread::spawn(move || {
             let conn = match sessions {
                 Some(store) => Connection::sharing(store),
                 None => Connection::new(),
-            };
+            }
+            .with_gauges(gauges);
             let _ = serve_stream(stream, conn);
         }));
         stats.connections += 1;
@@ -1173,6 +1265,67 @@ mod tests {
             .recv_timeout(Duration::from_secs(10))
             .expect("daemon exits once both connections end");
         assert_eq!(stats.connections, 2);
+    }
+
+    #[test]
+    fn stats_probe_reports_daemon_counters_over_live_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let gauges = DaemonGauges::default();
+        let store = new_session_store();
+        let server = {
+            let options = DaemonOptions {
+                max_connections: Some(2),
+                sessions: Some(store.clone()),
+                gauges: gauges.clone(),
+                ..DaemonOptions::default()
+            };
+            std::thread::spawn(move || serve_listener_with(listener, options))
+        };
+        let endpoint = ofl_rpc::RemoteEndpoint::Tcp(addr.to_string());
+        let wallet = Wallet::from_seed("rpcd-stats", 1);
+        let a = wallet.addresses()[0];
+        // Connection 1 does real work against a persistent session, so the
+        // probe has something to count.
+        {
+            let mut socket = SocketProvider::new(endpoint.connect().expect("connect"));
+            socket
+                .provision(ChainConfig::default(), vec![(a, wei_per_eth())])
+                .expect("provisions");
+            assert_eq!(socket.get_balance(&a).value.unwrap(), wei_per_eth());
+            socket.shutdown();
+        }
+        // Connection 2 is a raw wire-level admin probe.
+        use std::net::TcpStream;
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        Frame::Stats.write_to(&mut stream).unwrap();
+        match Frame::read_from(&mut stream).expect("stats reply") {
+            Frame::StatsReply {
+                sessions,
+                workers_reaped,
+                accept_backoffs,
+                frames_served,
+                metrics,
+            } => {
+                assert_eq!(sessions, 1, "the persistent session outlives connection 1");
+                assert_eq!(accept_backoffs, 0);
+                assert!(
+                    frames_served >= 3,
+                    "provision + balance + shutdown all counted, got {frames_served}"
+                );
+                // The registry snapshot rides along; its exact contents
+                // depend on what else this process traced.
+                let _ = (workers_reaped, metrics);
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+        Frame::Shutdown.write_to(&mut stream).unwrap();
+        assert_eq!(Frame::read_from(&mut stream).unwrap(), Frame::Goodbye);
+        let stats = server.join().expect("server exits");
+        assert_eq!(stats.connections, 2);
+        // The caller's clone of the gauges watched the same counters the
+        // wire probe read: 3 frames on connection 1, Stats + Shutdown here.
+        assert!(gauges.frames_served() >= 5);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Trace alignment: turns "the digests differ" into "the first divergent
+//! event is …". Backs the `ofl-trace-diff` binary and the determinism
+//! regression tests.
+//!
+//! Two JSONL traces from same-seed runs must be byte-identical; when they
+//! are not, the interesting datum is the *first* line where they part ways
+//! — everything after it is cascade. Alignment skips `{"meta":…}` header
+//! lines (their event counts differ trivially once streams diverge) and
+//! compares event lines positionally.
+
+use crate::gzip::gunzip_stored;
+
+/// Where two traces first part ways.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number in the left file (original, pre-filter).
+    pub line_a: usize,
+    /// 1-based line number in the right file.
+    pub line_b: usize,
+    /// The left line, or `"<end of trace>"` when the left file ran out.
+    pub a: String,
+    /// The right line, or `"<end of trace>"`.
+    pub b: String,
+}
+
+/// Result of aligning two traces: `None` means identical event streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffReport {
+    /// First divergent event pair, if any.
+    pub divergence: Option<Divergence>,
+    /// Event lines compared (excludes meta lines).
+    pub compared: usize,
+}
+
+fn is_meta(line: &str) -> bool {
+    line.starts_with("{\"meta\":")
+}
+
+/// Aligns two JSONL traces and reports the first divergent event line.
+pub fn diff_jsonl(a: &str, b: &str) -> DiffReport {
+    let left = a
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !is_meta(l) && !l.is_empty());
+    let mut right = b
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !is_meta(l) && !l.is_empty());
+    let mut compared = 0usize;
+    for (la, eva) in left {
+        match right.next() {
+            Some((lb, evb)) => {
+                if eva != evb {
+                    return DiffReport {
+                        divergence: Some(Divergence {
+                            line_a: la + 1,
+                            line_b: lb + 1,
+                            a: eva.to_string(),
+                            b: evb.to_string(),
+                        }),
+                        compared,
+                    };
+                }
+                compared += 1;
+            }
+            None => {
+                return DiffReport {
+                    divergence: Some(Divergence {
+                        line_a: la + 1,
+                        line_b: b.lines().count() + 1,
+                        a: eva.to_string(),
+                        b: "<end of trace>".to_string(),
+                    }),
+                    compared,
+                };
+            }
+        }
+    }
+    if let Some((lb, evb)) = right.next() {
+        return DiffReport {
+            divergence: Some(Divergence {
+                line_a: a.lines().count() + 1,
+                line_b: lb + 1,
+                a: "<end of trace>".to_string(),
+                b: evb.to_string(),
+            }),
+            compared,
+        };
+    }
+    DiffReport {
+        divergence: None,
+        compared,
+    }
+}
+
+/// Decodes trace file bytes: transparently gunzips `.jsonl.gz` artifacts
+/// (detected by magic, not extension) and validates UTF-8.
+pub fn decode_trace_bytes(raw: &[u8]) -> Result<String, String> {
+    let plain = if raw.starts_with(&[0x1F, 0x8B]) {
+        gunzip_stored(raw)?
+    } else {
+        raw.to_vec()
+    };
+    String::from_utf8(plain).map_err(|e| format!("trace is not UTF-8: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gzip::gzip_stored;
+
+    const META: &str = "{\"meta\":{\"format\":\"ofl-trace/1\",\"events\":2,\"dropped\":0}}\n";
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = format!("{META}{{\"ts\":1}}\n{{\"ts\":2}}\n");
+        let report = diff_jsonl(&t, &t);
+        assert_eq!(report.divergence, None);
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn meta_lines_are_ignored_in_alignment() {
+        let a = format!("{META}{{\"ts\":1}}\n");
+        let b = "{\"meta\":{\"format\":\"ofl-trace/1\",\"events\":1,\"dropped\":7}}\n{\"ts\":1}\n";
+        assert_eq!(diff_jsonl(&a, b).divergence, None);
+    }
+
+    #[test]
+    fn first_divergent_line_is_reported() {
+        let a = format!("{META}{{\"ts\":1}}\n{{\"ts\":2}}\n{{\"ts\":9}}\n");
+        let b = format!("{META}{{\"ts\":1}}\n{{\"ts\":3}}\n{{\"ts\":9}}\n");
+        let report = diff_jsonl(&a, &b);
+        let d = report.divergence.expect("diverges");
+        assert_eq!((d.line_a, d.line_b), (3, 3));
+        assert_eq!(d.a, "{\"ts\":2}");
+        assert_eq!(d.b, "{\"ts\":3}");
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = format!("{META}{{\"ts\":1}}\n{{\"ts\":2}}\n");
+        let b = format!("{META}{{\"ts\":1}}\n");
+        let d = diff_jsonl(&a, &b).divergence.expect("diverges");
+        assert_eq!(d.b, "<end of trace>");
+        let d = diff_jsonl(&b, &a).divergence.expect("diverges");
+        assert_eq!(d.a, "<end of trace>");
+    }
+
+    #[test]
+    fn decode_handles_plain_and_gzipped() {
+        let text = "{\"ts\":1}\n";
+        assert_eq!(decode_trace_bytes(text.as_bytes()).unwrap(), text);
+        let gz = gzip_stored(text.as_bytes());
+        assert_eq!(decode_trace_bytes(&gz).unwrap(), text);
+        assert!(decode_trace_bytes(&[0x1F, 0x8B, 0xFF]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal, dependency-free gzip writer/reader for trace artifacts.
+//!
+//! Writes RFC 1952 gzip around RFC 1951 *stored* (uncompressed) DEFLATE
+//! blocks, with `MTIME = 0` so the artifact is byte-deterministic — the
+//! same JSONL always gzips to the same bytes. The reader inflates only
+//! stored blocks (all this workspace ever writes); Huffman-coded input is
+//! rejected with an error rather than misparsed. Standard tools (`gunzip`,
+//! Python's `gzip`) read these files fine.
+
+/// CRC-32 (IEEE 802.3, the gzip polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (n, slot) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Wraps `data` in a deterministic gzip container (stored blocks,
+/// `MTIME = 0`, unknown OS).
+pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 64);
+    // Header: magic, CM=deflate, FLG=0, MTIME=0 (determinism), XFL=0, OS=255.
+    out.extend_from_slice(&[0x1F, 0x8B, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xFF]);
+    let mut chunks = data.chunks(0xFFFF).peekable();
+    if data.is_empty() {
+        // A final empty stored block keeps the stream well-formed.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1u8 } else { 0u8 };
+        out.push(bfinal); // BTYPE=00 (stored) in bits 1-2
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+fn take<'a>(data: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = at.checked_add(n).filter(|&e| e <= data.len());
+    match end {
+        Some(end) => {
+            let slice = &data[*at..end];
+            *at = end;
+            Ok(slice)
+        }
+        None => Err(format!("gzip: truncated at byte {at}")),
+    }
+}
+
+/// Decompresses a gzip stream produced by [`gzip_stored`] (or any gzip
+/// stream that uses only stored DEFLATE blocks). Verifies CRC and length.
+pub fn gunzip_stored(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut at = 0usize;
+    let header = take(data, &mut at, 10)?;
+    if header[0] != 0x1F || header[1] != 0x8B {
+        return Err("gzip: bad magic".into());
+    }
+    if header[2] != 0x08 {
+        return Err(format!(
+            "gzip: unsupported compression method {}",
+            header[2]
+        ));
+    }
+    let flg = header[3];
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        let xlen = take(data, &mut at, 2)?;
+        let xlen = u16::from_le_bytes([xlen[0], xlen[1]]) as usize;
+        take(data, &mut at, xlen)?;
+    }
+    for bit in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings
+        if flg & bit != 0 {
+            while *take(data, &mut at, 1)?.first().unwrap_or(&0) != 0 {}
+        }
+    }
+    if flg & 0x02 != 0 {
+        take(data, &mut at, 2)?; // FHCRC
+    }
+    let mut out = Vec::new();
+    loop {
+        let block = take(data, &mut at, 1)?[0];
+        if block >> 1 & 0x03 != 0 {
+            return Err("gzip: Huffman-coded block; only stored blocks supported".into());
+        }
+        let lens = take(data, &mut at, 4)?;
+        let len = u16::from_le_bytes([lens[0], lens[1]]);
+        let nlen = u16::from_le_bytes([lens[2], lens[3]]);
+        if len != !nlen {
+            return Err("gzip: stored-block length check failed".into());
+        }
+        out.extend_from_slice(take(data, &mut at, len as usize)?);
+        if block & 1 != 0 {
+            break;
+        }
+    }
+    let footer = take(data, &mut at, 8)?;
+    let crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    let isize_ = u32::from_le_bytes([footer[4], footer[5], footer[6], footer[7]]);
+    if crc != crc32(&out) {
+        return Err("gzip: CRC mismatch".into());
+    }
+    if isize_ != out.len() as u32 {
+        return Err("gzip: ISIZE mismatch".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_is_deterministic() {
+        for payload in [
+            b"".to_vec(),
+            b"hello trace\n".to_vec(),
+            vec![0xABu8; 200_000], // spans multiple stored blocks
+        ] {
+            let gz = gzip_stored(&payload);
+            assert_eq!(
+                gz,
+                gzip_stored(&payload),
+                "gzip output must be deterministic"
+            );
+            assert_eq!(gunzip_stored(&gz).expect("round trip"), payload);
+        }
+    }
+
+    #[test]
+    fn known_crc_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut gz = gzip_stored(b"payload");
+        let last = gz.len() - 9; // a payload byte, not the footer
+        gz[last] ^= 0xFF;
+        assert!(gunzip_stored(&gz).unwrap_err().contains("CRC"));
+        assert!(gunzip_stored(b"\x1f\x8b")
+            .unwrap_err()
+            .contains("truncated"));
+        assert!(gunzip_stored(b"no magic here!")
+            .unwrap_err()
+            .contains("magic"));
+    }
+
+    #[test]
+    fn rejects_huffman_blocks() {
+        // Header + a block byte with BTYPE=01 (fixed Huffman).
+        let mut gz = vec![0x1F, 0x8B, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xFF];
+        gz.push(0x03); // BFINAL=1, BTYPE=01
+        assert!(gunzip_stored(&gz).unwrap_err().contains("Huffman"));
+    }
+}

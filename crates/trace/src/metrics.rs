@@ -1,0 +1,234 @@
+//! Process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms, iterated in name order.
+//!
+//! Unlike the tracer (installed per run), the registry is always on —
+//! updates are a mutex + `BTreeMap` probe, cheap at the call rates of the
+//! instrumented sites (slot boundaries, session lifecycle, queue drains;
+//! never per-byte loops). Name ordering makes every snapshot
+//! deterministic, so metrics can ride the wire (`Frame::StatsReply`)
+//! without a canonicalization step. Metrics are *observability* state:
+//! nothing in a digest or report may read them back.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins signed gauge.
+    Gauge(i64),
+    /// Histogram over fixed bucket upper bounds (first registration of a
+    /// name wins the bounds; `counts` has one extra overflow slot).
+    Histogram {
+        /// Inclusive upper bounds, ascending.
+        bounds: Vec<u64>,
+        /// Observation counts per bound, plus a final +inf slot.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Adds `delta` to counter `name`, creating it at zero first.
+pub fn counter_add(name: &str, delta: u64) {
+    let mut reg = registry();
+    match reg.get_mut(name) {
+        Some(Metric::Counter(v)) => *v = v.saturating_add(delta),
+        Some(_) => {} // name registered as another kind: first kind wins
+        None => {
+            reg.insert(name.to_string(), Metric::Counter(delta));
+        }
+    }
+}
+
+/// Sets gauge `name` to `value`.
+pub fn gauge_set(name: &str, value: i64) {
+    let mut reg = registry();
+    match reg.get_mut(name) {
+        Some(Metric::Gauge(v)) => *v = value,
+        Some(_) => {}
+        None => {
+            reg.insert(name.to_string(), Metric::Gauge(value));
+        }
+    }
+}
+
+/// Adds `delta` (may be negative) to gauge `name`.
+pub fn gauge_add(name: &str, delta: i64) {
+    let mut reg = registry();
+    match reg.get_mut(name) {
+        Some(Metric::Gauge(v)) => *v = v.saturating_add(delta),
+        Some(_) => {}
+        None => {
+            reg.insert(name.to_string(), Metric::Gauge(delta));
+        }
+    }
+}
+
+/// Records `value` into histogram `name` with the given bucket upper
+/// bounds (used only on first registration).
+pub fn observe(name: &str, value: u64, bounds: &[u64]) {
+    let mut reg = registry();
+    let metric = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        });
+    if let Metric::Histogram {
+        bounds,
+        counts,
+        count,
+        sum,
+    } = metric
+    {
+        let slot = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        counts[slot] += 1;
+        *count += 1;
+        *sum = sum.saturating_add(value);
+    }
+}
+
+/// A name-ordered copy of every metric.
+pub fn snapshot() -> Vec<(String, Metric)> {
+    registry()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// A name-ordered flat `(name, u64)` view, the shape `Frame::StatsReply`
+/// carries: counters verbatim, gauges clamped at zero, histograms
+/// exploded into `name.count` / `name.sum` / `name.le_<bound>` /
+/// `name.le_inf` rows.
+pub fn snapshot_flat() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (name, metric) in registry().iter() {
+        match metric {
+            Metric::Counter(v) => out.push((name.clone(), *v)),
+            Metric::Gauge(v) => out.push((name.clone(), (*v).max(0) as u64)),
+            Metric::Histogram {
+                bounds,
+                counts,
+                count,
+                sum,
+            } => {
+                out.push((format!("{name}.count"), *count));
+                out.push((format!("{name}.sum"), *sum));
+                for (b, c) in bounds.iter().zip(counts.iter()) {
+                    out.push((format!("{name}.le_{b}"), *c));
+                }
+                out.push((format!("{name}.le_inf"), counts[bounds.len()]));
+            }
+        }
+    }
+    out
+}
+
+/// Reads one metric (tests and in-process consumers).
+pub fn get(name: &str) -> Option<Metric> {
+    registry().get(name).cloned()
+}
+
+/// Clears the registry. Sequential runs in one process (benches, tests)
+/// call this between runs so snapshots don't bleed across.
+pub fn reset() {
+    registry().clear();
+}
+
+/// Removes metrics whose name starts with `prefix` (a run tearing down
+/// its own instruments without clobbering unrelated subsystems).
+pub fn reset_prefix(prefix: &str) {
+    registry().retain(|k, _| !k.starts_with(prefix));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialize tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_gauges_and_order() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        counter_add("z.frames", 2);
+        counter_add("z.frames", 3);
+        gauge_set("a.depth", 7);
+        gauge_add("a.depth", -2);
+        gauge_add("a.fresh", -4);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.depth", "a.fresh", "z.frames"], "name order");
+        assert_eq!(get("z.frames"), Some(Metric::Counter(5)));
+        assert_eq!(get("a.depth"), Some(Metric::Gauge(5)));
+        assert_eq!(get("a.fresh"), Some(Metric::Gauge(-4)));
+        reset();
+    }
+
+    #[test]
+    fn histogram_buckets_and_flat_view() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        for v in [1, 5, 5, 6, 100] {
+            observe("h.lat", v, &[5, 50]);
+        }
+        gauge_set("neg", -3);
+        let flat = snapshot_flat();
+        assert_eq!(
+            flat,
+            vec![
+                ("h.lat.count".to_string(), 5),
+                ("h.lat.sum".to_string(), 117),
+                ("h.lat.le_5".to_string(), 3),
+                ("h.lat.le_50".to_string(), 1),
+                ("h.lat.le_inf".to_string(), 1),
+                ("neg".to_string(), 0),
+            ]
+        );
+        reset();
+    }
+
+    #[test]
+    fn kind_conflicts_keep_first_registration() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        counter_add("k", 1);
+        gauge_set("k", 99);
+        gauge_add("k", 1);
+        assert_eq!(get("k"), Some(Metric::Counter(1)));
+        reset();
+    }
+
+    #[test]
+    fn reset_prefix_is_scoped() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        counter_add("sub.a", 1);
+        counter_add("sub.b", 1);
+        counter_add("other", 1);
+        reset_prefix("sub.");
+        let names: Vec<String> = snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["other"]);
+        reset();
+    }
+}

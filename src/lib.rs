@@ -17,6 +17,7 @@
 //! - [`ofl_rpcd`] — the node daemon serving that protocol over TCP/Unix
 //!   sockets (plus the in-memory pipe transport tests mount)
 //! - [`ofl_core`] — the OFL-W3 marketplace: buyers, owners, the 7-step workflow
+//! - [`ofl_trace`] — deterministic virtual-time tracing, metrics, and trace-diff
 
 #![forbid(unsafe_code)]
 
@@ -31,3 +32,4 @@ pub use ofl_primitives as primitives;
 pub use ofl_rpc as rpc;
 pub use ofl_rpcd as rpcd;
 pub use ofl_tensor as tensor;
+pub use ofl_trace as trace;
